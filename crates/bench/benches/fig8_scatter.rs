@@ -1,0 +1,68 @@
+//! Fig. 8 — execution time and resource usage of all brute-force
+//! configurations, grouped by thread count: each thread count forms a
+//! "line" of configurations whose non-dominated tips compose the Pareto
+//! front of the multi-objective problem.
+
+use moat::core::Point;
+use moat::{Kernel, MachineDesc};
+use moat_bench::fmt;
+use moat_bench::{grid_axes_fixed_threads, sweep, Setup};
+
+fn main() {
+    for machine in MachineDesc::paper_machines() {
+        println!(
+            "{}",
+            fmt::banner(&format!("Fig. 8: time vs. resources, all configurations (mm, {})", machine.name))
+        );
+        let setup = Setup::new(Kernel::Mm, machine.clone(), None);
+        let mut per_thread: Vec<(i64, Vec<Point>)> = Vec::new();
+        for &t in &setup.thread_counts() {
+            let axes = grid_axes_fixed_threads(&setup, 12, t);
+            let result = sweep(&setup, &axes);
+            per_thread.push((t, result.all));
+        }
+
+        // Print a decimated representation: per thread count, the envelope
+        // (time-sorted deciles) of the configuration cloud.
+        for (t, points) in &per_thread {
+            let mut times: Vec<f64> = points.iter().map(|p| p.objectives[0]).collect();
+            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let deciles: Vec<String> = (0..=10)
+                .map(|d| {
+                    let idx = (d * (times.len() - 1)) / 10;
+                    format!("{:.3}", times[idx])
+                })
+                .collect();
+            println!(
+                "threads={t:>2}: time deciles [s] = {}  (resources = {t} x time)",
+                deciles.join(", ")
+            );
+        }
+        println!();
+        println!("csv: threads,time_s,resources");
+        for (t, points) in &per_thread {
+            // Decimate to ~40 points per thread count for plotting.
+            let step = (points.len() / 40).max(1);
+            for p in points.iter().step_by(step) {
+                println!("csv: {t},{:.5},{:.5}", p.objectives[0], p.objectives[1]);
+            }
+        }
+
+        // Figure property: per thread count, the minimum time decreases
+        // with t while the *minimum resource usage* increases with t — the
+        // tips form the trade-off front.
+        let tips: Vec<(f64, f64)> = per_thread
+            .iter()
+            .map(|(_, pts)| {
+                let tmin = pts.iter().map(|p| p.objectives[0]).fold(f64::INFINITY, f64::min);
+                let rmin = pts.iter().map(|p| p.objectives[1]).fold(f64::INFINITY, f64::min);
+                (tmin, rmin)
+            })
+            .collect();
+        for w in tips.windows(2) {
+            assert!(w[1].0 < w[0].0, "best time must fall with more threads");
+            assert!(w[1].1 > w[0].1, "best resources must rise with more threads");
+        }
+        println!("\ncheck: per-thread-count tips are mutually non-dominated — OK");
+    }
+}

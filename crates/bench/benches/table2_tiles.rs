@@ -1,0 +1,101 @@
+//! Table II — optimal tiling parameters for different numbers of threads
+//! and architectures (mm kernel): per-thread-count brute-force optima, the
+//! cross-thread-count performance-loss matrix, and the untiled (`GCC -O3`)
+//! baseline.
+
+use moat::{Kernel, MachineDesc};
+use moat_bench::fmt;
+use moat_bench::{per_thread_study, Setup};
+
+fn main() {
+    // Table I header (machine configurations are the experiment's input).
+    println!("{}", fmt::banner("Table I: system configurations (model input)"));
+    let machines = MachineDesc::paper_machines();
+    let rows: Vec<Vec<String>> = machines
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                format!("{}/{}", m.sockets, m.total_cores()),
+                format!("{}K", m.levels[0].size / 1024),
+                format!("{}K", m.levels[1].size / 1024),
+                format!("{}M", m.levels[2].size / 1024 / 1024),
+                format!("{:.1} GHz", m.freq_ghz),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        fmt::table(&["system", "sockets/cores", "L1d", "L2", "L3 (chip)", "clock"], &rows)
+    );
+
+    for machine in machines {
+        println!(
+            "{}",
+            fmt::banner(&format!(
+                "Table II: optimal tiles & cross-thread losses (mm, {})",
+                machine.name
+            ))
+        );
+        let setup = Setup::new(Kernel::Mm, machine.clone(), None);
+        let study = per_thread_study(&setup, 24);
+        let avgs = study.row_avgs();
+
+        let mut rows = Vec::new();
+        for (r, &t) in study.thread_counts.iter().enumerate() {
+            let cfg = &study.best[r].config;
+            let mut row = vec![
+                format!("{t} cores"),
+                format!("({}, {}, {})", cfg[0], cfg[1], cfg[2]),
+            ];
+            for c in 0..study.thread_counts.len() {
+                row.push(if r == c { "-".into() } else { fmt::pct(study.loss[r][c]) });
+            }
+            row.push(fmt::pct(avgs[r]));
+            rows.push(row);
+        }
+        // GCC -O3 baseline: untiled, serial.
+        let untiled = setup.untiled_baseline_time();
+        let mut base_row = vec!["GCC -O3".to_string(), "untiled".to_string()];
+        for (c, _) in study.thread_counts.iter().enumerate() {
+            // The untiled baseline is serial; its loss is reported against
+            // the tuned serial version only.
+            base_row.push(if c == 0 {
+                fmt::pct(untiled / study.best[0].objectives[0] - 1.0)
+            } else {
+                "-".into()
+            });
+        }
+        base_row.push("-".into());
+
+        let mut headers: Vec<String> =
+            vec!["tuned for".into(), "opt. tiles (ti,tj,tk)".into()];
+        headers.extend(study.thread_counts.iter().map(|t| format!("@{t}t [%]")));
+        headers.push("avg [%]".into());
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        rows.push(base_row);
+        println!("{}", fmt::table(&headers_ref, &rows));
+        println!(
+            "untiled serial baseline: {:.3} s vs best tiled serial {:.3} s ({:.1}x slower)",
+            untiled,
+            study.best[0].objectives[0],
+            untiled / study.best[0].objectives[0]
+        );
+        println!("evaluations used: {}", study.evaluations);
+
+        // Qualitative checks from the paper's discussion.
+        let max_loss = study.loss.iter().flatten().copied().fold(0.0f64, f64::max);
+        assert!(
+            max_loss > 0.02,
+            "cross-thread tile mismatch must cost noticeable performance"
+        );
+        assert!(
+            untiled > study.best[0].objectives[0] * 2.0,
+            "tiling must show its 'enormous potential' vs -O3"
+        );
+        println!(
+            "check: max cross-thread loss {:.1}% > 2%, tiling >> untiled — OK",
+            max_loss * 100.0
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Table III — impact of the number of threads on speedup and efficiency:
+//! the properties of the optimal points forming the Pareto front of the
+//! (time, resources) problem, on both architectures.
+
+use moat::{Kernel, MachineDesc};
+use moat_bench::fmt;
+use moat_bench::{per_thread_study, thread_tradeoffs, Setup};
+
+fn main() {
+    for machine in MachineDesc::paper_machines() {
+        println!(
+            "{}",
+            fmt::banner(&format!("Table III: speedup/efficiency trade-off (mm, {})", machine.name))
+        );
+        let setup = Setup::new(Kernel::Mm, machine.clone(), None);
+        let study = per_thread_study(&setup, 24);
+        let rows = thread_tradeoffs(&study);
+
+        let table_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.threads.to_string(),
+                    fmt::f(r.speedup, 5),
+                    fmt::f(r.efficiency, 5),
+                    format!("{}%", fmt::f(r.rel_time * 100.0, 0)),
+                    format!("{}%", fmt::f(r.rel_resources * 100.0, 0)),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            fmt::table(
+                &["cores", "speedup", "efficiency", "rel. time", "rel. resources"],
+                &table_rows
+            )
+        );
+
+        // Paper properties: every thread count is Pareto-optimal for
+        // (time, resources) — time decreases, resources increase.
+        for w in rows.windows(2) {
+            assert!(w[1].time_s < w[0].time_s, "time must fall with threads");
+            assert!(
+                w[1].rel_resources > w[0].rel_resources,
+                "resources must rise with threads"
+            );
+        }
+        assert!(rows[0].efficiency == 1.0);
+        let last = rows.last().unwrap();
+        assert!(
+            last.efficiency < 0.75,
+            "full-machine efficiency must be clearly sub-linear: {}",
+            last.efficiency
+        );
+        println!("check: all thread counts mutually non-dominated (time ↓, resources ↑) — OK");
+    }
+}

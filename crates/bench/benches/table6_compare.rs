@@ -1,0 +1,77 @@
+//! Table VI — comparison of the search strategies on all kernels and both
+//! architectures: evaluations `E`, Pareto-set size `|S|` and hypervolume
+//! `V(S)` for brute force, random search (same budget as RS-GDE3) and
+//! RS-GDE3. Stochastic methods report the mean of 5 runs, as in the paper.
+
+use moat::{Kernel, MachineDesc};
+use moat_bench::fmt;
+use moat_bench::{compare_methods, paper_grid_points, Setup};
+
+fn main() {
+    for machine in MachineDesc::paper_machines() {
+        println!(
+            "{}",
+            fmt::banner(&format!("Table VI: search strategy comparison ({})", machine.name))
+        );
+        let mut rows = Vec::new();
+        for kernel in Kernel::all() {
+            let setup = Setup::new(kernel, machine.clone(), None);
+            let cmp = compare_methods(&setup, paper_grid_points(kernel), 5);
+            rows.push(vec![
+                kernel.info().name.to_string(),
+                fmt::f(cmp.brute_stats.e, 0),
+                fmt::f(cmp.brute_stats.s, 0),
+                fmt::f(cmp.brute_stats.v, 2),
+                fmt::f(cmp.random_stats.e, 0),
+                fmt::f(cmp.random_stats.s, 1),
+                fmt::f(cmp.random_stats.v, 2),
+                fmt::f(cmp.rsgde3_stats.e, 0),
+                fmt::f(cmp.rsgde3_stats.s, 1),
+                fmt::f(cmp.rsgde3_stats.v, 2),
+            ]);
+
+            // Paper's three conclusions (§V-C), checked per kernel:
+            // (2) RS-GDE3 needs 90–99+% fewer evaluations than brute force;
+            assert!(
+                cmp.rsgde3_stats.e <= 0.10 * cmp.brute_stats.e,
+                "{}: E reduction must be >= 90% ({} vs {})",
+                kernel.info().name,
+                cmp.rsgde3_stats.e,
+                cmp.brute_stats.e
+            );
+            // (3) hypervolumes comparable to brute force;
+            assert!(
+                cmp.rsgde3_stats.v >= 0.75 * cmp.brute_stats.v,
+                "{}: V(S) must be comparable to brute force ({} vs {})",
+                kernel.info().name,
+                cmp.rsgde3_stats.v,
+                cmp.brute_stats.v
+            );
+            // (…and always clearly better than random).
+            assert!(
+                cmp.rsgde3_stats.v > cmp.random_stats.v,
+                "{}: RS-GDE3 must outperform random search",
+                kernel.info().name
+            );
+        }
+        println!(
+            "{}",
+            fmt::table(
+                &[
+                    "benchmark",
+                    "BF E",
+                    "BF |S|",
+                    "BF V",
+                    "RND E",
+                    "RND |S|",
+                    "RND V",
+                    "RS-GDE3 E",
+                    "RS-GDE3 |S|",
+                    "RS-GDE3 V",
+                ],
+                &rows
+            )
+        );
+        println!("check: E reduction >=90%, V(S) comparable to brute force, >> random — OK");
+    }
+}

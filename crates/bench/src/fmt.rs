@@ -1,0 +1,125 @@
+//! Minimal aligned-column table printing for the experiment harnesses.
+
+/// Render rows as an aligned ASCII table with a header and a rule line.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// `format!` helper: fixed-point with `d` decimals.
+pub fn f(x: f64, d: usize) -> String {
+    format!("{x:.d$}")
+}
+
+/// Percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// A section banner for bench output.
+pub fn banner(title: &str) -> String {
+    format!("\n==== {title} ====\n")
+}
+
+/// Render a 2-d heat map (row-major `values[r][c]`, smaller = better) as
+/// ASCII shades, darkest = fastest — the visual encoding of Fig. 2.
+pub fn heatmap(
+    row_labels: &[String],
+    col_labels: &[String],
+    values: &[Vec<f64>],
+) -> String {
+    const SHADES: [char; 10] = ['@', '#', '8', 'O', 'o', '=', '-', ':', '.', ' '];
+    let lo = values
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let hi = values
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-300);
+    let w = row_labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:w$}  {}\n",
+        "",
+        col_labels.iter().map(|c| c.chars().next().unwrap_or(' ')).collect::<String>(),
+        w = w
+    ));
+    for (r, row) in values.iter().enumerate() {
+        out.push_str(&format!("{:>w$}  ", row_labels[r], w = w));
+        for &v in row {
+            let idx = (((v - lo) / span) * (SHADES.len() - 1) as f64).round() as usize;
+            out.push(SHADES[idx.min(SHADES.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("legend: '@' fastest ({lo:.4}) … ' ' slowest ({hi:.4})\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_table() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name") && lines[0].contains("value"));
+        assert!(lines[3].contains("long-name"));
+        // All rows equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn heatmap_extremes() {
+        let hm = heatmap(
+            &["r0".into(), "r1".into()],
+            &["c0".into(), "c1".into()],
+            &[vec![0.0, 1.0], vec![0.5, 0.25]],
+        );
+        assert!(hm.contains('@'), "fastest cell must be darkest");
+        assert!(hm.contains("legend"));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.1511), "15.1");
+        assert!(banner("x").contains("==== x ===="));
+    }
+}

@@ -1,0 +1,335 @@
+//! A single set-associative cache level with LRU replacement.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line size in bytes (power of two).
+    pub line_size: u64,
+}
+
+impl CacheConfig {
+    /// Create a configuration; panics on degenerate geometry.
+    pub fn new(size: u64, assoc: u32, line_size: u64) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc >= 1);
+        assert!(size >= assoc as u64 * line_size, "size too small for one set");
+        assert_eq!(
+            size % (assoc as u64 * line_size),
+            0,
+            "size must be a multiple of assoc * line_size"
+        );
+        CacheConfig { size, assoc, line_size }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size / (self.assoc as u64 * self.line_size)
+    }
+}
+
+/// A set-associative LRU cache with write-back/write-allocate semantics.
+/// Tracks accesses, misses and dirty write-backs; no data is stored, only
+/// tags and dirty bits.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets[s]` holds `(tag, dirty)` of set `s`, most recently used first.
+    sets: Vec<Vec<(u64, bool)>>,
+    accesses: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Create an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let num_sets = cfg.num_sets() as usize;
+        Cache {
+            cfg,
+            sets: vec![Vec::new(); num_sets],
+            accesses: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Read the byte at `addr`. Returns `true` on hit. On miss the line is
+    /// installed, evicting (and possibly writing back) the LRU line of its
+    /// set if necessary.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.touch(addr, false)
+    }
+
+    /// Write the byte at `addr` (write-allocate): like [`access`](Self::access)
+    /// but the line is marked dirty; a later eviction counts as a
+    /// write-back.
+    pub fn write(&mut self, addr: u64) -> bool {
+        self.touch(addr, true)
+    }
+
+    fn touch(&mut self, addr: u64, is_write: bool) -> bool {
+        self.touch_evicting(addr, is_write).0
+    }
+
+    /// Like [`access`](Self::access)/[`write`](Self::write) but also
+    /// returns the byte address of a dirty line evicted to make room (to be
+    /// written back to the next level), if any.
+    pub fn touch_evicting(&mut self, addr: u64, is_write: bool) -> (bool, Option<u64>) {
+        self.accesses += 1;
+        let line = addr / self.cfg.line_size;
+        let num_sets = self.cfg.num_sets();
+        let set_idx = (line % num_sets) as usize;
+        let tag = line / num_sets;
+        let assoc = self.cfg.assoc as usize;
+        let line_size = self.cfg.line_size;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            // Hit: move to MRU position, accumulate dirtiness.
+            let (_, dirty) = set.remove(pos);
+            set.insert(0, (tag, dirty || is_write));
+            (true, None)
+        } else {
+            self.misses += 1;
+            let mut evicted = None;
+            if set.len() == assoc {
+                if let Some((etag, dirty)) = set.pop() {
+                    if dirty {
+                        self.writebacks += 1;
+                        evicted =
+                            Some((etag * num_sets + set_idx as u64) * line_size);
+                    }
+                }
+            }
+            set.insert(0, (tag, is_write));
+            (false, evicted)
+        }
+    }
+
+    /// Receive a write-back from an upper (closer-to-core) level: mark the
+    /// line dirty, installing it if absent. Does not count as an access or
+    /// miss. Returns the address of a dirty line evicted to make room, if
+    /// any (cascading write-back).
+    pub fn receive_writeback(&mut self, addr: u64) -> Option<u64> {
+        let line = addr / self.cfg.line_size;
+        let num_sets = self.cfg.num_sets();
+        let set_idx = (line % num_sets) as usize;
+        let tag = line / num_sets;
+        let assoc = self.cfg.assoc as usize;
+        let line_size = self.cfg.line_size;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            let _ = set.remove(pos);
+            set.insert(0, (tag, true));
+            None
+        } else {
+            let mut evicted = None;
+            if set.len() == assoc {
+                if let Some((etag, dirty)) = set.pop() {
+                    if dirty {
+                        self.writebacks += 1;
+                        evicted =
+                            Some((etag * num_sets + set_idx as u64) * line_size);
+                    }
+                }
+            }
+            set.insert(0, (tag, true));
+            evicted
+        }
+    }
+
+    /// Install the line holding `addr` as *clean*, without access/miss
+    /// accounting (hardware prefetch). Returns the address of a dirty line
+    /// evicted to make room, if any. No-op when the line is present.
+    pub fn receive_prefetch(&mut self, addr: u64) -> Option<u64> {
+        let line = addr / self.cfg.line_size;
+        let num_sets = self.cfg.num_sets();
+        let set_idx = (line % num_sets) as usize;
+        let tag = line / num_sets;
+        let assoc = self.cfg.assoc as usize;
+        let line_size = self.cfg.line_size;
+        let set = &mut self.sets[set_idx];
+        if set.iter().any(|&(t, _)| t == tag) {
+            return None;
+        }
+        let mut evicted = None;
+        if set.len() == assoc {
+            if let Some((etag, dirty)) = set.pop() {
+                if dirty {
+                    self.writebacks += 1;
+                    evicted = Some((etag * num_sets + set_idx as u64) * line_size);
+                }
+            }
+        }
+        let _ = assoc;
+        set.insert(0, (tag, false));
+        evicted
+    }
+
+    /// Probe without updating state or counters.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = addr / self.cfg.line_size;
+        let set_idx = (line % self.cfg.num_sets()) as usize;
+        let tag = line / self.cfg.num_sets();
+        self.sets[set_idx].iter().any(|&(t, _)| t == tag)
+    }
+
+    /// Dirty lines written back to the next level so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio (0 if no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Reset counters (keeps cache contents).
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+
+    /// Drop all cached lines and counters.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64 B lines = 512 B.
+        Cache::new(CacheConfig::new(512, 2, 64))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().num_sets(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        CacheConfig::new(512, 2, 48);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.accesses(), 4);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to set 0: lines 0, 4, 8 (4 sets).
+        let (a, b, d) = (0u64, 4 * 64, 8 * 64);
+        c.access(a); // set0: [a]
+        c.access(b); // set0: [b, a]
+        c.access(a); // set0: [a, b]
+        c.access(d); // evicts b (LRU)
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn working_set_fits_no_capacity_misses() {
+        let mut c = tiny();
+        // 8 lines = full capacity, uniformly mapped (2 per set).
+        for rep in 0..10 {
+            for line in 0..8u64 {
+                let hit = c.access(line * 64);
+                if rep > 0 {
+                    assert!(hit, "line {line} must hit on repetition {rep}");
+                }
+            }
+        }
+        assert_eq!(c.misses(), 8);
+    }
+
+    #[test]
+    fn working_set_exceeds_capacity_thrashes() {
+        let mut c = tiny();
+        // 12 lines cycled through a 8-line cache with LRU → every access
+        // misses (classic LRU worst case).
+        for _ in 0..5 {
+            for line in 0..12u64 {
+                c.access(line * 64);
+            }
+        }
+        assert_eq!(c.misses(), c.accesses());
+    }
+
+    #[test]
+    fn writebacks_counted_on_dirty_eviction() {
+        let mut c = tiny();
+        // Set 0 holds lines 0, 4, 8 (4 sets, 2 ways).
+        let (a, b, d) = (0u64, 4 * 64, 8 * 64);
+        c.write(a); // dirty
+        c.access(b); // clean
+        c.access(d); // evicts a (LRU, dirty) → write-back
+        assert_eq!(c.writebacks(), 1);
+        c.access(a); // evicts b (clean) → no write-back
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn rewrite_keeps_line_dirty_once() {
+        let mut c = tiny();
+        c.write(0);
+        c.write(0);
+        c.write(0);
+        // Fill set 0 and evict it once.
+        c.access(4 * 64);
+        c.access(8 * 64);
+        assert_eq!(c.writebacks(), 1, "one dirty line → one write-back");
+    }
+
+    #[test]
+    fn flush_and_reset() {
+        let mut c = tiny();
+        c.access(0);
+        c.reset_stats();
+        assert_eq!(c.accesses(), 0);
+        assert!(c.contains(0));
+        c.flush();
+        assert!(!c.contains(0));
+        assert_eq!(c.miss_ratio(), 0.0);
+    }
+}

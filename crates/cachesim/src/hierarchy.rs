@@ -1,0 +1,364 @@
+//! A multi-core cache hierarchy: private L1/L2 per core, shared last-level
+//! cache per chip (the topology of both machines in Table I of the paper).
+
+use crate::cache::{Cache, CacheConfig};
+
+/// Configuration of a multi-core hierarchy.
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// Per-core private levels, outermost last (e.g. `[L1, L2]`).
+    pub private_levels: Vec<CacheConfig>,
+    /// Chip-shared last level (e.g. L3).
+    pub shared_level: CacheConfig,
+    /// Cores per chip (threads `0..cores_per_chip` share the first L3, …).
+    pub cores_per_chip: usize,
+    /// Number of simulated cores.
+    pub cores: usize,
+    /// Per-core sequential stream prefetcher: number of next lines fetched
+    /// into the innermost level on a detected ascending line-sequential
+    /// access (0 = disabled). Models the hardware prefetchers behind the
+    /// cost model's `stream_exposure` parameter.
+    pub prefetch_depth: usize,
+}
+
+/// Per-level aggregate statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LevelStats {
+    /// Total accesses reaching this level.
+    pub accesses: u64,
+    /// Total misses at this level.
+    pub misses: u64,
+}
+
+impl LevelStats {
+    /// Miss ratio (0 for an idle level).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A simulated multi-core hierarchy. Accesses are issued per core id; a
+/// miss in a private level falls through to the next level and ultimately
+/// to the chip's shared cache. Misses in the shared cache count as memory
+/// accesses.
+#[derive(Debug)]
+pub struct MultiCoreHierarchy {
+    cfg: HierarchyConfig,
+    /// `private[core][level]`.
+    private: Vec<Vec<Cache>>,
+    /// One shared cache per chip.
+    shared: Vec<Cache>,
+    memory_accesses: u64,
+    /// Last accessed line per core (stream detection).
+    last_line: Vec<Option<u64>>,
+    prefetches: u64,
+}
+
+impl MultiCoreHierarchy {
+    /// Build the hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        assert!(cfg.cores >= 1 && cfg.cores_per_chip >= 1);
+        let chips = cfg.cores.div_ceil(cfg.cores_per_chip);
+        let private = (0..cfg.cores)
+            .map(|_| cfg.private_levels.iter().map(|&c| Cache::new(c)).collect())
+            .collect();
+        let shared = (0..chips).map(|_| Cache::new(cfg.shared_level)).collect();
+        let cores = cfg.cores;
+        MultiCoreHierarchy {
+            cfg,
+            private,
+            shared,
+            memory_accesses: 0,
+            last_line: vec![None; cores],
+            prefetches: 0,
+        }
+    }
+
+    /// Issue a read from `core` to byte address `addr`. Returns the level
+    /// index that hit (0 = L1, …, `private_levels.len()` = shared level) or
+    /// `None` for a memory access.
+    pub fn access(&mut self, core: usize, addr: u64) -> Option<usize> {
+        self.issue(core, addr, false)
+    }
+
+    /// Issue a write (write-allocate, write-back) from `core`.
+    pub fn write(&mut self, core: usize, addr: u64) -> Option<usize> {
+        self.issue(core, addr, true)
+    }
+
+    fn issue(&mut self, core: usize, addr: u64, is_write: bool) -> Option<usize> {
+        assert!(core < self.cfg.cores, "core {core} out of range");
+        // Stream prefetcher: on an ascending line-sequential access, pull
+        // the next lines into the core's innermost cache (demand path,
+        // without demand accounting).
+        if self.cfg.prefetch_depth > 0 {
+            let line_size = self.cfg.private_levels[0].line_size;
+            let line = addr / line_size;
+            let streaming = self.last_line[core] == Some(line.wrapping_sub(1));
+            self.last_line[core] = Some(line);
+            if streaming {
+                for d in 1..=self.cfg.prefetch_depth {
+                    let paddr = (line + d as u64) * line_size;
+                    self.prefetch(core, paddr);
+                }
+            }
+        }
+        let chip = core / self.cfg.cores_per_chip;
+        let n_private = self.cfg.private_levels.len();
+        // `(level the write-back originates from, line address)` — dirty
+        // evictions propagate toward memory after the access resolves.
+        let mut pending: Vec<(usize, u64)> = Vec::new();
+        let mut hit_level = None;
+        for (lvl, cache) in self.private[core].iter_mut().enumerate() {
+            let (hit, evicted) = cache.touch_evicting(addr, is_write);
+            if let Some(e) = evicted {
+                pending.push((lvl, e));
+            }
+            if hit {
+                hit_level = Some(lvl);
+                break;
+            }
+        }
+        if hit_level.is_none() {
+            let (hit, evicted) = self.shared[chip].touch_evicting(addr, is_write);
+            if let Some(_e) = evicted {
+                // Dirty eviction from the shared level: counted as a memory
+                // write-back by the cache itself.
+            }
+            if hit {
+                hit_level = Some(n_private);
+            } else {
+                self.memory_accesses += 1;
+            }
+        }
+        // Propagate dirty evictions down the hierarchy (inclusive-style
+        // write-back forwarding; cascades may trigger further evictions).
+        while let Some((from_lvl, line_addr)) = pending.pop() {
+            let next = from_lvl + 1;
+            let cascade = if next < n_private {
+                self.private[core][next].receive_writeback(line_addr)
+            } else {
+                // Shared level absorbs the write-back; its own dirty
+                // evictions count as memory write-backs internally.
+                self.shared[chip].receive_writeback(line_addr)
+            };
+            if let Some(e) = cascade {
+                if next < n_private {
+                    pending.push((next, e));
+                }
+                // A cascade out of the shared level already reached memory.
+                let _ = e;
+            }
+        }
+        hit_level
+    }
+
+    /// Install `addr`'s line into the core's mid/outer levels without
+    /// touching the demand-access statistics — hardware stream prefetchers
+    /// fill L2 and beyond, so a prefetched line turns a memory-latency
+    /// demand miss into a cheap L2 hit.
+    fn prefetch(&mut self, core: usize, addr: u64) {
+        if self.private[core][0].contains(addr) {
+            return;
+        }
+        self.prefetches += 1;
+        for cache in self.private[core].iter_mut().skip(1) {
+            let _ = cache.receive_prefetch(addr);
+        }
+        let chip = core / self.cfg.cores_per_chip;
+        let _ = self.shared[chip].receive_prefetch(addr);
+    }
+
+    /// Prefetched lines so far.
+    pub fn prefetches(&self) -> u64 {
+        self.prefetches
+    }
+
+    /// Dirty lines written back from the shared level to memory.
+    pub fn memory_writebacks(&self) -> u64 {
+        self.shared.iter().map(|c| c.writebacks()).sum()
+    }
+
+    /// Number of cache levels (private + shared).
+    pub fn levels(&self) -> usize {
+        self.cfg.private_levels.len() + 1
+    }
+
+    /// Aggregate statistics of level `lvl` across all cores/chips.
+    pub fn level_stats(&self, lvl: usize) -> LevelStats {
+        let mut stats = LevelStats::default();
+        if lvl < self.cfg.private_levels.len() {
+            for core in &self.private {
+                stats.accesses += core[lvl].accesses();
+                stats.misses += core[lvl].misses();
+            }
+        } else {
+            assert_eq!(lvl, self.cfg.private_levels.len(), "level {lvl} out of range");
+            for c in &self.shared {
+                stats.accesses += c.accesses();
+                stats.misses += c.misses();
+            }
+        }
+        stats
+    }
+
+    /// Total accesses that reached main memory.
+    pub fn memory_accesses(&self) -> u64 {
+        self.memory_accesses
+    }
+
+    /// Bytes transferred to and from memory (fills + write-backs, × line
+    /// size of the shared level).
+    pub fn memory_traffic_bytes(&self) -> u64 {
+        (self.memory_accesses + self.memory_writebacks()) * self.cfg.shared_level.line_size
+    }
+
+    /// Flush all caches and counters.
+    pub fn flush(&mut self) {
+        for core in &mut self.private {
+            for c in core {
+                c.flush();
+            }
+        }
+        for c in &mut self.shared {
+            c.flush();
+        }
+        self.memory_accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MultiCoreHierarchy {
+        MultiCoreHierarchy::new(HierarchyConfig {
+            private_levels: vec![CacheConfig::new(256, 2, 64), CacheConfig::new(1024, 4, 64)],
+            shared_level: CacheConfig::new(4096, 4, 64),
+            cores_per_chip: 2,
+            cores: 4,
+            prefetch_depth: 0,
+        })
+    }
+
+    #[test]
+    fn miss_falls_through_levels() {
+        let mut h = small();
+        assert_eq!(h.access(0, 0), None); // cold: memory
+        assert_eq!(h.access(0, 0), Some(0)); // L1 hit
+        assert_eq!(h.memory_accesses(), 1);
+        assert_eq!(h.memory_traffic_bytes(), 64);
+    }
+
+    #[test]
+    fn shared_cache_serves_chip_neighbour() {
+        let mut h = small();
+        // Core 0 loads a line; core 1 (same chip) must find it in L3.
+        h.access(0, 4096);
+        assert_eq!(h.access(1, 4096), Some(2), "same-chip core hits shared level");
+        // Core 2 is on the other chip: full miss.
+        assert_eq!(h.access(2, 4096), None);
+        assert_eq!(h.memory_accesses(), 2);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = small();
+        // L1: 256 B = 4 lines, 2 sets × 2 ways. Touch 5 lines mapping so
+        // the first is evicted from L1 but retained in L2 (16 lines).
+        for line in 0..5u64 {
+            h.access(0, line * 64);
+        }
+        // Line 0 was evicted from L1 set 0 (lines 0,2,4 map there) but is
+        // still in L2.
+        let lvl = h.access(0, 0);
+        assert_eq!(lvl, Some(1), "expected L2 hit, got {lvl:?}");
+    }
+
+    #[test]
+    fn level_stats_aggregate() {
+        let mut h = small();
+        for core in 0..4 {
+            for line in 0..8u64 {
+                h.access(core, line * 64);
+            }
+        }
+        let l1 = h.level_stats(0);
+        assert_eq!(l1.accesses, 32);
+        let shared = h.level_stats(2);
+        assert!(shared.accesses > 0);
+        assert!(l1.miss_ratio() > 0.0);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut h = small();
+        h.access(0, 0);
+        h.flush();
+        assert_eq!(h.memory_accesses(), 0);
+        assert_eq!(h.level_stats(0).accesses, 0);
+        assert_eq!(h.access(0, 0), None);
+    }
+
+    #[test]
+    fn prefetcher_hides_sequential_stream() {
+        let mk = |depth: usize| {
+            MultiCoreHierarchy::new(HierarchyConfig {
+                private_levels: vec![CacheConfig::new(256, 2, 64), CacheConfig::new(1024, 4, 64)],
+                shared_level: CacheConfig::new(4096, 4, 64),
+                cores_per_chip: 2,
+                cores: 4,
+                prefetch_depth: depth,
+            })
+        };
+        // Sequential stream over 64 lines, element-granular (8 B steps).
+        let run = |h: &mut MultiCoreHierarchy| {
+            for e in 0..(64 * 8) {
+                h.access(0, e * 8);
+            }
+            h.memory_accesses()
+        };
+        let mut plain = mk(0);
+        let mut pf = mk(2);
+        let mem_plain = run(&mut plain);
+        let mem_pf = run(&mut pf);
+        assert_eq!(mem_plain, 64, "every line is a cold memory miss without prefetch");
+        assert!(
+            mem_pf <= 4,
+            "prefetcher must hide almost all demand memory misses: {mem_pf}"
+        );
+        assert!(pf.prefetches() > 0);
+        assert_eq!(plain.prefetches(), 0);
+    }
+
+    #[test]
+    fn prefetcher_useless_for_strided_stream() {
+        let mk = |depth: usize| {
+            MultiCoreHierarchy::new(HierarchyConfig {
+                private_levels: vec![CacheConfig::new(256, 2, 64)],
+                shared_level: CacheConfig::new(4096, 4, 64),
+                cores_per_chip: 2,
+                cores: 2,
+                prefetch_depth: 2,
+            })
+        };
+        // Column-style stride of 16 lines: never line-sequential.
+        let mut h = mk(2);
+        for e in 0..64u64 {
+            h.access(0, e * 16 * 64);
+        }
+        assert_eq!(h.prefetches(), 0, "no stream detected on strided access");
+        assert_eq!(h.level_stats(0).misses, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_panics() {
+        let mut h = small();
+        h.access(99, 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Objective-function plumbing: the evaluator trait, evaluation counting,
+//! caching and parallel batch evaluation.
+//!
+//! The paper's optimizer "iteratively selects sets of configurations … to
+//! be evaluated (executed) on the target system", exploiting that
+//! "configurations can be evaluated simultaneously" (§III-B.3). Algorithms
+//! in this crate therefore always request evaluations in *batches* through
+//! [`BatchEval`], which fans the batch out over threads.
+
+use crate::space::Config;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An objective vector (all components minimized).
+pub type ObjVec = Vec<f64>;
+
+/// An objective function over configurations.
+///
+/// `evaluate` returns `None` for invalid/infeasible configurations (the
+/// framework maps these to "discard"). Implementations must be `Sync` so
+/// batches can be evaluated in parallel.
+pub trait Evaluator: Sync {
+    /// Number of objectives.
+    fn num_objectives(&self) -> usize;
+    /// Evaluate one configuration.
+    fn evaluate(&self, cfg: &Config) -> Option<ObjVec>;
+}
+
+impl<F> Evaluator for (usize, F)
+where
+    F: Fn(&Config) -> Option<ObjVec> + Sync,
+{
+    fn num_objectives(&self) -> usize {
+        self.0
+    }
+    fn evaluate(&self, cfg: &Config) -> Option<ObjVec> {
+        (self.1)(cfg)
+    }
+}
+
+/// Wrapper adding evaluation counting and memoization.
+///
+/// The evaluation count `E` (only *distinct* configurations reach the inner
+/// evaluator; repeats are served from the cache, matching how an iterative
+/// compiler would reuse measurements) is the cost metric of Table VI.
+pub struct CachingEvaluator<'a> {
+    inner: &'a dyn Evaluator,
+    cache: Mutex<HashMap<Config, Option<ObjVec>>>,
+    evaluations: AtomicU64,
+}
+
+impl<'a> CachingEvaluator<'a> {
+    /// Wrap an evaluator.
+    pub fn new(inner: &'a dyn Evaluator) -> Self {
+        CachingEvaluator {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+            evaluations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of (distinct) configurations evaluated so far — the paper's
+    /// `E` metric.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+}
+
+impl Evaluator for CachingEvaluator<'_> {
+    fn num_objectives(&self) -> usize {
+        self.inner.num_objectives()
+    }
+
+    fn evaluate(&self, cfg: &Config) -> Option<ObjVec> {
+        if let Some(hit) = self.cache.lock().get(cfg) {
+            return hit.clone();
+        }
+        let result = self.inner.evaluate(cfg);
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.cache.lock().insert(cfg.clone(), result.clone());
+        result
+    }
+}
+
+/// An evaluator wrapper enforcing *parameter constraints* (paper §III-A:
+/// regions are passed to the optimizer "together with their associated
+/// transformation skeletons and some (optional) parameter constraints").
+/// Configurations violating any constraint evaluate to `None` without
+/// touching the inner objective function — the optimizer discards them.
+pub struct ConstrainedEvaluator<'a> {
+    inner: &'a dyn Evaluator,
+    constraints: Vec<Box<dyn Fn(&Config) -> bool + Sync + 'a>>,
+    rejections: AtomicU64,
+}
+
+impl<'a> ConstrainedEvaluator<'a> {
+    /// Wrap `inner` with no constraints (add them with
+    /// [`with`](Self::with)).
+    pub fn new(inner: &'a dyn Evaluator) -> Self {
+        ConstrainedEvaluator { inner, constraints: Vec::new(), rejections: AtomicU64::new(0) }
+    }
+
+    /// Add a constraint predicate (`true` = feasible).
+    pub fn with(mut self, constraint: impl Fn(&Config) -> bool + Sync + 'a) -> Self {
+        self.constraints.push(Box::new(constraint));
+        self
+    }
+
+    /// Configurations rejected by constraints so far.
+    pub fn rejections(&self) -> u64 {
+        self.rejections.load(Ordering::Relaxed)
+    }
+}
+
+impl Evaluator for ConstrainedEvaluator<'_> {
+    fn num_objectives(&self) -> usize {
+        self.inner.num_objectives()
+    }
+
+    fn evaluate(&self, cfg: &Config) -> Option<ObjVec> {
+        if self.constraints.iter().any(|c| !c(cfg)) {
+            self.rejections.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.inner.evaluate(cfg)
+    }
+}
+
+/// Batch evaluation helper.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEval {
+    /// Number of evaluation threads (1 = sequential). Mirrors the paper's
+    /// parallel generation/compilation/evaluation of configurations.
+    pub parallelism: usize,
+}
+
+impl Default for BatchEval {
+    fn default() -> Self {
+        BatchEval { parallelism: 1 }
+    }
+}
+
+impl BatchEval {
+    /// Sequential evaluation.
+    pub fn sequential() -> Self {
+        BatchEval { parallelism: 1 }
+    }
+
+    /// Evaluate with up to `n` parallel threads.
+    pub fn parallel(n: usize) -> Self {
+        BatchEval { parallelism: n.max(1) }
+    }
+
+    /// Evaluate all configurations, preserving order.
+    pub fn run(&self, ev: &dyn Evaluator, configs: &[Config]) -> Vec<Option<ObjVec>> {
+        if self.parallelism <= 1 || configs.len() <= 1 {
+            return configs.iter().map(|c| ev.evaluate(c)).collect();
+        }
+        let results: Vec<Mutex<Option<Option<ObjVec>>>> =
+            configs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.parallelism.min(configs.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if i >= configs.len() {
+                        break;
+                    }
+                    let r = ev.evaluate(&configs[i]);
+                    *results[i].lock() = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("evaluation slot not filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere() -> (usize, impl Fn(&Config) -> Option<ObjVec> + Sync) {
+        (2, |cfg: &Config| {
+            let x = cfg[0] as f64;
+            Some(vec![x * x, (x - 4.0) * (x - 4.0)])
+        })
+    }
+
+    #[test]
+    fn closure_evaluator_works() {
+        let ev = sphere();
+        assert_eq!(ev.num_objectives(), 2);
+        assert_eq!(ev.evaluate(&vec![2]), Some(vec![4.0, 4.0]));
+    }
+
+    #[test]
+    fn caching_counts_distinct_only() {
+        let ev = sphere();
+        let cached = CachingEvaluator::new(&ev);
+        cached.evaluate(&vec![1]);
+        cached.evaluate(&vec![1]);
+        cached.evaluate(&vec![2]);
+        assert_eq!(cached.evaluations(), 2);
+    }
+
+    #[test]
+    fn caching_preserves_none() {
+        let ev = (1usize, |cfg: &Config| {
+            if cfg[0] < 0 {
+                None
+            } else {
+                Some(vec![cfg[0] as f64])
+            }
+        });
+        let cached = CachingEvaluator::new(&ev);
+        assert_eq!(cached.evaluate(&vec![-1]), None);
+        assert_eq!(cached.evaluate(&vec![-1]), None);
+        assert_eq!(cached.evaluations(), 1);
+    }
+
+    #[test]
+    fn constraints_reject_without_inner_evaluation() {
+        let calls = AtomicU64::new(0);
+        let ev = (1usize, |cfg: &Config| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Some(vec![cfg[0] as f64])
+        });
+        let constrained = ConstrainedEvaluator::new(&ev)
+            .with(|cfg| cfg[0] % 2 == 0)
+            .with(|cfg| cfg[0] <= 10);
+        assert_eq!(constrained.evaluate(&vec![4]), Some(vec![4.0]));
+        assert_eq!(constrained.evaluate(&vec![5]), None, "odd rejected");
+        assert_eq!(constrained.evaluate(&vec![12]), None, "too large rejected");
+        assert_eq!(constrained.rejections(), 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "inner called only when feasible");
+        assert_eq!(constrained.num_objectives(), 1);
+    }
+
+    #[test]
+    fn batch_preserves_order() {
+        let ev = sphere();
+        let configs: Vec<Config> = (0..50).map(|i| vec![i]).collect();
+        let seq = BatchEval::sequential().run(&ev, &configs);
+        let par = BatchEval::parallel(8).run(&ev, &configs);
+        assert_eq!(seq, par);
+        assert_eq!(seq[3], Some(vec![9.0, 1.0]));
+    }
+
+    #[test]
+    fn batch_parallel_with_caching() {
+        let ev = sphere();
+        let cached = CachingEvaluator::new(&ev);
+        let configs: Vec<Config> = (0..32).map(|i| vec![i % 8]).collect();
+        let out = BatchEval::parallel(4).run(&cached, &configs);
+        assert_eq!(out.len(), 32);
+        // Racy double-evaluation of the same key is possible but bounded by
+        // the number of distinct keys times threads; at minimum all 8
+        // distinct keys are counted.
+        assert!(cached.evaluations() >= 8);
+    }
+
+    #[test]
+    fn batch_empty() {
+        let ev = sphere();
+        assert!(BatchEval::parallel(4).run(&ev, &[]).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Brute-force grid search — the paper's strong baseline.
+//!
+//! "Exhaustively sampling the search space on a regular grid" (§V-B.1):
+//! every grid point is evaluated; the result keeps both the Pareto set and
+//! *all* evaluated points (the per-thread-count sweeps of Table II and the
+//! scatter plots of Fig. 8 need the full data).
+
+use crate::evaluate::{BatchEval, CachingEvaluator, Evaluator};
+use crate::pareto::{ParetoFront, Point};
+use crate::space::{Config, ParamSpace};
+
+/// Result of a brute-force sweep.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// Non-dominated subset of the sweep.
+    pub front: ParetoFront,
+    /// Every evaluated point (in grid order; infeasible points omitted).
+    pub all: Vec<Point>,
+    /// Number of evaluations performed.
+    pub evaluations: u64,
+}
+
+/// Sweep a regular grid with `steps` points per `Range` dimension (choice
+/// dimensions are enumerated fully).
+pub fn grid_search(
+    space: &ParamSpace,
+    evaluator: &dyn Evaluator,
+    batch: &BatchEval,
+    steps: usize,
+) -> GridResult {
+    grid_search_points(evaluator, batch, space.regular_grid(steps))
+}
+
+/// Sweep an explicit list of configurations (e.g. custom per-dimension
+/// axes).
+pub fn grid_search_points(
+    evaluator: &dyn Evaluator,
+    batch: &BatchEval,
+    configs: Vec<Config>,
+) -> GridResult {
+    let cached = CachingEvaluator::new(evaluator);
+    let mut front = ParetoFront::new();
+    let mut all = Vec::with_capacity(configs.len());
+    const CHUNK: usize = 512;
+    for chunk in configs.chunks(CHUNK) {
+        let objs = batch.run(&cached, chunk);
+        for (cfg, obj) in chunk.iter().zip(objs) {
+            if let Some(o) = obj {
+                let p = Point::new(cfg.clone(), o);
+                front.insert(p.clone());
+                all.push(p);
+            }
+        }
+    }
+    GridResult { front, all, evaluations: cached.evaluations() }
+}
+
+/// Cartesian product of explicit per-dimension axes.
+pub fn cartesian_axes(axes: &[Vec<i64>]) -> Vec<Config> {
+    let mut out: Vec<Config> = vec![Vec::new()];
+    for axis in axes {
+        let mut next = Vec::with_capacity(out.len() * axis.len());
+        for prefix in &out {
+            for &v in axis {
+                let mut c = prefix.clone();
+                c.push(v);
+                next.push(c);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::ObjVec;
+    use crate::space::Domain;
+
+    fn problem() -> (ParamSpace, (usize, impl Fn(&Config) -> Option<ObjVec> + Sync)) {
+        let space = ParamSpace::new(
+            vec!["x".into(), "t".into()],
+            vec![Domain::Range { lo: 0, hi: 100 }, Domain::Choice(vec![1, 2, 4])],
+        );
+        let ev = (2usize, |cfg: &Config| {
+            let x = cfg[0] as f64;
+            let t = cfg[1] as f64;
+            Some(vec![(x - 30.0).abs() / t, t])
+        });
+        (space, ev)
+    }
+
+    #[test]
+    fn sweeps_whole_grid() {
+        let (space, ev) = problem();
+        let r = grid_search(&space, &ev, &BatchEval::sequential(), 11);
+        assert_eq!(r.evaluations, 11 * 3);
+        assert_eq!(r.all.len(), 33);
+        assert!(!r.front.is_empty());
+    }
+
+    #[test]
+    fn front_contains_known_optimum() {
+        let (space, ev) = problem();
+        let r = grid_search(&space, &ev, &BatchEval::sequential(), 101);
+        // (x=30, t=1) achieves (0, 1): dominates everything with t=1.
+        assert!(r
+            .front
+            .points()
+            .iter()
+            .any(|p| p.config == vec![30, 1] && p.objectives[0] == 0.0));
+    }
+
+    #[test]
+    fn explicit_axes() {
+        let axes = vec![vec![1, 2], vec![10, 20, 30]];
+        let pts = cartesian_axes(&axes);
+        assert_eq!(pts.len(), 6);
+        assert!(pts.contains(&vec![2, 10]));
+        let ev = (1usize, |cfg: &Config| Some(vec![(cfg[0] * cfg[1]) as f64]));
+        let r = grid_search_points(&ev, &BatchEval::parallel(2), pts);
+        assert_eq!(r.evaluations, 6);
+        assert_eq!(r.front.len(), 1);
+        assert_eq!(r.front.points()[0].config, vec![1, 10]);
+    }
+
+    #[test]
+    fn infeasible_points_skipped() {
+        let space = ParamSpace::new(vec!["x".into()], vec![Domain::Range { lo: 0, hi: 9 }]);
+        let ev = (1usize, |cfg: &Config| {
+            if cfg[0] % 2 == 0 {
+                None
+            } else {
+                Some(vec![cfg[0] as f64])
+            }
+        });
+        let r = grid_search(&space, &ev, &BatchEval::sequential(), 10);
+        assert_eq!(r.evaluations, 10);
+        assert_eq!(r.all.len(), 5);
+        assert_eq!(r.front.points()[0].config, vec![1]);
+    }
+}

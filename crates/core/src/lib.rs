@@ -1,0 +1,55 @@
+//! `moat-core` — the multi-objective auto-tuning core.
+//!
+//! This crate implements the paper's primary contribution: a generic
+//! multi-objective optimizer for compiler configuration spaces, built from
+//!
+//! * [`space`] — uniform modeling of all tuning options (tile sizes, thread
+//!   counts, flags, skeleton selectors) as integer configuration vectors,
+//! * [`pareto`] — dominance, Pareto archives, fast non-dominated sorting
+//!   and crowding distances,
+//! * [`gde3`] — Generalized Differential Evolution 3 (the paper's search
+//!   engine, Algorithm 1 with `CR = F = 0.5`, population 30),
+//! * [`roughset`] — the Rough-Set-inspired search-space reduction (Fig. 5):
+//!   the largest hyper-rectangle bounded by dominated neighbours that
+//!   encloses all non-dominated solutions,
+//! * [`rsgde3`] — the combined RS-GDE3 driver (Fig. 4): GDE3 generations
+//!   inside a gradually updated reduced search space, stopping after three
+//!   non-improving iterations,
+//! * [`random`] and [`grid`] — the paper's comparison baselines (random
+//!   search and brute-force grid search), plus [`nsga2`] as an additional
+//!   evolutionary baseline,
+//! * [`metrics`] — the evaluation metrics of Table VI: evaluation count
+//!   `E`, solution count `|S|` and hypervolume `V(S)`, plus IGD and
+//!   additive epsilon, and
+//! * [`evaluate`] — objective-function plumbing: counting, caching and
+//!   parallel batch evaluation (paper §III-A, label 3).
+//!
+//! The optimizer is deliberately independent of what the parameters *mean*
+//! (paper §III-B: "de facto independent of the actual interpretation of the
+//! tuned parameters"); binding to loop transformations happens in the
+//! `moat` facade crate.
+
+#![warn(missing_docs)]
+
+pub mod evaluate;
+pub mod gde3;
+pub mod grid;
+pub mod metrics;
+pub mod nsga2;
+pub mod pareto;
+pub mod random;
+pub mod roughset;
+pub mod rsgde3;
+pub mod space;
+pub mod wsum;
+
+pub use evaluate::{BatchEval, CachingEvaluator, ConstrainedEvaluator, Evaluator, ObjVec};
+pub use gde3::{Gde3, Gde3Params};
+pub use grid::{grid_search, GridResult};
+pub use metrics::{additive_epsilon, hypervolume, hypervolume_2d, igd, normalize_front};
+pub use pareto::{crowding_distances, dominates, fast_nondominated_sort, ParetoFront, Point};
+pub use random::random_search;
+pub use roughset::reduce_search_space;
+pub use rsgde3::{FrontSignature, RsGde3, RsGde3Params, TuningResult};
+pub use space::{Config, Domain, ParamSpace};
+pub use wsum::{weighted_sweep, WeightedSweepParams};

@@ -1,0 +1,263 @@
+//! Quality metrics for solution sets (paper §V-B.3).
+//!
+//! * `E` — evaluation count (tracked by
+//!   [`crate::evaluate::CachingEvaluator`]),
+//! * `|S|` — [`crate::pareto::ParetoFront::len`],
+//! * `V(S)` — the normalized **hypervolume** in `[0, 1]`: the fraction of
+//!   the normalized objective box dominated by the front; 1 would mean the
+//!   (unattainable) ideal point. Exact sweep in 2-D, recursive slicing for
+//!   `m > 2`.
+//! * **IGD** and **additive epsilon** as additional set-quality indicators.
+
+use crate::pareto::Point;
+
+/// Normalize objective vectors into `[0, 1]^m` given the ideal (component
+/// minima) and nadir (component maxima) points. Values are clamped; a
+/// degenerate dimension (ideal == nadir) maps to 0.
+pub fn normalize_front(points: &[Point], ideal: &[f64], nadir: &[f64]) -> Vec<Vec<f64>> {
+    points
+        .iter()
+        .map(|p| {
+            p.objectives
+                .iter()
+                .enumerate()
+                .map(|(k, &x)| {
+                    let span = nadir[k] - ideal[k];
+                    if span > 0.0 {
+                        ((x - ideal[k]) / span).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Component-wise minima and maxima over a set of points.
+pub fn objective_bounds(points: &[Point]) -> (Vec<f64>, Vec<f64>) {
+    assert!(!points.is_empty());
+    let m = points[0].objectives.len();
+    let mut ideal = vec![f64::INFINITY; m];
+    let mut nadir = vec![f64::NEG_INFINITY; m];
+    for p in points {
+        for k in 0..m {
+            ideal[k] = ideal[k].min(p.objectives[k]);
+            nadir[k] = nadir[k].max(p.objectives[k]);
+        }
+    }
+    (ideal, nadir)
+}
+
+/// Exact 2-d hypervolume of normalized (minimization) points w.r.t. the
+/// reference point `(1, 1)`: the area dominated by the front inside the
+/// unit square.
+pub fn hypervolume_2d(normalized: &[Vec<f64>]) -> f64 {
+    if normalized.is_empty() {
+        return 0.0;
+    }
+    let mut pts: Vec<(f64, f64)> = normalized
+        .iter()
+        .map(|p| {
+            assert_eq!(p.len(), 2, "hypervolume_2d requires two objectives");
+            (p[0].clamp(0.0, 1.0), p[1].clamp(0.0, 1.0))
+        })
+        .collect();
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("NaN objective"));
+    let mut hv = 0.0;
+    let mut prev_y = 1.0;
+    for (x, y) in pts {
+        if y < prev_y {
+            hv += (1.0 - x) * (prev_y - y);
+            prev_y = y;
+        }
+    }
+    hv
+}
+
+/// Hypervolume of normalized minimization points w.r.t. the all-ones
+/// reference point, for any number of objectives (recursive slicing on the
+/// last objective; exact).
+pub fn hypervolume(normalized: &[Vec<f64>]) -> f64 {
+    if normalized.is_empty() {
+        return 0.0;
+    }
+    let m = normalized[0].len();
+    assert!(m >= 1);
+    if m == 2 {
+        return hypervolume_2d(normalized);
+    }
+    let clamped: Vec<Vec<f64>> = normalized
+        .iter()
+        .map(|p| p.iter().map(|&x| x.clamp(0.0, 1.0)).collect())
+        .collect();
+    hv_rec(&clamped)
+}
+
+fn hv_rec(pts: &[Vec<f64>]) -> f64 {
+    let m = pts[0].len();
+    if m == 1 {
+        let min = pts.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
+        return (1.0 - min).max(0.0);
+    }
+    if m == 2 {
+        return hypervolume_2d(pts);
+    }
+    // Slice along the last objective.
+    let mut order: Vec<usize> = (0..pts.len()).collect();
+    order.sort_by(|&a, &b| pts[a][m - 1].partial_cmp(&pts[b][m - 1]).expect("NaN"));
+    let mut hv = 0.0;
+    let mut active: Vec<Vec<f64>> = Vec::new();
+    for (w, &i) in order.iter().enumerate() {
+        active.push(pts[i][..m - 1].to_vec());
+        let z = pts[i][m - 1];
+        let z_next = if w + 1 < order.len() { pts[order[w + 1]][m - 1] } else { 1.0 };
+        let thickness = z_next - z;
+        if thickness > 0.0 {
+            hv += thickness * hv_rec(&active);
+        }
+    }
+    hv
+}
+
+/// Inverted generational distance: mean Euclidean distance from each
+/// reference-front point to its nearest point of `front` (both in raw
+/// objective space). Lower is better; 0 means the reference is covered.
+pub fn igd(front: &[Point], reference: &[Point]) -> f64 {
+    assert!(!reference.is_empty());
+    let total: f64 = reference
+        .iter()
+        .map(|r| {
+            front
+                .iter()
+                .map(|p| {
+                    p.objectives
+                        .iter()
+                        .zip(&r.objectives)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    total / reference.len() as f64
+}
+
+/// Additive epsilon indicator: the smallest `ε` such that every reference
+/// point is weakly dominated by some front point shifted by `ε` (raw
+/// objective space). Lower is better; ≤ 0 means the front covers the
+/// reference.
+pub fn additive_epsilon(front: &[Point], reference: &[Point]) -> f64 {
+    assert!(!front.is_empty() && !reference.is_empty());
+    reference
+        .iter()
+        .map(|r| {
+            front
+                .iter()
+                .map(|p| {
+                    p.objectives
+                        .iter()
+                        .zip(&r.objectives)
+                        .map(|(a, b)| a - b)
+                        .fold(f64::NEG_INFINITY, f64::max)
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(objs: &[f64]) -> Point {
+        Point::new(vec![], objs.to_vec())
+    }
+
+    #[test]
+    fn normalize_and_bounds() {
+        let pts = vec![p(&[10.0, 100.0]), p(&[20.0, 50.0])];
+        let (ideal, nadir) = objective_bounds(&pts);
+        assert_eq!(ideal, vec![10.0, 50.0]);
+        assert_eq!(nadir, vec![20.0, 100.0]);
+        let norm = normalize_front(&pts, &ideal, &nadir);
+        assert_eq!(norm[0], vec![0.0, 1.0]);
+        assert_eq!(norm[1], vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn hv2d_single_point() {
+        // Point (0.25, 0.25) dominates a 0.75 × 0.75 box.
+        assert!((hypervolume_2d(&[vec![0.25, 0.25]]) - 0.5625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv2d_ideal_and_nadir() {
+        assert_eq!(hypervolume_2d(&[vec![0.0, 0.0]]), 1.0);
+        assert_eq!(hypervolume_2d(&[vec![1.0, 1.0]]), 0.0);
+        assert_eq!(hypervolume_2d(&[]), 0.0);
+    }
+
+    #[test]
+    fn hv2d_two_points_union() {
+        // (0.2, 0.6) and (0.6, 0.2): union = 0.8*0.4 + 0.4*(0.8-0.4)
+        let hv = hypervolume_2d(&[vec![0.2, 0.6], vec![0.6, 0.2]]);
+        assert!((hv - (0.8 * 0.4 + 0.4 * 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv2d_dominated_point_adds_nothing() {
+        let a = hypervolume_2d(&[vec![0.2, 0.2]]);
+        let b = hypervolume_2d(&[vec![0.2, 0.2], vec![0.5, 0.5]]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv2d_monotone_under_additions() {
+        let base = hypervolume_2d(&[vec![0.3, 0.6], vec![0.6, 0.3]]);
+        let more = hypervolume_2d(&[vec![0.3, 0.6], vec![0.6, 0.3], vec![0.1, 0.9]]);
+        assert!(more >= base);
+    }
+
+    #[test]
+    fn hv3d_matches_manual() {
+        // Single point (0.5, 0.5, 0.5) → volume 0.125.
+        assert!((hypervolume(&[vec![0.5; 3]]) - 0.125).abs() < 1e-12);
+        // Two comparable points: dominated one adds nothing.
+        let hv = hypervolume(&[vec![0.5; 3], vec![0.75; 3]]);
+        assert!((hv - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv3d_union_of_two() {
+        // (0,0.5,0.5) and (0.5,0,0.5) both with z-extent 0.5:
+        // slice area = union of two rectangles = 0.5*1... compute:
+        // area2d of {(0,0.5),(0.5,0)} = 1*0.5 + 0.5*0.5 = 0.75; × 0.5 depth.
+        let hv = hypervolume(&[vec![0.0, 0.5, 0.5], vec![0.5, 0.0, 0.5]]);
+        assert!((hv - 0.375).abs() < 1e-12, "{hv}");
+    }
+
+    #[test]
+    fn hv_reduces_to_2d() {
+        let pts = vec![vec![0.2, 0.6], vec![0.6, 0.2]];
+        assert!((hypervolume(&pts) - hypervolume_2d(&pts)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn igd_zero_when_covering() {
+        let f = vec![p(&[1.0, 2.0]), p(&[2.0, 1.0])];
+        assert_eq!(igd(&f, &f), 0.0);
+        let far = vec![p(&[5.0, 5.0])];
+        assert!(igd(&far, &f) > 0.0);
+    }
+
+    #[test]
+    fn epsilon_indicator() {
+        let reference = vec![p(&[1.0, 1.0])];
+        let front = vec![p(&[1.5, 1.2])];
+        // Needs to shift by 0.5 to weakly dominate the reference.
+        assert!((additive_epsilon(&front, &reference) - 0.5).abs() < 1e-12);
+        assert!(additive_epsilon(&reference, &reference) <= 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Pareto dominance, archives, non-dominated sorting and crowding.
+//!
+//! All objectives are minimized. A configuration dominates another if it is
+//! no worse in every objective and strictly better in at least one (the
+//! standard definition used by the paper's formalization in §III-B.1).
+
+use crate::space::Config;
+use serde::{Deserialize, Serialize};
+
+/// An evaluated point: configuration plus objective vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// The configuration.
+    pub config: Config,
+    /// Its objective values (all minimized).
+    pub objectives: Vec<f64>,
+}
+
+impl Point {
+    /// Create a point.
+    pub fn new(config: Config, objectives: Vec<f64>) -> Self {
+        Point { config, objectives }
+    }
+}
+
+/// True if `a` dominates `b`: `a ≤ b` component-wise with at least one
+/// strict improvement.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective arity mismatch");
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// A Pareto archive: maintains the non-dominated subset of all inserted
+/// points.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParetoFront {
+    points: Vec<Point>,
+}
+
+impl ParetoFront {
+    /// Empty front.
+    pub fn new() -> Self {
+        ParetoFront { points: Vec::new() }
+    }
+
+    /// Build a front from arbitrary points (dominated ones are dropped).
+    pub fn from_points(points: impl IntoIterator<Item = Point>) -> Self {
+        let mut f = ParetoFront::new();
+        for p in points {
+            f.insert(p);
+        }
+        f
+    }
+
+    /// Insert a point; returns `true` if it was accepted (non-dominated).
+    /// Dominated incumbents are removed; duplicate objective vectors are
+    /// kept only once.
+    pub fn insert(&mut self, p: Point) -> bool {
+        for q in &self.points {
+            if dominates(&q.objectives, &p.objectives) || q.objectives == p.objectives {
+                return false;
+            }
+        }
+        self.points.retain(|q| !dominates(&p.objectives, &q.objectives));
+        self.points.push(p);
+        true
+    }
+
+    /// The non-dominated points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// `|S|` — number of solutions.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points sorted by the given objective.
+    pub fn sorted_by(&self, objective: usize) -> Vec<&Point> {
+        let mut v: Vec<&Point> = self.points.iter().collect();
+        v.sort_by(|a, b| {
+            a.objectives[objective]
+                .partial_cmp(&b.objectives[objective])
+                .expect("NaN objective")
+        });
+        v
+    }
+
+    /// Merge another front into this one.
+    pub fn merge(&mut self, other: &ParetoFront) {
+        for p in &other.points {
+            self.insert(p.clone());
+        }
+    }
+}
+
+/// Fast non-dominated sorting (Deb et al.): partition `points` into fronts
+/// `F0, F1, …` where `F0` is non-dominated, `F1` is non-dominated after
+/// removing `F0`, etc. Returns indices into `points`.
+pub fn fast_nondominated_sort(points: &[Point]) -> Vec<Vec<usize>> {
+    let n = points.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
+    let mut dom_count = vec![0usize; n]; // how many dominate i
+    for i in 0..n {
+        for j in i + 1..n {
+            if dominates(&points[i].objectives, &points[j].objectives) {
+                dominated_by[i].push(j);
+                dom_count[j] += 1;
+            } else if dominates(&points[j].objectives, &points[i].objectives) {
+                dominated_by[j].push(i);
+                dom_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| dom_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                dom_count[j] -= 1;
+                if dom_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+    }
+    fronts
+}
+
+/// Crowding distance of each point within one front (Deb et al.): boundary
+/// points get `f64::INFINITY`, interior points the normalized perimeter of
+/// the cuboid spanned by their neighbours.
+pub fn crowding_distances(points: &[Point], front: &[usize]) -> Vec<f64> {
+    let mut dist = vec![0.0f64; front.len()];
+    if front.len() <= 2 {
+        return vec![f64::INFINITY; front.len()];
+    }
+    let m = points[front[0]].objectives.len();
+    for obj in 0..m {
+        let mut order: Vec<usize> = (0..front.len()).collect();
+        order.sort_by(|&a, &b| {
+            points[front[a]].objectives[obj]
+                .partial_cmp(&points[front[b]].objectives[obj])
+                .expect("NaN objective")
+        });
+        let lo = points[front[order[0]]].objectives[obj];
+        let hi = points[front[*order.last().unwrap()]].objectives[obj];
+        dist[order[0]] = f64::INFINITY;
+        dist[*order.last().unwrap()] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..order.len() - 1 {
+            let prev = points[front[order[w - 1]]].objectives[obj];
+            let next = points[front[order[w + 1]]].objectives[obj];
+            dist[order[w]] += (next - prev) / span;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(objs: &[f64]) -> Point {
+        Point::new(vec![0], objs.to_vec())
+    }
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 2.0], &[2.0, 1.0]), "incomparable");
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]), "equal does not dominate");
+    }
+
+    #[test]
+    fn front_keeps_nondominated_only() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(p(&[5.0, 5.0])));
+        assert!(f.insert(p(&[3.0, 7.0])));
+        assert!(f.insert(p(&[7.0, 3.0])));
+        assert_eq!(f.len(), 3);
+        // Dominated insert rejected.
+        assert!(!f.insert(p(&[6.0, 6.0])));
+        assert_eq!(f.len(), 3);
+        // Dominating insert evicts.
+        assert!(f.insert(p(&[1.0, 1.0])));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn front_rejects_duplicates() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(p(&[1.0, 2.0])));
+        assert!(!f.insert(p(&[1.0, 2.0])));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn front_pairwise_nondominated_invariant() {
+        let mut f = ParetoFront::new();
+        let pts = [
+            [4.0, 4.0],
+            [2.0, 6.0],
+            [6.0, 2.0],
+            [1.0, 9.0],
+            [3.0, 5.0],
+            [5.0, 5.0],
+            [2.5, 5.5],
+        ];
+        for q in pts {
+            f.insert(p(&q));
+        }
+        for a in f.points() {
+            for b in f.points() {
+                assert!(!dominates(&a.objectives, &b.objectives));
+            }
+        }
+    }
+
+    #[test]
+    fn sort_produces_layered_fronts() {
+        let pts = vec![
+            p(&[1.0, 4.0]), // F0
+            p(&[4.0, 1.0]), // F0
+            p(&[2.0, 5.0]), // F1 (dominated by [1,4])
+            p(&[5.0, 2.0]), // F1
+            p(&[6.0, 6.0]), // F2
+        ];
+        let fronts = fast_nondominated_sort(&pts);
+        assert_eq!(fronts.len(), 3);
+        assert_eq!(fronts[0], vec![0, 1]);
+        let mut f1 = fronts[1].clone();
+        f1.sort();
+        assert_eq!(f1, vec![2, 3]);
+        assert_eq!(fronts[2], vec![4]);
+    }
+
+    #[test]
+    fn sort_handles_empty_and_single() {
+        assert!(fast_nondominated_sort(&[]).is_empty());
+        let fronts = fast_nondominated_sort(&[p(&[1.0, 1.0])]);
+        assert_eq!(fronts, vec![vec![0]]);
+    }
+
+    #[test]
+    fn crowding_boundary_infinite_interior_finite() {
+        let pts = vec![p(&[1.0, 5.0]), p(&[2.0, 4.0]), p(&[3.0, 3.0]), p(&[5.0, 1.0])];
+        let front: Vec<usize> = (0..4).collect();
+        let d = crowding_distances(&pts, &front);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite());
+        // The middle point with wider gaps is less crowded.
+        assert!(d[2] > d[1]);
+    }
+
+    #[test]
+    fn crowding_small_fronts_infinite() {
+        let pts = vec![p(&[1.0, 2.0]), p(&[2.0, 1.0])];
+        let d = crowding_distances(&pts, &[0, 1]);
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn merge_fronts() {
+        let mut a = ParetoFront::from_points(vec![p(&[1.0, 5.0]), p(&[5.0, 1.0])]);
+        let b = ParetoFront::from_points(vec![p(&[0.5, 6.0]), p(&[2.0, 2.0])]);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+    }
+}

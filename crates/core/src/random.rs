@@ -1,0 +1,122 @@
+//! Random search — the paper's weak baseline (§V-B.3).
+//!
+//! Generates uniformly random configurations, evaluates them, and returns
+//! the non-dominated subset. The paper grants it the same evaluation budget
+//! as RS-GDE3; it is "very far off the quality achieved by the other
+//! techniques" (Fig. 9) — a comparison the harness reproduces.
+
+use crate::evaluate::{BatchEval, CachingEvaluator, Evaluator};
+use crate::metrics::{hypervolume, normalize_front, objective_bounds};
+use crate::pareto::{ParetoFront, Point};
+use crate::rsgde3::TuningResult;
+use crate::space::{Config, ParamSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run random search with a budget of `budget` evaluations.
+pub fn random_search(
+    space: &ParamSpace,
+    evaluator: &dyn Evaluator,
+    batch: &BatchEval,
+    budget: u64,
+    seed: u64,
+) -> TuningResult {
+    let cached = CachingEvaluator::new(evaluator);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut archive = ParetoFront::new();
+    let mut all_points = Vec::new();
+
+    const CHUNK: usize = 64;
+    while cached.evaluations() < budget {
+        let want = ((budget - cached.evaluations()) as usize).min(CHUNK);
+        let configs: Vec<Config> = (0..want).map(|_| space.sample(&mut rng)).collect();
+        let objs = batch.run(&cached, &configs);
+        for (cfg, obj) in configs.into_iter().zip(objs) {
+            if let Some(o) = obj {
+                let p = Point::new(cfg, o);
+                all_points.push(p.clone());
+                archive.insert(p);
+            }
+        }
+        // Duplicate samples are served from the cache and do not increase
+        // the count; in a pathological tiny space this could loop forever,
+        // so bail out once the space is exhausted.
+        if cached.evaluations() >= space.size() {
+            break;
+        }
+    }
+
+    let hv = if all_points.is_empty() {
+        0.0
+    } else {
+        let (ideal, nadir) = objective_bounds(&all_points);
+        hypervolume(&normalize_front(archive.points(), &ideal, &nadir))
+    };
+    TuningResult {
+        front: archive,
+        evaluations: cached.evaluations(),
+        generations: 0,
+        hv_history: vec![hv],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::ObjVec;
+    use crate::space::Domain;
+
+    fn problem() -> (ParamSpace, (usize, impl Fn(&Config) -> Option<ObjVec> + Sync)) {
+        let space = ParamSpace::new(
+            vec!["x".into()],
+            vec![Domain::Range { lo: -1000, hi: 1000 }],
+        );
+        let ev = (2usize, |cfg: &Config| {
+            let x = cfg[0] as f64;
+            Some(vec![x * x, (x - 100.0) * (x - 100.0)])
+        });
+        (space, ev)
+    }
+
+    #[test]
+    fn respects_budget() {
+        let (space, ev) = problem();
+        let r = random_search(&space, &ev, &BatchEval::sequential(), 100, 1);
+        assert_eq!(r.evaluations, 100);
+        assert!(!r.front.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (space, ev) = problem();
+        let a = random_search(&space, &ev, &BatchEval::sequential(), 50, 9);
+        let b = random_search(&space, &ev, &BatchEval::sequential(), 50, 9);
+        assert_eq!(a.front.points(), b.front.points());
+    }
+
+    #[test]
+    fn exhausts_tiny_space_without_hanging() {
+        let space = ParamSpace::new(vec!["x".into()], vec![Domain::Range { lo: 0, hi: 4 }]);
+        let ev = (1usize, |cfg: &Config| Some(vec![cfg[0] as f64]));
+        let r = random_search(&space, &ev, &BatchEval::sequential(), 1000, 2);
+        assert!(r.evaluations <= 5);
+        assert_eq!(r.front.len(), 1);
+        assert_eq!(r.front.points()[0].config, vec![0]);
+    }
+
+    #[test]
+    fn front_improves_with_budget_on_average() {
+        let (space, ev) = problem();
+        let small = random_search(&space, &ev, &BatchEval::sequential(), 10, 3);
+        let large = random_search(&space, &ev, &BatchEval::sequential(), 500, 3);
+        // More samples → at least as good best-x².
+        let best = |r: &TuningResult| {
+            r.front
+                .points()
+                .iter()
+                .map(|p| p.objectives[0])
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(best(&large) <= best(&small));
+    }
+}

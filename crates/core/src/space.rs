@@ -1,0 +1,291 @@
+//! Configuration spaces: uniform integer modeling of all tuning options.
+//!
+//! Following the paper (§III-B.1), every tuning option — tile sizes,
+//! unrolling factors, thread counts, flags enabling optional transformation
+//! parts, even the choice among alternative skeletons — is modeled
+//! uniformly as one integer dimension of a [`ParamSpace`]. A [`Config`] is
+//! a point in that space.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One point of the configuration space.
+pub type Config = Vec<i64>;
+
+/// Domain of one configuration dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Domain {
+    /// Integers `lo..=hi`.
+    Range {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Explicit ordered value list (e.g. admissible thread counts).
+    Choice(Vec<i64>),
+}
+
+impl Domain {
+    /// Number of admissible values.
+    pub fn size(&self) -> u64 {
+        match self {
+            Domain::Range { lo, hi } => (hi - lo + 1).max(0) as u64,
+            Domain::Choice(v) => v.len() as u64,
+        }
+    }
+
+    /// Smallest and largest admissible value.
+    pub fn extremes(&self) -> (i64, i64) {
+        match self {
+            Domain::Range { lo, hi } => (*lo, *hi),
+            Domain::Choice(v) => (
+                *v.iter().min().expect("empty choice domain"),
+                *v.iter().max().expect("empty choice domain"),
+            ),
+        }
+    }
+
+    /// True if `x` is admissible.
+    pub fn contains(&self, x: i64) -> bool {
+        match self {
+            Domain::Range { lo, hi } => (*lo..=*hi).contains(&x),
+            Domain::Choice(v) => v.contains(&x),
+        }
+    }
+
+    /// Admissible value nearest to `x` (ties resolved downwards).
+    pub fn nearest(&self, x: i64) -> i64 {
+        match self {
+            Domain::Range { lo, hi } => x.clamp(*lo, *hi),
+            Domain::Choice(v) => *v
+                .iter()
+                .min_by_key(|&&c| ((c - x).abs(), c))
+                .expect("empty choice domain"),
+        }
+    }
+
+    /// Uniform random admissible value.
+    pub fn sample(&self, rng: &mut impl Rng) -> i64 {
+        match self {
+            Domain::Range { lo, hi } => rng.random_range(*lo..=*hi),
+            Domain::Choice(v) => v[rng.random_range(0..v.len())],
+        }
+    }
+
+    /// Uniform random admissible value within `[lo, hi]` (intersected with
+    /// the domain; falls back to nearest if the intersection is empty).
+    pub fn sample_within(&self, lo: i64, hi: i64, rng: &mut impl Rng) -> i64 {
+        match self {
+            Domain::Range { lo: dlo, hi: dhi } => {
+                let l = lo.max(*dlo);
+                let h = hi.min(*dhi);
+                if l <= h {
+                    rng.random_range(l..=h)
+                } else {
+                    self.nearest((lo + hi) / 2)
+                }
+            }
+            Domain::Choice(v) => {
+                let feasible: Vec<i64> =
+                    v.iter().copied().filter(|c| (lo..=hi).contains(c)).collect();
+                if feasible.is_empty() {
+                    self.nearest((lo + hi) / 2)
+                } else {
+                    feasible[rng.random_range(0..feasible.len())]
+                }
+            }
+        }
+    }
+}
+
+/// A multi-dimensional configuration space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpace {
+    /// Dimension names (for reports).
+    pub names: Vec<String>,
+    /// Per-dimension domains.
+    pub domains: Vec<Domain>,
+}
+
+impl ParamSpace {
+    /// Create a space; panics if names and domains disagree in length.
+    pub fn new(names: Vec<String>, domains: Vec<Domain>) -> Self {
+        assert_eq!(names.len(), domains.len());
+        assert!(!domains.is_empty(), "empty configuration space");
+        ParamSpace { names, domains }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Cardinality of the full space.
+    pub fn size(&self) -> u64 {
+        self.domains.iter().map(|d| d.size()).product()
+    }
+
+    /// True if `cfg` has the right arity and every coordinate is admissible.
+    pub fn contains(&self, cfg: &[i64]) -> bool {
+        cfg.len() == self.dims() && self.domains.iter().zip(cfg).all(|(d, &x)| d.contains(x))
+    }
+
+    /// Project an arbitrary vector onto the nearest admissible config.
+    pub fn nearest(&self, cfg: &[i64]) -> Config {
+        assert_eq!(cfg.len(), self.dims());
+        self.domains.iter().zip(cfg).map(|(d, &x)| d.nearest(x)).collect()
+    }
+
+    /// Uniform random configuration.
+    pub fn sample(&self, rng: &mut impl Rng) -> Config {
+        self.domains.iter().map(|d| d.sample(rng)).collect()
+    }
+
+    /// Uniform random configuration within a per-dimension bounding box
+    /// (each box entry is `(lo, hi)` inclusive).
+    pub fn sample_within(&self, bbox: &[(i64, i64)], rng: &mut impl Rng) -> Config {
+        assert_eq!(bbox.len(), self.dims());
+        self.domains
+            .iter()
+            .zip(bbox)
+            .map(|(d, &(lo, hi))| d.sample_within(lo, hi, rng))
+            .collect()
+    }
+
+    /// The full-space bounding box.
+    pub fn full_box(&self) -> Vec<(i64, i64)> {
+        self.domains.iter().map(|d| d.extremes()).collect()
+    }
+
+    /// Regular grid over the space: each `Range` dimension is sampled at
+    /// `steps` (approximately) evenly spaced values, each `Choice`
+    /// dimension at all its values. This is the paper's *brute force*
+    /// sampling ("exhaustively sampling the search space on a regular
+    /// grid").
+    pub fn regular_grid(&self, steps: usize) -> Vec<Config> {
+        let axes: Vec<Vec<i64>> = self
+            .domains
+            .iter()
+            .map(|d| match d {
+                Domain::Choice(v) => v.clone(),
+                Domain::Range { lo, hi } => {
+                    let span = hi - lo;
+                    let steps = (steps.max(1) as i64).min(span + 1);
+                    let mut vals: Vec<i64> = (0..steps)
+                        .map(|s| lo + span * s / (steps - 1).max(1))
+                        .collect();
+                    vals.dedup();
+                    vals
+                }
+            })
+            .collect();
+        let mut out = vec![Vec::new()];
+        for axis in &axes {
+            let mut next = Vec::with_capacity(out.len() * axis.len());
+            for prefix in &out {
+                for &v in axis {
+                    let mut c = prefix.clone();
+                    c.push(v);
+                    next.push(c);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(
+            vec!["ti".into(), "tj".into(), "threads".into()],
+            vec![
+                Domain::Range { lo: 1, hi: 100 },
+                Domain::Range { lo: 1, hi: 100 },
+                Domain::Choice(vec![1, 5, 10, 20, 40]),
+            ],
+        )
+    }
+
+    #[test]
+    fn size_and_contains() {
+        let s = space();
+        assert_eq!(s.size(), 100 * 100 * 5);
+        assert!(s.contains(&[1, 100, 40]));
+        assert!(!s.contains(&[0, 100, 40]));
+        assert!(!s.contains(&[1, 100, 7]));
+        assert!(!s.contains(&[1, 100]));
+    }
+
+    #[test]
+    fn nearest_projects() {
+        let s = space();
+        assert_eq!(s.nearest(&[-5, 300, 12]), vec![1, 100, 10]);
+    }
+
+    #[test]
+    fn samples_admissible() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let c = s.sample(&mut rng);
+            assert!(s.contains(&c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn sample_within_respects_box() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        let bbox = vec![(10, 20), (50, 50), (5, 20)];
+        for _ in 0..200 {
+            let c = s.sample_within(&bbox, &mut rng);
+            assert!((10..=20).contains(&c[0]), "{c:?}");
+            assert_eq!(c[1], 50);
+            assert!([5, 10, 20].contains(&c[2]), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn sample_within_empty_intersection_falls_back() {
+        let d = Domain::Choice(vec![1, 5, 10]);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Box [6, 8] contains no choice value → nearest to 7 → 5.
+        assert_eq!(d.sample_within(6, 8, &mut rng), 5);
+    }
+
+    #[test]
+    fn regular_grid_shape() {
+        let s = space();
+        let grid = s.regular_grid(5);
+        // 5 × 5 × 5 (choice dimension enumerated fully).
+        assert_eq!(grid.len(), 125);
+        assert!(grid.iter().all(|c| s.contains(c)));
+        // Endpoints included.
+        assert!(grid.iter().any(|c| c[0] == 1));
+        assert!(grid.iter().any(|c| c[0] == 100));
+    }
+
+    #[test]
+    fn regular_grid_small_range_dedups() {
+        let s = ParamSpace::new(
+            vec!["x".into()],
+            vec![Domain::Range { lo: 1, hi: 3 }],
+        );
+        let grid = s.regular_grid(10);
+        assert_eq!(grid.len(), 3);
+    }
+
+    #[test]
+    fn domain_nearest_choice_tie() {
+        let d = Domain::Choice(vec![1, 5, 10, 20, 40]);
+        assert_eq!(d.nearest(3), 1); // tie 1/5 resolves downwards
+        assert_eq!(d.nearest(30), 20);
+    }
+}

@@ -1,0 +1,225 @@
+//! Weighted-sum scalarization baseline.
+//!
+//! The conventional way to handle multiple objectives with a
+//! single-objective tuner (as in the related work the paper contrasts
+//! with, e.g. Fursin et al., which "yields a single configuration instead
+//! of a full Pareto set"): fix a weight vector `w`, minimize
+//! `Σ w_c · f_c`, and repeat for several weight vectors to sketch a front.
+//! Its textbook weakness — points in non-convex front regions are
+//! unreachable for *any* weights, and evaluations are not shared between
+//! the sweeps — makes it a meaningful baseline for the ablation study.
+
+use crate::evaluate::{BatchEval, CachingEvaluator, Evaluator};
+use crate::pareto::{ParetoFront, Point};
+use crate::rsgde3::TuningResult;
+use crate::space::{Config, ParamSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for the weighted-sum sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedSweepParams {
+    /// Number of weight vectors, evenly spread over the simplex edge
+    /// `(w, 1-w)` for two objectives (interior spread for more).
+    pub num_weights: usize,
+    /// Population of each single-objective DE run.
+    pub pop_size: usize,
+    /// Generations per weight vector.
+    pub generations: u32,
+    /// Differential weight / crossover probability (DE/rand/1/bin).
+    pub f: f64,
+    /// Crossover probability.
+    pub cr: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WeightedSweepParams {
+    fn default() -> Self {
+        WeightedSweepParams {
+            num_weights: 10,
+            pop_size: 20,
+            generations: 15,
+            f: 0.5,
+            cr: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Run the sweep: one single-objective DE minimization per weight vector;
+/// the returned front is the non-dominated set of the per-weight winners.
+pub fn weighted_sweep(
+    space: &ParamSpace,
+    evaluator: &dyn Evaluator,
+    batch: &BatchEval,
+    params: WeightedSweepParams,
+) -> TuningResult {
+    let m = evaluator.num_objectives();
+    let cached = CachingEvaluator::new(evaluator);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Normalization bounds from an initial random sample (a scalarizing
+    // tuner needs *some* scale; this mirrors common practice).
+    let probe: Vec<Config> = (0..30).map(|_| space.sample(&mut rng)).collect();
+    let probe_objs: Vec<Vec<f64>> = batch
+        .run(&cached, &probe)
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(!probe_objs.is_empty(), "no feasible probe configuration");
+    let mut lo = vec![f64::INFINITY; m];
+    let mut hi = vec![f64::NEG_INFINITY; m];
+    for o in &probe_objs {
+        for c in 0..m {
+            lo[c] = lo[c].min(o[c]);
+            hi[c] = hi[c].max(o[c]);
+        }
+    }
+    let scalar = |objs: &[f64], w: &[f64]| -> f64 {
+        objs.iter()
+            .enumerate()
+            .map(|(c, &x)| {
+                let span = hi[c] - lo[c];
+                w[c] * if span > 0.0 { (x - lo[c]) / span } else { 0.0 }
+            })
+            .sum()
+    };
+
+    let mut winners: Vec<Point> = Vec::new();
+    for wi in 0..params.num_weights {
+        // Evenly spread weights; for m > 2 the remaining mass is split
+        // uniformly over the other objectives.
+        let t = if params.num_weights > 1 {
+            wi as f64 / (params.num_weights - 1) as f64
+        } else {
+            0.5
+        };
+        let mut w = vec![(1.0 - t) / (m as f64 - 1.0); m];
+        w[0] = t;
+
+        // Single-objective DE/rand/1/bin.
+        let init: Vec<Config> =
+            (0..params.pop_size).map(|_| space.sample(&mut rng)).collect();
+        let objs = batch.run(&cached, &init);
+        let mut pop: Vec<(Config, Vec<f64>, f64)> = init
+            .into_iter()
+            .zip(objs)
+            .filter_map(|(c, o)| o.map(|o| (c.clone(), o.clone(), scalar(&o, &w))))
+            .collect();
+        if pop.len() < 4 {
+            continue;
+        }
+        for _ in 0..params.generations {
+            let n = pop.len();
+            let trials: Vec<Config> = (0..n)
+                .map(|i| {
+                    let mut picks = [0usize; 3];
+                    let mut got = 0;
+                    while got < 3 {
+                        let cand = rng.random_range(0..n);
+                        if cand != i && !picks[..got].contains(&cand) {
+                            picks[got] = cand;
+                            got += 1;
+                        }
+                    }
+                    let dims = pop[i].0.len();
+                    let force = rng.random_range(0..dims);
+                    let cfg: Config = (0..dims)
+                        .map(|d| {
+                            if rng.random::<f64>() < params.cr || d == force {
+                                pop[picks[0]].0[d]
+                                    + (params.f
+                                        * (pop[picks[1]].0[d] - pop[picks[2]].0[d]) as f64)
+                                        .round() as i64
+                            } else {
+                                pop[i].0[d]
+                            }
+                        })
+                        .collect();
+                    space.nearest(&cfg)
+                })
+                .collect();
+            let objs = batch.run(&cached, &trials);
+            for i in 0..n {
+                if let Some(o) = &objs[i] {
+                    let s = scalar(o, &w);
+                    if s < pop[i].2 {
+                        pop[i] = (trials[i].clone(), o.clone(), s);
+                    }
+                }
+            }
+        }
+        if let Some(best) = pop
+            .into_iter()
+            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("NaN fitness"))
+        {
+            winners.push(Point::new(best.0, best.1));
+        }
+    }
+
+    TuningResult {
+        front: ParetoFront::from_points(winners),
+        evaluations: cached.evaluations(),
+        generations: params.generations * params.num_weights as u32,
+        hv_history: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::ObjVec;
+    use crate::space::Domain;
+
+    fn problem() -> (ParamSpace, (usize, impl Fn(&Config) -> Option<ObjVec> + Sync)) {
+        let space = ParamSpace::new(
+            vec!["x".into(), "y".into()],
+            vec![Domain::Range { lo: 0, hi: 100 }, Domain::Range { lo: 0, hi: 100 }],
+        );
+        let ev = (2usize, |cfg: &Config| {
+            let (x, y) = (cfg[0] as f64, cfg[1] as f64);
+            Some(vec![x + y, (x - 80.0).powi(2) + (y - 80.0).powi(2)])
+        });
+        (space, ev)
+    }
+
+    #[test]
+    fn finds_both_extremes() {
+        let (space, ev) = problem();
+        let r = weighted_sweep(&space, &ev, &BatchEval::sequential(), Default::default());
+        assert!(!r.front.is_empty());
+        let best0 = r
+            .front
+            .points()
+            .iter()
+            .map(|p| p.objectives[0])
+            .fold(f64::INFINITY, f64::min);
+        let best1 = r
+            .front
+            .points()
+            .iter()
+            .map(|p| p.objectives[1])
+            .fold(f64::INFINITY, f64::min);
+        assert!(best0 <= 20.0, "w=(1,0) sweep must find the cheap extreme: {best0}");
+        assert!(best1 <= 200.0, "w=(0,1) sweep must find the other extreme: {best1}");
+        assert!(r.evaluations > 0);
+    }
+
+    #[test]
+    fn front_is_at_most_num_weights() {
+        let (space, ev) = problem();
+        let params = WeightedSweepParams { num_weights: 6, ..Default::default() };
+        let r = weighted_sweep(&space, &ev, &BatchEval::sequential(), params);
+        assert!(r.front.len() <= 6, "one winner per weight at most: {}", r.front.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (space, ev) = problem();
+        let a = weighted_sweep(&space, &ev, &BatchEval::sequential(), Default::default());
+        let b = weighted_sweep(&space, &ev, &BatchEval::sequential(), Default::default());
+        assert_eq!(a.front.points(), b.front.points());
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+}

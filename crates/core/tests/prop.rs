@@ -1,0 +1,186 @@
+//! Property-based tests of the optimizer core: dominance laws, Pareto
+//! archive invariants, hypervolume properties, pruning, rough-set boxes and
+//! GDE3 trial generation.
+
+use moat_core::gde3::prune;
+use moat_core::pareto::{dominates, fast_nondominated_sort, ParetoFront, Point};
+use moat_core::roughset::reduce_search_space;
+use moat_core::{
+    hypervolume, hypervolume_2d, normalize_front, BatchEval, Domain, Gde3, Gde3Params,
+    ParamSpace,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn objs2() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, 2)
+}
+
+fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((objs2(), prop::collection::vec(0i64..50, 2)), n)
+        .prop_map(|v| v.into_iter().map(|(o, c)| Point::new(c, o)).collect())
+}
+
+proptest! {
+    /// Dominance is irreflexive and antisymmetric.
+    #[test]
+    fn dominance_laws(a in objs2(), b in objs2(), c in objs2()) {
+        prop_assert!(!dominates(&a, &a));
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+        // Transitivity.
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c));
+        }
+    }
+
+    /// The archive always holds a pairwise non-dominated set, and every
+    /// inserted point is either in the archive or dominated/duplicated by
+    /// an archive member.
+    #[test]
+    fn archive_invariants(pts in points(1..30)) {
+        let front = ParetoFront::from_points(pts.clone());
+        for a in front.points() {
+            for b in front.points() {
+                prop_assert!(!dominates(&a.objectives, &b.objectives));
+            }
+        }
+        for p in &pts {
+            let covered = front.points().iter().any(|q| {
+                q.objectives == p.objectives || dominates(&q.objectives, &p.objectives)
+            });
+            prop_assert!(covered, "point lost by the archive");
+        }
+        // Insertion order must not matter for the objective set.
+        let mut rev = pts.clone();
+        rev.reverse();
+        let front2 = ParetoFront::from_points(rev);
+        let mut a: Vec<Vec<u64>> = front.points().iter().map(|p| p.objectives.iter().map(|x| x.to_bits()).collect()).collect();
+        let mut b: Vec<Vec<u64>> = front2.points().iter().map(|p| p.objectives.iter().map(|x| x.to_bits()).collect()).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Non-dominated sorting partitions all points, and earlier fronts
+    /// never contain a point dominated by a later front's point.
+    #[test]
+    fn nds_partition(pts in points(0..25)) {
+        let fronts = fast_nondominated_sort(&pts);
+        let total: usize = fronts.iter().map(|f| f.len()).sum();
+        prop_assert_eq!(total, pts.len());
+        for (fi, front) in fronts.iter().enumerate() {
+            for &i in front {
+                for later in &fronts[fi..] {
+                    for &j in later {
+                        prop_assert!(
+                            !dominates(&pts[j].objectives, &pts[i].objectives),
+                            "front {fi} member dominated by a same/later-front point"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hypervolume is within [0, 1] on normalized inputs, monotone under
+    /// point additions, and zero only without dominating volume.
+    #[test]
+    fn hypervolume_properties(pts in prop::collection::vec(prop::collection::vec(0.0f64..=1.0, 2), 1..20), extra in prop::collection::vec(0.0f64..=1.0, 2)) {
+        let base = hypervolume_2d(&pts);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&base));
+        let mut more = pts.clone();
+        more.push(extra);
+        let bigger = hypervolume_2d(&more);
+        prop_assert!(bigger + 1e-12 >= base, "hv must be monotone: {bigger} < {base}");
+        // n-d implementation agrees with the 2-d sweep.
+        prop_assert!((hypervolume(&pts) - base).abs() < 1e-9);
+    }
+
+    /// Normalization maps into the unit box and preserves ordering per
+    /// dimension.
+    #[test]
+    fn normalize_properties(pts in points(2..15)) {
+        let (ideal, nadir) = moat_core::metrics::objective_bounds(&pts);
+        let norm = normalize_front(&pts, &ideal, &nadir);
+        for p in &norm {
+            for &x in p {
+                prop_assert!((0.0..=1.0).contains(&x));
+            }
+        }
+    }
+
+    /// Pruning keeps exactly `target` points (when enough are available)
+    /// and never discards a first-front point while keeping a later-front
+    /// one.
+    #[test]
+    fn prune_respects_ranks(pts in points(4..25), target in 2usize..10) {
+        let target = target.min(pts.len());
+        let kept = prune(pts.clone(), target);
+        prop_assert_eq!(kept.len(), target);
+        let fronts = fast_nondominated_sort(&pts);
+        let rank_of = |p: &Point| -> usize {
+            fronts
+                .iter()
+                .position(|f| f.iter().any(|&i| pts[i].objectives == p.objectives && pts[i].config == p.config))
+                .expect("pruned point not from input")
+        };
+        let max_kept_rank = kept.iter().map(|p| rank_of(p)).max().unwrap();
+        // Every front strictly better than the worst kept rank must be
+        // fully represented.
+        for (fi, front) in fronts.iter().enumerate() {
+            if fi < max_kept_rank {
+                for &i in front {
+                    prop_assert!(
+                        kept.iter().any(|p| p.config == pts[i].config && p.objectives == pts[i].objectives),
+                        "rank-{fi} point dropped while rank-{max_kept_rank} kept"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The rough-set box always contains every non-dominated configuration
+    /// and is contained in the full domain box.
+    #[test]
+    fn roughset_box_sound(pts in points(1..25)) {
+        let space = ParamSpace::new(
+            vec!["a".into(), "b".into()],
+            vec![Domain::Range { lo: 0, hi: 49 }, Domain::Range { lo: 0, hi: 49 }],
+        );
+        let bbox = reduce_search_space(&space, &pts);
+        let full = space.full_box();
+        for (dim, b) in bbox.iter().enumerate() {
+            prop_assert!(b.0 >= full[dim].0 && b.1 <= full[dim].1);
+            prop_assert!(b.0 <= b.1);
+        }
+        let fronts = fast_nondominated_sort(&pts);
+        if !fronts.is_empty() {
+            for &i in &fronts[0] {
+                for (dim, b) in bbox.iter().enumerate() {
+                    let x = pts[i].config[dim];
+                    prop_assert!(x >= b.0 && x <= b.1, "ND point escapes box");
+                }
+            }
+        }
+    }
+
+    /// GDE3 trials always lie inside both the box and the space.
+    #[test]
+    fn gde3_trials_feasible(seed in 0u64..500, lo in 0i64..20, span in 4i64..30) {
+        let space = ParamSpace::new(
+            vec!["x".into(), "y".into()],
+            vec![Domain::Range { lo: 0, hi: 60 }, Domain::Choice(vec![1, 2, 4, 8, 16])],
+        );
+        let gde3 = Gde3::new(space.clone(), Gde3Params::default());
+        let ev = (2usize, |cfg: &Vec<i64>| Some(vec![cfg[0] as f64, -(cfg[0] as f64)]));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bbox = vec![(lo, lo + span), (1, 16)];
+        let pop = gde3.init_population(&ev, &BatchEval::sequential(), &bbox, &mut rng);
+        for idx in 0..pop.len().min(8) {
+            let t = gde3.trial(&pop, idx, &bbox, &mut rng);
+            prop_assert!(space.contains(&t), "trial {t:?} escapes space");
+            prop_assert!(t[0] >= lo && t[0] <= lo + span, "trial {t:?} escapes box");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Array declarations and affine array accesses.
+
+use crate::expr::AffineExpr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an array within a [`crate::region::Region`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArrayId(pub u32);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// Declaration of an array: name, extents per dimension and element size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayDecl {
+    /// Identifier referenced by [`Access::array`].
+    pub id: ArrayId,
+    /// Human-readable name used by code generators.
+    pub name: String,
+    /// Extent of each dimension, outermost first (row-major layout).
+    pub dims: Vec<u64>,
+    /// Element size in bytes (e.g. 8 for `f64`).
+    pub elem_size: u64,
+}
+
+impl ArrayDecl {
+    /// Create a declaration.
+    pub fn new(id: ArrayId, name: impl Into<String>, dims: Vec<u64>, elem_size: u64) -> Self {
+        ArrayDecl { id, name: name.into(), dims, elem_size }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// True if the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.len() * self.elem_size
+    }
+
+    /// Row-major linear offset (in elements) of the given multi-dimensional
+    /// index. Panics if the index rank does not match the declaration.
+    pub fn linearize(&self, idx: &[i64]) -> i64 {
+        assert_eq!(idx.len(), self.dims.len(), "index rank mismatch for {}", self.name);
+        let mut off = 0i64;
+        for (d, &i) in idx.iter().enumerate() {
+            off = off * self.dims[d] as i64 + i;
+        }
+        off
+    }
+}
+
+/// Whether an access reads or writes its array element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Memory load.
+    Read,
+    /// Memory store.
+    Write,
+}
+
+/// An affine array access `array[e1][e2]...[ek]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// The accessed array.
+    pub array: ArrayId,
+    /// One affine subscript per array dimension, outermost first.
+    pub indices: Vec<AffineExpr>,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Construct a read access.
+    pub fn read(array: ArrayId, indices: Vec<AffineExpr>) -> Self {
+        Access { array, indices, kind: AccessKind::Read }
+    }
+
+    /// Construct a write access.
+    pub fn write(array: ArrayId, indices: Vec<AffineExpr>) -> Self {
+        Access { array, indices, kind: AccessKind::Write }
+    }
+
+    /// True if this is a write.
+    pub fn is_write(&self) -> bool {
+        self.kind == AccessKind::Write
+    }
+
+    /// Evaluate all subscripts in the given environment.
+    pub fn eval_indices(&self, env: &dyn Fn(crate::expr::VarId) -> i64) -> Vec<i64> {
+        self.indices.iter().map(|e| e.eval(env)).collect()
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.array)?;
+        for e in &self.indices {
+            write!(f, "[{e}]")?;
+        }
+        if self.is_write() {
+            write!(f, " (w)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AffineExpr, VarId};
+
+    #[test]
+    fn decl_sizes() {
+        let d = ArrayDecl::new(ArrayId(0), "A", vec![100, 50], 8);
+        assert_eq!(d.len(), 5000);
+        assert_eq!(d.byte_size(), 40_000);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn linearize_row_major() {
+        let d = ArrayDecl::new(ArrayId(0), "A", vec![10, 20], 8);
+        assert_eq!(d.linearize(&[0, 0]), 0);
+        assert_eq!(d.linearize(&[0, 19]), 19);
+        assert_eq!(d.linearize(&[1, 0]), 20);
+        assert_eq!(d.linearize(&[3, 4]), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "index rank mismatch")]
+    fn linearize_rank_mismatch_panics() {
+        let d = ArrayDecl::new(ArrayId(0), "A", vec![10, 20], 8);
+        d.linearize(&[1]);
+    }
+
+    #[test]
+    fn access_eval() {
+        let a = Access::read(
+            ArrayId(1),
+            vec![AffineExpr::var(VarId(0)), AffineExpr::var(VarId(1)).offset(1)],
+        );
+        let idx = a.eval_indices(&|v| if v == VarId(0) { 3 } else { 7 });
+        assert_eq!(idx, vec![3, 8]);
+        assert!(!a.is_write());
+    }
+
+    #[test]
+    fn display() {
+        let a = Access::write(ArrayId(2), vec![AffineExpr::var(VarId(0))]);
+        assert_eq!(format!("{a}"), "A2[v0] (w)");
+    }
+}

@@ -1,0 +1,117 @@
+//! Tunable code regions.
+
+use crate::access::{ArrayDecl, ArrayId};
+use crate::nest::LoopNest;
+use crate::skeleton::Skeleton;
+use serde::{Deserialize, Serialize};
+
+/// A tunable code region: a loop nest together with the arrays it touches
+/// and the transformation skeletons the analyzer derived for it.
+///
+/// Regions are the unit of optimization in the framework (paper §III-A):
+/// the optimizer computes one Pareto set per region and the backend emits
+/// one set of code versions per region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Region name (e.g. the kernel name).
+    pub name: String,
+    /// Arrays accessed by the nest.
+    pub arrays: Vec<ArrayDecl>,
+    /// The untransformed loop nest.
+    pub nest: LoopNest,
+    /// Transformation skeletons derived by the analyzer.
+    pub skeletons: Vec<Skeleton>,
+}
+
+impl Region {
+    /// Create a region without skeletons (run [`crate::analyzer::analyze`]
+    /// to derive them).
+    pub fn new(name: impl Into<String>, arrays: Vec<ArrayDecl>, nest: LoopNest) -> Self {
+        Region { name: name.into(), arrays, nest, skeletons: Vec::new() }
+    }
+
+    /// Look up an array declaration.
+    pub fn array(&self, id: ArrayId) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.id == id)
+    }
+
+    /// Total bytes of all arrays (the region's data set size).
+    pub fn data_bytes(&self) -> u64 {
+        self.arrays.iter().map(|a| a.byte_size()).sum()
+    }
+
+    /// Structural validation: the nest is well-formed and every access
+    /// references a declared array with matching rank and in-bounds constant
+    /// subscripts where checkable.
+    pub fn validate(&self) -> Result<(), String> {
+        self.nest.validate()?;
+        for s in &self.nest.body {
+            for acc in &s.accesses {
+                let decl = self
+                    .array(acc.array)
+                    .ok_or_else(|| format!("access to undeclared array {}", acc.array))?;
+                if acc.indices.len() != decl.dims.len() {
+                    return Err(format!(
+                        "access to {} has rank {} but array has rank {}",
+                        decl.name,
+                        acc.indices.len(),
+                        decl.dims.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{Access, ArrayDecl, ArrayId};
+    use crate::expr::VarId;
+    use crate::nest::{Loop, LoopNest, Stmt};
+
+    fn region() -> Region {
+        let i = VarId(0);
+        Region::new(
+            "copy",
+            vec![
+                ArrayDecl::new(ArrayId(0), "dst", vec![16], 8),
+                ArrayDecl::new(ArrayId(1), "src", vec![16], 8),
+            ],
+            LoopNest::new(
+                vec![Loop::plain(i, "i", 0, 16)],
+                vec![Stmt::new(
+                    vec![
+                        Access::write(ArrayId(0), vec![i.into()]),
+                        Access::read(ArrayId(1), vec![i.into()]),
+                    ],
+                    0,
+                )],
+            ),
+        )
+    }
+
+    #[test]
+    fn valid_region() {
+        let r = region();
+        r.validate().unwrap();
+        assert_eq!(r.data_bytes(), 2 * 16 * 8);
+        assert!(r.array(ArrayId(1)).is_some());
+        assert!(r.array(ArrayId(9)).is_none());
+    }
+
+    #[test]
+    fn undeclared_array_rejected() {
+        let mut r = region();
+        r.arrays.pop();
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let mut r = region();
+        r.arrays[0].dims = vec![4, 4];
+        assert!(r.validate().is_err());
+    }
+}

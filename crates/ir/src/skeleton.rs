@@ -1,0 +1,345 @@
+//! Transformation skeletons: parameterized transformation sequences.
+//!
+//! A [`Skeleton`] describes a *generic* sequence of code transformations
+//! with unbound parameters for its tunable properties (tile sizes, thread
+//! counts, flags). The optimizer explores assignments of these parameters;
+//! [`Skeleton::instantiate`] turns one assignment into a concrete code
+//! [`Variant`] that can be costed (on the machine model) or executed (via a
+//! native kernel binding).
+
+use crate::nest::LoopNest;
+use crate::transform::{self, TransformError};
+use serde::{Deserialize, Serialize};
+
+/// Value of a tuning parameter. All parameter kinds (tile sizes, thread
+/// counts, flags, factors) are modeled uniformly as integers, exactly as the
+/// paper's configurations do.
+pub type ParamValue = i64;
+
+/// Domain of one tuning parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamDomain {
+    /// Integers in `lo..=hi`.
+    IntRange {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// An explicit, ordered list of admissible values (e.g. thread counts).
+    Choice(Vec<i64>),
+    /// Boolean flag encoded as `{0, 1}`.
+    Bool,
+}
+
+impl ParamDomain {
+    /// Number of admissible values.
+    pub fn size(&self) -> u64 {
+        match self {
+            ParamDomain::IntRange { lo, hi } => (hi - lo + 1).max(0) as u64,
+            ParamDomain::Choice(v) => v.len() as u64,
+            ParamDomain::Bool => 2,
+        }
+    }
+
+    /// True if `v` is admissible.
+    pub fn contains(&self, v: i64) -> bool {
+        match self {
+            ParamDomain::IntRange { lo, hi } => (*lo..=*hi).contains(&v),
+            ParamDomain::Choice(vals) => vals.contains(&v),
+            ParamDomain::Bool => v == 0 || v == 1,
+        }
+    }
+
+    /// The admissible value closest to `v` (ties resolved downwards).
+    pub fn nearest(&self, v: i64) -> i64 {
+        match self {
+            ParamDomain::IntRange { lo, hi } => v.clamp(*lo, *hi),
+            ParamDomain::Choice(vals) => *vals
+                .iter()
+                .min_by_key(|&&x| ((x - v).abs(), x))
+                .expect("empty choice domain"),
+            ParamDomain::Bool => i64::from(v > 0),
+        }
+    }
+
+    /// Lower and upper extremes of the domain.
+    pub fn extremes(&self) -> (i64, i64) {
+        match self {
+            ParamDomain::IntRange { lo, hi } => (*lo, *hi),
+            ParamDomain::Choice(vals) => (
+                *vals.iter().min().expect("empty choice domain"),
+                *vals.iter().max().expect("empty choice domain"),
+            ),
+            ParamDomain::Bool => (0, 1),
+        }
+    }
+}
+
+/// Declaration of one tuning parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamDecl {
+    /// Name for reports and code generation (e.g. `"tile_i"`).
+    pub name: String,
+    /// Admissible values.
+    pub domain: ParamDomain,
+}
+
+impl ParamDecl {
+    /// Create a declaration.
+    pub fn new(name: impl Into<String>, domain: ParamDomain) -> Self {
+        ParamDecl { name: name.into(), domain }
+    }
+}
+
+/// One step in a transformation skeleton. Parameter references are indices
+/// into [`Skeleton::params`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Step {
+    /// Tile the outermost `band` loops using the given size parameters.
+    Tile {
+        /// Width of the tiled band.
+        band: usize,
+        /// One parameter index per band loop.
+        size_params: Vec<usize>,
+    },
+    /// Permute the loops (`perm[new] = old`).
+    Interchange {
+        /// The permutation.
+        perm: Vec<usize>,
+    },
+    /// Collapse the outermost `count` loops before parallelization — the
+    /// paper applies this to mitigate load imbalance from large tiles.
+    Collapse {
+        /// Number of loops to collapse.
+        count: usize,
+    },
+    /// Parallelize the (collapsed) outermost loop with a tunable number of
+    /// threads.
+    Parallelize {
+        /// Parameter index holding the thread count.
+        threads_param: usize,
+    },
+    /// Unroll the innermost loop by a tunable factor (affects backend code
+    /// generation and the ILP term of the cost model; semantics-neutral).
+    Unroll {
+        /// Parameter index holding the unroll factor.
+        factor_param: usize,
+    },
+}
+
+/// A concrete code variant produced by instantiating a skeleton.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Variant {
+    /// The transformed loop nest.
+    pub nest: LoopNest,
+    /// Worker threads executing the variant (1 if not parallelized).
+    pub threads: usize,
+    /// Innermost unroll factor (1 = no unrolling).
+    pub unroll: u32,
+    /// The parameter assignment that produced this variant.
+    pub values: Vec<ParamValue>,
+}
+
+/// A parameterized transformation sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Skeleton {
+    /// Skeleton name (regions may offer several alternative skeletons).
+    pub name: String,
+    /// Tunable parameters.
+    pub params: Vec<ParamDecl>,
+    /// Transformation steps applied in order.
+    pub steps: Vec<Step>,
+}
+
+impl Skeleton {
+    /// Create a skeleton.
+    pub fn new(name: impl Into<String>, params: Vec<ParamDecl>, steps: Vec<Step>) -> Self {
+        Skeleton { name: name.into(), params, steps }
+    }
+
+    /// Validate a parameter assignment against the declared domains.
+    pub fn check_values(&self, values: &[ParamValue]) -> Result<(), TransformError> {
+        if values.len() != self.params.len() {
+            return Err(TransformError(format!(
+                "skeleton {} expects {} parameters, got {}",
+                self.name,
+                self.params.len(),
+                values.len()
+            )));
+        }
+        for (p, &v) in self.params.iter().zip(values) {
+            if !p.domain.contains(v) {
+                return Err(TransformError(format!(
+                    "value {v} out of domain for parameter {}",
+                    p.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Clamp an arbitrary assignment to the nearest admissible one.
+    pub fn nearest_values(&self, values: &[ParamValue]) -> Vec<ParamValue> {
+        self.params
+            .iter()
+            .zip(values)
+            .map(|(p, &v)| p.domain.nearest(v))
+            .collect()
+    }
+
+    /// Instantiate the skeleton on `nest` with the given parameter values.
+    pub fn instantiate(
+        &self,
+        nest: &LoopNest,
+        values: &[ParamValue],
+    ) -> Result<Variant, TransformError> {
+        self.check_values(values)?;
+        let mut cur = nest.clone();
+        let mut threads = 1usize;
+        let mut unroll = 1u32;
+        let mut pending_collapse = 1usize;
+        for step in &self.steps {
+            match step {
+                Step::Tile { band, size_params } => {
+                    let sizes: Vec<u64> = size_params
+                        .iter()
+                        .map(|&p| values[p].max(1) as u64)
+                        .collect();
+                    cur = transform::tile(&cur, *band, &sizes)?;
+                }
+                Step::Interchange { perm } => {
+                    cur = transform::interchange(&cur, perm)?;
+                }
+                Step::Collapse { count } => {
+                    pending_collapse = (*count).max(1);
+                }
+                Step::Parallelize { threads_param } => {
+                    threads = values[*threads_param].max(1) as usize;
+                    cur = transform::collapse_and_parallelize(&cur, pending_collapse, threads)?;
+                }
+                Step::Unroll { factor_param } => {
+                    unroll = values[*factor_param].max(1) as u32;
+                }
+            }
+        }
+        Ok(Variant { nest: cur, threads, unroll, values: values.to_vec() })
+    }
+
+    /// Cardinality of the full configuration space of this skeleton.
+    pub fn space_size(&self) -> u64 {
+        self.params.iter().map(|p| p.domain.size()).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{Access, ArrayId};
+    use crate::expr::VarId;
+    use crate::nest::{Loop, LoopNest, Stmt};
+
+    fn mm(n: i64) -> LoopNest {
+        let (i, j, k) = (VarId(0), VarId(1), VarId(2));
+        let (c, a, b) = (ArrayId(0), ArrayId(1), ArrayId(2));
+        LoopNest::new(
+            vec![
+                Loop::plain(i, "i", 0, n),
+                Loop::plain(j, "j", 0, n),
+                Loop::plain(k, "k", 0, n),
+            ],
+            vec![Stmt::new(
+                vec![
+                    Access::read(c, vec![i.into(), j.into()]),
+                    Access::write(c, vec![i.into(), j.into()]),
+                    Access::read(a, vec![i.into(), k.into()]),
+                    Access::read(b, vec![k.into(), j.into()]),
+                ],
+                2,
+            )],
+        )
+    }
+
+    fn mm_skeleton(n: i64, threads: Vec<i64>) -> Skeleton {
+        Skeleton::new(
+            "tile3-collapse2-parallel",
+            vec![
+                ParamDecl::new("tile_i", ParamDomain::IntRange { lo: 1, hi: n / 2 }),
+                ParamDecl::new("tile_j", ParamDomain::IntRange { lo: 1, hi: n / 2 }),
+                ParamDecl::new("tile_k", ParamDomain::IntRange { lo: 1, hi: n / 2 }),
+                ParamDecl::new("threads", ParamDomain::Choice(threads)),
+            ],
+            vec![
+                Step::Tile { band: 3, size_params: vec![0, 1, 2] },
+                Step::Collapse { count: 2 },
+                Step::Parallelize { threads_param: 3 },
+            ],
+        )
+    }
+
+    #[test]
+    fn instantiate_full_pipeline() {
+        let sk = mm_skeleton(64, vec![1, 5, 10, 20, 40]);
+        let v = sk.instantiate(&mm(64), &[16, 8, 32, 10]).unwrap();
+        assert_eq!(v.threads, 10);
+        assert_eq!(v.nest.depth(), 6);
+        let p = v.nest.parallel.unwrap();
+        assert_eq!(p.collapsed, 2);
+        assert_eq!(p.threads, 10);
+        // Tile loops: 64/16=4 and 64/8=8 → 32 parallel iterations.
+        assert_eq!(transform::parallel_iterations(&v.nest), Some(32));
+        assert_eq!(v.values, vec![16, 8, 32, 10]);
+    }
+
+    #[test]
+    fn instantiate_rejects_out_of_domain() {
+        let sk = mm_skeleton(64, vec![1, 2, 4]);
+        assert!(sk.instantiate(&mm(64), &[16, 8, 32, 3]).is_err());
+        assert!(sk.instantiate(&mm(64), &[0, 8, 32, 2]).is_err());
+        assert!(sk.instantiate(&mm(64), &[16, 8, 32]).is_err());
+    }
+
+    #[test]
+    fn nearest_values_projects_into_domain() {
+        let sk = mm_skeleton(64, vec![1, 2, 4, 8]);
+        let near = sk.nearest_values(&[-5, 100, 16, 5]);
+        assert_eq!(near, vec![1, 32, 16, 4]);
+        sk.check_values(&near).unwrap();
+    }
+
+    #[test]
+    fn space_size() {
+        let sk = mm_skeleton(64, vec![1, 2, 4, 8]);
+        assert_eq!(sk.space_size(), 32 * 32 * 32 * 4);
+    }
+
+    #[test]
+    fn domain_nearest_choice_prefers_closest() {
+        let d = ParamDomain::Choice(vec![1, 5, 10, 20, 40]);
+        assert_eq!(d.nearest(7), 5); // tie 5/10 resolves downwards
+        assert_eq!(d.nearest(8), 10);
+        assert_eq!(d.nearest(-3), 1);
+        assert_eq!(d.nearest(100), 40);
+    }
+
+    #[test]
+    fn domain_bool() {
+        let d = ParamDomain::Bool;
+        assert_eq!(d.size(), 2);
+        assert!(d.contains(0) && d.contains(1) && !d.contains(2));
+        assert_eq!(d.nearest(7), 1);
+        assert_eq!(d.nearest(-1), 0);
+    }
+
+    #[test]
+    fn unroll_step_sets_factor() {
+        let sk = Skeleton::new(
+            "unroll-only",
+            vec![ParamDecl::new("factor", ParamDomain::Choice(vec![1, 2, 4, 8]))],
+            vec![Step::Unroll { factor_param: 0 }],
+        );
+        let v = sk.instantiate(&mm(8), &[4]).unwrap();
+        assert_eq!(v.unroll, 4);
+        assert_eq!(v.threads, 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the IR: affine-expression algebra, tiling
+//! semantics preservation, and parameter-domain projection.
+
+use moat_ir::{transform, Access, AffineExpr, ArrayId, Loop, LoopNest, ParamDomain, Stmt, VarId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn small_expr() -> impl Strategy<Value = AffineExpr> {
+    (
+        -20i64..=20,
+        prop::collection::vec((0u32..4, -5i64..=5), 0..4),
+    )
+        .prop_map(|(c, terms)| {
+            let mut e = AffineExpr::constant(c);
+            for (v, k) in terms {
+                e = e.add(&AffineExpr::term(VarId(v), k));
+            }
+            e
+        })
+}
+
+fn env_values() -> impl Strategy<Value = [i64; 4]> {
+    [-50i64..=50, -50i64..=50, -50i64..=50, -50i64..=50]
+}
+
+proptest! {
+    /// Evaluation is a ring homomorphism: eval(a ± b) = eval(a) ± eval(b),
+    /// eval(k·a) = k·eval(a).
+    #[test]
+    fn eval_homomorphism(a in small_expr(), b in small_expr(), k in -7i64..=7, vals in env_values()) {
+        let env = |v: VarId| vals[v.0 as usize];
+        prop_assert_eq!(a.add(&b).eval(&env), a.eval(&env) + b.eval(&env));
+        prop_assert_eq!(a.sub(&b).eval(&env), a.eval(&env) - b.eval(&env));
+        prop_assert_eq!(a.scale(k).eval(&env), k * a.eval(&env));
+    }
+
+    /// Substitution agrees with evaluation: substituting v := r and then
+    /// evaluating equals evaluating with env[v] = eval(r).
+    #[test]
+    fn substitute_matches_eval(a in small_expr(), r in small_expr(), vals in env_values()) {
+        // Use a replacement that does not reference the substituted var to
+        // keep the semantics simple.
+        let r = r.substitute(VarId(0), &AffineExpr::constant(3));
+        let env = |v: VarId| vals[v.0 as usize];
+        let r_val = r.eval(&env);
+        let env2 = |v: VarId| if v == VarId(0) { r_val } else { vals[v.0 as usize] };
+        prop_assert_eq!(a.substitute(VarId(0), &r).eval(&env), a.eval(&env2));
+    }
+
+    /// The interval returned by `range` always contains the value at any
+    /// admissible point.
+    #[test]
+    fn range_contains_eval(a in small_expr(), vals in env_values()) {
+        let clamped: Vec<i64> = vals.iter().map(|&v| v.clamp(0, 30)).collect();
+        let env = |v: VarId| clamped[v.0 as usize];
+        let (lo, hi) = a.range(&|_| (0, 30));
+        let x = a.eval(&env);
+        prop_assert!(x >= lo && x <= hi, "{x} outside [{lo}, {hi}]");
+    }
+
+    /// Tiling never changes the multiset of (array, index) touches — for
+    /// arbitrary sizes, tile sizes, and band widths.
+    #[test]
+    fn tiling_preserves_access_multiset(
+        n in 3i64..=12,
+        m in 3i64..=10,
+        t1 in 1u64..=14,
+        t2 in 1u64..=14,
+        band in 1usize..=2,
+    ) {
+        let (i, j) = (VarId(0), VarId(1));
+        let nest = LoopNest::new(
+            vec![Loop::plain(i, "i", 0, n), Loop::plain(j, "j", 0, m)],
+            vec![Stmt::new(
+                vec![Access::write(
+                    ArrayId(0),
+                    vec![AffineExpr::var(i), AffineExpr::var(j).offset(1)],
+                )],
+                1,
+            )],
+        );
+        let sizes: Vec<u64> = [t1, t2][..band].to_vec();
+        let tiled = transform::tile(&nest, band, &sizes).unwrap();
+        tiled.nest_touches_equal(&nest)?;
+    }
+
+    /// Average trip counts stay exact under tiling: the product equals the
+    /// original iteration count.
+    #[test]
+    fn tiling_preserves_iteration_product(
+        n in 2i64..=40,
+        m in 2i64..=40,
+        t1 in 1u64..=50,
+        t2 in 1u64..=50,
+    ) {
+        let (i, j) = (VarId(0), VarId(1));
+        let nest = LoopNest::new(
+            vec![Loop::plain(i, "i", 0, n), Loop::plain(j, "j", 0, m)],
+            vec![Stmt::new(vec![], 1)],
+        );
+        let tiled = transform::tile(&nest, 2, &[t1, t2]).unwrap();
+        let approx = tiled.approx_iterations();
+        prop_assert!((approx - (n * m) as f64).abs() < 1e-6, "approx {approx} != {}", n * m);
+    }
+
+    /// Domain projection: `nearest` is idempotent, admissible, and exact
+    /// for admissible inputs.
+    #[test]
+    fn domain_nearest_properties(x in -1000i64..=1000, lo in -50i64..=50, span in 0i64..=100) {
+        let d = ParamDomain::IntRange { lo, hi: lo + span };
+        let p = d.nearest(x);
+        prop_assert!(d.contains(p));
+        prop_assert_eq!(d.nearest(p), p);
+        if d.contains(x) {
+            prop_assert_eq!(p, x);
+        }
+    }
+
+    #[test]
+    fn choice_domain_nearest_minimizes_distance(x in -200i64..=200, mut vals in prop::collection::vec(-100i64..=100, 1..8)) {
+        vals.sort_unstable();
+        vals.dedup();
+        let d = ParamDomain::Choice(vals.clone());
+        let p = d.nearest(x);
+        prop_assert!(vals.contains(&p));
+        let best = vals.iter().map(|&v| (v - x).abs()).min().unwrap();
+        prop_assert_eq!((p - x).abs(), best);
+    }
+}
+
+/// Helper on `Variant`-free nests: compare touch multisets by walking.
+trait TouchEq {
+    fn nest_touches_equal(&self, other: &LoopNest) -> Result<(), TestCaseError>;
+}
+
+impl TouchEq for LoopNest {
+    fn nest_touches_equal(&self, other: &LoopNest) -> Result<(), TestCaseError> {
+        let collect = |nest: &LoopNest| -> HashMap<(u32, Vec<i64>), u64> {
+            let mut map = HashMap::new();
+            nest.walk(&mut |vals| {
+                let env = nest.env(vals);
+                for s in &nest.body {
+                    for a in &s.accesses {
+                        *map.entry((a.array.0, a.eval_indices(&env))).or_default() += 1;
+                    }
+                }
+            });
+            map
+        };
+        prop_assert_eq!(collect(self), collect(other));
+        Ok(())
+    }
+}

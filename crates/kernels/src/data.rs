@@ -1,0 +1,58 @@
+//! Deterministic workload generation for the native kernels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible vector of `n` doubles in `[0, 1)`.
+pub fn seeded_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random::<f64>()).collect()
+}
+
+/// A reproducible `n`-particle set: positions in the unit cube.
+pub fn seeded_particles(n: usize, seed: u64) -> Vec<[f64; 3]> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()])
+        .collect()
+}
+
+/// Maximum absolute element-wise difference between two slices.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// Maximum absolute component-wise difference between two vector fields.
+pub fn max_abs_diff3(a: &[[f64; 3]], b: &[[f64; 3]]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .flat_map(|(x, y)| x.iter().zip(y).map(|(u, v)| (u - v).abs()))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(seeded_vec(100, 7), seeded_vec(100, 7));
+        assert_ne!(seeded_vec(100, 7), seeded_vec(100, 8));
+        assert_eq!(seeded_particles(10, 1), seeded_particles(10, 1));
+    }
+
+    #[test]
+    fn values_in_unit_interval() {
+        for v in seeded_vec(1000, 3) {
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn diff_helpers() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+        assert_eq!(max_abs_diff3(&[[0.0; 3]], &[[0.0, -2.0, 0.0]]), 2.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! `moat-kernels` — the five benchmark kernels of the paper.
+//!
+//! | Kernel     | Computation | Memory  | Description                        |
+//! |------------|-------------|---------|------------------------------------|
+//! | mm         | O(N³)       | O(N²)   | matrix multiplication, IJK order   |
+//! | dsyrk      | O(N³)       | O(N²)   | B = A·Aᵀ + B (BLAS-3)              |
+//! | jacobi-2d  | O(N²)       | O(N²)   | 5-point 2-d Jacobi sweep           |
+//! | 3d-stencil | O(N³)       | O(N³)   | generic 3×3×3 3-d stencil sweep    |
+//! | n-body     | O(N²)       | O(N)    | naive all-pairs force computation  |
+//!
+//! (Table IV of the paper.) Each kernel exists in two forms:
+//!
+//! * a **descriptor** ([`spec`]) — a `moat-ir` [`moat_ir::Region`] consumed
+//!   by the analyzer, the analytic cost model and the cache simulator, and
+//! * a **native implementation** ([`native`]) — parameterized tiled Rust
+//!   code executed on the `moat-runtime` worker pool, verified against
+//!   naive references, used when tuning against real hardware.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod native;
+pub mod spec;
+
+pub use spec::{Kernel, KernelInfo};

@@ -1,0 +1,333 @@
+//! Per-loop-depth working-set (footprint) analysis of affine loop nests.
+//!
+//! For every loop depth `d` of a nest we compute, per array, the extent of
+//! the data touched by one complete execution of the sub-nest formed by
+//! loops `d..depth` (loops outside `d` held fixed). The cost model uses
+//! these footprints to decide at which loop level each cache level provides
+//! reuse, which is the mechanism behind tile-size selection.
+//!
+//! Extents are computed by interval analysis of the affine subscripts:
+//! a *free* induction variable contributes its span (the tile size for a
+//! point loop whose tile loop is fixed, the full extent otherwise), a
+//! *fixed* variable contributes a single point. Unions over multiple
+//! accesses to the same array (e.g. stencil neighbourhoods) are taken per
+//! dimension.
+
+use moat_ir::nest::LoopKind;
+use moat_ir::{ArrayDecl, ArrayId, LoopNest, VarId};
+
+/// Footprint of one array at one depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayFootprint {
+    /// The array.
+    pub array: ArrayId,
+    /// Extent (element count) per dimension of the touched bounding box.
+    pub extents: Vec<u64>,
+    /// Distinct cache lines touched (row-major; last dimension contiguous).
+    pub lines: f64,
+    /// Line-granular bytes (`lines * line_size`) — used for capacity
+    /// comparisons.
+    pub bytes: f64,
+}
+
+/// Footprints of all arrays of a nest at one depth, plus the total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthFootprint {
+    /// Loop depth: loops `depth..` are free, loops `..depth` are fixed.
+    pub depth: usize,
+    /// Per accessed array (in first-touch order).
+    pub per_array: Vec<ArrayFootprint>,
+    /// Sum of line-granular bytes across arrays.
+    pub total_bytes: f64,
+}
+
+impl DepthFootprint {
+    /// Footprint entry of `array`, if it is accessed at all.
+    pub fn array(&self, array: ArrayId) -> Option<&ArrayFootprint> {
+        self.per_array.iter().find(|a| a.array == array)
+    }
+}
+
+/// Span (number of distinct values) of each induction variable when the
+/// loops at depth `>= d` are free.
+fn var_spans(nest: &LoopNest, d: usize) -> Vec<(VarId, u64)> {
+    nest.loops
+        .iter()
+        .enumerate()
+        .map(|(l, lp)| {
+            let span = if l < d {
+                1
+            } else {
+                match lp.kind {
+                    LoopKind::Point { tile_size } => {
+                        // If the matching tile loop is also free, the point
+                        // variable effectively covers the original extent.
+                        let tile_loop = nest
+                            .loops
+                            .iter()
+                            .position(|t| matches!(t.kind, LoopKind::Tile { point } if point == lp.var))
+                            .expect("point loop without tile loop");
+                        if tile_loop >= d {
+                            full_extent(nest, tile_loop)
+                        } else {
+                            tile_size
+                        }
+                    }
+                    // Tile variables do not appear in subscripts; their span
+                    // is irrelevant (they are folded into the point span).
+                    LoopKind::Tile { .. } => 1,
+                    LoopKind::Plain => lp.avg_trip.ceil() as u64,
+                }
+            };
+            (lp.var, span.max(1))
+        })
+        .collect()
+}
+
+/// Extent (in values) of the loop at index `l`, from its constant bounds.
+fn full_extent(nest: &LoopNest, l: usize) -> u64 {
+    let lp = &nest.loops[l];
+    match (lp.lower.as_constant(), lp.upper.as_constant()) {
+        (Some(lo), Some(hi)) => (hi - lo).max(0) as u64,
+        // Non-constant tile loops cannot occur (tiling requires constant
+        // bounds); fall back to the average trip count.
+        _ => lp.avg_trip.ceil() as u64,
+    }
+}
+
+/// Compute the footprint of every accessed array at every depth `0..=depth`.
+///
+/// `line_size` is the cache-line size in bytes used for line counts and
+/// line-granular byte totals (uniform across levels on both paper
+/// machines).
+pub fn nest_footprints(
+    arrays: &[ArrayDecl],
+    nest: &LoopNest,
+    line_size: u64,
+) -> Vec<DepthFootprint> {
+    // Accessed arrays in first-touch order.
+    let mut touched: Vec<ArrayId> = Vec::new();
+    for s in &nest.body {
+        for a in &s.accesses {
+            if !touched.contains(&a.array) {
+                touched.push(a.array);
+            }
+        }
+    }
+
+    (0..=nest.depth())
+        .map(|d| {
+            let spans = var_spans(nest, d);
+            let bounds = |v: VarId| -> (i64, i64) {
+                let span = spans
+                    .iter()
+                    .find(|(sv, _)| *sv == v)
+                    .map(|(_, s)| *s)
+                    .unwrap_or(1);
+                (0, span as i64 - 1)
+            };
+            let per_array: Vec<ArrayFootprint> = touched
+                .iter()
+                .map(|&id| {
+                    let decl = arrays
+                        .iter()
+                        .find(|a| a.id == id)
+                        .expect("access to undeclared array");
+                    let rank = decl.dims.len();
+                    // Per-dimension union of subscript ranges across all
+                    // accesses to this array.
+                    let mut lo = vec![i64::MAX; rank];
+                    let mut hi = vec![i64::MIN; rank];
+                    for s in &nest.body {
+                        for acc in s.accesses.iter().filter(|a| a.array == id) {
+                            for (dim, e) in acc.indices.iter().enumerate() {
+                                let (l, h) = e.range(&bounds);
+                                lo[dim] = lo[dim].min(l);
+                                hi[dim] = hi[dim].max(h);
+                            }
+                        }
+                    }
+                    let extents: Vec<u64> = lo
+                        .iter()
+                        .zip(&hi)
+                        .zip(&decl.dims)
+                        .map(|((&l, &h), &dim)| ((h - l + 1).max(1) as u64).min(dim.max(1)))
+                        .collect();
+                    let outer: f64 = extents[..rank - 1].iter().map(|&e| e as f64).product();
+                    let inner_bytes = extents[rank - 1] * decl.elem_size;
+                    let lines = outer * (inner_bytes as f64 / line_size as f64).ceil().max(1.0);
+                    ArrayFootprint {
+                        array: id,
+                        extents,
+                        lines,
+                        bytes: lines * line_size as f64,
+                    }
+                })
+                .collect();
+            let total_bytes = per_array.iter().map(|a| a.bytes).sum();
+            DepthFootprint { depth: d, per_array, total_bytes }
+        })
+        .collect()
+}
+
+/// True if `array`'s footprint strictly shrinks from depth `d` to `d + 1`,
+/// i.e. the loop at depth `d` *expands* the array's touched set (the array
+/// is not invariant under that loop).
+pub fn expands_at(fps: &[DepthFootprint], array: ArrayId, d: usize) -> bool {
+    match (fps[d].array(array), fps[d + 1].array(array)) {
+        (Some(a), Some(b)) => a.bytes > b.bytes * 1.000001,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_ir::{transform, Access, AffineExpr, ArrayId, Loop, LoopNest, Stmt};
+
+    fn mm(n: i64) -> (Vec<ArrayDecl>, LoopNest) {
+        let (i, j, k) = (VarId(0), VarId(1), VarId(2));
+        let arrays = vec![
+            ArrayDecl::new(ArrayId(0), "C", vec![n as u64, n as u64], 8),
+            ArrayDecl::new(ArrayId(1), "A", vec![n as u64, n as u64], 8),
+            ArrayDecl::new(ArrayId(2), "B", vec![n as u64, n as u64], 8),
+        ];
+        let nest = LoopNest::new(
+            vec![
+                Loop::plain(i, "i", 0, n),
+                Loop::plain(j, "j", 0, n),
+                Loop::plain(k, "k", 0, n),
+            ],
+            vec![Stmt::new(
+                vec![
+                    Access::read(ArrayId(0), vec![i.into(), j.into()]),
+                    Access::write(ArrayId(0), vec![i.into(), j.into()]),
+                    Access::read(ArrayId(1), vec![i.into(), k.into()]),
+                    Access::read(ArrayId(2), vec![k.into(), j.into()]),
+                ],
+                2,
+            )],
+        );
+        (arrays, nest)
+    }
+
+    #[test]
+    fn untiled_mm_footprints() {
+        let (arrays, nest) = mm(64);
+        let fps = nest_footprints(&arrays, &nest, 64);
+        assert_eq!(fps.len(), 4);
+        // Depth 0: everything = 3 full matrices.
+        assert_eq!(fps[0].array(ArrayId(2)).unwrap().extents, vec![64, 64]);
+        assert!((fps[0].total_bytes - 3.0 * 64.0 * 64.0 * 8.0).abs() < 1.0);
+        // Depth 1 (i fixed): A row, C row, B full.
+        let d1 = &fps[1];
+        assert_eq!(d1.array(ArrayId(1)).unwrap().extents, vec![1, 64]);
+        assert_eq!(d1.array(ArrayId(2)).unwrap().extents, vec![64, 64]);
+        // Depth 2 (i, j fixed): B column has 64 rows × 1 element → 64 lines.
+        let d2 = &fps[2];
+        assert_eq!(d2.array(ArrayId(2)).unwrap().extents, vec![64, 1]);
+        assert_eq!(d2.array(ArrayId(2)).unwrap().lines, 64.0);
+        // A row at depth 2: 64 contiguous f64 = 512 bytes = 8 lines.
+        assert_eq!(d2.array(ArrayId(1)).unwrap().lines, 8.0);
+        // Depth 3: single elements → 1 line each.
+        assert_eq!(fps[3].array(ArrayId(0)).unwrap().lines, 1.0);
+    }
+
+    #[test]
+    fn tiled_mm_tile_footprints() {
+        let (arrays, nest) = mm(64);
+        let tiled = transform::tile(&nest, 3, &[16, 8, 4]).unwrap();
+        let fps = nest_footprints(&arrays, &tiled, 64);
+        // Depth 3 = one tile: A 16×4, B 4×8, C 16×8.
+        let d3 = &fps[3];
+        assert_eq!(d3.array(ArrayId(1)).unwrap().extents, vec![16, 4]);
+        assert_eq!(d3.array(ArrayId(2)).unwrap().extents, vec![4, 8]);
+        assert_eq!(d3.array(ArrayId(0)).unwrap().extents, vec![16, 8]);
+        // Depth 0 with free tile loops recovers the full matrices.
+        assert_eq!(fps[0].array(ArrayId(1)).unwrap().extents, vec![64, 64]);
+        // Depth 2 (it, jt fixed; kt free): A = ti × N.
+        assert_eq!(fps[2].array(ArrayId(1)).unwrap().extents, vec![16, 64]);
+    }
+
+    #[test]
+    fn expansion_flags_mm() {
+        let (arrays, nest) = mm(64);
+        let tiled = transform::tile(&nest, 3, &[16, 8, 4]).unwrap();
+        let fps = nest_footprints(&arrays, &tiled, 64);
+        let (c, a, b) = (ArrayId(0), ArrayId(1), ArrayId(2));
+        // Loop 0 = it: expands A and C, not B.
+        assert!(expands_at(&fps, a, 0));
+        assert!(expands_at(&fps, c, 0));
+        assert!(!expands_at(&fps, b, 0));
+        // Loop 1 = jt: expands B and C, not A.
+        assert!(!expands_at(&fps, a, 1));
+        assert!(expands_at(&fps, b, 1));
+        assert!(expands_at(&fps, c, 1));
+        // Loop 2 = kt: expands A and B, not C.
+        assert!(expands_at(&fps, a, 2));
+        assert!(expands_at(&fps, b, 2));
+        assert!(!expands_at(&fps, c, 2));
+    }
+
+    #[test]
+    fn stencil_union_includes_halo() {
+        // B[i][j] = f(A[i-1][j], A[i+1][j], A[i][j-1], A[i][j+1])
+        let (i, j) = (VarId(0), VarId(1));
+        let n = 32u64;
+        let arrays = vec![
+            ArrayDecl::new(ArrayId(0), "A", vec![n, n], 8),
+            ArrayDecl::new(ArrayId(1), "B", vec![n, n], 8),
+        ];
+        let nest = LoopNest::new(
+            vec![Loop::plain(i, "i", 1, 31), Loop::plain(j, "j", 1, 31)],
+            vec![Stmt::new(
+                vec![
+                    Access::write(ArrayId(1), vec![i.into(), j.into()]),
+                    Access::read(ArrayId(0), vec![AffineExpr::var(i).offset(-1), j.into()]),
+                    Access::read(ArrayId(0), vec![AffineExpr::var(i).offset(1), j.into()]),
+                    Access::read(ArrayId(0), vec![i.into(), AffineExpr::var(j).offset(-1)]),
+                    Access::read(ArrayId(0), vec![i.into(), AffineExpr::var(j).offset(1)]),
+                ],
+                4,
+            )],
+        );
+        let fps = nest_footprints(&arrays, &nest, 64);
+        // Depth 1 (i fixed): A rows i-1..i+1 (3 rows) × full width.
+        let a1 = fps[1].array(ArrayId(0)).unwrap();
+        assert_eq!(a1.extents, vec![3, 32]);
+        // Depth 2: A is a 3×3 cross bounding box.
+        let a2 = fps[2].array(ArrayId(0)).unwrap();
+        assert_eq!(a2.extents, vec![3, 3]);
+    }
+
+    #[test]
+    fn extents_clamped_to_array_dims() {
+        let (arrays, nest) = mm(64);
+        let fps = nest_footprints(&arrays, &nest, 64);
+        for fp in &fps {
+            for a in &fp.per_array {
+                let decl = arrays.iter().find(|d| d.id == a.array).unwrap();
+                for (e, d) in a.extents.iter().zip(&decl.dims) {
+                    assert!(e <= d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn footprints_monotone_in_depth() {
+        let (arrays, nest) = mm(50);
+        let tiled = transform::tile(&nest, 3, &[7, 13, 3]).unwrap();
+        let fps = nest_footprints(&arrays, &tiled, 64);
+        for w in fps.windows(2) {
+            assert!(
+                w[0].total_bytes >= w[1].total_bytes - 1e-9,
+                "footprints must shrink with depth: {} -> {}",
+                w[0].total_bytes,
+                w[1].total_bytes
+            );
+        }
+    }
+
+    use moat_ir::VarId;
+}

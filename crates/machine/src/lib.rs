@@ -1,0 +1,34 @@
+//! `moat-machine` — parametric shared-memory machine descriptions and an
+//! analytic cache/cost model for (tiled) affine loop nests.
+//!
+//! The SC'12 paper evaluates on two physical machines (*Westmere*: 4×10-core
+//! Xeon E7-4870, 30 MB shared L3 per chip; *Barcelona*: 8×4-core Opteron
+//! 8356, 2 MB shared L3 per chip). This crate replaces those testbeds with
+//! a first-principles performance model that reproduces the phenomena the
+//! paper's evaluation depends on:
+//!
+//! * tile-size-dependent cache traffic (multi-level blocking trade-offs),
+//! * *thread-count-dependent* optimal tile sizes, caused by the effective
+//!   per-thread capacity of the chip-shared last-level cache shrinking as
+//!   more threads run on the same chip (paper §II, Fig. 2),
+//! * per-chip memory-bandwidth contention limiting scalability,
+//! * load imbalance from the `ceil`-division of (collapsed) tile loops, the
+//!   paper's motivation for collapsing before parallelizing, and
+//! * deterministic pseudo-measurement noise, so that repeated "runs" behave
+//!   like medians of real measurements without breaking reproducibility.
+//!
+//! Modules: [`desc`] (machine descriptions + Table I presets),
+//! [`footprint`] (per-loop-depth working-set analysis), [`cost`] (the time
+//! model) and [`noise`] (hash-based measurement perturbation).
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod desc;
+pub mod footprint;
+pub mod noise;
+
+pub use cost::{CostBreakdown, CostModel, Measurement};
+pub use desc::{CacheLevelDesc, CacheScope, EnergyDesc, MachineDesc};
+pub use footprint::{nest_footprints, ArrayFootprint, DepthFootprint};
+pub use noise::NoiseModel;

@@ -1,0 +1,100 @@
+//! Property-based tests of the machine model: footprint monotonicity, cost
+//! positivity/determinism, placement laws and noise bounds.
+
+use moat_ir::{analyze, AnalyzerConfig};
+use moat_machine::{nest_footprints, CostModel, MachineDesc, NoiseModel};
+use proptest::prelude::*;
+
+fn mm_region(n: i64) -> moat_ir::Region {
+    moat_kernels::Kernel::Mm.region(n)
+}
+
+proptest! {
+    /// Footprints shrink (weakly) with depth for arbitrary tilings.
+    #[test]
+    fn footprints_monotone(n in 8i64..=64, t1 in 1u64..=32, t2 in 1u64..=32, t3 in 1u64..=32) {
+        let region = mm_region(n);
+        let tiled = moat_ir::transform::tile(&region.nest, 3, &[t1, t2, t3]).unwrap();
+        let fps = nest_footprints(&region.arrays, &tiled, 64);
+        for w in fps.windows(2) {
+            prop_assert!(w[0].total_bytes >= w[1].total_bytes - 1e-9);
+        }
+        // Depth 0 covers the full data set (within line-granularity slack).
+        prop_assert!(fps[0].total_bytes >= region.data_bytes() as f64 * 0.9);
+    }
+
+    /// Costs are strictly positive, finite, and deterministic; deeper
+    /// levels never miss more than shallower ones.
+    #[test]
+    fn cost_sane(n in 16i64..=128, t1 in 1i64..=64, t2 in 1i64..=64, t3 in 1i64..=64, threads_idx in 0usize..5) {
+        let machine = MachineDesc::westmere();
+        let threads = machine.thread_counts[threads_idx] as i64;
+        let cfg = AnalyzerConfig::for_threads(machine.thread_counts.iter().map(|&t| t as i64).collect());
+        let region = analyze(mm_region(n), &cfg).unwrap();
+        let max_tile = (n / 2).max(1);
+        let v = region.skeletons[0]
+            .instantiate(&region.nest, &[t1.min(max_tile), t2.min(max_tile), t3.min(max_tile), threads])
+            .unwrap();
+        let model = CostModel::new(machine);
+        let a = model.cost(&region.arrays, &v);
+        let b = model.cost(&region.arrays, &v);
+        prop_assert!(a.time_s.is_finite() && a.time_s > 0.0);
+        prop_assert_eq!(a.time_s, b.time_s, "model must be deterministic");
+        prop_assert!(a.imbalance >= 1.0);
+        for w in a.level_miss_lines.windows(2) {
+            prop_assert!(w[1] <= w[0] * 1.0001, "deeper level misses more: {:?}", a.level_miss_lines);
+        }
+        prop_assert!(a.mem_bytes >= 0.0);
+    }
+
+    /// Placement fills chips first and conserves threads.
+    #[test]
+    fn placement_laws(threads in 1usize..=64) {
+        for m in MachineDesc::paper_machines() {
+            let p = m.placement(threads);
+            prop_assert_eq!(p.len(), m.sockets);
+            prop_assert_eq!(p.iter().sum::<usize>(), threads.min(m.total_cores()));
+            // Non-increasing: earlier chips at least as full as later ones.
+            for w in p.windows(2) {
+                prop_assert!(w[0] >= w[1]);
+            }
+            prop_assert!(p.iter().all(|&c| c <= m.cores_per_socket));
+            // Contention factor within bounds and monotone.
+            let f = m.contention_factor(threads);
+            prop_assert!(f >= 1.0 && f <= 1.0 + m.contention_coeff + 1e-9);
+            if threads > 1 {
+                prop_assert!(f >= m.contention_factor(threads - 1) - 1e-12);
+            }
+        }
+    }
+
+    /// Noise factors stay within the configured amplitude and medians are
+    /// deterministic.
+    #[test]
+    fn noise_bounds(seed in 0u64..1000, key in 0u64..10_000, amp in 0.001f64..0.2) {
+        let noise = NoiseModel { seed, amplitude: amp, runs: 3 };
+        for run in 0..3 {
+            let f = noise.factor(key, run);
+            prop_assert!((1.0 - amp..=1.0 + amp).contains(&f));
+        }
+        prop_assert_eq!(noise.median_time(key, 2.0), noise.median_time(key, 2.0));
+        // Median of a positive base stays positive and within bounds.
+        let m = noise.median_time(key, 5.0);
+        prop_assert!((5.0 * (1.0 - amp)..=5.0 * (1.0 + amp)).contains(&m));
+    }
+
+    /// More iterations can only cost more (same configuration, larger N).
+    #[test]
+    fn cost_monotone_in_problem_size(n in 16i64..=60) {
+        let machine = MachineDesc::barcelona();
+        let cfg = AnalyzerConfig::for_threads(vec![1]);
+        let model = CostModel::new(machine);
+        let small = analyze(mm_region(n), &cfg).unwrap();
+        let big = analyze(mm_region(n * 2), &cfg).unwrap();
+        let vs = small.skeletons[0].instantiate(&small.nest, &[4, 4, 4, 1]).unwrap();
+        let vb = big.skeletons[0].instantiate(&big.nest, &[4, 4, 4, 1]).unwrap();
+        let ts = model.cost(&small.arrays, &vs).time_s;
+        let tb = model.cost(&big.arrays, &vb).time_s;
+        prop_assert!(tb > ts, "doubling N must increase time: {ts} vs {tb}");
+    }
+}

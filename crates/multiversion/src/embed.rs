@@ -1,0 +1,117 @@
+//! Native in-process multi-versioned regions.
+//!
+//! The Rust-side equivalent of the generated C of [`crate::codegen`]: a
+//! region whose versions are closures over real kernel implementations,
+//! dispatched through the runtime's selection policies and recorded in
+//! execution statistics — the full step (6) of the paper's architecture.
+
+use crate::table::VersionTable;
+use moat_runtime::{measure, RegionStats, SelectionContext, SelectionPolicy, VersionMeta};
+
+/// A multi-versioned region over a mutable context `D` (the kernel's
+/// data).
+pub struct NativeRegion<'a, D> {
+    /// Version metadata (one entry per implementation).
+    pub meta: Vec<VersionMeta>,
+    /// Specialized implementations, index-aligned with `meta`.
+    pub impls: Vec<Box<dyn Fn(&mut D) + Sync + 'a>>,
+    /// Execution statistics.
+    pub stats: RegionStats,
+}
+
+impl<'a, D> NativeRegion<'a, D> {
+    /// Build a region from a version table and its implementations.
+    pub fn new(table: &VersionTable, impls: Vec<Box<dyn Fn(&mut D) + Sync + 'a>>) -> Self {
+        assert_eq!(
+            table.len(),
+            impls.len(),
+            "one implementation per table version required"
+        );
+        NativeRegion { meta: table.runtime_meta(), impls, stats: RegionStats::new() }
+    }
+
+    /// Invoke the region: the policy selects a version, the version runs on
+    /// `data`, the invocation is recorded. Returns the selected version
+    /// index (`None` for an empty table).
+    pub fn invoke(
+        &self,
+        policy: &SelectionPolicy,
+        ctx: &SelectionContext,
+        data: &mut D,
+    ) -> Option<usize> {
+        let idx = policy.select(&self.meta, ctx)?;
+        let ((), elapsed) = measure(|| (self.impls[idx])(data));
+        self.stats.record(idx, elapsed);
+        Some(idx)
+    }
+
+    /// Number of versions.
+    pub fn len(&self) -> usize {
+        self.impls.len()
+    }
+
+    /// True if the region has no versions.
+    pub fn is_empty(&self) -> bool {
+        self.impls.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_core::pareto::{ParetoFront, Point};
+    use moat_ir::{ParamDecl, ParamDomain, Skeleton};
+
+    fn region() -> (VersionTable, NativeRegion<'static, Vec<u32>>) {
+        let sk = Skeleton::new(
+            "s",
+            vec![ParamDecl::new("threads", ParamDomain::Choice(vec![1, 2, 4]))],
+            vec![],
+        );
+        let front = ParetoFront::from_points(vec![
+            Point::new(vec![1], vec![4.0, 4.0]),
+            Point::new(vec![2], vec![2.0, 5.0]),
+            Point::new(vec![4], vec![1.0, 7.0]),
+        ]);
+        let table =
+            VersionTable::from_front("r", &sk, &front, vec!["t".into(), "r".into()], Some(0));
+        let impls: Vec<Box<dyn Fn(&mut Vec<u32>) + Sync>> = (0..3)
+            .map(|i| {
+                Box::new(move |d: &mut Vec<u32>| d.push(i as u32))
+                    as Box<dyn Fn(&mut Vec<u32>) + Sync>
+            })
+            .collect();
+        let native = NativeRegion::new(&table, impls);
+        (table, native)
+    }
+
+    #[test]
+    fn invoke_selects_and_records() {
+        let (_, region) = region();
+        let mut data = Vec::new();
+        let ctx = SelectionContext::default();
+        let fastest = region.invoke(&SelectionPolicy::FastestTime, &ctx, &mut data);
+        assert_eq!(fastest, Some(0), "table is sorted fastest-first");
+        let cheapest = region.invoke(&SelectionPolicy::LowestResources, &ctx, &mut data);
+        assert_eq!(cheapest, Some(2));
+        assert_eq!(data, vec![0, 2]);
+        assert_eq!(region.stats.invocations(), 2);
+    }
+
+    #[test]
+    fn fit_threads_uses_context() {
+        let (_, region) = region();
+        let mut data = Vec::new();
+        let ctx = SelectionContext { available_threads: Some(2) };
+        let idx = region.invoke(&SelectionPolicy::FitThreads, &ctx, &mut data).unwrap();
+        assert_eq!(region.meta[idx].threads, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one implementation per table version")]
+    fn arity_mismatch_panics() {
+        let (table, _) = region();
+        let impls: Vec<Box<dyn Fn(&mut Vec<u32>) + Sync>> = vec![];
+        let _ = NativeRegion::new(&table, impls);
+    }
+}

@@ -1,0 +1,29 @@
+//! `moat-multiversion` — the multi-versioning compiler backend.
+//!
+//! Implements step (5) of the paper's architecture (Fig. 3 / Fig. 6): given
+//! the Pareto set computed by the optimizer for a region, the backend
+//!
+//! * **outlines** the region into one specialized function per Pareto
+//!   point (each with its tile sizes and thread count baked in as
+//!   constants — the paper argues fixed-parameter multi-versioning lets the
+//!   downstream compiler generate better code than a parameterized
+//!   version),
+//! * builds the **version table**: function pointers enriched with
+//!   meta-information describing each version's trade-off, statically
+//!   embedded in the generated program ([`table`]),
+//! * emits readable **C (OpenMP) source** for the whole multi-versioned
+//!   region ([`codegen`]), and
+//! * offers a native in-process equivalent ([`embed`]) whose versions are
+//!   Rust closures dispatched through `moat-runtime` selection policies.
+
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod embed;
+pub mod parameterized;
+pub mod table;
+
+pub use codegen::{emit_multiversioned_c, emit_variant_c};
+pub use parameterized::{emit_parameterized_c, NotParameterizable};
+pub use embed::NativeRegion;
+pub use table::{VersionEntry, VersionTable};

@@ -1,0 +1,321 @@
+//! The statically generated version table (paper Fig. 6).
+//!
+//! One [`VersionTable`] per tuned region: an ordered list of specialized
+//! code versions, each annotated with the configuration it was built from
+//! and the objective values it achieved during tuning. The table is the
+//! contract between the compiler backend and the runtime system's
+//! decision-making; it serializes to JSON for embedding or inspection.
+
+use moat_core::pareto::ParetoFront;
+use moat_ir::Skeleton;
+use moat_runtime::VersionMeta;
+use serde::{Deserialize, Serialize};
+
+/// One specialized code version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionEntry {
+    /// The tuning-parameter assignment this version was specialized for.
+    pub values: Vec<i64>,
+    /// Objective values measured during tuning (paper order:
+    /// `[time, resource usage]`).
+    pub objectives: Vec<f64>,
+    /// Threads the version uses.
+    pub threads: usize,
+    /// Human-readable label, e.g. `"tile_i=32 tile_j=288 tile_k=9 threads=10"`.
+    pub label: String,
+}
+
+/// The per-region table of specialized versions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionTable {
+    /// Region name.
+    pub region: String,
+    /// Names of the tuning parameters (column header for `values`).
+    pub param_names: Vec<String>,
+    /// Names of the objectives.
+    pub objective_names: Vec<String>,
+    /// The versions, sorted by the first objective (fastest first).
+    pub versions: Vec<VersionEntry>,
+}
+
+impl VersionTable {
+    /// Build a table from a Pareto front over a skeleton's configuration
+    /// space. `threads_param` names the skeleton parameter holding the
+    /// thread count (`None` → all versions are sequential).
+    pub fn from_front(
+        region: impl Into<String>,
+        skeleton: &Skeleton,
+        front: &ParetoFront,
+        objective_names: Vec<String>,
+        threads_param: Option<usize>,
+    ) -> Self {
+        let param_names: Vec<String> =
+            skeleton.params.iter().map(|p| p.name.clone()).collect();
+        let mut versions: Vec<VersionEntry> = front
+            .points()
+            .iter()
+            .map(|p| {
+                let threads = threads_param
+                    .and_then(|i| p.config.get(i).copied())
+                    .unwrap_or(1)
+                    .max(1) as usize;
+                let label = param_names
+                    .iter()
+                    .zip(&p.config)
+                    .map(|(n, v)| format!("{n}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                VersionEntry {
+                    values: p.config.clone(),
+                    objectives: p.objectives.clone(),
+                    threads,
+                    label,
+                }
+            })
+            .collect();
+        versions.sort_by(|a, b| {
+            a.objectives[0]
+                .partial_cmp(&b.objectives[0])
+                .expect("NaN objective")
+        });
+        VersionTable {
+            region: region.into(),
+            param_names,
+            objective_names,
+            versions,
+        }
+    }
+
+    /// Number of versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True if the table has no versions.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Runtime metadata view (consumed by `moat-runtime` selection
+    /// policies).
+    pub fn runtime_meta(&self) -> Vec<VersionMeta> {
+        self.versions
+            .iter()
+            .map(|v| VersionMeta {
+                objectives: v.objectives.clone(),
+                threads: v.threads,
+                label: v.label.clone(),
+            })
+            .collect()
+    }
+
+    /// Prune the table to at most `k` versions: the per-objective champions
+    /// are always retained (so `FastestTime`/`LowestResources`-style
+    /// policies keep their optima), and the remaining slots are filled
+    /// greedily by hypervolume contribution. Use when the code-size budget
+    /// does not allow one function per Pareto point — the trade-off the
+    /// paper contrasts with Heydemann et al., where a code-size objective
+    /// forced a *single* statically selected version.
+    pub fn prune_to(&mut self, k: usize) {
+        if self.versions.len() <= k || k == 0 {
+            return;
+        }
+        let m = self.objective_names.len();
+        // Normalization bounds over the table.
+        let mut lo = vec![f64::INFINITY; m];
+        let mut hi = vec![f64::NEG_INFINITY; m];
+        for v in &self.versions {
+            for c in 0..m {
+                lo[c] = lo[c].min(v.objectives[c]);
+                hi[c] = hi[c].max(v.objectives[c]);
+            }
+        }
+        let norm = |v: &VersionEntry| -> Vec<f64> {
+            (0..m)
+                .map(|c| {
+                    let span = hi[c] - lo[c];
+                    if span > 0.0 {
+                        (v.objectives[c] - lo[c]) / span
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        };
+        let all: Vec<Vec<f64>> = self.versions.iter().map(norm).collect();
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        let mut remaining: Vec<usize> = (0..self.versions.len()).collect();
+        // Seed with the per-objective champions.
+        for c in 0..m {
+            if chosen.len() >= k {
+                break;
+            }
+            let champ = *remaining
+                .iter()
+                .min_by(|&&a, &&b| {
+                    self.versions[a].objectives[c]
+                        .partial_cmp(&self.versions[b].objectives[c])
+                        .expect("NaN objective")
+                })
+                .expect("no candidates left");
+            remaining.retain(|&i| i != champ);
+            chosen.push(champ);
+        }
+        while chosen.len() < k {
+            // Greedy: add the candidate maximizing the subset hypervolume.
+            let (best_pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &cand)| {
+                    let pts: Vec<Vec<f64>> = chosen
+                        .iter()
+                        .chain(std::iter::once(&cand))
+                        .map(|&i| all[i].clone())
+                        .collect();
+                    (pos, moat_core::hypervolume(&pts))
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN hypervolume"))
+                .expect("no candidates left");
+            chosen.push(remaining.remove(best_pos));
+        }
+        chosen.sort_unstable();
+        let mut keep_flags = vec![false; self.versions.len()];
+        for &i in &chosen {
+            keep_flags[i] = true;
+        }
+        let mut idx = 0;
+        self.versions.retain(|_| {
+            let keep = keep_flags[idx];
+            idx += 1;
+            keep
+        });
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("version table serialization")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_core::pareto::Point;
+    use moat_ir::{ParamDecl, ParamDomain, Skeleton, Step};
+
+    fn skeleton() -> Skeleton {
+        Skeleton::new(
+            "tile3",
+            vec![
+                ParamDecl::new("tile_i", ParamDomain::IntRange { lo: 1, hi: 700 }),
+                ParamDecl::new("tile_j", ParamDomain::IntRange { lo: 1, hi: 700 }),
+                ParamDecl::new("tile_k", ParamDomain::IntRange { lo: 1, hi: 700 }),
+                ParamDecl::new("threads", ParamDomain::Choice(vec![1, 5, 10, 20, 40])),
+            ],
+            vec![Step::Tile { band: 3, size_params: vec![0, 1, 2] }],
+        )
+    }
+
+    fn front() -> ParetoFront {
+        ParetoFront::from_points(vec![
+            Point::new(vec![96, 128, 8, 1], vec![10.0, 10.0]),
+            Point::new(vec![32, 288, 9, 10], vec![1.1, 11.0]),
+            Point::new(vec![32, 208, 12, 40], vec![0.4, 16.0]),
+        ])
+    }
+
+    #[test]
+    fn build_sorted_by_time() {
+        let t = VersionTable::from_front(
+            "mm",
+            &skeleton(),
+            &front(),
+            vec!["time".into(), "resources".into()],
+            Some(3),
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.versions[0].threads, 40);
+        assert_eq!(t.versions[2].threads, 1);
+        assert!(t.versions[0].objectives[0] <= t.versions[1].objectives[0]);
+        assert_eq!(t.versions[2].label, "tile_i=96 tile_j=128 tile_k=8 threads=1");
+    }
+
+    #[test]
+    fn sequential_when_no_threads_param() {
+        let t = VersionTable::from_front("mm", &skeleton(), &front(), vec!["t".into()], None);
+        assert!(t.versions.iter().all(|v| v.threads == 1));
+    }
+
+    #[test]
+    fn prune_keeps_extremes_and_spread() {
+        let sk = skeleton();
+        // A 6-point front along a convex curve.
+        let front = ParetoFront::from_points((0..6).map(|i| {
+            let t = i as f64;
+            Point::new(vec![10 + i, 10, 10, 1 + i], vec![10.0 - t, 1.0 + t * t / 3.0])
+        }));
+        let mut table = VersionTable::from_front(
+            "r",
+            &sk,
+            &front,
+            vec!["t".into(), "r".into()],
+            Some(3),
+        );
+        assert_eq!(table.len(), 6);
+        table.prune_to(3);
+        assert_eq!(table.len(), 3);
+        // Both extremes must survive (largest hypervolume contribution).
+        let times: Vec<f64> = table.versions.iter().map(|v| v.objectives[0]).collect();
+        assert!(times.contains(&5.0), "fastest version must survive: {times:?}");
+        assert!(times.contains(&10.0), "cheapest version must survive: {times:?}");
+        // Still sorted by time.
+        for w in table.versions.windows(2) {
+            assert!(w[0].objectives[0] <= w[1].objectives[0]);
+        }
+    }
+
+    #[test]
+    fn prune_noop_cases() {
+        let sk = skeleton();
+        let mut table =
+            VersionTable::from_front("r", &sk, &front(), vec!["t".into(), "r".into()], Some(3));
+        let before = table.clone();
+        table.prune_to(10);
+        assert_eq!(table, before, "k >= len is a no-op");
+        table.prune_to(0);
+        assert_eq!(table, before, "k == 0 is rejected");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = VersionTable::from_front(
+            "mm",
+            &skeleton(),
+            &front(),
+            vec!["time".into(), "resources".into()],
+            Some(3),
+        );
+        let back = VersionTable::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn runtime_meta_matches() {
+        let t = VersionTable::from_front(
+            "mm",
+            &skeleton(),
+            &front(),
+            vec!["time".into(), "resources".into()],
+            Some(3),
+        );
+        let meta = t.runtime_meta();
+        assert_eq!(meta.len(), 3);
+        assert_eq!(meta[0].threads, t.versions[0].threads);
+        assert_eq!(meta[0].objectives, t.versions[0].objectives);
+    }
+}

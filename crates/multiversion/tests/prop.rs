@@ -1,0 +1,105 @@
+//! Property-based tests of the version-table backend.
+
+use moat_core::pareto::{dominates, ParetoFront, Point};
+use moat_ir::{ParamDecl, ParamDomain, Skeleton};
+use moat_multiversion::VersionTable;
+use proptest::prelude::*;
+
+fn skeleton() -> Skeleton {
+    Skeleton::new(
+        "s",
+        vec![
+            ParamDecl::new("a", ParamDomain::IntRange { lo: 0, hi: 100 }),
+            ParamDecl::new("threads", ParamDomain::IntRange { lo: 1, hi: 40 }),
+        ],
+        vec![],
+    )
+}
+
+fn points() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0i64..100, 1i64..=40, 0.1f64..50.0, 0.1f64..50.0), 2..25).prop_map(
+        |v| {
+            v.into_iter()
+                .map(|(a, t, o1, o2)| Point::new(vec![a, t], vec![o1, o2]))
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    /// Tables are sorted by time, carry one entry per front point, expose
+    /// consistent runtime metadata, and serialize losslessly.
+    #[test]
+    fn table_invariants(pts in points()) {
+        let front = ParetoFront::from_points(pts);
+        let sk = skeleton();
+        let table = VersionTable::from_front(
+            "r",
+            &sk,
+            &front,
+            vec!["t".into(), "r".into()],
+            Some(1),
+        );
+        prop_assert_eq!(table.len(), front.len());
+        for w in table.versions.windows(2) {
+            prop_assert!(w[0].objectives[0] <= w[1].objectives[0]);
+        }
+        for v in &table.versions {
+            prop_assert_eq!(v.threads as i64, v.values[1]);
+        }
+        let meta = table.runtime_meta();
+        prop_assert_eq!(meta.len(), table.len());
+        for (m, v) in meta.iter().zip(&table.versions) {
+            prop_assert_eq!(&m.objectives, &v.objectives);
+            prop_assert_eq!(m.threads, v.threads);
+        }
+        let back = VersionTable::from_json(&table.to_json()).unwrap();
+        prop_assert_eq!(table, back);
+    }
+
+    /// Pruning keeps at most `k` versions, always retains the
+    /// per-objective champions, preserves sortedness, and the kept set is
+    /// a subset of the original.
+    #[test]
+    fn prune_invariants(pts in points(), k in 2usize..10) {
+        let front = ParetoFront::from_points(pts);
+        let sk = skeleton();
+        let mut table = VersionTable::from_front(
+            "r",
+            &sk,
+            &front,
+            vec!["t".into(), "r".into()],
+            Some(1),
+        );
+        let original = table.clone();
+        table.prune_to(k);
+        prop_assert!(table.len() <= k.max(original.len().min(k)));
+        prop_assert!(table.len() <= original.len());
+        // Subset.
+        for v in &table.versions {
+            prop_assert!(original.versions.contains(v));
+        }
+        // Sorted.
+        for w in table.versions.windows(2) {
+            prop_assert!(w[0].objectives[0] <= w[1].objectives[0]);
+        }
+        // Champions retained.
+        for c in 0..2 {
+            let champ = original
+                .versions
+                .iter()
+                .map(|v| v.objectives[c])
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(
+                table.versions.iter().any(|v| v.objectives[c] == champ),
+                "objective-{c} champion lost"
+            );
+        }
+        // Still pairwise non-dominated (subset of a non-dominated set).
+        for a in &table.versions {
+            for b in &table.versions {
+                prop_assert!(!dominates(&a.objectives, &b.objectives));
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Feedback-driven version selection.
+//!
+//! The static version table stores the objective values *measured during
+//! tuning*; at run time, conditions may differ (co-running jobs, other
+//! inputs, thermal budgets). The [`AdaptiveSelector`] starts from the
+//! table's metadata and refines it with observed execution times using an
+//! epsilon-greedy strategy: mostly exploit the version currently believed
+//! best for the active policy, but occasionally re-measure an alternative
+//! so the belief tracks reality. This implements the paper's outlook of
+//! runtime components that "rely on meta-information as well as real-time
+//! system monitoring results for their decision-making" (§IV).
+
+use crate::select::{SelectionContext, SelectionPolicy, VersionMeta};
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Exponentially-weighted belief about one version's wall time.
+#[derive(Debug, Clone, Copy)]
+struct Belief {
+    /// Current time estimate in seconds.
+    time_s: f64,
+    /// Observations incorporated so far.
+    samples: u64,
+}
+
+/// An adaptive selector wrapping a base [`SelectionPolicy`].
+#[derive(Debug)]
+pub struct AdaptiveSelector {
+    policy: SelectionPolicy,
+    /// Exploration probability in `[0, 1)`.
+    epsilon: f64,
+    /// EWMA smoothing factor in `(0, 1]` (1 = replace, small = smooth).
+    alpha: f64,
+    state: Mutex<AdaptiveState>,
+}
+
+#[derive(Debug)]
+struct AdaptiveState {
+    beliefs: Vec<Belief>,
+    /// Deterministic exploration counter (round-robin through versions on
+    /// exploration steps; keeps the component reproducible).
+    ticks: u64,
+    explore_cursor: usize,
+}
+
+impl AdaptiveSelector {
+    /// Create a selector for a table of `meta` versions.
+    pub fn new(meta: &[VersionMeta], policy: SelectionPolicy, epsilon: f64, alpha: f64) -> Self {
+        assert!((0.0..1.0).contains(&epsilon));
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        AdaptiveSelector {
+            policy,
+            epsilon,
+            alpha,
+            state: Mutex::new(AdaptiveState {
+                beliefs: meta
+                    .iter()
+                    .map(|v| Belief { time_s: v.objectives[0], samples: 0 })
+                    .collect(),
+            ticks: 0,
+                explore_cursor: 0,
+            }),
+        }
+    }
+
+    /// Current (possibly adapted) metadata view: the first objective is
+    /// replaced by the belief, other objectives scale proportionally
+    /// (resources = threads × time in the paper's instantiation).
+    pub fn adapted_meta(&self, meta: &[VersionMeta]) -> Vec<VersionMeta> {
+        let state = self.state.lock();
+        meta.iter()
+            .zip(&state.beliefs)
+            .map(|(v, b)| {
+                let scale = if v.objectives[0] > 0.0 { b.time_s / v.objectives[0] } else { 1.0 };
+                VersionMeta {
+                    objectives: v
+                        .objectives
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &x)| if k == 0 { b.time_s } else { x * scale })
+                        .collect(),
+                    threads: v.threads,
+                    label: v.label.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Select a version: with probability `epsilon` an exploration pick
+    /// (round-robin), otherwise the base policy applied to the adapted
+    /// metadata.
+    pub fn select(&self, meta: &[VersionMeta], ctx: &SelectionContext) -> Option<usize> {
+        if meta.is_empty() {
+            return None;
+        }
+        let explore = {
+            let mut state = self.state.lock();
+            state.ticks += 1;
+            // Deterministic epsilon schedule: explore on every round(1/eps)
+            // invocation.
+            let period = if self.epsilon > 0.0 {
+                (1.0 / self.epsilon).round() as u64
+            } else {
+                u64::MAX
+            };
+            if period != u64::MAX && state.ticks % period == 0 {
+                state.explore_cursor = (state.explore_cursor + 1) % meta.len();
+                Some(state.explore_cursor)
+            } else {
+                None
+            }
+        };
+        match explore {
+            Some(idx) => Some(idx),
+            None => self.policy.select(&self.adapted_meta(meta), ctx),
+        }
+    }
+
+    /// Record an observed execution of version `idx`.
+    pub fn observe(&self, idx: usize, elapsed: Duration) {
+        let mut state = self.state.lock();
+        let b = &mut state.beliefs[idx];
+        let t = elapsed.as_secs_f64();
+        if b.samples == 0 {
+            b.time_s = t;
+        } else {
+            b.time_s = (1.0 - self.alpha) * b.time_s + self.alpha * t;
+        }
+        b.samples += 1;
+    }
+
+    /// Belief about version `idx` (`(estimated seconds, samples)`).
+    pub fn belief(&self, idx: usize) -> (f64, u64) {
+        let state = self.state.lock();
+        (state.beliefs[idx].time_s, state.beliefs[idx].samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> Vec<VersionMeta> {
+        vec![
+            VersionMeta { objectives: vec![1.0, 4.0], threads: 4, label: "fast".into() },
+            VersionMeta { objectives: vec![2.0, 2.0], threads: 1, label: "frugal".into() },
+        ]
+    }
+
+    #[test]
+    fn starts_from_table_beliefs() {
+        let m = meta();
+        let sel = AdaptiveSelector::new(&m, SelectionPolicy::FastestTime, 0.0, 0.5);
+        assert_eq!(sel.belief(0), (1.0, 0));
+        assert_eq!(
+            sel.select(&m, &SelectionContext::default()),
+            Some(0),
+            "initially the table's fastest version wins"
+        );
+    }
+
+    #[test]
+    fn adapts_to_observed_slowdown() {
+        // The "fast" version is observed to be slow at run time (e.g. a
+        // co-running job steals its cores): the selector must switch.
+        let m = meta();
+        let sel = AdaptiveSelector::new(&m, SelectionPolicy::FastestTime, 0.0, 0.5);
+        for _ in 0..8 {
+            sel.observe(0, Duration::from_secs_f64(5.0));
+        }
+        let (belief, samples) = sel.belief(0);
+        assert!(belief > 4.0, "belief must converge to observations: {belief}");
+        assert_eq!(samples, 8);
+        assert_eq!(
+            sel.select(&m, &SelectionContext::default()),
+            Some(1),
+            "selector must switch to the now-faster version"
+        );
+    }
+
+    #[test]
+    fn exploration_visits_other_versions() {
+        let m = meta();
+        let sel = AdaptiveSelector::new(&m, SelectionPolicy::FastestTime, 0.25, 0.5);
+        let ctx = SelectionContext::default();
+        let picks: Vec<usize> = (0..16).map(|_| sel.select(&m, &ctx).unwrap()).collect();
+        // Every 4th invocation explores round-robin: both versions appear.
+        assert!(picks.contains(&0) && picks.contains(&1), "{picks:?}");
+    }
+
+    #[test]
+    fn adapted_meta_scales_resources() {
+        let m = meta();
+        let sel = AdaptiveSelector::new(&m, SelectionPolicy::FastestTime, 0.0, 1.0);
+        sel.observe(0, Duration::from_secs_f64(3.0));
+        let adapted = sel.adapted_meta(&m);
+        assert_eq!(adapted[0].objectives[0], 3.0);
+        // resources scaled by the same factor (threads × time semantics).
+        assert!((adapted[0].objectives[1] - 12.0).abs() < 1e-12);
+        // Untouched version unchanged.
+        assert_eq!(adapted[1].objectives, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let sel = AdaptiveSelector::new(&[], SelectionPolicy::FastestTime, 0.1, 0.5);
+        assert_eq!(sel.select(&[], &SelectionContext::default()), None);
+    }
+}

@@ -1,0 +1,117 @@
+//! Runtime monitoring: timing and per-region execution statistics.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Time a closure, returning its result and the elapsed wall time.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Thread-safe execution statistics of one multi-versioned region:
+/// invocation counts and cumulative time per version.
+#[derive(Debug, Default)]
+pub struct RegionStats {
+    inner: Mutex<StatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    /// `(invocations, total time)` per version index.
+    per_version: Vec<(u64, Duration)>,
+}
+
+impl RegionStats {
+    /// Create empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one invocation of version `index` taking `elapsed`.
+    pub fn record(&self, index: usize, elapsed: Duration) {
+        let mut inner = self.inner.lock();
+        if inner.per_version.len() <= index {
+            inner.per_version.resize(index + 1, (0, Duration::ZERO));
+        }
+        let slot = &mut inner.per_version[index];
+        slot.0 += 1;
+        slot.1 += elapsed;
+    }
+
+    /// Total invocations across all versions.
+    pub fn invocations(&self) -> u64 {
+        self.inner.lock().per_version.iter().map(|(n, _)| n).sum()
+    }
+
+    /// `(invocations, total time)` of version `index`.
+    pub fn version(&self, index: usize) -> (u64, Duration) {
+        self.inner
+            .lock()
+            .per_version
+            .get(index)
+            .copied()
+            .unwrap_or((0, Duration::ZERO))
+    }
+
+    /// Index of the most frequently invoked version, if any.
+    pub fn hottest_version(&self) -> Option<usize> {
+        let inner = self.inner.lock();
+        inner
+            .per_version
+            .iter()
+            .enumerate()
+            .filter(|(_, (n, _))| *n > 0)
+            .max_by_key(|(_, (n, _))| *n)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_value() {
+        let (v, d) = measure(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let stats = RegionStats::new();
+        stats.record(2, Duration::from_millis(5));
+        stats.record(2, Duration::from_millis(7));
+        stats.record(0, Duration::from_millis(1));
+        assert_eq!(stats.invocations(), 3);
+        let (n, t) = stats.version(2);
+        assert_eq!(n, 2);
+        assert_eq!(t, Duration::from_millis(12));
+        assert_eq!(stats.hottest_version(), Some(2));
+        assert_eq!(stats.version(9), (0, Duration::ZERO));
+    }
+
+    #[test]
+    fn empty_stats() {
+        let stats = RegionStats::new();
+        assert_eq!(stats.invocations(), 0);
+        assert_eq!(stats.hottest_version(), None);
+    }
+
+    #[test]
+    fn stats_concurrent_recording() {
+        let stats = RegionStats::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..100 {
+                        stats.record(i % 3, Duration::from_nanos(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(stats.invocations(), 400);
+    }
+}

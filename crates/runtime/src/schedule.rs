@@ -1,0 +1,354 @@
+//! Version-aware task scheduling.
+//!
+//! Paper §III-A: *"dynamic or static task schedulers could be extended to
+//! exploit this additional flexibility [multi-versioned regions] to improve
+//! their own (potentially multi-objective) quality of service."* This
+//! module implements that scenario for a batch of region invocations on a
+//! machine with a fixed number of cores: the scheduler chooses **which
+//! version** of each task to run and **when**, packing parallel versions
+//! onto the available cores.
+//!
+//! The strategy is longest-processing-time list scheduling combined with
+//! hill-climbing over the version assignment: starting from every task's
+//! narrowest feasible version, the scheduler repeatedly switches single
+//! tasks to a different version whenever that lowers the makespan (ties:
+//! fewer CPU-seconds). Narrow versions thus fill the machine when many
+//! tasks compete, while wide versions exploit an idle machine — exactly
+//! the flexibility a single-version binary lacks.
+
+use crate::select::VersionMeta;
+use serde::{Deserialize, Serialize};
+
+/// One task to schedule: a multi-versioned region invocation.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Task name (for the report).
+    pub name: String,
+    /// The version table of the region (objective 0 = wall time in
+    /// seconds).
+    pub versions: Vec<VersionMeta>,
+}
+
+/// Placement of one task in the schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Task name.
+    pub task: String,
+    /// Selected version index.
+    pub version: usize,
+    /// Threads occupied.
+    pub threads: usize,
+    /// Start time (seconds from schedule start).
+    pub start: f64,
+    /// Completion time.
+    pub end: f64,
+}
+
+/// A complete schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Task placements, in start order.
+    pub placements: Vec<Placement>,
+    /// Total wall time until the last task completes.
+    pub makespan: f64,
+    /// Total CPU-seconds consumed.
+    pub cpu_seconds: f64,
+}
+
+/// List-schedule `tasks` with a *fixed* version assignment
+/// (`assignment[i]` indexes `tasks[i].versions`): longest-first, each task
+/// starting as soon as its thread demand fits.
+fn list_schedule(tasks: &[Task], assignment: &[usize], cores: usize) -> Schedule {
+    let mut core_free = vec![0.0f64; cores];
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ta = tasks[a].versions[assignment[a]].objectives[0];
+        let tb = tasks[b].versions[assignment[b]].objectives[0];
+        tb.partial_cmp(&ta).expect("NaN task time")
+    });
+
+    let mut placements = Vec::with_capacity(tasks.len());
+    for &ti in &order {
+        let v = &tasks[ti].versions[assignment[ti]];
+        let threads = v.threads.max(1);
+        // Earliest time at which `threads` cores are simultaneously free:
+        // the threads-th smallest core-free time.
+        let mut idx: Vec<usize> = (0..cores).collect();
+        idx.sort_by(|&a, &b| core_free[a].partial_cmp(&core_free[b]).expect("NaN"));
+        let start = core_free[idx[threads - 1]];
+        let end = start + v.objectives[0];
+        for &c in idx.iter().take(threads) {
+            core_free[c] = end;
+        }
+        placements.push(Placement {
+            task: tasks[ti].name.clone(),
+            version: assignment[ti],
+            threads,
+            start,
+            end,
+        });
+    }
+    placements.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("NaN"));
+    let makespan = placements.iter().map(|p| p.end).fold(0.0, f64::max);
+    let cpu_seconds = placements
+        .iter()
+        .map(|p| (p.end - p.start) * p.threads as f64)
+        .sum();
+    Schedule { placements, makespan, cpu_seconds }
+}
+
+/// Schedule `tasks` on `cores` cores, choosing one version per task.
+///
+/// Multi-start hill climbing: single-coordinate version switches from two
+/// seeds — every task at its narrowest feasible version (packing-friendly)
+/// and every task at its fastest feasible version (latency-friendly) —
+/// keeping the better result. The two seeds cover the coupled moves a
+/// single-switch neighbourhood cannot reach (e.g. several long serial
+/// tasks that must all widen together).
+///
+/// Panics if any task has an empty version table or no version requiring
+/// at most `cores` threads.
+pub fn schedule(tasks: &[Task], cores: usize) -> Schedule {
+    assert!(cores >= 1);
+    let feasible = |t: &Task| -> Vec<usize> {
+        assert!(!t.versions.is_empty(), "task {} has no versions", t.name);
+        let list: Vec<usize> = t
+            .versions
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.threads >= 1 && v.threads <= cores)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!list.is_empty(), "task {} has no feasible version", t.name);
+        list
+    };
+    let narrow_seed: Vec<usize> = tasks
+        .iter()
+        .map(|t| {
+            *feasible(t)
+                .iter()
+                .min_by_key(|&&i| t.versions[i].threads)
+                .expect("feasible list empty")
+        })
+        .collect();
+    let fast_seed: Vec<usize> = tasks
+        .iter()
+        .map(|t| {
+            *feasible(t)
+                .iter()
+                .min_by(|&&a, &&b| {
+                    t.versions[a].objectives[0]
+                        .partial_cmp(&t.versions[b].objectives[0])
+                        .expect("NaN time")
+                })
+                .expect("feasible list empty")
+        })
+        .collect();
+
+    let mut best: Option<Schedule> = None;
+    for seed in [narrow_seed, fast_seed] {
+        let cand = hill_climb(tasks, seed, cores);
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                cand.makespan < b.makespan - 1e-12
+                    || ((cand.makespan - b.makespan).abs() <= 1e-12
+                        && cand.cpu_seconds < b.cpu_seconds - 1e-12)
+            }
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    best.expect("no schedule produced")
+}
+
+fn hill_climb(tasks: &[Task], mut assignment: Vec<usize>, cores: usize) -> Schedule {
+    let mut best = list_schedule(tasks, &assignment, cores);
+    let accepts = |cand: &Schedule, best: &Schedule| {
+        cand.makespan < best.makespan - 1e-12
+            || ((cand.makespan - best.makespan).abs() <= 1e-12
+                && cand.cpu_seconds < best.cpu_seconds - 1e-12)
+    };
+    let feasible = |ti: usize, vi: usize| {
+        let v = &tasks[ti].versions[vi];
+        v.threads >= 1 && v.threads <= cores
+    };
+    // Pairwise moves are quadratic in (tasks × versions); enable them only
+    // for batches where that stays cheap.
+    let pair_moves = tasks.len() <= 12;
+    let mut improved = true;
+    let mut passes = 0;
+    while improved && passes < 10 {
+        improved = false;
+        passes += 1;
+        // Single-task switches.
+        for ti in 0..tasks.len() {
+            let current = assignment[ti];
+            for vi in 0..tasks[ti].versions.len() {
+                if vi == current || !feasible(ti, vi) {
+                    continue;
+                }
+                assignment[ti] = vi;
+                let cand = list_schedule(tasks, &assignment, cores);
+                if accepts(&cand, &best) {
+                    best = cand;
+                    improved = true;
+                } else {
+                    assignment[ti] = current;
+                }
+            }
+        }
+        if improved || !pair_moves {
+            continue;
+        }
+        // Coupled two-task switches (e.g. two long serial tasks that must
+        // widen together to share the machine).
+        'pairs: for ta in 0..tasks.len() {
+            for tb in ta + 1..tasks.len() {
+                let (ca, cb) = (assignment[ta], assignment[tb]);
+                for va in 0..tasks[ta].versions.len() {
+                    if !feasible(ta, va) {
+                        continue;
+                    }
+                    for vb in 0..tasks[tb].versions.len() {
+                        if (va == ca && vb == cb) || !feasible(tb, vb) {
+                            continue;
+                        }
+                        assignment[ta] = va;
+                        assignment[tb] = vb;
+                        let cand = list_schedule(tasks, &assignment, cores);
+                        if accepts(&cand, &best) {
+                            best = cand;
+                            improved = true;
+                            continue 'pairs;
+                        }
+                        assignment[ta] = ca;
+                        assignment[tb] = cb;
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Baseline for comparison: every task is forced to use version
+/// `fixed_version` (clamped to its table) — the behaviour of a
+/// single-version binary.
+pub fn schedule_fixed_version(tasks: &[Task], cores: usize, fixed_version: usize) -> Schedule {
+    let forced: Vec<Task> = tasks
+        .iter()
+        .map(|t| {
+            let vi = fixed_version.min(t.versions.len().saturating_sub(1));
+            Task { name: t.name.clone(), versions: vec![t.versions[vi].clone()] }
+        })
+        .collect();
+    schedule(&forced, cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A region with a parallel-scaling trade-off: 1/2/4 threads.
+    fn task(name: &str, serial_time: f64) -> Task {
+        let eff = [1.0, 0.9, 0.75]; // efficiency at 1/2/4 threads
+        let threads = [1usize, 2, 4];
+        Task {
+            name: name.into(),
+            versions: threads
+                .iter()
+                .zip(&eff)
+                .map(|(&t, &e)| VersionMeta {
+                    objectives: vec![
+                        serial_time / (t as f64 * e),
+                        serial_time / e,
+                    ],
+                    threads: t,
+                    label: format!("{t}t"),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn single_task_uses_widest_version() {
+        let s = schedule(&[task("a", 8.0)], 4);
+        assert_eq!(s.placements.len(), 1);
+        assert_eq!(s.placements[0].threads, 4, "idle machine → widest version");
+        assert!((s.makespan - 8.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_tasks_prefer_narrow_versions() {
+        // 8 equal tasks on 4 cores: running them 1-threaded side by side
+        // (2 waves) beats serializing 4-thread versions.
+        let tasks: Vec<Task> = (0..8).map(|i| task(&format!("t{i}"), 4.0)).collect();
+        let s = schedule(&tasks, 4);
+        // All cores always busy; best possible makespan = total work/4 = 8.
+        assert!(
+            s.makespan <= 8.0 + 1e-9,
+            "scheduler must pack narrow versions: makespan {}",
+            s.makespan
+        );
+        // A fixed wide-version schedule is strictly worse.
+        let fixed = schedule_fixed_version(&tasks, 4, 2);
+        assert!(fixed.makespan > s.makespan, "{} vs {}", fixed.makespan, s.makespan);
+    }
+
+    #[test]
+    fn schedule_is_capacity_feasible() {
+        let tasks: Vec<Task> =
+            (0..6).map(|i| task(&format!("t{i}"), 2.0 + i as f64)).collect();
+        let cores = 4;
+        let s = schedule(&tasks, cores);
+        // At every placement boundary, concurrently running threads ≤ cores.
+        for p in &s.placements {
+            let mid = (p.start + p.end) / 2.0;
+            let busy: usize = s
+                .placements
+                .iter()
+                .filter(|q| q.start <= mid && mid < q.end)
+                .map(|q| q.threads)
+                .sum();
+            assert!(busy <= cores, "oversubscribed at t={mid}: {busy} threads");
+        }
+        assert_eq!(s.placements.len(), tasks.len());
+    }
+
+    #[test]
+    fn versioned_beats_fixed_for_mixed_load() {
+        // A long task plus many short ones: flexibility wins against both
+        // all-serial and all-wide baselines.
+        let mut tasks = vec![task("big", 16.0)];
+        tasks.extend((0..6).map(|i| task(&format!("small{i}"), 2.0)));
+        let cores = 4;
+        let flexible = schedule(&tasks, cores);
+        let all_serial = schedule_fixed_version(&tasks, cores, 0);
+        let all_wide = schedule_fixed_version(&tasks, cores, 2);
+        assert!(flexible.makespan <= all_serial.makespan + 1e-9);
+        assert!(flexible.makespan <= all_wide.makespan + 1e-9);
+        assert!(
+            flexible.makespan < all_serial.makespan.min(all_wide.makespan) - 1e-9,
+            "flexibility must strictly beat both baselines: flex {} serial {} wide {}",
+            flexible.makespan,
+            all_serial.makespan,
+            all_wide.makespan
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no feasible version")]
+    fn infeasible_task_panics() {
+        let t = Task {
+            name: "wide".into(),
+            versions: vec![VersionMeta {
+                objectives: vec![1.0, 8.0],
+                threads: 8,
+                label: "8t".into(),
+            }],
+        };
+        schedule(&[t], 4);
+    }
+}

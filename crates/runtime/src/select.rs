@@ -1,0 +1,225 @@
+//! Dynamic selection among the code versions of a multi-versioned region.
+//!
+//! The compiler backend annotates every generated version with
+//! meta-information describing the trade-off it represents (its objective
+//! values on the Pareto front, the number of threads it uses, its tuning
+//! parameters). At runtime, a [`SelectionPolicy`] picks one version per
+//! invocation — the paper's §IV describes the weighted-sum policy
+//! (`argmin_v Σ_c w_c · f_c(v)`); this module provides that policy plus a
+//! set of practically useful alternatives.
+
+use serde::{Deserialize, Serialize};
+
+/// Metadata of one code version, as embedded in the version table by the
+/// multi-versioning backend (Fig. 6 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionMeta {
+    /// Objective values of this version (all minimized; for the paper's
+    /// instantiation: `[execution time, resource usage]`).
+    pub objectives: Vec<f64>,
+    /// Threads the version was specialized for.
+    pub threads: usize,
+    /// Human-readable description (e.g. the tile sizes).
+    pub label: String,
+}
+
+/// Dynamic context a policy may take into account.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionContext {
+    /// Threads currently available to this region (e.g. machine cores minus
+    /// load); `None` means unrestricted.
+    pub available_threads: Option<usize>,
+}
+
+/// A strategy for choosing a code version from a region's version table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// Minimize `Σ_c weights[c] · objectives[c]` — the paper's user-weight
+    /// policy. Objective values are min-max normalized over the table first
+    /// so the weights express relative importance independent of units.
+    WeightedSum {
+        /// One weight per objective.
+        weights: Vec<f64>,
+    },
+    /// Fastest version whose first objective (time) is minimal.
+    FastestTime,
+    /// Most efficient version (minimal second objective / resource usage).
+    LowestResources,
+    /// Fastest version not exceeding a resource budget on objective index
+    /// `objective` (absolute value).
+    Budget {
+        /// Index of the constrained objective.
+        objective: usize,
+        /// Inclusive budget.
+        limit: f64,
+    },
+    /// Fastest version using at most the context's available threads
+    /// (falls back to the most efficient version if none qualifies).
+    FitThreads,
+}
+
+impl SelectionPolicy {
+    /// Select the index of the version to execute. Returns `None` only for
+    /// an empty table.
+    pub fn select(&self, table: &[VersionMeta], ctx: &SelectionContext) -> Option<usize> {
+        if table.is_empty() {
+            return None;
+        }
+        match self {
+            SelectionPolicy::WeightedSum { weights } => {
+                let m = table[0].objectives.len();
+                assert!(
+                    weights.len() == m,
+                    "expected {m} weights, got {}",
+                    weights.len()
+                );
+                // Min-max normalization per objective over the table.
+                let mut lo = vec![f64::INFINITY; m];
+                let mut hi = vec![f64::NEG_INFINITY; m];
+                for v in table {
+                    for (c, &x) in v.objectives.iter().enumerate() {
+                        lo[c] = lo[c].min(x);
+                        hi[c] = hi[c].max(x);
+                    }
+                }
+                argmin_by(table, |v| {
+                    v.objectives
+                        .iter()
+                        .enumerate()
+                        .map(|(c, &x)| {
+                            let span = hi[c] - lo[c];
+                            let norm = if span > 0.0 { (x - lo[c]) / span } else { 0.0 };
+                            weights[c] * norm
+                        })
+                        .sum()
+                })
+            }
+            SelectionPolicy::FastestTime => argmin_by(table, |v| v.objectives[0]),
+            SelectionPolicy::LowestResources => {
+                argmin_by(table, |v| *v.objectives.get(1).unwrap_or(&v.objectives[0]))
+            }
+            SelectionPolicy::Budget { objective, limit } => {
+                let feasible: Vec<usize> = (0..table.len())
+                    .filter(|&i| table[i].objectives.get(*objective).copied().unwrap_or(0.0) <= *limit)
+                    .collect();
+                if feasible.is_empty() {
+                    // Infeasible budget: degrade gracefully to the version
+                    // closest to the budget.
+                    argmin_by(table, |v| {
+                        (v.objectives.get(*objective).copied().unwrap_or(0.0) - *limit).abs()
+                    })
+                } else {
+                    feasible
+                        .into_iter()
+                        .min_by(|&a, &b| {
+                            table[a].objectives[0]
+                                .partial_cmp(&table[b].objectives[0])
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                }
+            }
+            SelectionPolicy::FitThreads => {
+                let cap = ctx.available_threads.unwrap_or(usize::MAX);
+                let feasible: Vec<usize> =
+                    (0..table.len()).filter(|&i| table[i].threads <= cap).collect();
+                if feasible.is_empty() {
+                    // Nothing fits: least-greedy version.
+                    argmin_by(table, |v| v.threads as f64)
+                } else {
+                    feasible
+                        .into_iter()
+                        .min_by(|&a, &b| {
+                            table[a].objectives[0]
+                                .partial_cmp(&table[b].objectives[0])
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                }
+            }
+        }
+    }
+}
+
+fn argmin_by(table: &[VersionMeta], score: impl Fn(&VersionMeta) -> f64) -> Option<usize> {
+    (0..table.len()).min_by(|&a, &b| {
+        score(&table[a])
+            .partial_cmp(&score(&table[b]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature Pareto front: faster versions use more resources.
+    fn table() -> Vec<VersionMeta> {
+        vec![
+            VersionMeta { objectives: vec![100.0, 100.0], threads: 1, label: "t1".into() },
+            VersionMeta { objectives: vec![21.0, 105.0], threads: 5, label: "t5".into() },
+            VersionMeta { objectives: vec![11.0, 110.0], threads: 10, label: "t10".into() },
+            VersionMeta { objectives: vec![6.0, 120.0], threads: 20, label: "t20".into() },
+            VersionMeta { objectives: vec![4.0, 160.0], threads: 40, label: "t40".into() },
+        ]
+    }
+
+    #[test]
+    fn empty_table_selects_none() {
+        let p = SelectionPolicy::FastestTime;
+        assert_eq!(p.select(&[], &SelectionContext::default()), None);
+    }
+
+    #[test]
+    fn fastest_and_cheapest() {
+        let ctx = SelectionContext::default();
+        assert_eq!(SelectionPolicy::FastestTime.select(&table(), &ctx), Some(4));
+        assert_eq!(SelectionPolicy::LowestResources.select(&table(), &ctx), Some(0));
+    }
+
+    #[test]
+    fn weighted_sum_interpolates() {
+        let ctx = SelectionContext::default();
+        // All weight on time → fastest; all weight on resources → cheapest.
+        let t = SelectionPolicy::WeightedSum { weights: vec![1.0, 0.0] };
+        let r = SelectionPolicy::WeightedSum { weights: vec![0.0, 1.0] };
+        assert_eq!(t.select(&table(), &ctx), Some(4));
+        assert_eq!(r.select(&table(), &ctx), Some(0));
+        // Balanced weights pick an intermediate trade-off.
+        let b = SelectionPolicy::WeightedSum { weights: vec![0.5, 0.5] };
+        let pick = b.select(&table(), &ctx).unwrap();
+        assert!(pick > 0 && pick < 4, "balanced weights must not pick an extreme: {pick}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights")]
+    fn weighted_sum_wrong_arity_panics() {
+        let p = SelectionPolicy::WeightedSum { weights: vec![1.0] };
+        let _ = p.select(&table(), &SelectionContext::default());
+    }
+
+    #[test]
+    fn budget_selects_fastest_feasible() {
+        let ctx = SelectionContext::default();
+        let p = SelectionPolicy::Budget { objective: 1, limit: 115.0 };
+        // Versions with resources ≤ 115: t1, t5, t10 → fastest is t10.
+        assert_eq!(p.select(&table(), &ctx), Some(2));
+    }
+
+    #[test]
+    fn infeasible_budget_degrades_gracefully() {
+        let ctx = SelectionContext::default();
+        let p = SelectionPolicy::Budget { objective: 1, limit: 50.0 };
+        // No version fits; closest to the budget is t1 (100).
+        assert_eq!(p.select(&table(), &ctx), Some(0));
+    }
+
+    #[test]
+    fn fit_threads_respects_cap() {
+        let ctx = SelectionContext { available_threads: Some(10) };
+        assert_eq!(SelectionPolicy::FitThreads.select(&table(), &ctx), Some(2));
+        let ctx0 = SelectionContext { available_threads: Some(0) };
+        // Nothing fits → least-greedy (1 thread).
+        assert_eq!(SelectionPolicy::FitThreads.select(&table(), &ctx0), Some(0));
+        let unrestricted = SelectionContext::default();
+        assert_eq!(SelectionPolicy::FitThreads.select(&table(), &unrestricted), Some(4));
+    }
+}

@@ -1,0 +1,168 @@
+//! Native auto-tuning: run the multi-objective optimizer against *real*
+//! measurements on this host instead of the machine model.
+//!
+//! The objective function executes the tiled matrix-multiplication kernel
+//! on the worker pool, measuring wall time; resource usage is
+//! `threads × time` as in the paper. The resulting Pareto set is embedded
+//! as an in-process multi-versioned region whose versions are real
+//! closures, dispatched by runtime policies.
+//!
+//! ```sh
+//! cargo run --release --example native_autotune
+//! ```
+
+use moat::core::{BatchEval, Config, Domain, Evaluator, ObjVec, ParamSpace, RsGde3, RsGde3Params};
+use moat::kernels::data::seeded_vec;
+use moat::kernels::native::mm_tiled;
+use moat::multiversion::{NativeRegion, VersionTable};
+use moat::{Pool, SelectionContext, SelectionPolicy};
+use moat_ir::{ParamDecl, ParamDomain, Skeleton};
+use std::time::Instant;
+
+/// Problem size (kept small so the example finishes in seconds).
+const N: usize = 256;
+/// Repetitions per measurement; the median is used, like the paper.
+const REPS: usize = 3;
+
+struct NativeMm {
+    pool: Pool,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    max_threads: usize,
+}
+
+impl Evaluator for NativeMm {
+    fn num_objectives(&self) -> usize {
+        2
+    }
+
+    fn evaluate(&self, cfg: &Config) -> Option<ObjVec> {
+        let (ti, tj, tk, threads) =
+            (cfg[0] as usize, cfg[1] as usize, cfg[2] as usize, cfg[3] as usize);
+        if threads == 0 || threads > self.max_threads {
+            return None;
+        }
+        let mut times: Vec<f64> = (0..REPS)
+            .map(|_| {
+                let mut c = vec![0.0f64; N * N];
+                let start = Instant::now();
+                mm_tiled(&self.pool, N, &self.a, &self.b, &mut c, (ti, tj, tk), threads);
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let t = times[REPS / 2];
+        Some(vec![t, t * threads as f64])
+    }
+}
+
+fn main() {
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    println!("native auto-tuning of mm (N={N}) on this host ({max_threads} hw threads)");
+
+    let evaluator = NativeMm {
+        pool: Pool::new(max_threads),
+        a: seeded_vec(N * N, 1),
+        b: seeded_vec(N * N, 2),
+        max_threads,
+    };
+
+    let space = ParamSpace::new(
+        vec!["tile_i".into(), "tile_j".into(), "tile_k".into(), "threads".into()],
+        vec![
+            Domain::Range { lo: 1, hi: (N / 2) as i64 },
+            Domain::Range { lo: 1, hi: (N / 2) as i64 },
+            Domain::Range { lo: 1, hi: (N / 2) as i64 },
+            Domain::Range { lo: 1, hi: max_threads as i64 },
+        ],
+    );
+
+    // Real measurements are serial through the pool (one kernel at a time),
+    // so evaluate sequentially; keep the search short.
+    let params = RsGde3Params { max_generations: 12, ..Default::default() };
+    let start = Instant::now();
+    let result = RsGde3::new(space, params).run(&evaluator, &BatchEval::sequential());
+    println!(
+        "tuned in {:.1} s: {} evaluations, {} Pareto points\n",
+        start.elapsed().as_secs_f64(),
+        result.evaluations,
+        result.front.len()
+    );
+
+    // Build the version table + an in-process multi-versioned region whose
+    // implementations are real closures over the tuned parameters.
+    let skeleton = Skeleton::new(
+        "mm-native",
+        vec![
+            ParamDecl::new("tile_i", ParamDomain::IntRange { lo: 1, hi: (N / 2) as i64 }),
+            ParamDecl::new("tile_j", ParamDomain::IntRange { lo: 1, hi: (N / 2) as i64 }),
+            ParamDecl::new("tile_k", ParamDomain::IntRange { lo: 1, hi: (N / 2) as i64 }),
+            ParamDecl::new("threads", ParamDomain::IntRange { lo: 1, hi: max_threads as i64 }),
+        ],
+        vec![],
+    );
+    let table = VersionTable::from_front(
+        "mm",
+        &skeleton,
+        &result.front,
+        vec!["time_s".into(), "cpu_seconds".into()],
+        Some(3),
+    );
+    println!("version table:");
+    for v in &table.versions {
+        println!(
+            "  {:>8.4} s  {:>8.4} cpu·s  {}",
+            v.objectives[0], v.objectives[1], v.label
+        );
+    }
+
+    struct MmData {
+        a: Vec<f64>,
+        b: Vec<f64>,
+        c: Vec<f64>,
+    }
+    let pool = Pool::new(max_threads);
+    let impls: Vec<Box<dyn Fn(&mut MmData) + Sync>> = table
+        .versions
+        .iter()
+        .map(|v| {
+            let (ti, tj, tk, th) = (
+                v.values[0] as usize,
+                v.values[1] as usize,
+                v.values[2] as usize,
+                v.threads,
+            );
+            let pool = &pool;
+            Box::new(move |d: &mut MmData| {
+                mm_tiled(pool, N, &d.a, &d.b, &mut d.c, (ti, tj, tk), th)
+            }) as Box<dyn Fn(&mut MmData) + Sync>
+        })
+        .collect();
+    let region = NativeRegion::new(&table, impls);
+
+    let mut data = MmData { a: seeded_vec(N * N, 1), b: seeded_vec(N * N, 2), c: vec![0.0; N * N] };
+    let ctx = SelectionContext::default();
+    println!("\ninvoking the multi-versioned region:");
+    for (name, policy) in [
+        ("fastest", SelectionPolicy::FastestTime),
+        ("most efficient", SelectionPolicy::LowestResources),
+        ("balanced", SelectionPolicy::WeightedSum { weights: vec![0.5, 0.5] }),
+    ] {
+        data.c.fill(0.0);
+        let (idx, elapsed) = {
+            let start = Instant::now();
+            let idx = region.invoke(&policy, &ctx, &mut data).unwrap();
+            (idx, start.elapsed())
+        };
+        println!(
+            "  {name:<15} -> version {idx} ({}) ran in {:.4} s",
+            region.meta[idx].label,
+            elapsed.as_secs_f64()
+        );
+    }
+    println!(
+        "\nregion statistics: {} invocations, hottest version {:?}",
+        region.stats.invocations(),
+        region.stats.hottest_version()
+    );
+}

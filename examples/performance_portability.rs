@@ -1,0 +1,88 @@
+//! Performance portability study: what does it cost to reuse a version
+//! table tuned for one machine on a different machine?
+//!
+//! The paper's introduction motivates auto-tuning with exactly this
+//! problem: transformations "in many cases have to be redone for each
+//! different architecture". This example quantifies it with the framework:
+//! tune mm for each target (including a custom machine built with
+//! [`MachineDesc::symmetric`]), then cross-evaluate every table's fastest
+//! version on every other machine.
+//!
+//! ```sh
+//! cargo run --release --example performance_portability
+//! ```
+
+use moat::core::Evaluator;
+use moat::ir::{analyze, AnalyzerConfig};
+use moat::machine::{CostModel, NoiseModel};
+use moat::{Framework, Kernel, MachineDesc};
+
+const N: i64 = 1400;
+
+fn main() {
+    let machines = vec![
+        MachineDesc::westmere(),
+        MachineDesc::barcelona(),
+        // A hypothetical wide dual-socket machine with small shared L3.
+        MachineDesc::symmetric("CustomWide", 2, 24, 32, 512, 8, 2.8),
+    ];
+
+    // Tune on every machine; remember each machine's fastest configuration.
+    println!("tuning mm (N={N}) for {} machines ...\n", machines.len());
+    let mut best_configs = Vec::new();
+    for m in &machines {
+        let mut fw = Framework::new(m.clone());
+        fw.tuner_params.max_generations = 30;
+        let tuned = fw.tune(Kernel::Mm.region(N)).expect("tuning failed");
+        let fastest = tuned.table.versions.first().expect("empty table").clone();
+        println!(
+            "{:<11} fastest: {:<46} {:.4} s  (E={}, |S|={})",
+            m.name,
+            fastest.label,
+            fastest.objectives[0],
+            tuned.result.evaluations,
+            tuned.table.len()
+        );
+        best_configs.push(fastest.values.clone());
+    }
+
+    // Cross matrix: run the config tuned for machine r on machine c.
+    println!("\nperformance loss when reusing a foreign tuning [% slower than native]:");
+    print!("{:<14}", "tuned for \\ on");
+    for m in &machines {
+        print!("{:>12}", m.name);
+    }
+    println!();
+    let mut max_loss = 0.0f64;
+    for (r, cfg_r) in best_configs.iter().enumerate() {
+        print!("{:<14}", machines[r].name);
+        for (c, m) in machines.iter().enumerate() {
+            // Evaluate config r on machine c (threads clamped to machine c,
+            // tile params projected onto c's domains).
+            let acfg = AnalyzerConfig::for_threads((1..=m.total_cores() as i64).collect());
+            let region = analyze(Kernel::Mm.region(N), &acfg).unwrap();
+            let model = CostModel::with_noise(m.clone(), NoiseModel::default());
+            let ev = moat::SimEvaluator {
+                region: &region,
+                skeleton: &region.skeletons[0],
+                model: &model,
+            };
+            let projected = region.skeletons[0].nearest_values(cfg_r);
+            let foreign = ev.evaluate(&projected).expect("evaluation failed")[0];
+            let native = match ev.evaluate(&best_configs[c]) {
+                Some(objs) => objs[0],
+                None => foreign,
+            };
+            let loss = (foreign / native - 1.0) * 100.0;
+            if r != c {
+                max_loss = max_loss.max(loss);
+            }
+            print!("{:>11.1}%", loss.max(0.0));
+        }
+        println!();
+    }
+    println!(
+        "\nworst cross-machine reuse penalty: {max_loss:.1}% — \
+         per-target auto-tuning pays for itself."
+    );
+}

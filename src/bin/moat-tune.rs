@@ -1,0 +1,227 @@
+//! `moat-tune` — command-line front end of the auto-tuning framework.
+//!
+//! ```text
+//! moat-tune [OPTIONS]
+//!
+//!   --kernel <mm|dsyrk|jacobi-2d|3d-stencil|n-body>   kernel to tune (default mm)
+//!   --file <FILE.moat>                                tune a region parsed from a file
+//!                                                     (overrides --kernel/--size)
+//!   --machine <westmere|barcelona>                    target machine (default westmere)
+//!   --size <N>                                        problem size (default: paper size)
+//!   --seed <S>                                        optimizer seed (default 42)
+//!   --generations <G>                                 max GDE3 generations (default 200)
+//!   --energy                                          add the energy objective (3 objectives)
+//!   --emit-c <FILE>                                   write multi-versioned C
+//!   --emit-param-c <FILE>                             write parameterized C (tiling only)
+//!   --emit-json <FILE>                                write the version table as JSON
+//!   --quiet                                           only print the summary line
+//! ```
+
+use moat::core::metrics::objective_bounds;
+use moat::core::{hypervolume, normalize_front, BatchEval, RsGde3, RsGde3Params};
+use moat::ir::{analyze, AnalyzerConfig, Step};
+use moat::multiversion::{emit_multiversioned_c, emit_parameterized_c, VersionTable};
+use moat::{ir_space, Kernel, MachineDesc, MultiObjectiveEvaluator, Objective};
+use moat_machine::{CostModel, NoiseModel};
+use std::process::exit;
+
+#[derive(Debug)]
+struct Opts {
+    kernel: Kernel,
+    file: Option<String>,
+    machine: MachineDesc,
+    size: Option<i64>,
+    seed: u64,
+    generations: u32,
+    energy: bool,
+    emit_c: Option<String>,
+    emit_param_c: Option<String>,
+    emit_json: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("{}", include_str!("moat-tune.rs").lines().skip(2).take(15).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
+    exit(2)
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        kernel: Kernel::Mm,
+        file: None,
+        machine: MachineDesc::westmere(),
+        size: None,
+        seed: 42,
+        generations: 200,
+        energy: false,
+        emit_c: None,
+        emit_param_c: None,
+        emit_json: None,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--kernel" => {
+                let v = value("--kernel");
+                opts.kernel = match v.as_str() {
+                    "mm" => Kernel::Mm,
+                    "dsyrk" => Kernel::Dsyrk,
+                    "jacobi-2d" | "jacobi2d" => Kernel::Jacobi2d,
+                    "3d-stencil" | "stencil3d" => Kernel::Stencil3d,
+                    "n-body" | "nbody" => Kernel::Nbody,
+                    other => {
+                        eprintln!("unknown kernel: {other}");
+                        exit(2)
+                    }
+                };
+            }
+            "--machine" => {
+                let v = value("--machine");
+                opts.machine = match v.as_str() {
+                    "westmere" => MachineDesc::westmere(),
+                    "barcelona" => MachineDesc::barcelona(),
+                    other => {
+                        eprintln!("unknown machine: {other} (westmere|barcelona)");
+                        exit(2)
+                    }
+                };
+            }
+            "--file" => opts.file = Some(value("--file")),
+            "--size" => opts.size = Some(value("--size").parse().unwrap_or_else(|_| usage())),
+            "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--generations" => {
+                opts.generations = value("--generations").parse().unwrap_or_else(|_| usage())
+            }
+            "--energy" => opts.energy = true,
+            "--emit-c" => opts.emit_c = Some(value("--emit-c")),
+            "--emit-param-c" => opts.emit_param_c = Some(value("--emit-param-c")),
+            "--emit-json" => opts.emit_json = Some(value("--emit-json")),
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option: {other}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let size = opts.size.unwrap_or(opts.kernel.info().paper_size);
+
+    let acfg = AnalyzerConfig::for_threads((1..=opts.machine.total_cores() as i64).collect());
+    let raw_region = match &opts.file {
+        Some(path) => {
+            let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1)
+            });
+            moat::ir::parse_region(&src).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                exit(1)
+            })
+        }
+        None => opts.kernel.region(size),
+    };
+    let region = match analyze(raw_region, &acfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            exit(1)
+        }
+    };
+    let model = CostModel::with_noise(opts.machine.clone(), NoiseModel::default());
+    let objectives = if opts.energy {
+        vec![Objective::Time, Objective::Resources, Objective::Energy]
+    } else {
+        vec![Objective::Time, Objective::Resources]
+    };
+    let ev = MultiObjectiveEvaluator {
+        region: &region,
+        skeleton: &region.skeletons[0],
+        model: &model,
+        objectives: objectives.clone(),
+    };
+
+    let params = RsGde3Params {
+        seed: opts.seed,
+        max_generations: opts.generations,
+        ..Default::default()
+    };
+    let space = ir_space(&region.skeletons[0]);
+    let batch = BatchEval::parallel(
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    let result = RsGde3::new(space, params).run(&ev, &batch);
+
+    let threads_param = region.skeletons[0].steps.iter().find_map(|s| match s {
+        Step::Parallelize { threads_param } => Some(*threads_param),
+        _ => None,
+    });
+    let table = VersionTable::from_front(
+        region.name.clone(),
+        &region.skeletons[0],
+        &result.front,
+        objectives.iter().map(|o| o.name().to_string()).collect(),
+        threads_param,
+    );
+
+    let (ideal, nadir) = objective_bounds(result.front.points());
+    let hv = hypervolume(&normalize_front(result.front.points(), &ideal, &nadir));
+    println!(
+        "tuned {} on {}: E={} |S|={} generations={} self-hv={:.3}",
+        region.name,
+        opts.machine.name,
+        result.evaluations,
+        table.len(),
+        result.generations,
+        hv
+    );
+    let _ = size;
+    if !opts.quiet {
+        let names = objectives.iter().map(|o| o.name()).collect::<Vec<_>>().join("  ");
+        println!("\n{:<48}  {}", "configuration", names);
+        for v in &table.versions {
+            let objs = v
+                .objectives
+                .iter()
+                .map(|o| format!("{o:<10.4}"))
+                .collect::<Vec<_>>()
+                .join("  ");
+            println!("{:<48}  {}", v.label, objs);
+        }
+    }
+
+    if let Some(path) = &opts.emit_json {
+        std::fs::write(path, table.to_json()).expect("write JSON");
+        println!("wrote {path}");
+    }
+    if let Some(path) = &opts.emit_c {
+        let variants: Vec<_> = table
+            .versions
+            .iter()
+            .map(|v| region.skeletons[0].instantiate(&region.nest, &v.values).unwrap())
+            .collect();
+        std::fs::write(path, emit_multiversioned_c(&region, &table, &variants))
+            .expect("write C");
+        println!("wrote {path}");
+    }
+    if let Some(path) = &opts.emit_param_c {
+        match emit_parameterized_c(&region, &region.skeletons[0], &table) {
+            Ok(code) => {
+                std::fs::write(path, code).expect("write parameterized C");
+                println!("wrote {path}");
+            }
+            Err(e) => eprintln!("parameterized emission unavailable: {e}"),
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The end-to-end auto-tuning pipeline (paper Fig. 3, labels 1–5).
+
+use crate::sim::{ir_space, SimEvaluator, OBJECTIVE_NAMES};
+use moat_core::{BatchEval, RsGde3, RsGde3Params, TuningResult};
+use moat_ir::{analyze, AnalyzerConfig, Region, Step, Variant};
+use moat_machine::{CostModel, MachineDesc, NoiseModel};
+use moat_multiversion::{emit_multiversioned_c, VersionTable};
+
+/// A fully tuned region: the optimizer's result plus the backend artifacts.
+#[derive(Debug, Clone)]
+pub struct TunedRegion {
+    /// The analyzed region (with skeletons attached).
+    pub region: Region,
+    /// Index of the tuned skeleton within `region.skeletons`.
+    pub skeleton_index: usize,
+    /// Optimizer output: Pareto front, evaluation count, history.
+    pub result: TuningResult,
+    /// The version table (Fig. 6).
+    pub table: VersionTable,
+    /// Instantiated variants, index-aligned with `table.versions`.
+    pub variants: Vec<Variant>,
+    /// Generated multi-versioned C (OpenMP) source.
+    pub source_c: String,
+}
+
+/// The auto-tuning framework bound to one target machine.
+#[derive(Debug, Clone)]
+pub struct Framework {
+    /// Target machine description.
+    pub machine: MachineDesc,
+    /// Measurement-noise emulation (defaults to the paper's
+    /// median-of-3 protocol; set to `None` for exact model output).
+    pub noise: Option<NoiseModel>,
+    /// RS-GDE3 parameters.
+    pub tuner_params: RsGde3Params,
+    /// Parallelism for configuration evaluation (paper: configurations are
+    /// generated, compiled and evaluated in parallel).
+    pub batch: BatchEval,
+    /// Optional code-size budget: cap the number of generated versions,
+    /// keeping the per-objective champions plus the max-hypervolume subset.
+    pub max_versions: Option<usize>,
+    /// Add a tunable innermost-unroll factor to the skeleton (the backend
+    /// then emits structurally unrolled versions — the transformation the
+    /// paper cites as impossible to express with runtime parameters).
+    pub tune_unroll: bool,
+}
+
+impl Framework {
+    /// Framework with paper-default settings for `machine`.
+    pub fn new(machine: MachineDesc) -> Self {
+        Framework {
+            machine,
+            noise: Some(NoiseModel::default()),
+            tuner_params: RsGde3Params::default(),
+            batch: BatchEval::parallel(
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            ),
+            max_versions: None,
+            tune_unroll: false,
+        }
+    }
+
+    /// Analyzer configuration matching the machine: any thread count up to
+    /// the machine size (paper §V-B.3) and the `N/2` tile-size bound.
+    pub fn analyzer_config(&self) -> AnalyzerConfig {
+        AnalyzerConfig::for_threads((1..=self.machine.total_cores() as i64).collect())
+    }
+
+    /// The cost model used for evaluation.
+    pub fn cost_model(&self) -> CostModel {
+        match self.noise {
+            Some(n) => CostModel::with_noise(self.machine.clone(), n),
+            None => CostModel::new(self.machine.clone()),
+        }
+    }
+
+    /// Run the full pipeline on `region`: analyze (1), optimize (2–4),
+    /// generate the multi-versioned backend artifacts (5).
+    pub fn tune(&self, region: Region) -> Result<TunedRegion, String> {
+        // (1) Analyzer: derive skeletons if not already present.
+        let mut region = if region.skeletons.is_empty() {
+            analyze(region, &self.analyzer_config())?
+        } else {
+            region
+        };
+        if self.tune_unroll {
+            for sk in &mut region.skeletons {
+                let factor_param = sk.params.len();
+                sk.params.push(moat_ir::ParamDecl::new(
+                    "unroll",
+                    moat_ir::ParamDomain::Choice(vec![1, 2, 4, 8, 16]),
+                ));
+                sk.steps.push(Step::Unroll { factor_param });
+            }
+        }
+        let skeleton_index = 0;
+        let skeleton = &region.skeletons[skeleton_index];
+
+        // (2–4) Multi-objective optimization on the machine model.
+        let model = self.cost_model();
+        let evaluator = SimEvaluator { region: &region, skeleton, model: &model };
+        let space = ir_space(skeleton);
+        let tuner = RsGde3::new(space, self.tuner_params);
+        let result = tuner.run(&evaluator, &self.batch);
+
+        // (5) Backend: one specialized version per Pareto point + table.
+        let threads_param = skeleton.steps.iter().find_map(|s| match s {
+            Step::Parallelize { threads_param } => Some(*threads_param),
+            _ => None,
+        });
+        let mut table = VersionTable::from_front(
+            region.name.clone(),
+            skeleton,
+            &result.front,
+            OBJECTIVE_NAMES.iter().map(|s| s.to_string()).collect(),
+            threads_param,
+        );
+        if let Some(k) = self.max_versions {
+            table.prune_to(k);
+        }
+        let variants: Vec<Variant> = table
+            .versions
+            .iter()
+            .map(|v| {
+                skeleton
+                    .instantiate(&region.nest, &v.values)
+                    .map_err(|e| e.to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        let source_c = emit_multiversioned_c(&region, &table, &variants);
+
+        Ok(TunedRegion { region, skeleton_index, result, table, variants, source_c })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_kernels::Kernel;
+
+    fn quick_framework() -> Framework {
+        let mut fw = Framework::new(MachineDesc::westmere());
+        fw.tuner_params.max_generations = 8;
+        fw.batch = BatchEval::sequential();
+        fw
+    }
+
+    #[test]
+    fn end_to_end_mm() {
+        let fw = quick_framework();
+        let tuned = fw.tune(Kernel::Mm.region(128)).unwrap();
+        assert!(!tuned.result.front.is_empty());
+        assert_eq!(tuned.table.len(), tuned.result.front.len());
+        assert_eq!(tuned.variants.len(), tuned.table.len());
+        assert!(tuned.source_c.contains("_invoke("));
+        assert!(tuned.result.evaluations > 0);
+        // Versions are specialized: thread counts recorded in the table
+        // match the instantiated variants.
+        for (entry, variant) in tuned.table.versions.iter().zip(&tuned.variants) {
+            assert_eq!(entry.threads, variant.threads);
+        }
+    }
+
+    #[test]
+    fn pareto_front_spans_thread_counts() {
+        // The central multi-versioning claim: the front should contain
+        // versions with different thread counts (the time/resource
+        // trade-off), not a single configuration.
+        let fw = quick_framework();
+        let tuned = fw.tune(Kernel::Mm.region(256)).unwrap();
+        let mut threads: Vec<usize> =
+            tuned.table.versions.iter().map(|v| v.threads).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        assert!(
+            threads.len() >= 2,
+            "expected multiple thread counts on the front, got {threads:?}"
+        );
+    }
+
+    #[test]
+    fn unroll_tuning_produces_unrolled_versions() {
+        let mut fw = quick_framework();
+        fw.tune_unroll = true;
+        fw.noise = None;
+        let tuned = fw.tune(Kernel::Mm.region(192)).unwrap();
+        assert_eq!(tuned.table.param_names.last().map(|s| s.as_str()), Some("unroll"));
+        // The model rewards unrolling (ILP term): the fastest version
+        // should use a factor > 1, and its generated code is structurally
+        // unrolled (duplicated statement bodies).
+        let fastest = &tuned.table.versions[0];
+        let unroll = *fastest.values.last().unwrap();
+        assert!(unroll > 1, "fastest version should unroll, got {unroll}");
+        assert!(
+            tuned.source_c.matches("C[i][j] = C[i][j]").count() > tuned.table.len(),
+            "unrolled versions must duplicate the statement"
+        );
+    }
+
+    #[test]
+    fn version_budget_caps_code_size() {
+        let mut fw = quick_framework();
+        fw.max_versions = Some(4);
+        let tuned = fw.tune(Kernel::Mm.region(192)).unwrap();
+        assert!(tuned.table.len() <= 4);
+        assert_eq!(tuned.variants.len(), tuned.table.len());
+        // Champions retained: the table's fastest version equals the
+        // front's fastest point.
+        let front_best = tuned
+            .result
+            .front
+            .points()
+            .iter()
+            .map(|p| p.objectives[0])
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(tuned.table.versions[0].objectives[0], front_best);
+        // Generated C shrinks accordingly.
+        assert_eq!(tuned.source_c.matches("static void ").count(), tuned.table.len());
+    }
+
+    #[test]
+    fn deterministic_pipeline() {
+        let fw = quick_framework();
+        let a = fw.tune(Kernel::Jacobi2d.region(128)).unwrap();
+        let b = fw.tune(Kernel::Jacobi2d.region(128)).unwrap();
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.source_c, b.source_c);
+    }
+
+    #[test]
+    fn all_kernels_tune() {
+        let fw = quick_framework();
+        for k in Kernel::all() {
+            let tuned = fw.tune(k.region(64)).unwrap();
+            assert!(!tuned.table.is_empty(), "{:?} produced an empty table", k);
+        }
+    }
+}

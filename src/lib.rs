@@ -1,0 +1,79 @@
+//! # moat — a Multi-Objective Auto-Tuning framework for parallel codes
+//!
+//! A from-scratch Rust reproduction of *"A Multi-Objective Auto-Tuning
+//! Framework for Parallel Codes"* (Jordan et al., SC 2012): a compiler +
+//! runtime infrastructure that tunes code regions for several conflicting
+//! objectives at once, encodes the resulting Pareto set as a
+//! multi-versioned executable, and defers the trade-off decision to the
+//! runtime system.
+//!
+//! The facade exposed here wires the pipeline of the paper's Fig. 3:
+//!
+//! ```text
+//! input region ──(1)──► Analyzer ──(2)──► Multi-objective optimizer (RS-GDE3)
+//!                                             │ (3) evaluate configurations
+//!                                             ▼     on the target machine
+//!                                        Pareto set ──(4,5)──► Multi-versioning
+//!                                                              backend (+table)
+//!                                                        (6) runtime selection
+//! ```
+//!
+//! * the **analyzer** ([`moat_ir::analyze`]) finds tileable/parallelizable
+//!   loop bands and derives transformation skeletons with unbound
+//!   parameters,
+//! * the **optimizer** ([`moat_core::RsGde3`]) searches the configuration
+//!   space for the Pareto front of *(execution time, resource usage)*,
+//! * **evaluation** runs either on the analytic machine model
+//!   ([`moat_machine::CostModel`], presets for the paper's Westmere and
+//!   Barcelona systems) or natively on this host via
+//!   [`moat_kernels::native`],
+//! * the **backend** ([`moat_multiversion`]) outlines one specialized code
+//!   version per Pareto point and emits the version table of Fig. 6, and
+//! * the **runtime** ([`moat_runtime`]) picks a version per invocation
+//!   according to a configurable [`moat_runtime::SelectionPolicy`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use moat::{Framework, Kernel, MachineDesc};
+//!
+//! // Tune matrix multiplication for the paper's Westmere machine (small
+//! // size to keep the doctest fast).
+//! let mut fw = Framework::new(MachineDesc::westmere());
+//! fw.tuner_params.max_generations = 5;
+//! let tuned = fw.tune(Kernel::Mm.region(64)).unwrap();
+//!
+//! // Every Pareto point became one specialized code version.
+//! assert_eq!(tuned.table.len(), tuned.result.front.len());
+//! println!("{}", tuned.source_c); // readable multi-versioned C (OpenMP)
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod framework;
+pub mod program;
+pub mod sim;
+
+pub use framework::{Framework, TunedRegion};
+pub use program::{ProgramTuner, ProgramTuningResult, RegionOutcome};
+pub use sim::{
+    ir_space, MultiObjectiveEvaluator, Objective, SimEvaluator, SkeletonChoiceEvaluator,
+    OBJECTIVE_NAMES,
+};
+
+// Re-export the sub-crates under stable names.
+pub use moat_cachesim as cachesim;
+pub use moat_core as core;
+pub use moat_ir as ir;
+pub use moat_kernels as kernels;
+pub use moat_machine as machine;
+pub use moat_multiversion as multiversion;
+pub use moat_runtime as runtime;
+
+// Convenience re-exports used by examples and benches.
+pub use moat_core::{BatchEval, ParetoFront, RsGde3, RsGde3Params, TuningResult};
+pub use moat_ir::Region;
+pub use moat_kernels::Kernel;
+pub use moat_machine::{CostModel, MachineDesc, NoiseModel};
+pub use moat_multiversion::VersionTable;
+pub use moat_runtime::{Pool, SelectionContext, SelectionPolicy};

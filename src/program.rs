@@ -1,0 +1,309 @@
+//! Simultaneous tuning of several regions of one program.
+//!
+//! Paper §III-A (label 3): *"During the evaluation, a single execution of
+//! the resulting program is sufficient to obtain measurements for all
+//! simultaneously tuned regions."* Each region keeps its own independent
+//! multi-objective problem (own GDE3 population, rough-set boundary,
+//! stopping state), but evaluation is amortized: in every iteration, the
+//! candidate configurations of all still-active regions are combined into
+//! joint *program executions*, so tuning a whole program costs roughly as
+//! many executions as tuning its slowest region — not the sum.
+
+use crate::sim::{ir_space, SimEvaluator, OBJECTIVE_NAMES};
+use moat_core::roughset::{enclose_points, reduce_search_space};
+use moat_core::{
+    Config, Evaluator, FrontSignature, Gde3, ParetoFront, RsGde3Params, TuningResult,
+};
+use moat_ir::{analyze, Region, Step};
+use moat_machine::{CostModel, MachineDesc, NoiseModel};
+use moat_multiversion::VersionTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of tuning one program (several regions) together.
+#[derive(Debug, Clone)]
+pub struct ProgramTuningResult {
+    /// Per-region results, in input order.
+    pub regions: Vec<RegionOutcome>,
+    /// Number of joint program executions performed. Compare with the sum
+    /// of per-region evaluations to see the amortization.
+    pub program_executions: u64,
+}
+
+/// Outcome of one region within a program tuning run.
+#[derive(Debug, Clone)]
+pub struct RegionOutcome {
+    /// The analyzed region.
+    pub region: Region,
+    /// Its tuning result (front = non-dominated archive, `evaluations` =
+    /// configurations this region measured — each piggybacked on a program
+    /// execution).
+    pub result: TuningResult,
+    /// Version table for the backend.
+    pub table: VersionTable,
+}
+
+/// Per-region search state.
+struct RegionState {
+    region: Region,
+    gde3: Gde3,
+    population: Vec<moat_core::Point>,
+    archive: ParetoFront,
+    bbox: Vec<(i64, i64)>,
+    last_sig: FrontSignature,
+    stall: u32,
+    active: bool,
+    evaluations: u64,
+    generations: u32,
+    hv_history: Vec<f64>,
+}
+
+/// Tuner for multiple regions of one program on one machine.
+pub struct ProgramTuner {
+    /// Target machine.
+    pub machine: MachineDesc,
+    /// Optimizer parameters (shared by all regions).
+    pub params: RsGde3Params,
+    /// Measurement noise.
+    pub noise: Option<NoiseModel>,
+}
+
+impl ProgramTuner {
+    /// Paper-default tuner.
+    pub fn new(machine: MachineDesc) -> Self {
+        ProgramTuner {
+            machine,
+            params: RsGde3Params::default(),
+            noise: Some(NoiseModel::default()),
+        }
+    }
+
+    /// Tune all `regions` simultaneously.
+    pub fn tune(&self, regions: Vec<Region>) -> Result<ProgramTuningResult, String> {
+        let cfg = moat_ir::AnalyzerConfig::for_threads(
+            (1..=self.machine.total_cores() as i64).collect(),
+        );
+        let model = match self.noise {
+            Some(n) => CostModel::with_noise(self.machine.clone(), n),
+            None => CostModel::new(self.machine.clone()),
+        };
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut program_executions = 0u64;
+
+        // Analyze and initialize every region. The initial populations are
+        // evaluated jointly: execution i measures config i of every region.
+        let mut states: Vec<RegionState> = Vec::new();
+        for region in regions {
+            let region = if region.skeletons.is_empty() {
+                analyze(region, &cfg)?
+            } else {
+                region
+            };
+            let space = ir_space(&region.skeletons[0]);
+            let gde3 = Gde3::new(space.clone(), self.params.gde3);
+            let bbox = space.full_box();
+            states.push(RegionState {
+                region,
+                gde3,
+                population: Vec::new(),
+                archive: ParetoFront::new(),
+                bbox,
+                last_sig: FrontSignature { size: 0, ideal: Vec::new(), hv: 0.0 },
+                stall: 0,
+                active: true,
+                evaluations: 0,
+                generations: 0,
+                hv_history: Vec::new(),
+            });
+        }
+
+        // Joint initialization.
+        let pop_size = self.params.gde3.pop_size;
+        let init_configs: Vec<Vec<Config>> = states
+            .iter_mut()
+            .map(|s| {
+                (0..pop_size)
+                    .map(|_| s.gde3.space.sample_within(&s.bbox, &mut rng))
+                    .collect()
+            })
+            .collect();
+        program_executions += pop_size as u64;
+        for (s, configs) in states.iter_mut().zip(init_configs) {
+            let ev = SimEvaluator {
+                region: &s.region,
+                skeleton: &s.region.skeletons[0],
+                model: &model,
+            };
+            for cfg_vec in configs {
+                if let Some(objs) = ev.evaluate(&cfg_vec) {
+                    s.evaluations += 1;
+                    let p = moat_core::Point::new(cfg_vec, objs);
+                    s.archive.insert(p.clone());
+                    s.population.push(p);
+                }
+            }
+            assert!(s.population.len() >= 4, "region {} infeasible", s.region.name);
+            s.last_sig = FrontSignature::of(&s.population);
+            s.hv_history.push(s.last_sig.hv);
+        }
+
+        // Joint generations: one program execution evaluates one trial of
+        // every still-active region.
+        for _ in 0..self.params.max_generations {
+            if states.iter().all(|s| !s.active) {
+                break;
+            }
+            // Propose per region.
+            let proposals: Vec<Option<Vec<Config>>> = states
+                .iter_mut()
+                .map(|s| {
+                    if s.active {
+                        Some(s.gde3.propose(&s.population, &s.bbox, &mut rng))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            // One batch of program executions covers the longest proposal
+            // list (inactive regions simply run their tuned version).
+            let batch_len = proposals
+                .iter()
+                .filter_map(|p| p.as_ref().map(|v| v.len()))
+                .max()
+                .unwrap_or(0);
+            program_executions += batch_len as u64;
+
+            for (s, proposal) in states.iter_mut().zip(proposals) {
+                let Some(trials) = proposal else { continue };
+                let ev = SimEvaluator {
+                    region: &s.region,
+                    skeleton: &s.region.skeletons[0],
+                    model: &model,
+                };
+                let objs: Vec<Option<Vec<f64>>> =
+                    trials.iter().map(|t| ev.evaluate(t)).collect();
+                s.evaluations += objs.iter().filter(|o| o.is_some()).count() as u64;
+                s.gde3.select(&mut s.population, &trials, &objs);
+                s.generations += 1;
+                for p in &s.population {
+                    s.archive.insert(p.clone());
+                }
+                if self.params.use_roughset {
+                    s.bbox = enclose_points(
+                        &reduce_search_space(&s.gde3.space, &s.population),
+                        s.archive.points(),
+                    );
+                }
+                let sig = FrontSignature::of(&s.population);
+                s.hv_history.push(sig.hv);
+                if sig.improved_over(&s.last_sig, self.params.hv_tolerance) {
+                    s.stall = 0;
+                } else {
+                    s.stall += 1;
+                }
+                s.last_sig = sig;
+                if s.stall >= self.params.patience {
+                    s.active = false;
+                }
+            }
+        }
+
+        let outcomes = states
+            .into_iter()
+            .map(|s| {
+                let threads_param = s.region.skeletons[0].steps.iter().find_map(|st| match st {
+                    Step::Parallelize { threads_param } => Some(*threads_param),
+                    _ => None,
+                });
+                let table = VersionTable::from_front(
+                    s.region.name.clone(),
+                    &s.region.skeletons[0],
+                    &s.archive,
+                    OBJECTIVE_NAMES.iter().map(|x| x.to_string()).collect(),
+                    threads_param,
+                );
+                RegionOutcome {
+                    region: s.region,
+                    result: TuningResult {
+                        front: s.archive,
+                        evaluations: s.evaluations,
+                        generations: s.generations,
+                        hv_history: s.hv_history,
+                    },
+                    table,
+                }
+            })
+            .collect();
+
+        Ok(ProgramTuningResult { regions: outcomes, program_executions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_kernels::Kernel;
+
+    fn tuner() -> ProgramTuner {
+        let mut t = ProgramTuner::new(MachineDesc::westmere());
+        t.params.max_generations = 15;
+        t
+    }
+
+    #[test]
+    fn tunes_multiple_regions_with_amortized_executions() {
+        let t = tuner();
+        let result = t
+            .tune(vec![
+                Kernel::Mm.region(128),
+                Kernel::Jacobi2d.region(128),
+                Kernel::Nbody.region(2048),
+            ])
+            .unwrap();
+        assert_eq!(result.regions.len(), 3);
+        for r in &result.regions {
+            assert!(!r.result.front.is_empty(), "{}: empty front", r.region.name);
+            assert_eq!(r.table.len(), r.result.front.len());
+        }
+        // Amortization: program executions ≈ max per-region evaluations,
+        // far below their sum.
+        let total: u64 = result.regions.iter().map(|r| r.result.evaluations).sum();
+        let max: u64 = result.regions.iter().map(|r| r.result.evaluations).max().unwrap();
+        assert!(
+            result.program_executions < total,
+            "joint tuning must amortize executions: {} vs sum {}",
+            result.program_executions,
+            total
+        );
+        assert!(
+            result.program_executions <= max + 2 * 30,
+            "executions {} should track the slowest region ({max})",
+            result.program_executions
+        );
+    }
+
+    #[test]
+    fn regions_stop_independently() {
+        let t = tuner();
+        let result = t
+            .tune(vec![Kernel::Mm.region(96), Kernel::Stencil3d.region(32)])
+            .unwrap();
+        // Generations may differ between regions (independent stopping).
+        let gens: Vec<u32> = result.regions.iter().map(|r| r.result.generations).collect();
+        assert!(gens.iter().all(|&g| g >= 3));
+        // Both tables usable.
+        for r in &result.regions {
+            assert!(r.table.runtime_meta().len() == r.table.len());
+        }
+    }
+
+    #[test]
+    fn single_region_program_matches_framework_shape() {
+        let t = tuner();
+        let result = t.tune(vec![Kernel::Dsyrk.region(96)]).unwrap();
+        assert_eq!(result.regions.len(), 1);
+        let r = &result.regions[0];
+        assert!(r.result.evaluations <= result.program_executions * 2);
+        assert!(!r.table.is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Binding between the generic optimizer and the simulated machines: the
+//! objective function that instantiates a skeleton configuration and
+//! "executes" it on the analytic cost model.
+
+use moat_core::{Config, Domain, Evaluator, ObjVec, ParamSpace};
+use moat_ir::{ParamDomain, Region, Skeleton};
+use moat_machine::CostModel;
+
+/// The two objectives of the paper's instantiation, both minimized.
+pub const OBJECTIVE_NAMES: [&str; 2] = ["time_s", "cpu_seconds"];
+
+/// A tunable objective (all minimized). The paper instantiates the
+/// framework with (time, resource usage) and names energy consumption as a
+/// further candidate (§III-B.1); the optimizer is objective-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Wall-clock execution time in seconds.
+    Time,
+    /// Resource usage: `threads × time` (CPU-seconds).
+    Resources,
+    /// Energy in joules (first-order machine power model).
+    Energy,
+}
+
+impl Objective {
+    /// Name used in version tables and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Time => "time_s",
+            Objective::Resources => "cpu_seconds",
+            Objective::Energy => "energy_j",
+        }
+    }
+
+    /// Extract the objective value from a measurement.
+    pub fn of(self, m: &moat_machine::Measurement) -> f64 {
+        match self {
+            Objective::Time => m.time_s,
+            Objective::Resources => m.resources,
+            Objective::Energy => m.energy_j,
+        }
+    }
+}
+
+/// Convert a skeleton's parameter declarations into an optimizer search
+/// space.
+pub fn ir_space(skeleton: &Skeleton) -> ParamSpace {
+    let names = skeleton.params.iter().map(|p| p.name.clone()).collect();
+    let domains = skeleton
+        .params
+        .iter()
+        .map(|p| match &p.domain {
+            ParamDomain::IntRange { lo, hi } => Domain::Range { lo: *lo, hi: *hi },
+            ParamDomain::Choice(v) => Domain::Choice(v.clone()),
+            ParamDomain::Bool => Domain::Range { lo: 0, hi: 1 },
+        })
+        .collect();
+    ParamSpace::new(names, domains)
+}
+
+/// Objective function over skeleton configurations, evaluated on the
+/// analytic machine model (paper architecture label 3: "evaluated
+/// (executed) on the target system").
+///
+/// Objectives: `[wall time (s), resource usage (thread·s)]`, both
+/// minimized. Configurations that fail to instantiate evaluate to `None`.
+pub struct SimEvaluator<'a> {
+    /// The region being tuned.
+    pub region: &'a Region,
+    /// The skeleton whose parameters are being assigned.
+    pub skeleton: &'a Skeleton,
+    /// The target-machine model (optionally with measurement noise).
+    pub model: &'a CostModel,
+}
+
+impl Evaluator for SimEvaluator<'_> {
+    fn num_objectives(&self) -> usize {
+        2
+    }
+
+    fn evaluate(&self, cfg: &Config) -> Option<ObjVec> {
+        let variant = self.skeleton.instantiate(&self.region.nest, cfg).ok()?;
+        let m = self.model.measure(&self.region.arrays, &variant);
+        Some(vec![m.time_s, m.resources])
+    }
+}
+
+/// Objective function with a *configurable* objective set (e.g. the
+/// tri-objective instantiation time/resources/energy). The RS-GDE3 core
+/// and the hypervolume metric handle any number of objectives.
+pub struct MultiObjectiveEvaluator<'a> {
+    /// The region being tuned.
+    pub region: &'a Region,
+    /// The skeleton whose parameters are being assigned.
+    pub skeleton: &'a Skeleton,
+    /// The target-machine model.
+    pub model: &'a CostModel,
+    /// Objectives, in table order.
+    pub objectives: Vec<Objective>,
+}
+
+impl Evaluator for MultiObjectiveEvaluator<'_> {
+    fn num_objectives(&self) -> usize {
+        self.objectives.len()
+    }
+
+    fn evaluate(&self, cfg: &Config) -> Option<ObjVec> {
+        let variant = self.skeleton.instantiate(&self.region.nest, cfg).ok()?;
+        let m = self.model.measure(&self.region.arrays, &variant);
+        Some(self.objectives.iter().map(|o| o.of(&m)).collect())
+    }
+}
+
+/// Objective function over a region with *several* alternative skeletons:
+/// the first configuration dimension selects the skeleton, the remaining
+/// dimensions hold the parameters of the widest skeleton (narrower
+/// skeletons ignore the surplus and project the used slots onto their own
+/// domains). This realizes the paper's uniform modeling of "all tuning
+/// options, including the skeleton to be selected" (§III-B.1).
+pub struct SkeletonChoiceEvaluator<'a> {
+    /// The region (≥ 1 skeletons).
+    pub region: &'a Region,
+    /// The target-machine model.
+    pub model: &'a CostModel,
+}
+
+impl SkeletonChoiceEvaluator<'_> {
+    /// The combined search space: `[skeleton index] ++ padded parameters`.
+    pub fn space(&self) -> ParamSpace {
+        let skeletons = &self.region.skeletons;
+        assert!(!skeletons.is_empty());
+        let max_arity = skeletons.iter().map(|s| s.params.len()).max().unwrap();
+        let mut names = vec!["skeleton".to_string()];
+        let mut domains = vec![Domain::Range { lo: 0, hi: skeletons.len() as i64 - 1 }];
+        for slot in 0..max_arity {
+            names.push(format!("p{slot}"));
+            // Widest admissible range across skeletons that use this slot.
+            let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+            for sk in skeletons {
+                if let Some(p) = sk.params.get(slot) {
+                    let (l, h) = p.domain.extremes();
+                    lo = lo.min(l);
+                    hi = hi.max(h);
+                }
+            }
+            domains.push(Domain::Range { lo, hi });
+        }
+        ParamSpace::new(names, domains)
+    }
+
+    /// Decode one combined configuration into (skeleton index, projected
+    /// per-skeleton values).
+    pub fn decode(&self, cfg: &Config) -> (usize, Vec<i64>) {
+        let idx = (cfg[0].max(0) as usize).min(self.region.skeletons.len() - 1);
+        let sk = &self.region.skeletons[idx];
+        let raw: Vec<i64> = cfg[1..1 + sk.params.len()].to_vec();
+        (idx, sk.nearest_values(&raw))
+    }
+}
+
+impl Evaluator for SkeletonChoiceEvaluator<'_> {
+    fn num_objectives(&self) -> usize {
+        2
+    }
+
+    fn evaluate(&self, cfg: &Config) -> Option<ObjVec> {
+        let (idx, values) = self.decode(cfg);
+        let sk = &self.region.skeletons[idx];
+        let variant = sk.instantiate(&self.region.nest, &values).ok()?;
+        let m = self.model.measure(&self.region.arrays, &variant);
+        Some(vec![m.time_s, m.resources])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_ir::{analyze, AnalyzerConfig};
+    use moat_kernels::Kernel;
+    use moat_machine::MachineDesc;
+
+    #[test]
+    fn space_conversion() {
+        let cfg = AnalyzerConfig::for_threads(vec![1, 5, 10]);
+        let region = analyze(Kernel::Mm.region(100), &cfg).unwrap();
+        let space = ir_space(&region.skeletons[0]);
+        assert_eq!(space.dims(), 4);
+        assert_eq!(space.names[3], "threads");
+        assert_eq!(space.domains[0], Domain::Range { lo: 1, hi: 50 });
+        assert_eq!(space.domains[3], Domain::Choice(vec![1, 5, 10]));
+    }
+
+    #[test]
+    fn evaluator_produces_two_objectives() {
+        let cfg = AnalyzerConfig::for_threads(vec![1, 5, 10]);
+        let region = analyze(Kernel::Mm.region(128), &cfg).unwrap();
+        let model = CostModel::new(MachineDesc::westmere());
+        let ev = SimEvaluator { region: &region, skeleton: &region.skeletons[0], model: &model };
+        let objs = ev.evaluate(&vec![16, 16, 8, 10]).unwrap();
+        assert_eq!(objs.len(), 2);
+        assert!(objs[0] > 0.0);
+        // resources = threads × time.
+        assert!((objs[1] - 10.0 * objs[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_objective_creates_new_tradeoffs() {
+        // Energy is not proportional to resources: idle cores on a powered
+        // chip and uncore power create a distinct objective. A mid-size
+        // team can be more energy-efficient than both extremes.
+        let cfg = AnalyzerConfig::for_threads(vec![1, 5, 10, 20, 40]);
+        let region = analyze(Kernel::Mm.region(512), &cfg).unwrap();
+        let model = CostModel::new(MachineDesc::westmere());
+        let ev = MultiObjectiveEvaluator {
+            region: &region,
+            skeleton: &region.skeletons[0],
+            model: &model,
+            objectives: vec![Objective::Time, Objective::Resources, Objective::Energy],
+        };
+        assert_eq!(ev.num_objectives(), 3);
+        let serial = ev.evaluate(&vec![64, 64, 8, 1]).unwrap();
+        let full_chip = ev.evaluate(&vec![64, 64, 8, 10]).unwrap();
+        // Energy per run: with 1 thread the other 9 cores of the chip idle
+        // and the uncore still burns power over a 10x longer runtime — the
+        // full chip must be more energy-efficient here.
+        assert!(
+            full_chip[2] < serial[2],
+            "full-chip run must use less energy than serial: {} vs {}",
+            full_chip[2],
+            serial[2]
+        );
+        // While using more CPU-seconds (the resources objective) — i.e.
+        // energy and resources genuinely conflict.
+        assert!(full_chip[1] > serial[1]);
+    }
+
+    #[test]
+    fn skeleton_choice_space_and_decode() {
+        let cfg = AnalyzerConfig {
+            alternatives: true,
+            ..AnalyzerConfig::for_threads(vec![1, 2, 4])
+        };
+        let region = analyze(Kernel::Mm.region(128), &cfg).unwrap();
+        assert_eq!(region.skeletons.len(), 2);
+        let model = CostModel::new(MachineDesc::westmere());
+        let ev = SkeletonChoiceEvaluator { region: &region, model: &model };
+        let space = ev.space();
+        // skeleton dim + 4 padded parameter slots.
+        assert_eq!(space.dims(), 5);
+        assert_eq!(space.domains[0], Domain::Range { lo: 0, hi: 1 });
+
+        // Decoding skeleton 1 (3 params) ignores the 4th slot and projects
+        // onto its own domains (threads slot is position 2 there).
+        let (idx, values) = ev.decode(&vec![1, 16, 16, 3, 999]);
+        assert_eq!(idx, 1);
+        assert_eq!(values.len(), 3);
+        assert_eq!(values[2], 2, "3 projected to nearest admissible thread count (tie resolves down)");
+
+        // Both skeletons evaluate.
+        assert!(ev.evaluate(&vec![0, 16, 16, 8, 4]).is_some());
+        assert!(ev.evaluate(&vec![1, 16, 16, 4, 64]).is_some());
+    }
+
+    #[test]
+    fn skeleton_choice_tuning_explores_both() {
+        use moat_core::{BatchEval, RsGde3, RsGde3Params};
+        let cfg = AnalyzerConfig {
+            alternatives: true,
+            ..AnalyzerConfig::for_threads((1..=40).collect())
+        };
+        let region = analyze(Kernel::Mm.region(128), &cfg).unwrap();
+        let model = CostModel::new(MachineDesc::westmere());
+        let ev = SkeletonChoiceEvaluator { region: &region, model: &model };
+        let params = RsGde3Params { max_generations: 10, ..Default::default() };
+        let result = RsGde3::new(ev.space(), params).run(&ev, &BatchEval::sequential());
+        assert!(!result.front.is_empty());
+        // Every front configuration decodes to an instantiable variant.
+        for p in result.front.points() {
+            let (idx, values) = ev.decode(&p.config);
+            region.skeletons[idx].instantiate(&region.nest, &values).unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_none() {
+        let cfg = AnalyzerConfig::for_threads(vec![1, 5]);
+        let region = analyze(Kernel::Mm.region(128), &cfg).unwrap();
+        let model = CostModel::new(MachineDesc::westmere());
+        let ev = SimEvaluator { region: &region, skeleton: &region.skeletons[0], model: &model };
+        assert!(ev.evaluate(&vec![16, 16, 8, 7]).is_none(), "7 threads not in domain");
+        assert!(ev.evaluate(&vec![16, 16]).is_none(), "arity mismatch");
+    }
+}

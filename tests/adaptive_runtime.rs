@@ -1,0 +1,99 @@
+//! Integration: adaptive (feedback-driven) version selection reacting to
+//! run-time conditions that differ from tuning conditions — tuning data
+//! comes from the machine model, "observations" from a perturbed model
+//! emulating a co-loaded machine.
+
+use moat::runtime::AdaptiveSelector;
+use moat::{Framework, Kernel, MachineDesc, SelectionContext, SelectionPolicy};
+use std::time::Duration;
+
+#[test]
+fn adaptive_selector_switches_under_coload() {
+    // Tune mm on the unloaded Westmere model.
+    let mut fw = Framework::new(MachineDesc::westmere());
+    fw.tuner_params.max_generations = 12;
+    let tuned = fw.tune(Kernel::Mm.region(192)).unwrap();
+    let meta = tuned.table.runtime_meta();
+    assert!(meta.len() >= 3, "need several versions for the scenario");
+
+    let ctx = SelectionContext::default();
+    let sel = AdaptiveSelector::new(&meta, SelectionPolicy::FastestTime, 0.0, 0.6);
+    let initial = sel.select(&meta, &ctx).unwrap();
+    assert_eq!(initial, 0, "starts with the tuned fastest version");
+
+    // Co-load scenario: another job occupies most of the machine, so
+    // versions using many threads slow down massively (5x for > 8 threads),
+    // while small-team versions are unaffected.
+    let observed = |idx: usize| -> Duration {
+        let v = &meta[idx];
+        let slowdown = if v.threads > 8 { 5.0 } else { 1.0 };
+        Duration::from_secs_f64(v.objectives[0] * slowdown)
+    };
+
+    // Closed loop: select → execute (observe) → record.
+    let mut picks = Vec::new();
+    for _ in 0..25 {
+        let idx = sel.select(&meta, &ctx).unwrap();
+        sel.observe(idx, observed(idx));
+        picks.push(idx);
+    }
+    let final_pick = *picks.last().unwrap();
+    assert!(
+        meta[final_pick].threads <= 8,
+        "selector must converge to a small-team version under co-load; \
+         final pick uses {} threads (picks: {picks:?})",
+        meta[final_pick].threads
+    );
+    // And the converged version is the best *under the new conditions*.
+    let best_under_load = (0..meta.len())
+        .min_by(|&a, &b| {
+            observed(a)
+                .as_secs_f64()
+                .partial_cmp(&observed(b).as_secs_f64())
+                .unwrap()
+        })
+        .unwrap();
+    // Allow near-ties (observations only cover visited versions).
+    let ratio =
+        observed(final_pick).as_secs_f64() / observed(best_under_load).as_secs_f64();
+    assert!(
+        ratio < 1.6,
+        "converged version should be near-optimal under load (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn adaptive_with_exploration_recovers_after_load_disappears() {
+    let mut fw = Framework::new(MachineDesc::westmere());
+    fw.tuner_params.max_generations = 10;
+    // A compact table keeps the exploration round-trip short.
+    fw.max_versions = Some(6);
+    let tuned = fw.tune(Kernel::Jacobi2d.region(256)).unwrap();
+    let meta = tuned.table.runtime_meta();
+    let ctx = SelectionContext::default();
+    // Exploration enabled so the selector can rediscover improved versions.
+    let sel = AdaptiveSelector::new(&meta, SelectionPolicy::FastestTime, 0.2, 0.7);
+
+    // Phase 1: heavy co-load on large teams.
+    for _ in 0..30 {
+        let idx = sel.select(&meta, &ctx).unwrap();
+        let slowdown = if meta[idx].threads > 4 { 8.0 } else { 1.0 };
+        sel.observe(idx, Duration::from_secs_f64(meta[idx].objectives[0] * slowdown));
+    }
+    let loaded_pick = sel.select(&meta, &ctx).unwrap();
+    assert!(meta[loaded_pick].threads <= 4, "must avoid large teams under load");
+
+    // Phase 2: load disappears; exploration re-measures large teams and the
+    // selector returns to them.
+    for _ in 0..150 {
+        let idx = sel.select(&meta, &ctx).unwrap();
+        sel.observe(idx, Duration::from_secs_f64(meta[idx].objectives[0]));
+    }
+    let recovered = sel.select(&meta, &ctx).unwrap();
+    assert!(
+        meta[recovered].threads > 4,
+        "after recovery the fast large-team version must win again \
+         (picked {} threads)",
+        meta[recovered].threads
+    );
+}

@@ -1,0 +1,143 @@
+//! Small-scale integration checks of the paper's optimizer claims
+//! (the full-scale versions run as bench targets; these keep the claims
+//! under `cargo test`).
+
+use moat::core::grid::{cartesian_axes, grid_search_points};
+use moat::core::metrics::objective_bounds;
+use moat::core::{
+    hypervolume, normalize_front, random_search, BatchEval, RsGde3, RsGde3Params,
+};
+use moat::{ir_space, Kernel, MachineDesc, SimEvaluator};
+use moat_ir::{analyze, AnalyzerConfig};
+use moat_machine::{CostModel, NoiseModel};
+
+struct Fixture {
+    region: moat::Region,
+    model: CostModel,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let machine = MachineDesc::westmere();
+        let cfg = AnalyzerConfig::for_threads((1..=machine.total_cores() as i64).collect());
+        let region = analyze(Kernel::Mm.region(256), &cfg).unwrap();
+        let model = CostModel::with_noise(machine, NoiseModel::default());
+        Fixture { region, model }
+    }
+
+    fn evaluator(&self) -> SimEvaluator<'_> {
+        SimEvaluator {
+            region: &self.region,
+            skeleton: &self.region.skeletons[0],
+            model: &self.model,
+        }
+    }
+}
+
+#[test]
+fn rsgde3_uses_fraction_of_bruteforce_and_beats_random() {
+    let fx = Fixture::new();
+    let ev = fx.evaluator();
+    let space = ir_space(&fx.region.skeletons[0]);
+    let batch = BatchEval::sequential();
+
+    // Brute force on a coarse grid restricted to the paper's thread counts.
+    let mut axes: Vec<Vec<i64>> = (0..3)
+        .map(|d| {
+            let (lo, hi) = space.domains[d].extremes();
+            (0..12).map(|k| lo + (hi - lo) * k / 11).collect()
+        })
+        .collect();
+    axes.push(vec![1, 5, 10, 20, 40]);
+    let brute = grid_search_points(&ev, &batch, cartesian_axes(&axes));
+    let (ideal, nadir) = objective_bounds(brute.front.points());
+    let hv = |pts: &[moat::core::Point]| hypervolume(&normalize_front(pts, &ideal, &nadir));
+
+    // Stochastic methods are averaged over seeds (the paper uses 5 runs;
+    // 3 keep the test fast).
+    const SEEDS: u64 = 3;
+    let mut v_rs = 0.0;
+    let mut v_rnd = 0.0;
+    let mut rs_evals = 0;
+    for seed in 0..SEEDS {
+        let rs = RsGde3::new(space.clone(), RsGde3Params { seed, ..Default::default() })
+            .run(&ev, &batch);
+        assert!(
+            (rs.evaluations as f64) < 0.25 * brute.evaluations as f64,
+            "RS-GDE3 must need far fewer evaluations: {} vs {}",
+            rs.evaluations,
+            brute.evaluations
+        );
+        let rnd = random_search(&space, &ev, &batch, rs.evaluations, seed);
+        v_rs += hv(rs.front.points()) / SEEDS as f64;
+        v_rnd += hv(rnd.front.points()) / SEEDS as f64;
+        rs_evals += rs.evaluations;
+    }
+    let v_bf = hv(brute.front.points());
+    assert!(
+        v_rs > v_rnd,
+        "RS-GDE3 ({v_rs:.3}) must beat random search ({v_rnd:.3}) on average"
+    );
+    assert!(
+        v_rs > 0.7 * v_bf,
+        "RS-GDE3 ({v_rs:.3}) must be comparable to brute force ({v_bf:.3})"
+    );
+    assert!(rs_evals > 0);
+}
+
+#[test]
+fn front_spans_the_efficiency_spectrum() {
+    // The returned Pareto set must contain both fast many-thread versions
+    // and efficient few-thread versions — the basis of multi-versioning.
+    let fx = Fixture::new();
+    let ev = fx.evaluator();
+    let space = ir_space(&fx.region.skeletons[0]);
+    let rs = RsGde3::new(space, RsGde3Params::default()).run(&ev, &BatchEval::sequential());
+    let threads: Vec<i64> = rs.front.points().iter().map(|p| *p.config.last().unwrap()).collect();
+    let min = threads.iter().min().unwrap();
+    let max = threads.iter().max().unwrap();
+    assert!(*min <= 4, "front must contain an efficient low-thread version: {threads:?}");
+    assert!(*max >= 20, "front must contain a fast high-thread version: {threads:?}");
+}
+
+#[test]
+fn parameter_constraints_shape_the_front() {
+    // The analyzer may pass parameter constraints alongside the skeletons
+    // (paper §III-A). Constrain the mm tile working set to fit Westmere's
+    // 256 KiB L2: every front configuration must respect it.
+    let fx = Fixture::new();
+    let ev = fx.evaluator();
+    let tile_bytes = |cfg: &Vec<i64>| {
+        // A-tile ti×tk + B-tile tk×tj + C-tile ti×tj doubles.
+        8 * (cfg[0] * cfg[2] + cfg[2] * cfg[1] + cfg[0] * cfg[1])
+    };
+    let limit = 256 * 1024;
+    let constrained = moat::core::ConstrainedEvaluator::new(&ev)
+        .with(move |cfg| tile_bytes(cfg) <= limit);
+    let space = ir_space(&fx.region.skeletons[0]);
+    let params = RsGde3Params { max_generations: 15, ..Default::default() };
+    let result = RsGde3::new(space, params).run(&constrained, &BatchEval::sequential());
+    assert!(!result.front.is_empty());
+    assert!(constrained.rejections() > 0, "the constraint must actually bind");
+    for p in result.front.points() {
+        assert!(
+            tile_bytes(&p.config) <= limit,
+            "front configuration violates the working-set constraint: {:?}",
+            p.config
+        );
+    }
+}
+
+#[test]
+fn evaluation_counting_matches_cache_semantics() {
+    // The E metric counts distinct configurations only.
+    let fx = Fixture::new();
+    let ev = fx.evaluator();
+    let cached = moat::core::CachingEvaluator::new(&ev);
+    use moat::core::Evaluator as _;
+    let cfg = vec![16, 16, 8, 10];
+    let a = cached.evaluate(&cfg);
+    let b = cached.evaluate(&cfg);
+    assert_eq!(a, b);
+    assert_eq!(cached.evaluations(), 1);
+}

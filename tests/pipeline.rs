@@ -1,0 +1,104 @@
+//! End-to-end pipeline integration tests: analyzer → optimizer → backend →
+//! runtime, across kernels and machines.
+
+use moat::{Framework, Kernel, MachineDesc, SelectionContext, SelectionPolicy};
+use moat_core::dominates;
+
+fn quick(machine: MachineDesc) -> Framework {
+    let mut fw = Framework::new(machine);
+    fw.tuner_params.max_generations = 10;
+    fw
+}
+
+#[test]
+fn full_pipeline_all_kernels_both_machines() {
+    for machine in MachineDesc::paper_machines() {
+        let fw = quick(machine.clone());
+        for kernel in Kernel::all() {
+            let tuned = fw
+                .tune(kernel.region(96))
+                .unwrap_or_else(|e| panic!("{:?} on {}: {e}", kernel, machine.name));
+            assert!(!tuned.table.is_empty(), "{kernel:?}: empty version table");
+            assert_eq!(tuned.table.len(), tuned.variants.len());
+            // Region + every variant structurally valid.
+            tuned.region.validate().unwrap();
+            for v in &tuned.variants {
+                v.nest.validate().unwrap();
+            }
+            // Generated C contains one function per version plus dispatcher.
+            let fn_count = tuned.source_c.matches("static void ").count();
+            assert_eq!(fn_count, tuned.table.len());
+            assert!(tuned.source_c.contains("_invoke("));
+        }
+    }
+}
+
+#[test]
+fn version_table_is_pareto_and_sorted() {
+    let fw = quick(MachineDesc::westmere());
+    let tuned = fw.tune(Kernel::Mm.region(192)).unwrap();
+    let versions = &tuned.table.versions;
+    // Sorted by time.
+    for w in versions.windows(2) {
+        assert!(w[0].objectives[0] <= w[1].objectives[0]);
+    }
+    // Pairwise non-dominated.
+    for a in versions {
+        for b in versions {
+            assert!(
+                !dominates(&a.objectives, &b.objectives),
+                "table contains dominated version"
+            );
+        }
+    }
+}
+
+#[test]
+fn table_json_roundtrip_preserves_everything() {
+    let fw = quick(MachineDesc::barcelona());
+    let tuned = fw.tune(Kernel::Jacobi2d.region(128)).unwrap();
+    let back = moat::VersionTable::from_json(&tuned.table.to_json()).unwrap();
+    assert_eq!(tuned.table, back);
+}
+
+#[test]
+fn runtime_policies_pick_consistent_versions() {
+    let fw = quick(MachineDesc::westmere());
+    let tuned = fw.tune(Kernel::Dsyrk.region(160)).unwrap();
+    let meta = tuned.table.runtime_meta();
+    let ctx = SelectionContext::default();
+    let fastest = SelectionPolicy::FastestTime.select(&meta, &ctx).unwrap();
+    let frugal = SelectionPolicy::LowestResources.select(&meta, &ctx).unwrap();
+    assert_eq!(fastest, 0, "table is sorted fastest-first");
+    // The frugal pick must not use more threads than the fastest pick.
+    assert!(meta[frugal].threads <= meta[fastest].threads);
+    // Weighted-sum extremes coincide with the dedicated policies.
+    let w_time = SelectionPolicy::WeightedSum { weights: vec![1.0, 0.0] }
+        .select(&meta, &ctx)
+        .unwrap();
+    assert_eq!(meta[w_time].objectives[0], meta[fastest].objectives[0]);
+    let w_res = SelectionPolicy::WeightedSum { weights: vec![0.0, 1.0] }
+        .select(&meta, &ctx)
+        .unwrap();
+    assert_eq!(meta[w_res].objectives[1], meta[frugal].objectives[1]);
+}
+
+#[test]
+fn machines_yield_different_tunings() {
+    // The whole point of auto-tuning: different targets, different optima.
+    let a = quick(MachineDesc::westmere()).tune(Kernel::Mm.region(256)).unwrap();
+    let b = quick(MachineDesc::barcelona()).tune(Kernel::Mm.region(256)).unwrap();
+    assert_ne!(
+        a.table.versions, b.table.versions,
+        "Westmere and Barcelona must not produce identical version tables"
+    );
+}
+
+#[test]
+fn noise_free_framework_is_deterministic_too() {
+    let mut fw = quick(MachineDesc::westmere());
+    fw.noise = None;
+    let x = fw.tune(Kernel::Stencil3d.region(48)).unwrap();
+    let y = fw.tune(Kernel::Stencil3d.region(48)).unwrap();
+    assert_eq!(x.table, y.table);
+}

@@ -1,0 +1,149 @@
+//! Integration of the runtime system with the native kernels: a
+//! multi-versioned region whose versions are real tiled implementations,
+//! dispatched by policies, producing bit-identical numerical results.
+
+use moat::kernels::data::{max_abs_diff, seeded_vec};
+use moat::kernels::native::{jacobi2d_naive, jacobi2d_tiled, mm_naive, mm_tiled};
+use moat::multiversion::{NativeRegion, VersionTable};
+use moat::{Pool, SelectionContext, SelectionPolicy};
+use moat_core::pareto::{ParetoFront, Point};
+use moat_ir::{ParamDecl, ParamDomain, Skeleton};
+
+fn mm_table() -> VersionTable {
+    let sk = Skeleton::new(
+        "mm",
+        vec![
+            ParamDecl::new("ti", ParamDomain::IntRange { lo: 1, hi: 64 }),
+            ParamDecl::new("tj", ParamDomain::IntRange { lo: 1, hi: 64 }),
+            ParamDecl::new("tk", ParamDomain::IntRange { lo: 1, hi: 64 }),
+            ParamDecl::new("threads", ParamDomain::Choice(vec![1, 2, 4])),
+        ],
+        vec![],
+    );
+    let front = ParetoFront::from_points(vec![
+        Point::new(vec![16, 16, 16, 4], vec![1.0, 4.0]),
+        Point::new(vec![32, 32, 8, 2], vec![1.8, 3.6]),
+        Point::new(vec![48, 24, 12, 1], vec![3.4, 3.4]),
+    ]);
+    VersionTable::from_front("mm", &sk, &front, vec!["t".into(), "r".into()], Some(3))
+}
+
+#[test]
+fn all_versions_compute_the_same_result() {
+    let n = 40;
+    let a = seeded_vec(n * n, 1);
+    let b = seeded_vec(n * n, 2);
+    let mut reference = vec![0.0; n * n];
+    mm_naive(n, &a, &b, &mut reference);
+
+    let pool = Pool::new(4);
+    let table = mm_table();
+    struct Data {
+        a: Vec<f64>,
+        b: Vec<f64>,
+        c: Vec<f64>,
+    }
+    let impls: Vec<Box<dyn Fn(&mut Data) + Sync>> = table
+        .versions
+        .iter()
+        .map(|v| {
+            let (ti, tj, tk, th) =
+                (v.values[0] as usize, v.values[1] as usize, v.values[2] as usize, v.threads);
+            let pool = &pool;
+            Box::new(move |d: &mut Data| {
+                mm_tiled(pool, 40, &d.a, &d.b, &mut d.c, (ti, tj, tk), th)
+            }) as Box<dyn Fn(&mut Data) + Sync>
+        })
+        .collect();
+    let region = NativeRegion::new(&table, impls);
+    let ctx = SelectionContext::default();
+
+    for policy in [
+        SelectionPolicy::FastestTime,
+        SelectionPolicy::LowestResources,
+        SelectionPolicy::WeightedSum { weights: vec![0.3, 0.7] },
+        SelectionPolicy::FitThreads,
+    ] {
+        let mut data = Data { a: a.clone(), b: b.clone(), c: vec![0.0; n * n] };
+        let idx = region.invoke(&policy, &ctx, &mut data).unwrap();
+        assert!(
+            max_abs_diff(&reference, &data.c) < 1e-9,
+            "version {idx} produced wrong results under {policy:?}"
+        );
+    }
+    assert_eq!(region.stats.invocations(), 4);
+}
+
+#[test]
+fn stats_track_policy_distribution() {
+    let pool = Pool::new(2);
+    let table = mm_table();
+    let impls: Vec<Box<dyn Fn(&mut ()) + Sync>> = (0..table.len())
+        .map(|_| {
+            let pool = &pool;
+            Box::new(move |_: &mut ()| {
+                // Trivial parallel work so the pool participates.
+                pool.parallel_for(2, 64, &|_r| {});
+            }) as Box<dyn Fn(&mut ()) + Sync>
+        })
+        .collect();
+    let region = NativeRegion::new(&table, impls);
+    let ctx = SelectionContext::default();
+    for _ in 0..5 {
+        region.invoke(&SelectionPolicy::FastestTime, &ctx, &mut ());
+    }
+    for _ in 0..2 {
+        region.invoke(&SelectionPolicy::LowestResources, &ctx, &mut ());
+    }
+    assert_eq!(region.stats.invocations(), 7);
+    assert_eq!(region.stats.hottest_version(), Some(0));
+    assert_eq!(region.stats.version(2).0, 2);
+}
+
+#[test]
+fn jacobi_region_under_thread_cap() {
+    let n = 64;
+    let a = seeded_vec(n * n, 7);
+    let mut reference = vec![0.0; n * n];
+    jacobi2d_naive(n, &a, &mut reference);
+
+    let sk = Skeleton::new(
+        "jacobi",
+        vec![
+            ParamDecl::new("ti", ParamDomain::IntRange { lo: 1, hi: 32 }),
+            ParamDecl::new("tj", ParamDomain::IntRange { lo: 1, hi: 32 }),
+            ParamDecl::new("threads", ParamDomain::Choice(vec![1, 2, 4])),
+        ],
+        vec![],
+    );
+    let front = ParetoFront::from_points(vec![
+        Point::new(vec![8, 8, 4], vec![1.0, 4.0]),
+        Point::new(vec![16, 16, 1], vec![3.0, 3.0]),
+    ]);
+    let table = VersionTable::from_front("jacobi", &sk, &front, vec!["t".into(), "r".into()], Some(2));
+
+    let pool = Pool::new(4);
+    struct Data {
+        a: Vec<f64>,
+        b: Vec<f64>,
+    }
+    let impls: Vec<Box<dyn Fn(&mut Data) + Sync>> = table
+        .versions
+        .iter()
+        .map(|v| {
+            let (ti, tj, th) = (v.values[0] as usize, v.values[1] as usize, v.threads);
+            let pool = &pool;
+            Box::new(move |d: &mut Data| jacobi2d_tiled(pool, 64, &d.a, &mut d.b, (ti, tj), th))
+                as Box<dyn Fn(&mut Data) + Sync>
+        })
+        .collect();
+    let region = NativeRegion::new(&table, impls);
+
+    // With only one thread available, FitThreads must select the serial
+    // version.
+    let ctx = SelectionContext { available_threads: Some(1) };
+    let mut data = Data { a: a.clone(), b: vec![0.0; n * n] };
+    let idx = region.invoke(&SelectionPolicy::FitThreads, &ctx, &mut data).unwrap();
+    assert_eq!(region.meta[idx].threads, 1);
+    assert!(max_abs_diff(&reference, &data.b) < 1e-12);
+}
