@@ -5,9 +5,10 @@
 //! * stopping patience (the paper stops after 3 non-improving iterations),
 //! * RS-GDE3 vs NSGA-II as an alternative evolutionary engine.
 
-use moat::core::nsga2::{nsga2, Nsga2Params};
-use moat::core::{weighted_sweep, WeightedSweepParams};
-use moat::core::{Gde3Params, RsGde3, RsGde3Params};
+use moat::core::{
+    Gde3Params, Nsga2Params, Nsga2Tuner, RsGde3Params, RsGde3Tuner, TuningSession,
+    WeightedSumTuner, WeightedSweepParams,
+};
 use moat::{ir_space, Kernel, MachineDesc, SimEvaluator};
 use moat_bench::fmt;
 use moat_bench::{batch, grid_axes, hv_under, sweep, Setup};
@@ -31,7 +32,9 @@ fn main() {
         let (mut e, mut s, mut v) = (0.0, 0.0, 0.0);
         for seed in 0..RUNS {
             let p = RsGde3Params { seed, ..params };
-            let r = RsGde3::new(setup.space.clone(), p).run(&setup.evaluator(), &batch());
+            let ev = setup.evaluator();
+            let mut session = TuningSession::new(setup.space.clone(), &ev).with_batch(batch());
+            let r = session.run(&RsGde3Tuner::new(p));
             e += r.evaluations as f64;
             s += r.front.len() as f64;
             v += hv_under(r.front.points(), &ideal, &nadir);
@@ -40,30 +43,57 @@ fn main() {
     };
 
     // --- Rough set on/off -------------------------------------------------
-    println!("{}", fmt::banner("Ablation: Rough-Set search-space reduction"));
+    println!(
+        "{}",
+        fmt::banner("Ablation: Rough-Set search-space reduction")
+    );
     let with_rs = run_mean(RsGde3Params::default());
-    let without_rs = run_mean(RsGde3Params { use_roughset: false, ..Default::default() });
+    let without_rs = run_mean(RsGde3Params {
+        use_roughset: false,
+        ..Default::default()
+    });
     println!(
         "{}",
         fmt::table(
             &["variant", "E", "|S|", "V(S)"],
             &[
-                vec!["RS-GDE3 (reduction on)".into(), fmt::f(with_rs.0, 0), fmt::f(with_rs.1, 1), fmt::f(with_rs.2, 4)],
-                vec!["GDE3 (reduction off)".into(), fmt::f(without_rs.0, 0), fmt::f(without_rs.1, 1), fmt::f(without_rs.2, 4)],
+                vec![
+                    "RS-GDE3 (reduction on)".into(),
+                    fmt::f(with_rs.0, 0),
+                    fmt::f(with_rs.1, 1),
+                    fmt::f(with_rs.2, 4)
+                ],
+                vec![
+                    "GDE3 (reduction off)".into(),
+                    fmt::f(without_rs.0, 0),
+                    fmt::f(without_rs.1, 1),
+                    fmt::f(without_rs.2, 4)
+                ],
             ]
         )
     );
 
     // --- Population size ---------------------------------------------------
-    println!("{}", fmt::banner("Ablation: GDE3 population size (paper: 30)"));
+    println!(
+        "{}",
+        fmt::banner("Ablation: GDE3 population size (paper: 30)")
+    );
     let mut rows = Vec::new();
     for pop in [10usize, 20, 30, 50] {
         let params = RsGde3Params {
-            gde3: Gde3Params { pop_size: pop, ..Default::default() },
+            gde3: Gde3Params {
+                pop_size: pop,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let (e, s, v) = run_mean(params);
-        rows.push(vec![pop.to_string(), fmt::f(e, 0), fmt::f(s, 1), fmt::f(v, 4)]);
+        rows.push(vec![
+            pop.to_string(),
+            fmt::f(e, 0),
+            fmt::f(s, 1),
+            fmt::f(v, 4),
+        ]);
     }
     println!("{}", fmt::table(&["pop", "E", "|S|", "V(S)"], &rows));
 
@@ -71,8 +101,16 @@ fn main() {
     println!("{}", fmt::banner("Ablation: stopping patience (paper: 3)"));
     let mut rows = Vec::new();
     for patience in [1u32, 2, 3, 5, 8] {
-        let (e, s, v) = run_mean(RsGde3Params { patience, ..Default::default() });
-        rows.push(vec![patience.to_string(), fmt::f(e, 0), fmt::f(s, 1), fmt::f(v, 4)]);
+        let (e, s, v) = run_mean(RsGde3Params {
+            patience,
+            ..Default::default()
+        });
+        rows.push(vec![
+            patience.to_string(),
+            fmt::f(e, 0),
+            fmt::f(s, 1),
+            fmt::f(v, 4),
+        ]);
     }
     println!("{}", fmt::table(&["patience", "E", "|S|", "V(S)"], &rows));
 
@@ -84,7 +122,10 @@ fn main() {
     {
         let mut region = setup.region.clone();
         let mut sk = region.skeletons[0].clone();
-        sk.params.push(ParamDecl::new("unroll", ParamDomain::Choice(vec![1, 2, 4, 8, 16])));
+        sk.params.push(ParamDecl::new(
+            "unroll",
+            ParamDomain::Choice(vec![1, 2, 4, 8, 16]),
+        ));
         let fp = sk.params.len() - 1;
         sk.steps.push(Step::Unroll { factor_param: fp });
         region.skeletons = vec![sk];
@@ -94,7 +135,8 @@ fn main() {
             model: &setup.model,
         };
         let space = ir_space(&region.skeletons[0]);
-        let r = RsGde3::new(space, RsGde3Params::default()).run(&ev, &batch());
+        let mut session = TuningSession::new(space, &ev).with_batch(batch());
+        let r = session.run(&RsGde3Tuner::new(RsGde3Params::default()));
         let v = hv_under(r.front.points(), &ideal, &nadir);
         let best_time_with = r
             .front
@@ -127,15 +169,19 @@ fn main() {
     }
 
     // --- NSGA-II + weighted-sum comparison ---------------------------------
-    println!("{}", fmt::banner("Extension: RS-GDE3 vs NSGA-II vs weighted-sum sweep"));
+    println!(
+        "{}",
+        fmt::banner("Extension: RS-GDE3 vs NSGA-II vs weighted-sum sweep")
+    );
     let (mut e, mut s, mut v) = (0.0, 0.0, 0.0);
     for seed in 0..RUNS {
-        let r = nsga2(
-            &setup.space,
-            &setup.evaluator(),
-            &batch(),
-            Nsga2Params { seed, generations: 25, ..Default::default() },
-        );
+        let ev = setup.evaluator();
+        let mut session = TuningSession::new(setup.space.clone(), &ev).with_batch(batch());
+        let r = session.run(&Nsga2Tuner::new(Nsga2Params {
+            seed,
+            generations: 25,
+            ..Default::default()
+        }));
         e += r.evaluations as f64;
         s += r.front.len() as f64;
         v += hv_under(r.front.points(), &ideal, &nadir);
@@ -146,12 +192,12 @@ fn main() {
     // over 10 weight vectors, the related-work approach).
     let (mut e, mut s, mut v) = (0.0, 0.0, 0.0);
     for seed in 0..RUNS {
-        let r = weighted_sweep(
-            &setup.space,
-            &setup.evaluator(),
-            &batch(),
-            WeightedSweepParams { seed, ..Default::default() },
-        );
+        let ev = setup.evaluator();
+        let mut session = TuningSession::new(setup.space.clone(), &ev).with_batch(batch());
+        let r = session.run(&WeightedSumTuner::new(WeightedSweepParams {
+            seed,
+            ..Default::default()
+        }));
         e += r.evaluations as f64;
         s += r.front.len() as f64;
         v += hv_under(r.front.points(), &ideal, &nadir);
@@ -162,9 +208,24 @@ fn main() {
         fmt::table(
             &["method", "E", "|S|", "V(S)"],
             &[
-                vec!["RS-GDE3".into(), fmt::f(with_rs.0, 0), fmt::f(with_rs.1, 1), fmt::f(with_rs.2, 4)],
-                vec!["NSGA-II".into(), fmt::f(nsga.0, 0), fmt::f(nsga.1, 1), fmt::f(nsga.2, 4)],
-                vec!["weighted sum x10".into(), fmt::f(ws.0, 0), fmt::f(ws.1, 1), fmt::f(ws.2, 4)],
+                vec![
+                    "RS-GDE3".into(),
+                    fmt::f(with_rs.0, 0),
+                    fmt::f(with_rs.1, 1),
+                    fmt::f(with_rs.2, 4)
+                ],
+                vec![
+                    "NSGA-II".into(),
+                    fmt::f(nsga.0, 0),
+                    fmt::f(nsga.1, 1),
+                    fmt::f(nsga.2, 4)
+                ],
+                vec![
+                    "weighted sum x10".into(),
+                    fmt::f(ws.0, 0),
+                    fmt::f(ws.1, 1),
+                    fmt::f(ws.2, 4)
+                ],
             ]
         )
     );
@@ -174,5 +235,8 @@ fn main() {
         with_rs.1 > ws.1,
         "RS-GDE3 must find more Pareto points than the weighted-sum sweep"
     );
-    println!("check: RS-GDE3 |S| {} > weighted-sum |S| {} — OK", with_rs.1, ws.1);
+    println!(
+        "check: RS-GDE3 |S| {} > weighted-sum |S| {} — OK",
+        with_rs.1, ws.1
+    );
 }

@@ -8,7 +8,10 @@ use moat_bench::fmt;
 use moat_bench::{per_thread_study, thread_tradeoffs, Setup};
 
 fn main() {
-    println!("{}", fmt::banner("Fig. 1: efficiency/speedup trade-off (mm, Westmere)"));
+    println!(
+        "{}",
+        fmt::banner("Fig. 1: efficiency/speedup trade-off (mm, Westmere)")
+    );
     let setup = Setup::new(moat::Kernel::Mm, MachineDesc::westmere(), None);
     let study = per_thread_study(&setup, 24);
     let rows = thread_tradeoffs(&study);
@@ -26,7 +29,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        fmt::table(&["threads", "time [s]", "speedup", "efficiency"], &table_rows)
+        fmt::table(
+            &["threads", "time [s]", "speedup", "efficiency"],
+            &table_rows
+        )
     );
 
     // The two series of the figure, as plottable CSV.
@@ -39,8 +45,14 @@ fn main() {
     // efficiency falls monotonically — the conflict motivating the
     // multi-objective formulation.
     for w in rows.windows(2) {
-        assert!(w[1].speedup > w[0].speedup, "speedup must increase with threads");
-        assert!(w[1].efficiency < w[0].efficiency, "efficiency must decrease");
+        assert!(
+            w[1].speedup > w[0].speedup,
+            "speedup must increase with threads"
+        );
+        assert!(
+            w[1].efficiency < w[0].efficiency,
+            "efficiency must decrease"
+        );
     }
     println!("\ncheck: speedup strictly increasing, efficiency strictly decreasing — OK");
     println!("evaluations used: {}", study.evaluations);

@@ -12,7 +12,10 @@ fn main() {
     for machine in MachineDesc::paper_machines() {
         println!(
             "{}",
-            fmt::banner(&format!("Fig. 8: time vs. resources, all configurations (mm, {})", machine.name))
+            fmt::banner(&format!(
+                "Fig. 8: time vs. resources, all configurations (mm, {})",
+                machine.name
+            ))
         );
         let setup = Setup::new(Kernel::Mm, machine.clone(), None);
         let mut per_thread: Vec<(i64, Vec<Point>)> = Vec::new();
@@ -54,14 +57,23 @@ fn main() {
         let tips: Vec<(f64, f64)> = per_thread
             .iter()
             .map(|(_, pts)| {
-                let tmin = pts.iter().map(|p| p.objectives[0]).fold(f64::INFINITY, f64::min);
-                let rmin = pts.iter().map(|p| p.objectives[1]).fold(f64::INFINITY, f64::min);
+                let tmin = pts
+                    .iter()
+                    .map(|p| p.objectives[0])
+                    .fold(f64::INFINITY, f64::min);
+                let rmin = pts
+                    .iter()
+                    .map(|p| p.objectives[1])
+                    .fold(f64::INFINITY, f64::min);
                 (tmin, rmin)
             })
             .collect();
         for w in tips.windows(2) {
             assert!(w[1].0 < w[0].0, "best time must fall with more threads");
-            assert!(w[1].1 > w[0].1, "best resources must rise with more threads");
+            assert!(
+                w[1].1 > w[0].1,
+                "best resources must rise with more threads"
+            );
         }
         println!("\ncheck: per-thread-count tips are mutually non-dominated — OK");
     }

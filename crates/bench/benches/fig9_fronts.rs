@@ -23,7 +23,10 @@ fn main() {
     for machine in MachineDesc::paper_machines() {
         println!(
             "{}",
-            fmt::banner(&format!("Fig. 9: Pareto fronts by method (mm, {})", machine.name))
+            fmt::banner(&format!(
+                "Fig. 9: Pareto fronts by method (mm, {})",
+                machine.name
+            ))
         );
         let setup = Setup::new(Kernel::Mm, machine.clone(), None);
         let cmp = compare_methods(&setup, paper_grid_points(Kernel::Mm), 5);

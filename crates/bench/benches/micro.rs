@@ -20,7 +20,11 @@ fn bench_objective_eval(c: &mut Criterion) {
     let cfg = AnalyzerConfig::for_threads(vec![1, 5, 10, 20, 40]);
     let region = analyze(Kernel::Mm.region(1400), &cfg).unwrap();
     let model = CostModel::new(machine);
-    let ev = SimEvaluator { region: &region, skeleton: &region.skeletons[0], model: &model };
+    let ev = SimEvaluator {
+        region: &region,
+        skeleton: &region.skeletons[0],
+        model: &model,
+    };
     c.bench_function("objective_eval_mm", |b| {
         b.iter(|| ev.evaluate(black_box(&vec![96, 128, 8, 10])))
     });
@@ -31,7 +35,11 @@ fn bench_gde3_generation(c: &mut Criterion) {
     let acfg = AnalyzerConfig::for_threads(vec![1, 5, 10, 20, 40]);
     let region = analyze(Kernel::Mm.region(1400), &acfg).unwrap();
     let model = CostModel::new(machine);
-    let ev = SimEvaluator { region: &region, skeleton: &region.skeletons[0], model: &model };
+    let ev = SimEvaluator {
+        region: &region,
+        skeleton: &region.skeletons[0],
+        model: &model,
+    };
     let space = ir_space(&region.skeletons[0]);
     let gde3 = Gde3::new(space.clone(), Gde3Params::default());
     let batch = BatchEval::sequential();
@@ -55,11 +63,15 @@ fn bench_hypervolume(c: &mut Criterion) {
             vec![x, 1.0 - x]
         })
         .collect();
-    c.bench_function("hypervolume_2d_64pts", |b| b.iter(|| hypervolume_2d(black_box(&front2))));
+    c.bench_function("hypervolume_2d_64pts", |b| {
+        b.iter(|| hypervolume_2d(black_box(&front2)))
+    });
     let front3: Vec<Vec<f64>> = (0..32)
         .map(|_| (0..3).map(|_| rng.random::<f64>()).collect())
         .collect();
-    c.bench_function("hypervolume_3d_32pts", |b| b.iter(|| hypervolume(black_box(&front3))));
+    c.bench_function("hypervolume_3d_32pts", |b| {
+        b.iter(|| hypervolume(black_box(&front3)))
+    });
 }
 
 fn bench_nondominated_sort(c: &mut Criterion) {
@@ -81,7 +93,7 @@ fn bench_cachesim(c: &mut Criterion) {
                 shared_level: CacheConfig::new(256 * 1024, 8, 64),
                 cores_per_chip: 4,
                 cores: 4,
-            prefetch_depth: 0,
+                prefetch_depth: 0,
             });
             simulate_nest(&region.arrays, &region.nest, &mut h)
         })
@@ -100,11 +112,10 @@ fn bench_pool(c: &mut Criterion) {
 }
 
 fn bench_parser(c: &mut Criterion) {
-    let src = std::fs::read_to_string("../../examples/regions/mm.moat")
-        .unwrap_or_else(|_| {
-            // Bench may run from the workspace root.
-            std::fs::read_to_string("examples/regions/mm.moat").expect("mm.moat not found")
-        });
+    let src = std::fs::read_to_string("../../examples/regions/mm.moat").unwrap_or_else(|_| {
+        // Bench may run from the workspace root.
+        std::fs::read_to_string("examples/regions/mm.moat").expect("mm.moat not found")
+    });
     c.bench_function("parse_region_mm", |b| {
         b.iter(|| moat::ir::parse_region(black_box(&src)).unwrap())
     });

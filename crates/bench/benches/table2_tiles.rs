@@ -9,7 +9,10 @@ use moat_bench::{per_thread_study, Setup};
 
 fn main() {
     // Table I header (machine configurations are the experiment's input).
-    println!("{}", fmt::banner("Table I: system configurations (model input)"));
+    println!(
+        "{}",
+        fmt::banner("Table I: system configurations (model input)")
+    );
     let machines = MachineDesc::paper_machines();
     let rows: Vec<Vec<String>> = machines
         .iter()
@@ -26,7 +29,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        fmt::table(&["system", "sockets/cores", "L1d", "L2", "L3 (chip)", "clock"], &rows)
+        fmt::table(
+            &["system", "sockets/cores", "L1d", "L2", "L3 (chip)", "clock"],
+            &rows
+        )
     );
 
     for machine in machines {
@@ -49,7 +55,11 @@ fn main() {
                 format!("({}, {}, {})", cfg[0], cfg[1], cfg[2]),
             ];
             for c in 0..study.thread_counts.len() {
-                row.push(if r == c { "-".into() } else { fmt::pct(study.loss[r][c]) });
+                row.push(if r == c {
+                    "-".into()
+                } else {
+                    fmt::pct(study.loss[r][c])
+                });
             }
             row.push(fmt::pct(avgs[r]));
             rows.push(row);
@@ -68,8 +78,7 @@ fn main() {
         }
         base_row.push("-".into());
 
-        let mut headers: Vec<String> =
-            vec!["tuned for".into(), "opt. tiles (ti,tj,tk)".into()];
+        let mut headers: Vec<String> = vec!["tuned for".into(), "opt. tiles (ti,tj,tk)".into()];
         headers.extend(study.thread_counts.iter().map(|t| format!("@{t}t [%]")));
         headers.push("avg [%]".into());
         let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();

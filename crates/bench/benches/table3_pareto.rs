@@ -10,7 +10,10 @@ fn main() {
     for machine in MachineDesc::paper_machines() {
         println!(
             "{}",
-            fmt::banner(&format!("Table III: speedup/efficiency trade-off (mm, {})", machine.name))
+            fmt::banner(&format!(
+                "Table III: speedup/efficiency trade-off (mm, {})",
+                machine.name
+            ))
         );
         let setup = Setup::new(Kernel::Mm, machine.clone(), None);
         let study = per_thread_study(&setup, 24);
@@ -31,7 +34,13 @@ fn main() {
         println!(
             "{}",
             fmt::table(
-                &["cores", "speedup", "efficiency", "rel. time", "rel. resources"],
+                &[
+                    "cores",
+                    "speedup",
+                    "efficiency",
+                    "rel. time",
+                    "rel. resources"
+                ],
                 &table_rows
             )
         );

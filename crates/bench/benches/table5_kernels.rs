@@ -42,7 +42,10 @@ fn main() {
     for machine in MachineDesc::paper_machines() {
         println!(
             "{}",
-            fmt::banner(&format!("Table V: thread-specific optimization impact ({})", machine.name))
+            fmt::banner(&format!(
+                "Table V: thread-specific optimization impact ({})",
+                machine.name
+            ))
         );
         let mut rows = Vec::new();
         for kernel in Kernel::all() {
@@ -69,19 +72,22 @@ fn main() {
                 big[tdim] = t_max;
                 let mut tuned = study.best.last().unwrap().config.clone();
                 tuned[tdim] = t_max;
-                let bad_ratio =
-                    setup.eval(&big).objectives[0] / setup.eval(&tuned).objectives[0];
+                let bad_ratio = setup.eval(&big).objectives[0] / setup.eval(&tuned).objectives[0];
                 nbody_stats.push((machine.name.clone(), study.overall_avg(), bad_ratio));
             }
         }
         let setup0 = Setup::new(Kernel::Mm, machine.clone(), None);
         let mut headers: Vec<String> = vec!["kernel".into()];
-        headers.extend(setup0.thread_counts().iter().map(|t| format!("opt@{t}t [%]")));
+        headers.extend(
+            setup0
+                .thread_counts()
+                .iter()
+                .map(|t| format!("opt@{t}t [%]")),
+        );
         headers.push("avg [%]".into());
         headers.push("1tmax [%]".into());
         let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         println!("{}", fmt::table(&headers_ref, &rows));
-
     }
 
     // The paper's asymmetry: n-body is nearly tile-insensitive on Westmere
@@ -99,7 +105,11 @@ n-body sensitivity: {} avg {:.1}% / worst-case ratio {:.2}x,          {} avg {:.
         b.1 * 100.0,
         b.2
     );
-    assert!(w.1 < 0.06, "Westmere n-body must show almost no variation: {}", w.1);
+    assert!(
+        w.1 < 0.06,
+        "Westmere n-body must show almost no variation: {}",
+        w.1
+    );
     assert!(
         b.2 > w.2 * 1.3 && b.2 > 1.5,
         "Barcelona n-body must be much more tile-sensitive (worst case): W {:.2} B {:.2}",

@@ -11,7 +11,10 @@ fn main() {
     for machine in MachineDesc::paper_machines() {
         println!(
             "{}",
-            fmt::banner(&format!("Table VI: search strategy comparison ({})", machine.name))
+            fmt::banner(&format!(
+                "Table VI: search strategy comparison ({})",
+                machine.name
+            ))
         );
         let mut rows = Vec::new();
         for kernel in Kernel::all() {

@@ -11,7 +11,9 @@
 //!   configuration is neither the fastest nor the most CPU-frugal one.
 
 use moat::core::metrics::objective_bounds;
-use moat::core::{hypervolume, normalize_front, BatchEval, RsGde3, RsGde3Params};
+use moat::core::{
+    hypervolume, normalize_front, BatchEval, RsGde3Params, RsGde3Tuner, TuningSession,
+};
 use moat::ir::{analyze, AnalyzerConfig};
 use moat::machine::{CostModel, NoiseModel};
 use moat::{ir_space, Kernel, MachineDesc, MultiObjectiveEvaluator, Objective};
@@ -21,7 +23,10 @@ fn main() {
     for machine in MachineDesc::paper_machines() {
         println!(
             "{}",
-            fmt::banner(&format!("Extension: tri-objective tuning (mm, {})", machine.name))
+            fmt::banner(&format!(
+                "Extension: tri-objective tuning (mm, {})",
+                machine.name
+            ))
         );
         let cfg = AnalyzerConfig::for_threads((1..=machine.total_cores() as i64).collect());
         let region = analyze(Kernel::Mm.paper_region(), &cfg).unwrap();
@@ -33,8 +38,8 @@ fn main() {
             objectives: vec![Objective::Time, Objective::Resources, Objective::Energy],
         };
         let space = ir_space(&region.skeletons[0]);
-        let result = RsGde3::new(space, RsGde3Params::default())
-            .run(&ev, &BatchEval::parallel(4));
+        let mut session = TuningSession::new(space, &ev).with_batch(BatchEval::parallel(4));
+        let result = session.run(&RsGde3Tuner::new(RsGde3Params::default()));
 
         let pts = result.front.points();
         let (ideal, nadir) = objective_bounds(pts);
@@ -67,7 +72,13 @@ fn main() {
         println!(
             "{}",
             fmt::table(
-                &["champion", "config (ti,tj,tk,threads)", "time [s]", "cpu-s", "energy [J]"],
+                &[
+                    "champion",
+                    "config (ti,tj,tk,threads)",
+                    "time [s]",
+                    "cpu-s",
+                    "energy [J]"
+                ],
                 &rows
             )
         );

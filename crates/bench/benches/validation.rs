@@ -96,9 +96,11 @@ fn main() {
         fmt::banner("Validation: analytic model vs trace-driven cache simulator")
     );
     let mut rows = Vec::new();
-    for (kernel, n, dims) in
-        [(Kernel::Mm, 48i64, 3usize), (Kernel::Jacobi2d, 96, 2), (Kernel::Dsyrk, 48, 3)]
-    {
+    for (kernel, n, dims) in [
+        (Kernel::Mm, 48i64, 3usize),
+        (Kernel::Jacobi2d, 96, 2),
+        (Kernel::Dsyrk, 48, 3),
+    ] {
         let cfg = AnalyzerConfig::for_threads(vec![1]);
         let region = analyze(kernel.region(n), &cfg).unwrap();
         let sk = &region.skeletons[0];
@@ -116,7 +118,13 @@ fn main() {
                 .collect();
             cfg_vec.push(1); // threads
             let v = sk.instantiate(&region.nest, &cfg_vec).unwrap();
-            model_mem.push(*model.cost(&region.arrays, &v).level_miss_lines.last().unwrap());
+            model_mem.push(
+                *model
+                    .cost(&region.arrays, &v)
+                    .level_miss_lines
+                    .last()
+                    .unwrap(),
+            );
             let mut h = tiny_hierarchy();
             simulate_nest(&region.arrays, &v.nest, &mut h);
             sim_mem.push(h.memory_accesses() as f64);

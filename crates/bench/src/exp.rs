@@ -3,10 +3,10 @@
 //! wrappers around these functions, and the integration tests reuse them to
 //! assert the paper's qualitative claims.
 
-use moat::core::grid::{cartesian_axes, grid_search_points, GridResult};
+use moat::core::grid::cartesian_axes;
 use moat::core::{
-    hypervolume, normalize_front, random_search, BatchEval, Config, ParamSpace, Point, RsGde3,
-    RsGde3Params, TuningResult,
+    hypervolume, normalize_front, BatchEval, Config, GridTuner, ParamSpace, Point, RandomTuner,
+    RsGde3Params, RsGde3Tuner, TuningReport, TuningSession,
 };
 use moat::ir::{analyze, AnalyzerConfig, Region, Skeleton};
 use moat::machine::{CostModel, MachineDesc, NoiseModel};
@@ -42,7 +42,13 @@ impl Setup {
         let region = analyze(kernel.region(n), &cfg).expect("kernel must be tileable");
         let space = ir_space(&region.skeletons[0]);
         let model = CostModel::with_noise(machine.clone(), NoiseModel::default());
-        Setup { kernel, machine, region, space, model }
+        Setup {
+            kernel,
+            machine,
+            region,
+            space,
+            model,
+        }
     }
 
     /// The tuned skeleton.
@@ -52,7 +58,11 @@ impl Setup {
 
     /// Objective function on the machine model.
     pub fn evaluator(&self) -> SimEvaluator<'_> {
-        SimEvaluator { region: &self.region, skeleton: self.skeleton(), model: &self.model }
+        SimEvaluator {
+            region: &self.region,
+            skeleton: self.skeleton(),
+            model: &self.model,
+        }
     }
 
     /// Index of the thread-count dimension (always last).
@@ -67,7 +77,11 @@ impl Setup {
 
     /// The machine's thread counts as `i64`.
     pub fn thread_counts(&self) -> Vec<i64> {
-        self.machine.thread_counts.iter().map(|&t| t as i64).collect()
+        self.machine
+            .thread_counts
+            .iter()
+            .map(|&t| t as i64)
+            .collect()
     }
 
     /// Evaluate one configuration (noisy median-of-3, like the paper).
@@ -82,7 +96,9 @@ impl Setup {
     /// Time of the untiled nest at one thread — the `GCC -O3` baseline row
     /// of Table II.
     pub fn untiled_baseline_time(&self) -> f64 {
-        self.model.cost_nest(&self.region.arrays, &self.region.nest, 1, 1).time_s
+        self.model
+            .cost_nest(&self.region.arrays, &self.region.nest, 1, 1)
+            .time_s
     }
 }
 
@@ -92,16 +108,16 @@ impl Setup {
 /// 3d-stencil; 26136 for n-body).
 pub fn paper_grid_points(kernel: Kernel) -> usize {
     match kernel {
-        Kernel::Mm | Kernel::Dsyrk => 24,  // 24^3 tile grid
-        Kernel::Jacobi2d => 69,            // 69^2 tile grid
-        Kernel::Stencil3d => 14,           // ~14^3 tile grid
-        Kernel::Nbody => 72,               // 72^2 tile grid
+        Kernel::Mm | Kernel::Dsyrk => 24, // 24^3 tile grid
+        Kernel::Jacobi2d => 69,           // 69^2 tile grid
+        Kernel::Stencil3d => 14,          // ~14^3 tile grid
+        Kernel::Nbody => 72,              // 72^2 tile grid
     }
 }
 
 /// A parallel evaluation batch sized to this host.
 pub fn batch() -> BatchEval {
-    BatchEval::parallel(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    BatchEval::default()
 }
 
 /// Geometrically spaced integer axis from `lo` to `hi` with ~`points`
@@ -146,10 +162,11 @@ pub fn grid_axes_fixed_threads(setup: &Setup, points: usize, threads: i64) -> Ve
     axes
 }
 
-/// Brute-force sweep over explicit axes.
-pub fn sweep(setup: &Setup, axes: &[Vec<i64>]) -> GridResult {
+/// Brute-force sweep over explicit axes, driven through a [`TuningSession`].
+pub fn sweep(setup: &Setup, axes: &[Vec<i64>]) -> TuningReport {
     let ev = setup.evaluator();
-    grid_search_points(&ev, &batch(), cartesian_axes(axes))
+    let mut session = TuningSession::new(setup.space.clone(), &ev).with_batch(batch());
+    session.run(&GridTuner::from_points(cartesian_axes(axes)))
 }
 
 /// The point with minimal first objective (time).
@@ -238,7 +255,12 @@ pub fn per_thread_study(setup: &Setup, points: usize) -> PerThreadStudy {
                 .collect()
         })
         .collect();
-    PerThreadStudy { thread_counts, best, loss, evaluations }
+    PerThreadStudy {
+        thread_counts,
+        best,
+        loss,
+        evaluations,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -303,7 +325,7 @@ pub struct MethodStats {
 /// Full three-way comparison on one kernel/machine pair.
 pub struct Comparison {
     /// Brute-force sweep (front + all points retained).
-    pub brute: GridResult,
+    pub brute: TuningReport,
     /// Brute-force metrics.
     pub brute_stats: MethodStats,
     /// Random-search metrics (mean of the runs).
@@ -321,10 +343,14 @@ pub struct Comparison {
 }
 
 /// Run RS-GDE3 once with the given seed.
-pub fn run_rsgde3(setup: &Setup, seed: u64) -> TuningResult {
-    let params = RsGde3Params { seed, ..Default::default() };
-    let tuner = RsGde3::new(setup.space.clone(), params);
-    tuner.run(&setup.evaluator(), &batch())
+pub fn run_rsgde3(setup: &Setup, seed: u64) -> TuningReport {
+    let params = RsGde3Params {
+        seed,
+        ..Default::default()
+    };
+    let ev = setup.evaluator();
+    let mut session = TuningSession::new(setup.space.clone(), &ev).with_batch(batch());
+    session.run(&RsGde3Tuner::new(params))
 }
 
 /// Hypervolume of a front under fixed normalization bounds.
@@ -360,10 +386,21 @@ pub fn compare_methods(setup: &Setup, grid_points: usize, runs: u64) -> Comparis
     let mut rnd_results = Vec::new();
     for seed in 0..runs {
         let ev = setup.evaluator();
-        rnd_results.push(random_search(&setup.space, &ev, &batch(), budget, seed));
+        let mut session = TuningSession::new(setup.space.clone(), &ev)
+            .with_batch(batch())
+            .with_budget(budget);
+        rnd_results.push(session.run(&RandomTuner::new(seed)));
     }
-    let rnd_e = rnd_results.iter().map(|r| r.evaluations as f64).sum::<f64>() / runs as f64;
-    let rnd_s = rnd_results.iter().map(|r| r.front.len() as f64).sum::<f64>() / runs as f64;
+    let rnd_e = rnd_results
+        .iter()
+        .map(|r| r.evaluations as f64)
+        .sum::<f64>()
+        / runs as f64;
+    let rnd_s = rnd_results
+        .iter()
+        .map(|r| r.front.len() as f64)
+        .sum::<f64>()
+        / runs as f64;
     let rnd_v = rnd_results
         .iter()
         .map(|r| hv_under(r.front.points(), &ideal, &nadir))
@@ -376,8 +413,16 @@ pub fn compare_methods(setup: &Setup, grid_points: usize, runs: u64) -> Comparis
             s: brute.front.len() as f64,
             v: hv_under(brute.front.points(), &ideal, &nadir),
         },
-        random_stats: MethodStats { e: rnd_e, s: rnd_s, v: rnd_v },
-        rsgde3_stats: MethodStats { e: rs_e, s: rs_s, v: rs_v },
+        random_stats: MethodStats {
+            e: rnd_e,
+            s: rnd_s,
+            v: rnd_v,
+        },
+        rsgde3_stats: MethodStats {
+            e: rs_e,
+            s: rs_s,
+            v: rs_v,
+        },
         random_front: rnd_results[0].front.points().to_vec(),
         rsgde3_front: rs_results[0].front.points().to_vec(),
         ideal,
@@ -455,9 +500,17 @@ mod tests {
         let s = Setup::new(Kernel::Mm, MachineDesc::westmere(), None);
         for seed in 0..3 {
             let r = run_rsgde3(&s, seed);
-            println!("seed {seed}: E={} gens={} |S|={}", r.evaluations, r.generations, r.front.len());
+            println!(
+                "seed {seed}: E={} gens={} |S|={}",
+                r.evaluations,
+                r.iterations,
+                r.front.len()
+            );
             for p in r.front.sorted_by(0) {
-                println!("   t={:.4} r={:.4} cfg={:?}", p.objectives[0], p.objectives[1], p.config);
+                println!(
+                    "   t={:.4} r={:.4} cfg={:?}",
+                    p.objectives[0], p.objectives[1], p.config
+                );
             }
         }
     }
@@ -478,7 +531,11 @@ mod tests {
             let mut threads: Vec<i64> = pop.iter().map(|p| p.config[3]).collect();
             threads.sort();
             let front = moat::core::ParetoFront::from_points(pop.clone());
-            println!("gen {gen}: |pop|={} |nd|={} threads={threads:?}", pop.len(), front.len());
+            println!(
+                "gen {gen}: |pop|={} |nd|={} threads={threads:?}",
+                pop.len(),
+                front.len()
+            );
             gde3.generation(&mut pop, &ev, &b, &bbox, &mut rng);
         }
     }

@@ -47,11 +47,7 @@ pub fn banner(title: &str) -> String {
 
 /// Render a 2-d heat map (row-major `values[r][c]`, smaller = better) as
 /// ASCII shades, darkest = fastest — the visual encoding of Fig. 2.
-pub fn heatmap(
-    row_labels: &[String],
-    col_labels: &[String],
-    values: &[Vec<f64>],
-) -> String {
+pub fn heatmap(row_labels: &[String], col_labels: &[String], values: &[Vec<f64>]) -> String {
     const SHADES: [char; 10] = ['@', '#', '8', 'O', 'o', '=', '-', ':', '.', ' '];
     let lo = values
         .iter()
@@ -69,7 +65,10 @@ pub fn heatmap(
     out.push_str(&format!(
         "{:w$}  {}\n",
         "",
-        col_labels.iter().map(|c| c.chars().next().unwrap_or(' ')).collect::<String>(),
+        col_labels
+            .iter()
+            .map(|c| c.chars().next().unwrap_or(' '))
+            .collect::<String>(),
         w = w
     ));
     for (r, row) in values.iter().enumerate() {
@@ -80,7 +79,9 @@ pub fn heatmap(
         }
         out.push('\n');
     }
-    out.push_str(&format!("legend: '@' fastest ({lo:.4}) … ' ' slowest ({hi:.4})\n"));
+    out.push_str(&format!(
+        "legend: '@' fastest ({lo:.4}) … ' ' slowest ({hi:.4})\n"
+    ));
     out
 }
 

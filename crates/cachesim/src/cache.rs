@@ -14,15 +14,25 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Create a configuration; panics on degenerate geometry.
     pub fn new(size: u64, assoc: u32, line_size: u64) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc >= 1);
-        assert!(size >= assoc as u64 * line_size, "size too small for one set");
+        assert!(
+            size >= assoc as u64 * line_size,
+            "size too small for one set"
+        );
         assert_eq!(
             size % (assoc as u64 * line_size),
             0,
             "size must be a multiple of assoc * line_size"
         );
-        CacheConfig { size, assoc, line_size }
+        CacheConfig {
+            size,
+            assoc,
+            line_size,
+        }
     }
 
     /// Number of sets.
@@ -104,8 +114,7 @@ impl Cache {
                 if let Some((etag, dirty)) = set.pop() {
                     if dirty {
                         self.writebacks += 1;
-                        evicted =
-                            Some((etag * num_sets + set_idx as u64) * line_size);
+                        evicted = Some((etag * num_sets + set_idx as u64) * line_size);
                     }
                 }
             }
@@ -136,8 +145,7 @@ impl Cache {
                 if let Some((etag, dirty)) = set.pop() {
                     if dirty {
                         self.writebacks += 1;
-                        evicted =
-                            Some((etag * num_sets + set_idx as u64) * line_size);
+                        evicted = Some((etag * num_sets + set_idx as u64) * line_size);
                     }
                 }
             }

@@ -197,7 +197,11 @@ impl MultiCoreHierarchy {
                 stats.misses += core[lvl].misses();
             }
         } else {
-            assert_eq!(lvl, self.cfg.private_levels.len(), "level {lvl} out of range");
+            assert_eq!(
+                lvl,
+                self.cfg.private_levels.len(),
+                "level {lvl} out of range"
+            );
             for c in &self.shared {
                 stats.accesses += c.accesses();
                 stats.misses += c.misses();
@@ -259,7 +263,11 @@ mod tests {
         let mut h = small();
         // Core 0 loads a line; core 1 (same chip) must find it in L3.
         h.access(0, 4096);
-        assert_eq!(h.access(1, 4096), Some(2), "same-chip core hits shared level");
+        assert_eq!(
+            h.access(1, 4096),
+            Some(2),
+            "same-chip core hits shared level"
+        );
         // Core 2 is on the other chip: full miss.
         assert_eq!(h.access(2, 4096), None);
         assert_eq!(h.memory_accesses(), 2);
@@ -326,7 +334,10 @@ mod tests {
         let mut pf = mk(2);
         let mem_plain = run(&mut plain);
         let mem_pf = run(&mut pf);
-        assert_eq!(mem_plain, 64, "every line is a cold memory miss without prefetch");
+        assert_eq!(
+            mem_plain, 64,
+            "every line is a cold memory miss without prefetch"
+        );
         assert!(
             mem_pf <= 4,
             "prefetcher must hide almost all demand memory misses: {mem_pf}"
@@ -343,7 +354,7 @@ mod tests {
                 shared_level: CacheConfig::new(4096, 4, 64),
                 cores_per_chip: 2,
                 cores: 2,
-                prefetch_depth: 2,
+                prefetch_depth: depth,
             })
         };
         // Column-style stride of 16 lines: never line-sequential.

@@ -312,7 +312,10 @@ mod tests {
             prefetch_depth: 0,
         });
         simulate_nest(&arrs, &nest, &mut h);
-        assert!(h.memory_writebacks() > 0, "C is written and must be written back");
+        assert!(
+            h.memory_writebacks() > 0,
+            "C is written and must be written back"
+        );
         assert!(
             h.memory_traffic_bytes() > h.memory_accesses() * 64,
             "traffic must include write-backs"

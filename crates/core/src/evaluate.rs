@@ -8,9 +8,10 @@
 //! [`BatchEval`], which fans the batch out over threads.
 
 use crate::space::Config;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// An objective vector (all components minimized).
 pub type ObjVec = Vec<f64>;
@@ -39,14 +40,37 @@ where
     }
 }
 
+/// A cache slot for a configuration whose evaluation is still running on
+/// some thread. Concurrent requests for the same configuration wait on the
+/// condvar instead of re-running the objective function.
+struct EvalSlot {
+    /// `None` while in flight; `Some(result)` once the owner filled it.
+    result: Mutex<Option<Option<ObjVec>>>,
+    ready: Condvar,
+}
+
+enum CacheEntry {
+    /// The configuration is being evaluated by another thread.
+    InFlight(Arc<EvalSlot>),
+    /// The evaluation finished with this result.
+    Done(Option<ObjVec>),
+}
+
 /// Wrapper adding evaluation counting and memoization.
 ///
 /// The evaluation count `E` (only *distinct* configurations reach the inner
 /// evaluator; repeats are served from the cache, matching how an iterative
 /// compiler would reuse measurements) is the cost metric of Table VI.
+///
+/// Distinct configurations are counted *exactly* once even under concurrent
+/// evaluation: the first thread to request a configuration claims it while
+/// holding the cache lock (installing an in-flight slot and bumping the
+/// counter atomically with the claim), then evaluates outside the lock;
+/// later threads either hit the finished entry or block on the slot until
+/// the owner publishes the result.
 pub struct CachingEvaluator<'a> {
     inner: &'a dyn Evaluator,
-    cache: Mutex<HashMap<Config, Option<ObjVec>>>,
+    cache: Mutex<HashMap<Config, CacheEntry>>,
     evaluations: AtomicU64,
 }
 
@@ -65,6 +89,12 @@ impl<'a> CachingEvaluator<'a> {
     pub fn evaluations(&self) -> u64 {
         self.evaluations.load(Ordering::Relaxed)
     }
+
+    /// Whether `cfg` has already been evaluated (or is being evaluated right
+    /// now). Lets callers predict whether a request would consume budget.
+    pub fn is_cached(&self, cfg: &Config) -> bool {
+        self.cache.lock().contains_key(cfg)
+    }
 }
 
 impl Evaluator for CachingEvaluator<'_> {
@@ -73,15 +103,47 @@ impl Evaluator for CachingEvaluator<'_> {
     }
 
     fn evaluate(&self, cfg: &Config) -> Option<ObjVec> {
-        if let Some(hit) = self.cache.lock().get(cfg) {
-            return hit.clone();
-        }
+        let slot = {
+            let mut cache = self.cache.lock();
+            match cache.get(cfg) {
+                Some(CacheEntry::Done(hit)) => return hit.clone(),
+                Some(CacheEntry::InFlight(slot)) => {
+                    // Someone else owns this evaluation; wait for it below
+                    // (after releasing the cache lock).
+                    let slot = Arc::clone(slot);
+                    drop(cache);
+                    let mut result = slot.result.lock();
+                    while result.is_none() {
+                        slot.ready.wait(&mut result);
+                    }
+                    return result.clone().expect("in-flight slot filled");
+                }
+                None => {
+                    // Claim the configuration: the counter is bumped while
+                    // still holding the lock, so each distinct config is
+                    // counted exactly once.
+                    let slot = Arc::new(EvalSlot {
+                        result: Mutex::new(None),
+                        ready: Condvar::new(),
+                    });
+                    cache.insert(cfg.clone(), CacheEntry::InFlight(Arc::clone(&slot)));
+                    self.evaluations.fetch_add(1, Ordering::Relaxed);
+                    slot
+                }
+            }
+        };
         let result = self.inner.evaluate(cfg);
-        self.evaluations.fetch_add(1, Ordering::Relaxed);
-        self.cache.lock().insert(cfg.clone(), result.clone());
+        *slot.result.lock() = Some(result.clone());
+        slot.ready.notify_all();
+        self.cache
+            .lock()
+            .insert(cfg.clone(), CacheEntry::Done(result.clone()));
         result
     }
 }
+
+/// A feasibility predicate over configurations (`true` = feasible).
+type Constraint<'a> = Box<dyn Fn(&Config) -> bool + Sync + 'a>;
 
 /// An evaluator wrapper enforcing *parameter constraints* (paper §III-A:
 /// regions are passed to the optimizer "together with their associated
@@ -90,7 +152,7 @@ impl Evaluator for CachingEvaluator<'_> {
 /// touching the inner objective function — the optimizer discards them.
 pub struct ConstrainedEvaluator<'a> {
     inner: &'a dyn Evaluator,
-    constraints: Vec<Box<dyn Fn(&Config) -> bool + Sync + 'a>>,
+    constraints: Vec<Constraint<'a>>,
     rejections: AtomicU64,
 }
 
@@ -98,7 +160,11 @@ impl<'a> ConstrainedEvaluator<'a> {
     /// Wrap `inner` with no constraints (add them with
     /// [`with`](Self::with)).
     pub fn new(inner: &'a dyn Evaluator) -> Self {
-        ConstrainedEvaluator { inner, constraints: Vec::new(), rejections: AtomicU64::new(0) }
+        ConstrainedEvaluator {
+            inner,
+            constraints: Vec::new(),
+            rejections: AtomicU64::new(0),
+        }
     }
 
     /// Add a constraint predicate (`true` = feasible).
@@ -136,8 +202,14 @@ pub struct BatchEval {
 }
 
 impl Default for BatchEval {
+    /// One thread per available hardware thread (the paper evaluates
+    /// configurations simultaneously on the target system).
     fn default() -> Self {
-        BatchEval { parallelism: 1 }
+        BatchEval::parallel(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
     }
 }
 
@@ -149,33 +221,32 @@ impl BatchEval {
 
     /// Evaluate with up to `n` parallel threads.
     pub fn parallel(n: usize) -> Self {
-        BatchEval { parallelism: n.max(1) }
+        BatchEval {
+            parallelism: n.max(1),
+        }
     }
 
     /// Evaluate all configurations, preserving order.
+    ///
+    /// The batch is split into one contiguous chunk per worker; each worker
+    /// writes into the matching disjoint chunk of the result slice, so no
+    /// per-slot synchronization is needed.
     pub fn run(&self, ev: &dyn Evaluator, configs: &[Config]) -> Vec<Option<ObjVec>> {
         if self.parallelism <= 1 || configs.len() <= 1 {
             return configs.iter().map(|c| ev.evaluate(c)).collect();
         }
-        let results: Vec<Mutex<Option<Option<ObjVec>>>> =
-            configs.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicU64::new(0);
+        let mut results: Vec<Option<ObjVec>> = vec![None; configs.len()];
+        let chunk = configs.len().div_ceil(self.parallelism.min(configs.len()));
         std::thread::scope(|scope| {
-            for _ in 0..self.parallelism.min(configs.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
-                    if i >= configs.len() {
-                        break;
+            for (cfgs, out) in configs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (cfg, slot) in cfgs.iter().zip(out.iter_mut()) {
+                        *slot = ev.evaluate(cfg);
                     }
-                    let r = ev.evaluate(&configs[i]);
-                    *results[i].lock() = Some(r);
                 });
             }
         });
         results
-            .into_iter()
-            .map(|m| m.into_inner().expect("evaluation slot not filled"))
-            .collect()
     }
 }
 
@@ -236,7 +307,11 @@ mod tests {
         assert_eq!(constrained.evaluate(&vec![5]), None, "odd rejected");
         assert_eq!(constrained.evaluate(&vec![12]), None, "too large rejected");
         assert_eq!(constrained.rejections(), 2);
-        assert_eq!(calls.load(Ordering::Relaxed), 1, "inner called only when feasible");
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "inner called only when feasible"
+        );
         assert_eq!(constrained.num_objectives(), 1);
     }
 
@@ -255,12 +330,45 @@ mod tests {
         let ev = sphere();
         let cached = CachingEvaluator::new(&ev);
         let configs: Vec<Config> = (0..32).map(|i| vec![i % 8]).collect();
-        let out = BatchEval::parallel(4).run(&cached, &configs);
+        let out = BatchEval::parallel(8).run(&cached, &configs);
         assert_eq!(out.len(), 32);
-        // Racy double-evaluation of the same key is possible but bounded by
-        // the number of distinct keys times threads; at minimum all 8
-        // distinct keys are counted.
-        assert!(cached.evaluations() >= 8);
+        // Each distinct key is claimed under the cache lock before its
+        // evaluation runs, so concurrent requests for the same key never
+        // double-count: exactly 8 distinct configurations.
+        assert_eq!(cached.evaluations(), 8);
+    }
+
+    #[test]
+    fn concurrent_same_key_counts_once() {
+        // Hammer a single key from many threads through the caching layer
+        // directly: the in-flight slot must serialize them onto one inner
+        // evaluation.
+        let calls = AtomicU64::new(0);
+        let ev = (1usize, |cfg: &Config| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            Some(vec![cfg[0] as f64])
+        });
+        let cached = CachingEvaluator::new(&ev);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    assert_eq!(cached.evaluate(&vec![7]), Some(vec![7.0]));
+                });
+            }
+        });
+        assert_eq!(cached.evaluations(), 1);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert!(cached.is_cached(&vec![7]));
+        assert!(!cached.is_cached(&vec![8]));
+    }
+
+    #[test]
+    fn default_batch_uses_available_parallelism() {
+        let expected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(BatchEval::default().parallelism, expected);
     }
 
     #[test]

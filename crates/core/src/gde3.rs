@@ -36,7 +36,11 @@ pub struct Gde3Params {
 
 impl Default for Gde3Params {
     fn default() -> Self {
-        Gde3Params { pop_size: 30, cr: 0.5, f: 0.5 }
+        Gde3Params {
+            pop_size: 30,
+            cr: 0.5,
+            f: 0.5,
+        }
     }
 }
 
@@ -110,13 +114,34 @@ impl Gde3 {
         bbox: &[(i64, i64)],
         rng: &mut impl Rng,
     ) -> Vec<Point> {
+        let population =
+            self.init_population_with(&mut |cfgs| batch.run(evaluator, cfgs), bbox, rng);
+        assert!(
+            population.len() >= 4,
+            "could not build a feasible initial population"
+        );
+        population
+    }
+
+    /// [`init_population`](Self::init_population) against an arbitrary
+    /// batch-evaluation callback (e.g. a budget-enforcing
+    /// [`TuningSession`](crate::tuner::TuningSession)). May return fewer
+    /// than four members if the callback keeps rejecting samples; callers
+    /// decide whether that is fatal.
+    pub fn init_population_with(
+        &self,
+        eval: &mut dyn FnMut(&[Config]) -> Vec<Option<crate::evaluate::ObjVec>>,
+        bbox: &[(i64, i64)],
+        rng: &mut impl Rng,
+    ) -> Vec<Point> {
         let mut population = Vec::with_capacity(self.params.pop_size);
         let mut attempts = 0;
         while population.len() < self.params.pop_size && attempts < 20 {
             let want = self.params.pop_size - population.len();
-            let configs: Vec<Config> =
-                (0..want).map(|_| self.space.sample_within(bbox, rng)).collect();
-            let objs = batch.run(evaluator, &configs);
+            let configs: Vec<Config> = (0..want)
+                .map(|_| self.space.sample_within(bbox, rng))
+                .collect();
+            let objs = eval(&configs);
             for (cfg, obj) in configs.into_iter().zip(objs) {
                 if let Some(o) = obj {
                     population.push(Point::new(cfg, o));
@@ -124,10 +149,6 @@ impl Gde3 {
             }
             attempts += 1;
         }
-        assert!(
-            population.len() >= 4,
-            "could not build a feasible initial population"
-        );
         population
     }
 
@@ -188,8 +209,25 @@ impl Gde3 {
         bbox: &[(i64, i64)],
         rng: &mut impl Rng,
     ) -> usize {
+        self.generation_with(
+            population,
+            &mut |cfgs| batch.run(evaluator, cfgs),
+            bbox,
+            rng,
+        )
+    }
+
+    /// [`generation`](Self::generation) against an arbitrary
+    /// batch-evaluation callback.
+    pub fn generation_with(
+        &self,
+        population: &mut Vec<Point>,
+        eval: &mut dyn FnMut(&[Config]) -> Vec<Option<crate::evaluate::ObjVec>>,
+        bbox: &[(i64, i64)],
+        rng: &mut impl Rng,
+    ) -> usize {
         let trials = self.propose(population, bbox, rng);
-        let objs = batch.run(evaluator, &trials);
+        let objs = eval(&trials);
         self.select(population, &trials, &objs);
         trials.len()
     }
@@ -210,7 +248,9 @@ pub fn prune(points: Vec<Point>, target: usize) -> Vec<Point> {
             let dist = crowding_distances(&points, &front);
             let mut order: Vec<usize> = (0..front.len()).collect();
             order.sort_by(|&a, &b| {
-                dist[b].partial_cmp(&dist[a]).unwrap_or(std::cmp::Ordering::Equal)
+                dist[b]
+                    .partial_cmp(&dist[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             for &w in order.iter().take(target - keep.len()) {
                 keep.push(front[w]);
@@ -219,7 +259,9 @@ pub fn prune(points: Vec<Point>, target: usize) -> Vec<Point> {
         }
     }
     let mut taken: Vec<Option<Point>> = points.into_iter().map(Some).collect();
-    keep.into_iter().map(|i| taken[i].take().expect("index kept twice")).collect()
+    keep.into_iter()
+        .map(|i| taken[i].take().expect("index kept twice"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -232,10 +274,16 @@ mod tests {
     /// Bi-objective test problem on integers: minimize (x², (x-50)²) plus a
     /// second dimension y that adds (y²) to both — optimum front along
     /// x ∈ [0, 50], y = 0.
-    fn problem() -> (ParamSpace, (usize, impl Fn(&Config) -> Option<ObjVecAlias> + Sync)) {
+    fn problem() -> (
+        ParamSpace,
+        (usize, impl Fn(&Config) -> Option<ObjVecAlias> + Sync),
+    ) {
         let space = ParamSpace::new(
             vec!["x".into(), "y".into()],
-            vec![Domain::Range { lo: -100, hi: 100 }, Domain::Range { lo: -100, hi: 100 }],
+            vec![
+                Domain::Range { lo: -100, hi: 100 },
+                Domain::Range { lo: -100, hi: 100 },
+            ],
         );
         let ev = (2usize, |cfg: &Config| {
             let x = cfg[0] as f64;
@@ -258,7 +306,10 @@ mod tests {
         for i in 0..pop.len() {
             let t = gde3.trial(&pop, i, &bbox, &mut rng);
             assert!(space.contains(&t));
-            assert!((-10..=10).contains(&t[0]) && (0..=5).contains(&t[1]), "{t:?}");
+            assert!(
+                (-10..=10).contains(&t[0]) && (0..=5).contains(&t[1]),
+                "{t:?}"
+            );
         }
     }
 
@@ -339,7 +390,10 @@ mod tests {
         ];
         let kept = prune(pts, 3);
         let ids: Vec<i64> = kept.iter().map(|p| p.config[0]).collect();
-        assert!(ids.contains(&0) && ids.contains(&4), "extremes must survive: {ids:?}");
+        assert!(
+            ids.contains(&0) && ids.contains(&4),
+            "extremes must survive: {ids:?}"
+        );
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! *all* evaluated points (the per-thread-count sweeps of Table II and the
 //! scatter plots of Fig. 8 need the full data).
 
-use crate::evaluate::{BatchEval, CachingEvaluator, Evaluator};
+use crate::evaluate::{BatchEval, Evaluator};
 use crate::pareto::{ParetoFront, Point};
+use crate::rsgde3::FrontSignature;
 use crate::space::{Config, ParamSpace};
+use crate::tuner::{StopReason, Tuner, TuningReport, TuningSession};
 
 /// Result of a brute-force sweep.
 #[derive(Debug, Clone)]
@@ -20,39 +22,120 @@ pub struct GridResult {
     pub evaluations: u64,
 }
 
+impl From<TuningReport> for GridResult {
+    fn from(report: TuningReport) -> GridResult {
+        GridResult {
+            front: report.front,
+            all: report.all,
+            evaluations: report.evaluations,
+        }
+    }
+}
+
+/// Brute-force sweep as a [`Tuner`]: either a regular grid over the
+/// session's space ([`new`](Self::new)) or an explicit configuration list
+/// ([`from_points`](Self::from_points)). Each 512-configuration chunk is
+/// one session iteration; under a session budget the sweep stops early
+/// with [`StopReason::BudgetExhausted`].
+#[derive(Debug, Clone)]
+pub struct GridTuner {
+    /// Grid points per `Range` dimension (ignored with explicit points).
+    pub steps: usize,
+    /// Explicit configurations to sweep, overriding the regular grid.
+    pub points: Option<Vec<Config>>,
+}
+
+impl GridTuner {
+    /// Regular grid with `steps` points per `Range` dimension (choice
+    /// dimensions are enumerated fully).
+    pub fn new(steps: usize) -> Self {
+        GridTuner {
+            steps,
+            points: None,
+        }
+    }
+
+    /// Sweep an explicit list of configurations (e.g. custom per-dimension
+    /// axes from [`cartesian_axes`]).
+    pub fn from_points(points: Vec<Config>) -> Self {
+        GridTuner {
+            steps: 0,
+            points: Some(points),
+        }
+    }
+}
+
+impl Tuner for GridTuner {
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn tune(&self, session: &mut TuningSession<'_>) -> TuningReport {
+        let configs = match &self.points {
+            Some(points) => points.clone(),
+            None => session.space().regular_grid(self.steps),
+        };
+        let mut front = ParetoFront::new();
+        let mut all = Vec::with_capacity(configs.len());
+        let mut stop = StopReason::Completed;
+        const CHUNK: usize = 512;
+        for chunk in configs.chunks(CHUNK) {
+            session.begin_iteration();
+            let objs = session.evaluate(chunk);
+            for (cfg, obj) in chunk.iter().zip(objs) {
+                if let Some(o) = obj {
+                    let p = Point::new(cfg.clone(), o);
+                    front.insert(p.clone());
+                    all.push(p);
+                }
+            }
+            if session.budget_exhausted() {
+                stop = StopReason::BudgetExhausted;
+                break;
+            }
+        }
+        let sig = FrontSignature::of(front.points());
+        session.front_updated(&sig);
+        TuningReport {
+            front,
+            all,
+            evaluations: session.evaluations(),
+            iterations: session.iteration(),
+            stop,
+            trace: vec![sig],
+        }
+    }
+}
+
 /// Sweep a regular grid with `steps` points per `Range` dimension (choice
 /// dimensions are enumerated fully).
+#[deprecated(note = "drive a `GridTuner` through a `TuningSession` instead")]
 pub fn grid_search(
     space: &ParamSpace,
     evaluator: &dyn Evaluator,
     batch: &BatchEval,
     steps: usize,
 ) -> GridResult {
-    grid_search_points(evaluator, batch, space.regular_grid(steps))
+    let mut session = TuningSession::new(space.clone(), evaluator).with_batch(*batch);
+    session.run(&GridTuner::new(steps)).into()
 }
 
 /// Sweep an explicit list of configurations (e.g. custom per-dimension
 /// axes).
+#[deprecated(note = "drive a `GridTuner` through a `TuningSession` instead")]
 pub fn grid_search_points(
     evaluator: &dyn Evaluator,
     batch: &BatchEval,
     configs: Vec<Config>,
 ) -> GridResult {
-    let cached = CachingEvaluator::new(evaluator);
-    let mut front = ParetoFront::new();
-    let mut all = Vec::with_capacity(configs.len());
-    const CHUNK: usize = 512;
-    for chunk in configs.chunks(CHUNK) {
-        let objs = batch.run(&cached, chunk);
-        for (cfg, obj) in chunk.iter().zip(objs) {
-            if let Some(o) = obj {
-                let p = Point::new(cfg.clone(), o);
-                front.insert(p.clone());
-                all.push(p);
-            }
-        }
-    }
-    GridResult { front, all, evaluations: cached.evaluations() }
+    // The explicit-points sweep never consults the space, so a trivial
+    // placeholder keeps the legacy space-free signature.
+    let space = ParamSpace::new(
+        vec!["_".into()],
+        vec![crate::space::Domain::Range { lo: 0, hi: 0 }],
+    );
+    let mut session = TuningSession::new(space, evaluator).with_batch(*batch);
+    session.run(&GridTuner::from_points(configs)).into()
 }
 
 /// Cartesian product of explicit per-dimension axes.
@@ -74,14 +157,24 @@ pub fn cartesian_axes(axes: &[Vec<i64>]) -> Vec<Config> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims must keep their exact legacy contract; these
+    // tests exercise them deliberately.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::evaluate::ObjVec;
     use crate::space::Domain;
 
-    fn problem() -> (ParamSpace, (usize, impl Fn(&Config) -> Option<ObjVec> + Sync)) {
+    fn problem() -> (
+        ParamSpace,
+        (usize, impl Fn(&Config) -> Option<ObjVec> + Sync),
+    ) {
         let space = ParamSpace::new(
             vec!["x".into(), "t".into()],
-            vec![Domain::Range { lo: 0, hi: 100 }, Domain::Choice(vec![1, 2, 4])],
+            vec![
+                Domain::Range { lo: 0, hi: 100 },
+                Domain::Choice(vec![1, 2, 4]),
+            ],
         );
         let ev = (2usize, |cfg: &Config| {
             let x = cfg[0] as f64;

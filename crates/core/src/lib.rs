@@ -41,15 +41,27 @@ pub mod random;
 pub mod roughset;
 pub mod rsgde3;
 pub mod space;
+pub mod tuner;
 pub mod wsum;
+
+#[allow(deprecated)]
+pub use grid::grid_search;
+#[allow(deprecated)]
+pub use random::random_search;
+#[allow(deprecated)]
+pub use wsum::weighted_sweep;
 
 pub use evaluate::{BatchEval, CachingEvaluator, ConstrainedEvaluator, Evaluator, ObjVec};
 pub use gde3::{Gde3, Gde3Params};
-pub use grid::{grid_search, GridResult};
+pub use grid::{GridResult, GridTuner};
 pub use metrics::{additive_epsilon, hypervolume, hypervolume_2d, igd, normalize_front};
+pub use nsga2::{Nsga2Params, Nsga2Tuner};
 pub use pareto::{crowding_distances, dominates, fast_nondominated_sort, ParetoFront, Point};
-pub use random::random_search;
+pub use random::RandomTuner;
 pub use roughset::reduce_search_space;
-pub use rsgde3::{FrontSignature, RsGde3, RsGde3Params, TuningResult};
+pub use rsgde3::{FrontSignature, RsGde3, RsGde3Params, RsGde3Tuner, TuningResult};
 pub use space::{Config, Domain, ParamSpace};
-pub use wsum::{weighted_sweep, WeightedSweepParams};
+pub use tuner::{
+    EventLog, EventSink, StopReason, StrategyKind, Tuner, TuningEvent, TuningReport, TuningSession,
+};
+pub use wsum::{WeightedSumTuner, WeightedSweepParams};

@@ -111,7 +111,11 @@ fn hv_rec(pts: &[Vec<f64>]) -> f64 {
     for (w, &i) in order.iter().enumerate() {
         active.push(pts[i][..m - 1].to_vec());
         let z = pts[i][m - 1];
-        let z_next = if w + 1 < order.len() { pts[order[w + 1]][m - 1] } else { 1.0 };
+        let z_next = if w + 1 < order.len() {
+            pts[order[w + 1]][m - 1]
+        } else {
+            1.0
+        };
         let thickness = z_next - z;
         if thickness > 0.0 {
             hv += thickness * hv_rec(&active);

@@ -7,12 +7,13 @@
 //! crossover, random-reset mutation, and environmental selection via
 //! non-dominated sorting + crowding (shared with GDE3's pruning).
 
-use crate::evaluate::{BatchEval, CachingEvaluator, Evaluator};
+use crate::evaluate::{BatchEval, Evaluator};
 use crate::gde3::prune;
-use crate::metrics::{hypervolume, normalize_front, objective_bounds};
+use crate::metrics::objective_bounds;
 use crate::pareto::{crowding_distances, fast_nondominated_sort, ParetoFront, Point};
-use crate::rsgde3::TuningResult;
+use crate::rsgde3::{FrontSignature, TuningResult};
 use crate::space::{Config, ParamSpace};
+use crate::tuner::{StopReason, Tuner, TuningReport, TuningSession};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,117 +45,186 @@ impl Default for Nsga2Params {
     }
 }
 
+/// NSGA-II as a [`Tuner`].
+///
+/// The report's trace holds one [`FrontSignature`] of the archive per
+/// generation, with hypervolumes normalized over *all* points evaluated so
+/// far (the legacy `hv_history` scale).
+#[derive(Debug, Clone)]
+pub struct Nsga2Tuner {
+    /// Parameters.
+    pub params: Nsga2Params,
+}
+
+impl Nsga2Tuner {
+    /// Tuner with the given parameters.
+    pub fn new(params: Nsga2Params) -> Self {
+        Nsga2Tuner { params }
+    }
+}
+
+impl Tuner for Nsga2Tuner {
+    fn name(&self) -> &'static str {
+        "nsga2"
+    }
+
+    fn tune(&self, session: &mut TuningSession<'_>) -> TuningReport {
+        let params = self.params;
+        let space = session.space().clone();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        // Initial population.
+        let mut population: Vec<Point> = Vec::new();
+        let mut attempts = 0;
+        while population.len() < params.pop_size && attempts < 20 && !session.budget_exhausted() {
+            let configs: Vec<Config> = (0..params.pop_size - population.len())
+                .map(|_| space.sample(&mut rng))
+                .collect();
+            for (cfg, obj) in configs.iter().zip(session.evaluate(&configs)) {
+                if let Some(o) = obj {
+                    population.push(Point::new(cfg.clone(), o));
+                }
+            }
+            attempts += 1;
+        }
+
+        let mut archive = ParetoFront::new();
+        let mut all_points = Vec::new();
+        for p in &population {
+            archive.insert(p.clone());
+            all_points.push(p.clone());
+        }
+        let mut trace = Vec::new();
+
+        if population.len() < 2 {
+            // Tournament selection needs at least two members — out of
+            // budget or a (near-)infeasible space.
+            let stop = if session.budget_exhausted() {
+                StopReason::BudgetExhausted
+            } else {
+                StopReason::SpaceExhausted
+            };
+            return TuningReport {
+                front: archive,
+                all: all_points,
+                evaluations: session.evaluations(),
+                iterations: session.iteration(),
+                stop,
+                trace,
+            };
+        }
+
+        let mut stop = StopReason::Completed;
+        for _ in 0..params.generations {
+            session.begin_iteration();
+            // Ranks + crowding for tournament selection.
+            let fronts = fast_nondominated_sort(&population);
+            let mut rank = vec![0usize; population.len()];
+            let mut crowd = vec![0.0f64; population.len()];
+            for (fi, front) in fronts.iter().enumerate() {
+                let d = crowding_distances(&population, front);
+                for (w, &i) in front.iter().enumerate() {
+                    rank[i] = fi;
+                    crowd[i] = d[w];
+                }
+            }
+            let tournament = |rng: &mut StdRng| -> usize {
+                let a = rng.random_range(0..population.len());
+                let b = rng.random_range(0..population.len());
+                if rank[a] < rank[b] || (rank[a] == rank[b] && crowd[a] > crowd[b]) {
+                    a
+                } else {
+                    b
+                }
+            };
+
+            // Variation.
+            let mut offspring: Vec<Config> = Vec::with_capacity(params.pop_size);
+            while offspring.len() < params.pop_size {
+                let p1 = &population[tournament(&mut rng)].config;
+                let p2 = &population[tournament(&mut rng)].config;
+                let mut child: Config = if rng.random::<f64>() < params.crossover_prob {
+                    p1.iter()
+                        .zip(p2)
+                        .map(|(&x, &y)| if rng.random::<bool>() { x } else { y })
+                        .collect()
+                } else {
+                    p1.clone()
+                };
+                for (k, gene) in child.iter_mut().enumerate() {
+                    if rng.random::<f64>() < params.mutation_prob {
+                        *gene = space.domains[k].sample(&mut rng);
+                    }
+                }
+                offspring.push(space.nearest(&child));
+            }
+
+            // Evaluate offspring, combine, select.
+            let objs = session.evaluate(&offspring);
+            for (cfg, obj) in offspring.into_iter().zip(objs) {
+                if let Some(o) = obj {
+                    let p = Point::new(cfg, o);
+                    archive.insert(p.clone());
+                    all_points.push(p.clone());
+                    population.push(p);
+                }
+            }
+            population = prune(std::mem::take(&mut population), params.pop_size);
+
+            let (ideal, nadir) = objective_bounds(&all_points);
+            let sig = FrontSignature::under_bounds(archive.points(), &ideal, &nadir);
+            session.front_updated(&sig);
+            trace.push(sig);
+
+            if session.budget_exhausted() {
+                stop = StopReason::BudgetExhausted;
+                break;
+            }
+        }
+
+        TuningReport {
+            front: archive,
+            all: all_points,
+            evaluations: session.evaluations(),
+            iterations: session.iteration(),
+            stop,
+            trace,
+        }
+    }
+}
+
 /// Run NSGA-II on `space`.
+#[deprecated(note = "drive an `Nsga2Tuner` through a `TuningSession` instead")]
 pub fn nsga2(
     space: &ParamSpace,
     evaluator: &dyn Evaluator,
     batch: &BatchEval,
     params: Nsga2Params,
 ) -> TuningResult {
-    let cached = CachingEvaluator::new(evaluator);
-    let mut rng = StdRng::seed_from_u64(params.seed);
-
-    // Initial population.
-    let mut population: Vec<Point> = Vec::new();
-    let mut attempts = 0;
-    while population.len() < params.pop_size && attempts < 20 {
-        let configs: Vec<Config> = (0..params.pop_size - population.len())
-            .map(|_| space.sample(&mut rng))
-            .collect();
-        for (cfg, obj) in configs.iter().zip(batch.run(&cached, &configs)) {
-            if let Some(o) = obj {
-                population.push(Point::new(cfg.clone(), o));
-            }
-        }
-        attempts += 1;
-    }
-    assert!(population.len() >= 2, "could not build an initial population");
-
-    let mut archive = ParetoFront::new();
-    let mut all_points = Vec::new();
-    for p in &population {
-        archive.insert(p.clone());
-        all_points.push(p.clone());
-    }
-    let mut hv_history = Vec::new();
-
-    for _ in 0..params.generations {
-        // Ranks + crowding for tournament selection.
-        let fronts = fast_nondominated_sort(&population);
-        let mut rank = vec![0usize; population.len()];
-        let mut crowd = vec![0.0f64; population.len()];
-        for (fi, front) in fronts.iter().enumerate() {
-            let d = crowding_distances(&population, front);
-            for (w, &i) in front.iter().enumerate() {
-                rank[i] = fi;
-                crowd[i] = d[w];
-            }
-        }
-        let tournament = |rng: &mut StdRng| -> usize {
-            let a = rng.random_range(0..population.len());
-            let b = rng.random_range(0..population.len());
-            if rank[a] < rank[b] || (rank[a] == rank[b] && crowd[a] > crowd[b]) {
-                a
-            } else {
-                b
-            }
-        };
-
-        // Variation.
-        let mut offspring: Vec<Config> = Vec::with_capacity(params.pop_size);
-        while offspring.len() < params.pop_size {
-            let p1 = &population[tournament(&mut rng)].config;
-            let p2 = &population[tournament(&mut rng)].config;
-            let mut child: Config = if rng.random::<f64>() < params.crossover_prob {
-                p1.iter()
-                    .zip(p2)
-                    .map(|(&x, &y)| if rng.random::<bool>() { x } else { y })
-                    .collect()
-            } else {
-                p1.clone()
-            };
-            for (k, gene) in child.iter_mut().enumerate() {
-                if rng.random::<f64>() < params.mutation_prob {
-                    *gene = space.domains[k].sample(&mut rng);
-                }
-            }
-            offspring.push(space.nearest(&child));
-        }
-
-        // Evaluate offspring, combine, select.
-        let objs = batch.run(&cached, &offspring);
-        for (cfg, obj) in offspring.into_iter().zip(objs) {
-            if let Some(o) = obj {
-                let p = Point::new(cfg, o);
-                archive.insert(p.clone());
-                all_points.push(p.clone());
-                population.push(p);
-            }
-        }
-        population = prune(std::mem::take(&mut population), params.pop_size);
-
-        let (ideal, nadir) = objective_bounds(&all_points);
-        hv_history.push(hypervolume(&normalize_front(archive.points(), &ideal, &nadir)));
-    }
-
-    TuningResult {
-        front: archive,
-        evaluations: cached.evaluations(),
-        generations: params.generations,
-        hv_history,
-    }
+    let mut session = TuningSession::new(space.clone(), evaluator).with_batch(*batch);
+    session.run(&Nsga2Tuner::new(params)).into()
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `nsga2` shim must keep its exact legacy contract;
+    // these tests exercise it deliberately.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::evaluate::ObjVec;
     use crate::space::Domain;
 
-    fn problem() -> (ParamSpace, (usize, impl Fn(&Config) -> Option<ObjVec> + Sync)) {
+    fn problem() -> (
+        ParamSpace,
+        (usize, impl Fn(&Config) -> Option<ObjVec> + Sync),
+    ) {
         let space = ParamSpace::new(
             vec!["x".into(), "y".into()],
-            vec![Domain::Range { lo: 0, hi: 100 }, Domain::Range { lo: 0, hi: 100 }],
+            vec![
+                Domain::Range { lo: 0, hi: 100 },
+                Domain::Range { lo: 0, hi: 100 },
+            ],
         );
         let ev = (2usize, |cfg: &Config| {
             let (x, y) = (cfg[0] as f64, cfg[1] as f64);
@@ -166,7 +236,12 @@ mod tests {
     #[test]
     fn finds_reasonable_front() {
         let (space, ev) = problem();
-        let r = nsga2(&space, &ev, &BatchEval::sequential(), Nsga2Params::default());
+        let r = nsga2(
+            &space,
+            &ev,
+            &BatchEval::sequential(),
+            Nsga2Params::default(),
+        );
         assert!(!r.front.is_empty());
         assert!(r.evaluations > 0);
         let best_sum = r
@@ -175,14 +250,27 @@ mod tests {
             .iter()
             .map(|p| p.objectives[0])
             .fold(f64::INFINITY, f64::min);
-        assert!(best_sum <= 30.0, "NSGA-II missed the cheap extreme: {best_sum}");
+        assert!(
+            best_sum <= 30.0,
+            "NSGA-II missed the cheap extreme: {best_sum}"
+        );
     }
 
     #[test]
     fn deterministic_per_seed() {
         let (space, ev) = problem();
-        let a = nsga2(&space, &ev, &BatchEval::sequential(), Nsga2Params::default());
-        let b = nsga2(&space, &ev, &BatchEval::sequential(), Nsga2Params::default());
+        let a = nsga2(
+            &space,
+            &ev,
+            &BatchEval::sequential(),
+            Nsga2Params::default(),
+        );
+        let b = nsga2(
+            &space,
+            &ev,
+            &BatchEval::sequential(),
+            Nsga2Params::default(),
+        );
         assert_eq!(a.front.points(), b.front.points());
         assert_eq!(a.evaluations, b.evaluations);
     }
@@ -190,7 +278,12 @@ mod tests {
     #[test]
     fn hv_improves_over_generations() {
         let (space, ev) = problem();
-        let r = nsga2(&space, &ev, &BatchEval::sequential(), Nsga2Params::default());
+        let r = nsga2(
+            &space,
+            &ev,
+            &BatchEval::sequential(),
+            Nsga2Params::default(),
+        );
         assert!(r.hv_history.last().unwrap() >= r.hv_history.first().unwrap());
     }
 }

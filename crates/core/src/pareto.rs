@@ -70,7 +70,8 @@ impl ParetoFront {
                 return false;
             }
         }
-        self.points.retain(|q| !dominates(&p.objectives, &q.objectives));
+        self.points
+            .retain(|q| !dominates(&p.objectives, &q.objectives));
         self.points.push(p);
         true
     }
@@ -192,7 +193,10 @@ mod tests {
         assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
         assert!(!dominates(&[2.0, 2.0], &[1.0, 2.0]));
         assert!(!dominates(&[1.0, 2.0], &[2.0, 1.0]), "incomparable");
-        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]), "equal does not dominate");
+        assert!(
+            !dominates(&[1.0, 1.0], &[1.0, 1.0]),
+            "equal does not dominate"
+        );
     }
 
     #[test]
@@ -267,7 +271,12 @@ mod tests {
 
     #[test]
     fn crowding_boundary_infinite_interior_finite() {
-        let pts = vec![p(&[1.0, 5.0]), p(&[2.0, 4.0]), p(&[3.0, 3.0]), p(&[5.0, 1.0])];
+        let pts = vec![
+            p(&[1.0, 5.0]),
+            p(&[2.0, 4.0]),
+            p(&[3.0, 3.0]),
+            p(&[5.0, 1.0]),
+        ];
         let front: Vec<usize> = (0..4).collect();
         let d = crowding_distances(&pts, &front);
         assert!(d[0].is_infinite());

@@ -5,15 +5,127 @@
 //! as RS-GDE3; it is "very far off the quality achieved by the other
 //! techniques" (Fig. 9) — a comparison the harness reproduces.
 
-use crate::evaluate::{BatchEval, CachingEvaluator, Evaluator};
-use crate::metrics::{hypervolume, normalize_front, objective_bounds};
+use crate::evaluate::BatchEval;
+use crate::evaluate::Evaluator;
+use crate::metrics::objective_bounds;
 use crate::pareto::{ParetoFront, Point};
-use crate::rsgde3::TuningResult;
+use crate::rsgde3::{FrontSignature, TuningResult};
 use crate::space::{Config, ParamSpace};
+use crate::tuner::{StopReason, Tuner, TuningReport, TuningSession};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Uniform random sampling as a [`Tuner`].
+///
+/// The sample count comes from the session budget; an optional
+/// [`samples`](Self::samples) cap tightens it further (whichever is
+/// smaller wins). With neither set, [`DEFAULT_SAMPLES`](Self::DEFAULT_SAMPLES)
+/// applies. The report's trace holds one final [`FrontSignature`] whose
+/// hypervolume is normalized over *all* sampled points.
+#[derive(Debug, Clone)]
+pub struct RandomTuner {
+    /// Optional cap on distinct samples (in addition to the session
+    /// budget).
+    pub samples: Option<u64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomTuner {
+    /// Samples drawn when neither a session budget nor
+    /// [`samples`](Self::samples) bounds the run.
+    pub const DEFAULT_SAMPLES: u64 = 1000;
+
+    /// Tuner bounded only by the session budget.
+    pub fn new(seed: u64) -> Self {
+        RandomTuner {
+            samples: None,
+            seed,
+        }
+    }
+
+    /// Additionally cap the distinct-sample count at `n`.
+    pub fn with_samples(mut self, n: u64) -> Self {
+        self.samples = Some(n);
+        self
+    }
+}
+
+impl Tuner for RandomTuner {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn tune(&self, session: &mut TuningSession<'_>) -> TuningReport {
+        let budget = match (self.samples, session.budget()) {
+            (Some(n), Some(b)) => n.min(b),
+            (Some(n), None) => n,
+            (None, Some(b)) => b,
+            (None, None) => Self::DEFAULT_SAMPLES,
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut archive = ParetoFront::new();
+        let mut all = Vec::new();
+        let mut stop = StopReason::Completed;
+
+        const CHUNK: usize = 64;
+        while session.evaluations() < budget {
+            session.begin_iteration();
+            let want = ((budget - session.evaluations()) as usize).min(CHUNK);
+            let configs: Vec<Config> = (0..want)
+                .map(|_| session.space().sample(&mut rng))
+                .collect();
+            let objs = session.evaluate(&configs);
+            for (cfg, obj) in configs.into_iter().zip(objs) {
+                if let Some(o) = obj {
+                    let p = Point::new(cfg, o);
+                    all.push(p.clone());
+                    archive.insert(p);
+                }
+            }
+            if session.budget_exhausted() {
+                stop = StopReason::BudgetExhausted;
+                break;
+            }
+            // Duplicate samples are served from the cache and do not
+            // increase the count; in a pathological tiny space this could
+            // loop forever, so bail out once the space is exhausted.
+            if session.evaluations() >= session.space().size() {
+                stop = StopReason::SpaceExhausted;
+                break;
+            }
+        }
+        if stop == StopReason::Completed
+            && session.budget().is_some_and(|b| session.evaluations() >= b)
+        {
+            stop = StopReason::BudgetExhausted;
+        }
+
+        let sig = if all.is_empty() {
+            FrontSignature {
+                size: 0,
+                ideal: Vec::new(),
+                hv: 0.0,
+            }
+        } else {
+            let (ideal, nadir) = objective_bounds(&all);
+            FrontSignature::under_bounds(archive.points(), &ideal, &nadir)
+        };
+        session.front_updated(&sig);
+
+        TuningReport {
+            front: archive,
+            all,
+            evaluations: session.evaluations(),
+            iterations: session.iteration(),
+            stop,
+            trace: vec![sig],
+        }
+    }
+}
+
 /// Run random search with a budget of `budget` evaluations.
+#[deprecated(note = "drive a `RandomTuner` through a `TuningSession` instead")]
 pub fn random_search(
     space: &ParamSpace,
     evaluator: &dyn Evaluator,
@@ -21,55 +133,38 @@ pub fn random_search(
     budget: u64,
     seed: u64,
 ) -> TuningResult {
-    let cached = CachingEvaluator::new(evaluator);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut archive = ParetoFront::new();
-    let mut all_points = Vec::new();
-
-    const CHUNK: usize = 64;
-    while cached.evaluations() < budget {
-        let want = ((budget - cached.evaluations()) as usize).min(CHUNK);
-        let configs: Vec<Config> = (0..want).map(|_| space.sample(&mut rng)).collect();
-        let objs = batch.run(&cached, &configs);
-        for (cfg, obj) in configs.into_iter().zip(objs) {
-            if let Some(o) = obj {
-                let p = Point::new(cfg, o);
-                all_points.push(p.clone());
-                archive.insert(p);
-            }
-        }
-        // Duplicate samples are served from the cache and do not increase
-        // the count; in a pathological tiny space this could loop forever,
-        // so bail out once the space is exhausted.
-        if cached.evaluations() >= space.size() {
-            break;
-        }
-    }
-
-    let hv = if all_points.is_empty() {
-        0.0
-    } else {
-        let (ideal, nadir) = objective_bounds(&all_points);
-        hypervolume(&normalize_front(archive.points(), &ideal, &nadir))
-    };
+    let mut session = TuningSession::new(space.clone(), evaluator)
+        .with_batch(*batch)
+        .with_budget(budget);
+    let report = session.run(&RandomTuner::new(seed));
     TuningResult {
-        front: archive,
-        evaluations: cached.evaluations(),
+        front: report.front,
+        evaluations: report.evaluations,
         generations: 0,
-        hv_history: vec![hv],
+        hv_history: report.trace.iter().map(|s| s.hv).collect(),
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `random_search` shim must keep its exact legacy
+    // contract; these tests exercise it deliberately.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::evaluate::ObjVec;
     use crate::space::Domain;
 
-    fn problem() -> (ParamSpace, (usize, impl Fn(&Config) -> Option<ObjVec> + Sync)) {
+    fn problem() -> (
+        ParamSpace,
+        (usize, impl Fn(&Config) -> Option<ObjVec> + Sync),
+    ) {
         let space = ParamSpace::new(
             vec!["x".into()],
-            vec![Domain::Range { lo: -1000, hi: 1000 }],
+            vec![Domain::Range {
+                lo: -1000,
+                hi: 1000,
+            }],
         );
         let ev = (2usize, |cfg: &Config| {
             let x = cfg[0] as f64;

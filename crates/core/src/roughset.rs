@@ -23,8 +23,11 @@ pub fn reduce_search_space(space: &ParamSpace, population: &[Point]) -> Vec<(i64
     }
     let fronts = fast_nondominated_sort(population);
     let nd: Vec<&Point> = fronts[0].iter().map(|&i| &population[i]).collect();
-    let dominated: Vec<&Point> =
-        fronts[1..].iter().flatten().map(|&i| &population[i]).collect();
+    let dominated: Vec<&Point> = fronts[1..]
+        .iter()
+        .flatten()
+        .map(|&i| &population[i])
+        .collect();
     if nd.is_empty() || dominated.is_empty() {
         return full;
     }
@@ -64,10 +67,7 @@ pub fn reduce_search_space(space: &ParamSpace, population: &[Point]) -> Vec<(i64
 /// keep the reduced search space around all *known* non-dominated
 /// solutions, the mitigation for the reduction's acknowledged drawback of
 /// potentially cutting off parts of the optimal Pareto set).
-pub fn enclose_points(
-    bbox: &[(i64, i64)],
-    points: &[crate::pareto::Point],
-) -> Vec<(i64, i64)> {
+pub fn enclose_points(bbox: &[(i64, i64)], points: &[crate::pareto::Point]) -> Vec<(i64, i64)> {
     let mut out = bbox.to_vec();
     for p in points {
         for (k, slot) in out.iter_mut().enumerate() {
@@ -105,7 +105,10 @@ mod tests {
     fn space2() -> ParamSpace {
         ParamSpace::new(
             vec!["p1".into(), "p2".into()],
-            vec![Domain::Range { lo: 0, hi: 100 }, Domain::Range { lo: 0, hi: 100 }],
+            vec![
+                Domain::Range { lo: 0, hi: 100 },
+                Domain::Range { lo: 0, hi: 100 },
+            ],
         )
     }
 
@@ -139,30 +142,39 @@ mod tests {
             pt([45, 50], [4.0, 4.0]),
             pt([55, 50], [3.0, 3.0]),
         ];
-        assert_eq!(reduce_search_space(&space2(), &pop), vec![(0, 100), (0, 100)]);
+        assert_eq!(
+            reduce_search_space(&space2(), &pop),
+            vec![(0, 100), (0, 100)]
+        );
     }
 
     #[test]
     fn all_nondominated_returns_full_box() {
         let pop = vec![pt([10, 10], [1.0, 2.0]), pt([20, 20], [2.0, 1.0])];
-        assert_eq!(reduce_search_space(&space2(), &pop), vec![(0, 100), (0, 100)]);
+        assert_eq!(
+            reduce_search_space(&space2(), &pop),
+            vec![(0, 100), (0, 100)]
+        );
     }
 
     #[test]
     fn empty_population_returns_full_box() {
-        assert_eq!(reduce_search_space(&space2(), &[]), vec![(0, 100), (0, 100)]);
+        assert_eq!(
+            reduce_search_space(&space2(), &[]),
+            vec![(0, 100), (0, 100)]
+        );
     }
 
     #[test]
     fn multiple_dominated_pick_closest_witnesses() {
         let pop = vec![
-            pt([48, 50], [1.0, 3.0]),   // ND
-            pt([50, 50], [2.0, 2.0]),   // ND
-            pt([52, 50], [3.0, 1.0]),   // ND
-            pt([10, 50], [5.0, 5.0]),   // far below
-            pt([45, 50], [4.0, 4.0]),   // close below → lower witness
-            pt([55, 50], [3.5, 3.5]),   // close above → upper witness
-            pt([95, 50], [6.0, 6.0]),   // far above
+            pt([48, 50], [1.0, 3.0]), // ND
+            pt([50, 50], [2.0, 2.0]), // ND
+            pt([52, 50], [3.0, 1.0]), // ND
+            pt([10, 50], [5.0, 5.0]), // far below
+            pt([45, 50], [4.0, 4.0]), // close below → lower witness
+            pt([55, 50], [3.5, 3.5]), // close above → upper witness
+            pt([95, 50], [6.0, 6.0]), // far above
         ];
         let bbox = reduce_search_space(&space2(), &pop);
         assert_eq!(bbox[0], (45, 55));

@@ -7,12 +7,13 @@
 //! improved for a configurable number of consecutive iterations (the paper
 //! uses three).
 
-use crate::evaluate::{BatchEval, CachingEvaluator, Evaluator};
+use crate::evaluate::{BatchEval, Evaluator};
 use crate::gde3::{Gde3, Gde3Params};
 use crate::metrics::{hypervolume, normalize_front, objective_bounds};
-use crate::pareto::ParetoFront;
+use crate::pareto::{ParetoFront, Point};
 use crate::roughset::{enclose_points, reduce_search_space};
-use crate::space::ParamSpace;
+use crate::space::{Config, ParamSpace};
+use crate::tuner::{StopReason, Tuner, TuningReport, TuningSession};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -84,27 +85,98 @@ impl RsGde3 {
     /// counting/caching wrapper, so `E` counts distinct configurations
     /// (re-visited configurations are served from the cache, like a
     /// measurement database in an iterative compiler).
+    #[deprecated(note = "drive an `RsGde3Tuner` through a `TuningSession` instead")]
     pub fn run(&self, evaluator: &dyn Evaluator, batch: &BatchEval) -> TuningResult {
-        let cached = CachingEvaluator::new(evaluator);
-        let gde3 = Gde3::new(self.space.clone(), self.params.gde3);
-        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut session = TuningSession::new(self.space.clone(), evaluator).with_batch(*batch);
+        session.run(&RsGde3Tuner::new(self.params)).into()
+    }
+}
 
-        let mut bbox = self.space.full_box();
-        let mut population = gde3.init_population(&cached, batch, &bbox, &mut rng);
+/// The paper's algorithm as a [`Tuner`]: GDE3 generations inside a
+/// gradually Rough-Set-reduced search space with a patience-based stopping
+/// criterion. With [`RsGde3Params::use_roughset`] disabled this is plain
+/// GDE3 in the full space (the ablation variant).
+///
+/// The report's trace holds one [`FrontSignature`] of the population's
+/// non-dominated subset per iteration, plus one leading entry for the
+/// initial population.
+#[derive(Debug, Clone)]
+pub struct RsGde3Tuner {
+    /// Parameters.
+    pub params: RsGde3Params,
+}
+
+impl RsGde3Tuner {
+    /// Tuner with the given parameters.
+    pub fn new(params: RsGde3Params) -> Self {
+        RsGde3Tuner { params }
+    }
+}
+
+impl Tuner for RsGde3Tuner {
+    fn name(&self) -> &'static str {
+        if self.params.use_roughset {
+            "rs-gde3"
+        } else {
+            "gde3"
+        }
+    }
+
+    fn tune(&self, session: &mut TuningSession<'_>) -> TuningReport {
+        let gde3 = Gde3::new(session.space().clone(), self.params.gde3);
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut all: Vec<Point> = Vec::new();
+
+        let mut bbox = session.space().full_box();
+        let mut population = {
+            let mut eval = |cfgs: &[Config]| {
+                let objs = session.evaluate(cfgs);
+                crate::tuner::record_feasible(&mut all, cfgs, &objs);
+                objs
+            };
+            gde3.init_population_with(&mut eval, &bbox, &mut rng)
+        };
+        if population.len() < 4 {
+            // Not enough feasible members for DE variation — out of budget
+            // or a (near-)infeasible space.
+            let stop = if session.budget_exhausted() {
+                StopReason::BudgetExhausted
+            } else {
+                StopReason::SpaceExhausted
+            };
+            let front = ParetoFront::from_points(population);
+            return TuningReport {
+                front,
+                all,
+                evaluations: session.evaluations(),
+                iterations: session.iteration(),
+                stop,
+                trace: Vec::new(),
+            };
+        }
+
         let mut archive = ParetoFront::new();
         for p in &population {
             archive.insert(p.clone());
         }
 
-        let mut hv_history = Vec::new();
+        let mut trace = Vec::new();
         let mut last = FrontSignature::of(&population);
-        hv_history.push(last.hv);
+        session.front_updated(&last);
+        trace.push(last.clone());
         let mut stall = 0u32;
-        let mut generations = 0u32;
+        let mut stop = StopReason::MaxIterations;
 
-        while stall < self.params.patience && generations < self.params.max_generations {
-            gde3.generation(&mut population, &cached, batch, &bbox, &mut rng);
-            generations += 1;
+        while stall < self.params.patience && session.iteration() < self.params.max_generations {
+            session.begin_iteration();
+            {
+                let mut eval = |cfgs: &[Config]| {
+                    let objs = session.evaluate(cfgs);
+                    crate::tuner::record_feasible(&mut all, cfgs, &objs);
+                    objs
+                };
+                gde3.generation_with(&mut population, &mut eval, &bbox, &mut rng);
+            }
             for p in &population {
                 archive.insert(p.clone());
             }
@@ -114,26 +186,37 @@ impl RsGde3 {
             // risk of cutting off Pareto-optimal regions).
             if self.params.use_roughset {
                 bbox = enclose_points(
-                    &reduce_search_space(&self.space, &population),
+                    &reduce_search_space(session.space(), &population),
                     archive.points(),
                 );
+                session.space_reduced(&bbox);
             }
 
             let sig = FrontSignature::of(&population);
-            hv_history.push(sig.hv);
+            session.front_updated(&sig);
+            trace.push(sig.clone());
             if sig.improved_over(&last, self.params.hv_tolerance) {
                 stall = 0;
             } else {
                 stall += 1;
             }
             last = sig;
+            if session.budget_exhausted() {
+                stop = StopReason::BudgetExhausted;
+                break;
+            }
+        }
+        if stop != StopReason::BudgetExhausted && stall >= self.params.patience {
+            stop = StopReason::Converged;
         }
 
-        TuningResult {
+        TuningReport {
             front: archive,
-            evaluations: cached.evaluations(),
-            generations,
-            hv_history,
+            all,
+            evaluations: session.evaluations(),
+            iterations: session.iteration(),
+            stop,
+            trace,
         }
     }
 }
@@ -143,7 +226,7 @@ impl RsGde3 {
 /// its per-objective ideal point and its self-normalized hypervolume have
 /// all stagnated. (Hypervolume alone is blind to degenerate single-point
 /// fronts during the early exploration phase.)
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrontSignature {
     /// Number of non-dominated points.
     pub size: usize,
@@ -158,12 +241,41 @@ impl FrontSignature {
     pub fn of(population: &[crate::pareto::Point]) -> Self {
         let front = ParetoFront::from_points(population.iter().cloned());
         if front.is_empty() {
-            return FrontSignature { size: 0, ideal: Vec::new(), hv: 0.0 };
+            return FrontSignature {
+                size: 0,
+                ideal: Vec::new(),
+                hv: 0.0,
+            };
         }
         let (ideal, nadir) = objective_bounds(front.points());
         let norm = normalize_front(front.points(), &ideal, &nadir);
         let hv = hypervolume(&norm);
-        FrontSignature { size: front.len(), ideal, hv }
+        FrontSignature {
+            size: front.len(),
+            ideal,
+            hv,
+        }
+    }
+
+    /// Signature of `points`' non-dominated subset with the hypervolume
+    /// measured under externally fixed normalization bounds (e.g. the
+    /// bounds of *all* evaluated points), instead of the front's own.
+    pub fn under_bounds(points: &[crate::pareto::Point], ideal: &[f64], nadir: &[f64]) -> Self {
+        let front = ParetoFront::from_points(points.iter().cloned());
+        if front.is_empty() {
+            return FrontSignature {
+                size: 0,
+                ideal: Vec::new(),
+                hv: 0.0,
+            };
+        }
+        let (own_ideal, _) = objective_bounds(front.points());
+        let hv = hypervolume(&normalize_front(front.points(), ideal, nadir));
+        FrontSignature {
+            size: front.len(),
+            ideal: own_ideal,
+            hv,
+        }
     }
 
     /// True if this signature shows improvement over `prev`. During the
@@ -188,16 +300,26 @@ impl FrontSignature {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `RsGde3::run` shim must keep its exact legacy
+    // contract; these tests exercise it deliberately.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::evaluate::ObjVec;
-    use crate::space::{Config, Domain};
+    use crate::space::Domain;
 
     /// Discrete two-parameter problem with a known Pareto front:
     /// f = (x + y, (x - 80)² + (y - 80)²) over [0, 100]².
-    fn problem() -> (ParamSpace, (usize, impl Fn(&Config) -> Option<ObjVec> + Sync)) {
+    fn problem() -> (
+        ParamSpace,
+        (usize, impl Fn(&Config) -> Option<ObjVec> + Sync),
+    ) {
         let space = ParamSpace::new(
             vec!["x".into(), "y".into()],
-            vec![Domain::Range { lo: 0, hi: 100 }, Domain::Range { lo: 0, hi: 100 }],
+            vec![
+                Domain::Range { lo: 0, hi: 100 },
+                Domain::Range { lo: 0, hi: 100 },
+            ],
         );
         let ev = (2usize, |cfg: &Config| {
             let (x, y) = (cfg[0] as f64, cfg[1] as f64);
@@ -211,7 +333,10 @@ mod tests {
         let (space, ev) = problem();
         let rs = RsGde3::new(space, RsGde3Params::default());
         let result = rs.run(&ev, &BatchEval::sequential());
-        assert!(result.generations >= 3, "must run at least patience generations");
+        assert!(
+            result.generations >= 3,
+            "must run at least patience generations"
+        );
         assert!(result.generations < 200, "must terminate by patience");
         assert!(!result.front.is_empty());
         // Evaluations bounded by pop_size × (generations + init retries).
@@ -247,10 +372,14 @@ mod tests {
     #[test]
     fn different_seeds_explore_differently() {
         let (space, ev) = problem();
-        let mut p1 = RsGde3Params::default();
-        p1.seed = 1;
-        let mut p2 = RsGde3Params::default();
-        p2.seed = 2;
+        let p1 = RsGde3Params {
+            seed: 1,
+            ..Default::default()
+        };
+        let p2 = RsGde3Params {
+            seed: 2,
+            ..Default::default()
+        };
         let a = RsGde3::new(space.clone(), p1).run(&ev, &BatchEval::sequential());
         let b = RsGde3::new(space, p2).run(&ev, &BatchEval::sequential());
         // Not a hard guarantee, but with different seeds identical

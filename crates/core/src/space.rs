@@ -87,8 +87,11 @@ impl Domain {
                 }
             }
             Domain::Choice(v) => {
-                let feasible: Vec<i64> =
-                    v.iter().copied().filter(|c| (lo..=hi).contains(c)).collect();
+                let feasible: Vec<i64> = v
+                    .iter()
+                    .copied()
+                    .filter(|c| (lo..=hi).contains(c))
+                    .collect();
                 if feasible.is_empty() {
                     self.nearest((lo + hi) / 2)
                 } else {
@@ -134,7 +137,11 @@ impl ParamSpace {
     /// Project an arbitrary vector onto the nearest admissible config.
     pub fn nearest(&self, cfg: &[i64]) -> Config {
         assert_eq!(cfg.len(), self.dims());
-        self.domains.iter().zip(cfg).map(|(d, &x)| d.nearest(x)).collect()
+        self.domains
+            .iter()
+            .zip(cfg)
+            .map(|(d, &x)| d.nearest(x))
+            .collect()
     }
 
     /// Uniform random configuration.
@@ -274,10 +281,7 @@ mod tests {
 
     #[test]
     fn regular_grid_small_range_dedups() {
-        let s = ParamSpace::new(
-            vec!["x".into()],
-            vec![Domain::Range { lo: 1, hi: 3 }],
-        );
+        let s = ParamSpace::new(vec!["x".into()], vec![Domain::Range { lo: 1, hi: 3 }]);
         let grid = s.regular_grid(10);
         assert_eq!(grid.len(), 3);
     }

@@ -1,0 +1,520 @@
+//! The unified tuning driver: every search strategy implements [`Tuner`]
+//! and runs inside a [`TuningSession`].
+//!
+//! The session owns everything the paper's optimizer component shares
+//! across strategies (§III-B): the configuration space, the counting/
+//! caching evaluation layer (the `E` metric of Table VI), the parallel
+//! batch evaluator, an optional hard evaluation *budget*, and an event
+//! sink for progress tracing. Strategies only decide *which*
+//! configurations to propose next; evaluation accounting, budget
+//! enforcement and progress reporting are the session's job, so no
+//! strategy can overrun its budget or diverge in how `E` is counted.
+//!
+//! ```
+//! use moat_core::space::{Domain, ParamSpace};
+//! use moat_core::tuner::{TuningSession, Tuner};
+//! use moat_core::random::RandomTuner;
+//! use moat_core::Config;
+//!
+//! let space = ParamSpace::new(
+//!     vec!["x".into()],
+//!     vec![Domain::Range { lo: 0, hi: 1000 }],
+//! );
+//! let ev = (2usize, |cfg: &Config| {
+//!     let x = cfg[0] as f64;
+//!     Some(vec![x * x, (x - 100.0) * (x - 100.0)])
+//! });
+//! let mut session = TuningSession::new(space, &ev).with_budget(50);
+//! let report = session.run(&RandomTuner::new(7));
+//! assert!(report.evaluations <= 50);
+//! assert!(!report.front.is_empty());
+//! ```
+
+use crate::evaluate::{BatchEval, CachingEvaluator, Evaluator, ObjVec};
+use crate::pareto::{ParetoFront, Point};
+use crate::rsgde3::{FrontSignature, TuningResult};
+use crate::space::{Config, ParamSpace};
+use std::collections::HashSet;
+
+/// Why a tuning run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The strategy's own convergence criterion fired (e.g. RS-GDE3's
+    /// patience on the front signature).
+    Converged,
+    /// The session's evaluation budget was reached.
+    BudgetExhausted,
+    /// The strategy's iteration cap was reached.
+    MaxIterations,
+    /// Every configuration in the space has been evaluated.
+    SpaceExhausted,
+    /// The strategy ran its fixed schedule to completion (grid sweeps,
+    /// fixed-generation evolutionary runs, weighted sweeps).
+    Completed,
+}
+
+impl StopReason {
+    /// Short lowercase label (for logs and tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::BudgetExhausted => "budget-exhausted",
+            StopReason::MaxIterations => "max-iterations",
+            StopReason::SpaceExhausted => "space-exhausted",
+            StopReason::Completed => "completed",
+        }
+    }
+}
+
+/// Progress events emitted by the session (and, for strategy-specific
+/// milestones, by the tuners themselves) during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuningEvent {
+    /// A new strategy iteration (generation, sweep chunk, …) begins.
+    IterationStart {
+        /// 1-based iteration number.
+        iteration: u32,
+    },
+    /// A batch of configurations was evaluated.
+    BatchEvaluated {
+        /// Number of configurations the strategy requested.
+        requested: usize,
+        /// Number actually evaluated (the rest were cut by the budget).
+        evaluated: usize,
+        /// Total distinct evaluations `E` after this batch.
+        evaluations: u64,
+    },
+    /// The non-dominated front changed (or was re-measured).
+    FrontUpdated {
+        /// Signature (size, ideal point, hypervolume) of the new front.
+        signature: FrontSignature,
+    },
+    /// The search space was reduced (RS-GDE3's Rough-Set step, Fig. 5).
+    SpaceReduced {
+        /// The new per-dimension bounding box.
+        bbox: Vec<(i64, i64)>,
+    },
+    /// The run ended.
+    Stopped {
+        /// Why.
+        reason: StopReason,
+        /// Final distinct-evaluation count `E`.
+        evaluations: u64,
+    },
+}
+
+/// Receiver for [`TuningEvent`]s.
+pub trait EventSink {
+    /// Handle one event.
+    fn event(&mut self, event: &TuningEvent);
+}
+
+impl<F: FnMut(&TuningEvent)> EventSink for F {
+    fn event(&mut self, event: &TuningEvent) {
+        self(event)
+    }
+}
+
+/// An [`EventSink`] that records every event (for tests and diagnostics).
+#[derive(Debug, Default)]
+pub struct EventLog {
+    /// The recorded events, in emission order.
+    pub events: Vec<TuningEvent>,
+}
+
+impl EventLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+}
+
+impl EventSink for EventLog {
+    fn event(&mut self, event: &TuningEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Unified result of a tuning run, for all strategies.
+#[derive(Debug, Clone)]
+pub struct TuningReport {
+    /// Non-dominated subset of all evaluated configurations.
+    pub front: ParetoFront,
+    /// Every feasible evaluated point, in evaluation order (repeat
+    /// requests served from the cache appear once per request).
+    pub all: Vec<Point>,
+    /// `E` — number of distinct configurations evaluated.
+    pub evaluations: u64,
+    /// Strategy iterations executed (generations, sweep chunks, …).
+    pub iterations: u32,
+    /// Why the run ended.
+    pub stop: StopReason,
+    /// Per-iteration front signatures (the progress trace; strategy
+    /// dependent — see each tuner's documentation for what one entry
+    /// covers).
+    pub trace: Vec<FrontSignature>,
+}
+
+impl From<TuningReport> for TuningResult {
+    /// Downgrade to the legacy result type: `generations` becomes the
+    /// iteration count and `hv_history` the hypervolume component of the
+    /// trace.
+    fn from(report: TuningReport) -> TuningResult {
+        TuningResult {
+            front: report.front,
+            evaluations: report.evaluations,
+            generations: report.iterations,
+            hv_history: report.trace.iter().map(|s| s.hv).collect(),
+        }
+    }
+}
+
+/// A search strategy that can run inside a [`TuningSession`].
+pub trait Tuner {
+    /// Short lowercase strategy name (for logs and tables).
+    fn name(&self) -> &'static str;
+
+    /// Run the strategy to completion inside `session`. Implementations
+    /// must request all evaluations through [`TuningSession::evaluate`]
+    /// (so budgets and the `E` metric are enforced uniformly) and should
+    /// stop once [`TuningSession::budget_exhausted`] turns true.
+    fn tune(&self, session: &mut TuningSession<'_>) -> TuningReport;
+}
+
+/// One tuning run's shared state: space, caching/counting evaluator,
+/// parallel batch, budget, and event sink.
+pub struct TuningSession<'a> {
+    space: ParamSpace,
+    evaluator: CachingEvaluator<'a>,
+    num_objectives: usize,
+    batch: BatchEval,
+    budget: Option<u64>,
+    sink: Option<&'a mut dyn EventSink>,
+    iteration: u32,
+    budget_exhausted: bool,
+}
+
+impl<'a> TuningSession<'a> {
+    /// New session over `space` evaluating with `evaluator`, using a
+    /// host-sized parallel batch, no budget, and no event sink.
+    pub fn new(space: ParamSpace, evaluator: &'a dyn Evaluator) -> Self {
+        TuningSession {
+            space,
+            num_objectives: evaluator.num_objectives(),
+            evaluator: CachingEvaluator::new(evaluator),
+            batch: BatchEval::default(),
+            budget: None,
+            sink: None,
+            iteration: 0,
+            budget_exhausted: false,
+        }
+    }
+
+    /// Set the batch evaluator (e.g. [`BatchEval::sequential`] for
+    /// deterministic single-threaded runs — results are identical either
+    /// way, only wall-clock time differs).
+    pub fn with_batch(mut self, batch: BatchEval) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Cap the number of distinct evaluations at `budget`. The session
+    /// truncates over-budget batches, so no strategy can overrun.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Attach an event sink receiving progress events.
+    pub fn with_sink(mut self, sink: &'a mut dyn EventSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The configuration space being searched.
+    pub fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    /// Number of objectives of the wrapped evaluator.
+    pub fn num_objectives(&self) -> usize {
+        self.num_objectives
+    }
+
+    /// Distinct evaluations so far (the paper's `E`).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluator.evaluations()
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Evaluations left before the budget is hit (`None` = unlimited).
+    pub fn remaining_budget(&self) -> Option<u64> {
+        self.budget.map(|b| b.saturating_sub(self.evaluations()))
+    }
+
+    /// True once a batch had to be truncated (or fully refused) because
+    /// the budget ran out. Strategies should wind down when this fires.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget_exhausted
+    }
+
+    /// Iterations started so far.
+    pub fn iteration(&self) -> u32 {
+        self.iteration
+    }
+
+    /// Emit an event to the sink (no-op without one).
+    pub fn emit(&mut self, event: TuningEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.event(&event);
+        }
+    }
+
+    /// Start the next strategy iteration: bumps the counter and emits
+    /// [`TuningEvent::IterationStart`]. Returns the new 1-based number.
+    pub fn begin_iteration(&mut self) -> u32 {
+        self.iteration += 1;
+        let iteration = self.iteration;
+        self.emit(TuningEvent::IterationStart { iteration });
+        iteration
+    }
+
+    /// Announce a new front signature ([`TuningEvent::FrontUpdated`]).
+    pub fn front_updated(&mut self, signature: &FrontSignature) {
+        self.emit(TuningEvent::FrontUpdated {
+            signature: signature.clone(),
+        });
+    }
+
+    /// Announce a search-space reduction ([`TuningEvent::SpaceReduced`]).
+    pub fn space_reduced(&mut self, bbox: &[(i64, i64)]) {
+        self.emit(TuningEvent::SpaceReduced {
+            bbox: bbox.to_vec(),
+        });
+    }
+
+    /// Evaluate a batch of configurations, preserving order.
+    ///
+    /// Budget enforcement: configurations are admitted in order; each one
+    /// that is neither cached nor a duplicate of an earlier admitted
+    /// config consumes one unit of remaining budget. Once the budget is
+    /// exhausted the rest of the batch returns `None` (and
+    /// [`budget_exhausted`](Self::budget_exhausted) turns true). The cut
+    /// is computed *before* evaluation from the cache state, so it does
+    /// not depend on batch parallelism — runs are deterministic for a
+    /// fixed seed regardless of thread count.
+    pub fn evaluate(&mut self, configs: &[Config]) -> Vec<Option<ObjVec>> {
+        let admitted = match self.budget {
+            None => configs.len(),
+            Some(budget) => {
+                let mut remaining = budget.saturating_sub(self.evaluations());
+                let mut fresh: HashSet<&Config> = HashSet::new();
+                let mut admitted = 0;
+                for cfg in configs {
+                    if !self.evaluator.is_cached(cfg) && !fresh.contains(cfg) {
+                        if remaining == 0 {
+                            break;
+                        }
+                        remaining -= 1;
+                        fresh.insert(cfg);
+                    }
+                    admitted += 1;
+                }
+                admitted
+            }
+        };
+        if admitted < configs.len() {
+            self.budget_exhausted = true;
+        }
+        let mut results = self.batch.run(&self.evaluator, &configs[..admitted]);
+        results.resize(configs.len(), None);
+        self.emit(TuningEvent::BatchEvaluated {
+            requested: configs.len(),
+            evaluated: admitted,
+            evaluations: self.evaluator.evaluations(),
+        });
+        results
+    }
+
+    /// Run `tuner` to completion and emit the final
+    /// [`TuningEvent::Stopped`] event.
+    pub fn run(&mut self, tuner: &dyn Tuner) -> TuningReport {
+        let report = tuner.tune(self);
+        self.emit(TuningEvent::Stopped {
+            reason: report.stop,
+            evaluations: report.evaluations,
+        });
+        report
+    }
+}
+
+/// Append the feasible `(config, objectives)` pairs of one evaluated batch
+/// to a tuner's evaluation log.
+pub(crate) fn record_feasible(all: &mut Vec<Point>, configs: &[Config], objs: &[Option<ObjVec>]) {
+    for (cfg, obj) in configs.iter().zip(objs) {
+        if let Some(o) = obj {
+            all.push(Point::new(cfg.clone(), o.clone()));
+        }
+    }
+}
+
+/// The built-in search strategies, for CLI/facade strategy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Brute-force regular-grid sweep (paper §V-B.1).
+    Grid,
+    /// Uniform random sampling (paper §V-B.3).
+    Random,
+    /// Plain GDE3 without search-space reduction (ablation).
+    Gde3,
+    /// NSGA-II (additional evolutionary baseline).
+    Nsga2,
+    /// RS-GDE3 — the paper's algorithm (Fig. 4).
+    RsGde3,
+    /// Weighted-sum scalarization sweep (single-objective baseline).
+    WeightedSum,
+}
+
+impl StrategyKind {
+    /// All strategies, in presentation order.
+    pub fn all() -> [StrategyKind; 6] {
+        [
+            StrategyKind::Grid,
+            StrategyKind::Random,
+            StrategyKind::Gde3,
+            StrategyKind::Nsga2,
+            StrategyKind::RsGde3,
+            StrategyKind::WeightedSum,
+        ]
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::Grid => "grid",
+            StrategyKind::Random => "random",
+            StrategyKind::Gde3 => "gde3",
+            StrategyKind::Nsga2 => "nsga2",
+            StrategyKind::RsGde3 => "rs-gde3",
+            StrategyKind::WeightedSum => "wsum",
+        }
+    }
+
+    /// Parse a strategy name (accepts common aliases).
+    pub fn parse(s: &str) -> Option<StrategyKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "grid" | "brute" | "brute-force" => Some(StrategyKind::Grid),
+            "random" | "rnd" => Some(StrategyKind::Random),
+            "gde3" => Some(StrategyKind::Gde3),
+            "nsga2" | "nsga-ii" | "nsga-2" => Some(StrategyKind::Nsga2),
+            "rs-gde3" | "rsgde3" => Some(StrategyKind::RsGde3),
+            "wsum" | "weighted-sum" | "weighted" => Some(StrategyKind::WeightedSum),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem() -> (
+        ParamSpace,
+        (usize, impl Fn(&Config) -> Option<ObjVec> + Sync),
+    ) {
+        let space = ParamSpace::new(
+            vec!["x".into()],
+            vec![crate::space::Domain::Range { lo: 0, hi: 1000 }],
+        );
+        let ev = (2usize, |cfg: &Config| {
+            let x = cfg[0] as f64;
+            Some(vec![x * x, (x - 100.0) * (x - 100.0)])
+        });
+        (space, ev)
+    }
+
+    #[test]
+    fn budget_truncates_batches_deterministically() {
+        let (space, ev) = problem();
+        let mut session = TuningSession::new(space, &ev)
+            .with_batch(BatchEval::sequential())
+            .with_budget(3);
+        let configs: Vec<Config> = (0..6).map(|i| vec![i]).collect();
+        let out = session.evaluate(&configs);
+        assert!(out[..3].iter().all(|o| o.is_some()));
+        assert!(out[3..].iter().all(|o| o.is_none()));
+        assert_eq!(session.evaluations(), 3);
+        assert!(session.budget_exhausted());
+        assert_eq!(session.remaining_budget(), Some(0));
+    }
+
+    #[test]
+    fn cached_and_duplicate_configs_do_not_consume_budget() {
+        let (space, ev) = problem();
+        let mut session = TuningSession::new(space, &ev)
+            .with_batch(BatchEval::sequential())
+            .with_budget(2);
+        assert!(session.evaluate(&[vec![1]])[0].is_some());
+        // One budget unit left: the cached [1], an in-batch duplicate of
+        // [2], and the fresh [2] all fit; only [3] is cut.
+        let out = session.evaluate(&[vec![1], vec![2], vec![2], vec![3]]);
+        assert!(out[0].is_some() && out[1].is_some() && out[2].is_some());
+        assert!(out[3].is_none());
+        assert_eq!(session.evaluations(), 2);
+    }
+
+    #[test]
+    fn events_are_emitted_in_order() {
+        let (space, ev) = problem();
+        let mut log = EventLog::new();
+        {
+            let mut session = TuningSession::new(space, &ev)
+                .with_batch(BatchEval::sequential())
+                .with_sink(&mut log);
+            session.begin_iteration();
+            session.evaluate(&[vec![5]]);
+            session.emit(TuningEvent::Stopped {
+                reason: StopReason::Completed,
+                evaluations: session.evaluations(),
+            });
+        }
+        assert_eq!(log.events.len(), 3);
+        assert_eq!(log.events[0], TuningEvent::IterationStart { iteration: 1 });
+        assert!(matches!(
+            log.events[1],
+            TuningEvent::BatchEvaluated {
+                requested: 1,
+                evaluated: 1,
+                evaluations: 1
+            }
+        ));
+        assert!(matches!(
+            log.events[2],
+            TuningEvent::Stopped {
+                reason: StopReason::Completed,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn strategy_kind_roundtrip() {
+        for kind in StrategyKind::all() {
+            assert_eq!(StrategyKind::parse(kind.name()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert_eq!(StrategyKind::parse("NSGA-II"), Some(StrategyKind::Nsga2));
+        assert_eq!(StrategyKind::parse("brute-force"), Some(StrategyKind::Grid));
+        assert_eq!(StrategyKind::parse("nope"), None);
+    }
+}

@@ -9,10 +9,11 @@
 //! unreachable for *any* weights, and evaluations are not shared between
 //! the sweeps — makes it a meaningful baseline for the ablation study.
 
-use crate::evaluate::{BatchEval, CachingEvaluator, Evaluator};
+use crate::evaluate::{BatchEval, Evaluator};
 use crate::pareto::{ParetoFront, Point};
-use crate::rsgde3::TuningResult;
+use crate::rsgde3::{FrontSignature, TuningResult};
 use crate::space::{Config, ParamSpace};
+use crate::tuner::{StopReason, Tuner, TuningReport, TuningSession};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,120 +48,196 @@ impl Default for WeightedSweepParams {
     }
 }
 
+/// Weighted-sum scalarization as a [`Tuner`]: one single-objective DE
+/// minimization per weight vector; the final front is the non-dominated
+/// set of the per-weight winners.
+///
+/// Each weight vector is one session iteration; the report's trace holds
+/// one [`FrontSignature`] of the accumulated winner set per completed
+/// weight.
+#[derive(Debug, Clone)]
+pub struct WeightedSumTuner {
+    /// Parameters.
+    pub params: WeightedSweepParams,
+}
+
+impl WeightedSumTuner {
+    /// Tuner with the given parameters.
+    pub fn new(params: WeightedSweepParams) -> Self {
+        WeightedSumTuner { params }
+    }
+}
+
+impl Tuner for WeightedSumTuner {
+    fn name(&self) -> &'static str {
+        "wsum"
+    }
+
+    fn tune(&self, session: &mut TuningSession<'_>) -> TuningReport {
+        let params = self.params;
+        let m = session.num_objectives();
+        let space = session.space().clone();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut all: Vec<Point> = Vec::new();
+        let mut trace = Vec::new();
+
+        // Normalization bounds from an initial random sample (a scalarizing
+        // tuner needs *some* scale; this mirrors common practice).
+        let probe: Vec<Config> = (0..30).map(|_| space.sample(&mut rng)).collect();
+        let probe_results = session.evaluate(&probe);
+        crate::tuner::record_feasible(&mut all, &probe, &probe_results);
+        let probe_objs: Vec<Vec<f64>> = probe_results.into_iter().flatten().collect();
+        if probe_objs.is_empty() {
+            // No feasible probe — out of budget or an infeasible space.
+            let stop = if session.budget_exhausted() {
+                StopReason::BudgetExhausted
+            } else {
+                StopReason::SpaceExhausted
+            };
+            return TuningReport {
+                front: ParetoFront::new(),
+                all,
+                evaluations: session.evaluations(),
+                iterations: session.iteration(),
+                stop,
+                trace,
+            };
+        }
+        let mut lo = vec![f64::INFINITY; m];
+        let mut hi = vec![f64::NEG_INFINITY; m];
+        for o in &probe_objs {
+            for c in 0..m {
+                lo[c] = lo[c].min(o[c]);
+                hi[c] = hi[c].max(o[c]);
+            }
+        }
+        let scalar = |objs: &[f64], w: &[f64]| -> f64 {
+            objs.iter()
+                .enumerate()
+                .map(|(c, &x)| {
+                    let span = hi[c] - lo[c];
+                    w[c] * if span > 0.0 { (x - lo[c]) / span } else { 0.0 }
+                })
+                .sum()
+        };
+
+        let mut winners: Vec<Point> = Vec::new();
+        let mut stop = StopReason::Completed;
+        for wi in 0..params.num_weights {
+            session.begin_iteration();
+            // Evenly spread weights; for m > 2 the remaining mass is split
+            // uniformly over the other objectives.
+            let t = if params.num_weights > 1 {
+                wi as f64 / (params.num_weights - 1) as f64
+            } else {
+                0.5
+            };
+            let mut w = vec![(1.0 - t) / (m as f64 - 1.0); m];
+            w[0] = t;
+
+            // Single-objective DE/rand/1/bin.
+            let init: Vec<Config> = (0..params.pop_size)
+                .map(|_| space.sample(&mut rng))
+                .collect();
+            let objs = session.evaluate(&init);
+            crate::tuner::record_feasible(&mut all, &init, &objs);
+            let mut pop: Vec<(Config, Vec<f64>, f64)> = init
+                .into_iter()
+                .zip(objs)
+                .filter_map(|(c, o)| o.map(|o| (c.clone(), o.clone(), scalar(&o, &w))))
+                .collect();
+            if pop.len() < 4 {
+                if session.budget_exhausted() {
+                    stop = StopReason::BudgetExhausted;
+                    break;
+                }
+                continue;
+            }
+            for _ in 0..params.generations {
+                let n = pop.len();
+                let trials: Vec<Config> = (0..n)
+                    .map(|i| {
+                        let mut picks = [0usize; 3];
+                        let mut got = 0;
+                        while got < 3 {
+                            let cand = rng.random_range(0..n);
+                            if cand != i && !picks[..got].contains(&cand) {
+                                picks[got] = cand;
+                                got += 1;
+                            }
+                        }
+                        let dims = pop[i].0.len();
+                        let force = rng.random_range(0..dims);
+                        let cfg: Config = (0..dims)
+                            .map(|d| {
+                                if rng.random::<f64>() < params.cr || d == force {
+                                    pop[picks[0]].0[d]
+                                        + (params.f
+                                            * (pop[picks[1]].0[d] - pop[picks[2]].0[d]) as f64)
+                                            .round()
+                                            as i64
+                                } else {
+                                    pop[i].0[d]
+                                }
+                            })
+                            .collect();
+                        space.nearest(&cfg)
+                    })
+                    .collect();
+                let objs = session.evaluate(&trials);
+                crate::tuner::record_feasible(&mut all, &trials, &objs);
+                for i in 0..n {
+                    if let Some(o) = &objs[i] {
+                        let s = scalar(o, &w);
+                        if s < pop[i].2 {
+                            pop[i] = (trials[i].clone(), o.clone(), s);
+                        }
+                    }
+                }
+                if session.budget_exhausted() {
+                    break;
+                }
+            }
+            if let Some(best) = pop
+                .into_iter()
+                .min_by(|a, b| a.2.partial_cmp(&b.2).expect("NaN fitness"))
+            {
+                winners.push(Point::new(best.0, best.1));
+            }
+            let sig = FrontSignature::of(&winners);
+            session.front_updated(&sig);
+            trace.push(sig);
+            if session.budget_exhausted() {
+                stop = StopReason::BudgetExhausted;
+                break;
+            }
+        }
+
+        TuningReport {
+            front: ParetoFront::from_points(winners),
+            all,
+            evaluations: session.evaluations(),
+            iterations: session.iteration(),
+            stop,
+            trace,
+        }
+    }
+}
+
 /// Run the sweep: one single-objective DE minimization per weight vector;
 /// the returned front is the non-dominated set of the per-weight winners.
+#[deprecated(note = "drive a `WeightedSumTuner` through a `TuningSession` instead")]
 pub fn weighted_sweep(
     space: &ParamSpace,
     evaluator: &dyn Evaluator,
     batch: &BatchEval,
     params: WeightedSweepParams,
 ) -> TuningResult {
-    let m = evaluator.num_objectives();
-    let cached = CachingEvaluator::new(evaluator);
-    let mut rng = StdRng::seed_from_u64(params.seed);
-
-    // Normalization bounds from an initial random sample (a scalarizing
-    // tuner needs *some* scale; this mirrors common practice).
-    let probe: Vec<Config> = (0..30).map(|_| space.sample(&mut rng)).collect();
-    let probe_objs: Vec<Vec<f64>> = batch
-        .run(&cached, &probe)
-        .into_iter()
-        .flatten()
-        .collect();
-    assert!(!probe_objs.is_empty(), "no feasible probe configuration");
-    let mut lo = vec![f64::INFINITY; m];
-    let mut hi = vec![f64::NEG_INFINITY; m];
-    for o in &probe_objs {
-        for c in 0..m {
-            lo[c] = lo[c].min(o[c]);
-            hi[c] = hi[c].max(o[c]);
-        }
-    }
-    let scalar = |objs: &[f64], w: &[f64]| -> f64 {
-        objs.iter()
-            .enumerate()
-            .map(|(c, &x)| {
-                let span = hi[c] - lo[c];
-                w[c] * if span > 0.0 { (x - lo[c]) / span } else { 0.0 }
-            })
-            .sum()
-    };
-
-    let mut winners: Vec<Point> = Vec::new();
-    for wi in 0..params.num_weights {
-        // Evenly spread weights; for m > 2 the remaining mass is split
-        // uniformly over the other objectives.
-        let t = if params.num_weights > 1 {
-            wi as f64 / (params.num_weights - 1) as f64
-        } else {
-            0.5
-        };
-        let mut w = vec![(1.0 - t) / (m as f64 - 1.0); m];
-        w[0] = t;
-
-        // Single-objective DE/rand/1/bin.
-        let init: Vec<Config> =
-            (0..params.pop_size).map(|_| space.sample(&mut rng)).collect();
-        let objs = batch.run(&cached, &init);
-        let mut pop: Vec<(Config, Vec<f64>, f64)> = init
-            .into_iter()
-            .zip(objs)
-            .filter_map(|(c, o)| o.map(|o| (c.clone(), o.clone(), scalar(&o, &w))))
-            .collect();
-        if pop.len() < 4 {
-            continue;
-        }
-        for _ in 0..params.generations {
-            let n = pop.len();
-            let trials: Vec<Config> = (0..n)
-                .map(|i| {
-                    let mut picks = [0usize; 3];
-                    let mut got = 0;
-                    while got < 3 {
-                        let cand = rng.random_range(0..n);
-                        if cand != i && !picks[..got].contains(&cand) {
-                            picks[got] = cand;
-                            got += 1;
-                        }
-                    }
-                    let dims = pop[i].0.len();
-                    let force = rng.random_range(0..dims);
-                    let cfg: Config = (0..dims)
-                        .map(|d| {
-                            if rng.random::<f64>() < params.cr || d == force {
-                                pop[picks[0]].0[d]
-                                    + (params.f
-                                        * (pop[picks[1]].0[d] - pop[picks[2]].0[d]) as f64)
-                                        .round() as i64
-                            } else {
-                                pop[i].0[d]
-                            }
-                        })
-                        .collect();
-                    space.nearest(&cfg)
-                })
-                .collect();
-            let objs = batch.run(&cached, &trials);
-            for i in 0..n {
-                if let Some(o) = &objs[i] {
-                    let s = scalar(o, &w);
-                    if s < pop[i].2 {
-                        pop[i] = (trials[i].clone(), o.clone(), s);
-                    }
-                }
-            }
-        }
-        if let Some(best) = pop
-            .into_iter()
-            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("NaN fitness"))
-        {
-            winners.push(Point::new(best.0, best.1));
-        }
-    }
-
+    let mut session = TuningSession::new(space.clone(), evaluator).with_batch(*batch);
+    let report = session.run(&WeightedSumTuner::new(params));
     TuningResult {
-        front: ParetoFront::from_points(winners),
-        evaluations: cached.evaluations(),
+        front: report.front,
+        evaluations: report.evaluations,
         generations: params.generations * params.num_weights as u32,
         hv_history: Vec::new(),
     }
@@ -168,14 +245,24 @@ pub fn weighted_sweep(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `weighted_sweep` shim must keep its exact legacy
+    // contract; these tests exercise it deliberately.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::evaluate::ObjVec;
     use crate::space::Domain;
 
-    fn problem() -> (ParamSpace, (usize, impl Fn(&Config) -> Option<ObjVec> + Sync)) {
+    fn problem() -> (
+        ParamSpace,
+        (usize, impl Fn(&Config) -> Option<ObjVec> + Sync),
+    ) {
         let space = ParamSpace::new(
             vec!["x".into(), "y".into()],
-            vec![Domain::Range { lo: 0, hi: 100 }, Domain::Range { lo: 0, hi: 100 }],
+            vec![
+                Domain::Range { lo: 0, hi: 100 },
+                Domain::Range { lo: 0, hi: 100 },
+            ],
         );
         let ev = (2usize, |cfg: &Config| {
             let (x, y) = (cfg[0] as f64, cfg[1] as f64);
@@ -201,17 +288,30 @@ mod tests {
             .iter()
             .map(|p| p.objectives[1])
             .fold(f64::INFINITY, f64::min);
-        assert!(best0 <= 20.0, "w=(1,0) sweep must find the cheap extreme: {best0}");
-        assert!(best1 <= 200.0, "w=(0,1) sweep must find the other extreme: {best1}");
+        assert!(
+            best0 <= 20.0,
+            "w=(1,0) sweep must find the cheap extreme: {best0}"
+        );
+        assert!(
+            best1 <= 200.0,
+            "w=(0,1) sweep must find the other extreme: {best1}"
+        );
         assert!(r.evaluations > 0);
     }
 
     #[test]
     fn front_is_at_most_num_weights() {
         let (space, ev) = problem();
-        let params = WeightedSweepParams { num_weights: 6, ..Default::default() };
+        let params = WeightedSweepParams {
+            num_weights: 6,
+            ..Default::default()
+        };
         let r = weighted_sweep(&space, &ev, &BatchEval::sequential(), params);
-        assert!(r.front.len() <= 6, "one winner per weight at most: {}", r.front.len());
+        assert!(
+            r.front.len() <= 6,
+            "one winner per weight at most: {}",
+            r.front.len()
+        );
     }
 
     #[test]

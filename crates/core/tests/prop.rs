@@ -6,8 +6,7 @@ use moat_core::gde3::prune;
 use moat_core::pareto::{dominates, fast_nondominated_sort, ParetoFront, Point};
 use moat_core::roughset::reduce_search_space;
 use moat_core::{
-    hypervolume, hypervolume_2d, normalize_front, BatchEval, Domain, Gde3, Gde3Params,
-    ParamSpace,
+    hypervolume, hypervolume_2d, normalize_front, BatchEval, Domain, Gde3, Gde3Params, ParamSpace,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -125,7 +124,7 @@ proptest! {
                 .position(|f| f.iter().any(|&i| pts[i].objectives == p.objectives && pts[i].config == p.config))
                 .expect("pruned point not from input")
         };
-        let max_kept_rank = kept.iter().map(|p| rank_of(p)).max().unwrap();
+        let max_kept_rank = kept.iter().map(&rank_of).max().unwrap();
         // Every front strictly better than the worst kept rank must be
         // fully represented.
         for (fi, front) in fronts.iter().enumerate() {

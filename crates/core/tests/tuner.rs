@@ -1,0 +1,186 @@
+//! Cross-strategy properties of the unified [`Tuner`] / [`TuningSession`]
+//! driver: every built-in strategy respects the session's evaluation
+//! budget, returns an internally non-dominated front, and is fully
+//! deterministic for a fixed seed — even under parallel batch evaluation.
+//! Plus: the event stream arrives in a well-formed order.
+
+use moat_core::pareto::dominates;
+use moat_core::{
+    BatchEval, Config, Domain, EventLog, GridTuner, Nsga2Params, Nsga2Tuner, ParamSpace,
+    RandomTuner, RsGde3Params, RsGde3Tuner, StopReason, Tuner, TuningEvent, TuningReport,
+    TuningSession, WeightedSumTuner, WeightedSweepParams,
+};
+use proptest::prelude::*;
+
+const BUDGET: u64 = 500;
+
+/// A 20480-point space (64 x 64 x 5) so a 500-evaluation budget binds.
+fn space() -> ParamSpace {
+    ParamSpace::new(
+        vec!["x".into(), "y".into(), "c".into()],
+        vec![
+            Domain::Range { lo: 0, hi: 63 },
+            Domain::Range { lo: 0, hi: 63 },
+            Domain::Choice(vec![1, 2, 4, 8, 16]),
+        ],
+    )
+}
+
+/// Two genuinely conflicting objectives (opposite corners of the space).
+fn objective(cfg: &Config) -> Option<Vec<f64>> {
+    let (x, y, c) = (cfg[0] as f64, cfg[1] as f64, cfg[2] as f64);
+    Some(vec![
+        x * x + y * y + c,
+        (x - 63.0).powi(2) + (y - 63.0).powi(2) + 100.0 / c,
+    ])
+}
+
+/// All six built-in strategies, seeded.
+fn all_tuners(seed: u64) -> Vec<Box<dyn Tuner>> {
+    vec![
+        // 12 x 12 x 5 = 720 grid points: deterministically over budget.
+        Box::new(GridTuner::new(12)),
+        Box::new(RandomTuner::new(seed)),
+        Box::new(RsGde3Tuner::new(RsGde3Params {
+            seed,
+            use_roughset: false,
+            ..Default::default()
+        })),
+        Box::new(Nsga2Tuner::new(Nsga2Params {
+            seed,
+            ..Default::default()
+        })),
+        Box::new(RsGde3Tuner::new(RsGde3Params {
+            seed,
+            ..Default::default()
+        })),
+        Box::new(WeightedSumTuner::new(WeightedSweepParams {
+            seed,
+            ..Default::default()
+        })),
+    ]
+}
+
+fn run(tuner: &dyn Tuner, seed_independent_parallelism: usize) -> TuningReport {
+    let ev = (2usize, objective);
+    let mut session = TuningSession::new(space(), &ev)
+        .with_batch(BatchEval::parallel(seed_independent_parallelism))
+        .with_budget(BUDGET);
+    session.run(tuner)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Budget, front soundness and determinism hold for every strategy and
+    /// any seed, independent of evaluation parallelism.
+    #[test]
+    fn every_strategy_respects_budget_and_is_deterministic(seed in 0u64..10_000) {
+        for tuner in all_tuners(seed) {
+            let a = run(tuner.as_ref(), 8);
+            // The budget is a hard cap on distinct evaluations.
+            prop_assert!(
+                a.evaluations <= BUDGET,
+                "{} overran the budget: E={}",
+                tuner.name(),
+                a.evaluations
+            );
+            prop_assert!(!a.front.is_empty(), "{} returned no front", tuner.name());
+            // The front is mutually non-dominated.
+            for p in a.front.points() {
+                for q in a.front.points() {
+                    prop_assert!(
+                        !dominates(&p.objectives, &q.objectives),
+                        "{} returned a dominated front point",
+                        tuner.name()
+                    );
+                }
+            }
+            // Identical seed => identical result, even when the batch
+            // parallelism differs (the budget cut is computed from cache
+            // state before evaluation, never from thread timing).
+            let b = run(tuner.as_ref(), 2);
+            prop_assert_eq!(a.front.points(), b.front.points(), "front diverged");
+            prop_assert_eq!(a.evaluations, b.evaluations, "E diverged");
+            prop_assert_eq!(a.iterations, b.iterations, "iterations diverged");
+            prop_assert_eq!(a.stop, b.stop, "stop reason diverged");
+            prop_assert_eq!(a.trace.len(), b.trace.len(), "trace diverged");
+        }
+    }
+}
+
+#[test]
+fn over_budget_strategies_spend_the_budget_exactly() {
+    // Grid (720 points) and random (1000 samples) both want more than the
+    // budget allows; the session must cut them at exactly E = 500.
+    for tuner in [
+        Box::new(GridTuner::new(12)) as Box<dyn Tuner>,
+        Box::new(RandomTuner::new(3)),
+    ] {
+        let report = run(tuner.as_ref(), 4);
+        assert_eq!(
+            report.evaluations,
+            BUDGET,
+            "{} should spend the whole budget",
+            tuner.name()
+        );
+        assert_eq!(report.stop, StopReason::BudgetExhausted);
+    }
+}
+
+#[test]
+fn event_stream_is_well_formed_for_every_strategy() {
+    let ev = (2usize, objective);
+    for tuner in all_tuners(11) {
+        let mut log = EventLog::new();
+        {
+            let mut session = TuningSession::new(space(), &ev)
+                .with_batch(BatchEval::sequential())
+                .with_budget(BUDGET)
+                .with_sink(&mut log);
+            session.run(tuner.as_ref());
+        }
+        let events = &log.events;
+        assert!(!events.is_empty(), "{}: no events", tuner.name());
+        // Exactly one Stopped event, and it comes last.
+        let stops = events
+            .iter()
+            .filter(|e| matches!(e, TuningEvent::Stopped { .. }))
+            .count();
+        assert_eq!(stops, 1, "{}: {} Stopped events", tuner.name(), stops);
+        assert!(
+            matches!(events.last().unwrap(), TuningEvent::Stopped { .. }),
+            "{}: run did not end with Stopped",
+            tuner.name()
+        );
+        // Iterations are announced 1, 2, 3, ... in order.
+        let iters: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                TuningEvent::IterationStart { iteration } => Some(*iteration),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            iters,
+            (1..=iters.len() as u32).collect::<Vec<_>>(),
+            "{}: iteration numbers out of order",
+            tuner.name()
+        );
+        // The E counter reported by BatchEvaluated never decreases, and the
+        // final Stopped event reports the final count.
+        let mut last_e = 0;
+        for e in events {
+            if let TuningEvent::BatchEvaluated { evaluations, .. } = e {
+                assert!(*evaluations >= last_e, "{}: E went backwards", tuner.name());
+                last_e = *evaluations;
+            }
+        }
+        match events.last().unwrap() {
+            TuningEvent::Stopped { evaluations, .. } => {
+                assert_eq!(*evaluations, last_e, "{}: Stopped E mismatch", tuner.name())
+            }
+            _ => unreachable!(),
+        }
+    }
+}

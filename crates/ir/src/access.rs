@@ -30,7 +30,12 @@ pub struct ArrayDecl {
 impl ArrayDecl {
     /// Create a declaration.
     pub fn new(id: ArrayId, name: impl Into<String>, dims: Vec<u64>, elem_size: u64) -> Self {
-        ArrayDecl { id, name: name.into(), dims, elem_size }
+        ArrayDecl {
+            id,
+            name: name.into(),
+            dims,
+            elem_size,
+        }
     }
 
     /// Total number of elements.
@@ -51,7 +56,12 @@ impl ArrayDecl {
     /// Row-major linear offset (in elements) of the given multi-dimensional
     /// index. Panics if the index rank does not match the declaration.
     pub fn linearize(&self, idx: &[i64]) -> i64 {
-        assert_eq!(idx.len(), self.dims.len(), "index rank mismatch for {}", self.name);
+        assert_eq!(
+            idx.len(),
+            self.dims.len(),
+            "index rank mismatch for {}",
+            self.name
+        );
         let mut off = 0i64;
         for (d, &i) in idx.iter().enumerate() {
             off = off * self.dims[d] as i64 + i;
@@ -83,12 +93,20 @@ pub struct Access {
 impl Access {
     /// Construct a read access.
     pub fn read(array: ArrayId, indices: Vec<AffineExpr>) -> Self {
-        Access { array, indices, kind: AccessKind::Read }
+        Access {
+            array,
+            indices,
+            kind: AccessKind::Read,
+        }
     }
 
     /// Construct a write access.
     pub fn write(array: ArrayId, indices: Vec<AffineExpr>) -> Self {
-        Access { array, indices, kind: AccessKind::Write }
+        Access {
+            array,
+            indices,
+            kind: AccessKind::Write,
+        }
     }
 
     /// True if this is a write.
@@ -148,7 +166,10 @@ mod tests {
     fn access_eval() {
         let a = Access::read(
             ArrayId(1),
-            vec![AffineExpr::var(VarId(0)), AffineExpr::var(VarId(1)).offset(1)],
+            vec![
+                AffineExpr::var(VarId(0)),
+                AffineExpr::var(VarId(1)).offset(1),
+            ],
         );
         let idx = a.eval_indices(&|v| if v == VarId(0) { 3 } else { 7 });
         assert_eq!(idx, vec![3, 8]);

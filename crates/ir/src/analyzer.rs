@@ -46,7 +46,10 @@ impl Default for AnalyzerConfig {
 impl AnalyzerConfig {
     /// Configuration for a machine offering the given thread counts.
     pub fn for_threads(thread_counts: Vec<i64>) -> Self {
-        AnalyzerConfig { thread_counts, ..Default::default() }
+        AnalyzerConfig {
+            thread_counts,
+            ..Default::default()
+        }
     }
 }
 
@@ -71,7 +74,8 @@ fn build_skeleton(
     for (idx, l) in region.nest.loops[..band].iter().enumerate() {
         let trip = l
             .const_trip()
-            .ok_or_else(|| format!("loop {} has non-constant bounds", l.name))? as i64;
+            .ok_or_else(|| format!("loop {} has non-constant bounds", l.name))?
+            as i64;
         let hi = (trip / cfg.tile_size_divisor).max(1);
         params.push(ParamDecl::new(
             format!("tile_{}", l.name),
@@ -92,7 +96,11 @@ fn build_skeleton(
         steps.push(Step::Parallelize { threads_param });
     }
 
-    Ok(Skeleton::new(format!("tile{band}-collapse-parallel"), params, steps))
+    Ok(Skeleton::new(
+        format!("tile{band}-collapse-parallel"),
+        params,
+        steps,
+    ))
 }
 
 /// Analyze `region`'s nest and attach tiling/collapsing/parallelization
@@ -102,7 +110,10 @@ pub fn analyze(mut region: Region, cfg: &AnalyzerConfig) -> Result<Region, Strin
     let an = DepAnalysis::analyze(&region.nest);
     let band = an.outer_tileable_band();
     if band == 0 {
-        return Err(format!("region {}: outermost loop is not tileable", region.name));
+        return Err(format!(
+            "region {}: outermost loop is not tileable",
+            region.name
+        ));
     }
 
     let mut skeletons = vec![build_skeleton(&region, &an, band, cfg)?];
@@ -166,7 +177,10 @@ mod tests {
             ParamDomain::IntRange { lo: 1, hi: 700 },
             "paper sets the tile upper bound to N/2"
         );
-        assert_eq!(sk.params[3].domain, ParamDomain::Choice(vec![1, 5, 10, 20, 40]));
+        assert_eq!(
+            sk.params[3].domain,
+            ParamDomain::Choice(vec![1, 5, 10, 20, 40])
+        );
         // tile → collapse(2) → parallelize.
         assert!(matches!(sk.steps[0], Step::Tile { band: 3, .. }));
         assert!(matches!(sk.steps[1], Step::Collapse { count: 2 }));
@@ -177,7 +191,9 @@ mod tests {
     fn mm_skeleton_instantiates() {
         let cfg = AnalyzerConfig::for_threads(vec![1, 2, 4]);
         let r = analyze(mm_region(64), &cfg).unwrap();
-        let v = r.skeletons[0].instantiate(&r.nest, &[32, 16, 8, 4]).unwrap();
+        let v = r.skeletons[0]
+            .instantiate(&r.nest, &[32, 16, 8, 4])
+            .unwrap();
         assert_eq!(v.threads, 4);
         assert_eq!(v.nest.parallel.unwrap().collapsed, 2);
     }
@@ -190,8 +206,14 @@ mod tests {
         };
         let r = analyze(mm_region(64), &cfg).unwrap();
         assert_eq!(r.skeletons.len(), 2);
-        assert!(matches!(r.skeletons[0].steps[0], Step::Tile { band: 3, .. }));
-        assert!(matches!(r.skeletons[1].steps[0], Step::Tile { band: 2, .. }));
+        assert!(matches!(
+            r.skeletons[0].steps[0],
+            Step::Tile { band: 3, .. }
+        ));
+        assert!(matches!(
+            r.skeletons[1].steps[0],
+            Step::Tile { band: 2, .. }
+        ));
         // The reduced skeleton has one fewer tile parameter.
         assert_eq!(r.skeletons[0].params.len(), 4);
         assert_eq!(r.skeletons[1].params.len(), 3);
@@ -227,7 +249,10 @@ mod tests {
         let sk = &r.skeletons[0];
         // Tiling only; no parallelization step.
         assert_eq!(sk.params.len(), 1);
-        assert!(sk.steps.iter().all(|s| !matches!(s, Step::Parallelize { .. })));
+        assert!(sk
+            .steps
+            .iter()
+            .all(|s| !matches!(s, Step::Parallelize { .. })));
     }
 
     #[test]
@@ -258,6 +283,9 @@ mod tests {
         let cfg = AnalyzerConfig::for_threads(vec![1, 2]);
         let r = analyze(region, &cfg).unwrap();
         // Band restricted to the outermost loop only.
-        assert!(matches!(r.skeletons[0].steps[0], Step::Tile { band: 1, .. }));
+        assert!(matches!(
+            r.skeletons[0].steps[0],
+            Step::Tile { band: 1, .. }
+        ));
     }
 }

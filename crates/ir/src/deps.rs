@@ -73,7 +73,10 @@ impl DepAnalysis {
             .iter()
             .enumerate()
             .flat_map(|(si, s)| {
-                s.accesses.iter().enumerate().map(move |(ai, a)| ((si, ai), a))
+                s.accesses
+                    .iter()
+                    .enumerate()
+                    .map(move |(ai, a)| ((si, ai), a))
             })
             .collect();
         for (x, (id_a, a)) in accesses.iter().enumerate() {
@@ -86,7 +89,10 @@ impl DepAnalysis {
                 }
             }
         }
-        DepAnalysis { deps, depth: nest.depth() }
+        DepAnalysis {
+            deps,
+            depth: nest.depth(),
+        }
     }
 
     /// True if the loop at `level` may be run in parallel: no dependence is
@@ -240,7 +246,12 @@ fn test_pair(
                     _ => *d,
                 })
                 .collect();
-            Dependence { src: id_a, dst: id_b, distance, directions: dirs }
+            Dependence {
+                src: id_a,
+                dst: id_b,
+                distance,
+                directions: dirs,
+            }
         })
         .collect()
 }
@@ -391,7 +402,10 @@ mod tests {
         );
         let an = DepAnalysis::analyze(&nest);
         assert!(!an.parallelizable(0));
-        assert!(!an.tileable(0..2), "(<, >) dependence must forbid 2-d tiling");
+        assert!(
+            !an.tileable(0..2),
+            "(<, >) dependence must forbid 2-d tiling"
+        );
         assert_eq!(an.outer_tileable_band(), 1);
     }
 
@@ -413,7 +427,10 @@ mod tests {
         let a = ArrayId(0);
         let nest = LoopNest::new(
             vec![Loop::plain(i, "i", 0, 8)],
-            vec![Stmt::new(vec![Access::write(a, vec![AffineExpr::constant(0)])], 1)],
+            vec![Stmt::new(
+                vec![Access::write(a, vec![AffineExpr::constant(0)])],
+                1,
+            )],
         );
         let an = DepAnalysis::analyze(&nest);
         assert!(!an.deps.is_empty());
@@ -482,7 +499,10 @@ mod tests {
     #[test]
     fn normalize_flips_gt() {
         let fams = normalize(&[Direction::Eq, Direction::Gt, Direction::Lt]);
-        assert_eq!(fams, vec![vec![Direction::Eq, Direction::Lt, Direction::Gt]]);
+        assert_eq!(
+            fams,
+            vec![vec![Direction::Eq, Direction::Lt, Direction::Gt]]
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub struct AffineExpr {
 impl AffineExpr {
     /// The constant expression `c`.
     pub fn constant(c: i64) -> Self {
-        AffineExpr { terms: BTreeMap::new(), constant: c }
+        AffineExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// The expression consisting of a single variable `v` (coefficient 1).
@@ -275,7 +278,9 @@ mod tests {
     #[test]
     fn eval_env() {
         // 3*v0 - 2*v1 + 5 at v0=4, v1=1 => 12 - 2 + 5 = 15
-        let e = AffineExpr::term(v(0), 3).add(&AffineExpr::term(v(1), -2)).offset(5);
+        let e = AffineExpr::term(v(0), 3)
+            .add(&AffineExpr::term(v(1), -2))
+            .offset(5);
         let r = e.eval(&|x| if x == v(0) { 4 } else { 1 });
         assert_eq!(r, 15);
     }

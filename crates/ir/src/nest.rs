@@ -165,7 +165,11 @@ pub struct Stmt {
 impl Stmt {
     /// Create a statement.
     pub fn new(accesses: Vec<Access>, flops: u64) -> Self {
-        Stmt { accesses, flops, expr: None }
+        Stmt {
+            accesses,
+            flops,
+            expr: None,
+        }
     }
 
     /// Attach C source text for code generation.
@@ -189,7 +193,11 @@ pub struct LoopNest {
 impl LoopNest {
     /// Create a sequential nest.
     pub fn new(loops: Vec<Loop>, body: Vec<Stmt>) -> Self {
-        LoopNest { loops, body, parallel: None }
+        LoopNest {
+            loops,
+            body,
+            parallel: None,
+        }
     }
 
     /// Nesting depth.
@@ -230,7 +238,10 @@ impl LoopNest {
         let mut seen: HashSet<VarId> = HashSet::new();
         for (d, l) in self.loops.iter().enumerate() {
             if !seen.insert(l.var) {
-                return Err(format!("duplicate induction variable {} at depth {d}", l.var));
+                return Err(format!(
+                    "duplicate induction variable {} at depth {d}",
+                    l.var
+                ));
             }
             if l.step <= 0 {
                 return Err(format!("non-positive step {} at depth {d}", l.step));
@@ -324,7 +335,11 @@ impl LoopNest {
 impl fmt::Display for LoopNest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if let Some(p) = self.parallel {
-            writeln!(f, "parallel(threads={}, collapse={})", p.threads, p.collapsed)?;
+            writeln!(
+                f,
+                "parallel(threads={}, collapse={})",
+                p.threads, p.collapsed
+            )?;
         }
         for (d, l) in self.loops.iter().enumerate() {
             for _ in 0..d {
@@ -366,7 +381,10 @@ mod tests {
         LoopNest::new(
             vec![Loop::plain(i, "i", 0, 4), Loop::plain(j, "j", 0, 3)],
             vec![Stmt::new(
-                vec![Access::write(ArrayId(0), vec![AffineExpr::var(i), AffineExpr::var(j)])],
+                vec![Access::write(
+                    ArrayId(0),
+                    vec![AffineExpr::var(i), AffineExpr::var(j)],
+                )],
                 2,
             )],
         )
@@ -463,11 +481,20 @@ mod tests {
     #[test]
     fn validate_catches_bad_parallel() {
         let mut nest = two_level();
-        nest.parallel = Some(ParallelInfo { collapsed: 3, threads: 4 });
+        nest.parallel = Some(ParallelInfo {
+            collapsed: 3,
+            threads: 4,
+        });
         assert!(nest.validate().is_err());
-        nest.parallel = Some(ParallelInfo { collapsed: 1, threads: 0 });
+        nest.parallel = Some(ParallelInfo {
+            collapsed: 1,
+            threads: 0,
+        });
         assert!(nest.validate().is_err());
-        nest.parallel = Some(ParallelInfo { collapsed: 2, threads: 4 });
+        nest.parallel = Some(ParallelInfo {
+            collapsed: 2,
+            threads: 4,
+        });
         assert!(nest.validate().is_ok());
     }
 

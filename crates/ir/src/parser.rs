@@ -49,7 +49,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -96,7 +100,12 @@ struct Spanned {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn bump(&mut self) -> Option<u8> {
@@ -140,7 +149,12 @@ impl<'a> Lexer<'a> {
             }
             let (line, col, start) = (self.line, self.col, self.pos);
             let Some(c) = self.peek() else {
-                out.push(Spanned { tok: Tok::Eof, line, col, start });
+                out.push(Spanned {
+                    tok: Tok::Eof,
+                    line,
+                    col,
+                    start,
+                });
                 return Ok(out);
             };
             let tok = match c {
@@ -209,7 +223,12 @@ impl<'a> Lexer<'a> {
                     Tok::Sym(s)
                 }
             };
-            out.push(Spanned { tok, line, col, start });
+            out.push(Spanned {
+                tok,
+                line,
+                col,
+                start,
+            });
         }
     }
 }
@@ -239,7 +258,11 @@ impl<'a> Parser<'a> {
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
         let t = self.peek();
-        Err(ParseError { line: t.line, col: t.col, message: message.into() })
+        Err(ParseError {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        })
     }
 
     fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
@@ -721,9 +744,17 @@ mod tests {
         "#;
         let r = parse_region(src).unwrap();
         assert_eq!(r.nest.body.len(), 2);
-        let a0 = r.nest.body[0].accesses.iter().find(|a| a.is_write()).unwrap();
+        let a0 = r.nest.body[0]
+            .accesses
+            .iter()
+            .find(|a| a.is_write())
+            .unwrap();
         assert_eq!(a0.indices[0].coeff(crate::VarId(0)), 2);
-        let a1 = r.nest.body[1].accesses.iter().find(|a| a.is_write()).unwrap();
+        let a1 = r.nest.body[1]
+            .accesses
+            .iter()
+            .find(|a| a.is_write())
+            .unwrap();
         assert_eq!(a1.indices[0].constant_part(), 1);
     }
 
@@ -733,22 +764,16 @@ mod tests {
         assert!(err.message.contains("expected `:`"), "{err}");
         assert!(err.line >= 1 && err.col > 1);
 
-        let err = parse_region(
-            "region x { arrays { A: f64[4]; } for i in 0..4 { A[j] = 1; } }",
-        )
-        .unwrap_err();
+        let err = parse_region("region x { arrays { A: f64[4]; } for i in 0..4 { A[j] = 1; } }")
+            .unwrap_err();
         assert!(err.message.contains("unknown loop variable"), "{err}");
 
-        let err = parse_region(
-            "region x { arrays { A: f64[4]; } for i in 0..4 { B[i] = 1; } }",
-        )
-        .unwrap_err();
+        let err = parse_region("region x { arrays { A: f64[4]; } for i in 0..4 { B[i] = 1; } }")
+            .unwrap_err();
         assert!(err.message.contains("unknown array"), "{err}");
 
-        let err = parse_region(
-            "region x { arrays { A: f64[4][4]; } for i in 0..4 { A[i] = 1; } }",
-        )
-        .unwrap_err();
+        let err = parse_region("region x { arrays { A: f64[4][4]; } for i in 0..4 { A[i] = 1; } }")
+            .unwrap_err();
         assert!(err.message.contains("rank"), "{err}");
     }
 
@@ -756,10 +781,12 @@ mod tests {
     fn rejects_malformed_inputs() {
         assert!(parse_region("").is_err());
         assert!(parse_region("region { }").is_err());
-        assert!(parse_region("region x { arrays { } }").is_err(), "missing nest");
         assert!(
-            parse_region("region x { arrays { A: f64[4]; } for i in 4..0 { A[i] = 1; } }")
-                .is_err(),
+            parse_region("region x { arrays { } }").is_err(),
+            "missing nest"
+        );
+        assert!(
+            parse_region("region x { arrays { A: f64[4]; } for i in 4..0 { A[i] = 1; } }").is_err(),
             "empty range"
         );
         assert!(
@@ -784,8 +811,8 @@ mod tests {
     fn source_round_trip() {
         let r1 = parse_region(MM).unwrap();
         let printed = to_source(&r1);
-        let r2 = parse_region(&printed)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        let r2 =
+            parse_region(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
         assert_eq!(r1.name, r2.name);
         assert_eq!(r1.arrays, r2.arrays);
         assert_eq!(r1.nest, r2.nest);

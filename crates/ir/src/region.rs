@@ -27,7 +27,12 @@ impl Region {
     /// Create a region without skeletons (run [`crate::analyzer::analyze`]
     /// to derive them).
     pub fn new(name: impl Into<String>, arrays: Vec<ArrayDecl>, nest: LoopNest) -> Self {
-        Region { name: name.into(), arrays, nest, skeletons: Vec::new() }
+        Region {
+            name: name.into(),
+            arrays,
+            nest,
+            skeletons: Vec::new(),
+        }
     }
 
     /// Look up an array declaration.

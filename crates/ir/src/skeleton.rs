@@ -88,7 +88,10 @@ pub struct ParamDecl {
 impl ParamDecl {
     /// Create a declaration.
     pub fn new(name: impl Into<String>, domain: ParamDomain) -> Self {
-        ParamDecl { name: name.into(), domain }
+        ParamDecl {
+            name: name.into(),
+            domain,
+        }
     }
 }
 
@@ -155,7 +158,11 @@ pub struct Skeleton {
 impl Skeleton {
     /// Create a skeleton.
     pub fn new(name: impl Into<String>, params: Vec<ParamDecl>, steps: Vec<Step>) -> Self {
-        Skeleton { name: name.into(), params, steps }
+        Skeleton {
+            name: name.into(),
+            params,
+            steps,
+        }
     }
 
     /// Validate a parameter assignment against the declared domains.
@@ -223,7 +230,12 @@ impl Skeleton {
                 }
             }
         }
-        Ok(Variant { nest: cur, threads, unroll, values: values.to_vec() })
+        Ok(Variant {
+            nest: cur,
+            threads,
+            unroll,
+            values: values.to_vec(),
+        })
     }
 
     /// Cardinality of the full configuration space of this skeleton.
@@ -270,7 +282,10 @@ mod tests {
                 ParamDecl::new("threads", ParamDomain::Choice(threads)),
             ],
             vec![
-                Step::Tile { band: 3, size_params: vec![0, 1, 2] },
+                Step::Tile {
+                    band: 3,
+                    size_params: vec![0, 1, 2],
+                },
                 Step::Collapse { count: 2 },
                 Step::Parallelize { threads_param: 3 },
             ],
@@ -335,7 +350,10 @@ mod tests {
     fn unroll_step_sets_factor() {
         let sk = Skeleton::new(
             "unroll-only",
-            vec![ParamDecl::new("factor", ParamDomain::Choice(vec![1, 2, 4, 8]))],
+            vec![ParamDecl::new(
+                "factor",
+                ParamDomain::Choice(vec![1, 2, 4, 8]),
+            )],
             vec![Step::Unroll { factor_param: 0 }],
         );
         let v = sk.instantiate(&mm(8), &[4]).unwrap();

@@ -77,7 +77,12 @@ pub fn tile(nest: &LoopNest, band: usize, sizes: &[u64]) -> Result<LoopNest, Tra
         }
         let (lo, hi) = match (l.lower.as_constant(), l.upper.as_constant()) {
             (Some(lo), Some(hi)) => (lo, hi),
-            _ => return err(format!("cannot tile loop {} with non-constant bounds", l.name)),
+            _ => {
+                return err(format!(
+                    "cannot tile loop {} with non-constant bounds",
+                    l.name
+                ))
+            }
         };
         let trip = (hi - lo).max(0) as u64;
         let ts = sizes[idx].clamp(1, trip.max(1));
@@ -97,7 +102,10 @@ pub fn tile(nest: &LoopNest, band: usize, sizes: &[u64]) -> Result<LoopNest, Tra
             var: l.var,
             name: l.name.clone(),
             lower: Bound::Affine(AffineExpr::var(tvar)),
-            upper: Bound::Min(AffineExpr::constant(hi), AffineExpr::var(tvar).offset(ts as i64)),
+            upper: Bound::Min(
+                AffineExpr::constant(hi),
+                AffineExpr::var(tvar).offset(ts as i64),
+            ),
             step: 1,
             avg_trip: trip as f64 / num_tiles as f64,
             kind: LoopKind::Point { tile_size: ts },
@@ -107,7 +115,11 @@ pub fn tile(nest: &LoopNest, band: usize, sizes: &[u64]) -> Result<LoopNest, Tra
     let mut loops = tile_loops;
     loops.extend(point_loops);
     loops.extend(nest.loops[band..].iter().cloned());
-    let out = LoopNest { loops, body: nest.body.clone(), parallel: nest.parallel };
+    let out = LoopNest {
+        loops,
+        body: nest.body.clone(),
+        parallel: nest.parallel,
+    };
     out.validate().map_err(TransformError)?;
     Ok(out)
 }
@@ -145,7 +157,10 @@ pub fn collapse_and_parallelize(
 /// Number of parallel iterations produced by the collapsed outer loops.
 pub fn parallel_iterations(nest: &LoopNest) -> Option<u64> {
     let p = nest.parallel?;
-    nest.loops[..p.collapsed].iter().map(|l| l.const_trip()).product::<Option<u64>>()
+    nest.loops[..p.collapsed]
+        .iter()
+        .map(|l| l.const_trip())
+        .product::<Option<u64>>()
 }
 
 #[cfg(test)]
@@ -199,7 +214,10 @@ mod tests {
         let (i, j) = (VarId(0), VarId(1));
         let mut nest = mm(8);
         nest.loops.truncate(2);
-        nest.body = vec![Stmt::new(vec![Access::write(ArrayId(0), vec![i.into(), j.into()])], 1)];
+        nest.body = vec![Stmt::new(
+            vec![Access::write(ArrayId(0), vec![i.into(), j.into()])],
+            1,
+        )];
         nest.loops[1].upper = Bound::Affine(AffineExpr::var(i));
         assert!(interchange(&nest, &[1, 0]).is_err());
     }
@@ -286,7 +304,10 @@ mod tests {
         let (i, j) = (VarId(0), VarId(1));
         let mut nest = mm(8);
         nest.loops.truncate(2);
-        nest.body = vec![Stmt::new(vec![Access::write(ArrayId(0), vec![i.into(), j.into()])], 1)];
+        nest.body = vec![Stmt::new(
+            vec![Access::write(ArrayId(0), vec![i.into(), j.into()])],
+            1,
+        )];
         nest.loops[1].upper = Bound::Affine(AffineExpr::var(i));
         assert!(collapse_and_parallelize(&nest, 2, 4).is_err());
         // Collapsing only the rectangular outer loop is fine.

@@ -13,14 +13,23 @@ pub fn seeded_vec(n: usize, seed: u64) -> Vec<f64> {
 pub fn seeded_particles(n: usize, seed: u64) -> Vec<[f64; 3]> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()])
+        .map(|_| {
+            [
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+            ]
+        })
         .collect()
 }
 
 /// Maximum absolute element-wise difference between two slices.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Maximum absolute component-wise difference between two vector fields.

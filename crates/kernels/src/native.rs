@@ -7,6 +7,11 @@
 //! the implementations are data-race free by construction; each tiled
 //! kernel is verified against its naive reference in the tests.
 
+// The `let p = p;` rebindings inside the worker closures are not redundant:
+// with edition-2021 disjoint capture the closure would otherwise capture the
+// raw-pointer *field* (not Sync) instead of the SendPtr wrapper.
+#![allow(clippy::redundant_locals)]
+
 use moat_runtime::Pool;
 
 /// Shared mutable pointer for disjoint parallel writes.
@@ -60,7 +65,11 @@ pub fn mm_tiled(
     assert_eq!(a.len(), n * n);
     assert_eq!(b.len(), n * n);
     assert_eq!(c.len(), n * n);
-    let (ti, tj, tk) = (tiles.0.clamp(1, n), tiles.1.clamp(1, n), tiles.2.clamp(1, n));
+    let (ti, tj, tk) = (
+        tiles.0.clamp(1, n),
+        tiles.1.clamp(1, n),
+        tiles.2.clamp(1, n),
+    );
     let (nti, ntj) = (tiles_of(n, ti), tiles_of(n, tj));
     let cp = SendPtr(c.as_mut_ptr());
     pool.parallel_for(threads, (nti * ntj) as u64, &|range| {
@@ -117,7 +126,11 @@ pub fn dsyrk_tiled(
 ) {
     assert_eq!(a.len(), n * n);
     assert_eq!(b.len(), n * n);
-    let (ti, tj, tk) = (tiles.0.clamp(1, n), tiles.1.clamp(1, n), tiles.2.clamp(1, n));
+    let (ti, tj, tk) = (
+        tiles.0.clamp(1, n),
+        tiles.1.clamp(1, n),
+        tiles.2.clamp(1, n),
+    );
     let (nti, ntj) = (tiles_of(n, ti), tiles_of(n, tj));
     let bp = SendPtr(b.as_mut_ptr());
     pool.parallel_for(threads, (nti * ntj) as u64, &|range| {
@@ -410,7 +423,10 @@ mod tests {
         for tiles in [(8, 4, 16), (29, 29, 29), (3, 3, 3)] {
             let mut b_t = b0.clone();
             dsyrk_tiled(&p, n, &a, &mut b_t, tiles, 3);
-            assert!(max_abs_diff(&b_ref, &b_t) < TOL, "dsyrk mismatch for {tiles:?}");
+            assert!(
+                max_abs_diff(&b_ref, &b_t) < TOL,
+                "dsyrk mismatch for {tiles:?}"
+            );
         }
     }
 
@@ -438,7 +454,10 @@ mod tests {
         for tiles in [(4, 4), (35, 35), (1, 13), (6, 50)] {
             let mut b_t = vec![0.0; n * n];
             jacobi2d_tiled(&p, n, &a, &mut b_t, tiles, 4);
-            assert!(max_abs_diff(&b_ref, &b_t) < TOL, "jacobi mismatch for {tiles:?}");
+            assert!(
+                max_abs_diff(&b_ref, &b_t) < TOL,
+                "jacobi mismatch for {tiles:?}"
+            );
         }
     }
 
@@ -468,7 +487,10 @@ mod tests {
         for tiles in [(4, 4, 4), (12, 3, 5), (1, 1, 1)] {
             let mut b_t = vec![0.0; n * n * n];
             stencil3d_tiled(&p, n, &a, &mut b_t, tiles, 4);
-            assert!(max_abs_diff(&b_ref, &b_t) < TOL, "stencil mismatch for {tiles:?}");
+            assert!(
+                max_abs_diff(&b_ref, &b_t) < TOL,
+                "stencil mismatch for {tiles:?}"
+            );
         }
     }
 
@@ -482,7 +504,10 @@ mod tests {
         for tiles in [(16, 16), (101, 101), (7, 33)] {
             let mut f_t = vec![[0.0; 3]; n];
             nbody_tiled(&p, &pos, &mut f_t, tiles, 4);
-            assert!(max_abs_diff3(&f_ref, &f_t) < 1e-6, "nbody mismatch for {tiles:?}");
+            assert!(
+                max_abs_diff3(&f_ref, &f_t) < 1e-6,
+                "nbody mismatch for {tiles:?}"
+            );
         }
     }
 

@@ -37,7 +37,13 @@ pub struct KernelInfo {
 impl Kernel {
     /// All five kernels in the paper's table order.
     pub fn all() -> [Kernel; 5] {
-        [Kernel::Mm, Kernel::Dsyrk, Kernel::Jacobi2d, Kernel::Stencil3d, Kernel::Nbody]
+        [
+            Kernel::Mm,
+            Kernel::Dsyrk,
+            Kernel::Jacobi2d,
+            Kernel::Stencil3d,
+            Kernel::Nbody,
+        ]
     }
 
     /// Static metadata.
@@ -308,7 +314,10 @@ mod tests {
             let r = analyze(k.region(64), &cfg).unwrap();
             assert_eq!(r.skeletons.len(), 1, "{}", r.name);
             let sk = &r.skeletons[0];
-            assert!(sk.steps.iter().any(|s| matches!(s, Step::Parallelize { .. })));
+            assert!(sk
+                .steps
+                .iter()
+                .any(|s| matches!(s, Step::Parallelize { .. })));
         }
     }
 
@@ -332,7 +341,12 @@ mod tests {
     #[test]
     fn mm_and_dsyrk_collapse_two() {
         let cfg = AnalyzerConfig::for_threads(vec![1, 2]);
-        for k in [Kernel::Mm, Kernel::Dsyrk, Kernel::Stencil3d, Kernel::Jacobi2d] {
+        for k in [
+            Kernel::Mm,
+            Kernel::Dsyrk,
+            Kernel::Stencil3d,
+            Kernel::Jacobi2d,
+        ] {
             let r = analyze(k.region(64), &cfg).unwrap();
             let collapse = r.skeletons[0]
                 .steps

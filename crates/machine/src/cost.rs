@@ -84,12 +84,18 @@ pub struct CostModel {
 impl CostModel {
     /// Noise-free model.
     pub fn new(machine: MachineDesc) -> Self {
-        CostModel { machine, noise: None }
+        CostModel {
+            machine,
+            noise: None,
+        }
     }
 
     /// Model with measurement-noise emulation.
     pub fn with_noise(machine: MachineDesc, noise: NoiseModel) -> Self {
-        CostModel { machine, noise: Some(noise) }
+        CostModel {
+            machine,
+            noise: Some(noise),
+        }
     }
 
     /// Cost of an instantiated skeleton variant.
@@ -151,8 +157,7 @@ impl CostModel {
             for afp in &fps[g].per_array {
                 let mut reload = 1.0;
                 for (d, t) in trips.iter().enumerate().take(g) {
-                    let retained =
-                        retention_ok && d + 1 == g && !expands_at(&fps, afp.array, d);
+                    let retained = retention_ok && d + 1 == g && !expands_at(&fps, afp.array, d);
                     if !retained {
                         reload *= t;
                     }
@@ -164,11 +169,12 @@ impl CostModel {
             }
             // Per-core transfer throughput at this level: overlaps with
             // compute, so it bounds rather than adds.
-            max_transfer_cycles = max_transfer_cycles
-                .max(lines_lvl * m.line_transfer_cycles(lvl));
+            max_transfer_cycles = max_transfer_cycles.max(lines_lvl * m.line_transfer_cycles(lvl));
             level_miss_lines.push(lines_lvl);
         }
-        let mem_lines = *level_miss_lines.last().expect("machine without cache levels");
+        let mem_lines = *level_miss_lines
+            .last()
+            .expect("machine without cache levels");
         let mem_bytes = mem_lines * line as f64;
 
         // --- parallel distribution ------------------------------------------
@@ -193,8 +199,7 @@ impl CostModel {
         let max_chip_threads = m.max_threads_per_chip(threads) as f64;
         let chip_bytes = mem_bytes * max_chip_threads / threads as f64;
         let bw_cycles = chip_bytes / m.chip_bandwidth_bytes_per_cycle;
-        let bandwidth_bound =
-            bw_cycles > per_thread_cycles || max_transfer_cycles > work_cycles;
+        let bandwidth_bound = bw_cycles > per_thread_cycles || max_transfer_cycles > work_cycles;
 
         let fork_join_cycles = if threads > 1 {
             m.fork_join_overhead_cycles + threads as f64 * m.per_thread_overhead_cycles
@@ -272,7 +277,11 @@ fn contiguity(nest: &LoopNest) -> std::collections::HashMap<moat_ir::ArrayId, bo
             let rank = acc.indices.len();
             for (dim, e) in acc.indices.iter().enumerate() {
                 let c = e.coeff(inner);
-                let ok = if dim + 1 == rank { c.abs() <= 1 } else { c == 0 };
+                let ok = if dim + 1 == rank {
+                    c.abs() <= 1
+                } else {
+                    c == 0
+                };
                 if !ok {
                     *entry = false;
                 }
@@ -297,8 +306,8 @@ mod tests {
     use super::*;
     use crate::desc::MachineDesc;
     use moat_ir::{
-        analyze, Access, AffineExpr, AnalyzerConfig, ArrayDecl, ArrayId, Loop, LoopNest,
-        Region, Stmt, VarId,
+        analyze, Access, AffineExpr, AnalyzerConfig, ArrayDecl, ArrayId, Loop, LoopNest, Region,
+        Stmt, VarId,
     };
 
     fn mm_region(n: i64) -> Region {
@@ -359,8 +368,13 @@ mod tests {
         let m = MachineDesc::westmere();
         let model = CostModel::new(m.clone());
         let r = mm_region(1400);
-        let t = model.cost(&r.arrays, &variant(1400, [96, 128, 8], 1, &m)).time_s;
-        assert!((1.0..20.0).contains(&t), "serial tiled mm time {t} s implausible");
+        let t = model
+            .cost(&r.arrays, &variant(1400, [96, 128, 8], 1, &m))
+            .time_s;
+        assert!(
+            (1.0..20.0).contains(&t),
+            "serial tiled mm time {t} s implausible"
+        );
     }
 
     #[test]
@@ -368,12 +382,21 @@ mod tests {
         let m = MachineDesc::westmere();
         let model = CostModel::new(m.clone());
         let r = mm_region(1400);
-        let t1 = model.cost(&r.arrays, &variant(1400, [64, 64, 8], 1, &m)).time_s;
-        let t10 = model.cost(&r.arrays, &variant(1400, [64, 64, 8], 10, &m)).time_s;
-        let t40 = model.cost(&r.arrays, &variant(1400, [64, 64, 8], 40, &m)).time_s;
+        let t1 = model
+            .cost(&r.arrays, &variant(1400, [64, 64, 8], 1, &m))
+            .time_s;
+        let t10 = model
+            .cost(&r.arrays, &variant(1400, [64, 64, 8], 10, &m))
+            .time_s;
+        let t40 = model
+            .cost(&r.arrays, &variant(1400, [64, 64, 8], 40, &m))
+            .time_s;
         let s10 = t1 / t10;
         let s40 = t1 / t40;
-        assert!(s10 > 5.0 && s10 <= 10.0, "10-thread speedup {s10} out of range");
+        assert!(
+            s10 > 5.0 && s10 <= 10.0,
+            "10-thread speedup {s10} out of range"
+        );
         assert!(s40 > s10, "40 threads must beat 10");
         assert!(s40 < 40.0, "speedup must be sublinear");
     }
@@ -387,7 +410,11 @@ mod tests {
             .thread_counts
             .clone()
             .into_iter()
-            .map(|t| model.cost(&r.arrays, &variant(1400, [64, 64, 8], t as i64, &m)).time_s)
+            .map(|t| {
+                model
+                    .cost(&r.arrays, &variant(1400, [64, 64, 8], t as i64, &m))
+                    .time_s
+            })
             .collect();
         let effs: Vec<f64> = m
             .thread_counts
@@ -396,7 +423,10 @@ mod tests {
             .map(|(&t, &ts)| times[0] / (ts * t as f64))
             .collect();
         for w in effs.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "efficiency must not increase: {effs:?}");
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "efficiency must not increase: {effs:?}"
+            );
         }
         assert!(effs[0] > 0.99);
         assert!(
@@ -434,7 +464,11 @@ mod tests {
         let r = mm_region(1400);
         // 700-wide tiles → 2×2 = 4 parallel iterations on 40 threads.
         let huge = model.cost(&r.arrays, &variant(1400, [700, 700, 8], 40, &m));
-        assert!(huge.imbalance >= 10.0 - 1e-9, "4 chunks on 40 threads: {}", huge.imbalance);
+        assert!(
+            huge.imbalance >= 10.0 - 1e-9,
+            "4 chunks on 40 threads: {}",
+            huge.imbalance
+        );
         let fine = model.cost(&r.arrays, &variant(1400, [64, 64, 8], 40, &m));
         assert!(fine.imbalance < 1.2);
     }
@@ -446,7 +480,10 @@ mod tests {
         let r = mm_region(1400);
         let tiny = model.cost(&r.arrays, &variant(1400, [4, 4, 1], 1, &m));
         let sane = model.cost(&r.arrays, &variant(1400, [96, 128, 8], 1, &m));
-        assert!(tiny.time_s > sane.time_s * 1.3, "1-wide k tiles must be clearly slower");
+        assert!(
+            tiny.time_s > sane.time_s * 1.3,
+            "1-wide k tiles must be clearly slower"
+        );
         assert!(tiny.loop_overhead_s > sane.loop_overhead_s * 4.0);
     }
 
@@ -457,7 +494,11 @@ mod tests {
         let r = mm_region(1400);
         let c = model.cost(&r.arrays, &variant(1400, [96, 128, 8], 10, &m));
         for w in c.level_miss_lines.windows(2) {
-            assert!(w[1] <= w[0] * 1.0001, "deeper levels cannot miss more: {:?}", c.level_miss_lines);
+            assert!(
+                w[1] <= w[0] * 1.0001,
+                "deeper levels cannot miss more: {:?}",
+                c.level_miss_lines
+            );
         }
     }
 
@@ -489,8 +530,14 @@ mod tests {
     fn barcelona_prefers_smaller_tiles_than_westmere() {
         // 2 MB vs 30 MB L3: the tile size minimizing time at 1 thread must
         // be smaller on Barcelona.
-        let candidates: Vec<[i64; 3]> =
-            vec![[32, 32, 8], [64, 64, 8], [96, 96, 8], [160, 160, 8], [256, 256, 8], [448, 448, 8]];
+        let candidates: Vec<[i64; 3]> = vec![
+            [32, 32, 8],
+            [64, 64, 8],
+            [96, 96, 8],
+            [160, 160, 8],
+            [256, 256, 8],
+            [448, 448, 8],
+        ];
         let best = |m: &MachineDesc| -> usize {
             let model = CostModel::new(m.clone());
             let r = mm_region(1400);
@@ -507,8 +554,14 @@ mod tests {
         };
         let bw = best(&MachineDesc::westmere());
         let bb = best(&MachineDesc::barcelona());
-        assert!(bb <= bw, "Barcelona optimum index {bb} must not exceed Westmere's {bw}");
-        assert!(bb < candidates.len() - 1, "Barcelona must not pick the largest tile");
+        assert!(
+            bb <= bw,
+            "Barcelona optimum index {bb} must not exceed Westmere's {bw}"
+        );
+        assert!(
+            bb < candidates.len() - 1,
+            "Barcelona must not pick the largest tile"
+        );
     }
 
     #[test]
@@ -549,7 +602,9 @@ mod tests {
             let model = CostModel::new(m.clone());
             let cfg = AnalyzerConfig::for_threads(vec![threads]);
             let r = analyze(region.clone(), &cfg).unwrap();
-            let good = r.skeletons[0].instantiate(&r.nest, &[1024, 1024, threads]).unwrap();
+            let good = r.skeletons[0]
+                .instantiate(&r.nest, &[1024, 1024, threads])
+                .unwrap();
             let bad = r.skeletons[0]
                 .instantiate(&r.nest, &[bad_tile, bad_tile, threads])
                 .unwrap();

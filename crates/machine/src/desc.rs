@@ -135,7 +135,11 @@ impl MachineDesc {
 
     /// Largest number of threads sharing one chip for a team of `threads`.
     pub fn max_threads_per_chip(&self, threads: usize) -> usize {
-        self.placement(threads).into_iter().max().unwrap_or(1).max(1)
+        self.placement(threads)
+            .into_iter()
+            .max()
+            .unwrap_or(1)
+            .max(1)
     }
 
     /// Effective capacity of cache level `lvl` available to one thread of a

@@ -65,7 +65,9 @@ fn var_spans(nest: &LoopNest, d: usize) -> Vec<(VarId, u64)> {
                         let tile_loop = nest
                             .loops
                             .iter()
-                            .position(|t| matches!(t.kind, LoopKind::Tile { point } if point == lp.var))
+                            .position(
+                                |t| matches!(t.kind, LoopKind::Tile { point } if point == lp.var),
+                            )
                             .expect("point loop without tile loop");
                         if tile_loop >= d {
                             full_extent(nest, tile_loop)
@@ -165,7 +167,11 @@ pub fn nest_footprints(
                 })
                 .collect();
             let total_bytes = per_array.iter().map(|a| a.bytes).sum();
-            DepthFootprint { depth: d, per_array, total_bytes }
+            DepthFootprint {
+                depth: d,
+                per_array,
+                total_bytes,
+            }
         })
         .collect()
 }

@@ -22,7 +22,11 @@ pub struct NoiseModel {
 
 impl Default for NoiseModel {
     fn default() -> Self {
-        NoiseModel { seed: 0xC0FFEE, amplitude: 0.015, runs: 3 }
+        NoiseModel {
+            seed: 0xC0FFEE,
+            amplitude: 0.015,
+            runs: 3,
+        }
     }
 }
 
@@ -38,17 +42,16 @@ impl NoiseModel {
     /// One noise factor in `[1 - amplitude, 1 + amplitude]` for the given
     /// configuration key and run index.
     pub fn factor(&self, key: u64, run: u32) -> f64 {
-        let h = Self::splitmix(
-            self.seed ^ Self::splitmix(key) ^ ((run as u64) << 32 | 0x5bd1e995),
-        );
+        let h = Self::splitmix(self.seed ^ Self::splitmix(key) ^ ((run as u64) << 32 | 0x5bd1e995));
         let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
         1.0 + self.amplitude * (2.0 * unit - 1.0)
     }
 
     /// Median of `runs` noisy samples of `base`.
     pub fn median_time(&self, key: u64, base: f64) -> f64 {
-        let mut samples: Vec<f64> =
-            (0..self.runs.max(1)).map(|r| base * self.factor(key, r)).collect();
+        let mut samples: Vec<f64> = (0..self.runs.max(1))
+            .map(|r| base * self.factor(key, r))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in noise samples"));
         samples[samples.len() / 2]
     }
@@ -67,7 +70,11 @@ mod tests {
 
     #[test]
     fn bounded_amplitude() {
-        let n = NoiseModel { seed: 1, amplitude: 0.02, runs: 5 };
+        let n = NoiseModel {
+            seed: 1,
+            amplitude: 0.02,
+            runs: 5,
+        };
         for key in 0..200u64 {
             for run in 0..5 {
                 let f = n.factor(key, run);
@@ -94,8 +101,15 @@ mod tests {
 
     #[test]
     fn noise_roughly_centered() {
-        let n = NoiseModel { seed: 3, amplitude: 0.05, runs: 1 };
+        let n = NoiseModel {
+            seed: 3,
+            amplitude: 0.05,
+            runs: 1,
+        };
         let mean: f64 = (0..10_000).map(|k| n.factor(k, 0)).sum::<f64>() / 10_000.0;
-        assert!((mean - 1.0).abs() < 0.005, "mean factor {mean} not centered");
+        assert!(
+            (mean - 1.0).abs() < 0.005,
+            "mean factor {mean} not centered"
+        );
     }
 }

@@ -147,7 +147,13 @@ pub fn emit_variant_c(region: &Region, variant: &Variant, fn_name: &str) -> Stri
     let nest = &variant.nest;
     let names = name_map(nest);
     let mut out = String::new();
-    writeln!(out, "/* {}: specialized for [{}] */", fn_name, label_of(variant)).unwrap();
+    writeln!(
+        out,
+        "/* {}: specialized for [{}] */",
+        fn_name,
+        label_of(variant)
+    )
+    .unwrap();
     writeln!(out, "static void {fn_name}({}) {{", signature(region)).unwrap();
     let mut indent = 1usize;
     let depth = nest.loops.len();
@@ -240,7 +246,12 @@ pub fn emit_multiversioned_c(
     assert_eq!(table.len(), variants.len(), "table/variant arity mismatch");
     let m = table.objective_names.len();
     let mut out = String::new();
-    writeln!(out, "/* Multi-versioned region `{}` — generated by moat. */", region.name).unwrap();
+    writeln!(
+        out,
+        "/* Multi-versioned region `{}` — generated by moat. */",
+        region.name
+    )
+    .unwrap();
     writeln!(out, "#include <stddef.h>").unwrap();
     writeln!(out).unwrap();
     writeln!(out, "#define MOAT_MIN(a, b) ((a) < (b) ? (a) : (b))").unwrap();
@@ -256,12 +267,21 @@ pub fn emit_multiversioned_c(
     writeln!(out, "typedef struct {{").unwrap();
     writeln!(out, "    const char *label;").unwrap();
     writeln!(out, "    int threads;").unwrap();
-    writeln!(out, "    double objectives[{m}]; /* {} */", table.objective_names.join(", "))
-        .unwrap();
+    writeln!(
+        out,
+        "    double objectives[{m}]; /* {} */",
+        table.objective_names.join(", ")
+    )
+    .unwrap();
     writeln!(out, "    void (*fn)({});", signature(region)).unwrap();
     writeln!(out, "}} {base}_version_t;").unwrap();
     writeln!(out).unwrap();
-    writeln!(out, "static const {base}_version_t {base}_versions[{}] = {{", table.len()).unwrap();
+    writeln!(
+        out,
+        "static const {base}_version_t {base}_versions[{}] = {{",
+        table.len()
+    )
+    .unwrap();
     for (i, v) in table.versions.iter().enumerate() {
         let objs = v
             .objectives
@@ -288,11 +308,18 @@ pub fn emit_multiversioned_c(
     )
     .unwrap();
     writeln!(out, "    double lo[{m}], hi[{m}];").unwrap();
-    writeln!(out, "    for (size_t c = 0; c < {m}; ++c) {{ lo[c] = 1e300; hi[c] = -1e300; }}")
-        .unwrap();
+    writeln!(
+        out,
+        "    for (size_t c = 0; c < {m}; ++c) {{ lo[c] = 1e300; hi[c] = -1e300; }}"
+    )
+    .unwrap();
     writeln!(out, "    for (size_t v = 0; v < {}; ++v)", table.len()).unwrap();
     writeln!(out, "        for (size_t c = 0; c < {m}; ++c) {{").unwrap();
-    writeln!(out, "            double x = {base}_versions[v].objectives[c];").unwrap();
+    writeln!(
+        out,
+        "            double x = {base}_versions[v].objectives[c];"
+    )
+    .unwrap();
     writeln!(out, "            if (x < lo[c]) lo[c] = x;").unwrap();
     writeln!(out, "            if (x > hi[c]) hi[c] = x;").unwrap();
     writeln!(out, "        }}").unwrap();
@@ -308,7 +335,11 @@ pub fn emit_multiversioned_c(
     .unwrap();
     writeln!(out, "            score += weights[c] * norm;").unwrap();
     writeln!(out, "        }}").unwrap();
-    writeln!(out, "        if (score < best_score) {{ best_score = score; best = v; }}").unwrap();
+    writeln!(
+        out,
+        "        if (score < best_score) {{ best_score = score; best = v; }}"
+    )
+    .unwrap();
     writeln!(out, "    }}").unwrap();
     writeln!(out, "    {base}_versions[best].fn({});", call_args(region)).unwrap();
     writeln!(out, "}}").unwrap();
@@ -434,15 +465,20 @@ mod tests {
         // Tile-loop variable `kt` untouched by the substitution.
         assert!(code.contains("for (long kt ="));
         // And it is valid C if a compiler is around.
-        if let Some(cc) = ["cc", "gcc", "clang"]
-            .iter()
-            .find(|c| std::process::Command::new(*c).arg("--version").output().is_ok())
-        {
+        if let Some(cc) = ["cc", "gcc", "clang"].iter().find(|c| {
+            std::process::Command::new(*c)
+                .arg("--version")
+                .output()
+                .is_ok()
+        }) {
             let dir = std::env::temp_dir().join("moat_unroll_test");
             std::fs::create_dir_all(&dir).unwrap();
             let path = dir.join("mm_u4.c");
-            std::fs::write(&path, format!("#define MOAT_MIN(a,b) ((a)<(b)?(a):(b))\n{code}"))
-                .unwrap();
+            std::fs::write(
+                &path,
+                format!("#define MOAT_MIN(a,b) ((a)<(b)?(a):(b))\n{code}"),
+            )
+            .unwrap();
             let outp = std::process::Command::new(cc)
                 .args(["-fsyntax-only", "-fopenmp", "-Wall"])
                 .arg(&path)
@@ -467,9 +503,14 @@ mod tests {
 
     #[test]
     fn sequential_variant_has_no_pragma() {
-        let cfg = AnalyzerConfig { thread_counts: vec![], ..Default::default() };
+        let cfg = AnalyzerConfig {
+            thread_counts: vec![],
+            ..Default::default()
+        };
         let region = analyze(Kernel::Jacobi2d.region(32), &cfg).unwrap();
-        let v = region.skeletons[0].instantiate(&region.nest, &[4, 4]).unwrap();
+        let v = region.skeletons[0]
+            .instantiate(&region.nest, &[4, 4])
+            .unwrap();
         let code = emit_variant_c(&region, &v, "jac_v0");
         assert!(!code.contains("#pragma"));
         assert!(code.contains("const double (*A)[32]"));
@@ -480,7 +521,9 @@ mod tests {
     fn rank1_arrays_use_flat_pointers() {
         let cfg = AnalyzerConfig::for_threads(vec![1, 2]);
         let region = analyze(Kernel::Nbody.region(64), &cfg).unwrap();
-        let v = region.skeletons[0].instantiate(&region.nest, &[8, 8, 2]).unwrap();
+        let v = region.skeletons[0]
+            .instantiate(&region.nest, &[8, 8, 2])
+            .unwrap();
         let code = emit_variant_c(&region, &v, "nbody_v0");
         assert!(code.contains("double *force"));
         assert!(code.contains("const double *pos"));

@@ -8,26 +8,34 @@
 use crate::table::VersionTable;
 use moat_runtime::{measure, RegionStats, SelectionContext, SelectionPolicy, VersionMeta};
 
+/// One specialized implementation of a region: a closure mutating the
+/// kernel's data `D`.
+pub type VersionImpl<'a, D> = Box<dyn Fn(&mut D) + Sync + 'a>;
+
 /// A multi-versioned region over a mutable context `D` (the kernel's
 /// data).
 pub struct NativeRegion<'a, D> {
     /// Version metadata (one entry per implementation).
     pub meta: Vec<VersionMeta>,
     /// Specialized implementations, index-aligned with `meta`.
-    pub impls: Vec<Box<dyn Fn(&mut D) + Sync + 'a>>,
+    pub impls: Vec<VersionImpl<'a, D>>,
     /// Execution statistics.
     pub stats: RegionStats,
 }
 
 impl<'a, D> NativeRegion<'a, D> {
     /// Build a region from a version table and its implementations.
-    pub fn new(table: &VersionTable, impls: Vec<Box<dyn Fn(&mut D) + Sync + 'a>>) -> Self {
+    pub fn new(table: &VersionTable, impls: Vec<VersionImpl<'a, D>>) -> Self {
         assert_eq!(
             table.len(),
             impls.len(),
             "one implementation per table version required"
         );
-        NativeRegion { meta: table.runtime_meta(), impls, stats: RegionStats::new() }
+        NativeRegion {
+            meta: table.runtime_meta(),
+            impls,
+            stats: RegionStats::new(),
+        }
     }
 
     /// Invoke the region: the policy selects a version, the version runs on
@@ -65,7 +73,10 @@ mod tests {
     fn region() -> (VersionTable, NativeRegion<'static, Vec<u32>>) {
         let sk = Skeleton::new(
             "s",
-            vec![ParamDecl::new("threads", ParamDomain::Choice(vec![1, 2, 4]))],
+            vec![ParamDecl::new(
+                "threads",
+                ParamDomain::Choice(vec![1, 2, 4]),
+            )],
             vec![],
         );
         let front = ParetoFront::from_points(vec![
@@ -75,11 +86,8 @@ mod tests {
         ]);
         let table =
             VersionTable::from_front("r", &sk, &front, vec!["t".into(), "r".into()], Some(0));
-        let impls: Vec<Box<dyn Fn(&mut Vec<u32>) + Sync>> = (0..3)
-            .map(|i| {
-                Box::new(move |d: &mut Vec<u32>| d.push(i as u32))
-                    as Box<dyn Fn(&mut Vec<u32>) + Sync>
-            })
+        let impls: Vec<VersionImpl<Vec<u32>>> = (0..3)
+            .map(|i| Box::new(move |d: &mut Vec<u32>| d.push(i as u32)) as VersionImpl<Vec<u32>>)
             .collect();
         let native = NativeRegion::new(&table, impls);
         (table, native)
@@ -102,8 +110,12 @@ mod tests {
     fn fit_threads_uses_context() {
         let (_, region) = region();
         let mut data = Vec::new();
-        let ctx = SelectionContext { available_threads: Some(2) };
-        let idx = region.invoke(&SelectionPolicy::FitThreads, &ctx, &mut data).unwrap();
+        let ctx = SelectionContext {
+            available_threads: Some(2),
+        };
+        let idx = region
+            .invoke(&SelectionPolicy::FitThreads, &ctx, &mut data)
+            .unwrap();
         assert_eq!(region.meta[idx].threads, 2);
     }
 
@@ -111,7 +123,7 @@ mod tests {
     #[should_panic(expected = "one implementation per table version")]
     fn arity_mismatch_panics() {
         let (table, _) = region();
-        let impls: Vec<Box<dyn Fn(&mut Vec<u32>) + Sync>> = vec![];
+        let impls: Vec<VersionImpl<Vec<u32>>> = vec![];
         let _ = NativeRegion::new(&table, impls);
     }
 }

@@ -24,6 +24,6 @@ pub mod parameterized;
 pub mod table;
 
 pub use codegen::{emit_multiversioned_c, emit_variant_c};
+pub use embed::{NativeRegion, VersionImpl};
 pub use parameterized::{emit_parameterized_c, NotParameterizable};
-pub use embed::NativeRegion;
 pub use table::{VersionEntry, VersionTable};

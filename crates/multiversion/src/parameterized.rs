@@ -42,7 +42,11 @@ fn signature(region: &Region) -> String {
         .arrays
         .iter()
         .map(|d| {
-            let qual = if written.contains(&d.id) { "" } else { "const " };
+            let qual = if written.contains(&d.id) {
+                ""
+            } else {
+                "const "
+            };
             match d.dims.len() {
                 1 => format!("{qual}double *{}", d.name),
                 _ => {
@@ -80,7 +84,10 @@ pub fn emit_parameterized_c(
     let mut threads_param: Option<usize> = None;
     for step in &skeleton.steps {
         match step {
-            Step::Tile { band: b, size_params: sp } => {
+            Step::Tile {
+                band: b,
+                size_params: sp,
+            } => {
                 band = *b;
                 size_params = sp.clone();
             }
@@ -147,8 +154,11 @@ pub fn emit_parameterized_c(
     for (idx, l) in region.nest.loops[..band].iter().enumerate() {
         if idx == 0 {
             if let Some(tp) = threads_param {
-                let collapse_txt =
-                    if collapse > 1 { format!(" collapse({collapse})") } else { String::new() };
+                let collapse_txt = if collapse > 1 {
+                    format!(" collapse({collapse})")
+                } else {
+                    String::new()
+                };
                 writeln!(
                     out,
                     "{}#pragma omp parallel for{collapse_txt} num_threads({}) schedule(static)",
@@ -220,15 +230,39 @@ pub fn emit_parameterized_c(
     writeln!(out, "typedef struct {{").unwrap();
     writeln!(out, "    const char *label;").unwrap();
     writeln!(out, "    long params[{np}];").unwrap();
-    writeln!(out, "    double objectives[{m}]; /* {} */", table.objective_names.join(", "))
-        .unwrap();
+    writeln!(
+        out,
+        "    double objectives[{m}]; /* {} */",
+        table.objective_names.join(", ")
+    )
+    .unwrap();
     writeln!(out, "}} {base}_params_t;").unwrap();
     writeln!(out).unwrap();
-    writeln!(out, "static const {base}_params_t {base}_pareto[{}] = {{", table.len()).unwrap();
+    writeln!(
+        out,
+        "static const {base}_params_t {base}_pareto[{}] = {{",
+        table.len()
+    )
+    .unwrap();
     for v in &table.versions {
-        let params = v.values.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
-        let objs = v.objectives.iter().map(|o| format!("{o:e}")).collect::<Vec<_>>().join(", ");
-        writeln!(out, "    {{ \"{}\", {{ {params} }}, {{ {objs} }} }},", v.label).unwrap();
+        let params = v
+            .values
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let objs = v
+            .objectives
+            .iter()
+            .map(|o| format!("{o:e}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        writeln!(
+            out,
+            "    {{ \"{}\", {{ {params} }}, {{ {objs} }} }},",
+            v.label
+        )
+        .unwrap();
     }
     writeln!(out, "}};").unwrap();
     Ok(out)
@@ -296,7 +330,8 @@ mod tests {
     fn rejects_structural_transformations() {
         let (region, table, _) = setup();
         let mut sk = region.skeletons[0].clone();
-        sk.params.push(ParamDecl::new("unroll", ParamDomain::Choice(vec![1, 2, 4])));
+        sk.params
+            .push(ParamDecl::new("unroll", ParamDomain::Choice(vec![1, 2, 4])));
         let fp = sk.params.len() - 1;
         sk.steps.push(moat_ir::Step::Unroll { factor_param: fp });
         let err = emit_parameterized_c(&region, &sk, &table).unwrap_err();
@@ -307,10 +342,12 @@ mod tests {
     fn generated_parameterized_c_compiles_if_cc_available() {
         let (region, table, _) = setup();
         let code = emit_parameterized_c(&region, &region.skeletons[0], &table).unwrap();
-        let Some(cc) = ["cc", "gcc", "clang"]
-            .iter()
-            .find(|c| std::process::Command::new(*c).arg("--version").output().is_ok())
-        else {
+        let Some(cc) = ["cc", "gcc", "clang"].iter().find(|c| {
+            std::process::Command::new(*c)
+                .arg("--version")
+                .output()
+                .is_ok()
+        }) else {
             return;
         };
         let dir = std::env::temp_dir().join("moat_param_test");

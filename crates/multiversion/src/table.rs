@@ -49,8 +49,7 @@ impl VersionTable {
         objective_names: Vec<String>,
         threads_param: Option<usize>,
     ) -> Self {
-        let param_names: Vec<String> =
-            skeleton.params.iter().map(|p| p.name.clone()).collect();
+        let param_names: Vec<String> = skeleton.params.iter().map(|p| p.name.clone()).collect();
         let mut versions: Vec<VersionEntry> = front
             .points()
             .iter()
@@ -217,7 +216,10 @@ mod tests {
                 ParamDecl::new("tile_k", ParamDomain::IntRange { lo: 1, hi: 700 }),
                 ParamDecl::new("threads", ParamDomain::Choice(vec![1, 5, 10, 20, 40])),
             ],
-            vec![Step::Tile { band: 3, size_params: vec![0, 1, 2] }],
+            vec![Step::Tile {
+                band: 3,
+                size_params: vec![0, 1, 2],
+            }],
         )
     }
 
@@ -242,7 +244,10 @@ mod tests {
         assert_eq!(t.versions[0].threads, 40);
         assert_eq!(t.versions[2].threads, 1);
         assert!(t.versions[0].objectives[0] <= t.versions[1].objectives[0]);
-        assert_eq!(t.versions[2].label, "tile_i=96 tile_j=128 tile_k=8 threads=1");
+        assert_eq!(
+            t.versions[2].label,
+            "tile_i=96 tile_j=128 tile_k=8 threads=1"
+        );
     }
 
     #[test]
@@ -257,22 +262,26 @@ mod tests {
         // A 6-point front along a convex curve.
         let front = ParetoFront::from_points((0..6).map(|i| {
             let t = i as f64;
-            Point::new(vec![10 + i, 10, 10, 1 + i], vec![10.0 - t, 1.0 + t * t / 3.0])
+            Point::new(
+                vec![10 + i, 10, 10, 1 + i],
+                vec![10.0 - t, 1.0 + t * t / 3.0],
+            )
         }));
-        let mut table = VersionTable::from_front(
-            "r",
-            &sk,
-            &front,
-            vec!["t".into(), "r".into()],
-            Some(3),
-        );
+        let mut table =
+            VersionTable::from_front("r", &sk, &front, vec!["t".into(), "r".into()], Some(3));
         assert_eq!(table.len(), 6);
         table.prune_to(3);
         assert_eq!(table.len(), 3);
         // Both extremes must survive (largest hypervolume contribution).
         let times: Vec<f64> = table.versions.iter().map(|v| v.objectives[0]).collect();
-        assert!(times.contains(&5.0), "fastest version must survive: {times:?}");
-        assert!(times.contains(&10.0), "cheapest version must survive: {times:?}");
+        assert!(
+            times.contains(&5.0),
+            "fastest version must survive: {times:?}"
+        );
+        assert!(
+            times.contains(&10.0),
+            "cheapest version must survive: {times:?}"
+        );
         // Still sorted by time.
         for w in table.versions.windows(2) {
             assert!(w[0].objectives[0] <= w[1].objectives[0]);

@@ -17,13 +17,11 @@ fn skeleton() -> Skeleton {
 }
 
 fn points() -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0i64..100, 1i64..=40, 0.1f64..50.0, 0.1f64..50.0), 2..25).prop_map(
-        |v| {
-            v.into_iter()
-                .map(|(a, t, o1, o2)| Point::new(vec![a, t], vec![o1, o2]))
-                .collect()
-        },
-    )
+    prop::collection::vec((0i64..100, 1i64..=40, 0.1f64..50.0, 0.1f64..50.0), 2..25).prop_map(|v| {
+        v.into_iter()
+            .map(|(a, t, o1, o2)| Point::new(vec![a, t], vec![o1, o2]))
+            .collect()
+    })
 }
 
 proptest! {

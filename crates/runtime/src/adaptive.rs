@@ -55,9 +55,12 @@ impl AdaptiveSelector {
             state: Mutex::new(AdaptiveState {
                 beliefs: meta
                     .iter()
-                    .map(|v| Belief { time_s: v.objectives[0], samples: 0 })
+                    .map(|v| Belief {
+                        time_s: v.objectives[0],
+                        samples: 0,
+                    })
                     .collect(),
-            ticks: 0,
+                ticks: 0,
                 explore_cursor: 0,
             }),
         }
@@ -71,7 +74,11 @@ impl AdaptiveSelector {
         meta.iter()
             .zip(&state.beliefs)
             .map(|(v, b)| {
-                let scale = if v.objectives[0] > 0.0 { b.time_s / v.objectives[0] } else { 1.0 };
+                let scale = if v.objectives[0] > 0.0 {
+                    b.time_s / v.objectives[0]
+                } else {
+                    1.0
+                };
                 VersionMeta {
                     objectives: v
                         .objectives
@@ -103,7 +110,7 @@ impl AdaptiveSelector {
             } else {
                 u64::MAX
             };
-            if period != u64::MAX && state.ticks % period == 0 {
+            if period != u64::MAX && state.ticks.is_multiple_of(period) {
                 state.explore_cursor = (state.explore_cursor + 1) % meta.len();
                 Some(state.explore_cursor)
             } else {
@@ -142,8 +149,16 @@ mod tests {
 
     fn meta() -> Vec<VersionMeta> {
         vec![
-            VersionMeta { objectives: vec![1.0, 4.0], threads: 4, label: "fast".into() },
-            VersionMeta { objectives: vec![2.0, 2.0], threads: 1, label: "frugal".into() },
+            VersionMeta {
+                objectives: vec![1.0, 4.0],
+                threads: 4,
+                label: "fast".into(),
+            },
+            VersionMeta {
+                objectives: vec![2.0, 2.0],
+                threads: 1,
+                label: "frugal".into(),
+            },
         ]
     }
 
@@ -169,7 +184,10 @@ mod tests {
             sel.observe(0, Duration::from_secs_f64(5.0));
         }
         let (belief, samples) = sel.belief(0);
-        assert!(belief > 4.0, "belief must converge to observations: {belief}");
+        assert!(
+            belief > 4.0,
+            "belief must converge to observations: {belief}"
+        );
         assert_eq!(samples, 8);
         assert_eq!(
             sel.select(&m, &SelectionContext::default()),

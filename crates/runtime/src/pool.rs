@@ -94,12 +94,18 @@ impl Pool {
                     .expect("failed to spawn worker thread"),
             );
         }
-        Pool { senders, handles, size: threads }
+        Pool {
+            senders,
+            handles,
+            size: threads,
+        }
     }
 
     /// A pool sized to the machine's available parallelism.
     pub fn with_available_parallelism() -> Self {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Pool::new(n)
     }
 
@@ -128,7 +134,11 @@ impl Pool {
         });
         for tid in 1..team {
             self.senders[tid - 1]
-                .send(Task { func, tid, latch: Arc::clone(&latch) })
+                .send(Task {
+                    func,
+                    tid,
+                    latch: Arc::clone(&latch),
+                })
                 .expect("worker thread terminated unexpectedly");
         }
         // The caller participates as thread 0.
@@ -222,11 +232,18 @@ mod tests {
     fn chunks_balanced_within_one() {
         let total = 103u64;
         let team = 10;
-        let sizes: Vec<u64> =
-            (0..team).map(|t| { let r = static_chunk(total, team, t); r.end - r.start }).collect();
+        let sizes: Vec<u64> = (0..team)
+            .map(|t| {
+                let r = static_chunk(total, team, t);
+                r.end - r.start
+            })
+            .collect();
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();
-        assert!(max - min <= 1, "static chunking must be balanced: {sizes:?}");
+        assert!(
+            max - min <= 1,
+            "static chunking must be balanced: {sizes:?}"
+        );
     }
 
     #[test]

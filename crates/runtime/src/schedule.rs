@@ -94,7 +94,11 @@ fn list_schedule(tasks: &[Task], assignment: &[usize], cores: usize) -> Schedule
         .iter()
         .map(|p| (p.end - p.start) * p.threads as f64)
         .sum();
-    Schedule { placements, makespan, cpu_seconds }
+    Schedule {
+        placements,
+        makespan,
+        cpu_seconds,
+    }
 }
 
 /// Schedule `tasks` on `cores` cores, choosing one version per task.
@@ -241,7 +245,10 @@ pub fn schedule_fixed_version(tasks: &[Task], cores: usize, fixed_version: usize
         .iter()
         .map(|t| {
             let vi = fixed_version.min(t.versions.len().saturating_sub(1));
-            Task { name: t.name.clone(), versions: vec![t.versions[vi].clone()] }
+            Task {
+                name: t.name.clone(),
+                versions: vec![t.versions[vi].clone()],
+            }
         })
         .collect();
     schedule(&forced, cores)
@@ -261,10 +268,7 @@ mod tests {
                 .iter()
                 .zip(&eff)
                 .map(|(&t, &e)| VersionMeta {
-                    objectives: vec![
-                        serial_time / (t as f64 * e),
-                        serial_time / e,
-                    ],
+                    objectives: vec![serial_time / (t as f64 * e), serial_time / e],
                     threads: t,
                     label: format!("{t}t"),
                 })
@@ -294,13 +298,19 @@ mod tests {
         );
         // A fixed wide-version schedule is strictly worse.
         let fixed = schedule_fixed_version(&tasks, 4, 2);
-        assert!(fixed.makespan > s.makespan, "{} vs {}", fixed.makespan, s.makespan);
+        assert!(
+            fixed.makespan > s.makespan,
+            "{} vs {}",
+            fixed.makespan,
+            s.makespan
+        );
     }
 
     #[test]
     fn schedule_is_capacity_feasible() {
-        let tasks: Vec<Task> =
-            (0..6).map(|i| task(&format!("t{i}"), 2.0 + i as f64)).collect();
+        let tasks: Vec<Task> = (0..6)
+            .map(|i| task(&format!("t{i}"), 2.0 + i as f64))
+            .collect();
         let cores = 4;
         let s = schedule(&tasks, cores);
         // At every placement boundary, concurrently running threads ≤ cores.

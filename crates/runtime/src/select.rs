@@ -100,7 +100,9 @@ impl SelectionPolicy {
             }
             SelectionPolicy::Budget { objective, limit } => {
                 let feasible: Vec<usize> = (0..table.len())
-                    .filter(|&i| table[i].objectives.get(*objective).copied().unwrap_or(0.0) <= *limit)
+                    .filter(|&i| {
+                        table[i].objectives.get(*objective).copied().unwrap_or(0.0) <= *limit
+                    })
                     .collect();
                 if feasible.is_empty() {
                     // Infeasible budget: degrade gracefully to the version
@@ -109,30 +111,27 @@ impl SelectionPolicy {
                         (v.objectives.get(*objective).copied().unwrap_or(0.0) - *limit).abs()
                     })
                 } else {
-                    feasible
-                        .into_iter()
-                        .min_by(|&a, &b| {
-                            table[a].objectives[0]
-                                .partial_cmp(&table[b].objectives[0])
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                        })
+                    feasible.into_iter().min_by(|&a, &b| {
+                        table[a].objectives[0]
+                            .partial_cmp(&table[b].objectives[0])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
                 }
             }
             SelectionPolicy::FitThreads => {
                 let cap = ctx.available_threads.unwrap_or(usize::MAX);
-                let feasible: Vec<usize> =
-                    (0..table.len()).filter(|&i| table[i].threads <= cap).collect();
+                let feasible: Vec<usize> = (0..table.len())
+                    .filter(|&i| table[i].threads <= cap)
+                    .collect();
                 if feasible.is_empty() {
                     // Nothing fits: least-greedy version.
                     argmin_by(table, |v| v.threads as f64)
                 } else {
-                    feasible
-                        .into_iter()
-                        .min_by(|&a, &b| {
-                            table[a].objectives[0]
-                                .partial_cmp(&table[b].objectives[0])
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                        })
+                    feasible.into_iter().min_by(|&a, &b| {
+                        table[a].objectives[0]
+                            .partial_cmp(&table[b].objectives[0])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
                 }
             }
         }
@@ -154,11 +153,31 @@ mod tests {
     /// A miniature Pareto front: faster versions use more resources.
     fn table() -> Vec<VersionMeta> {
         vec![
-            VersionMeta { objectives: vec![100.0, 100.0], threads: 1, label: "t1".into() },
-            VersionMeta { objectives: vec![21.0, 105.0], threads: 5, label: "t5".into() },
-            VersionMeta { objectives: vec![11.0, 110.0], threads: 10, label: "t10".into() },
-            VersionMeta { objectives: vec![6.0, 120.0], threads: 20, label: "t20".into() },
-            VersionMeta { objectives: vec![4.0, 160.0], threads: 40, label: "t40".into() },
+            VersionMeta {
+                objectives: vec![100.0, 100.0],
+                threads: 1,
+                label: "t1".into(),
+            },
+            VersionMeta {
+                objectives: vec![21.0, 105.0],
+                threads: 5,
+                label: "t5".into(),
+            },
+            VersionMeta {
+                objectives: vec![11.0, 110.0],
+                threads: 10,
+                label: "t10".into(),
+            },
+            VersionMeta {
+                objectives: vec![6.0, 120.0],
+                threads: 20,
+                label: "t20".into(),
+            },
+            VersionMeta {
+                objectives: vec![4.0, 160.0],
+                threads: 40,
+                label: "t40".into(),
+            },
         ]
     }
 
@@ -172,21 +191,33 @@ mod tests {
     fn fastest_and_cheapest() {
         let ctx = SelectionContext::default();
         assert_eq!(SelectionPolicy::FastestTime.select(&table(), &ctx), Some(4));
-        assert_eq!(SelectionPolicy::LowestResources.select(&table(), &ctx), Some(0));
+        assert_eq!(
+            SelectionPolicy::LowestResources.select(&table(), &ctx),
+            Some(0)
+        );
     }
 
     #[test]
     fn weighted_sum_interpolates() {
         let ctx = SelectionContext::default();
         // All weight on time → fastest; all weight on resources → cheapest.
-        let t = SelectionPolicy::WeightedSum { weights: vec![1.0, 0.0] };
-        let r = SelectionPolicy::WeightedSum { weights: vec![0.0, 1.0] };
+        let t = SelectionPolicy::WeightedSum {
+            weights: vec![1.0, 0.0],
+        };
+        let r = SelectionPolicy::WeightedSum {
+            weights: vec![0.0, 1.0],
+        };
         assert_eq!(t.select(&table(), &ctx), Some(4));
         assert_eq!(r.select(&table(), &ctx), Some(0));
         // Balanced weights pick an intermediate trade-off.
-        let b = SelectionPolicy::WeightedSum { weights: vec![0.5, 0.5] };
+        let b = SelectionPolicy::WeightedSum {
+            weights: vec![0.5, 0.5],
+        };
         let pick = b.select(&table(), &ctx).unwrap();
-        assert!(pick > 0 && pick < 4, "balanced weights must not pick an extreme: {pick}");
+        assert!(
+            pick > 0 && pick < 4,
+            "balanced weights must not pick an extreme: {pick}"
+        );
     }
 
     #[test]
@@ -199,7 +230,10 @@ mod tests {
     #[test]
     fn budget_selects_fastest_feasible() {
         let ctx = SelectionContext::default();
-        let p = SelectionPolicy::Budget { objective: 1, limit: 115.0 };
+        let p = SelectionPolicy::Budget {
+            objective: 1,
+            limit: 115.0,
+        };
         // Versions with resources ≤ 115: t1, t5, t10 → fastest is t10.
         assert_eq!(p.select(&table(), &ctx), Some(2));
     }
@@ -207,19 +241,29 @@ mod tests {
     #[test]
     fn infeasible_budget_degrades_gracefully() {
         let ctx = SelectionContext::default();
-        let p = SelectionPolicy::Budget { objective: 1, limit: 50.0 };
+        let p = SelectionPolicy::Budget {
+            objective: 1,
+            limit: 50.0,
+        };
         // No version fits; closest to the budget is t1 (100).
         assert_eq!(p.select(&table(), &ctx), Some(0));
     }
 
     #[test]
     fn fit_threads_respects_cap() {
-        let ctx = SelectionContext { available_threads: Some(10) };
+        let ctx = SelectionContext {
+            available_threads: Some(10),
+        };
         assert_eq!(SelectionPolicy::FitThreads.select(&table(), &ctx), Some(2));
-        let ctx0 = SelectionContext { available_threads: Some(0) };
+        let ctx0 = SelectionContext {
+            available_threads: Some(0),
+        };
         // Nothing fits → least-greedy (1 thread).
         assert_eq!(SelectionPolicy::FitThreads.select(&table(), &ctx0), Some(0));
         let unrestricted = SelectionContext::default();
-        assert_eq!(SelectionPolicy::FitThreads.select(&table(), &unrestricted), Some(4));
+        assert_eq!(
+            SelectionPolicy::FitThreads.select(&table(), &unrestricted),
+            Some(4)
+        );
     }
 }

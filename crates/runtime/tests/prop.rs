@@ -2,8 +2,8 @@
 //! correctness under arbitrary team sizes, and selection-policy soundness.
 
 use moat_runtime::{
-    schedule, schedule_fixed_version, static_chunk, Pool, SelectionContext, SelectionPolicy,
-    Task, VersionMeta,
+    schedule, schedule_fixed_version, static_chunk, Pool, SelectionContext, SelectionPolicy, Task,
+    VersionMeta,
 };
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -164,16 +164,14 @@ proptest! {
                         .fold(f64::INFINITY, f64::min);
                     prop_assert_eq!(table[idx].objectives[0], best);
                 }
-                SelectionPolicy::Budget { limit, .. } => {
-                    // If any version fits the budget, the pick must fit it.
-                    if table.iter().any(|v| v.objectives[1] <= *limit) {
-                        prop_assert!(table[idx].objectives[1] <= *limit);
-                    }
+                // If any version fits the budget, the pick must fit it.
+                SelectionPolicy::Budget { limit, .. }
+                    if table.iter().any(|v| v.objectives[1] <= *limit) =>
+                {
+                    prop_assert!(table[idx].objectives[1] <= *limit);
                 }
-                SelectionPolicy::FitThreads => {
-                    if table.iter().any(|v| v.threads <= cap) {
-                        prop_assert!(table[idx].threads <= cap);
-                    }
+                SelectionPolicy::FitThreads if table.iter().any(|v| v.threads <= cap) => {
+                    prop_assert!(table[idx].threads <= cap);
                 }
                 _ => {}
             }

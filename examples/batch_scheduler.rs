@@ -37,7 +37,10 @@ fn main() {
         .into_iter()
         .map(|(name, region)| {
             let tuned = fw.tune(region).expect("tuning failed");
-            Task { name: name.into(), versions: tuned.table.runtime_meta() }
+            Task {
+                name: name.into(),
+                versions: tuned.table.runtime_meta(),
+            }
         })
         .collect();
 

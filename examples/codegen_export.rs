@@ -10,8 +10,10 @@ use moat::{Framework, Kernel, MachineDesc};
 use std::path::PathBuf;
 
 fn main() {
-    let out_dir: PathBuf =
-        std::env::args().nth(1).unwrap_or_else(|| "target/moat-export".into()).into();
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/moat-export".into())
+        .into();
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
 
     let mut fw = Framework::new(MachineDesc::westmere());
@@ -39,13 +41,20 @@ fn main() {
         // If a C compiler is available, verify the generated translation
         // unit parses (the backend's output is real OpenMP C).
         for cc in ["cc", "gcc", "clang"] {
-            if std::process::Command::new(cc).arg("--version").output().is_ok() {
+            if std::process::Command::new(cc)
+                .arg("--version")
+                .output()
+                .is_ok()
+            {
                 let status = std::process::Command::new(cc)
                     .args(["-fsyntax-only", "-fopenmp"])
                     .arg(&c_path)
                     .status()
                     .expect("failed to run compiler");
-                println!("   syntax check with {cc}: {}", if status.success() { "OK" } else { "FAILED" });
+                println!(
+                    "   syntax check with {cc}: {}",
+                    if status.success() { "OK" } else { "FAILED" }
+                );
                 assert!(status.success(), "generated C must be valid");
                 break;
             }

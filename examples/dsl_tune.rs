@@ -12,8 +12,10 @@ use moat::{Framework, MachineDesc};
 use std::path::PathBuf;
 
 fn main() {
-    let dir: PathBuf =
-        std::env::args().nth(1).unwrap_or_else(|| "examples/regions".into()).into();
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "examples/regions".into())
+        .into();
     let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
         .filter_map(|e| e.ok())

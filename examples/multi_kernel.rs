@@ -27,7 +27,11 @@ fn demo_size(k: Kernel) -> i64 {
 fn main() {
     for machine in [MachineDesc::westmere(), MachineDesc::barcelona()] {
         println!("==================================================================");
-        println!("deployment target: {} ({} cores)", machine.name, machine.total_cores());
+        println!(
+            "deployment target: {} ({} cores)",
+            machine.name,
+            machine.total_cores()
+        );
         println!("==================================================================");
         let mut fw = Framework::new(machine);
         fw.tuner_params.max_generations = 20;
@@ -40,22 +44,27 @@ fn main() {
 
             // Site policies.
             let fastest = SelectionPolicy::FastestTime.select(&meta, &ctx).unwrap();
-            let frugal = SelectionPolicy::LowestResources.select(&meta, &ctx).unwrap();
+            let frugal = SelectionPolicy::LowestResources
+                .select(&meta, &ctx)
+                .unwrap();
             // "Cap CPU time at 1.3x the serial cost" — an energy budget.
             let serial_cost = meta
                 .iter()
                 .map(|v| v.objectives[1])
                 .fold(f64::INFINITY, f64::min);
-            let capped = SelectionPolicy::Budget { objective: 1, limit: serial_cost * 1.3 }
-                .select(&meta, &ctx)
-                .unwrap();
+            let capped = SelectionPolicy::Budget {
+                objective: 1,
+                limit: serial_cost * 1.3,
+            }
+            .select(&meta, &ctx)
+            .unwrap();
 
             println!(
                 "\n{:<10} E={:<5} |S|={:<3} (tuned in {} generations)",
                 tuned.region.name,
                 tuned.result.evaluations,
                 tuned.table.len(),
-                tuned.result.generations
+                tuned.result.iterations
             );
             for (site, idx) in [
                 ("throughput site", fastest),

@@ -11,10 +11,13 @@
 //! cargo run --release --example native_autotune
 //! ```
 
-use moat::core::{BatchEval, Config, Domain, Evaluator, ObjVec, ParamSpace, RsGde3, RsGde3Params};
+use moat::core::{
+    BatchEval, Config, Domain, Evaluator, ObjVec, ParamSpace, RsGde3Params, RsGde3Tuner,
+    TuningSession,
+};
 use moat::kernels::data::seeded_vec;
 use moat::kernels::native::mm_tiled;
-use moat::multiversion::{NativeRegion, VersionTable};
+use moat::multiversion::{NativeRegion, VersionImpl, VersionTable};
 use moat::{Pool, SelectionContext, SelectionPolicy};
 use moat_ir::{ParamDecl, ParamDomain, Skeleton};
 use std::time::Instant;
@@ -37,8 +40,12 @@ impl Evaluator for NativeMm {
     }
 
     fn evaluate(&self, cfg: &Config) -> Option<ObjVec> {
-        let (ti, tj, tk, threads) =
-            (cfg[0] as usize, cfg[1] as usize, cfg[2] as usize, cfg[3] as usize);
+        let (ti, tj, tk, threads) = (
+            cfg[0] as usize,
+            cfg[1] as usize,
+            cfg[2] as usize,
+            cfg[3] as usize,
+        );
         if threads == 0 || threads > self.max_threads {
             return None;
         }
@@ -46,7 +53,15 @@ impl Evaluator for NativeMm {
             .map(|_| {
                 let mut c = vec![0.0f64; N * N];
                 let start = Instant::now();
-                mm_tiled(&self.pool, N, &self.a, &self.b, &mut c, (ti, tj, tk), threads);
+                mm_tiled(
+                    &self.pool,
+                    N,
+                    &self.a,
+                    &self.b,
+                    &mut c,
+                    (ti, tj, tk),
+                    threads,
+                );
                 start.elapsed().as_secs_f64()
             })
             .collect();
@@ -57,7 +72,9 @@ impl Evaluator for NativeMm {
 }
 
 fn main() {
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     println!("native auto-tuning of mm (N={N}) on this host ({max_threads} hw threads)");
 
     let evaluator = NativeMm {
@@ -68,20 +85,41 @@ fn main() {
     };
 
     let space = ParamSpace::new(
-        vec!["tile_i".into(), "tile_j".into(), "tile_k".into(), "threads".into()],
         vec![
-            Domain::Range { lo: 1, hi: (N / 2) as i64 },
-            Domain::Range { lo: 1, hi: (N / 2) as i64 },
-            Domain::Range { lo: 1, hi: (N / 2) as i64 },
-            Domain::Range { lo: 1, hi: max_threads as i64 },
+            "tile_i".into(),
+            "tile_j".into(),
+            "tile_k".into(),
+            "threads".into(),
+        ],
+        vec![
+            Domain::Range {
+                lo: 1,
+                hi: (N / 2) as i64,
+            },
+            Domain::Range {
+                lo: 1,
+                hi: (N / 2) as i64,
+            },
+            Domain::Range {
+                lo: 1,
+                hi: (N / 2) as i64,
+            },
+            Domain::Range {
+                lo: 1,
+                hi: max_threads as i64,
+            },
         ],
     );
 
     // Real measurements are serial through the pool (one kernel at a time),
     // so evaluate sequentially; keep the search short.
-    let params = RsGde3Params { max_generations: 12, ..Default::default() };
+    let params = RsGde3Params {
+        max_generations: 12,
+        ..Default::default()
+    };
     let start = Instant::now();
-    let result = RsGde3::new(space, params).run(&evaluator, &BatchEval::sequential());
+    let mut session = TuningSession::new(space, &evaluator).with_batch(BatchEval::sequential());
+    let result = session.run(&RsGde3Tuner::new(params));
     println!(
         "tuned in {:.1} s: {} evaluations, {} Pareto points\n",
         start.elapsed().as_secs_f64(),
@@ -94,10 +132,34 @@ fn main() {
     let skeleton = Skeleton::new(
         "mm-native",
         vec![
-            ParamDecl::new("tile_i", ParamDomain::IntRange { lo: 1, hi: (N / 2) as i64 }),
-            ParamDecl::new("tile_j", ParamDomain::IntRange { lo: 1, hi: (N / 2) as i64 }),
-            ParamDecl::new("tile_k", ParamDomain::IntRange { lo: 1, hi: (N / 2) as i64 }),
-            ParamDecl::new("threads", ParamDomain::IntRange { lo: 1, hi: max_threads as i64 }),
+            ParamDecl::new(
+                "tile_i",
+                ParamDomain::IntRange {
+                    lo: 1,
+                    hi: (N / 2) as i64,
+                },
+            ),
+            ParamDecl::new(
+                "tile_j",
+                ParamDomain::IntRange {
+                    lo: 1,
+                    hi: (N / 2) as i64,
+                },
+            ),
+            ParamDecl::new(
+                "tile_k",
+                ParamDomain::IntRange {
+                    lo: 1,
+                    hi: (N / 2) as i64,
+                },
+            ),
+            ParamDecl::new(
+                "threads",
+                ParamDomain::IntRange {
+                    lo: 1,
+                    hi: max_threads as i64,
+                },
+            ),
         ],
         vec![],
     );
@@ -122,7 +184,7 @@ fn main() {
         c: Vec<f64>,
     }
     let pool = Pool::new(max_threads);
-    let impls: Vec<Box<dyn Fn(&mut MmData) + Sync>> = table
+    let impls: Vec<VersionImpl<MmData>> = table
         .versions
         .iter()
         .map(|v| {
@@ -140,13 +202,22 @@ fn main() {
         .collect();
     let region = NativeRegion::new(&table, impls);
 
-    let mut data = MmData { a: seeded_vec(N * N, 1), b: seeded_vec(N * N, 2), c: vec![0.0; N * N] };
+    let mut data = MmData {
+        a: seeded_vec(N * N, 1),
+        b: seeded_vec(N * N, 2),
+        c: vec![0.0; N * N],
+    };
     let ctx = SelectionContext::default();
     println!("\ninvoking the multi-versioned region:");
     for (name, policy) in [
         ("fastest", SelectionPolicy::FastestTime),
         ("most efficient", SelectionPolicy::LowestResources),
-        ("balanced", SelectionPolicy::WeightedSum { weights: vec![0.5, 0.5] }),
+        (
+            "balanced",
+            SelectionPolicy::WeightedSum {
+                weights: vec![0.5, 0.5],
+            },
+        ),
     ] {
         data.c.fill(0.0);
         let (idx, elapsed) = {

@@ -15,17 +15,28 @@ fn main() {
 
     // 2. Tune the matrix-multiplication kernel (N = 512 for a fast demo;
     //    the paper uses N = 1400).
-    println!("tuning mm (N=512) for [time, resources] on {} ...", fw.machine.name);
+    println!(
+        "tuning mm (N=512) for [time, resources] on {} ...",
+        fw.machine.name
+    );
     let tuned = fw.tune(Kernel::Mm.region(512)).expect("tuning failed");
     println!(
-        "evaluated {} configurations in {} GDE3 generations\n",
-        tuned.result.evaluations, tuned.result.generations
+        "evaluated {} configurations in {} GDE3 generations ({})\n",
+        tuned.result.evaluations,
+        tuned.result.iterations,
+        tuned.result.stop.name()
     );
 
     // 3. The Pareto set became a version table: one specialized code
     //    version per trade-off point.
-    println!("version table ({} versions, fastest first):", tuned.table.len());
-    println!("{:>4}  {:>10}  {:>12}  config", "#", "time [s]", "cpu-seconds");
+    println!(
+        "version table ({} versions, fastest first):",
+        tuned.table.len()
+    );
+    println!(
+        "{:>4}  {:>10}  {:>12}  config",
+        "#", "time [s]", "cpu-seconds"
+    );
     for (i, v) in tuned.table.versions.iter().enumerate() {
         println!(
             "{i:>4}  {:>10.4}  {:>12.4}  {}",
@@ -40,13 +51,20 @@ fn main() {
     let policies: [(&str, SelectionPolicy); 4] = [
         ("fastest", SelectionPolicy::FastestTime),
         ("most efficient", SelectionPolicy::LowestResources),
-        ("balanced 50/50", SelectionPolicy::WeightedSum { weights: vec![0.5, 0.5] }),
+        (
+            "balanced 50/50",
+            SelectionPolicy::WeightedSum {
+                weights: vec![0.5, 0.5],
+            },
+        ),
         ("only 8 cores free", SelectionPolicy::FitThreads),
     ];
     println!("\nruntime selection:");
     for (name, policy) in policies {
         let ctx = if name.starts_with("only") {
-            SelectionContext { available_threads: Some(8) }
+            SelectionContext {
+                available_threads: Some(8),
+            }
         } else {
             ctx.clone()
         };
@@ -56,7 +74,12 @@ fn main() {
 
     // 5. The backend also emitted the whole region as multi-versioned
     //    C/OpenMP source (truncated here).
-    let preview: String = tuned.source_c.lines().take(16).collect::<Vec<_>>().join("\n");
+    let preview: String = tuned
+        .source_c
+        .lines()
+        .take(16)
+        .collect::<Vec<_>>()
+        .join("\n");
     println!("\ngenerated C (first lines):\n{preview}\n...");
     println!(
         "\n({} lines of C total; table JSON: {} bytes)",

@@ -8,6 +8,8 @@
 //!                                                     (overrides --kernel/--size)
 //!   --machine <westmere|barcelona>                    target machine (default westmere)
 //!   --size <N>                                        problem size (default: paper size)
+//!   --strategy <rs-gde3|gde3|random|nsga2|wsum|grid>  search strategy (default rs-gde3)
+//!   --budget <E>                                      hard cap on distinct evaluations
 //!   --seed <S>                                        optimizer seed (default 42)
 //!   --generations <G>                                 max GDE3 generations (default 200)
 //!   --energy                                          add the energy objective (3 objectives)
@@ -18,7 +20,11 @@
 //! ```
 
 use moat::core::metrics::objective_bounds;
-use moat::core::{hypervolume, normalize_front, BatchEval, RsGde3, RsGde3Params};
+use moat::core::{
+    hypervolume, normalize_front, BatchEval, GridTuner, Nsga2Params, Nsga2Tuner, RandomTuner,
+    RsGde3Params, RsGde3Tuner, StrategyKind, Tuner, TuningSession, WeightedSumTuner,
+    WeightedSweepParams,
+};
 use moat::ir::{analyze, AnalyzerConfig, Step};
 use moat::multiversion::{emit_multiversioned_c, emit_parameterized_c, VersionTable};
 use moat::{ir_space, Kernel, MachineDesc, MultiObjectiveEvaluator, Objective};
@@ -31,6 +37,8 @@ struct Opts {
     file: Option<String>,
     machine: MachineDesc,
     size: Option<i64>,
+    strategy: StrategyKind,
+    budget: Option<u64>,
     seed: u64,
     generations: u32,
     energy: bool,
@@ -41,7 +49,16 @@ struct Opts {
 }
 
 fn usage() -> ! {
-    eprintln!("{}", include_str!("moat-tune.rs").lines().skip(2).take(15).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
+    eprintln!(
+        "{}",
+        include_str!("moat-tune.rs")
+            .lines()
+            .skip(2)
+            .take(15)
+            .map(|l| l.trim_start_matches("//! "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
     exit(2)
 }
 
@@ -51,6 +68,8 @@ fn parse_args() -> Opts {
         file: None,
         machine: MachineDesc::westmere(),
         size: None,
+        strategy: StrategyKind::RsGde3,
+        budget: None,
         seed: 42,
         generations: 200,
         energy: false,
@@ -95,6 +114,14 @@ fn parse_args() -> Opts {
             }
             "--file" => opts.file = Some(value("--file")),
             "--size" => opts.size = Some(value("--size").parse().unwrap_or_else(|_| usage())),
+            "--strategy" => {
+                let v = value("--strategy");
+                opts.strategy = StrategyKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown strategy: {v} (rs-gde3|gde3|random|nsga2|wsum|grid)");
+                    exit(2)
+                });
+            }
+            "--budget" => opts.budget = Some(value("--budget").parse().unwrap_or_else(|_| usage())),
             "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--generations" => {
                 opts.generations = value("--generations").parse().unwrap_or_else(|_| usage())
@@ -157,11 +184,29 @@ fn main() {
         max_generations: opts.generations,
         ..Default::default()
     };
+    let tuner: Box<dyn Tuner> = match opts.strategy {
+        StrategyKind::Grid => Box::new(GridTuner::new(10)),
+        StrategyKind::Random => Box::new(RandomTuner::new(opts.seed)),
+        StrategyKind::Gde3 => Box::new(RsGde3Tuner::new(RsGde3Params {
+            use_roughset: false,
+            ..params
+        })),
+        StrategyKind::Nsga2 => Box::new(Nsga2Tuner::new(Nsga2Params {
+            seed: opts.seed,
+            ..Default::default()
+        })),
+        StrategyKind::RsGde3 => Box::new(RsGde3Tuner::new(params)),
+        StrategyKind::WeightedSum => Box::new(WeightedSumTuner::new(WeightedSweepParams {
+            seed: opts.seed,
+            ..Default::default()
+        })),
+    };
     let space = ir_space(&region.skeletons[0]);
-    let batch = BatchEval::parallel(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-    );
-    let result = RsGde3::new(space, params).run(&ev, &batch);
+    let mut session = TuningSession::new(space, &ev).with_batch(BatchEval::default());
+    if let Some(budget) = opts.budget {
+        session = session.with_budget(budget);
+    }
+    let result = session.run(tuner.as_ref());
 
     let threads_param = region.skeletons[0].steps.iter().find_map(|s| match s {
         Step::Parallelize { threads_param } => Some(*threads_param),
@@ -175,20 +220,31 @@ fn main() {
         threads_param,
     );
 
-    let (ideal, nadir) = objective_bounds(result.front.points());
-    let hv = hypervolume(&normalize_front(result.front.points(), &ideal, &nadir));
+    // A zero budget yields an empty front; objective_bounds rejects that.
+    let hv = if result.front.points().is_empty() {
+        0.0
+    } else {
+        let (ideal, nadir) = objective_bounds(result.front.points());
+        hypervolume(&normalize_front(result.front.points(), &ideal, &nadir))
+    };
     println!(
-        "tuned {} on {}: E={} |S|={} generations={} self-hv={:.3}",
+        "tuned {} on {} via {}: E={} |S|={} iterations={} stop={} self-hv={:.3}",
         region.name,
         opts.machine.name,
+        opts.strategy,
         result.evaluations,
         table.len(),
-        result.generations,
+        result.iterations,
+        result.stop.name(),
         hv
     );
     let _ = size;
     if !opts.quiet {
-        let names = objectives.iter().map(|o| o.name()).collect::<Vec<_>>().join("  ");
+        let names = objectives
+            .iter()
+            .map(|o| o.name())
+            .collect::<Vec<_>>()
+            .join("  ");
         println!("\n{:<48}  {}", "configuration", names);
         for v in &table.versions {
             let objs = v
@@ -209,10 +265,13 @@ fn main() {
         let variants: Vec<_> = table
             .versions
             .iter()
-            .map(|v| region.skeletons[0].instantiate(&region.nest, &v.values).unwrap())
+            .map(|v| {
+                region.skeletons[0]
+                    .instantiate(&region.nest, &v.values)
+                    .unwrap()
+            })
             .collect();
-        std::fs::write(path, emit_multiversioned_c(&region, &table, &variants))
-            .expect("write C");
+        std::fs::write(path, emit_multiversioned_c(&region, &table, &variants)).expect("write C");
         println!("wrote {path}");
     }
     if let Some(path) = &opts.emit_param_c {

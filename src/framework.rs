@@ -1,7 +1,10 @@
 //! The end-to-end auto-tuning pipeline (paper Fig. 3, labels 1–5).
 
 use crate::sim::{ir_space, SimEvaluator, OBJECTIVE_NAMES};
-use moat_core::{BatchEval, RsGde3, RsGde3Params, TuningResult};
+use moat_core::{
+    BatchEval, GridTuner, Nsga2Params, Nsga2Tuner, RandomTuner, RsGde3Params, RsGde3Tuner,
+    StrategyKind, Tuner, TuningReport, TuningSession, WeightedSumTuner, WeightedSweepParams,
+};
 use moat_ir::{analyze, AnalyzerConfig, Region, Step, Variant};
 use moat_machine::{CostModel, MachineDesc, NoiseModel};
 use moat_multiversion::{emit_multiversioned_c, VersionTable};
@@ -13,8 +16,9 @@ pub struct TunedRegion {
     pub region: Region,
     /// Index of the tuned skeleton within `region.skeletons`.
     pub skeleton_index: usize,
-    /// Optimizer output: Pareto front, evaluation count, history.
-    pub result: TuningResult,
+    /// Optimizer output: Pareto front, evaluation count, stop reason,
+    /// progress trace.
+    pub result: TuningReport,
     /// The version table (Fig. 6).
     pub table: VersionTable,
     /// Instantiated variants, index-aligned with `table.versions`.
@@ -31,8 +35,16 @@ pub struct Framework {
     /// Measurement-noise emulation (defaults to the paper's
     /// median-of-3 protocol; set to `None` for exact model output).
     pub noise: Option<NoiseModel>,
-    /// RS-GDE3 parameters.
+    /// Search strategy (defaults to the paper's RS-GDE3).
+    pub strategy: StrategyKind,
+    /// RS-GDE3 parameters (the seed is shared with the other stochastic
+    /// strategies).
     pub tuner_params: RsGde3Params,
+    /// Grid points per `Range` dimension for [`StrategyKind::Grid`].
+    pub grid_steps: usize,
+    /// Optional hard cap on distinct evaluations, enforced by the
+    /// [`TuningSession`] regardless of strategy.
+    pub budget: Option<u64>,
     /// Parallelism for configuration evaluation (paper: configurations are
     /// generated, compiled and evaluated in parallel).
     pub batch: BatchEval,
@@ -51,12 +63,35 @@ impl Framework {
         Framework {
             machine,
             noise: Some(NoiseModel::default()),
+            strategy: StrategyKind::RsGde3,
             tuner_params: RsGde3Params::default(),
-            batch: BatchEval::parallel(
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-            ),
+            grid_steps: 10,
+            budget: None,
+            batch: BatchEval::default(),
             max_versions: None,
             tune_unroll: false,
+        }
+    }
+
+    /// Build the configured strategy's [`Tuner`].
+    pub fn make_tuner(&self) -> Box<dyn Tuner> {
+        let seed = self.tuner_params.seed;
+        match self.strategy {
+            StrategyKind::Grid => Box::new(GridTuner::new(self.grid_steps)),
+            StrategyKind::Random => Box::new(RandomTuner::new(seed)),
+            StrategyKind::Gde3 => Box::new(RsGde3Tuner::new(RsGde3Params {
+                use_roughset: false,
+                ..self.tuner_params
+            })),
+            StrategyKind::Nsga2 => Box::new(Nsga2Tuner::new(Nsga2Params {
+                seed,
+                ..Default::default()
+            })),
+            StrategyKind::RsGde3 => Box::new(RsGde3Tuner::new(self.tuner_params)),
+            StrategyKind::WeightedSum => Box::new(WeightedSumTuner::new(WeightedSweepParams {
+                seed,
+                ..Default::default()
+            })),
         }
     }
 
@@ -96,12 +131,21 @@ impl Framework {
         let skeleton_index = 0;
         let skeleton = &region.skeletons[skeleton_index];
 
-        // (2–4) Multi-objective optimization on the machine model.
+        // (2–4) Multi-objective optimization on the machine model, driven
+        // through a TuningSession (strategy-agnostic budget enforcement and
+        // evaluation accounting).
         let model = self.cost_model();
-        let evaluator = SimEvaluator { region: &region, skeleton, model: &model };
+        let evaluator = SimEvaluator {
+            region: &region,
+            skeleton,
+            model: &model,
+        };
         let space = ir_space(skeleton);
-        let tuner = RsGde3::new(space, self.tuner_params);
-        let result = tuner.run(&evaluator, &self.batch);
+        let mut session = TuningSession::new(space, &evaluator).with_batch(self.batch);
+        if let Some(budget) = self.budget {
+            session = session.with_budget(budget);
+        }
+        let result = session.run(self.make_tuner().as_ref());
 
         // (5) Backend: one specialized version per Pareto point + table.
         let threads_param = skeleton.steps.iter().find_map(|s| match s {
@@ -129,7 +173,14 @@ impl Framework {
             .collect::<Result<_, _>>()?;
         let source_c = emit_multiversioned_c(&region, &table, &variants);
 
-        Ok(TunedRegion { region, skeleton_index, result, table, variants, source_c })
+        Ok(TunedRegion {
+            region,
+            skeleton_index,
+            result,
+            table,
+            variants,
+            source_c,
+        })
     }
 }
 
@@ -168,8 +219,7 @@ mod tests {
         // trade-off), not a single configuration.
         let fw = quick_framework();
         let tuned = fw.tune(Kernel::Mm.region(256)).unwrap();
-        let mut threads: Vec<usize> =
-            tuned.table.versions.iter().map(|v| v.threads).collect();
+        let mut threads: Vec<usize> = tuned.table.versions.iter().map(|v| v.threads).collect();
         threads.sort_unstable();
         threads.dedup();
         assert!(
@@ -184,7 +234,10 @@ mod tests {
         fw.tune_unroll = true;
         fw.noise = None;
         let tuned = fw.tune(Kernel::Mm.region(192)).unwrap();
-        assert_eq!(tuned.table.param_names.last().map(|s| s.as_str()), Some("unroll"));
+        assert_eq!(
+            tuned.table.param_names.last().map(|s| s.as_str()),
+            Some("unroll")
+        );
         // The model rewards unrolling (ILP term): the fastest version
         // should use a factor > 1, and its generated code is structurally
         // unrolled (duplicated statement bodies).
@@ -215,7 +268,41 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         assert_eq!(tuned.table.versions[0].objectives[0], front_best);
         // Generated C shrinks accordingly.
-        assert_eq!(tuned.source_c.matches("static void ").count(), tuned.table.len());
+        assert_eq!(
+            tuned.source_c.matches("static void ").count(),
+            tuned.table.len()
+        );
+    }
+
+    #[test]
+    fn budget_enforced_for_every_strategy() {
+        for strategy in StrategyKind::all() {
+            let mut fw = quick_framework();
+            fw.strategy = strategy;
+            fw.budget = Some(60);
+            let tuned = fw.tune(Kernel::Mm.region(64)).unwrap();
+            assert!(
+                tuned.result.evaluations <= 60,
+                "{strategy} overran the budget: E={}",
+                tuned.result.evaluations
+            );
+            assert!(
+                !tuned.result.front.is_empty(),
+                "{strategy} returned no front"
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_selection_changes_search() {
+        let mut rs = quick_framework();
+        rs.strategy = StrategyKind::RsGde3;
+        let mut rnd = quick_framework();
+        rnd.strategy = StrategyKind::Random;
+        rnd.budget = Some(100);
+        let a = rs.tune(Kernel::Mm.region(128)).unwrap();
+        let b = rnd.tune(Kernel::Mm.region(128)).unwrap();
+        assert_ne!(a.result.front.points(), b.result.front.points());
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub use moat_multiversion as multiversion;
 pub use moat_runtime as runtime;
 
 // Convenience re-exports used by examples and benches.
-pub use moat_core::{BatchEval, ParetoFront, RsGde3, RsGde3Params, TuningResult};
+pub use moat_core::{
+    BatchEval, EventLog, EventSink, ParetoFront, RsGde3, RsGde3Params, RsGde3Tuner, StopReason,
+    StrategyKind, Tuner, TuningEvent, TuningReport, TuningResult, TuningSession,
+};
 pub use moat_ir::Region;
 pub use moat_kernels::Kernel;
 pub use moat_machine::{CostModel, MachineDesc, NoiseModel};

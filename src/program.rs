@@ -11,9 +11,7 @@
 
 use crate::sim::{ir_space, SimEvaluator, OBJECTIVE_NAMES};
 use moat_core::roughset::{enclose_points, reduce_search_space};
-use moat_core::{
-    Config, Evaluator, FrontSignature, Gde3, ParetoFront, RsGde3Params, TuningResult,
-};
+use moat_core::{Config, Evaluator, FrontSignature, Gde3, ParetoFront, RsGde3Params, TuningResult};
 use moat_ir::{analyze, Region, Step};
 use moat_machine::{CostModel, MachineDesc, NoiseModel};
 use moat_multiversion::VersionTable;
@@ -80,9 +78,8 @@ impl ProgramTuner {
 
     /// Tune all `regions` simultaneously.
     pub fn tune(&self, regions: Vec<Region>) -> Result<ProgramTuningResult, String> {
-        let cfg = moat_ir::AnalyzerConfig::for_threads(
-            (1..=self.machine.total_cores() as i64).collect(),
-        );
+        let cfg =
+            moat_ir::AnalyzerConfig::for_threads((1..=self.machine.total_cores() as i64).collect());
         let model = match self.noise {
             Some(n) => CostModel::with_noise(self.machine.clone(), n),
             None => CostModel::new(self.machine.clone()),
@@ -108,7 +105,11 @@ impl ProgramTuner {
                 population: Vec::new(),
                 archive: ParetoFront::new(),
                 bbox,
-                last_sig: FrontSignature { size: 0, ideal: Vec::new(), hv: 0.0 },
+                last_sig: FrontSignature {
+                    size: 0,
+                    ideal: Vec::new(),
+                    hv: 0.0,
+                },
                 stall: 0,
                 active: true,
                 evaluations: 0,
@@ -142,7 +143,11 @@ impl ProgramTuner {
                     s.population.push(p);
                 }
             }
-            assert!(s.population.len() >= 4, "region {} infeasible", s.region.name);
+            assert!(
+                s.population.len() >= 4,
+                "region {} infeasible",
+                s.region.name
+            );
             s.last_sig = FrontSignature::of(&s.population);
             s.hv_history.push(s.last_sig.hv);
         }
@@ -180,8 +185,7 @@ impl ProgramTuner {
                     skeleton: &s.region.skeletons[0],
                     model: &model,
                 };
-                let objs: Vec<Option<Vec<f64>>> =
-                    trials.iter().map(|t| ev.evaluate(t)).collect();
+                let objs: Vec<Option<Vec<f64>>> = trials.iter().map(|t| ev.evaluate(t)).collect();
                 s.evaluations += objs.iter().filter(|o| o.is_some()).count() as u64;
                 s.gde3.select(&mut s.population, &trials, &objs);
                 s.generations += 1;
@@ -235,7 +239,10 @@ impl ProgramTuner {
             })
             .collect();
 
-        Ok(ProgramTuningResult { regions: outcomes, program_executions })
+        Ok(ProgramTuningResult {
+            regions: outcomes,
+            program_executions,
+        })
     }
 }
 
@@ -268,7 +275,12 @@ mod tests {
         // Amortization: program executions ≈ max per-region evaluations,
         // far below their sum.
         let total: u64 = result.regions.iter().map(|r| r.result.evaluations).sum();
-        let max: u64 = result.regions.iter().map(|r| r.result.evaluations).max().unwrap();
+        let max: u64 = result
+            .regions
+            .iter()
+            .map(|r| r.result.evaluations)
+            .max()
+            .unwrap();
         assert!(
             result.program_executions < total,
             "joint tuning must amortize executions: {} vs sum {}",
@@ -289,7 +301,11 @@ mod tests {
             .tune(vec![Kernel::Mm.region(96), Kernel::Stencil3d.region(32)])
             .unwrap();
         // Generations may differ between regions (independent stopping).
-        let gens: Vec<u32> = result.regions.iter().map(|r| r.result.generations).collect();
+        let gens: Vec<u32> = result
+            .regions
+            .iter()
+            .map(|r| r.result.generations)
+            .collect();
         assert!(gens.iter().all(|&g| g >= 3));
         // Both tables usable.
         for r in &result.regions {

@@ -131,7 +131,10 @@ impl SkeletonChoiceEvaluator<'_> {
         assert!(!skeletons.is_empty());
         let max_arity = skeletons.iter().map(|s| s.params.len()).max().unwrap();
         let mut names = vec!["skeleton".to_string()];
-        let mut domains = vec![Domain::Range { lo: 0, hi: skeletons.len() as i64 - 1 }];
+        let mut domains = vec![Domain::Range {
+            lo: 0,
+            hi: skeletons.len() as i64 - 1,
+        }];
         for slot in 0..max_arity {
             names.push(format!("p{slot}"));
             // Widest admissible range across skeletons that use this slot.
@@ -195,7 +198,11 @@ mod tests {
         let cfg = AnalyzerConfig::for_threads(vec![1, 5, 10]);
         let region = analyze(Kernel::Mm.region(128), &cfg).unwrap();
         let model = CostModel::new(MachineDesc::westmere());
-        let ev = SimEvaluator { region: &region, skeleton: &region.skeletons[0], model: &model };
+        let ev = SimEvaluator {
+            region: &region,
+            skeleton: &region.skeletons[0],
+            model: &model,
+        };
         let objs = ev.evaluate(&vec![16, 16, 8, 10]).unwrap();
         assert_eq!(objs.len(), 2);
         assert!(objs[0] > 0.0);
@@ -243,7 +250,10 @@ mod tests {
         let region = analyze(Kernel::Mm.region(128), &cfg).unwrap();
         assert_eq!(region.skeletons.len(), 2);
         let model = CostModel::new(MachineDesc::westmere());
-        let ev = SkeletonChoiceEvaluator { region: &region, model: &model };
+        let ev = SkeletonChoiceEvaluator {
+            region: &region,
+            model: &model,
+        };
         let space = ev.space();
         // skeleton dim + 4 padded parameter slots.
         assert_eq!(space.dims(), 5);
@@ -254,7 +264,10 @@ mod tests {
         let (idx, values) = ev.decode(&vec![1, 16, 16, 3, 999]);
         assert_eq!(idx, 1);
         assert_eq!(values.len(), 3);
-        assert_eq!(values[2], 2, "3 projected to nearest admissible thread count (tie resolves down)");
+        assert_eq!(
+            values[2], 2,
+            "3 projected to nearest admissible thread count (tie resolves down)"
+        );
 
         // Both skeletons evaluate.
         assert!(ev.evaluate(&vec![0, 16, 16, 8, 4]).is_some());
@@ -263,21 +276,30 @@ mod tests {
 
     #[test]
     fn skeleton_choice_tuning_explores_both() {
-        use moat_core::{BatchEval, RsGde3, RsGde3Params};
+        use moat_core::{BatchEval, RsGde3Params, RsGde3Tuner, TuningSession};
         let cfg = AnalyzerConfig {
             alternatives: true,
             ..AnalyzerConfig::for_threads((1..=40).collect())
         };
         let region = analyze(Kernel::Mm.region(128), &cfg).unwrap();
         let model = CostModel::new(MachineDesc::westmere());
-        let ev = SkeletonChoiceEvaluator { region: &region, model: &model };
-        let params = RsGde3Params { max_generations: 10, ..Default::default() };
-        let result = RsGde3::new(ev.space(), params).run(&ev, &BatchEval::sequential());
+        let ev = SkeletonChoiceEvaluator {
+            region: &region,
+            model: &model,
+        };
+        let params = RsGde3Params {
+            max_generations: 10,
+            ..Default::default()
+        };
+        let mut session = TuningSession::new(ev.space(), &ev).with_batch(BatchEval::sequential());
+        let result = session.run(&RsGde3Tuner::new(params));
         assert!(!result.front.is_empty());
         // Every front configuration decodes to an instantiable variant.
         for p in result.front.points() {
             let (idx, values) = ev.decode(&p.config);
-            region.skeletons[idx].instantiate(&region.nest, &values).unwrap();
+            region.skeletons[idx]
+                .instantiate(&region.nest, &values)
+                .unwrap();
         }
     }
 
@@ -286,8 +308,15 @@ mod tests {
         let cfg = AnalyzerConfig::for_threads(vec![1, 5]);
         let region = analyze(Kernel::Mm.region(128), &cfg).unwrap();
         let model = CostModel::new(MachineDesc::westmere());
-        let ev = SimEvaluator { region: &region, skeleton: &region.skeletons[0], model: &model };
-        assert!(ev.evaluate(&vec![16, 16, 8, 7]).is_none(), "7 threads not in domain");
+        let ev = SimEvaluator {
+            region: &region,
+            skeleton: &region.skeletons[0],
+            model: &model,
+        };
+        assert!(
+            ev.evaluate(&vec![16, 16, 8, 7]).is_none(),
+            "7 threads not in domain"
+        );
         assert!(ev.evaluate(&vec![16, 16]).is_none(), "arity mismatch");
     }
 }

@@ -54,8 +54,7 @@ fn adaptive_selector_switches_under_coload() {
         })
         .unwrap();
     // Allow near-ties (observations only cover visited versions).
-    let ratio =
-        observed(final_pick).as_secs_f64() / observed(best_under_load).as_secs_f64();
+    let ratio = observed(final_pick).as_secs_f64() / observed(best_under_load).as_secs_f64();
     assert!(
         ratio < 1.6,
         "converged version should be near-optimal under load (ratio {ratio:.2})"
@@ -78,10 +77,16 @@ fn adaptive_with_exploration_recovers_after_load_disappears() {
     for _ in 0..30 {
         let idx = sel.select(&meta, &ctx).unwrap();
         let slowdown = if meta[idx].threads > 4 { 8.0 } else { 1.0 };
-        sel.observe(idx, Duration::from_secs_f64(meta[idx].objectives[0] * slowdown));
+        sel.observe(
+            idx,
+            Duration::from_secs_f64(meta[idx].objectives[0] * slowdown),
+        );
     }
     let loaded_pick = sel.select(&meta, &ctx).unwrap();
-    assert!(meta[loaded_pick].threads <= 4, "must avoid large teams under load");
+    assert!(
+        meta[loaded_pick].threads <= 4,
+        "must avoid large teams under load"
+    );
 
     // Phase 2: load disappears; exploration re-measures large teams and the
     // selector returns to them.

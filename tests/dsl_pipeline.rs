@@ -36,8 +36,16 @@ fn parsed_mm_tunes_like_builtin() {
         from_dsl.table.param_names, from_builtin.table.param_names,
         "DSL region must produce the same tunable parameters"
     );
-    assert_eq!(from_dsl.table.versions.len(), from_builtin.table.versions.len());
-    for (a, b) in from_dsl.table.versions.iter().zip(&from_builtin.table.versions) {
+    assert_eq!(
+        from_dsl.table.versions.len(),
+        from_builtin.table.versions.len()
+    );
+    for (a, b) in from_dsl
+        .table
+        .versions
+        .iter()
+        .zip(&from_builtin.table.versions)
+    {
         assert_eq!(a.values, b.values);
         assert_eq!(a.objectives, b.objectives);
     }
@@ -80,7 +88,10 @@ fn fused_statements_flow_through_pipeline() {
         tuned.table.len()
     );
     assert_eq!(
-        tuned.source_c.matches("Z[i][j] = X[i][j] * X[i][j];").count(),
+        tuned
+            .source_c
+            .matches("Z[i][j] = X[i][j] * X[i][j];")
+            .count(),
         tuned.table.len()
     );
 }
@@ -102,7 +113,11 @@ fn in_place_stencil_is_rejected_by_analyzer_checks() {
     "#;
     let region = parse_region(src).unwrap();
     let an = moat::ir::DepAnalysis::analyze(&region.nest);
-    assert_eq!(an.outer_tileable_band(), 1, "skewed dependence restricts the band");
+    assert_eq!(
+        an.outer_tileable_band(),
+        1,
+        "skewed dependence restricts the band"
+    );
     let mut fw = Framework::new(MachineDesc::westmere());
     fw.tuner_params.max_generations = 6;
     let tuned = fw.tune(region).unwrap();

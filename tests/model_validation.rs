@@ -58,7 +58,7 @@ fn tiny_hierarchy() -> MultiCoreHierarchy {
         shared_level: CacheConfig::new(16 * 1024, 8, 64),
         cores_per_chip: 4,
         cores: 4,
-            prefetch_depth: 0,
+        prefetch_depth: 0,
     })
 }
 
@@ -109,7 +109,9 @@ fn model_memory_traffic_tracks_simulated_misses() {
     let mut model_mem = Vec::new();
     let mut sim_mem = Vec::new();
     for t in &tilings {
-        let v = sk.instantiate(&region.nest, &[t[0], t[1], t[2], 1]).unwrap();
+        let v = sk
+            .instantiate(&region.nest, &[t[0], t[1], t[2], 1])
+            .unwrap();
         let breakdown = model.cost(&region.arrays, &v);
         model_mem.push(*breakdown.level_miss_lines.last().unwrap());
 
@@ -163,7 +165,11 @@ fn model_and_simulator_agree_tiling_beats_untiled() {
         .level_miss_lines
         .last()
         .unwrap();
-    let mem_tiled_model = *model.cost(&region.arrays, &tiled).level_miss_lines.last().unwrap();
+    let mem_tiled_model = *model
+        .cost(&region.arrays, &tiled)
+        .level_miss_lines
+        .last()
+        .unwrap();
 
     // Simulator.
     let mut h1 = tiny_hierarchy();
@@ -171,8 +177,14 @@ fn model_and_simulator_agree_tiling_beats_untiled() {
     let mut h2 = tiny_hierarchy();
     simulate_nest(&region.arrays, &tiled.nest, &mut h2);
 
-    assert!(h2.memory_accesses() < h1.memory_accesses(), "simulator: tiling must help");
-    assert!(mem_tiled_model < mem_untiled_model, "model: tiling must help");
+    assert!(
+        h2.memory_accesses() < h1.memory_accesses(),
+        "simulator: tiling must help"
+    );
+    assert!(
+        mem_tiled_model < mem_untiled_model,
+        "model: tiling must help"
+    );
 }
 
 #[test]
@@ -190,7 +202,13 @@ fn jacobi_model_tracks_simulator_ordering() {
     let mut sim_mem = Vec::new();
     for t in &tilings {
         let v = sk.instantiate(&region.nest, &[t[0], t[1], 1]).unwrap();
-        model_mem.push(*model.cost(&region.arrays, &v).level_miss_lines.last().unwrap());
+        model_mem.push(
+            *model
+                .cost(&region.arrays, &v)
+                .level_miss_lines
+                .last()
+                .unwrap(),
+        );
         let mut h = tiny_hierarchy();
         simulate_nest(&region.arrays, &v.nest, &mut h);
         sim_mem.push(h.memory_accesses() as f64);

@@ -2,10 +2,11 @@
 //! (the full-scale versions run as bench targets; these keep the claims
 //! under `cargo test`).
 
-use moat::core::grid::{cartesian_axes, grid_search_points};
+use moat::core::grid::cartesian_axes;
 use moat::core::metrics::objective_bounds;
 use moat::core::{
-    hypervolume, normalize_front, random_search, BatchEval, RsGde3, RsGde3Params,
+    hypervolume, normalize_front, BatchEval, GridTuner, RandomTuner, RsGde3Params, RsGde3Tuner,
+    TuningSession,
 };
 use moat::{ir_space, Kernel, MachineDesc, SimEvaluator};
 use moat_ir::{analyze, AnalyzerConfig};
@@ -49,7 +50,8 @@ fn rsgde3_uses_fraction_of_bruteforce_and_beats_random() {
         })
         .collect();
     axes.push(vec![1, 5, 10, 20, 40]);
-    let brute = grid_search_points(&ev, &batch, cartesian_axes(&axes));
+    let mut grid_session = TuningSession::new(space.clone(), &ev).with_batch(batch);
+    let brute = grid_session.run(&GridTuner::from_points(cartesian_axes(&axes)));
     let (ideal, nadir) = objective_bounds(brute.front.points());
     let hv = |pts: &[moat::core::Point]| hypervolume(&normalize_front(pts, &ideal, &nadir));
 
@@ -60,15 +62,21 @@ fn rsgde3_uses_fraction_of_bruteforce_and_beats_random() {
     let mut v_rnd = 0.0;
     let mut rs_evals = 0;
     for seed in 0..SEEDS {
-        let rs = RsGde3::new(space.clone(), RsGde3Params { seed, ..Default::default() })
-            .run(&ev, &batch);
+        let mut rs_session = TuningSession::new(space.clone(), &ev).with_batch(batch);
+        let rs = rs_session.run(&RsGde3Tuner::new(RsGde3Params {
+            seed,
+            ..Default::default()
+        }));
         assert!(
             (rs.evaluations as f64) < 0.25 * brute.evaluations as f64,
             "RS-GDE3 must need far fewer evaluations: {} vs {}",
             rs.evaluations,
             brute.evaluations
         );
-        let rnd = random_search(&space, &ev, &batch, rs.evaluations, seed);
+        let mut rnd_session = TuningSession::new(space.clone(), &ev)
+            .with_batch(batch)
+            .with_budget(rs.evaluations);
+        let rnd = rnd_session.run(&RandomTuner::new(seed));
         v_rs += hv(rs.front.points()) / SEEDS as f64;
         v_rnd += hv(rnd.front.points()) / SEEDS as f64;
         rs_evals += rs.evaluations;
@@ -92,12 +100,24 @@ fn front_spans_the_efficiency_spectrum() {
     let fx = Fixture::new();
     let ev = fx.evaluator();
     let space = ir_space(&fx.region.skeletons[0]);
-    let rs = RsGde3::new(space, RsGde3Params::default()).run(&ev, &BatchEval::sequential());
-    let threads: Vec<i64> = rs.front.points().iter().map(|p| *p.config.last().unwrap()).collect();
+    let mut session = TuningSession::new(space, &ev).with_batch(BatchEval::sequential());
+    let rs = session.run(&RsGde3Tuner::new(RsGde3Params::default()));
+    let threads: Vec<i64> = rs
+        .front
+        .points()
+        .iter()
+        .map(|p| *p.config.last().unwrap())
+        .collect();
     let min = threads.iter().min().unwrap();
     let max = threads.iter().max().unwrap();
-    assert!(*min <= 4, "front must contain an efficient low-thread version: {threads:?}");
-    assert!(*max >= 20, "front must contain a fast high-thread version: {threads:?}");
+    assert!(
+        *min <= 4,
+        "front must contain an efficient low-thread version: {threads:?}"
+    );
+    assert!(
+        *max >= 20,
+        "front must contain a fast high-thread version: {threads:?}"
+    );
 }
 
 #[test]
@@ -112,13 +132,20 @@ fn parameter_constraints_shape_the_front() {
         8 * (cfg[0] * cfg[2] + cfg[2] * cfg[1] + cfg[0] * cfg[1])
     };
     let limit = 256 * 1024;
-    let constrained = moat::core::ConstrainedEvaluator::new(&ev)
-        .with(move |cfg| tile_bytes(cfg) <= limit);
+    let constrained =
+        moat::core::ConstrainedEvaluator::new(&ev).with(move |cfg| tile_bytes(cfg) <= limit);
     let space = ir_space(&fx.region.skeletons[0]);
-    let params = RsGde3Params { max_generations: 15, ..Default::default() };
-    let result = RsGde3::new(space, params).run(&constrained, &BatchEval::sequential());
+    let params = RsGde3Params {
+        max_generations: 15,
+        ..Default::default()
+    };
+    let mut session = TuningSession::new(space, &constrained).with_batch(BatchEval::sequential());
+    let result = session.run(&RsGde3Tuner::new(params));
     assert!(!result.front.is_empty());
-    assert!(constrained.rejections() > 0, "the constraint must actually bind");
+    assert!(
+        constrained.rejections() > 0,
+        "the constraint must actually bind"
+    );
     for p in result.front.points() {
         assert!(
             tile_bytes(&p.config) <= limit,

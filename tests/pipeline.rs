@@ -68,26 +68,36 @@ fn runtime_policies_pick_consistent_versions() {
     let meta = tuned.table.runtime_meta();
     let ctx = SelectionContext::default();
     let fastest = SelectionPolicy::FastestTime.select(&meta, &ctx).unwrap();
-    let frugal = SelectionPolicy::LowestResources.select(&meta, &ctx).unwrap();
+    let frugal = SelectionPolicy::LowestResources
+        .select(&meta, &ctx)
+        .unwrap();
     assert_eq!(fastest, 0, "table is sorted fastest-first");
     // The frugal pick must not use more threads than the fastest pick.
     assert!(meta[frugal].threads <= meta[fastest].threads);
     // Weighted-sum extremes coincide with the dedicated policies.
-    let w_time = SelectionPolicy::WeightedSum { weights: vec![1.0, 0.0] }
-        .select(&meta, &ctx)
-        .unwrap();
+    let w_time = SelectionPolicy::WeightedSum {
+        weights: vec![1.0, 0.0],
+    }
+    .select(&meta, &ctx)
+    .unwrap();
     assert_eq!(meta[w_time].objectives[0], meta[fastest].objectives[0]);
-    let w_res = SelectionPolicy::WeightedSum { weights: vec![0.0, 1.0] }
-        .select(&meta, &ctx)
-        .unwrap();
+    let w_res = SelectionPolicy::WeightedSum {
+        weights: vec![0.0, 1.0],
+    }
+    .select(&meta, &ctx)
+    .unwrap();
     assert_eq!(meta[w_res].objectives[1], meta[frugal].objectives[1]);
 }
 
 #[test]
 fn machines_yield_different_tunings() {
     // The whole point of auto-tuning: different targets, different optima.
-    let a = quick(MachineDesc::westmere()).tune(Kernel::Mm.region(256)).unwrap();
-    let b = quick(MachineDesc::barcelona()).tune(Kernel::Mm.region(256)).unwrap();
+    let a = quick(MachineDesc::westmere())
+        .tune(Kernel::Mm.region(256))
+        .unwrap();
+    let b = quick(MachineDesc::barcelona())
+        .tune(Kernel::Mm.region(256))
+        .unwrap();
     assert_ne!(
         a.table.versions, b.table.versions,
         "Westmere and Barcelona must not produce identical version tables"

@@ -4,7 +4,7 @@
 
 use moat::kernels::data::{max_abs_diff, seeded_vec};
 use moat::kernels::native::{jacobi2d_naive, jacobi2d_tiled, mm_naive, mm_tiled};
-use moat::multiversion::{NativeRegion, VersionTable};
+use moat::multiversion::{NativeRegion, VersionImpl, VersionTable};
 use moat::{Pool, SelectionContext, SelectionPolicy};
 use moat_core::pareto::{ParetoFront, Point};
 use moat_ir::{ParamDecl, ParamDomain, Skeleton};
@@ -43,16 +43,19 @@ fn all_versions_compute_the_same_result() {
         b: Vec<f64>,
         c: Vec<f64>,
     }
-    let impls: Vec<Box<dyn Fn(&mut Data) + Sync>> = table
+    let impls: Vec<VersionImpl<Data>> = table
         .versions
         .iter()
         .map(|v| {
-            let (ti, tj, tk, th) =
-                (v.values[0] as usize, v.values[1] as usize, v.values[2] as usize, v.threads);
+            let (ti, tj, tk, th) = (
+                v.values[0] as usize,
+                v.values[1] as usize,
+                v.values[2] as usize,
+                v.threads,
+            );
             let pool = &pool;
-            Box::new(move |d: &mut Data| {
-                mm_tiled(pool, 40, &d.a, &d.b, &mut d.c, (ti, tj, tk), th)
-            }) as Box<dyn Fn(&mut Data) + Sync>
+            Box::new(move |d: &mut Data| mm_tiled(pool, 40, &d.a, &d.b, &mut d.c, (ti, tj, tk), th))
+                as Box<dyn Fn(&mut Data) + Sync>
         })
         .collect();
     let region = NativeRegion::new(&table, impls);
@@ -61,10 +64,16 @@ fn all_versions_compute_the_same_result() {
     for policy in [
         SelectionPolicy::FastestTime,
         SelectionPolicy::LowestResources,
-        SelectionPolicy::WeightedSum { weights: vec![0.3, 0.7] },
+        SelectionPolicy::WeightedSum {
+            weights: vec![0.3, 0.7],
+        },
         SelectionPolicy::FitThreads,
     ] {
-        let mut data = Data { a: a.clone(), b: b.clone(), c: vec![0.0; n * n] };
+        let mut data = Data {
+            a: a.clone(),
+            b: b.clone(),
+            c: vec![0.0; n * n],
+        };
         let idx = region.invoke(&policy, &ctx, &mut data).unwrap();
         assert!(
             max_abs_diff(&reference, &data.c) < 1e-9,
@@ -78,7 +87,7 @@ fn all_versions_compute_the_same_result() {
 fn stats_track_policy_distribution() {
     let pool = Pool::new(2);
     let table = mm_table();
-    let impls: Vec<Box<dyn Fn(&mut ()) + Sync>> = (0..table.len())
+    let impls: Vec<VersionImpl<()>> = (0..table.len())
         .map(|_| {
             let pool = &pool;
             Box::new(move |_: &mut ()| {
@@ -120,14 +129,15 @@ fn jacobi_region_under_thread_cap() {
         Point::new(vec![8, 8, 4], vec![1.0, 4.0]),
         Point::new(vec![16, 16, 1], vec![3.0, 3.0]),
     ]);
-    let table = VersionTable::from_front("jacobi", &sk, &front, vec!["t".into(), "r".into()], Some(2));
+    let table =
+        VersionTable::from_front("jacobi", &sk, &front, vec!["t".into(), "r".into()], Some(2));
 
     let pool = Pool::new(4);
     struct Data {
         a: Vec<f64>,
         b: Vec<f64>,
     }
-    let impls: Vec<Box<dyn Fn(&mut Data) + Sync>> = table
+    let impls: Vec<VersionImpl<Data>> = table
         .versions
         .iter()
         .map(|v| {
@@ -141,9 +151,16 @@ fn jacobi_region_under_thread_cap() {
 
     // With only one thread available, FitThreads must select the serial
     // version.
-    let ctx = SelectionContext { available_threads: Some(1) };
-    let mut data = Data { a: a.clone(), b: vec![0.0; n * n] };
-    let idx = region.invoke(&SelectionPolicy::FitThreads, &ctx, &mut data).unwrap();
+    let ctx = SelectionContext {
+        available_threads: Some(1),
+    };
+    let mut data = Data {
+        a: a.clone(),
+        b: vec![0.0; n * n],
+    };
+    let idx = region
+        .invoke(&SelectionPolicy::FitThreads, &ctx, &mut data)
+        .unwrap();
     assert_eq!(region.meta[idx].threads, 1);
     assert!(max_abs_diff(&reference, &data.b) < 1e-12);
 }

@@ -1,0 +1,134 @@
+//! Offline stand-in for the subset of `criterion` 0.5 used by this
+//! workspace's micro-benchmarks. It keeps the `Criterion`/`Bencher` API and
+//! the `criterion_group!`/`criterion_main!` macros, but replaces the
+//! statistical machinery with a fixed warmup + timed-run loop that prints a
+//! median per-iteration time. Good enough to exercise the bench targets in
+//! CI and give ballpark numbers; not a statistics engine.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized; accepted for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Measurement context handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { samples: Vec::new(), iters_per_sample: 1 }
+    }
+
+    /// Time `routine` over several samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: aim for ~2 ms per sample, capped for slow routines.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        self.iters_per_sample =
+            (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` with a fresh `setup()` input each iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.iters_per_sample = 1;
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut ns: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if ns.is_empty() {
+            0.0
+        } else {
+            ns[ns.len() / 2]
+        }
+    }
+}
+
+const SAMPLES: usize = 11;
+
+/// Benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let ns = b.median_ns();
+        let (value, unit) = if ns >= 1e9 {
+            (ns / 1e9, "s")
+        } else if ns >= 1e6 {
+            (ns / 1e6, "ms")
+        } else if ns >= 1e3 {
+            (ns / 1e3, "µs")
+        } else {
+            (ns, "ns")
+        };
+        println!("{name:<40} median {value:>10.3} {unit}/iter");
+        self
+    }
+}
+
+/// Define a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

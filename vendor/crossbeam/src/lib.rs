@@ -1,0 +1,76 @@
+//! Offline stand-in for the subset of `crossbeam` used by this workspace:
+//! `channel::{unbounded, Sender, Receiver}`. Backed by `std::sync::mpsc`
+//! (whose `Sender` has been `Sync` since Rust 1.72, matching crossbeam's
+//! sharing semantics for this workload: one channel per worker, receiver
+//! moved into the worker thread).
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels (crossbeam's flat `channel` module).
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`; fails only if the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives; fails once all senders are dropped
+        /// and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let h = std::thread::spawn(move || {
+            let mut sum = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            sum
+        });
+        for i in 1..=10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(h.join().unwrap(), 55);
+    }
+}

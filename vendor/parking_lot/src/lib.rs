@@ -1,0 +1,138 @@
+//! Offline stand-in for the subset of `parking_lot` used by this workspace:
+//! `Mutex` (panic-free, non-poisoning `lock()`) and `Condvar` (waits on a
+//! `&mut MutexGuard`). Backed by `std::sync` primitives; poison errors are
+//! swallowed, matching parking_lot's non-poisoning semantics.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly
+/// (no poisoning), mirroring `parking_lot::Mutex`.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex guarding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex and return its inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard { inner: Some(guard) }
+    }
+
+    /// Get a mutable reference to the inner value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// The inner `Option` exists only so [`Condvar::wait`] can temporarily take
+/// the `std` guard by value; it is always `Some` outside that window.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`], mirroring
+/// `parking_lot::Condvar`.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Atomically release the lock and wait; the lock is re-acquired before
+    /// returning. Spurious wakeups are possible, as with any condvar.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard taken during wait");
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn condvar_signals_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline stand-in for `serde` as used by this workspace.
+//!
+//! The real serde crates cannot be downloaded in this build environment, so
+//! this crate provides a simpler value-tree model under the same crate and
+//! trait names: [`Serialize`] lowers a type to a [`Value`], [`Deserialize`]
+//! rebuilds it. The `derive` feature re-exports `#[derive(Serialize,
+//! Deserialize)]` proc-macros generating impls of these traits. The
+//! workspace's `serde_json` stand-in serializes/parses the [`Value`] tree,
+//! so the externally visible behaviour (JSON round-trips of plain data
+//! types) matches what the real stack produced.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A self-describing data tree, the interchange format between
+/// [`Serialize`], [`Deserialize`], and the `serde_json` stand-in.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// View as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// View as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Build an error from any displayable message.
+    pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        DeError { message: msg.to_string() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves to a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into the interchange tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self`; `Value::Null` is offered for missing map fields so
+    /// `Option<T>` fields default to `None`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Fetch and deserialize map field `key`, offering `Null` when absent
+/// (used by derived `Deserialize` impls).
+pub fn from_field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| DeError::custom(format!("field `{key}`: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::custom(format!("missing field `{key}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {}", other.type_name()))),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let out = match v {
+                    Value::Int(i) => <$t>::try_from(*i).ok(),
+                    Value::UInt(u) => <$t>::try_from(*u).ok(),
+                    Value::Float(f) if f.fract() == 0.0 => <$t>::try_from(*f as i64).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    DeError::custom(format!(
+                        "expected {}, got {}", stringify!($t), v.type_name()
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(DeError::custom(format!(
+                        "expected {}, got {}", stringify!($t), other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::custom(format!("expected char, got {}", other.type_name()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!("expected sequence, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:literal)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let seq = v.as_seq().ok_or_else(|| {
+                    DeError::custom(format!("expected sequence, got {}", v.type_name()))
+                })?;
+                if seq.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {}, got sequence of {}", $len, seq.len()
+                    )));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!(
+    (A: 0; 1),
+    (A: 0, B: 1; 2),
+    (A: 0, B: 1, C: 2; 3),
+    (A: 0, B: 1, C: 2, D: 3; 4),
+);
+
+/// Render a serialized key as a JSON map key, as serde_json does:
+/// strings stay themselves, integers become their decimal text.
+fn key_to_string(v: &Value) -> Result<String, DeError> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Int(i) => Ok(i.to_string()),
+        Value::UInt(u) => Ok(u.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(DeError::custom(format!("map key must be scalar, got {}", other.type_name()))),
+    }
+}
+
+/// Rebuild a key from its JSON map-key string: offered first as a string,
+/// then (if numeric) as an integer, so both `String` and newtype-integer
+/// keys round-trip.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_value(&Value::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Int(i)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = s.parse::<bool>() {
+        if let Ok(k) = K::from_value(&Value::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::custom(format!("cannot rebuild map key from `{s}`")))
+}
+
+macro_rules! impl_serde_map {
+    ($($map:ident),*) => {$(
+        impl<K: Serialize, V: Serialize> Serialize for $map<K, V> {
+            fn to_value(&self) -> Value {
+                let mut entries: Vec<(String, Value)> = self
+                    .iter()
+                    .map(|(k, v)| {
+                        let key = key_to_string(&k.to_value())
+                            .expect("unsupported map key type");
+                        (key, v.to_value())
+                    })
+                    .collect();
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                Value::Map(entries)
+            }
+        }
+
+        impl<K: Deserialize + Ord + std::hash::Hash + Eq, V: Deserialize> Deserialize
+            for $map<K, V>
+        {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Map(m) => m
+                        .iter()
+                        .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                        .collect(),
+                    other => Err(DeError::custom(format!(
+                        "expected map, got {}", other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_map!(HashMap, BTreeMap);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

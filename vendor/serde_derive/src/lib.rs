@@ -1,0 +1,436 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` generating impls of the serde stand-in's
+//! value-tree traits. The item is parsed directly from the token stream (no
+//! `syn`/`quote`, which are equally unavailable offline), covering the shapes
+//! this workspace derives on: plain structs (named, tuple, unit) and enums
+//! with unit / tuple / struct variants, no generics. The encoding mirrors
+//! serde's externally-tagged defaults so the JSON output looks like what the
+//! real stack would produce.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+// ---------------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (doc comments arrive as attributes too).
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2;
+    }
+    // Skip visibility.
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let item_kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("`{name}`: generic types are not supported by the offline serde_derive stand-in"));
+    }
+
+    match item_kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input { name, kind: Kind::Struct(parse_named_fields(g.stream())?) })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Input { name, kind: Kind::TupleStruct(count_top_level_items(g.stream())) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Input { name, kind: Kind::UnitStruct })
+            }
+            other => Err(format!("`{name}`: unexpected struct body {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input { name, kind: Kind::Enum(parse_variants(g.stream())?) })
+            }
+            other => Err(format!("`{name}`: unexpected enum body {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, got `{other}`")),
+    }
+}
+
+/// Extract field names from the contents of a named-fields brace group.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(tok) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("expected field name, got {tok:?}"));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        if !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{}`", fields.last().unwrap()));
+        }
+        i += 1;
+        // Skip the type: consume until a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Count comma-separated items at the top level of a token stream
+/// (commas nested inside angle brackets or groups don't count).
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut pending = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if pending {
+                        count += 1;
+                    }
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(tok) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("expected variant name, got {tok:?}"));
+        };
+        let name = id.to_string();
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantBody::Unit,
+        };
+        variants.push(Variant { name, body });
+        // Skip any discriminant up to the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ "
+    );
+    match &input.kind {
+        Kind::UnitStruct => out.push_str("::serde::Value::Null"),
+        Kind::TupleStruct(1) => out.push_str("::serde::Serialize::to_value(&self.0)"),
+        Kind::TupleStruct(n) => {
+            out.push_str("::serde::Value::Seq(::std::vec::Vec::from([");
+            for idx in 0..*n {
+                let _ = write!(out, "::serde::Serialize::to_value(&self.{idx}),");
+            }
+            out.push_str("]))");
+        }
+        Kind::Struct(fields) => {
+            out.push_str("::serde::Value::Map(::std::vec::Vec::from([");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            out.push_str("]))");
+        }
+        Kind::Enum(variants) => {
+            out.push_str("match self { ");
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    VariantBody::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantBody::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let _ = write!(out, "{name}::{vn}({}) => ", binders.join(","));
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec::Vec::from([{}]))", elems.join(","))
+                        };
+                        let _ = write!(
+                            out,
+                            "::serde::Value::Map(::std::vec::Vec::from([(::std::string::String::from(\"{vn}\"), {inner})])),"
+                        );
+                    }
+                    VariantBody::Struct(fields) => {
+                        let _ = write!(out, "{name}::{vn} {{ {} }} => ", fields.join(","));
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "::serde::Value::Map(::std::vec::Vec::from([(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(::std::vec::Vec::from([{}])))])),",
+                            entries.join(",")
+                        );
+                    }
+                }
+            }
+            out.push_str(" }");
+        }
+    }
+    out.push_str(" } }");
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ "
+    );
+    let expected_map = format!(
+        "v.as_map().ok_or_else(|| ::serde::DeError::custom(\"{name}: expected map\"))?"
+    );
+    match &input.kind {
+        Kind::UnitStruct => {
+            let _ = write!(out, "let _ = v; ::std::result::Result::Ok({name})");
+        }
+        Kind::TupleStruct(1) => {
+            let _ = write!(
+                out,
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+            );
+        }
+        Kind::TupleStruct(n) => {
+            let _ = write!(
+                out,
+                "let s = v.as_seq().ok_or_else(|| ::serde::DeError::custom(\"{name}: expected sequence\"))?; \
+                 if s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"{name}: wrong tuple length\")); }} \
+                 ::std::result::Result::Ok({name}("
+            );
+            for idx in 0..*n {
+                let _ = write!(out, "::serde::Deserialize::from_value(&s[{idx}])?,");
+            }
+            out.push_str("))");
+        }
+        Kind::Struct(fields) => {
+            let _ = write!(out, "let m = {expected_map}; ::std::result::Result::Ok({name} {{ ");
+            for f in fields {
+                let _ = write!(out, "{f}: ::serde::from_field(m, \"{f}\")?,");
+            }
+            out.push_str(" })");
+        }
+        Kind::Enum(variants) => {
+            // Unit variants arrive as bare strings.
+            out.push_str("if let ::std::option::Option::Some(s) = v.as_str() { match s { ");
+            for v in variants {
+                if matches!(v.body, VariantBody::Unit) {
+                    let vn = &v.name;
+                    let _ = write!(
+                        out,
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),"
+                    );
+                }
+            }
+            let _ = write!(
+                out,
+                "other => return ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"{name}: unknown variant `{{other}}`\"))), }} }} "
+            );
+            let _ = write!(
+                out,
+                "let m = {expected_map}; \
+                 let (k, inner) = m.first().ok_or_else(|| ::serde::DeError::custom(\
+                 \"{name}: expected externally tagged variant\"))?; \
+                 match k.as_str() {{ "
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    VariantBody::Unit => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => {{ let _ = inner; ::std::result::Result::Ok({name}::{vn}) }},"
+                        );
+                    }
+                    VariantBody::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        );
+                    }
+                    VariantBody::Tuple(n) => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => {{ \
+                             let s = inner.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                             \"{name}::{vn}: expected sequence\"))?; \
+                             if s.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::custom(\"{name}::{vn}: wrong tuple length\")); }} \
+                             ::std::result::Result::Ok({name}::{vn}("
+                        );
+                        for idx in 0..*n {
+                            let _ = write!(out, "::serde::Deserialize::from_value(&s[{idx}])?,");
+                        }
+                        out.push_str(")) },");
+                    }
+                    VariantBody::Struct(fields) => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => {{ \
+                             let mm = inner.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                             \"{name}::{vn}: expected map\"))?; \
+                             ::std::result::Result::Ok({name}::{vn} {{ "
+                        );
+                        for f in fields {
+                            let _ = write!(out, "{f}: ::serde::from_field(mm, \"{f}\")?,");
+                        }
+                        out.push_str(" }) },");
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"{name}: unknown variant `{{other}}`\"))), }}"
+            );
+        }
+    }
+    out.push_str(" } }");
+    out
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive stand-in generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error emission failed"),
+    }
+}
+
+/// Derive the serde stand-in's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive the serde stand-in's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
