@@ -1,0 +1,111 @@
+//! Content-address of one tuning problem: (skeleton, space, machine).
+
+use moat_core::ParamSpace;
+use moat_ir::Skeleton;
+use moat_machine::MachineDesc;
+use serde::{Deserialize, Serialize};
+
+/// Content-address of a stored tuning result: the stable fingerprints of
+/// the transformation skeleton, the parameter-space shape and the machine.
+///
+/// Two tuning runs share a key exactly when their results are
+/// interchangeable: same transformation structure, same tunable dimensions
+/// and same performance-relevant machine description. Any change to one of
+/// the three yields a different key (and the machine component is what the
+/// nearest-machine transfer relaxes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArchiveKey {
+    /// [`Skeleton::signature`] — transformation structure + parameter
+    /// declarations.
+    pub skeleton: u64,
+    /// [`ParamSpace::signature`] — dimension names and domains.
+    pub space: u64,
+    /// [`MachineDesc::fingerprint`] — the performance-relevant machine
+    /// features.
+    pub machine: u64,
+}
+
+impl ArchiveKey {
+    /// Key from raw fingerprints.
+    pub fn new(skeleton: u64, space: u64, machine: u64) -> Self {
+        ArchiveKey {
+            skeleton,
+            space,
+            machine,
+        }
+    }
+
+    /// Key of a concrete tuning problem.
+    pub fn of(skeleton: &Skeleton, space: &ParamSpace, machine: &MachineDesc) -> Self {
+        ArchiveKey {
+            skeleton: skeleton.signature(),
+            space: space.signature(),
+            machine: machine.fingerprint(),
+        }
+    }
+
+    /// Canonical textual id: three fixed-width hex fields, also the
+    /// on-disk file stem (`<skeleton>-<space>-<machine>`).
+    pub fn id(&self) -> String {
+        format!(
+            "{:016x}-{:016x}-{:016x}",
+            self.skeleton, self.space, self.machine
+        )
+    }
+
+    /// Parse a textual id produced by [`id`](Self::id).
+    pub fn parse_id(s: &str) -> Option<ArchiveKey> {
+        let mut parts = s.split('-');
+        let skeleton = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let space = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let machine = u64::from_str_radix(parts.next()?, 16).ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(ArchiveKey {
+            skeleton,
+            space,
+            machine,
+        })
+    }
+
+    /// The same problem on a different machine.
+    pub fn on_machine(&self, machine: u64) -> ArchiveKey {
+        ArchiveKey { machine, ..*self }
+    }
+
+    /// True if `other` solves the same problem (skeleton + space),
+    /// regardless of machine — the candidate set for transfer.
+    pub fn same_problem(&self, other: &ArchiveKey) -> bool {
+        self.skeleton == other.skeleton && self.space == other.space
+    }
+}
+
+impl std::fmt::Display for ArchiveKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let k = ArchiveKey::new(0x1234, u64::MAX, 7);
+        assert_eq!(ArchiveKey::parse_id(&k.id()), Some(k));
+        assert_eq!(k.id().len(), 3 * 16 + 2);
+        assert_eq!(ArchiveKey::parse_id("nope"), None);
+        assert_eq!(ArchiveKey::parse_id("0-1-2-3"), None);
+        assert_eq!(ArchiveKey::parse_id(""), None);
+    }
+
+    #[test]
+    fn same_problem_ignores_machine() {
+        let a = ArchiveKey::new(1, 2, 3);
+        assert!(a.same_problem(&a.on_machine(99)));
+        assert!(!a.same_problem(&ArchiveKey::new(1, 9, 3)));
+        assert!(!a.same_problem(&ArchiveKey::new(9, 2, 3)));
+    }
+}

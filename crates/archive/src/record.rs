@@ -1,0 +1,323 @@
+//! One archive entry: a canonicalized Pareto front plus its provenance.
+
+use crate::key::ArchiveKey;
+use crate::store::ArchiveError;
+use moat_core::metrics::{hypervolume, normalize_front, objective_bounds};
+use moat_core::{ParamSpace, ParetoFront, Point, TuningReport, WarmStart};
+use moat_ir::Skeleton;
+use moat_machine::{MachineDesc, MachineFeatures};
+use serde::{Deserialize, Serialize};
+
+/// On-disk format version. Bump on any change to the record layout that an
+/// older reader would misinterpret; readers reject records from the future
+/// and accept records from the past (see EXPERIMENTS.md for the policy).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Counts returned by a front merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Points that entered the merged front.
+    pub inserted: usize,
+    /// Points rejected as dominated or duplicate.
+    pub rejected: usize,
+}
+
+/// One stored tuning result: the non-dominated front for one
+/// [`ArchiveKey`], plus enough provenance (names, machine features,
+/// evaluation counts) to present, transfer and re-load it.
+///
+/// The `front` is kept *canonical*: non-dominated (dominance-aware dedup on
+/// every merge) and sorted by objective vector, so equal fronts serialize
+/// to byte-identical JSON and merging is idempotent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchiveRecord {
+    /// On-disk format version ([`FORMAT_VERSION`] at write time).
+    pub format_version: u32,
+    /// Content-address of the tuning problem.
+    pub key: ArchiveKey,
+    /// Region name (presentation only; not part of the key).
+    pub region: String,
+    /// Skeleton name (presentation only).
+    pub skeleton: String,
+    /// Feature vector of the machine the front was measured on — the
+    /// basis for nearest-machine transfer.
+    pub machine: MachineFeatures,
+    /// Parameter names, index-aligned with each point's configuration.
+    pub param_names: Vec<String>,
+    /// Objective names, index-aligned with each point's objectives.
+    pub objective_names: Vec<String>,
+    /// Total fresh evaluations spent producing this front (summed over
+    /// merged-in runs).
+    pub evaluations: u64,
+    /// Number of tuning runs merged into this record.
+    pub runs: u32,
+    /// The canonicalized non-dominated front.
+    pub front: Vec<Point>,
+}
+
+impl ArchiveRecord {
+    /// Record a finished tuning run.
+    pub fn from_report(
+        region: impl Into<String>,
+        skeleton: &Skeleton,
+        space: &ParamSpace,
+        machine: &MachineDesc,
+        objective_names: Vec<String>,
+        report: &TuningReport,
+    ) -> Self {
+        let mut rec = ArchiveRecord {
+            format_version: FORMAT_VERSION,
+            key: ArchiveKey::of(skeleton, space, machine),
+            region: region.into(),
+            skeleton: skeleton.name.clone(),
+            machine: machine.features(),
+            param_names: space.names.clone(),
+            objective_names,
+            evaluations: report.evaluations,
+            runs: 1,
+            front: report.front.points().to_vec(),
+        };
+        rec.canonicalize();
+        rec
+    }
+
+    /// Merge `points` into the front with dominance-aware deduplication,
+    /// then restore canonical order. Dominated or duplicate points are
+    /// rejected; points dominating incumbents evict them.
+    pub fn merge_points(&mut self, points: &[Point]) -> MergeStats {
+        let mut front = ParetoFront::from_points(self.front.drain(..));
+        let before = front.len();
+        let mut stats = MergeStats::default();
+        for p in points {
+            if front.insert(p.clone()) {
+                stats.inserted += 1;
+            } else {
+                stats.rejected += 1;
+            }
+        }
+        // Evictions shrink the count below `before + inserted`; that is
+        // fine — `inserted` counts acceptances, not net growth.
+        let _ = before;
+        self.front = front.points().to_vec();
+        self.canonicalize();
+        stats
+    }
+
+    /// Merge another record for the same key into this one: fronts are
+    /// merged with dominance dedup, evaluation counts and run counts are
+    /// summed. Fails on key/format/name mismatches (merging fronts with
+    /// different parameter or objective meanings would corrupt the entry).
+    pub fn merge(&mut self, other: &ArchiveRecord) -> Result<MergeStats, ArchiveError> {
+        if other.format_version > FORMAT_VERSION {
+            return Err(ArchiveError::Format(format!(
+                "record format v{} is newer than supported v{FORMAT_VERSION}",
+                other.format_version
+            )));
+        }
+        if other.key != self.key {
+            return Err(ArchiveError::Format(format!(
+                "key mismatch: {} vs {}",
+                other.key, self.key
+            )));
+        }
+        if other.param_names != self.param_names || other.objective_names != self.objective_names {
+            return Err(ArchiveError::Format(format!(
+                "name mismatch for key {}: params {:?} vs {:?}, objectives {:?} vs {:?}",
+                self.key,
+                other.param_names,
+                self.param_names,
+                other.objective_names,
+                self.objective_names
+            )));
+        }
+        self.evaluations += other.evaluations;
+        self.runs += other.runs;
+        Ok(self.merge_points(&other.front))
+    }
+
+    /// Sort the front by objective vector (then configuration) so that
+    /// equal fronts have equal serialized bytes.
+    pub fn canonicalize(&mut self) {
+        self.front.sort_by(|a, b| {
+            let by_obj = a
+                .objectives
+                .iter()
+                .zip(&b.objectives)
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal);
+            by_obj.then_with(|| a.config.cmp(&b.config))
+        });
+    }
+
+    /// Warm start for a session on the *same* machine: archived objective
+    /// values are trusted, so every point both seeds the population and
+    /// primes the evaluation cache (free re-use).
+    pub fn warm_start(&self) -> WarmStart {
+        WarmStart::exact(&self.front)
+    }
+
+    /// Warm start for a session on a *different* machine: only the
+    /// configurations transfer; they are re-evaluated there (and pay
+    /// budget).
+    pub fn transfer_warm_start(&self) -> WarmStart {
+        WarmStart::transfer(&self.front)
+    }
+
+    /// Hypervolume of the front normalized by its own bounds (0.0 for
+    /// empty or degenerate single-point fronts). Presentation metric for
+    /// the CLI; merges are compared under *fixed* bounds in tests instead.
+    pub fn self_hypervolume(&self) -> f64 {
+        if self.front.is_empty() {
+            return 0.0;
+        }
+        let (ideal, nadir) = objective_bounds(&self.front);
+        hypervolume(&normalize_front(&self.front, &ideal, &nadir))
+    }
+
+    /// Pretty JSON (canonical: the front is kept sorted, field order is
+    /// fixed by the struct).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("record serialization cannot fail")
+    }
+
+    /// Parse a record, rejecting formats newer than this reader.
+    pub fn from_json(s: &str) -> Result<ArchiveRecord, ArchiveError> {
+        let rec: ArchiveRecord =
+            serde_json::from_str(s).map_err(|e| ArchiveError::Format(e.to_string()))?;
+        if rec.format_version > FORMAT_VERSION {
+            return Err(ArchiveError::Format(format!(
+                "record format v{} is newer than supported v{FORMAT_VERSION}",
+                rec.format_version
+            )));
+        }
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(points: Vec<Point>) -> ArchiveRecord {
+        let mut rec = ArchiveRecord {
+            format_version: FORMAT_VERSION,
+            key: ArchiveKey::new(1, 2, 3),
+            region: "mm".into(),
+            skeleton: "tile3".into(),
+            machine: MachineDesc::westmere().features(),
+            param_names: vec!["ti".into(), "threads".into()],
+            objective_names: vec!["time".into(), "resources".into()],
+            evaluations: 10,
+            runs: 1,
+            front: Vec::new(),
+        };
+        rec.merge_points(&points);
+        rec
+    }
+
+    #[test]
+    fn merge_points_dedups_by_dominance() {
+        let mut rec = record(vec![
+            Point::new(vec![1, 1], vec![1.0, 9.0]),
+            Point::new(vec![2, 1], vec![9.0, 1.0]),
+        ]);
+        let stats = rec.merge_points(&[
+            Point::new(vec![3, 1], vec![0.5, 8.0]), // dominates the first
+            Point::new(vec![4, 1], vec![9.5, 2.0]), // dominated
+            Point::new(vec![5, 1], vec![5.0, 5.0]), // new tradeoff
+        ]);
+        assert_eq!(stats.inserted, 2);
+        assert_eq!(stats.rejected, 1);
+        let objs: Vec<&[f64]> = rec.front.iter().map(|p| p.objectives.as_slice()).collect();
+        assert!(objs.contains(&[0.5, 8.0][..].into()));
+        assert!(!objs.contains(&[1.0, 9.0][..].into()), "evicted");
+        assert!(!objs.contains(&[9.5, 2.0][..].into()), "rejected");
+        assert_eq!(rec.front.len(), 3);
+    }
+
+    #[test]
+    fn canonical_order_makes_json_stable() {
+        let a = record(vec![
+            Point::new(vec![2, 1], vec![9.0, 1.0]),
+            Point::new(vec![1, 1], vec![1.0, 9.0]),
+        ]);
+        let b = record(vec![
+            Point::new(vec![1, 1], vec![1.0, 9.0]),
+            Point::new(vec![2, 1], vec![9.0, 1.0]),
+        ]);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(
+            a.front[0].objectives,
+            vec![1.0, 9.0],
+            "sorted by objectives"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_byte_identical() {
+        let rec = record(vec![
+            Point::new(vec![16, 10], vec![0.1, 3.5]),
+            Point::new(vec![32, 5], vec![0.25, 2.0]),
+        ]);
+        let json = rec.to_json();
+        let back = ArchiveRecord::from_json(&json).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = record(vec![
+            Point::new(vec![1, 1], vec![1.0, 9.0]),
+            Point::new(vec![2, 1], vec![9.0, 1.0]),
+        ]);
+        let snapshot = a.clone();
+        let stats = a.merge_points(&snapshot.front);
+        assert_eq!(stats.inserted, 0);
+        assert_eq!(stats.rejected, snapshot.front.len());
+        assert_eq!(a.front, snapshot.front);
+        assert_eq!(a.to_json(), snapshot.to_json());
+    }
+
+    #[test]
+    fn merge_validates_key_and_names() {
+        let mut a = record(vec![Point::new(vec![1, 1], vec![1.0, 2.0])]);
+        let mut b = a.clone();
+        b.key = ArchiveKey::new(9, 9, 9);
+        assert!(a.merge(&b).is_err());
+        let mut c = record(vec![]);
+        c.objective_names = vec!["time".into(), "energy".into()];
+        assert!(a.merge(&c).is_err());
+        let mut d = record(vec![Point::new(vec![3, 1], vec![0.5, 5.0])]);
+        d.evaluations = 7;
+        let stats = a.merge(&d).unwrap();
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(a.evaluations, 17);
+        assert_eq!(a.runs, 2);
+    }
+
+    #[test]
+    fn future_format_rejected() {
+        let mut rec = record(vec![]);
+        rec.format_version = FORMAT_VERSION + 1;
+        let json = rec.to_json();
+        assert!(ArchiveRecord::from_json(&json).is_err());
+        let mut current = record(vec![]);
+        assert!(current.merge(&rec).is_err());
+    }
+
+    #[test]
+    fn warm_start_kinds() {
+        let rec = record(vec![
+            Point::new(vec![1, 1], vec![1.0, 9.0]),
+            Point::new(vec![2, 1], vec![9.0, 1.0]),
+        ]);
+        let exact = rec.warm_start();
+        assert_eq!(exact.seeds.len(), 2);
+        assert_eq!(exact.hints.len(), 2);
+        let transfer = rec.transfer_warm_start();
+        assert_eq!(transfer.seeds.len(), 2);
+        assert!(transfer.hints.is_empty());
+    }
+}

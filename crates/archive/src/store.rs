@@ -1,0 +1,487 @@
+//! On-disk archive: one JSON file per [`ArchiveKey`], atomic merges.
+
+use crate::key::ArchiveKey;
+use crate::record::{ArchiveRecord, MergeStats};
+use moat_core::gde3::prune;
+use moat_core::WarmStart;
+use moat_machine::MachineFeatures;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Errors from archive operations.
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// Filesystem failure (path included in the message).
+    Io(String),
+    /// Malformed, mismatched or future-versioned record.
+    Format(String),
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::Io(msg) => write!(f, "archive I/O error: {msg}"),
+            ArchiveError::Format(msg) => write!(f, "archive format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+/// Where a warm start came from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WarmStartSource {
+    /// Exact key hit: same skeleton, space and machine — archived
+    /// objectives are trusted and served as free cache hits.
+    Exact,
+    /// Nearest-machine transfer: same problem tuned on a different
+    /// machine — only configurations carry over and are re-evaluated.
+    Transfer {
+        /// Name of the machine the donor front was measured on.
+        machine: String,
+        /// Feature distance between donor and target machines.
+        distance: f64,
+    },
+}
+
+/// A directory of tuning results, one JSON file per key
+/// (`<root>/<key-id>.json`). All mutations write a temp file in the same
+/// directory and `rename` it into place, so readers never observe a
+/// half-written record and concurrent writers lose cleanly rather than
+/// corrupting.
+#[derive(Debug, Clone)]
+pub struct Archive {
+    root: PathBuf,
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> ArchiveError {
+    ArchiveError::Io(format!("{}: {e}", path.display()))
+}
+
+impl Archive {
+    /// Open (creating if needed) an archive directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Archive, ArchiveError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
+        Ok(Archive { root })
+    }
+
+    /// The archive directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// File holding `key`'s record.
+    pub fn path_for(&self, key: &ArchiveKey) -> PathBuf {
+        self.root.join(format!("{}.json", key.id()))
+    }
+
+    /// Load one record, `None` if the key has never been stored.
+    pub fn get(&self, key: &ArchiveKey) -> Result<Option<ArchiveRecord>, ArchiveError> {
+        let path = self.path_for(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        let rec = ArchiveRecord::from_json(&text)
+            .map_err(|e| ArchiveError::Format(format!("{}: {e}", path.display())))?;
+        if rec.key != *key {
+            return Err(ArchiveError::Format(format!(
+                "{}: stored key {} does not match file name",
+                path.display(),
+                rec.key
+            )));
+        }
+        Ok(Some(rec))
+    }
+
+    /// Insert a record, merging (dominance-aware dedup, counters summed)
+    /// with any existing record for the same key. Returns the merge stats
+    /// (a first insert counts every front point as inserted). The write is
+    /// atomic: temp file + rename.
+    pub fn insert(&self, record: &ArchiveRecord) -> Result<MergeStats, ArchiveError> {
+        let (merged, stats) = match self.get(&record.key)? {
+            Some(mut existing) => {
+                let stats = existing.merge(record)?;
+                (existing, stats)
+            }
+            None => {
+                let mut rec = record.clone();
+                rec.canonicalize();
+                let stats = MergeStats {
+                    inserted: rec.front.len(),
+                    rejected: record.front.len() - rec.front.len(),
+                };
+                (rec, stats)
+            }
+        };
+        self.write_atomic(&merged)?;
+        Ok(stats)
+    }
+
+    fn write_atomic(&self, record: &ArchiveRecord) -> Result<(), ArchiveError> {
+        let path = self.path_for(&record.key);
+        let tmp = self.root.join(format!(".{}.tmp", record.key.id()));
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            f.write_all(record.to_json().as_bytes())
+                .and_then(|()| f.write_all(b"\n"))
+                .and_then(|()| f.sync_all())
+                .map_err(|e| io_err(&tmp, e))?;
+        }
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))
+    }
+
+    /// All stored keys, sorted by id for deterministic listings.
+    pub fn keys(&self) -> Result<Vec<ArchiveKey>, ArchiveError> {
+        let mut keys = Vec::new();
+        let entries = fs::read_dir(&self.root).map_err(|e| io_err(&self.root, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.root, e))?;
+            let name = entry.file_name();
+            let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".json")) else {
+                continue; // temp files, foreign files
+            };
+            if let Some(key) = ArchiveKey::parse_id(stem) {
+                keys.push(key);
+            }
+        }
+        keys.sort_by_key(|k| k.id());
+        Ok(keys)
+    }
+
+    /// All stored records, in key order.
+    pub fn list(&self) -> Result<Vec<ArchiveRecord>, ArchiveError> {
+        let mut out = Vec::new();
+        for key in self.keys()? {
+            if let Some(rec) = self.get(&key)? {
+                out.push(rec);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Delete a key's record. Returns whether it existed.
+    pub fn remove(&self, key: &ArchiveKey) -> Result<bool, ArchiveError> {
+        let path = self.path_for(key);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(io_err(&path, e)),
+        }
+    }
+
+    /// Shrink every stored front to at most `max_front` points using the
+    /// crowding-distance pruner (extreme points survive). Returns the
+    /// number of records rewritten.
+    pub fn prune(&self, max_front: usize) -> Result<usize, ArchiveError> {
+        let mut rewritten = 0;
+        for key in self.keys()? {
+            let Some(mut rec) = self.get(&key)? else {
+                continue;
+            };
+            if rec.front.len() <= max_front {
+                continue;
+            }
+            rec.front = prune(std::mem::take(&mut rec.front), max_front);
+            rec.canonicalize();
+            self.write_atomic(&rec)?;
+            rewritten += 1;
+        }
+        Ok(rewritten)
+    }
+
+    /// Serialize the whole archive as one pretty JSON array (key order).
+    pub fn export_json(&self) -> Result<String, ArchiveError> {
+        let records = self.list()?;
+        serde_json::to_string_pretty(&records).map_err(|e| ArchiveError::Format(e.to_string()))
+    }
+
+    /// Merge an [`export_json`](Self::export_json) dump (or a single
+    /// record) into this archive. Returns per-record merge stats in input
+    /// order.
+    pub fn import_json(&self, text: &str) -> Result<Vec<MergeStats>, ArchiveError> {
+        let records: Vec<ArchiveRecord> = match serde_json::from_str(text) {
+            Ok(rs) => rs,
+            Err(_) => vec![ArchiveRecord::from_json(text)?],
+        };
+        for rec in &records {
+            // Surface future-version records before any write happens.
+            ArchiveRecord::from_json(&rec.to_json())?;
+        }
+        records.iter().map(|rec| self.insert(rec)).collect()
+    }
+
+    /// The stored record for the same (skeleton, space) problem whose
+    /// machine is feature-closest to `target`, together with that
+    /// distance. Exact machine matches have distance 0 and always win.
+    pub fn nearest(
+        &self,
+        key: &ArchiveKey,
+        target: &MachineFeatures,
+    ) -> Result<Option<(ArchiveRecord, f64)>, ArchiveError> {
+        let mut best: Option<(ArchiveRecord, f64)> = None;
+        for candidate in self.keys()? {
+            if !candidate.same_problem(key) {
+                continue;
+            }
+            let Some(rec) = self.get(&candidate)? else {
+                continue;
+            };
+            let d = rec.machine.distance(target);
+            let better = match &best {
+                None => true,
+                Some((_, bd)) => d < *bd,
+            };
+            if better {
+                best = Some((rec, d));
+            }
+        }
+        Ok(best)
+    }
+
+    /// Best available warm start for a tuning problem on `target`:
+    /// an exact key hit yields trusted hints + seeds; otherwise the
+    /// nearest machine's front transfers as seeds only. `None` when the
+    /// archive has never seen the (skeleton, space) problem.
+    pub fn warm_start_for(
+        &self,
+        key: &ArchiveKey,
+        target: &MachineFeatures,
+    ) -> Result<Option<(WarmStart, WarmStartSource)>, ArchiveError> {
+        if let Some(rec) = self.get(key)? {
+            if !rec.front.is_empty() {
+                return Ok(Some((rec.warm_start(), WarmStartSource::Exact)));
+            }
+        }
+        match self.nearest(key, target)? {
+            Some((rec, distance)) if !rec.front.is_empty() => Ok(Some((
+                rec.transfer_warm_start(),
+                WarmStartSource::Transfer {
+                    machine: rec.machine.name.clone(),
+                    distance,
+                },
+            ))),
+            _ => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FORMAT_VERSION;
+    use moat_core::Point;
+    use moat_machine::MachineDesc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("moat-archive-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(key: ArchiveKey, machine: &MachineDesc, points: Vec<Point>) -> ArchiveRecord {
+        let mut rec = ArchiveRecord {
+            format_version: FORMAT_VERSION,
+            key,
+            region: "mm".into(),
+            skeleton: "tile3".into(),
+            machine: machine.features(),
+            param_names: vec!["ti".into(), "threads".into()],
+            objective_names: vec!["time".into(), "resources".into()],
+            evaluations: 5,
+            runs: 1,
+            front: Vec::new(),
+        };
+        rec.merge_points(&points);
+        rec
+    }
+
+    #[test]
+    fn insert_get_roundtrip_and_merge() {
+        let dir = tmpdir("roundtrip");
+        let archive = Archive::open(&dir).unwrap();
+        let key = ArchiveKey::new(1, 2, 3);
+        let m = MachineDesc::westmere();
+
+        let rec = record(key, &m, vec![Point::new(vec![1, 1], vec![1.0, 9.0])]);
+        let stats = archive.insert(&rec).unwrap();
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(archive.get(&key).unwrap().unwrap(), rec);
+
+        // Second insert merges: counters sum, dominated points rejected.
+        // (Build the dominated point in by hand — the record constructor
+        // would dedup it away before the store-level merge under test.)
+        let mut rec2 = record(key, &m, vec![Point::new(vec![2, 1], vec![0.5, 8.0])]);
+        rec2.front.push(Point::new(vec![3, 1], vec![2.0, 9.5]));
+        rec2.canonicalize();
+        let stats = archive.insert(&rec2).unwrap();
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(stats.rejected, 1);
+        let merged = archive.get(&key).unwrap().unwrap();
+        assert_eq!(merged.runs, 2);
+        assert_eq!(merged.evaluations, 10);
+        assert_eq!(merged.front.len(), 1);
+
+        // Re-inserting the merged record changes nothing (idempotent fronts).
+        let before = fs::read_to_string(archive.path_for(&key)).unwrap();
+        let mut same = merged.clone();
+        same.evaluations = 0;
+        same.runs = 0;
+        archive.insert(&same).unwrap();
+        let after = archive.get(&key).unwrap().unwrap();
+        assert_eq!(after.front, merged.front);
+        assert!(before.contains("\"front\""));
+
+        assert!(archive.remove(&key).unwrap());
+        assert!(!archive.remove(&key).unwrap());
+        assert!(archive.get(&key).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_listing_is_sorted_and_skips_foreign_files() {
+        let dir = tmpdir("keys");
+        let archive = Archive::open(&dir).unwrap();
+        let m = MachineDesc::westmere();
+        let k1 = ArchiveKey::new(2, 2, 2);
+        let k2 = ArchiveKey::new(1, 1, 1);
+        archive.insert(&record(k1, &m, vec![])).unwrap();
+        archive.insert(&record(k2, &m, vec![])).unwrap();
+        fs::write(dir.join("README.txt"), "not a record").unwrap();
+        fs::write(dir.join("bogus.json"), "{}").unwrap();
+        assert_eq!(archive.keys().unwrap(), vec![k2, k1]);
+        assert_eq!(archive.list().unwrap().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_shrinks_fronts_keeping_extremes() {
+        let dir = tmpdir("prune");
+        let archive = Archive::open(&dir).unwrap();
+        let m = MachineDesc::westmere();
+        let key = ArchiveKey::new(7, 7, 7);
+        let points: Vec<Point> = (0..10)
+            .map(|i| Point::new(vec![i, 1], vec![i as f64, 9.0 - i as f64]))
+            .collect();
+        archive.insert(&record(key, &m, points)).unwrap();
+        assert_eq!(archive.prune(4).unwrap(), 1);
+        let rec = archive.get(&key).unwrap().unwrap();
+        assert_eq!(rec.front.len(), 4);
+        let objs: Vec<f64> = rec.front.iter().map(|p| p.objectives[0]).collect();
+        assert!(objs.contains(&0.0) && objs.contains(&9.0), "extremes kept");
+        assert_eq!(archive.prune(4).unwrap(), 0, "second prune is a no-op");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_import_transfers_everything() {
+        let dir_a = tmpdir("export-a");
+        let dir_b = tmpdir("export-b");
+        let a = Archive::open(&dir_a).unwrap();
+        let b = Archive::open(&dir_b).unwrap();
+        let m = MachineDesc::westmere();
+        a.insert(&record(
+            ArchiveKey::new(1, 2, 3),
+            &m,
+            vec![Point::new(vec![1, 1], vec![1.0, 2.0])],
+        ))
+        .unwrap();
+        a.insert(&record(
+            ArchiveKey::new(4, 5, 6),
+            &m,
+            vec![Point::new(vec![2, 2], vec![3.0, 4.0])],
+        ))
+        .unwrap();
+
+        let dump = a.export_json().unwrap();
+        let stats = b.import_json(&dump).unwrap();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(b.export_json().unwrap(), dump, "import reproduces the dump");
+
+        // Importing again is a no-op on the fronts.
+        b.import_json(&dump).unwrap();
+        let rec = b.get(&ArchiveKey::new(1, 2, 3)).unwrap().unwrap();
+        assert_eq!(rec.front.len(), 1);
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn warm_start_prefers_exact_then_nearest() {
+        let dir = tmpdir("warmstart");
+        let archive = Archive::open(&dir).unwrap();
+        let here = MachineDesc::westmere();
+        let mut far = MachineDesc::westmere();
+        far.name = "far".into();
+        far.sockets *= 4;
+        let mut near = MachineDesc::westmere();
+        near.name = "near".into();
+        near.sockets *= 2;
+
+        let target = here.features();
+        let key = ArchiveKey::new(10, 20, target.fingerprint());
+
+        // Empty archive: nothing to warm-start from.
+        assert!(archive.warm_start_for(&key, &target).unwrap().is_none());
+
+        // Only distant machines: nearest one transfers, seeds only.
+        archive
+            .insert(&record(
+                key.on_machine(far.features().fingerprint()),
+                &far,
+                vec![Point::new(vec![1, 1], vec![1.0, 2.0])],
+            ))
+            .unwrap();
+        archive
+            .insert(&record(
+                key.on_machine(near.features().fingerprint()),
+                &near,
+                vec![Point::new(vec![2, 2], vec![3.0, 4.0])],
+            ))
+            .unwrap();
+        let (warm, source) = archive.warm_start_for(&key, &target).unwrap().unwrap();
+        assert!(warm.hints.is_empty());
+        assert_eq!(warm.seeds, vec![vec![2, 2]], "nearest machine's front");
+        match source {
+            WarmStartSource::Transfer { machine, distance } => {
+                assert_eq!(machine, "near");
+                assert!(distance > 0.0);
+            }
+            other => panic!("expected transfer, got {other:?}"),
+        }
+
+        // Exact hit wins and carries hints.
+        archive
+            .insert(&record(
+                key,
+                &here,
+                vec![Point::new(vec![3, 3], vec![0.5, 0.5])],
+            ))
+            .unwrap();
+        let (warm, source) = archive.warm_start_for(&key, &target).unwrap().unwrap();
+        assert_eq!(source, WarmStartSource::Exact);
+        assert_eq!(warm.hints.len(), 1);
+        assert_eq!(warm.seeds, vec![vec![3, 3]]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_files_are_reported() {
+        let dir = tmpdir("corrupt");
+        let archive = Archive::open(&dir).unwrap();
+        let key = ArchiveKey::new(1, 1, 1);
+        fs::write(archive.path_for(&key), "{ not json").unwrap();
+        assert!(matches!(archive.get(&key), Err(ArchiveError::Format(_))));
+
+        // A record stored under the wrong file name is rejected.
+        let m = MachineDesc::westmere();
+        let other = record(ArchiveKey::new(2, 2, 2), &m, vec![]);
+        fs::write(archive.path_for(&key), other.to_json()).unwrap();
+        assert!(matches!(archive.get(&key), Err(ArchiveError::Format(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests of the archive invariants: canonical JSON
+//! round-trips, merge idempotence, dominance-aware dedup, hypervolume
+//! monotonicity under merges, and warm-start determinism across
+//! parallelism levels.
+
+use moat_archive::{ArchiveKey, ArchiveRecord, FORMAT_VERSION};
+use moat_core::metrics::{hypervolume, normalize_front};
+use moat_core::{
+    dominates, BatchEval, Config, Domain, Gde3Params, ParamSpace, Point, RsGde3Params, RsGde3Tuner,
+    TuningReport, TuningSession,
+};
+use moat_machine::MachineDesc;
+use proptest::prelude::*;
+
+/// Synthetic record over a 2-parameter, 2-objective problem; all property
+/// records share one key so merges are legal.
+fn record(points: Vec<Point>) -> ArchiveRecord {
+    let mut rec = ArchiveRecord {
+        format_version: FORMAT_VERSION,
+        key: ArchiveKey::new(11, 22, 33),
+        region: "synthetic".into(),
+        skeleton: "tile2".into(),
+        machine: MachineDesc::westmere().features(),
+        param_names: vec!["ti".into(), "threads".into()],
+        objective_names: vec!["time".into(), "resources".into()],
+        evaluations: points.len() as u64,
+        runs: 1,
+        front: Vec::new(),
+    };
+    rec.merge_points(&points);
+    rec
+}
+
+fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0i64..32, 2),
+            prop::collection::vec(0.0f64..1.0, 2),
+        ),
+        n,
+    )
+    .prop_map(|v| v.into_iter().map(|(c, o)| Point::new(c, o)).collect())
+}
+
+/// Hypervolume under the fixed bounds all generated objectives live in.
+fn hv_fixed(front: &[Point]) -> f64 {
+    if front.is_empty() {
+        return 0.0;
+    }
+    hypervolume(&normalize_front(front, &[0.0, 0.0], &[1.0, 1.0]))
+}
+
+proptest! {
+    /// Serialization is canonical: parsing and re-serializing any record
+    /// reproduces the exact bytes, and the parsed record compares equal.
+    #[test]
+    fn json_roundtrip_byte_identical(pts in points(0..12)) {
+        let rec = record(pts);
+        let json = rec.to_json();
+        let back = ArchiveRecord::from_json(&json).unwrap();
+        prop_assert_eq!(&back, &rec);
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    /// Merging a record into itself changes nothing: every point is
+    /// rejected as a duplicate and the serialized bytes are stable.
+    #[test]
+    fn merge_is_idempotent(pts in points(0..12)) {
+        let mut rec = record(pts);
+        let snapshot = rec.clone();
+        let stats = rec.merge(&snapshot).unwrap();
+        prop_assert_eq!(stats.inserted, 0);
+        prop_assert_eq!(stats.rejected, snapshot.front.len());
+        prop_assert_eq!(rec.front, snapshot.front.clone());
+        // Merge bookkeeping still accumulates provenance.
+        prop_assert_eq!(rec.evaluations, 2 * snapshot.evaluations);
+        prop_assert_eq!(rec.runs, 2);
+    }
+
+    /// The stored front is always pairwise non-dominated and duplicate-free,
+    /// and every merged-in point is covered by some survivor.
+    #[test]
+    fn front_is_nondominated_after_merges(a in points(0..10), b in points(0..10)) {
+        let mut rec = record(a.clone());
+        rec.merge_points(&b);
+        for p in &rec.front {
+            for q in &rec.front {
+                prop_assert!(!dominates(&p.objectives, &q.objectives));
+            }
+        }
+        let dup = rec
+            .front
+            .iter()
+            .enumerate()
+            .any(|(i, p)| rec.front[..i].iter().any(|q| q == p));
+        prop_assert!(!dup, "duplicate point survived the merge");
+        for p in a.iter().chain(&b) {
+            let covered = rec.front.iter().any(|q| {
+                q.objectives == p.objectives || dominates(&q.objectives, &p.objectives)
+            });
+            prop_assert!(covered, "merged point lost without a dominator");
+        }
+    }
+
+    /// Hypervolume regression guard: under fixed normalization bounds, a
+    /// merged front is at least as good as each of its inputs.
+    #[test]
+    fn merge_never_shrinks_hypervolume(a in points(0..10), b in points(0..10)) {
+        let rec_a = record(a);
+        let rec_b = record(b);
+        let mut merged = rec_a.clone();
+        merged.merge(&rec_b).unwrap();
+        let hv = hv_fixed(&merged.front);
+        prop_assert!(hv >= hv_fixed(&rec_a.front) - 1e-9);
+        prop_assert!(hv >= hv_fixed(&rec_b.front) - 1e-9);
+    }
+}
+
+/// Warm-started fixed-seed runs must be bit-deterministic regardless of the
+/// evaluation parallelism (results are order-preserving), the warm front
+/// must be at least as good as the archived one, and primed hints must be
+/// free of budget.
+#[test]
+fn warm_start_deterministic_across_parallelism() {
+    let space = ParamSpace::new(
+        vec!["x".into(), "y".into()],
+        vec![
+            Domain::Range { lo: 0, hi: 60 },
+            Domain::Range { lo: 0, hi: 60 },
+        ],
+    );
+    let ev = (2usize, |cfg: &Config| {
+        let (x, y) = (cfg[0] as f64, cfg[1] as f64);
+        Some(vec![x + y, (x - 50.0).powi(2) + (y - 50.0).powi(2)])
+    });
+    let params = RsGde3Params {
+        seed: 7,
+        ..Default::default()
+    };
+
+    let mut cold_session =
+        TuningSession::new(space.clone(), &ev).with_batch(BatchEval::sequential());
+    let cold = cold_session.run(&RsGde3Tuner::new(params));
+    let rec = record(cold.front.points().to_vec());
+
+    let run_warm = |batch: BatchEval| -> TuningReport {
+        let mut session = TuningSession::new(space.clone(), &ev)
+            .with_batch(batch)
+            .with_warm_start(rec.warm_start());
+        session.run(&RsGde3Tuner::new(params))
+    };
+    let seq = run_warm(BatchEval::sequential());
+    let par2 = run_warm(BatchEval::parallel(2));
+    let par4 = run_warm(BatchEval::parallel(4));
+
+    assert_eq!(seq.front.points(), par2.front.points());
+    assert_eq!(seq.front.points(), par4.front.points());
+    assert_eq!(seq.evaluations, par2.evaluations);
+    assert_eq!(seq.evaluations, par4.evaluations);
+
+    // The archived points enter the warm run's archive (via free cache
+    // hits), so under shared bounds its front cannot be worse.
+    let union: Vec<Point> = cold.all.iter().chain(&seq.all).cloned().collect();
+    let (ideal, nadir) = moat_core::metrics::objective_bounds(&union);
+    let hv = |front: &[Point]| hypervolume(&normalize_front(front, &ideal, &nadir));
+    assert!(
+        hv(seq.front.points()) >= hv(cold.front.points()) - 1e-9,
+        "warm front must dominate-or-match the archived front"
+    );
+
+    // Primed hints are budget-free: even with a zero budget the warm run
+    // replays the archived front from the cache without one fresh
+    // evaluation. (Seeds are capped at the population size, so size the
+    // population to the archived front.)
+    let replay_params = RsGde3Params {
+        gde3: Gde3Params {
+            pop_size: rec.front.len().max(4),
+            ..Default::default()
+        },
+        ..params
+    };
+    let mut replay_session = TuningSession::new(space.clone(), &ev)
+        .with_batch(BatchEval::sequential())
+        .with_budget(0)
+        .with_warm_start(rec.warm_start());
+    let replay = replay_session.run(&RsGde3Tuner::new(replay_params));
+    assert_eq!(replay.evaluations, 0, "hints must not consume budget");
+    let mut replayed = replay.front.points().to_vec();
+    let mut archived = rec.front.clone();
+    let canon = |pts: &mut Vec<Point>| {
+        pts.sort_by(|a, b| a.config.cmp(&b.config));
+    };
+    canon(&mut replayed);
+    canon(&mut archived);
+    assert_eq!(
+        replayed, archived,
+        "zero-budget warm run replays the archive"
+    );
+}

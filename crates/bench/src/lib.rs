@@ -16,6 +16,7 @@
 //! | `table5_kernels` | Table V — per-kernel cross-thread losses |
 //! | `table6_compare` | Table VI — E, |S|, V(S) for all methods |
 //! | `ablation`       | design-choice studies (rough set, population, …) |
+//! | `warmstart`      | extension: archive warm-start vs cold-start study |
 //! | `tri_objective`  | extension: time/resources/energy tuning (3-d HV) |
 //! | `validation`     | analytic model vs trace-driven cache simulator |
 //! | `micro`          | criterion micro-benchmarks of framework parts |

@@ -72,6 +72,7 @@ pub struct CachingEvaluator<'a> {
     inner: &'a dyn Evaluator,
     cache: Mutex<HashMap<Config, CacheEntry>>,
     evaluations: AtomicU64,
+    primed: AtomicU64,
 }
 
 impl<'a> CachingEvaluator<'a> {
@@ -81,19 +82,41 @@ impl<'a> CachingEvaluator<'a> {
             inner,
             cache: Mutex::new(HashMap::new()),
             evaluations: AtomicU64::new(0),
+            primed: AtomicU64::new(0),
         }
     }
 
     /// Number of (distinct) configurations evaluated so far — the paper's
-    /// `E` metric.
+    /// `E` metric. Primed entries (see [`prime`](Self::prime)) do not
+    /// count: `E` is the number of *fresh* objective-function runs.
     pub fn evaluations(&self) -> u64 {
         self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache entries installed via [`prime`](Self::prime).
+    pub fn primed(&self) -> u64 {
+        self.primed.load(Ordering::Relaxed)
     }
 
     /// Whether `cfg` has already been evaluated (or is being evaluated right
     /// now). Lets callers predict whether a request would consume budget.
     pub fn is_cached(&self, cfg: &Config) -> bool {
         self.cache.lock().contains_key(cfg)
+    }
+
+    /// Install a known result without running the objective function —
+    /// the warm-start path: archived `(config, objectives)` pairs are
+    /// primed so re-requesting them is a cache hit that neither bumps `E`
+    /// nor consumes budget. A configuration already cached (or in flight)
+    /// is left untouched. Returns whether the entry was installed.
+    pub fn prime(&self, cfg: Config, result: Option<ObjVec>) -> bool {
+        let mut cache = self.cache.lock();
+        if cache.contains_key(&cfg) {
+            return false;
+        }
+        cache.insert(cfg, CacheEntry::Done(result));
+        self.primed.fetch_add(1, Ordering::Relaxed);
+        true
     }
 }
 
@@ -361,6 +384,31 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 1);
         assert!(cached.is_cached(&vec![7]));
         assert!(!cached.is_cached(&vec![8]));
+    }
+
+    #[test]
+    fn priming_serves_hits_without_counting() {
+        let calls = AtomicU64::new(0);
+        let ev = (2usize, |cfg: &Config| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Some(vec![cfg[0] as f64, -(cfg[0] as f64)])
+        });
+        let cached = CachingEvaluator::new(&ev);
+        assert!(cached.prime(vec![3], Some(vec![100.0, -100.0])));
+        assert!(cached.is_cached(&vec![3]));
+        // Served from the primed entry: archived objectives, no inner call.
+        assert_eq!(cached.evaluate(&vec![3]), Some(vec![100.0, -100.0]));
+        assert_eq!(cached.evaluations(), 0);
+        assert_eq!(cached.primed(), 1);
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        // Fresh configurations still evaluate and count.
+        assert_eq!(cached.evaluate(&vec![4]), Some(vec![4.0, -4.0]));
+        assert_eq!(cached.evaluations(), 1);
+        // Priming never overwrites an existing entry.
+        assert!(!cached.prime(vec![4], Some(vec![0.0, 0.0])));
+        assert!(!cached.prime(vec![3], Some(vec![0.0, 0.0])));
+        assert_eq!(cached.evaluate(&vec![4]), Some(vec![4.0, -4.0]));
+        assert_eq!(cached.primed(), 1);
     }
 
     #[test]

@@ -135,6 +135,21 @@ impl Gde3 {
         rng: &mut impl Rng,
     ) -> Vec<Point> {
         let mut population = Vec::with_capacity(self.params.pop_size);
+        self.fill_population_with(&mut population, eval, bbox, rng);
+        population
+    }
+
+    /// Top `population` up to the nominal size with uniform samples from
+    /// `bbox` (the warm-start path: already-evaluated seed points occupy
+    /// the leading slots, random sampling fills the remainder).
+    pub fn fill_population_with(
+        &self,
+        population: &mut Vec<Point>,
+        eval: &mut dyn FnMut(&[Config]) -> Vec<Option<crate::evaluate::ObjVec>>,
+        bbox: &[(i64, i64)],
+        rng: &mut impl Rng,
+    ) {
+        population.truncate(self.params.pop_size);
         let mut attempts = 0;
         while population.len() < self.params.pop_size && attempts < 20 {
             let want = self.params.pop_size - population.len();
@@ -149,7 +164,6 @@ impl Gde3 {
             }
             attempts += 1;
         }
-        population
     }
 
     /// Propose one trial configuration per population member (the

@@ -5,10 +5,13 @@
 //! *all* evaluated points (the per-thread-count sweeps of Table II and the
 //! scatter plots of Fig. 8 need the full data).
 
+#[cfg(any(test, feature = "deprecated-shims"))]
 use crate::evaluate::{BatchEval, Evaluator};
 use crate::pareto::{ParetoFront, Point};
 use crate::rsgde3::FrontSignature;
-use crate::space::{Config, ParamSpace};
+use crate::space::Config;
+#[cfg(any(test, feature = "deprecated-shims"))]
+use crate::space::ParamSpace;
 use crate::tuner::{StopReason, Tuner, TuningReport, TuningSession};
 
 /// Result of a brute-force sweep.
@@ -109,6 +112,7 @@ impl Tuner for GridTuner {
 
 /// Sweep a regular grid with `steps` points per `Range` dimension (choice
 /// dimensions are enumerated fully).
+#[cfg(feature = "deprecated-shims")]
 #[deprecated(note = "drive a `GridTuner` through a `TuningSession` instead")]
 pub fn grid_search(
     space: &ParamSpace,
@@ -122,6 +126,7 @@ pub fn grid_search(
 
 /// Sweep an explicit list of configurations (e.g. custom per-dimension
 /// axes).
+#[cfg(feature = "deprecated-shims")]
 #[deprecated(note = "drive a `GridTuner` through a `TuningSession` instead")]
 pub fn grid_search_points(
     evaluator: &dyn Evaluator,
@@ -157,10 +162,6 @@ pub fn cartesian_axes(axes: &[Vec<i64>]) -> Vec<Config> {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated shims must keep their exact legacy contract; these
-    // tests exercise them deliberately.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::evaluate::ObjVec;
     use crate::space::Domain;
@@ -184,10 +185,15 @@ mod tests {
         (space, ev)
     }
 
+    fn sweep(space: &ParamSpace, ev: &dyn Evaluator, steps: usize) -> GridResult {
+        let mut session = TuningSession::new(space.clone(), ev).with_batch(BatchEval::sequential());
+        session.run(&GridTuner::new(steps)).into()
+    }
+
     #[test]
     fn sweeps_whole_grid() {
         let (space, ev) = problem();
-        let r = grid_search(&space, &ev, &BatchEval::sequential(), 11);
+        let r = sweep(&space, &ev, 11);
         assert_eq!(r.evaluations, 11 * 3);
         assert_eq!(r.all.len(), 33);
         assert!(!r.front.is_empty());
@@ -196,7 +202,7 @@ mod tests {
     #[test]
     fn front_contains_known_optimum() {
         let (space, ev) = problem();
-        let r = grid_search(&space, &ev, &BatchEval::sequential(), 101);
+        let r = sweep(&space, &ev, 101);
         // (x=30, t=1) achieves (0, 1): dominates everything with t=1.
         assert!(r
             .front
@@ -212,7 +218,10 @@ mod tests {
         assert_eq!(pts.len(), 6);
         assert!(pts.contains(&vec![2, 10]));
         let ev = (1usize, |cfg: &Config| Some(vec![(cfg[0] * cfg[1]) as f64]));
-        let r = grid_search_points(&ev, &BatchEval::parallel(2), pts);
+        // The explicit-points sweep never consults the space.
+        let space = ParamSpace::new(vec!["_".into()], vec![Domain::Range { lo: 0, hi: 0 }]);
+        let mut session = TuningSession::new(space, &ev).with_batch(BatchEval::parallel(2));
+        let r: GridResult = session.run(&GridTuner::from_points(pts)).into();
         assert_eq!(r.evaluations, 6);
         assert_eq!(r.front.len(), 1);
         assert_eq!(r.front.points()[0].config, vec![1, 10]);
@@ -228,9 +237,50 @@ mod tests {
                 Some(vec![cfg[0] as f64])
             }
         });
-        let r = grid_search(&space, &ev, &BatchEval::sequential(), 10);
+        let r = sweep(&space, &ev, 10);
         assert_eq!(r.evaluations, 10);
         assert_eq!(r.all.len(), 5);
         assert_eq!(r.front.points()[0].config, vec![1]);
+    }
+}
+
+#[cfg(all(test, feature = "deprecated-shims"))]
+mod legacy_shim_tests {
+    // The deprecated shims must keep their exact legacy contract; these
+    // tests exercise them deliberately.
+    #![allow(deprecated)]
+
+    use super::*;
+    use crate::evaluate::ObjVec;
+    use crate::space::Domain;
+
+    #[test]
+    fn shims_match_the_session_path() {
+        let space = ParamSpace::new(
+            vec!["x".into(), "t".into()],
+            vec![
+                Domain::Range { lo: 0, hi: 100 },
+                Domain::Choice(vec![1, 2, 4]),
+            ],
+        );
+        let ev = (2usize, |cfg: &Config| {
+            let x = cfg[0] as f64;
+            let t = cfg[1] as f64;
+            Some(vec![(x - 30.0).abs() / t, t]) as Option<ObjVec>
+        });
+        let shim = grid_search(&space, &ev, &BatchEval::sequential(), 11);
+        let mut session =
+            TuningSession::new(space.clone(), &ev).with_batch(BatchEval::sequential());
+        let direct: GridResult = session.run(&GridTuner::new(11)).into();
+        assert_eq!(shim.evaluations, direct.evaluations);
+        assert_eq!(shim.front.points(), direct.front.points());
+
+        let pts = cartesian_axes(&[vec![1, 2], vec![10, 20, 30]]);
+        let ev1 = (1usize, |cfg: &Config| {
+            Some(vec![(cfg[0] * cfg[1]) as f64]) as Option<ObjVec>
+        });
+        let r = grid_search_points(&ev1, &BatchEval::parallel(2), pts);
+        assert_eq!(r.evaluations, 6);
+        assert_eq!(r.front.points()[0].config, vec![1, 10]);
     }
 }

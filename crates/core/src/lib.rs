@@ -44,10 +44,16 @@ pub mod space;
 pub mod tuner;
 pub mod wsum;
 
+// Deprecated free-function shims, kept only behind the `deprecated-shims`
+// feature for out-of-tree callers mid-migration; drive a `Tuner` through a
+// `TuningSession` instead.
+#[cfg(feature = "deprecated-shims")]
 #[allow(deprecated)]
-pub use grid::grid_search;
+pub use grid::{grid_search, grid_search_points};
+#[cfg(feature = "deprecated-shims")]
 #[allow(deprecated)]
 pub use random::random_search;
+#[cfg(feature = "deprecated-shims")]
 #[allow(deprecated)]
 pub use wsum::weighted_sweep;
 
@@ -63,5 +69,6 @@ pub use rsgde3::{FrontSignature, RsGde3, RsGde3Params, RsGde3Tuner, TuningResult
 pub use space::{Config, Domain, ParamSpace};
 pub use tuner::{
     EventLog, EventSink, StopReason, StrategyKind, Tuner, TuningEvent, TuningReport, TuningSession,
+    WarmStart,
 };
 pub use wsum::{WeightedSumTuner, WeightedSweepParams};

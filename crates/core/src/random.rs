@@ -5,12 +5,16 @@
 //! as RS-GDE3; it is "very far off the quality achieved by the other
 //! techniques" (Fig. 9) — a comparison the harness reproduces.
 
-use crate::evaluate::BatchEval;
-use crate::evaluate::Evaluator;
+#[cfg(any(test, feature = "deprecated-shims"))]
+use crate::evaluate::{BatchEval, Evaluator};
 use crate::metrics::objective_bounds;
 use crate::pareto::{ParetoFront, Point};
-use crate::rsgde3::{FrontSignature, TuningResult};
-use crate::space::{Config, ParamSpace};
+use crate::rsgde3::FrontSignature;
+#[cfg(feature = "deprecated-shims")]
+use crate::rsgde3::TuningResult;
+use crate::space::Config;
+#[cfg(any(test, feature = "deprecated-shims"))]
+use crate::space::ParamSpace;
 use crate::tuner::{StopReason, Tuner, TuningReport, TuningSession};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -125,6 +129,7 @@ impl Tuner for RandomTuner {
 }
 
 /// Run random search with a budget of `budget` evaluations.
+#[cfg(feature = "deprecated-shims")]
 #[deprecated(note = "drive a `RandomTuner` through a `TuningSession` instead")]
 pub fn random_search(
     space: &ParamSpace,
@@ -147,10 +152,6 @@ pub fn random_search(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated `random_search` shim must keep its exact legacy
-    // contract; these tests exercise it deliberately.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::evaluate::ObjVec;
     use crate::space::Domain;
@@ -173,10 +174,17 @@ mod tests {
         (space, ev)
     }
 
+    fn search(space: &ParamSpace, ev: &dyn Evaluator, budget: u64, seed: u64) -> TuningReport {
+        let mut session = TuningSession::new(space.clone(), ev)
+            .with_batch(BatchEval::sequential())
+            .with_budget(budget);
+        session.run(&RandomTuner::new(seed))
+    }
+
     #[test]
     fn respects_budget() {
         let (space, ev) = problem();
-        let r = random_search(&space, &ev, &BatchEval::sequential(), 100, 1);
+        let r = search(&space, &ev, 100, 1);
         assert_eq!(r.evaluations, 100);
         assert!(!r.front.is_empty());
     }
@@ -184,8 +192,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (space, ev) = problem();
-        let a = random_search(&space, &ev, &BatchEval::sequential(), 50, 9);
-        let b = random_search(&space, &ev, &BatchEval::sequential(), 50, 9);
+        let a = search(&space, &ev, 50, 9);
+        let b = search(&space, &ev, 50, 9);
         assert_eq!(a.front.points(), b.front.points());
     }
 
@@ -193,7 +201,7 @@ mod tests {
     fn exhausts_tiny_space_without_hanging() {
         let space = ParamSpace::new(vec!["x".into()], vec![Domain::Range { lo: 0, hi: 4 }]);
         let ev = (1usize, |cfg: &Config| Some(vec![cfg[0] as f64]));
-        let r = random_search(&space, &ev, &BatchEval::sequential(), 1000, 2);
+        let r = search(&space, &ev, 1000, 2);
         assert!(r.evaluations <= 5);
         assert_eq!(r.front.len(), 1);
         assert_eq!(r.front.points()[0].config, vec![0]);
@@ -202,10 +210,10 @@ mod tests {
     #[test]
     fn front_improves_with_budget_on_average() {
         let (space, ev) = problem();
-        let small = random_search(&space, &ev, &BatchEval::sequential(), 10, 3);
-        let large = random_search(&space, &ev, &BatchEval::sequential(), 500, 3);
+        let small = search(&space, &ev, 10, 3);
+        let large = search(&space, &ev, 500, 3);
         // More samples → at least as good best-x².
-        let best = |r: &TuningResult| {
+        let best = |r: &TuningReport| {
             r.front
                 .points()
                 .iter()
@@ -213,5 +221,36 @@ mod tests {
                 .fold(f64::INFINITY, f64::min)
         };
         assert!(best(&large) <= best(&small));
+    }
+}
+
+#[cfg(all(test, feature = "deprecated-shims"))]
+mod legacy_shim_tests {
+    // The deprecated `random_search` shim must keep its exact legacy
+    // contract; these tests exercise it deliberately.
+    #![allow(deprecated)]
+
+    use super::*;
+    use crate::evaluate::ObjVec;
+    use crate::space::Domain;
+
+    #[test]
+    fn shim_respects_budget_and_seed() {
+        let space = ParamSpace::new(
+            vec!["x".into()],
+            vec![Domain::Range {
+                lo: -1000,
+                hi: 1000,
+            }],
+        );
+        let ev = (2usize, |cfg: &Config| {
+            let x = cfg[0] as f64;
+            Some(vec![x * x, (x - 100.0) * (x - 100.0)]) as Option<ObjVec>
+        });
+        let a = random_search(&space, &ev, &BatchEval::sequential(), 50, 9);
+        let b = random_search(&space, &ev, &BatchEval::sequential(), 50, 9);
+        assert_eq!(a.evaluations, 50);
+        assert_eq!(a.front.points(), b.front.points());
+        assert_eq!(a.hv_history.len(), 1, "one final signature");
     }
 }

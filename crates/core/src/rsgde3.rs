@@ -7,6 +7,7 @@
 //! improved for a configurable number of consecutive iterations (the paper
 //! uses three).
 
+#[cfg(any(test, feature = "deprecated-shims"))]
 use crate::evaluate::{BatchEval, Evaluator};
 use crate::gde3::{Gde3, Gde3Params};
 use crate::metrics::{hypervolume, normalize_front, objective_bounds};
@@ -85,6 +86,7 @@ impl RsGde3 {
     /// counting/caching wrapper, so `E` counts distinct configurations
     /// (re-visited configurations are served from the cache, like a
     /// measurement database in an iterative compiler).
+    #[cfg(feature = "deprecated-shims")]
     #[deprecated(note = "drive an `RsGde3Tuner` through a `TuningSession` instead")]
     pub fn run(&self, evaluator: &dyn Evaluator, batch: &BatchEval) -> TuningResult {
         let mut session = TuningSession::new(self.space.clone(), evaluator).with_batch(*batch);
@@ -128,14 +130,20 @@ impl Tuner for RsGde3Tuner {
         let mut all: Vec<Point> = Vec::new();
 
         let mut bbox = session.space().full_box();
-        let mut population = {
+        // Warm start: archived seed configurations occupy the leading
+        // population slots (hinted ones are served from the primed cache,
+        // transferred ones are re-evaluated and pay budget), then random
+        // sampling fills the remainder.
+        let mut population = crate::tuner::evaluate_seeds(session, self.params.gde3.pop_size);
+        all.extend(population.iter().cloned());
+        {
             let mut eval = |cfgs: &[Config]| {
                 let objs = session.evaluate(cfgs);
                 crate::tuner::record_feasible(&mut all, cfgs, &objs);
                 objs
             };
-            gde3.init_population_with(&mut eval, &bbox, &mut rng)
-        };
+            gde3.fill_population_with(&mut population, &mut eval, &bbox, &mut rng);
+        }
         if population.len() < 4 {
             // Not enough feasible members for DE variation — out of budget
             // or a (near-)infeasible space.
@@ -300,10 +308,6 @@ impl FrontSignature {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated `RsGde3::run` shim must keep its exact legacy
-    // contract; these tests exercise it deliberately.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::evaluate::ObjVec;
     use crate::space::Domain;
@@ -328,19 +332,34 @@ mod tests {
         (space, ev)
     }
 
+    fn run(
+        space: &ParamSpace,
+        ev: &dyn Evaluator,
+        batch: BatchEval,
+        params: RsGde3Params,
+    ) -> TuningReport {
+        let mut session = TuningSession::new(space.clone(), ev).with_batch(batch);
+        session.run(&RsGde3Tuner::new(params))
+    }
+
     #[test]
     fn converges_and_terminates() {
         let (space, ev) = problem();
-        let rs = RsGde3::new(space, RsGde3Params::default());
-        let result = rs.run(&ev, &BatchEval::sequential());
-        assert!(
-            result.generations >= 3,
-            "must run at least patience generations"
+        let result = run(
+            &space,
+            &ev,
+            BatchEval::sequential(),
+            RsGde3Params::default(),
         );
-        assert!(result.generations < 200, "must terminate by patience");
+        assert!(
+            result.iterations >= 3,
+            "must run at least patience iterations"
+        );
+        assert!(result.iterations < 200, "must terminate by patience");
+        assert_eq!(result.stop, StopReason::Converged);
         assert!(!result.front.is_empty());
-        // Evaluations bounded by pop_size × (generations + init retries).
-        assert!(result.evaluations <= 30 * (result.generations as u64 + 20));
+        // Evaluations bounded by pop_size × (iterations + init retries).
+        assert!(result.evaluations <= 30 * (result.iterations as u64 + 20));
         // The front must contain a point near each extreme: small x+y and
         // small distance-to-(80,80).
         let best_sum = result
@@ -362,9 +381,18 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (space, ev) = problem();
-        let rs = RsGde3::new(space, RsGde3Params::default());
-        let a = rs.run(&ev, &BatchEval::sequential());
-        let b = rs.run(&ev, &BatchEval::sequential());
+        let a = run(
+            &space,
+            &ev,
+            BatchEval::sequential(),
+            RsGde3Params::default(),
+        );
+        let b = run(
+            &space,
+            &ev,
+            BatchEval::sequential(),
+            RsGde3Params::default(),
+        );
         assert_eq!(a.evaluations, b.evaluations);
         assert_eq!(a.front.points(), b.front.points());
     }
@@ -380,8 +408,8 @@ mod tests {
             seed: 2,
             ..Default::default()
         };
-        let a = RsGde3::new(space.clone(), p1).run(&ev, &BatchEval::sequential());
-        let b = RsGde3::new(space, p2).run(&ev, &BatchEval::sequential());
+        let a = run(&space, &ev, BatchEval::sequential(), p1);
+        let b = run(&space, &ev, BatchEval::sequential(), p2);
         // Not a hard guarantee, but with different seeds identical
         // evaluation counts *and* identical fronts would indicate a seeding
         // bug.
@@ -392,29 +420,71 @@ mod tests {
     }
 
     #[test]
-    fn hv_history_monotone_nondecreasing() {
+    fn trace_hv_monotone_nondecreasing() {
         // The archive only grows, but normalization bounds move; allow tiny
         // dips from renormalization while requiring overall improvement.
         let (space, ev) = problem();
-        let rs = RsGde3::new(space, RsGde3Params::default());
-        let r = rs.run(&ev, &BatchEval::sequential());
-        assert!(r.hv_history.len() as u32 == r.generations + 1);
+        let r = run(
+            &space,
+            &ev,
+            BatchEval::sequential(),
+            RsGde3Params::default(),
+        );
+        // One signature per iteration plus the initial population's.
+        assert_eq!(r.trace.len() as u32, r.iterations + 1);
         assert!(
-            r.hv_history.last().unwrap() >= r.hv_history.first().unwrap(),
-            "hypervolume should improve over the run: {:?}",
-            r.hv_history
+            r.trace.last().unwrap().hv >= r.trace.first().unwrap().hv,
+            "hypervolume should improve over the run"
         );
     }
 
     #[test]
     fn parallel_batch_gives_valid_result() {
         let (space, ev) = problem();
-        let rs = RsGde3::new(space, RsGde3Params::default());
-        let r = rs.run(&ev, &BatchEval::parallel(4));
+        let r = run(&space, &ev, BatchEval::parallel(4), RsGde3Params::default());
         assert!(!r.front.is_empty());
         // Same seed, same algorithm: parallel evaluation must not change
         // the search trajectory (results are order-preserving).
-        let rseq = rs.run(&ev, &BatchEval::sequential());
+        let rseq = run(
+            &space,
+            &ev,
+            BatchEval::sequential(),
+            RsGde3Params::default(),
+        );
         assert_eq!(r.front.points(), rseq.front.points());
+    }
+}
+
+#[cfg(all(test, feature = "deprecated-shims"))]
+mod legacy_shim_tests {
+    // The deprecated `RsGde3::run` shim must keep its exact legacy
+    // contract; these tests exercise it deliberately.
+    #![allow(deprecated)]
+
+    use super::*;
+    use crate::evaluate::ObjVec;
+    use crate::space::Domain;
+
+    #[test]
+    fn shim_keeps_legacy_contract() {
+        let space = ParamSpace::new(
+            vec!["x".into(), "y".into()],
+            vec![
+                Domain::Range { lo: 0, hi: 100 },
+                Domain::Range { lo: 0, hi: 100 },
+            ],
+        );
+        let ev = (2usize, |cfg: &Config| {
+            let (x, y) = (cfg[0] as f64, cfg[1] as f64);
+            Some(vec![x + y, (x - 80.0).powi(2) + (y - 80.0).powi(2)]) as Option<ObjVec>
+        });
+        let rs = RsGde3::new(space, RsGde3Params::default());
+        let a = rs.run(&ev, &BatchEval::sequential());
+        let b = rs.run(&ev, &BatchEval::sequential());
+        assert!(a.generations >= 3 && a.generations < 200);
+        assert!(!a.front.is_empty());
+        assert_eq!(a.hv_history.len() as u32, a.generations + 1);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.front.points(), b.front.points());
     }
 }

@@ -165,6 +165,52 @@ impl ParamSpace {
         self.domains.iter().map(|d| d.extremes()).collect()
     }
 
+    /// Stable 64-bit signature of the space *shape*: dimension names and
+    /// domains, hashed with FNV-1a over a canonical encoding. The digest is
+    /// platform- and process-independent, so it can be persisted — the
+    /// tuning archive uses it as one component of its content-address. Any
+    /// change in arity, naming or admissible values yields a new signature.
+    pub fn signature(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn put(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            fn u64(&mut self, v: u64) {
+                self.put(&v.to_le_bytes());
+            }
+            fn str(&mut self, s: &str) {
+                // Length-prefix so ("ab","c") and ("a","bc") differ.
+                self.u64(s.len() as u64);
+                self.put(s.as_bytes());
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.str("paramspace");
+        h.u64(self.dims() as u64);
+        for (name, domain) in self.names.iter().zip(&self.domains) {
+            h.str(name);
+            match domain {
+                Domain::Range { lo, hi } => {
+                    h.str("range");
+                    h.put(&lo.to_le_bytes());
+                    h.put(&hi.to_le_bytes());
+                }
+                Domain::Choice(vals) => {
+                    h.str("choice");
+                    h.u64(vals.len() as u64);
+                    for v in vals {
+                        h.put(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        h.0
+    }
+
     /// Regular grid over the space: each `Range` dimension is sampled at
     /// `steps` (approximately) evenly spaced values, each `Choice`
     /// dimension at all its values. This is the paper's *brute force*
@@ -284,6 +330,27 @@ mod tests {
         let s = ParamSpace::new(vec!["x".into()], vec![Domain::Range { lo: 1, hi: 3 }]);
         let grid = s.regular_grid(10);
         assert_eq!(grid.len(), 3);
+    }
+
+    #[test]
+    fn signature_stable_and_shape_sensitive() {
+        let s = space();
+        assert_eq!(s.signature(), space().signature());
+        let mut renamed = space();
+        renamed.names[0] = "tk".into();
+        assert_ne!(s.signature(), renamed.signature());
+        let mut reshaped = space();
+        reshaped.domains[0] = Domain::Range { lo: 1, hi: 99 };
+        assert_ne!(s.signature(), reshaped.signature());
+        let grown = ParamSpace::new(
+            s.names.iter().cloned().chain(["x".into()]).collect(),
+            s.domains
+                .iter()
+                .cloned()
+                .chain([Domain::Range { lo: 0, hi: 1 }])
+                .collect(),
+        );
+        assert_ne!(s.signature(), grown.signature());
     }
 
     #[test]

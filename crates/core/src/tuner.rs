@@ -169,6 +169,61 @@ impl From<TuningReport> for TuningResult {
     }
 }
 
+/// Seed material for warm-starting a [`TuningSession`] from previously
+/// archived tuning results.
+///
+/// Two kinds of reuse, with different budget semantics:
+///
+/// * **`hints`** — `(config, objectives)` pairs whose objective values are
+///   *valid on this machine* (an exact archive match). They are primed into
+///   the evaluation cache, so re-requesting them is a cache hit: it does
+///   not run the objective function, does not bump `E`, and does not
+///   consume budget.
+/// * **`seeds`** — configurations worth trying first (e.g. a front
+///   transferred from the *nearest* machine, whose objective values do not
+///   carry over). Strategies inject them into their initial populations;
+///   evaluating a seed that is not also hinted is a fresh evaluation and
+///   counts against the budget like any other.
+///
+/// The split is what makes warm-start budget accounting honest: reused
+/// measurements are free, transferred guesses are paid for.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WarmStart {
+    /// Configurations to inject into initial populations, best first.
+    pub seeds: Vec<Config>,
+    /// Known-valid `(config, objectives)` pairs to prime into the cache.
+    pub hints: Vec<(Config, ObjVec)>,
+}
+
+impl WarmStart {
+    /// Warm start from a front measured on *this* machine: every point
+    /// seeds the population and primes the cache.
+    pub fn exact(points: &[Point]) -> Self {
+        WarmStart {
+            seeds: points.iter().map(|p| p.config.clone()).collect(),
+            hints: points
+                .iter()
+                .map(|p| (p.config.clone(), p.objectives.clone()))
+                .collect(),
+        }
+    }
+
+    /// Warm start from a front measured on a *different* machine: the
+    /// configurations seed the population but their objective values are
+    /// not trusted, so nothing is primed — seeds are re-evaluated here.
+    pub fn transfer(points: &[Point]) -> Self {
+        WarmStart {
+            seeds: points.iter().map(|p| p.config.clone()).collect(),
+            hints: Vec::new(),
+        }
+    }
+
+    /// True when there is nothing to seed or prime.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty() && self.hints.is_empty()
+    }
+}
+
 /// A search strategy that can run inside a [`TuningSession`].
 pub trait Tuner {
     /// Short lowercase strategy name (for logs and tables).
@@ -190,6 +245,7 @@ pub struct TuningSession<'a> {
     batch: BatchEval,
     budget: Option<u64>,
     sink: Option<&'a mut dyn EventSink>,
+    seeds: Vec<Config>,
     iteration: u32,
     budget_exhausted: bool,
 }
@@ -205,6 +261,7 @@ impl<'a> TuningSession<'a> {
             batch: BatchEval::default(),
             budget: None,
             sink: None,
+            seeds: Vec::new(),
             iteration: 0,
             budget_exhausted: false,
         }
@@ -229,6 +286,47 @@ impl<'a> TuningSession<'a> {
     pub fn with_sink(mut self, sink: &'a mut dyn EventSink) -> Self {
         self.sink = Some(sink);
         self
+    }
+
+    /// Warm-start the session: prime the evaluation cache with the
+    /// `hints` (exact-match reuse, free of budget) and record the `seeds`
+    /// for strategies to inject into their initial populations (see
+    /// [`WarmStart`] for the budget semantics of each).
+    ///
+    /// Seeds are projected onto the space (`nearest`) and deduplicated,
+    /// preserving order; hints are primed only for configurations the
+    /// space actually contains (a stale hint for a reshaped space would
+    /// otherwise leak foreign objective values into the run).
+    pub fn with_warm_start(mut self, warm: WarmStart) -> Self {
+        for (cfg, obj) in warm.hints {
+            if self.space.contains(&cfg) && obj.len() == self.num_objectives {
+                self.evaluator.prime(cfg, Some(obj));
+            }
+        }
+        let mut seen: HashSet<Config> = HashSet::new();
+        for cfg in warm.seeds {
+            if cfg.len() != self.space.dims() {
+                continue;
+            }
+            let cfg = self.space.nearest(&cfg);
+            if seen.insert(cfg.clone()) {
+                self.seeds.push(cfg);
+            }
+        }
+        self
+    }
+
+    /// Warm-start seed configurations, projected onto the space and
+    /// deduplicated (empty without [`with_warm_start`](Self::with_warm_start)).
+    /// Strategies evaluate these before (or instead of part of) their
+    /// random initial sampling.
+    pub fn seed_configs(&self) -> &[Config] {
+        &self.seeds
+    }
+
+    /// Number of cache entries primed by the warm start (hints accepted).
+    pub fn primed(&self) -> u64 {
+        self.evaluator.primed()
     }
 
     /// The configuration space being searched.
@@ -360,6 +458,22 @@ pub(crate) fn record_feasible(all: &mut Vec<Point>, configs: &[Config], objs: &[
             all.push(Point::new(cfg.clone(), o.clone()));
         }
     }
+}
+
+/// Evaluate up to `cap` of the session's warm-start seeds (in seed order)
+/// and return the feasible ones as points. Hinted seeds are cache hits
+/// (free); transferred seeds are fresh evaluations and consume budget like
+/// any other configuration. Population-based tuners call this before their
+/// random initial sampling.
+pub(crate) fn evaluate_seeds(session: &mut TuningSession<'_>, cap: usize) -> Vec<Point> {
+    let configs: Vec<Config> = session.seed_configs().iter().take(cap).cloned().collect();
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let objs = session.evaluate(&configs);
+    let mut points = Vec::new();
+    record_feasible(&mut points, &configs, &objs);
+    points
 }
 
 /// The built-in search strategies, for CLI/facade strategy selection.
@@ -505,6 +619,63 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn warm_start_hints_are_free_and_seeds_are_projected() {
+        let (space, ev) = problem();
+        let warm = WarmStart {
+            seeds: vec![vec![5000], vec![10], vec![10], vec![7, 7]],
+            hints: vec![(vec![10], vec![1.0, 2.0]), (vec![-3], vec![0.0, 0.0])],
+        };
+        let mut session = TuningSession::new(space, &ev)
+            .with_batch(BatchEval::sequential())
+            .with_budget(2)
+            .with_warm_start(warm);
+        // Seeds: 5000 projected to 1000, duplicate 10 dropped, wrong-arity
+        // [7, 7] dropped.
+        assert_eq!(session.seed_configs(), &[vec![1000], vec![10]]);
+        // Out-of-space hint [-3] rejected; in-space hint primed.
+        assert_eq!(session.primed(), 1);
+        // The hinted config is a cache hit serving the archived objectives:
+        // no fresh evaluation, no budget consumed.
+        let out = session.evaluate(&[vec![10]]);
+        assert_eq!(out[0], Some(vec![1.0, 2.0]));
+        assert_eq!(session.evaluations(), 0);
+        assert_eq!(session.remaining_budget(), Some(2));
+        assert!(!session.budget_exhausted());
+        // A non-hinted seed is a fresh evaluation and is paid for.
+        let out = session.evaluate(&[vec![1000]]);
+        assert!(out[0].is_some());
+        assert_eq!(session.evaluations(), 1);
+        assert_eq!(session.remaining_budget(), Some(1));
+    }
+
+    #[test]
+    fn warm_start_hint_arity_mismatch_rejected() {
+        let (space, ev) = problem();
+        let warm = WarmStart {
+            seeds: vec![],
+            hints: vec![(vec![10], vec![1.0])], // 1 objective vs 2 expected
+        };
+        let session = TuningSession::new(space, &ev).with_warm_start(warm);
+        assert_eq!(session.primed(), 0);
+    }
+
+    #[test]
+    fn warm_start_constructors() {
+        let pts = vec![
+            Point::new(vec![1], vec![1.0, 2.0]),
+            Point::new(vec![2], vec![2.0, 1.0]),
+        ];
+        let exact = WarmStart::exact(&pts);
+        assert_eq!(exact.seeds.len(), 2);
+        assert_eq!(exact.hints.len(), 2);
+        let transfer = WarmStart::transfer(&pts);
+        assert_eq!(transfer.seeds.len(), 2);
+        assert!(transfer.hints.is_empty());
+        assert!(WarmStart::default().is_empty());
+        assert!(!exact.is_empty());
     }
 
     #[test]

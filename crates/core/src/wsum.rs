@@ -9,10 +9,15 @@
 //! unreachable for *any* weights, and evaluations are not shared between
 //! the sweeps — makes it a meaningful baseline for the ablation study.
 
+#[cfg(any(test, feature = "deprecated-shims"))]
 use crate::evaluate::{BatchEval, Evaluator};
 use crate::pareto::{ParetoFront, Point};
-use crate::rsgde3::{FrontSignature, TuningResult};
-use crate::space::{Config, ParamSpace};
+use crate::rsgde3::FrontSignature;
+#[cfg(feature = "deprecated-shims")]
+use crate::rsgde3::TuningResult;
+use crate::space::Config;
+#[cfg(any(test, feature = "deprecated-shims"))]
+use crate::space::ParamSpace;
 use crate::tuner::{StopReason, Tuner, TuningReport, TuningSession};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -226,6 +231,7 @@ impl Tuner for WeightedSumTuner {
 
 /// Run the sweep: one single-objective DE minimization per weight vector;
 /// the returned front is the non-dominated set of the per-weight winners.
+#[cfg(feature = "deprecated-shims")]
 #[deprecated(note = "drive a `WeightedSumTuner` through a `TuningSession` instead")]
 pub fn weighted_sweep(
     space: &ParamSpace,
@@ -245,10 +251,6 @@ pub fn weighted_sweep(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated `weighted_sweep` shim must keep its exact legacy
-    // contract; these tests exercise it deliberately.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::evaluate::ObjVec;
     use crate::space::Domain;
@@ -271,10 +273,15 @@ mod tests {
         (space, ev)
     }
 
+    fn sweep(space: &ParamSpace, ev: &dyn Evaluator, params: WeightedSweepParams) -> TuningReport {
+        let mut session = TuningSession::new(space.clone(), ev).with_batch(BatchEval::sequential());
+        session.run(&WeightedSumTuner::new(params))
+    }
+
     #[test]
     fn finds_both_extremes() {
         let (space, ev) = problem();
-        let r = weighted_sweep(&space, &ev, &BatchEval::sequential(), Default::default());
+        let r = sweep(&space, &ev, Default::default());
         assert!(!r.front.is_empty());
         let best0 = r
             .front
@@ -306,7 +313,7 @@ mod tests {
             num_weights: 6,
             ..Default::default()
         };
-        let r = weighted_sweep(&space, &ev, &BatchEval::sequential(), params);
+        let r = sweep(&space, &ev, params);
         assert!(
             r.front.len() <= 6,
             "one winner per weight at most: {}",
@@ -317,8 +324,57 @@ mod tests {
     #[test]
     fn deterministic() {
         let (space, ev) = problem();
-        let a = weighted_sweep(&space, &ev, &BatchEval::sequential(), Default::default());
-        let b = weighted_sweep(&space, &ev, &BatchEval::sequential(), Default::default());
+        let a = sweep(&space, &ev, Default::default());
+        let b = sweep(&space, &ev, Default::default());
+        assert_eq!(a.front.points(), b.front.points());
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn one_trace_signature_per_completed_weight() {
+        let (space, ev) = problem();
+        let params = WeightedSweepParams {
+            num_weights: 4,
+            ..Default::default()
+        };
+        let r = sweep(&space, &ev, params);
+        assert_eq!(r.trace.len(), 4);
+        assert_eq!(r.iterations, 4);
+    }
+}
+
+#[cfg(all(test, feature = "deprecated-shims"))]
+mod legacy_shim_tests {
+    // The deprecated `weighted_sweep` shim must keep its exact legacy
+    // contract; these tests exercise it deliberately.
+    #![allow(deprecated)]
+
+    use super::*;
+    use crate::evaluate::ObjVec;
+    use crate::space::Domain;
+
+    #[test]
+    fn shim_keeps_legacy_contract() {
+        let space = ParamSpace::new(
+            vec!["x".into(), "y".into()],
+            vec![
+                Domain::Range { lo: 0, hi: 100 },
+                Domain::Range { lo: 0, hi: 100 },
+            ],
+        );
+        let ev = (2usize, |cfg: &Config| {
+            let (x, y) = (cfg[0] as f64, cfg[1] as f64);
+            Some(vec![x + y, (x - 80.0).powi(2) + (y - 80.0).powi(2)]) as Option<ObjVec>
+        });
+        let params = WeightedSweepParams::default();
+        let a = weighted_sweep(&space, &ev, &BatchEval::sequential(), params);
+        let b = weighted_sweep(&space, &ev, &BatchEval::sequential(), params);
+        assert!(!a.front.is_empty());
+        assert!(a.front.len() <= params.num_weights);
+        assert_eq!(
+            a.generations,
+            params.generations * params.num_weights as u32
+        );
         assert_eq!(a.front.points(), b.front.points());
         assert_eq!(a.evaluations, b.evaluations);
     }

@@ -11,6 +11,45 @@ use crate::nest::LoopNest;
 use crate::transform::{self, TransformError};
 use serde::{Deserialize, Serialize};
 
+/// Stable 64-bit FNV-1a hasher. Unlike `std::hash`, the digest is defined by
+/// this crate alone — independent of platform, Rust version and process — so
+/// it can serve as a persistent content-address (archive keys).
+struct SigHasher(u64);
+
+impl SigHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        SigHasher(Self::OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    fn str(&mut self, s: &str) -> &mut Self {
+        // Length-prefix so ("ab","c") and ("a","bc") hash differently.
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    fn i64(&mut self, v: i64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Value of a tuning parameter. All parameter kinds (tile sizes, thread
 /// counts, flags, factors) are modeled uniformly as integers, exactly as the
 /// paper's configurations do.
@@ -242,6 +281,66 @@ impl Skeleton {
     pub fn space_size(&self) -> u64 {
         self.params.iter().map(|p| p.domain.size()).product()
     }
+
+    /// Stable 64-bit signature of the skeleton's *structure*: its name,
+    /// parameter declarations (names and domains) and transformation steps.
+    ///
+    /// The digest is platform- and process-independent (FNV-1a over a
+    /// canonical encoding), so it is safe to persist — the tuning archive
+    /// uses it as one component of its content-address. Any change to the
+    /// transformation sequence or the tunable parameters yields a new
+    /// signature and therefore a new archive key.
+    pub fn signature(&self) -> u64 {
+        let mut h = SigHasher::new();
+        h.str("skeleton").str(&self.name);
+        h.u64(self.params.len() as u64);
+        for p in &self.params {
+            h.str(&p.name);
+            match &p.domain {
+                ParamDomain::IntRange { lo, hi } => {
+                    h.str("range").i64(*lo).i64(*hi);
+                }
+                ParamDomain::Choice(vals) => {
+                    h.str("choice").u64(vals.len() as u64);
+                    for &v in vals {
+                        h.i64(v);
+                    }
+                }
+                ParamDomain::Bool => {
+                    h.str("bool");
+                }
+            }
+        }
+        h.u64(self.steps.len() as u64);
+        for step in &self.steps {
+            match step {
+                Step::Tile { band, size_params } => {
+                    h.str("tile")
+                        .u64(*band as u64)
+                        .u64(size_params.len() as u64);
+                    for &p in size_params {
+                        h.u64(p as u64);
+                    }
+                }
+                Step::Interchange { perm } => {
+                    h.str("interchange").u64(perm.len() as u64);
+                    for &p in perm {
+                        h.u64(p as u64);
+                    }
+                }
+                Step::Collapse { count } => {
+                    h.str("collapse").u64(*count as u64);
+                }
+                Step::Parallelize { threads_param } => {
+                    h.str("parallelize").u64(*threads_param as u64);
+                }
+                Step::Unroll { factor_param } => {
+                    h.str("unroll").u64(*factor_param as u64);
+                }
+            }
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +443,28 @@ mod tests {
         assert!(d.contains(0) && d.contains(1) && !d.contains(2));
         assert_eq!(d.nearest(7), 1);
         assert_eq!(d.nearest(-1), 0);
+    }
+
+    #[test]
+    fn signature_is_stable_and_structure_sensitive() {
+        let sk = mm_skeleton(64, vec![1, 2, 4, 8]);
+        // Deterministic across calls (and, by construction, across runs).
+        assert_eq!(sk.signature(), sk.signature());
+        // Any structural change moves the signature.
+        let mut renamed = sk.clone();
+        renamed.name = "other".into();
+        assert_ne!(sk.signature(), renamed.signature());
+        let mut wider = sk.clone();
+        wider.params[0].domain = ParamDomain::IntRange { lo: 1, hi: 64 };
+        assert_ne!(sk.signature(), wider.signature());
+        let mut restep = sk.clone();
+        restep.steps.push(Step::Unroll { factor_param: 0 });
+        assert_ne!(sk.signature(), restep.signature());
+        // Equal structure ⇒ equal signature.
+        assert_eq!(
+            sk.signature(),
+            mm_skeleton(64, vec![1, 2, 4, 8]).signature()
+        );
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Compact machine feature vectors: stable fingerprints and a distance
+//! metric for nearest-machine transfer.
+//!
+//! The tuning archive keys stored Pareto fronts by machine. Two needs
+//! follow: (1) a *stable* 64-bit fingerprint of the performance-relevant
+//! description — platform- and process-independent, safe to persist as part
+//! of a content-address — and (2) a *distance* between machines, so that a
+//! front tuned on the nearest known machine can seed the search when no
+//! exact match exists (cross-machine transfer). Both operate on
+//! [`MachineFeatures`], a reduced view of [`MachineDesc`] that deliberately
+//! ignores parameters irrelevant to which configurations win (noise,
+//! calibration constants, display name).
+
+use crate::desc::MachineDesc;
+use serde::{Deserialize, Serialize};
+
+/// Reduced, serializable view of a machine: the topology and capacity
+/// numbers that determine which tuning configurations perform well.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineFeatures {
+    /// Display name (informational; excluded from fingerprint & distance).
+    pub name: String,
+    /// Number of chips (sockets).
+    pub sockets: u64,
+    /// Physical cores per chip.
+    pub cores_per_socket: u64,
+    /// Cache capacities in bytes, innermost (L1d) first.
+    pub cache_sizes: Vec<u64>,
+    /// Cache line sizes in bytes, same order.
+    pub cache_lines: Vec<u64>,
+    /// Main-memory load latency in core cycles.
+    pub mem_latency_cycles: f64,
+    /// Sustained memory bandwidth per chip, bytes per core cycle.
+    pub chip_bandwidth_bytes_per_cycle: f64,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Sustained scalar floating-point operations per cycle per core.
+    pub flops_per_cycle: f64,
+}
+
+impl MachineFeatures {
+    /// Stable 64-bit FNV-1a fingerprint of the feature vector (excluding
+    /// the display name, so renaming a machine does not orphan its archive
+    /// entries). Floats are hashed by their IEEE-754 bit patterns.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut put = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        put(self.sockets);
+        put(self.cores_per_socket);
+        put(self.cache_sizes.len() as u64);
+        for &s in &self.cache_sizes {
+            put(s);
+        }
+        for &l in &self.cache_lines {
+            put(l);
+        }
+        put(self.mem_latency_cycles.to_bits());
+        put(self.chip_bandwidth_bytes_per_cycle.to_bits());
+        put(self.freq_ghz.to_bits());
+        put(self.flops_per_cycle.to_bits());
+        h
+    }
+
+    /// Distance to another machine: a weighted sum of relative log-scale
+    /// differences over (total cores, cores per chip, per-level cache
+    /// capacities, memory latency, bandwidth, clock, FP throughput).
+    ///
+    /// Log-scale makes the metric unit- and magnitude-free: a 32 KiB vs
+    /// 64 KiB L1 counts the same as a 15 MiB vs 30 MiB L3. Core counts and
+    /// cache capacities dominate the weights because they determine the
+    /// useful thread counts and tile sizes — the quantities a transferred
+    /// front actually encodes. Mismatched cache-depth entries are compared
+    /// against a 1-byte stand-in, heavily penalizing structural mismatch.
+    pub fn distance(&self, other: &MachineFeatures) -> f64 {
+        fn logdiff(a: f64, b: f64) -> f64 {
+            (a.max(1e-12).ln() - b.max(1e-12).ln()).abs()
+        }
+        let mut d = 0.0;
+        d += 2.0
+            * logdiff(
+                (self.sockets * self.cores_per_socket) as f64,
+                (other.sockets * other.cores_per_socket) as f64,
+            );
+        d += 1.0 * logdiff(self.cores_per_socket as f64, other.cores_per_socket as f64);
+        let depth = self.cache_sizes.len().max(other.cache_sizes.len());
+        for i in 0..depth {
+            let a = self.cache_sizes.get(i).copied().unwrap_or(1) as f64;
+            let b = other.cache_sizes.get(i).copied().unwrap_or(1) as f64;
+            d += 1.5 * logdiff(a, b);
+        }
+        d += 0.5 * logdiff(self.mem_latency_cycles, other.mem_latency_cycles);
+        d += 0.5
+            * logdiff(
+                self.chip_bandwidth_bytes_per_cycle,
+                other.chip_bandwidth_bytes_per_cycle,
+            );
+        d += 0.25 * logdiff(self.freq_ghz, other.freq_ghz);
+        d += 0.25 * logdiff(self.flops_per_cycle, other.flops_per_cycle);
+        d
+    }
+}
+
+impl MachineDesc {
+    /// The reduced feature vector used for archive keys and transfer.
+    pub fn features(&self) -> MachineFeatures {
+        MachineFeatures {
+            name: self.name.clone(),
+            sockets: self.sockets as u64,
+            cores_per_socket: self.cores_per_socket as u64,
+            cache_sizes: self.levels.iter().map(|l| l.size).collect(),
+            cache_lines: self.levels.iter().map(|l| l.line).collect(),
+            mem_latency_cycles: self.mem_latency_cycles,
+            chip_bandwidth_bytes_per_cycle: self.chip_bandwidth_bytes_per_cycle,
+            freq_ghz: self.freq_ghz,
+            flops_per_cycle: self.flops_per_cycle,
+        }
+    }
+
+    /// Stable 64-bit fingerprint of this machine's performance-relevant
+    /// description — shorthand for `self.features().fingerprint()`.
+    pub fn fingerprint(&self) -> u64 {
+        self.features().fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_stable_and_name_independent() {
+        let w = MachineDesc::westmere();
+        assert_eq!(w.fingerprint(), MachineDesc::westmere().fingerprint());
+        let mut renamed = w.clone();
+        renamed.name = "westmere-prime".into();
+        assert_eq!(w.fingerprint(), renamed.fingerprint());
+        assert_ne!(w.fingerprint(), MachineDesc::barcelona().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_capacity() {
+        let w = MachineDesc::westmere();
+        let mut small_l3 = w.clone();
+        small_l3.levels.last_mut().unwrap().size /= 2;
+        assert_ne!(w.fingerprint(), small_l3.fingerprint());
+    }
+
+    #[test]
+    fn distance_is_a_premetric() {
+        let w = MachineDesc::westmere().features();
+        let b = MachineDesc::barcelona().features();
+        assert_eq!(w.distance(&w), 0.0);
+        assert!(w.distance(&b) > 0.0);
+        // Symmetry (log differences are absolute).
+        assert!((w.distance(&b) - b.distance(&w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearer_machine_wins() {
+        // A slightly shrunk Westmere is closer to Westmere than Barcelona is.
+        let w = MachineDesc::westmere().features();
+        let b = MachineDesc::barcelona().features();
+        let mut near = w.clone();
+        near.cache_sizes[2] /= 2;
+        near.chip_bandwidth_bytes_per_cycle *= 0.8;
+        assert!(w.distance(&near) < w.distance(&b));
+    }
+}

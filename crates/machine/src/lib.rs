@@ -25,10 +25,12 @@
 
 pub mod cost;
 pub mod desc;
+pub mod features;
 pub mod footprint;
 pub mod noise;
 
 pub use cost::{CostBreakdown, CostModel, Measurement};
 pub use desc::{CacheLevelDesc, CacheScope, EnergyDesc, MachineDesc};
+pub use features::MachineFeatures;
 pub use footprint::{nest_footprints, ArrayFootprint, DepthFootprint};
 pub use noise::NoiseModel;

@@ -6,6 +6,7 @@
 //! contract between the compiler backend and the runtime system's
 //! decision-making; it serializes to JSON for embedding or inspection.
 
+use moat_archive::ArchiveRecord;
 use moat_core::pareto::ParetoFront;
 use moat_ir::Skeleton;
 use moat_runtime::VersionMeta;
@@ -81,6 +82,50 @@ impl VersionTable {
             region: region.into(),
             param_names,
             objective_names,
+            versions,
+        }
+    }
+
+    /// Rebuild a version table from an archived tuning result — the
+    /// "load the Pareto set from disk instead of re-tuning" path. The
+    /// record carries its own parameter/objective names, so no skeleton is
+    /// needed; `threads_param` defaults to the parameter named `"threads"`
+    /// when present (pass an explicit index to override).
+    pub fn from_archive(record: &ArchiveRecord, threads_param: Option<usize>) -> Self {
+        let threads_param =
+            threads_param.or_else(|| record.param_names.iter().position(|n| n == "threads"));
+        let mut versions: Vec<VersionEntry> = record
+            .front
+            .iter()
+            .map(|p| {
+                let threads = threads_param
+                    .and_then(|i| p.config.get(i).copied())
+                    .unwrap_or(1)
+                    .max(1) as usize;
+                let label = record
+                    .param_names
+                    .iter()
+                    .zip(&p.config)
+                    .map(|(n, v)| format!("{n}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                VersionEntry {
+                    values: p.config.clone(),
+                    objectives: p.objectives.clone(),
+                    threads,
+                    label,
+                }
+            })
+            .collect();
+        versions.sort_by(|a, b| {
+            a.objectives[0]
+                .partial_cmp(&b.objectives[0])
+                .expect("NaN objective")
+        });
+        VersionTable {
+            region: record.region.clone(),
+            param_names: record.param_names.clone(),
+            objective_names: record.objective_names.clone(),
             versions,
         }
     }
@@ -311,6 +356,36 @@ mod tests {
         );
         let back = VersionTable::from_json(&t.to_json()).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn from_archive_matches_from_front() {
+        use moat_archive::{ArchiveKey, ArchiveRecord, FORMAT_VERSION};
+
+        let sk = skeleton();
+        let names: Vec<String> = vec!["time".into(), "resources".into()];
+        let direct = VersionTable::from_front("mm", &sk, &front(), names.clone(), Some(3));
+
+        let mut record = ArchiveRecord {
+            format_version: FORMAT_VERSION,
+            key: ArchiveKey::new(1, 2, 3),
+            region: "mm".into(),
+            skeleton: sk.name.clone(),
+            machine: moat_machine::MachineDesc::westmere().features(),
+            param_names: sk.params.iter().map(|p| p.name.clone()).collect(),
+            objective_names: names,
+            evaluations: 0,
+            runs: 1,
+            front: Vec::new(),
+        };
+        record.merge_points(front().points());
+
+        // The `"threads"` parameter is auto-detected by name.
+        let loaded = VersionTable::from_archive(&record, None);
+        assert_eq!(loaded, direct);
+        // An explicit index overrides detection.
+        let seq = VersionTable::from_archive(&record, Some(0));
+        assert_eq!(seq.versions[2].threads, 96, "tile_i misused as threads");
     }
 
     #[test]

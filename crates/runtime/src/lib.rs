@@ -14,11 +14,13 @@
 pub mod adaptive;
 pub mod monitor;
 pub mod pool;
+pub mod registry;
 pub mod schedule;
 pub mod select;
 
 pub use adaptive::AdaptiveSelector;
 pub use monitor::{measure, RegionStats};
 pub use pool::{static_chunk, Pool};
+pub use registry::VersionRegistry;
 pub use schedule::{schedule, schedule_fixed_version, Placement, Schedule, Task};
 pub use select::{SelectionContext, SelectionPolicy, VersionMeta};

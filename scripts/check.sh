@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test -q --workspace
 
+echo "== cargo test (moat-core, deprecated-shims feature) =="
+cargo test -q -p moat-core --features deprecated-shims
+
 echo "All checks passed."

@@ -10,6 +10,8 @@
 //!   --size <N>                                        problem size (default: paper size)
 //!   --strategy <rs-gde3|gde3|random|nsga2|wsum|grid>  search strategy (default rs-gde3)
 //!   --budget <E>                                      hard cap on distinct evaluations
+//!   --archive <DIR>                                   record the result in a tuning archive
+//!   --warm-start                                      seed the optimizer from the archive
 //!   --seed <S>                                        optimizer seed (default 42)
 //!   --generations <G>                                 max GDE3 generations (default 200)
 //!   --energy                                          add the energy objective (3 objectives)
@@ -27,7 +29,10 @@ use moat::core::{
 };
 use moat::ir::{analyze, AnalyzerConfig, Step};
 use moat::multiversion::{emit_multiversioned_c, emit_parameterized_c, VersionTable};
-use moat::{ir_space, Kernel, MachineDesc, MultiObjectiveEvaluator, Objective};
+use moat::{
+    ir_space, Archive, ArchiveKey, ArchiveRecord, Kernel, MachineDesc, MultiObjectiveEvaluator,
+    Objective, WarmStartSource,
+};
 use moat_machine::{CostModel, NoiseModel};
 use std::process::exit;
 
@@ -39,6 +44,8 @@ struct Opts {
     size: Option<i64>,
     strategy: StrategyKind,
     budget: Option<u64>,
+    archive: Option<String>,
+    warm_start: bool,
     seed: u64,
     generations: u32,
     energy: bool,
@@ -53,9 +60,12 @@ fn usage() -> ! {
         "{}",
         include_str!("moat-tune.rs")
             .lines()
-            .skip(2)
-            .take(15)
-            .map(|l| l.trim_start_matches("//! "))
+            .skip(3)
+            .take(18)
+            .map(|l| {
+                let l = l.strip_prefix("//!").unwrap_or(l);
+                l.strip_prefix(' ').unwrap_or(l)
+            })
             .collect::<Vec<_>>()
             .join("\n")
     );
@@ -70,6 +80,8 @@ fn parse_args() -> Opts {
         size: None,
         strategy: StrategyKind::RsGde3,
         budget: None,
+        archive: None,
+        warm_start: false,
         seed: 42,
         generations: 200,
         energy: false,
@@ -117,11 +129,19 @@ fn parse_args() -> Opts {
             "--strategy" => {
                 let v = value("--strategy");
                 opts.strategy = StrategyKind::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown strategy: {v} (rs-gde3|gde3|random|nsga2|wsum|grid)");
+                    // Keep the list truthful as strategies come and go.
+                    let known = StrategyKind::all()
+                        .iter()
+                        .map(|s| s.name())
+                        .collect::<Vec<_>>()
+                        .join("|");
+                    eprintln!("unknown strategy: {v} (known strategies: {known})");
                     exit(2)
                 });
             }
             "--budget" => opts.budget = Some(value("--budget").parse().unwrap_or_else(|_| usage())),
+            "--archive" => opts.archive = Some(value("--archive")),
+            "--warm-start" => opts.warm_start = true,
             "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--generations" => {
                 opts.generations = value("--generations").parse().unwrap_or_else(|_| usage())
@@ -202,11 +222,63 @@ fn main() {
         })),
     };
     let space = ir_space(&region.skeletons[0]);
-    let mut session = TuningSession::new(space, &ev).with_batch(BatchEval::default());
+    let mut session = TuningSession::new(space.clone(), &ev).with_batch(BatchEval::default());
     if let Some(budget) = opts.budget {
         session = session.with_budget(budget);
     }
+
+    // Tuning archive: seed from past runs, record this one.
+    let archive = opts.archive.as_ref().map(|root| {
+        Archive::open(root).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1)
+        })
+    });
+    if opts.warm_start && archive.is_none() {
+        eprintln!("--warm-start requires --archive <DIR>");
+        exit(2);
+    }
+    let key = ArchiveKey::of(&region.skeletons[0], &space, &opts.machine);
+    let mut warm_note = String::new();
+    if opts.warm_start {
+        let archive = archive.as_ref().expect("checked above");
+        match archive.warm_start_for(&key, &opts.machine.features()) {
+            Ok(Some((warm, source))) => {
+                warm_note = match source {
+                    WarmStartSource::Exact => {
+                        format!(" warm-start=exact({} hints)", warm.hints.len())
+                    }
+                    WarmStartSource::Transfer { machine, distance } => format!(
+                        " warm-start=transfer({machine}, d={distance:.2}, {} seeds)",
+                        warm.seeds.len()
+                    ),
+                };
+                session = session.with_warm_start(warm);
+            }
+            Ok(None) => warm_note = " warm-start=cold".into(),
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1)
+            }
+        }
+    }
+
     let result = session.run(tuner.as_ref());
+
+    if let Some(archive) = &archive {
+        let record = ArchiveRecord::from_report(
+            region.name.clone(),
+            &region.skeletons[0],
+            &space,
+            &opts.machine,
+            objectives.iter().map(|o| o.name().to_string()).collect(),
+            &result,
+        );
+        if let Err(e) = archive.insert(&record) {
+            eprintln!("{e}");
+            exit(1)
+        }
+    }
 
     let threads_param = region.skeletons[0].steps.iter().find_map(|s| match s {
         Step::Parallelize { threads_param } => Some(*threads_param),
@@ -228,7 +300,7 @@ fn main() {
         hypervolume(&normalize_front(result.front.points(), &ideal, &nadir))
     };
     println!(
-        "tuned {} on {} via {}: E={} |S|={} iterations={} stop={} self-hv={:.3}",
+        "tuned {} on {} via {}: E={} |S|={} iterations={} stop={} self-hv={:.3}{}",
         region.name,
         opts.machine.name,
         opts.strategy,
@@ -236,7 +308,8 @@ fn main() {
         table.len(),
         result.iterations,
         result.stop.name(),
-        hv
+        hv,
+        warm_note
     );
     let _ = size;
     if !opts.quiet {

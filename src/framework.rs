@@ -1,6 +1,7 @@
 //! The end-to-end auto-tuning pipeline (paper Fig. 3, labels 1–5).
 
 use crate::sim::{ir_space, SimEvaluator, OBJECTIVE_NAMES};
+use moat_archive::{Archive, ArchiveKey, ArchiveRecord, WarmStartSource};
 use moat_core::{
     BatchEval, GridTuner, Nsga2Params, Nsga2Tuner, RandomTuner, RsGde3Params, RsGde3Tuner,
     StrategyKind, Tuner, TuningReport, TuningSession, WeightedSumTuner, WeightedSweepParams,
@@ -8,6 +9,7 @@ use moat_core::{
 use moat_ir::{analyze, AnalyzerConfig, Region, Step, Variant};
 use moat_machine::{CostModel, MachineDesc, NoiseModel};
 use moat_multiversion::{emit_multiversioned_c, VersionTable};
+use std::path::PathBuf;
 
 /// A fully tuned region: the optimizer's result plus the backend artifacts.
 #[derive(Debug, Clone)]
@@ -25,6 +27,9 @@ pub struct TunedRegion {
     pub variants: Vec<Variant>,
     /// Generated multi-versioned C (OpenMP) source.
     pub source_c: String,
+    /// Where the optimizer's warm start came from, when a tuning archive
+    /// was consulted (`None`: cold start or no archive configured).
+    pub warm_start: Option<WarmStartSource>,
 }
 
 /// The auto-tuning framework bound to one target machine.
@@ -55,6 +60,16 @@ pub struct Framework {
     /// then emits structurally unrolled versions — the transformation the
     /// paper cites as impossible to express with runtime parameters).
     pub tune_unroll: bool,
+    /// Directory of a persistent tuning archive. When set, every tuning
+    /// run is recorded there, and (with [`warm_start`](Self::warm_start))
+    /// later runs of the same problem are seeded from it.
+    pub archive: Option<PathBuf>,
+    /// Seed the optimizer from the archive: an exact (skeleton, space,
+    /// machine) hit replays archived points as free cache hits; otherwise
+    /// the front tuned on the feature-nearest machine seeds the initial
+    /// population and is re-evaluated here. No-op without
+    /// [`archive`](Self::archive).
+    pub warm_start: bool,
 }
 
 impl Framework {
@@ -70,6 +85,8 @@ impl Framework {
             batch: BatchEval::default(),
             max_versions: None,
             tune_unroll: false,
+            archive: None,
+            warm_start: false,
         }
     }
 
@@ -141,11 +158,46 @@ impl Framework {
             model: &model,
         };
         let space = ir_space(skeleton);
-        let mut session = TuningSession::new(space, &evaluator).with_batch(self.batch);
+        let mut session = TuningSession::new(space.clone(), &evaluator).with_batch(self.batch);
         if let Some(budget) = self.budget {
             session = session.with_budget(budget);
         }
+
+        // Consult the tuning archive: exact hits replay for free,
+        // near-machine fronts seed the population.
+        let archive = match &self.archive {
+            Some(root) => Some(Archive::open(root).map_err(|e| e.to_string())?),
+            None => None,
+        };
+        let key = ArchiveKey::of(skeleton, &space, &self.machine);
+        let mut warm_source = None;
+        if self.warm_start {
+            if let Some(archive) = &archive {
+                let features = self.machine.features();
+                if let Some((warm, source)) = archive
+                    .warm_start_for(&key, &features)
+                    .map_err(|e| e.to_string())?
+                {
+                    session = session.with_warm_start(warm);
+                    warm_source = Some(source);
+                }
+            }
+        }
+
         let result = session.run(self.make_tuner().as_ref());
+
+        // Record the (merged) outcome for future runs.
+        if let Some(archive) = &archive {
+            let record = ArchiveRecord::from_report(
+                region.name.clone(),
+                skeleton,
+                &space,
+                &self.machine,
+                OBJECTIVE_NAMES.iter().map(|s| s.to_string()).collect(),
+                &result,
+            );
+            archive.insert(&record).map_err(|e| e.to_string())?;
+        }
 
         // (5) Backend: one specialized version per Pareto point + table.
         let threads_param = skeleton.steps.iter().find_map(|s| match s {
@@ -180,6 +232,7 @@ impl Framework {
             table,
             variants,
             source_c,
+            warm_start: warm_source,
         })
     }
 }
@@ -312,6 +365,54 @@ mod tests {
         let b = fw.tune(Kernel::Jacobi2d.region(128)).unwrap();
         assert_eq!(a.table, b.table);
         assert_eq!(a.source_c, b.source_c);
+    }
+
+    #[test]
+    fn archive_warm_start_replays_exact_hits() {
+        let dir =
+            std::env::temp_dir().join(format!("moat-framework-warmstart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut fw = quick_framework();
+        fw.noise = None;
+        fw.archive = Some(dir.clone());
+        fw.warm_start = true;
+
+        // Cold run: nothing archived yet, pays full price.
+        let cold = fw.tune(Kernel::Mm.region(96)).unwrap();
+        assert_eq!(cold.warm_start, None);
+        assert!(cold.result.evaluations > 0);
+
+        // Warm run of the identical problem: exact key hit, the archived
+        // front replays as free cache hits and seeds the population.
+        let warm = fw.tune(Kernel::Mm.region(96)).unwrap();
+        assert_eq!(warm.warm_start, Some(WarmStartSource::Exact));
+        assert!(
+            warm.result.evaluations < cold.result.evaluations,
+            "warm start must save fresh evaluations: {} vs {}",
+            warm.result.evaluations,
+            cold.result.evaluations
+        );
+        // The archived knowledge is not lost: the warm front is at least
+        // as good wherever the cold front had a point.
+        assert!(!warm.result.front.is_empty());
+
+        // A machine with the same topology (same tunable space) but a
+        // different cache hierarchy gets a transfer, not an exact hit.
+        let mut other = fw.clone();
+        other.machine = MachineDesc::symmetric("Other", 4, 10, 64, 512, 16, 2.0);
+        let transferred = other.tune(Kernel::Mm.region(96)).unwrap();
+        match transferred.warm_start {
+            Some(WarmStartSource::Transfer {
+                ref machine,
+                distance,
+            }) => {
+                assert_eq!(machine, "Westmere");
+                assert!(distance > 0.0);
+            }
+            ref other => panic!("expected transfer warm start, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

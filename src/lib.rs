@@ -62,6 +62,7 @@ pub use sim::{
 };
 
 // Re-export the sub-crates under stable names.
+pub use moat_archive as archive;
 pub use moat_cachesim as cachesim;
 pub use moat_core as core;
 pub use moat_ir as ir;
@@ -71,12 +72,13 @@ pub use moat_multiversion as multiversion;
 pub use moat_runtime as runtime;
 
 // Convenience re-exports used by examples and benches.
+pub use moat_archive::{Archive, ArchiveKey, ArchiveRecord, WarmStartSource};
 pub use moat_core::{
     BatchEval, EventLog, EventSink, ParetoFront, RsGde3, RsGde3Params, RsGde3Tuner, StopReason,
-    StrategyKind, Tuner, TuningEvent, TuningReport, TuningResult, TuningSession,
+    StrategyKind, Tuner, TuningEvent, TuningReport, TuningResult, TuningSession, WarmStart,
 };
 pub use moat_ir::Region;
 pub use moat_kernels::Kernel;
-pub use moat_machine::{CostModel, MachineDesc, NoiseModel};
+pub use moat_machine::{CostModel, MachineDesc, MachineFeatures, NoiseModel};
 pub use moat_multiversion::VersionTable;
-pub use moat_runtime::{Pool, SelectionContext, SelectionPolicy};
+pub use moat_runtime::{Pool, SelectionContext, SelectionPolicy, VersionRegistry};
