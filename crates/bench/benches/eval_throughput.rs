@@ -1,0 +1,196 @@
+//! Evaluation-throughput baseline: how fast is the tuning hot loop?
+//!
+//! Three measurements, emitted as JSON (`BENCH_eval.json` via
+//! `scripts/bench.sh`) so the numbers are tracked across PRs:
+//!
+//! 1. **Cache simulation**: simulated accesses/second of the streaming
+//!    parallel path (`simulate_nest`) vs the legacy materialize-then-replay
+//!    path (`per_thread_traces` + `simulate_traces`), on a parallel tiled
+//!    mm nest over a Westmere-like hierarchy. The two paths must agree on
+//!    every counter — the comparison doubles as a bitrot check.
+//! 2. **Analytic evaluation**: objective evaluations/second of the
+//!    `SimEvaluator` cost-model path (the optimizer's actual inner loop).
+//! 3. **End-to-end tuning**: wall-clock of a full RS-GDE3 run on
+//!    mm/Westmere with default parameters.
+//!
+//! `--smoke` shrinks every instance to a few milliseconds for CI; the JSON
+//! then reports `"smoke": true` and must not be committed as a baseline.
+
+use moat::core::{BatchEval, Evaluator, RsGde3Params, RsGde3Tuner, TuningSession};
+use moat::{Kernel, MachineDesc};
+use moat_bench::Setup;
+use moat_cachesim::{
+    per_thread_traces, simulate_nest, simulate_traces, CacheConfig, HierarchyConfig,
+    MultiCoreHierarchy,
+};
+use moat_ir::transform;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct CachesimReport {
+    n: i64,
+    tile: i64,
+    threads: usize,
+    accesses: u64,
+    legacy_s: f64,
+    streaming_s: f64,
+    legacy_accesses_per_s: f64,
+    streaming_accesses_per_s: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct AnalyticReport {
+    evals: usize,
+    wall_s: f64,
+    evals_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct TuningWallReport {
+    strategy: &'static str,
+    wall_s: f64,
+    evaluations: u64,
+    front_size: usize,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    smoke: bool,
+    kernel: &'static str,
+    machine: &'static str,
+    cachesim: CachesimReport,
+    analytic_eval: AnalyticReport,
+    tuning: TuningWallReport,
+}
+
+/// Westmere-like hierarchy (Table I): 32 KiB L1 + 256 KiB L2 private,
+/// 12 MiB shared L3 (12288 sets — exercises the non-power-of-two set
+/// indexing), stream prefetcher of depth 2.
+fn hierarchy(cores: usize) -> MultiCoreHierarchy {
+    MultiCoreHierarchy::new(HierarchyConfig {
+        private_levels: vec![
+            CacheConfig::new(32 * 1024, 8, 64),
+            CacheConfig::new(256 * 1024, 8, 64),
+        ],
+        shared_level: CacheConfig::new(12 * 1024 * 1024, 16, 64),
+        cores_per_chip: cores,
+        cores,
+        prefetch_depth: 2,
+    })
+}
+
+/// Minimum wall-clock over `reps` runs of `f` (first run included: the
+/// minimum discards warm-up noise by construction).
+fn best_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut out = 0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (n, tile, reps, evals, tuning_generations) = if smoke {
+        (24i64, 8u64, 1usize, 200usize, 3u32)
+    } else {
+        (96, 24, 3, 2000, u32::MAX)
+    };
+    let threads = 4usize;
+
+    // --- 1. cache simulation: streaming vs legacy materialized traces ---
+    let region = Kernel::Mm.region(n);
+    let tiled = transform::tile(&region.nest, 3, &[tile, tile, tile]).expect("tileable");
+    let par = transform::collapse_and_parallelize(&tiled, 2, threads).expect("parallelizable");
+
+    let mut h_legacy = hierarchy(threads);
+    let (legacy_s, legacy_accesses) = best_of(reps, || {
+        h_legacy.flush();
+        let traces = per_thread_traces(&region.arrays, &par);
+        simulate_traces(&traces, &mut h_legacy)
+    });
+    let mut h_stream = hierarchy(threads);
+    let (streaming_s, streaming_accesses) = best_of(reps, || {
+        h_stream.flush();
+        simulate_nest(&region.arrays, &par, &mut h_stream)
+    });
+    assert_eq!(streaming_accesses, legacy_accesses, "access count diverged");
+    for lvl in 0..h_legacy.levels() {
+        assert_eq!(
+            h_stream.level_stats(lvl),
+            h_legacy.level_stats(lvl),
+            "level {lvl} stats diverged between streaming and legacy paths"
+        );
+    }
+    assert_eq!(h_stream.memory_accesses(), h_legacy.memory_accesses());
+    assert_eq!(h_stream.memory_writebacks(), h_legacy.memory_writebacks());
+    assert_eq!(h_stream.prefetches(), h_legacy.prefetches());
+
+    // --- 2. analytic objective evaluation (the tuner's inner loop) ---
+    let setup = Setup::new(Kernel::Mm, MachineDesc::westmere(), None);
+    let ev = setup.evaluator();
+    let cfg = vec![96, 128, 8, 10];
+    assert!(ev.evaluate(&cfg).is_some(), "probe config must be feasible");
+    let eval_t = Instant::now();
+    for _ in 0..evals {
+        black_box(ev.evaluate(black_box(&cfg)));
+    }
+    let eval_s = eval_t.elapsed().as_secs_f64();
+
+    // --- 3. end-to-end tuning wall-clock (RS-GDE3, mm/Westmere) ---
+    let params = RsGde3Params {
+        max_generations: tuning_generations.min(RsGde3Params::default().max_generations),
+        ..RsGde3Params::default()
+    };
+    let tune_t = Instant::now();
+    let mut session = TuningSession::new(setup.space.clone(), &ev).with_batch(BatchEval::default());
+    let report = session.run(&RsGde3Tuner::new(params));
+    let tuning_s = tune_t.elapsed().as_secs_f64();
+
+    let out = BenchReport {
+        smoke,
+        kernel: "mm",
+        machine: "Westmere",
+        cachesim: CachesimReport {
+            n,
+            tile: tile as i64,
+            threads,
+            accesses: streaming_accesses,
+            legacy_s,
+            streaming_s,
+            legacy_accesses_per_s: legacy_accesses as f64 / legacy_s,
+            streaming_accesses_per_s: streaming_accesses as f64 / streaming_s,
+            speedup: legacy_s / streaming_s,
+        },
+        analytic_eval: AnalyticReport {
+            evals,
+            wall_s: eval_s,
+            evals_per_s: evals as f64 / eval_s,
+        },
+        tuning: TuningWallReport {
+            strategy: "rs-gde3",
+            wall_s: tuning_s,
+            evaluations: report.evaluations,
+            front_size: report.front.len(),
+        },
+    };
+    let pretty = serde_json::to_string_pretty(&out).expect("serialize");
+    if let Some(path) = json_path {
+        std::fs::write(&path, format!("{pretty}\n")).expect("write JSON");
+        eprintln!("wrote {path}");
+    }
+    println!("{pretty}");
+}

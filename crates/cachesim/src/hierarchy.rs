@@ -41,6 +41,218 @@ impl LevelStats {
     }
 }
 
+/// A stream of `(byte address, is_write)` events that can be drawn in
+/// *runs*: blocks of accesses (one innermost-loop iteration) repeated a
+/// known number of times with an identical cache-line pattern.
+///
+/// The contract of [`next_run`](Self::next_run): the `reps` repetitions
+/// (including the one materialized in `buf`) touch the same lines — at
+/// `line_shift` granularity — with the same read/write flags in the same
+/// order. Since every architectural effect of the simulator (set/tag
+/// lookup, LRU order, dirty bits, prefetch detection) is line-granular,
+/// simulating each repetition with `buf`'s addresses is exact, and a
+/// repetition that hits everywhere without triggering prefetches leaves
+/// the cache state at a fixed point, so the rest of the run collapses into
+/// a hit-count credit.
+///
+/// The default implementation degrades to one access per run, which is
+/// trivially exact for any iterator.
+pub trait AccessSource: Iterator<Item = (u64, bool)> {
+    /// Fill `buf` with the next block of accesses and return how many
+    /// consecutive repetitions of its line pattern follow (including the
+    /// one in `buf`); 0 when the stream is exhausted.
+    fn next_run(&mut self, buf: &mut Vec<(u64, bool)>, line_shift: u32) -> u64 {
+        let _ = line_shift;
+        buf.clear();
+        match self.next() {
+            Some(a) => {
+                buf.push(a);
+                1
+            }
+            None => 0,
+        }
+    }
+}
+
+/// Adapter giving any plain access iterator the (degenerate) one-access-
+/// per-run [`AccessSource`] behavior.
+#[derive(Debug)]
+pub struct EachAccess<I>(pub I);
+
+impl<I: Iterator<Item = (u64, bool)>> Iterator for EachAccess<I> {
+    type Item = (u64, bool);
+
+    fn next(&mut self) -> Option<(u64, bool)> {
+        self.0.next()
+    }
+}
+
+impl<I: Iterator<Item = (u64, bool)>> AccessSource for EachAccess<I> {}
+
+/// An operation reaching the shared level, recorded during the parallel
+/// private-level phase of [`MultiCoreHierarchy::simulate_streams`] and
+/// replayed in deterministic round-robin order.
+#[derive(Debug, Clone, Copy)]
+enum SharedOp {
+    /// Stream-prefetch fill.
+    Prefetch(u64),
+    /// Demand access that missed every private level.
+    Demand {
+        /// Byte address.
+        addr: u64,
+        /// Write-allocate (marks the shared line dirty).
+        is_write: bool,
+    },
+    /// Dirty line written back from the outermost private level.
+    Writeback(u64),
+}
+
+/// Where a core's shared-level traffic goes: straight to the chip's shared
+/// cache (the sequential demand path) or into a per-core event log for
+/// deferred deterministic replay (the parallel streaming path).
+enum SharedSink<'a> {
+    Direct {
+        shared: &'a mut Cache,
+        memory_accesses: &'a mut u64,
+    },
+    Record {
+        ops: &'a mut Vec<(u64, SharedOp)>,
+        index: u64,
+    },
+}
+
+impl SharedSink<'_> {
+    fn prefetch(&mut self, addr: u64) {
+        match self {
+            SharedSink::Direct { shared, .. } => {
+                let _ = shared.receive_prefetch(addr);
+            }
+            SharedSink::Record { ops, index } => ops.push((*index, SharedOp::Prefetch(addr))),
+        }
+    }
+
+    /// Returns whether the shared level hit, when known immediately.
+    fn demand(&mut self, addr: u64, is_write: bool) -> Option<bool> {
+        match self {
+            SharedSink::Direct {
+                shared,
+                memory_accesses,
+            } => {
+                let (hit, _evicted) = shared.touch_evicting(addr, is_write);
+                // A dirty eviction from the shared level is counted as a
+                // memory write-back by the cache itself.
+                if !hit {
+                    **memory_accesses += 1;
+                }
+                Some(hit)
+            }
+            SharedSink::Record { ops, index } => {
+                ops.push((*index, SharedOp::Demand { addr, is_write }));
+                None
+            }
+        }
+    }
+
+    fn writeback(&mut self, addr: u64) {
+        match self {
+            SharedSink::Direct { shared, .. } => {
+                // The shared level absorbs the write-back; its own dirty
+                // evictions count as memory write-backs internally.
+                let _ = shared.receive_writeback(addr);
+            }
+            SharedSink::Record { ops, index } => ops.push((*index, SharedOp::Writeback(addr))),
+        }
+    }
+}
+
+/// The private (per-core) half of the hierarchy: the core's cache levels
+/// plus its stream-prefetcher state. Cores are fully independent of each
+/// other below the shared level, which is what lets
+/// [`MultiCoreHierarchy::simulate_streams`] run them in parallel.
+#[derive(Debug)]
+struct PrivateCore {
+    /// Private levels, innermost first.
+    levels: Vec<Cache>,
+    /// Last accessed line (stream detection).
+    last_line: Option<u64>,
+    prefetches: u64,
+}
+
+impl PrivateCore {
+    /// One demand access: prefetch detection, private-level descent, then
+    /// write-back propagation. Shared-level traffic goes to `sink`. Returns
+    /// the hit level (`None` = shared outcome unknown or memory).
+    fn issue(
+        &mut self,
+        prefetch_depth: usize,
+        addr: u64,
+        is_write: bool,
+        sink: &mut SharedSink<'_>,
+    ) -> Option<usize> {
+        // Stream prefetcher: on an ascending line-sequential access, pull
+        // the next lines into the core's innermost cache (demand path,
+        // without demand accounting).
+        if prefetch_depth > 0 {
+            let line_size = self.levels[0].config().line_size;
+            let line = addr / line_size;
+            let streaming = self.last_line == Some(line.wrapping_sub(1));
+            self.last_line = Some(line);
+            if streaming {
+                for d in 1..=prefetch_depth {
+                    let paddr = (line + d as u64) * line_size;
+                    self.prefetch(paddr, sink);
+                }
+            }
+        }
+        let n_private = self.levels.len();
+        // `(level the write-back originates from, line address)` — dirty
+        // evictions propagate toward memory after the access resolves.
+        let mut pending: Vec<(usize, u64)> = Vec::new();
+        let mut hit_level = None;
+        for (lvl, cache) in self.levels.iter_mut().enumerate() {
+            let (hit, evicted) = cache.touch_evicting(addr, is_write);
+            if let Some(e) = evicted {
+                pending.push((lvl, e));
+            }
+            if hit {
+                hit_level = Some(lvl);
+                break;
+            }
+        }
+        if hit_level.is_none() && sink.demand(addr, is_write) == Some(true) {
+            hit_level = Some(n_private);
+        }
+        // Propagate dirty evictions down the hierarchy (inclusive-style
+        // write-back forwarding; cascades may trigger further evictions).
+        while let Some((from_lvl, line_addr)) = pending.pop() {
+            let next = from_lvl + 1;
+            if next < n_private {
+                if let Some(e) = self.levels[next].receive_writeback(line_addr) {
+                    pending.push((next, e));
+                }
+            } else {
+                sink.writeback(line_addr);
+            }
+        }
+        hit_level
+    }
+
+    /// Install `addr`'s line into the core's mid/outer levels without
+    /// touching the demand-access statistics — hardware stream prefetchers
+    /// fill L2 and beyond, so a prefetched line turns a memory-latency
+    /// demand miss into a cheap L2 hit.
+    fn prefetch(&mut self, addr: u64, sink: &mut SharedSink<'_>) {
+        if self.levels[0].contains(addr) {
+            return;
+        }
+        self.prefetches += 1;
+        for cache in self.levels.iter_mut().skip(1) {
+            let _ = cache.receive_prefetch(addr);
+        }
+        sink.prefetch(addr);
+    }
+}
+
 /// A simulated multi-core hierarchy. Accesses are issued per core id; a
 /// miss in a private level falls through to the next level and ultimately
 /// to the chip's shared cache. Misses in the shared cache count as memory
@@ -48,14 +260,11 @@ impl LevelStats {
 #[derive(Debug)]
 pub struct MultiCoreHierarchy {
     cfg: HierarchyConfig,
-    /// `private[core][level]`.
-    private: Vec<Vec<Cache>>,
+    /// Private levels + prefetcher state per core.
+    private: Vec<PrivateCore>,
     /// One shared cache per chip.
     shared: Vec<Cache>,
     memory_accesses: u64,
-    /// Last accessed line per core (stream detection).
-    last_line: Vec<Option<u64>>,
-    prefetches: u64,
 }
 
 impl MultiCoreHierarchy {
@@ -64,17 +273,18 @@ impl MultiCoreHierarchy {
         assert!(cfg.cores >= 1 && cfg.cores_per_chip >= 1);
         let chips = cfg.cores.div_ceil(cfg.cores_per_chip);
         let private = (0..cfg.cores)
-            .map(|_| cfg.private_levels.iter().map(|&c| Cache::new(c)).collect())
+            .map(|_| PrivateCore {
+                levels: cfg.private_levels.iter().map(|&c| Cache::new(c)).collect(),
+                last_line: None,
+                prefetches: 0,
+            })
             .collect();
         let shared = (0..chips).map(|_| Cache::new(cfg.shared_level)).collect();
-        let cores = cfg.cores;
         MultiCoreHierarchy {
             cfg,
             private,
             shared,
             memory_accesses: 0,
-            last_line: vec![None; cores],
-            prefetches: 0,
         }
     }
 
@@ -92,90 +302,89 @@ impl MultiCoreHierarchy {
 
     fn issue(&mut self, core: usize, addr: u64, is_write: bool) -> Option<usize> {
         assert!(core < self.cfg.cores, "core {core} out of range");
-        // Stream prefetcher: on an ascending line-sequential access, pull
-        // the next lines into the core's innermost cache (demand path,
-        // without demand accounting).
-        if self.cfg.prefetch_depth > 0 {
-            let line_size = self.cfg.private_levels[0].line_size;
-            let line = addr / line_size;
-            let streaming = self.last_line[core] == Some(line.wrapping_sub(1));
-            self.last_line[core] = Some(line);
-            if streaming {
-                for d in 1..=self.cfg.prefetch_depth {
-                    let paddr = (line + d as u64) * line_size;
-                    self.prefetch(core, paddr);
-                }
-            }
-        }
         let chip = core / self.cfg.cores_per_chip;
-        let n_private = self.cfg.private_levels.len();
-        // `(level the write-back originates from, line address)` — dirty
-        // evictions propagate toward memory after the access resolves.
-        let mut pending: Vec<(usize, u64)> = Vec::new();
-        let mut hit_level = None;
-        for (lvl, cache) in self.private[core].iter_mut().enumerate() {
-            let (hit, evicted) = cache.touch_evicting(addr, is_write);
-            if let Some(e) = evicted {
-                pending.push((lvl, e));
-            }
-            if hit {
-                hit_level = Some(lvl);
-                break;
-            }
-        }
-        if hit_level.is_none() {
-            let (hit, evicted) = self.shared[chip].touch_evicting(addr, is_write);
-            if let Some(_e) = evicted {
-                // Dirty eviction from the shared level: counted as a memory
-                // write-back by the cache itself.
-            }
-            if hit {
-                hit_level = Some(n_private);
-            } else {
-                self.memory_accesses += 1;
-            }
-        }
-        // Propagate dirty evictions down the hierarchy (inclusive-style
-        // write-back forwarding; cascades may trigger further evictions).
-        while let Some((from_lvl, line_addr)) = pending.pop() {
-            let next = from_lvl + 1;
-            let cascade = if next < n_private {
-                self.private[core][next].receive_writeback(line_addr)
-            } else {
-                // Shared level absorbs the write-back; its own dirty
-                // evictions count as memory write-backs internally.
-                self.shared[chip].receive_writeback(line_addr)
-            };
-            if let Some(e) = cascade {
-                if next < n_private {
-                    pending.push((next, e));
-                }
-                // A cascade out of the shared level already reached memory.
-                let _ = e;
-            }
-        }
-        hit_level
+        let mut sink = SharedSink::Direct {
+            shared: &mut self.shared[chip],
+            memory_accesses: &mut self.memory_accesses,
+        };
+        self.private[core].issue(self.cfg.prefetch_depth, addr, is_write, &mut sink)
     }
 
-    /// Install `addr`'s line into the core's mid/outer levels without
-    /// touching the demand-access statistics — hardware stream prefetchers
-    /// fill L2 and beyond, so a prefetched line turns a memory-latency
-    /// demand miss into a cheap L2 hit.
-    fn prefetch(&mut self, core: usize, addr: u64) {
-        if self.private[core][0].contains(addr) {
-            return;
+    /// Simulate one access stream per thread (thread `t` on core `t`),
+    /// reproducing exactly the deterministic round-robin interleave of
+    /// issuing one access per live thread in turn.
+    ///
+    /// Private levels are fully independent between cores, so each core's
+    /// stream is simulated on its own worker thread, with consecutive
+    /// same-L1-line accesses coalesced into one cache touch plus credited
+    /// hits. Only the operations that reach the shared level (demand
+    /// misses, prefetch fills, write-backs) are recorded — tagged with
+    /// their position in the stream — and replayed afterwards in
+    /// `(position, thread)` order, which is precisely the order the
+    /// round-robin interleave issues them in. Returns the number of
+    /// accesses simulated.
+    pub fn simulate_streams<S>(&mut self, streams: Vec<S>) -> u64
+    where
+        S: AccessSource + Send,
+    {
+        assert!(
+            streams.len() <= self.cfg.cores,
+            "{} streams exceed {} cores",
+            streams.len(),
+            self.cfg.cores
+        );
+        let prefetch_depth = self.cfg.prefetch_depth;
+        let n = streams.len();
+        let mut results: Vec<(u64, Vec<(u64, SharedOp)>)> = Vec::new();
+        results.resize_with(n, Default::default);
+        if n == 1 {
+            // No interleaving to reproduce: skip the worker threads.
+            for (stream, (issued, ops)) in streams.into_iter().zip(results.iter_mut()) {
+                *issued = run_core(&mut self.private[0], prefetch_depth, stream, ops);
+            }
+        } else {
+            std::thread::scope(|s| {
+                for ((core, stream), out) in
+                    self.private.iter_mut().zip(streams).zip(results.iter_mut())
+                {
+                    s.spawn(move || {
+                        out.0 = run_core(core, prefetch_depth, stream, &mut out.1);
+                    });
+                }
+            });
         }
-        self.prefetches += 1;
-        for cache in self.private[core].iter_mut().skip(1) {
-            let _ = cache.receive_prefetch(addr);
+
+        // Deterministic shared-level replay: merge per-core event logs by
+        // (stream position, core id) — stable, so the multiple events of
+        // one access keep their intra-access order.
+        let mut merged: Vec<(u64, usize, SharedOp)> = Vec::new();
+        for (tid, (_, ops)) in results.iter().enumerate() {
+            merged.extend(ops.iter().map(|&(k, op)| (k, tid, op)));
         }
-        let chip = core / self.cfg.cores_per_chip;
-        let _ = self.shared[chip].receive_prefetch(addr);
+        merged.sort_by_key(|&(k, tid, _)| (k, tid));
+        for (_, tid, op) in merged {
+            let chip = tid / self.cfg.cores_per_chip;
+            match op {
+                SharedOp::Prefetch(addr) => {
+                    let _ = self.shared[chip].receive_prefetch(addr);
+                }
+                SharedOp::Demand { addr, is_write } => {
+                    let (hit, _evicted) = self.shared[chip].touch_evicting(addr, is_write);
+                    if !hit {
+                        self.memory_accesses += 1;
+                    }
+                }
+                SharedOp::Writeback(addr) => {
+                    let _ = self.shared[chip].receive_writeback(addr);
+                }
+            }
+        }
+        results.iter().map(|(issued, _)| issued).sum()
     }
 
     /// Prefetched lines so far.
     pub fn prefetches(&self) -> u64 {
-        self.prefetches
+        self.private.iter().map(|c| c.prefetches).sum()
     }
 
     /// Dirty lines written back from the shared level to memory.
@@ -193,8 +402,8 @@ impl MultiCoreHierarchy {
         let mut stats = LevelStats::default();
         if lvl < self.cfg.private_levels.len() {
             for core in &self.private {
-                stats.accesses += core[lvl].accesses();
-                stats.misses += core[lvl].misses();
+                stats.accesses += core.levels[lvl].accesses();
+                stats.misses += core.levels[lvl].misses();
             }
         } else {
             assert_eq!(
@@ -224,7 +433,7 @@ impl MultiCoreHierarchy {
     /// Flush all caches and counters.
     pub fn flush(&mut self) {
         for core in &mut self.private {
-            for c in core {
+            for c in &mut core.levels {
                 c.flush();
             }
         }
@@ -233,6 +442,104 @@ impl MultiCoreHierarchy {
         }
         self.memory_accesses = 0;
     }
+}
+
+/// Simulate one block of accesses (one innermost-loop iteration) against a
+/// core's private levels, starting at stream position `base`. Consecutive
+/// same-line accesses within the block are coalesced into a single cache
+/// touch plus [`Cache::credit_repeat_hits`]: the repeats are guaranteed
+/// MRU hits in the innermost level (they reach neither the outer levels
+/// nor the shared level), don't change the prefetcher's streaming decision
+/// (`line == last_line` is never line-sequential), and their only
+/// architectural effect is the hit count and possibly dirtying the line.
+/// Splitting a longer same-line run at a block boundary is equally exact:
+/// the second touch is a hit on the already-MRU line and triggers nothing.
+fn simulate_block(
+    core: &mut PrivateCore,
+    prefetch_depth: usize,
+    block: &[(u64, bool)],
+    line_shift: u32,
+    base: u64,
+    ops: &mut Vec<(u64, SharedOp)>,
+) {
+    let mut i = 0usize;
+    while i < block.len() {
+        let (addr, is_write) = block[i];
+        let line = addr >> line_shift;
+        // Extend the coalesced run over consecutive same-line accesses.
+        let mut any_write = is_write;
+        let mut j = i + 1;
+        while j < block.len() && block[j].0 >> line_shift == line {
+            any_write |= block[j].1;
+            j += 1;
+        }
+        let mut sink = SharedSink::Record {
+            ops,
+            index: base + i as u64,
+        };
+        let _ = core.issue(prefetch_depth, addr, is_write, &mut sink);
+        if j > i + 1 {
+            core.levels[0].credit_repeat_hits(addr, (j - i - 1) as u64, any_write);
+        }
+        i = j;
+    }
+}
+
+/// Simulate one core's stream against its private levels, recording
+/// shared-level traffic into `ops` tagged with the stream position of the
+/// access that caused it. Returns the number of accesses issued.
+///
+/// The stream is consumed in [`AccessSource`] runs: `reps` repetitions of
+/// an identical line pattern. Repetitions are simulated one block at a
+/// time until a block is *quiet* — every access hits the innermost level,
+/// no prefetch is installed, and nothing reaches the shared level. A quiet
+/// block leaves the private state at a fixed point: re-applying the same
+/// all-hit touch sequence reproduces the same LRU arrangement, dirty bits
+/// are already accumulated, and contained prefetch probes stay contained
+/// (hits never change cache contents). The remaining repetitions are
+/// therefore credited as bulk innermost-level hits — unless the pattern
+/// wraps line-sequentially (last line + 1 == first line), where each
+/// repetition boundary would re-trigger the stream prefetcher.
+fn run_core<S: AccessSource>(
+    core: &mut PrivateCore,
+    prefetch_depth: usize,
+    mut stream: S,
+    ops: &mut Vec<(u64, SharedOp)>,
+) -> u64 {
+    let line_shift = core.levels[0].config().line_size.trailing_zeros();
+    let mut issued: u64 = 0;
+    let mut buf: Vec<(u64, bool)> = Vec::new();
+    loop {
+        let reps = stream.next_run(&mut buf, line_shift);
+        if reps == 0 {
+            break;
+        }
+        if buf.is_empty() {
+            continue;
+        }
+        let first_line = buf[0].0 >> line_shift;
+        let last_line = buf[buf.len() - 1].0 >> line_shift;
+        let wraps_sequential = prefetch_depth > 0 && first_line == last_line.wrapping_add(1);
+        let mut rep = 0u64;
+        while rep < reps {
+            let misses_before = core.levels[0].misses();
+            let prefetches_before = core.prefetches;
+            let ops_before = ops.len();
+            simulate_block(core, prefetch_depth, &buf, line_shift, issued, ops);
+            issued += buf.len() as u64;
+            rep += 1;
+            let quiet = core.levels[0].misses() == misses_before
+                && core.prefetches == prefetches_before
+                && ops.len() == ops_before;
+            if quiet && !wraps_sequential && rep < reps {
+                let credited = (reps - rep) * buf.len() as u64;
+                core.levels[0].credit_steady_hits(credited);
+                issued += credited;
+                break;
+            }
+        }
+    }
+    issued
 }
 
 #[cfg(test)]

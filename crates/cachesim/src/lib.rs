@@ -11,8 +11,10 @@
 //! * [`cache`] — one set-associative LRU cache level,
 //! * [`hierarchy`] — a multi-core hierarchy with private L1/L2 and a
 //!   last-level cache shared per chip (matching Table I of the paper),
-//! * [`trace`] — address-trace generation from `moat-ir` loop nests,
-//!   including interleaved multi-threaded traces for parallel nests.
+//! * [`trace`] — streaming address-trace generation from `moat-ir` loop
+//!   nests: nests are compiled once ([`CompiledNest`]) and traces are
+//!   drawn lazily ([`AccessStream`]), including per-thread streams for
+//!   parallel nests.
 
 #![warn(missing_docs)]
 
@@ -21,5 +23,8 @@ pub mod hierarchy;
 pub mod trace;
 
 pub use cache::{Cache, CacheConfig};
-pub use hierarchy::{HierarchyConfig, LevelStats, MultiCoreHierarchy};
-pub use trace::{simulate_nest, trace_addresses, NestTraceConfig};
+pub use hierarchy::{AccessSource, EachAccess, HierarchyConfig, LevelStats, MultiCoreHierarchy};
+pub use trace::{
+    per_thread_traces, simulate_nest, simulate_traces, trace_addresses, AccessStream, CompiledNest,
+    ThreadStream,
+};

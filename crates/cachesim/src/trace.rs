@@ -1,25 +1,23 @@
 //! Address-trace generation from `moat-ir` loop nests.
 //!
 //! Arrays are laid out sequentially in a flat address space, each base
-//! aligned to a page boundary. For parallel nests, the collapsed outer
-//! iteration space is split over the threads with the same static chunking
-//! the runtime uses, and the per-thread access streams are interleaved
-//! round-robin to approximate concurrent execution.
+//! aligned to a page boundary. A nest is first *compiled*: array names are
+//! resolved once, and every access's subscripts are folded together with
+//! the row-major layout into a single affine byte-address function of the
+//! loop variables. Traces are then produced lazily by [`AccessStream`], an
+//! iterator over `(byte address, is_write)` events in execution order — no
+//! materialized per-run trace allocations.
+//!
+//! For parallel nests, the collapsed outer iteration space is split over
+//! the threads with the same static chunking the runtime uses, and the
+//! per-thread access streams are interleaved round-robin (one access per
+//! live thread per round) to approximate concurrent execution.
 
-use crate::hierarchy::MultiCoreHierarchy;
-use moat_ir::{ArrayDecl, LoopNest};
+use crate::hierarchy::{AccessSource, MultiCoreHierarchy};
+use moat_ir::{AffineExpr, ArrayDecl, Bound, LoopNest};
 
 /// Alignment of each array base address.
 const PAGE: u64 = 4096;
-
-/// Options for trace generation.
-#[derive(Debug, Clone, Default)]
-pub struct NestTraceConfig {
-    /// If `true`, only the first element of every cache line is emitted per
-    /// distinct consecutive line (cheap spatial-locality compression).
-    /// Disabled by default: full element-granularity traces.
-    pub compress_lines: bool,
-}
 
 /// Compute the base byte address of each array (page aligned, in
 /// declaration order).
@@ -33,81 +31,578 @@ pub fn array_bases(arrays: &[ArrayDecl]) -> Vec<u64> {
     bases
 }
 
-/// Generate the sequential address trace of `nest` over `arrays`.
-///
-/// The trace is the exact sequence of `(byte address, is_write)` events of
-/// the nest's body statements in execution order. Intended for small
-/// instances — the trace has one entry per access per iteration.
-pub fn trace_addresses(arrays: &[ArrayDecl], nest: &LoopNest) -> Vec<(u64, bool)> {
-    let bases = array_bases(arrays);
-    let mut out = Vec::new();
-    nest.walk(&mut |vals| {
-        let env = nest.env(vals);
+/// An affine function of the nest's induction variables with variables
+/// resolved to loop depths: `c + Σ coeff · vals[depth]`.
+#[derive(Debug, Clone)]
+struct CompiledAffine {
+    c: i64,
+    /// `(loop depth, coefficient)`, non-zero coefficients only.
+    terms: Vec<(usize, i64)>,
+}
+
+impl CompiledAffine {
+    fn compile(e: &AffineExpr, nest: &LoopNest) -> Self {
+        CompiledAffine {
+            c: e.constant_part(),
+            terms: e
+                .terms()
+                .map(|(v, k)| {
+                    let d = nest
+                        .loop_index(v)
+                        .expect("bound references unknown variable");
+                    (d, k)
+                })
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn eval(&self, vals: &[i64]) -> i64 {
+        self.c + self.terms.iter().map(|&(d, k)| k * vals[d]).sum::<i64>()
+    }
+
+    fn references(&self, depth: usize) -> bool {
+        self.terms.iter().any(|&(d, _)| d == depth)
+    }
+}
+
+/// A loop bound in depth-resolved form.
+#[derive(Debug, Clone)]
+enum CompiledBound {
+    One(CompiledAffine),
+    Min(CompiledAffine, CompiledAffine),
+}
+
+impl CompiledBound {
+    fn compile(b: &Bound, nest: &LoopNest) -> Self {
+        match b {
+            Bound::Affine(e) => CompiledBound::One(CompiledAffine::compile(e, nest)),
+            Bound::Min(a, b) => CompiledBound::Min(
+                CompiledAffine::compile(a, nest),
+                CompiledAffine::compile(b, nest),
+            ),
+        }
+    }
+
+    #[inline]
+    fn eval(&self, vals: &[i64]) -> i64 {
+        match self {
+            CompiledBound::One(e) => e.eval(vals),
+            CompiledBound::Min(a, b) => a.eval(vals).min(b.eval(vals)),
+        }
+    }
+
+    fn as_constant(&self) -> Option<i64> {
+        match self {
+            CompiledBound::One(e) if e.terms.is_empty() => Some(e.c),
+            _ => None,
+        }
+    }
+
+    fn references(&self, depth: usize) -> bool {
+        match self {
+            CompiledBound::One(e) => e.references(depth),
+            CompiledBound::Min(a, b) => a.references(depth) || b.references(depth),
+        }
+    }
+}
+
+/// One body access compiled down to a byte-address affine function:
+/// `base + elem_size · linearize(subscripts)` folded into a single
+/// `c + Σ coeff · vals[depth]` over the loop variables.
+#[derive(Debug, Clone)]
+struct CompiledAccess {
+    c: i64,
+    terms: Vec<(usize, i64)>,
+    is_write: bool,
+}
+
+/// A loop nest compiled for streaming trace generation: array ids resolved
+/// to layout bases once, subscripts folded into per-access byte-address
+/// affine functions, bounds in depth-indexed form. Compile once per
+/// evaluation, then draw any number of [`AccessStream`]s from it.
+#[derive(Debug, Clone)]
+pub struct CompiledNest {
+    /// Per-loop step, outermost first.
+    steps: Vec<i64>,
+    /// Per-loop `(lower, upper)` bounds.
+    bounds: Vec<(CompiledBound, CompiledBound)>,
+    /// Body accesses in statement order.
+    accesses: Vec<CompiledAccess>,
+    /// Per-access byte-address delta of one step of the innermost loop
+    /// (coefficient at the deepest depth × its step) — the run-length
+    /// extension in [`AccessStream::next_run`].
+    innermost_deltas: Vec<i64>,
+    /// Per-access byte-address delta of one step of the second-deepest
+    /// loop — the pass-level run extension.
+    second_deltas: Vec<i64>,
+    /// Whether the innermost loop's bounds reference the second-deepest
+    /// variable (which rules out pass-level runs: the pass shape would
+    /// change between repetitions).
+    deepest_bounds_ref_second: bool,
+    /// `(collapsed, threads)` of a parallel nest.
+    parallel: Option<(usize, usize)>,
+}
+
+impl CompiledNest {
+    /// Compile `nest` over `arrays`. Array resolution, rank checking, and
+    /// subscript-to-address folding all happen here, once, instead of per
+    /// emitted access.
+    pub fn new(arrays: &[ArrayDecl], nest: &LoopNest) -> Self {
+        let bases = array_bases(arrays);
+        let mut accesses = Vec::new();
         for s in &nest.body {
             for acc in &s.accesses {
                 let a = arrays
                     .iter()
                     .position(|d| d.id == acc.array)
                     .expect("access to undeclared array");
-                let idx = acc.eval_indices(&env);
-                let off = arrays[a].linearize(&idx) * arrays[a].elem_size as i64;
-                debug_assert!(off >= 0, "negative array offset");
-                out.push((bases[a] + off as u64, acc.is_write()));
+                let decl = &arrays[a];
+                assert_eq!(
+                    acc.indices.len(),
+                    decl.dims.len(),
+                    "index rank mismatch for {}",
+                    decl.name
+                );
+                // Fold `linearize` (row-major: stride of dim d is the
+                // product of the extents of dims d+1..) into the affine
+                // subscripts: the result is one affine function per access.
+                let mut c = 0i64;
+                let mut coeffs = vec![0i64; nest.loops.len()];
+                let mut stride = 1i64;
+                for (d, idx) in acc.indices.iter().enumerate().rev() {
+                    c += stride * idx.constant_part();
+                    for (v, k) in idx.terms() {
+                        let depth = nest
+                            .loop_index(v)
+                            .expect("subscript references unknown variable");
+                        coeffs[depth] += stride * k;
+                    }
+                    stride *= decl.dims[d] as i64;
+                }
+                let elem = decl.elem_size as i64;
+                accesses.push(CompiledAccess {
+                    c: bases[a] as i64 + elem * c,
+                    terms: coeffs
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &k)| k != 0)
+                        .map(|(d, &k)| (d, elem * k))
+                        .collect(),
+                    is_write: acc.is_write(),
+                });
             }
         }
-    });
-    out
+        let n = nest.loops.len();
+        let delta_at = |depth: Option<usize>| -> Vec<i64> {
+            match depth {
+                Some(d) => accesses
+                    .iter()
+                    .map(|a| {
+                        let coeff = a
+                            .terms
+                            .iter()
+                            .find(|&&(td, _)| td == d)
+                            .map_or(0, |&(_, k)| k);
+                        coeff * nest.loops[d].step
+                    })
+                    .collect(),
+                None => vec![0; accesses.len()],
+            }
+        };
+        let innermost_deltas = delta_at(n.checked_sub(1));
+        let second_deltas = delta_at(n.checked_sub(2));
+        let bounds: Vec<(CompiledBound, CompiledBound)> = nest
+            .loops
+            .iter()
+            .map(|l| {
+                (
+                    CompiledBound::compile(&l.lower, nest),
+                    CompiledBound::compile(&l.upper, nest),
+                )
+            })
+            .collect();
+        let deepest_bounds_ref_second = n >= 2
+            && bounds
+                .last()
+                .map(|(lo, hi)| lo.references(n - 2) || hi.references(n - 2))
+                .unwrap_or(false);
+        CompiledNest {
+            steps: nest.loops.iter().map(|l| l.step).collect(),
+            innermost_deltas,
+            second_deltas,
+            deepest_bounds_ref_second,
+            bounds,
+            accesses,
+            parallel: nest.parallel.map(|p| (p.collapsed, p.threads)),
+        }
+    }
+
+    /// Lazy access stream of the full sequential walk.
+    pub fn stream(&self) -> AccessStream<'_> {
+        self.stream_prefix(Vec::new())
+    }
+
+    /// Lazy access stream with the outermost `prefix.len()` induction
+    /// variables pinned to the given values (one parallel chunk item).
+    pub fn stream_prefix(&self, prefix: Vec<i64>) -> AccessStream<'_> {
+        AccessStream::new(self, prefix)
+    }
+
+    /// Per-thread lazy access streams (a single stream for a sequential
+    /// nest), using the runtime's static chunking of the collapsed outer
+    /// iteration space.
+    pub fn thread_streams(&self) -> Vec<ThreadStream<'_>> {
+        let Some((collapsed, threads)) = self.parallel else {
+            return vec![ThreadStream {
+                nest: self,
+                prefixes: vec![Vec::new()].into_iter(),
+                cur: None,
+            }];
+        };
+        let mut prefixes = self.collapsed_prefixes(collapsed);
+        let total = prefixes.len() as u64;
+        // Static chunks are contiguous and cover the range, so peeling
+        // them off back-to-front moves each chunk without copying.
+        let mut chunks = Vec::with_capacity(threads);
+        for tid in (0..threads).rev() {
+            let (start, _) = moat_runtime_static_chunk(total, threads, tid);
+            chunks.push(prefixes.split_off(start as usize));
+        }
+        chunks
+            .into_iter()
+            .rev()
+            .map(|chunk| ThreadStream {
+                nest: self,
+                prefixes: chunk.into_iter(),
+                cur: None,
+            })
+            .collect()
+    }
+
+    /// Enumerate the collapsed outer iteration prefixes (constant bounds
+    /// are guaranteed by the collapse transform).
+    fn collapsed_prefixes(&self, collapsed: usize) -> Vec<Vec<i64>> {
+        let mut prefixes: Vec<Vec<i64>> = vec![vec![]];
+        for d in 0..collapsed {
+            let lo = self.bounds[d]
+                .0
+                .as_constant()
+                .expect("collapsed loop bound");
+            let hi = self.bounds[d]
+                .1
+                .as_constant()
+                .expect("collapsed loop bound");
+            let mut next = Vec::new();
+            for p in &prefixes {
+                let mut x = lo;
+                while x < hi {
+                    let mut q = p.clone();
+                    q.push(x);
+                    next.push(q);
+                    x += self.steps[d];
+                }
+            }
+            prefixes = next;
+        }
+        prefixes
+    }
+}
+
+/// Lazy iterator over a nest's `(byte address, is_write)` events in exact
+/// execution order — the streaming replacement for a materialized trace.
+/// Holds one odometer of induction-variable values and re-evaluates bounds
+/// exactly where the recursive walk would (entering a loop), including
+/// backtracking over zero-trip loops.
+#[derive(Debug)]
+pub struct AccessStream<'a> {
+    nest: &'a CompiledNest,
+    /// Current induction-variable values, outermost first.
+    vals: Vec<i64>,
+    /// Cached (exclusive) upper bound per depth — constant while the
+    /// enclosing loops don't move, as bounds only reference outer vars.
+    hi: Vec<i64>,
+    /// Cached lower bound per depth (`vals[d] == lo[d]` iff loop `d` is at
+    /// the start of a pass — `vals[d]` only grows within one).
+    lo: Vec<i64>,
+    /// Depths `< prefix_len` are pinned and never stepped.
+    prefix_len: usize,
+    /// Next access of the current iteration point to emit.
+    acc_idx: usize,
+    done: bool,
+}
+
+impl<'a> AccessStream<'a> {
+    fn new(nest: &'a CompiledNest, prefix: Vec<i64>) -> Self {
+        let n = nest.steps.len();
+        assert!(prefix.len() <= n);
+        let mut vals = vec![0i64; n];
+        vals[..prefix.len()].copy_from_slice(&prefix);
+        let mut s = AccessStream {
+            nest,
+            vals,
+            hi: vec![0i64; n],
+            lo: vec![0i64; n],
+            prefix_len: prefix.len(),
+            acc_idx: 0,
+            done: false,
+        };
+        if !s.descend(s.prefix_len) {
+            s.done = true;
+        }
+        s
+    }
+
+    /// Position `vals[d..]` at the first iteration point with `vals[..d]`
+    /// fixed, backtracking over zero-trip loops. Returns `false` when the
+    /// iteration space (below the pinned prefix) is exhausted.
+    fn descend(&mut self, mut d: usize) -> bool {
+        let n = self.nest.steps.len();
+        while d < n {
+            let lo = self.nest.bounds[d].0.eval(&self.vals);
+            let hi = self.nest.bounds[d].1.eval(&self.vals);
+            self.vals[d] = lo;
+            self.hi[d] = hi;
+            self.lo[d] = lo;
+            if lo < hi {
+                d += 1;
+            } else {
+                // Zero-trip loop: step the nearest enclosing loop with
+                // headroom and re-descend from below it.
+                match self.bump(d) {
+                    Some(nd) => d = nd,
+                    None => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Step the deepest loop above `d` (exclusive) that still has
+    /// headroom; returns the depth to re-descend from, or `None` once the
+    /// pinned prefix is reached.
+    fn bump(&mut self, mut d: usize) -> Option<usize> {
+        while d > self.prefix_len {
+            d -= 1;
+            self.vals[d] += self.nest.steps[d];
+            if self.vals[d] < self.hi[d] {
+                return Some(d + 1);
+            }
+        }
+        None
+    }
+
+    /// Advance to the next full iteration point.
+    fn next_point(&mut self) -> bool {
+        match self.bump(self.nest.steps.len()) {
+            Some(d) => self.descend(d),
+            None => false,
+        }
+    }
+
+    /// Largest block (in accesses) the pass-level run path materializes;
+    /// beyond it, runs degrade to single iteration points.
+    const PASS_CAP: u64 = 4096;
+
+    /// Fill `buf` with the next block of accesses and return how many
+    /// consecutive repetitions of its cache-line pattern (at `line_shift`
+    /// granularity) follow, including the one in `buf`. The stream is
+    /// advanced past the whole run. Returns 0 when exhausted.
+    ///
+    /// Two block shapes, chosen per call:
+    ///
+    /// * **Pass-level** — the block is one full pass of the innermost
+    ///   loop, repeated across the second-deepest loop. Each access's
+    ///   per-step address delta of that loop is known from its affine
+    ///   form, so the pattern repeats while every materialized access
+    ///   stays inside its current line. Requires the innermost bounds to
+    ///   be independent of the second-deepest variable (constant pass
+    ///   shape), the pass to start at its lower bound, and the block to
+    ///   fit [`PASS_CAP`](Self::PASS_CAP).
+    /// * **Point-level** fallback — the block is one iteration point,
+    ///   repeated across the innermost loop under the same in-line
+    ///   condition.
+    ///
+    /// Must not be interleaved with `Iterator::next` mid-point.
+    pub fn next_run(&mut self, buf: &mut Vec<(u64, bool)>, line_shift: u32) -> u64 {
+        buf.clear();
+        if self.done {
+            return 0;
+        }
+        debug_assert_eq!(self.acc_idx, 0, "next_run interleaved with next()");
+        let n = self.nest.steps.len();
+        if self.nest.accesses.is_empty() {
+            // No accesses at all: the stream is empty regardless of the
+            // iteration count.
+            self.done = true;
+            return 0;
+        }
+        let mask = (1u64 << line_shift) - 1;
+        let headroom_of = |addr: u64, delta: i64| -> u64 {
+            match delta {
+                0 => u64::MAX,
+                d if d > 0 => ((addr | mask) - addr) / d as u64,
+                d => (addr & mask) / d.unsigned_abs(),
+            }
+        };
+
+        // Pass-level run: block = one innermost pass, repeated over the
+        // second-deepest loop.
+        if n >= 2 && self.prefix_len <= n - 2 && !self.nest.deepest_bounds_ref_second {
+            let d = n - 1;
+            let d2 = n - 2;
+            let step = self.nest.steps[d];
+            let pass_iters = ((self.hi[d] - self.vals[d] + step - 1) / step) as u64;
+            if self.vals[d] == self.lo[d]
+                && pass_iters * self.nest.accesses.len() as u64 <= Self::PASS_CAP
+            {
+                let mut headroom = u64::MAX;
+                loop {
+                    for (a, &delta) in self.nest.accesses.iter().zip(&self.nest.second_deltas) {
+                        let addr =
+                            a.c + a.terms.iter().map(|&(d, k)| k * self.vals[d]).sum::<i64>();
+                        debug_assert!(addr >= 0, "negative byte address");
+                        buf.push((addr as u64, a.is_write));
+                        headroom = headroom.min(headroom_of(addr as u64, delta));
+                    }
+                    let next = self.vals[d] + step;
+                    if next >= self.hi[d] {
+                        break;
+                    }
+                    self.vals[d] = next;
+                }
+                let remaining = ((self.hi[d2] - self.vals[d2] - 1) / self.nest.steps[d2]) as u64;
+                let extra = headroom.min(remaining);
+                if extra > 0 {
+                    self.vals[d2] += extra as i64 * self.nest.steps[d2];
+                }
+                if !self.next_point() {
+                    self.done = true;
+                }
+                return 1 + extra;
+            }
+        }
+
+        // Point-level fallback: block = the current iteration point,
+        // repeated over the innermost loop.
+        let mut headroom = u64::MAX;
+        for (a, &delta) in self.nest.accesses.iter().zip(&self.nest.innermost_deltas) {
+            let addr = a.c + a.terms.iter().map(|&(d, k)| k * self.vals[d]).sum::<i64>();
+            debug_assert!(addr >= 0, "negative byte address");
+            let addr = addr as u64;
+            buf.push((addr, a.is_write));
+            headroom = headroom.min(headroom_of(addr, delta));
+        }
+        // Iterations the innermost loop itself still has (beyond this one);
+        // when the deepest loop is pinned (fully collapsed nest) or absent,
+        // runs degrade to single iterations.
+        let d = n.wrapping_sub(1);
+        let remaining = if n == 0 || self.prefix_len == n {
+            0
+        } else {
+            ((self.hi[d] - self.vals[d] - 1) / self.nest.steps[d]) as u64
+        };
+        let extra = headroom.min(remaining);
+        if extra > 0 {
+            self.vals[d] += extra as i64 * self.nest.steps[d];
+        }
+        if !self.next_point() {
+            self.done = true;
+        }
+        1 + extra
+    }
+}
+
+impl Iterator for AccessStream<'_> {
+    type Item = (u64, bool);
+
+    fn next(&mut self) -> Option<(u64, bool)> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if let Some(a) = self.nest.accesses.get(self.acc_idx) {
+                self.acc_idx += 1;
+                let addr = a.c + a.terms.iter().map(|&(d, k)| k * self.vals[d]).sum::<i64>();
+                debug_assert!(addr >= 0, "negative byte address");
+                return Some((addr as u64, a.is_write));
+            }
+            self.acc_idx = 0;
+            if !self.next_point() {
+                self.done = true;
+                return None;
+            }
+        }
+    }
+}
+
+/// One thread's lazy access stream: the concatenation of the
+/// [`AccessStream`]s of its statically-chunked collapsed-prefix range.
+#[derive(Debug)]
+pub struct ThreadStream<'a> {
+    nest: &'a CompiledNest,
+    prefixes: std::vec::IntoIter<Vec<i64>>,
+    cur: Option<AccessStream<'a>>,
+}
+
+impl Iterator for ThreadStream<'_> {
+    type Item = (u64, bool);
+
+    fn next(&mut self) -> Option<(u64, bool)> {
+        loop {
+            if let Some(s) = &mut self.cur {
+                if let Some(x) = s.next() {
+                    return Some(x);
+                }
+            }
+            let prefix = self.prefixes.next()?;
+            self.cur = Some(self.nest.stream_prefix(prefix));
+        }
+    }
+}
+
+impl AccessSource for AccessStream<'_> {
+    fn next_run(&mut self, buf: &mut Vec<(u64, bool)>, line_shift: u32) -> u64 {
+        AccessStream::next_run(self, buf, line_shift)
+    }
+}
+
+impl AccessSource for ThreadStream<'_> {
+    fn next_run(&mut self, buf: &mut Vec<(u64, bool)>, line_shift: u32) -> u64 {
+        loop {
+            if let Some(s) = &mut self.cur {
+                let reps = s.next_run(buf, line_shift);
+                if reps > 0 {
+                    return reps;
+                }
+            }
+            let Some(prefix) = self.prefixes.next() else {
+                return 0;
+            };
+            self.cur = Some(self.nest.stream_prefix(prefix));
+        }
+    }
+}
+
+/// Generate the sequential address trace of `nest` over `arrays`.
+///
+/// The trace is the exact sequence of `(byte address, is_write)` events of
+/// the nest's body statements in execution order. Intended for small
+/// instances — the trace has one entry per access per iteration; prefer
+/// streaming via [`CompiledNest`] for simulation.
+pub fn trace_addresses(arrays: &[ArrayDecl], nest: &LoopNest) -> Vec<(u64, bool)> {
+    CompiledNest::new(arrays, nest).stream().collect()
 }
 
 /// Generate per-thread address traces for a parallel nest (or a single
 /// trace for a sequential one), using the runtime's static chunking of the
 /// collapsed outer iteration space.
 pub fn per_thread_traces(arrays: &[ArrayDecl], nest: &LoopNest) -> Vec<Vec<(u64, bool)>> {
-    let Some(par) = nest.parallel else {
-        return vec![trace_addresses(arrays, nest)];
-    };
-    let bases = array_bases(arrays);
-    // Enumerate the collapsed outer iteration prefixes (constant bounds are
-    // guaranteed by the collapse transform).
-    let mut prefixes: Vec<Vec<i64>> = vec![vec![]];
-    for l in &nest.loops[..par.collapsed] {
-        let lo = l.lower.as_constant().expect("collapsed loop bound");
-        let hi = l.upper.as_constant().expect("collapsed loop bound");
-        let mut next = Vec::new();
-        for p in &prefixes {
-            let mut x = lo;
-            while x < hi {
-                let mut q = p.clone();
-                q.push(x);
-                next.push(q);
-                x += l.step;
-            }
-        }
-        prefixes = next;
-    }
-    let total = prefixes.len() as u64;
-    (0..par.threads)
-        .map(|tid| {
-            let chunk = moat_runtime_static_chunk(total, par.threads, tid);
-            let mut trace = Vec::new();
-            for p in &prefixes[chunk.0 as usize..chunk.1 as usize] {
-                nest.walk_prefix(p, &mut |vals| {
-                    let env = nest.env(vals);
-                    for s in &nest.body {
-                        for acc in &s.accesses {
-                            let a = arrays
-                                .iter()
-                                .position(|d| d.id == acc.array)
-                                .expect("access to undeclared array");
-                            let idx = acc.eval_indices(&env);
-                            let off = arrays[a].linearize(&idx) * arrays[a].elem_size as i64;
-                            trace.push((bases[a] + off as u64, acc.is_write()));
-                        }
-                    }
-                });
-            }
-            trace
-        })
+    let compiled = CompiledNest::new(arrays, nest);
+    compiled
+        .thread_streams()
+        .into_iter()
+        .map(|s| s.collect())
         .collect()
 }
 
@@ -124,15 +619,26 @@ fn moat_runtime_static_chunk(total: u64, team: usize, tid: usize) -> (u64, u64) 
     (start, (start + len).min(total))
 }
 
-/// Simulate `nest` on `hierarchy`: per-thread traces are interleaved
-/// round-robin, thread `t` issuing from core `t`. Returns the number of
-/// accesses simulated.
+/// Simulate `nest` on `hierarchy`: per-thread access streams are generated
+/// lazily and simulated with private levels in parallel and a
+/// deterministic round-robin interleave at the shared level (thread `t`
+/// issuing from core `t`). Returns the number of accesses simulated.
 pub fn simulate_nest(
     arrays: &[ArrayDecl],
     nest: &LoopNest,
     hierarchy: &mut MultiCoreHierarchy,
 ) -> u64 {
-    let traces = per_thread_traces(arrays, nest);
+    let compiled = CompiledNest::new(arrays, nest);
+    hierarchy.simulate_streams(compiled.thread_streams())
+}
+
+/// Simulate pre-materialized per-thread traces with the sequential
+/// round-robin interleave, one access per live thread per round (thread
+/// `t` issuing from core `t`). This is the legacy evaluation path, kept as
+/// the reference implementation for equivalence tests and the
+/// streaming-vs-materialized benchmark. Returns the number of accesses
+/// simulated.
+pub fn simulate_traces(traces: &[Vec<(u64, bool)>], hierarchy: &mut MultiCoreHierarchy) -> u64 {
     let mut cursors = vec![0usize; traces.len()];
     let mut issued = 0u64;
     let mut live = traces.iter().filter(|t| !t.is_empty()).count();
@@ -214,6 +720,31 @@ mod tests {
     }
 
     #[test]
+    fn streaming_matches_recursive_walk() {
+        // The odometer-based stream must replay the exact event sequence of
+        // the recursive `walk`, including tiled nests with `min` bounds.
+        for nest in [mm(6), transform::tile(&mm(6), 3, &[4, 2, 3]).unwrap()] {
+            let arrs = arrays(6);
+            let compiled = CompiledNest::new(&arrs, &nest);
+            let streamed: Vec<(u64, bool)> = compiled.stream().collect();
+            let mut walked = Vec::new();
+            let bases = array_bases(&arrs);
+            nest.walk(&mut |vals| {
+                let env = nest.env(vals);
+                for s in &nest.body {
+                    for acc in &s.accesses {
+                        let a = arrs.iter().position(|d| d.id == acc.array).unwrap();
+                        let idx = acc.eval_indices(&env);
+                        let off = arrs[a].linearize(&idx) * arrs[a].elem_size as i64;
+                        walked.push((bases[a] + off as u64, acc.is_write()));
+                    }
+                }
+            });
+            assert_eq!(streamed, walked);
+        }
+    }
+
+    #[test]
     fn tiled_trace_is_permutation_of_original() {
         use std::collections::HashMap;
         let nest = mm(6);
@@ -266,6 +797,38 @@ mod tests {
         let issued = simulate_nest(&arrs, &nest, &mut h);
         assert_eq!(issued, 4 * 216);
         assert_eq!(h.level_stats(0).accesses, issued);
+    }
+
+    #[test]
+    fn streaming_simulation_matches_legacy_interleave() {
+        // The parallel-private + deterministic-LLC-replay path must produce
+        // the exact same counters as the sequential round-robin reference.
+        let nest = mm(8);
+        let arrs = arrays(8);
+        let tiled = transform::tile(&nest, 3, &[4, 4, 4]).unwrap();
+        let par = transform::collapse_and_parallelize(&tiled, 2, 3).unwrap();
+        let cfg = HierarchyConfig {
+            private_levels: vec![CacheConfig::new(512, 2, 64), CacheConfig::new(2048, 4, 64)],
+            shared_level: CacheConfig::new(8192, 4, 64),
+            cores_per_chip: 2,
+            cores: 3,
+            prefetch_depth: 2,
+        };
+        let mut h_legacy = MultiCoreHierarchy::new(cfg.clone());
+        let issued_legacy = simulate_traces(&per_thread_traces(&arrs, &par), &mut h_legacy);
+        let mut h_stream = MultiCoreHierarchy::new(cfg);
+        let issued_stream = simulate_nest(&arrs, &par, &mut h_stream);
+        assert_eq!(issued_stream, issued_legacy);
+        for lvl in 0..h_legacy.levels() {
+            assert_eq!(
+                h_stream.level_stats(lvl),
+                h_legacy.level_stats(lvl),
+                "level {lvl} stats diverged"
+            );
+        }
+        assert_eq!(h_stream.memory_accesses(), h_legacy.memory_accesses());
+        assert_eq!(h_stream.memory_writebacks(), h_legacy.memory_writebacks());
+        assert_eq!(h_stream.prefetches(), h_legacy.prefetches());
     }
 
     #[test]

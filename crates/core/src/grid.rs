@@ -7,7 +7,7 @@
 
 #[cfg(any(test, feature = "deprecated-shims"))]
 use crate::evaluate::{BatchEval, Evaluator};
-use crate::pareto::{ParetoFront, Point};
+use crate::pareto::{ParetoArchive, ParetoFront, Point};
 use crate::rsgde3::FrontSignature;
 use crate::space::Config;
 #[cfg(any(test, feature = "deprecated-shims"))]
@@ -78,7 +78,7 @@ impl Tuner for GridTuner {
             Some(points) => points.clone(),
             None => session.space().regular_grid(self.steps),
         };
-        let mut front = ParetoFront::new();
+        let mut front = ParetoArchive::new();
         let mut all = Vec::with_capacity(configs.len());
         let mut stop = StopReason::Completed;
         const CHUNK: usize = 512;
@@ -100,7 +100,7 @@ impl Tuner for GridTuner {
         let sig = FrontSignature::of(front.points());
         session.front_updated(&sig);
         TuningReport {
-            front,
+            front: front.to_front(),
             all,
             evaluations: session.evaluations(),
             iterations: session.iteration(),

@@ -60,9 +60,14 @@ pub use wsum::weighted_sweep;
 pub use evaluate::{BatchEval, CachingEvaluator, ConstrainedEvaluator, Evaluator, ObjVec};
 pub use gde3::{Gde3, Gde3Params};
 pub use grid::{GridResult, GridTuner};
-pub use metrics::{additive_epsilon, hypervolume, hypervolume_2d, igd, normalize_front};
+pub use metrics::{
+    additive_epsilon, extend_bounds, hypervolume, hypervolume_2d, hypervolume_2d_presorted, igd,
+    normalize_front, Hv2dIncremental,
+};
 pub use nsga2::{Nsga2Params, Nsga2Tuner};
-pub use pareto::{crowding_distances, dominates, fast_nondominated_sort, ParetoFront, Point};
+pub use pareto::{
+    crowding_distances, dominates, fast_nondominated_sort, ParetoArchive, ParetoFront, Point,
+};
 pub use random::RandomTuner;
 pub use roughset::reduce_search_space;
 pub use rsgde3::{FrontSignature, RsGde3, RsGde3Params, RsGde3Tuner, TuningResult};

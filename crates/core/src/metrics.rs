@@ -49,6 +49,23 @@ pub fn objective_bounds(points: &[Point]) -> (Vec<f64>, Vec<f64>) {
     (ideal, nadir)
 }
 
+/// Extend running component-wise bounds with one more point — the
+/// incremental form of [`objective_bounds`] for loops that accumulate
+/// evaluated points one at a time (identical min/max semantics, without
+/// rescanning the full history every iteration).
+pub fn extend_bounds(bounds: &mut Option<(Vec<f64>, Vec<f64>)>, p: &Point) {
+    match bounds {
+        None => *bounds = Some((p.objectives.clone(), p.objectives.clone())),
+        Some((ideal, nadir)) => {
+            debug_assert_eq!(ideal.len(), p.objectives.len(), "objective arity mismatch");
+            for (k, &x) in p.objectives.iter().enumerate() {
+                ideal[k] = ideal[k].min(x);
+                nadir[k] = nadir[k].max(x);
+            }
+        }
+    }
+}
+
 /// Exact 2-d hypervolume of normalized (minimization) points w.r.t. the
 /// reference point `(1, 1)`: the area dominated by the front inside the
 /// unit square.
@@ -64,15 +81,123 @@ pub fn hypervolume_2d(normalized: &[Vec<f64>]) -> f64 {
         })
         .collect();
     pts.sort_by(|a, b| a.partial_cmp(b).expect("NaN objective"));
+    hypervolume_2d_presorted(&pts)
+}
+
+/// The [`hypervolume_2d`] sweep over points already clamped to `[0, 1]²`
+/// and sorted ascending by the full `(f0, f1)` tuple. Callers that keep
+/// their front sorted (e.g. [`crate::pareto::ParetoArchive`]) can skip the
+/// clamp-and-sort pass; the summation order — and therefore the exact
+/// floating-point result — is identical to [`hypervolume_2d`].
+pub fn hypervolume_2d_presorted(pts: &[(f64, f64)]) -> f64 {
     let mut hv = 0.0;
     let mut prev_y = 1.0;
-    for (x, y) in pts {
+    for &(x, y) in pts {
         if y < prev_y {
             hv += (1.0 - x) * (prev_y - y);
             prev_y = y;
         }
     }
     hv
+}
+
+/// An incrementally maintained two-objective hypervolume under a fixed
+/// reference point (minimization; coordinates are clamped to the box
+/// `[0, reference]`, matching [`hypervolume_2d`]'s treatment of the unit
+/// box).
+///
+/// The dominated region of a 2-D staircase decomposes into one rectangle
+/// per front point between its own `f1` and its predecessor's, so an
+/// insertion only perturbs the rectangles of its immediate neighbours and
+/// of the points it dominates: the area delta is computed locally in
+/// O(log n + removed) instead of re-sweeping the whole front. Floating-
+/// point accumulation order differs from a fresh sweep, so the running
+/// value can drift from [`hypervolume_2d`] by rounding error — use it for
+/// cheap monotone progress tracking, not for bit-stable reporting.
+#[derive(Debug, Clone)]
+pub struct Hv2dIncremental {
+    /// Staircase sorted ascending by `f0` (strictly descending `f1`),
+    /// clamped to the reference box.
+    pts: Vec<(f64, f64)>,
+    reference: (f64, f64),
+    hv: f64,
+}
+
+impl Hv2dIncremental {
+    /// Empty front with the given reference point.
+    pub fn new(reference: (f64, f64)) -> Self {
+        Hv2dIncremental {
+            pts: Vec::new(),
+            reference,
+            hv: 0.0,
+        }
+    }
+
+    /// Unit-box reference `(1, 1)`, the convention of [`hypervolume_2d`].
+    pub fn unit() -> Self {
+        Hv2dIncremental::new((1.0, 1.0))
+    }
+
+    /// The current hypervolume.
+    pub fn hv(&self) -> f64 {
+        self.hv
+    }
+
+    /// Number of points on the maintained front.
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// True if no point has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// Insert a point and return the hypervolume gained (0 if the point is
+    /// dominated by, or duplicates, the current front).
+    pub fn insert(&mut self, x: f64, y: f64) -> f64 {
+        let (rx, ry) = self.reference;
+        let (x, y) = (x.clamp(0.0, rx), y.clamp(0.0, ry));
+        let idx = self.pts.partition_point(|&(px, _)| px < x);
+        // Dominated or duplicate: the predecessor (or equal-f0 incumbent)
+        // already covers this point's rectangle.
+        if idx > 0 && self.pts[idx - 1].1 <= y {
+            return 0.0;
+        }
+        if let Some(&(px, py)) = self.pts.get(idx) {
+            if px == x && py <= y {
+                return 0.0;
+            }
+        }
+        let mut end = idx;
+        while end < self.pts.len() && self.pts[end].1 >= y {
+            end += 1;
+        }
+        // Local area delta: rectangles are (rx - f0_i) × (f1_{i-1} - f1_i)
+        // with the reference's f1 above the first point. Removing
+        // `pts[idx..end]` and splicing in (x, y) only changes the removed
+        // rectangles plus the first survivor's (its predecessor changed).
+        let pred_y = if idx > 0 { self.pts[idx - 1].1 } else { ry };
+        let mut removed = 0.0;
+        let mut upper = pred_y;
+        for &(px, py) in &self.pts[idx..end] {
+            removed += (rx - px) * (upper - py);
+            upper = py;
+        }
+        let succ = self.pts.get(end).copied();
+        if let Some((sx, sy)) = succ {
+            removed += (rx - sx) * (upper - sy);
+        }
+        let mut added = (rx - x) * (pred_y - y);
+        if let Some((sx, sy)) = succ {
+            added += (rx - sx) * (y - sy);
+        }
+        self.pts.drain(idx..end);
+        self.pts.insert(idx, (x, y));
+        let delta = added - removed;
+        self.hv += delta;
+        delta
+    }
 }
 
 /// Hypervolume of normalized minimization points w.r.t. the all-ones
@@ -246,6 +371,50 @@ mod tests {
     fn hv_reduces_to_2d() {
         let pts = vec![vec![0.2, 0.6], vec![0.6, 0.2]];
         assert!((hypervolume(&pts) - hypervolume_2d(&pts)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_hv_tracks_full_sweep() {
+        let pts = [
+            [0.4, 0.4],
+            [0.2, 0.6],
+            [0.6, 0.2],
+            [0.5, 0.5], // dominated: no change
+            [0.4, 0.4], // duplicate: no change
+            [0.1, 0.1], // dominates all three
+        ];
+        let mut inc = Hv2dIncremental::unit();
+        let mut seen: Vec<Vec<f64>> = Vec::new();
+        for q in pts {
+            let before = inc.hv();
+            let delta = inc.insert(q[0], q[1]);
+            assert!((inc.hv() - (before + delta)).abs() < 1e-15);
+            seen.push(q.to_vec());
+            let full = hypervolume_2d(&seen);
+            assert!(
+                (inc.hv() - full).abs() < 1e-12,
+                "incremental {} vs sweep {full}",
+                inc.hv()
+            );
+        }
+        assert_eq!(inc.len(), 1);
+    }
+
+    #[test]
+    fn incremental_hv_clamps_to_reference() {
+        let mut inc = Hv2dIncremental::new((2.0, 2.0));
+        assert!((inc.insert(1.0, 1.0) - 1.0).abs() < 1e-15);
+        // Outside the box: clamped onto the boundary, adds nothing.
+        assert_eq!(inc.insert(3.0, 0.5), (2.0 - 2.0) * 1.5);
+        assert!((inc.hv() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn presorted_sweep_matches_hypervolume_2d() {
+        let raw = vec![vec![0.3, 0.6], vec![0.6, 0.3], vec![0.1, 0.9]];
+        let mut pts: Vec<(f64, f64)> = raw.iter().map(|p| (p[0], p[1])).collect();
+        pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(hypervolume_2d_presorted(&pts), hypervolume_2d(&raw));
     }
 
     #[test]

@@ -10,8 +10,8 @@
 #[cfg(any(test, feature = "deprecated-shims"))]
 use crate::evaluate::{BatchEval, Evaluator};
 use crate::gde3::prune;
-use crate::metrics::objective_bounds;
-use crate::pareto::{crowding_distances, fast_nondominated_sort, ParetoFront, Point};
+use crate::metrics::extend_bounds;
+use crate::pareto::{crowding_distances, fast_nondominated_sort, ParetoArchive, Point};
 use crate::rsgde3::FrontSignature;
 #[cfg(feature = "deprecated-shims")]
 use crate::rsgde3::TuningResult;
@@ -95,10 +95,15 @@ impl Tuner for Nsga2Tuner {
             attempts += 1;
         }
 
-        let mut archive = ParetoFront::new();
+        let mut archive = ParetoArchive::new();
         let mut all_points = Vec::new();
+        // Running ideal/nadir over every evaluated point — same values as
+        // `objective_bounds(&all_points)` without the per-generation
+        // rescan.
+        let mut bounds: Option<(Vec<f64>, Vec<f64>)> = None;
         for p in &population {
             archive.insert(p.clone());
+            extend_bounds(&mut bounds, p);
             all_points.push(p.clone());
         }
         let mut trace = Vec::new();
@@ -112,7 +117,7 @@ impl Tuner for Nsga2Tuner {
                 StopReason::SpaceExhausted
             };
             return TuningReport {
-                front: archive,
+                front: archive.to_front(),
                 all: all_points,
                 evaluations: session.evaluations(),
                 iterations: session.iteration(),
@@ -172,13 +177,14 @@ impl Tuner for Nsga2Tuner {
                 if let Some(o) = obj {
                     let p = Point::new(cfg, o);
                     archive.insert(p.clone());
+                    extend_bounds(&mut bounds, &p);
                     all_points.push(p.clone());
                     population.push(p);
                 }
             }
             population = prune(std::mem::take(&mut population), params.pop_size);
 
-            let (ideal, nadir) = objective_bounds(&all_points);
+            let (ideal, nadir) = bounds.clone().expect("bounds over evaluated points");
             let sig = FrontSignature::under_bounds(archive.points(), &ideal, &nadir);
             session.front_updated(&sig);
             trace.push(sig);
@@ -190,7 +196,7 @@ impl Tuner for Nsga2Tuner {
         }
 
         TuningReport {
-            front: archive,
+            front: archive.to_front(),
             all: all_points,
             evaluations: session.evaluations(),
             iterations: session.iteration(),

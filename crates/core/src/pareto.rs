@@ -110,6 +110,129 @@ impl ParetoFront {
     }
 }
 
+/// An incrementally maintained Pareto archive with a two-objective fast
+/// path.
+///
+/// [`ParetoFront::insert`] scans every incumbent and then rebuilds the
+/// survivor list — O(n) per insert even when the point is rejected
+/// outright. For the two-objective case (the paper's `(time, energy)`
+/// setting) a non-dominated set is a *staircase*: sorted ascending by the
+/// first objective it is strictly descending in the second. That makes
+/// dominance checking a binary search: only the predecessor and an
+/// equal-`f0` incumbent can dominate a candidate, and the incumbents a
+/// candidate dominates form one contiguous run after its insertion slot.
+/// Insert is O(log n + removed), rejections are O(log n).
+///
+/// The accepted/rejected decisions are identical to [`ParetoFront::insert`]
+/// for every insertion sequence, and [`ParetoArchive::to_front`]
+/// reconstructs the exact insertion-ordered [`ParetoFront`] layout, so the
+/// archive can replace a front in tuner loops without changing any output.
+/// Arities other than two fall back to a plain [`ParetoFront`] internally.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoArchive {
+    /// Two-objective fast path: non-dominated points sorted ascending by
+    /// `objectives[0]` (strictly descending in `objectives[1]`).
+    points: Vec<Point>,
+    /// Insertion sequence number of each entry of `points` (parallel
+    /// vector) — lets [`Self::to_front`] reproduce insertion order.
+    seqs: Vec<u64>,
+    next_seq: u64,
+    /// Fallback archive for arities other than two.
+    general: ParetoFront,
+    /// Objective arity, fixed by the first insert.
+    m: Option<usize>,
+}
+
+impl ParetoArchive {
+    /// Empty archive.
+    pub fn new() -> Self {
+        ParetoArchive::default()
+    }
+
+    /// Build an archive from arbitrary points (dominated ones are
+    /// dropped).
+    pub fn from_points(points: impl IntoIterator<Item = Point>) -> Self {
+        let mut a = ParetoArchive::new();
+        for p in points {
+            a.insert(p);
+        }
+        a
+    }
+
+    /// Insert a point; returns `true` if it was accepted (non-dominated).
+    /// Dominated incumbents are removed; duplicate objective vectors are
+    /// kept only once. Decision-identical to [`ParetoFront::insert`].
+    pub fn insert(&mut self, p: Point) -> bool {
+        let m = *self.m.get_or_insert(p.objectives.len());
+        assert_eq!(p.objectives.len(), m, "objective arity mismatch");
+        if m != 2 {
+            return self.general.insert(p);
+        }
+        let (x, y) = (p.objectives[0], p.objectives[1]);
+        let idx = self.points.partition_point(|q| q.objectives[0] < x);
+        // Only the predecessor (strictly better f0, so it dominates iff
+        // its f1 is no worse) and an equal-f0 incumbent can dominate or
+        // duplicate the candidate; everything earlier has an even larger
+        // f1, everything later a larger f0.
+        if idx > 0 && self.points[idx - 1].objectives[1] <= y {
+            return false;
+        }
+        if let Some(q) = self.points.get(idx) {
+            if q.objectives[0] == x && q.objectives[1] <= y {
+                return false;
+            }
+        }
+        // Incumbents dominated by the candidate: the contiguous run at the
+        // insertion slot whose f1 is no better than the candidate's.
+        let mut end = idx;
+        while end < self.points.len() && self.points[end].objectives[1] >= y {
+            end += 1;
+        }
+        self.points.drain(idx..end);
+        self.seqs.drain(idx..end);
+        self.points.insert(idx, p);
+        self.seqs.insert(idx, self.next_seq);
+        self.next_seq += 1;
+        true
+    }
+
+    /// The non-dominated points. Two-objective archives yield them sorted
+    /// by the first objective; other arities in insertion order. Use
+    /// [`Self::to_front`] when insertion order matters.
+    pub fn points(&self) -> &[Point] {
+        if self.m == Some(2) {
+            &self.points
+        } else {
+            self.general.points()
+        }
+    }
+
+    /// `|S|` — number of solutions.
+    pub fn len(&self) -> usize {
+        self.points().len()
+    }
+
+    /// True if the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points().is_empty()
+    }
+
+    /// The archive as a [`ParetoFront`] with the exact point order a front
+    /// fed the same insertion sequence would hold (survivors in insertion
+    /// order).
+    pub fn to_front(&self) -> ParetoFront {
+        if self.m == Some(2) {
+            let mut order: Vec<usize> = (0..self.points.len()).collect();
+            order.sort_by_key(|&i| self.seqs[i]);
+            ParetoFront {
+                points: order.into_iter().map(|i| self.points[i].clone()).collect(),
+            }
+        } else {
+            self.general.clone()
+        }
+    }
+}
+
 /// Fast non-dominated sorting (Deb et al.): partition `points` into fronts
 /// `F0, F1, …` where `F0` is non-dominated, `F1` is non-dominated after
 /// removing `F0`, etc. Returns indices into `points`.
@@ -292,6 +415,51 @@ mod tests {
         let pts = vec![p(&[1.0, 2.0]), p(&[2.0, 1.0])];
         let d = crowding_distances(&pts, &[0, 1]);
         assert!(d.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn archive_matches_front_decisions() {
+        let pts = [
+            [4.0, 4.0],
+            [2.0, 6.0],
+            [6.0, 2.0],
+            [1.0, 9.0],
+            [3.0, 5.0],
+            [5.0, 5.0],
+            [2.5, 5.5],
+            [4.0, 4.0], // duplicate
+            [0.5, 0.5], // dominates everything
+        ];
+        let mut front = ParetoFront::new();
+        let mut archive = ParetoArchive::new();
+        for q in pts {
+            assert_eq!(front.insert(p(&q)), archive.insert(p(&q)), "at {q:?}");
+            assert_eq!(archive.to_front().points(), front.points());
+            assert_eq!(archive.len(), front.len());
+        }
+    }
+
+    #[test]
+    fn archive_points_sorted_by_first_objective() {
+        let archive = ParetoArchive::from_points(
+            [[4.0, 4.0], [2.0, 6.0], [6.0, 2.0], [3.0, 5.0]]
+                .iter()
+                .map(|q| p(q)),
+        );
+        let xs: Vec<f64> = archive.points().iter().map(|q| q.objectives[0]).collect();
+        assert_eq!(xs, vec![2.0, 3.0, 4.0, 6.0]);
+        let ys: Vec<f64> = archive.points().iter().map(|q| q.objectives[1]).collect();
+        assert_eq!(ys, vec![6.0, 5.0, 4.0, 2.0], "staircase must descend");
+    }
+
+    #[test]
+    fn archive_falls_back_for_other_arities() {
+        let mut archive = ParetoArchive::new();
+        assert!(archive.insert(p(&[1.0, 2.0, 3.0])));
+        assert!(!archive.insert(p(&[2.0, 3.0, 4.0])));
+        assert!(archive.insert(p(&[0.5, 2.5, 3.0])));
+        assert_eq!(archive.len(), 2);
+        assert_eq!(archive.to_front().len(), 2);
     }
 
     #[test]

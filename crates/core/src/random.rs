@@ -8,7 +8,7 @@
 #[cfg(any(test, feature = "deprecated-shims"))]
 use crate::evaluate::{BatchEval, Evaluator};
 use crate::metrics::objective_bounds;
-use crate::pareto::{ParetoFront, Point};
+use crate::pareto::{ParetoArchive, Point};
 use crate::rsgde3::FrontSignature;
 #[cfg(feature = "deprecated-shims")]
 use crate::rsgde3::TuningResult;
@@ -68,7 +68,7 @@ impl Tuner for RandomTuner {
             (None, None) => Self::DEFAULT_SAMPLES,
         };
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut archive = ParetoFront::new();
+        let mut archive = ParetoArchive::new();
         let mut all = Vec::new();
         let mut stop = StopReason::Completed;
 
@@ -118,7 +118,7 @@ impl Tuner for RandomTuner {
         session.front_updated(&sig);
 
         TuningReport {
-            front: archive,
+            front: archive.to_front(),
             all,
             evaluations: session.evaluations(),
             iterations: session.iteration(),

@@ -11,7 +11,7 @@
 use crate::evaluate::{BatchEval, Evaluator};
 use crate::gde3::{Gde3, Gde3Params};
 use crate::metrics::{hypervolume, normalize_front, objective_bounds};
-use crate::pareto::{ParetoFront, Point};
+use crate::pareto::{ParetoArchive, ParetoFront, Point};
 use crate::roughset::{enclose_points, reduce_search_space};
 use crate::space::{Config, ParamSpace};
 use crate::tuner::{StopReason, Tuner, TuningReport, TuningSession};
@@ -163,7 +163,7 @@ impl Tuner for RsGde3Tuner {
             };
         }
 
-        let mut archive = ParetoFront::new();
+        let mut archive = ParetoArchive::new();
         for p in &population {
             archive.insert(p.clone());
         }
@@ -219,7 +219,7 @@ impl Tuner for RsGde3Tuner {
         }
 
         TuningReport {
-            front: archive,
+            front: archive.to_front(),
             all,
             evaluations: session.evaluations(),
             iterations: session.iteration(),
@@ -247,7 +247,7 @@ pub struct FrontSignature {
 impl FrontSignature {
     /// Compute the signature of a population's non-dominated subset.
     pub fn of(population: &[crate::pareto::Point]) -> Self {
-        let front = ParetoFront::from_points(population.iter().cloned());
+        let front = ParetoArchive::from_points(population.iter().cloned());
         if front.is_empty() {
             return FrontSignature {
                 size: 0,
@@ -269,7 +269,7 @@ impl FrontSignature {
     /// measured under externally fixed normalization bounds (e.g. the
     /// bounds of *all* evaluated points), instead of the front's own.
     pub fn under_bounds(points: &[crate::pareto::Point], ideal: &[f64], nadir: &[f64]) -> Self {
-        let front = ParetoFront::from_points(points.iter().cloned());
+        let front = ParetoArchive::from_points(points.iter().cloned());
         if front.is_empty() {
             return FrontSignature {
                 size: 0,

@@ -11,7 +11,7 @@
 
 #[cfg(any(test, feature = "deprecated-shims"))]
 use crate::evaluate::{BatchEval, Evaluator};
-use crate::pareto::{ParetoFront, Point};
+use crate::pareto::{ParetoArchive, ParetoFront, Point};
 use crate::rsgde3::FrontSignature;
 #[cfg(feature = "deprecated-shims")]
 use crate::rsgde3::TuningResult;
@@ -219,7 +219,7 @@ impl Tuner for WeightedSumTuner {
         }
 
         TuningReport {
-            front: ParetoFront::from_points(winners),
+            front: ParetoArchive::from_points(winners).to_front(),
             all,
             evaluations: session.evaluations(),
             iterations: session.iteration(),

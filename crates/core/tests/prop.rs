@@ -183,3 +183,57 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The incremental archive makes the same accept/reject decision as
+    /// `ParetoFront` on every insertion, reconstructs the front in the
+    /// exact insertion order, and keeps its own points sorted by the first
+    /// objective.
+    #[test]
+    fn incremental_archive_matches_front(pts in points(1..40)) {
+        let mut archive = moat_core::ParetoArchive::new();
+        let mut front = ParetoFront::new();
+        for p in &pts {
+            prop_assert_eq!(archive.insert(p.clone()), front.insert(p.clone()));
+            prop_assert_eq!(archive.len(), front.len());
+        }
+        prop_assert_eq!(archive.to_front().points(), front.points());
+        let sorted = archive.points();
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].objectives[0] <= w[1].objectives[0], "archive unsorted");
+            prop_assert!(w[0].objectives[1] > w[1].objectives[1], "not a staircase");
+        }
+    }
+
+    /// `hypervolume_2d` is order-independent, bounded by the unit box,
+    /// and monotone under adding points.
+    #[test]
+    fn hypervolume_2d_laws(pts in prop::collection::vec(prop::collection::vec(-0.2f64..1.2, 2), 1..30)) {
+        let hv = hypervolume_2d(&pts);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&hv));
+        let mut reversed = pts.clone();
+        reversed.reverse();
+        prop_assert_eq!(hv, hypervolume_2d(&reversed), "order dependence");
+        let shorter = hypervolume_2d(&pts[..pts.len() - 1]);
+        prop_assert!(shorter <= hv + 1e-12, "adding a point shrank the hypervolume");
+    }
+
+    /// The incrementally maintained hypervolume tracks a fresh full sweep
+    /// after every insertion (up to FP accumulation-order noise).
+    #[test]
+    fn incremental_hv_matches_sweep(pts in prop::collection::vec(prop::collection::vec(-0.2f64..1.2, 2), 1..30)) {
+        let mut inc = moat_core::Hv2dIncremental::unit();
+        let mut seen = Vec::new();
+        let mut prev = 0.0;
+        for p in &pts {
+            seen.push(p.clone());
+            let delta = inc.insert(p[0], p[1]);
+            prop_assert!(delta >= 0.0, "negative hypervolume delta {delta}");
+            let fresh = hypervolume_2d(&seen);
+            let hv = inc.hv();
+            prop_assert!((hv - fresh).abs() <= 1e-9, "inc={hv} sweep={fresh}");
+            prop_assert!((hv - (prev + delta)).abs() <= 1e-12, "delta inconsistent");
+            prev = hv;
+        }
+    }
+}
