@@ -25,10 +25,12 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod key;
 pub mod record;
 pub mod store;
 
+pub use checkpoint::CheckpointStore;
 pub use key::ArchiveKey;
 pub use record::{ArchiveRecord, MergeStats, FORMAT_VERSION};
 pub use store::{Archive, ArchiveError, WarmStartSource};

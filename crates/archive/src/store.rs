@@ -60,11 +60,32 @@ fn io_err(path: &Path, e: std::io::Error) -> ArchiveError {
 }
 
 impl Archive {
-    /// Open (creating if needed) an archive directory.
+    /// Open (creating if needed) an archive directory. Temp files left
+    /// behind by a writer that crashed mid-[`insert`](Self::insert) are
+    /// swept here: a `.{id}.tmp` that never reached its `rename` is dead
+    /// weight, never a record readers could have observed.
     pub fn open(root: impl Into<PathBuf>) -> Result<Archive, ArchiveError> {
         let root = root.into();
         fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
-        Ok(Archive { root })
+        let archive = Archive { root };
+        archive.sweep_stale_temps();
+        Ok(archive)
+    }
+
+    /// Remove leftover `.*.tmp` files from a crashed writer. Best-effort:
+    /// a concurrent writer may legitimately rename its temp away between
+    /// the listing and the unlink.
+    fn sweep_stale_temps(&self) {
+        let Ok(entries) = fs::read_dir(&self.root) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with('.') && name.ends_with(".tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
     }
 
     /// The archive directory.
@@ -466,6 +487,33 @@ mod tests {
         assert_eq!(source, WarmStartSource::Exact);
         assert_eq!(warm.hints.len(), 1);
         assert_eq!(warm.seeds, vec![vec![3, 3]]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_temps_are_swept_on_open_without_touching_records() {
+        let dir = tmpdir("sweep");
+        let archive = Archive::open(&dir).unwrap();
+        let m = MachineDesc::westmere();
+        let key = ArchiveKey::new(1, 2, 3);
+        let rec = record(key, &m, vec![Point::new(vec![1, 1], vec![1.0, 9.0])]);
+        archive.insert(&rec).unwrap();
+
+        // Simulate a writer killed mid-insert: a half-written temp file
+        // that never reached its rename.
+        let stale = dir.join(format!(".{}.tmp", key.id()));
+        fs::write(&stale, "{\"format_version\": 1, \"key\": trunc").unwrap();
+        let foreign = dir.join("notes.txt");
+        fs::write(&foreign, "keep me").unwrap();
+
+        let reopened = Archive::open(&dir).unwrap();
+        assert!(!stale.exists(), "stale temp swept on open");
+        assert!(foreign.exists(), "foreign files untouched");
+        assert_eq!(
+            reopened.get(&key).unwrap().unwrap(),
+            rec,
+            "committed record intact"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -26,6 +26,20 @@ pub trait Evaluator: Sync {
     fn num_objectives(&self) -> usize;
     /// Evaluate one configuration.
     fn evaluate(&self, cfg: &Config) -> Option<ObjVec>;
+
+    /// Whether `cfg` was quarantined by a fault-handling layer (its result
+    /// is a penalty vector, not a genuine measurement). Evaluators without
+    /// a fault layer report `false`.
+    fn is_quarantined(&self, _cfg: &Config) -> bool {
+        false
+    }
+
+    /// Fault-handling counters, when a fault-tolerant layer (see
+    /// [`FaultTolerantEvaluator`](crate::fault::FaultTolerantEvaluator)) is
+    /// present somewhere in the evaluator stack.
+    fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        None
+    }
 }
 
 impl<F> Evaluator for (usize, F)
@@ -118,6 +132,35 @@ impl<'a> CachingEvaluator<'a> {
         self.primed.fetch_add(1, Ordering::Relaxed);
         true
     }
+
+    /// Snapshot every finished cache entry, sorted by configuration —
+    /// checkpoint support. Call only at a batch boundary: in-flight
+    /// entries are not representable and are skipped.
+    pub fn snapshot(&self) -> Vec<(Config, Option<ObjVec>)> {
+        let cache = self.cache.lock();
+        let mut out: Vec<(Config, Option<ObjVec>)> = cache
+            .iter()
+            .filter_map(|(cfg, entry)| match entry {
+                CacheEntry::Done(r) => Some((cfg.clone(), r.clone())),
+                CacheEntry::InFlight(_) => None,
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Restore a cache snapshot plus counters — the resume path. Entries
+    /// land as finished results, and the counters are overwritten
+    /// wholesale, so `E` accounting and budget admission continue exactly
+    /// where the checkpointed run left off.
+    pub fn restore(&self, entries: &[(Config, Option<ObjVec>)], evaluations: u64, primed: u64) {
+        let mut cache = self.cache.lock();
+        for (cfg, r) in entries {
+            cache.insert(cfg.clone(), CacheEntry::Done(r.clone()));
+        }
+        self.evaluations.store(evaluations, Ordering::Relaxed);
+        self.primed.store(primed, Ordering::Relaxed);
+    }
 }
 
 impl Evaluator for CachingEvaluator<'_> {
@@ -162,6 +205,14 @@ impl Evaluator for CachingEvaluator<'_> {
             .lock()
             .insert(cfg.clone(), CacheEntry::Done(result.clone()));
         result
+    }
+
+    fn is_quarantined(&self, cfg: &Config) -> bool {
+        self.inner.is_quarantined(cfg)
+    }
+
+    fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.inner.fault_stats()
     }
 }
 
@@ -213,6 +264,14 @@ impl Evaluator for ConstrainedEvaluator<'_> {
             return None;
         }
         self.inner.evaluate(cfg)
+    }
+
+    fn is_quarantined(&self, cfg: &Config) -> bool {
+        self.inner.is_quarantined(cfg)
+    }
+
+    fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.inner.fault_stats()
     }
 }
 

@@ -5,6 +5,7 @@
 //! *all* evaluated points (the per-thread-count sweeps of Table II and the
 //! scatter plots of Fig. 8 need the full data).
 
+use crate::checkpoint::TunerState;
 #[cfg(any(test, feature = "deprecated-shims"))]
 use crate::evaluate::{BatchEval, Evaluator};
 use crate::pareto::{ParetoArchive, ParetoFront, Point};
@@ -78,11 +79,23 @@ impl Tuner for GridTuner {
             Some(points) => points.clone(),
             None => session.space().regular_grid(self.steps),
         };
-        let mut front = ParetoArchive::new();
-        let mut all = Vec::with_capacity(configs.len());
+        // Resume: the grid itself is recomputed deterministically above;
+        // only the chunk cursor and accumulated results are restored.
+        let mut front: ParetoArchive;
+        let mut all: Vec<Point>;
+        let start_chunk: usize;
+        if let Some(state) = session.resume_state() {
+            front = ParetoArchive::from_points(state.archive.iter().cloned());
+            all = state.all;
+            start_chunk = state.cursor as usize;
+        } else {
+            front = ParetoArchive::new();
+            all = Vec::with_capacity(configs.len());
+            start_chunk = 0;
+        }
         let mut stop = StopReason::Completed;
         const CHUNK: usize = 512;
-        for chunk in configs.chunks(CHUNK) {
+        for (ci, chunk) in configs.chunks(CHUNK).enumerate().skip(start_chunk) {
             session.begin_iteration();
             let objs = session.evaluate(chunk);
             for (cfg, obj) in chunk.iter().zip(objs) {
@@ -95,6 +108,17 @@ impl Tuner for GridTuner {
             if session.budget_exhausted() {
                 stop = StopReason::BudgetExhausted;
                 break;
+            }
+            // Safe boundary: chunk `ci` is complete.
+            if session.checkpointing() {
+                let state = TunerState {
+                    strategy: self.name().to_string(),
+                    cursor: (ci + 1) as u64,
+                    archive: front.to_front().points().to_vec(),
+                    all: all.clone(),
+                    ..TunerState::default()
+                };
+                session.checkpoint(state);
             }
         }
         let sig = FrontSignature::of(front.points());

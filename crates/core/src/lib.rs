@@ -31,7 +31,9 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod evaluate;
+pub mod fault;
 pub mod gde3;
 pub mod grid;
 pub mod metrics;
@@ -57,7 +59,15 @@ pub use random::random_search;
 #[allow(deprecated)]
 pub use wsum::weighted_sweep;
 
+pub use checkpoint::{
+    rng_from_state, CheckpointError, CheckpointSink, MemorySink, SessionCheckpoint, TunerState,
+    CHECKPOINT_FORMAT_VERSION,
+};
 pub use evaluate::{BatchEval, CachingEvaluator, ConstrainedEvaluator, Evaluator, ObjVec};
+pub use fault::{
+    EvalError, FallibleEvaluator, FaultInjector, FaultPolicy, FaultSchedule, FaultStats,
+    FaultTolerantEvaluator, QUARANTINE_PENALTY,
+};
 pub use gde3::{Gde3, Gde3Params};
 pub use grid::{GridResult, GridTuner};
 pub use metrics::{

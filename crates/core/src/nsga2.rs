@@ -7,6 +7,7 @@
 //! crossover, random-reset mutation, and environmental selection via
 //! non-dominated sorting + crowding (shared with GDE3's pruning).
 
+use crate::checkpoint::{rng_from_state, TunerState};
 #[cfg(any(test, feature = "deprecated-shims"))]
 use crate::evaluate::{BatchEval, Evaluator};
 use crate::gde3::prune;
@@ -66,6 +67,36 @@ impl Nsga2Tuner {
     pub fn new(params: Nsga2Params) -> Self {
         Nsga2Tuner { params }
     }
+
+    /// Assemble the strategy-private checkpoint state after `done`
+    /// completed generations.
+    #[allow(clippy::too_many_arguments)]
+    fn snapshot(
+        &self,
+        rng: &StdRng,
+        population: &[Point],
+        archive: &ParetoArchive,
+        all: &[Point],
+        trace: &[FrontSignature],
+        bounds: &Option<(Vec<f64>, Vec<f64>)>,
+        done: u32,
+    ) -> TunerState {
+        TunerState {
+            strategy: self.name().to_string(),
+            rng: rng.state().to_vec(),
+            cursor: done as u64,
+            stall: 0,
+            population: population.to_vec(),
+            archive: archive.to_front().points().to_vec(),
+            all: all.to_vec(),
+            trace: trace.to_vec(),
+            bbox: Vec::new(),
+            scale: bounds
+                .as_ref()
+                .map(|(ideal, nadir)| ideal.iter().copied().zip(nadir.iter().copied()).collect())
+                .unwrap_or_default(),
+        }
+    }
 }
 
 impl Tuner for Nsga2Tuner {
@@ -76,58 +107,89 @@ impl Tuner for Nsga2Tuner {
     fn tune(&self, session: &mut TuningSession<'_>) -> TuningReport {
         let params = self.params;
         let space = session.space().clone();
-        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut rng: StdRng;
+        let mut population: Vec<Point>;
+        let mut archive: ParetoArchive;
+        let mut all_points: Vec<Point>;
+        let mut bounds: Option<(Vec<f64>, Vec<f64>)>;
+        let mut trace: Vec<FrontSignature>;
+        let start_gen: u32;
 
-        // Initial population: warm-start seeds first (hinted seeds are
-        // free cache hits, transferred seeds pay budget), then random
-        // sampling fills the remainder.
-        let mut population: Vec<Point> = crate::tuner::evaluate_seeds(session, params.pop_size);
-        let mut attempts = 0;
-        while population.len() < params.pop_size && attempts < 20 && !session.budget_exhausted() {
-            let configs: Vec<Config> = (0..params.pop_size - population.len())
-                .map(|_| space.sample(&mut rng))
-                .collect();
-            for (cfg, obj) in configs.iter().zip(session.evaluate(&configs)) {
-                if let Some(o) = obj {
-                    population.push(Point::new(cfg.clone(), o));
-                }
-            }
-            attempts += 1;
-        }
-
-        let mut archive = ParetoArchive::new();
-        let mut all_points = Vec::new();
-        // Running ideal/nadir over every evaluated point — same values as
-        // `objective_bounds(&all_points)` without the per-generation
-        // rescan.
-        let mut bounds: Option<(Vec<f64>, Vec<f64>)> = None;
-        for p in &population {
-            archive.insert(p.clone());
-            extend_bounds(&mut bounds, p);
-            all_points.push(p.clone());
-        }
-        let mut trace = Vec::new();
-
-        if population.len() < 2 {
-            // Tournament selection needs at least two members — out of
-            // budget or a (near-)infeasible space.
-            let stop = if session.budget_exhausted() {
-                StopReason::BudgetExhausted
+        if let Some(state) = session.resume_state() {
+            // Resume: restore the mid-run state and continue from the
+            // first generation the checkpointed run had not completed.
+            rng = rng_from_state(&state.rng).unwrap_or_else(|| StdRng::seed_from_u64(params.seed));
+            population = state.population;
+            archive = ParetoArchive::from_points(state.archive.iter().cloned());
+            all_points = state.all;
+            bounds = if state.scale.is_empty() {
+                None
             } else {
-                StopReason::SpaceExhausted
+                Some(state.scale.iter().copied().unzip())
             };
-            return TuningReport {
-                front: archive.to_front(),
-                all: all_points,
-                evaluations: session.evaluations(),
-                iterations: session.iteration(),
-                stop,
-                trace,
-            };
+            trace = state.trace;
+            start_gen = state.cursor as u32;
+        } else {
+            rng = StdRng::seed_from_u64(params.seed);
+
+            // Initial population: warm-start seeds first (hinted seeds are
+            // free cache hits, transferred seeds pay budget), then random
+            // sampling fills the remainder.
+            population = crate::tuner::evaluate_seeds(session, params.pop_size);
+            let mut attempts = 0;
+            while population.len() < params.pop_size && attempts < 20 && !session.budget_exhausted()
+            {
+                let configs: Vec<Config> = (0..params.pop_size - population.len())
+                    .map(|_| space.sample(&mut rng))
+                    .collect();
+                for (cfg, obj) in configs.iter().zip(session.evaluate(&configs)) {
+                    if let Some(o) = obj {
+                        population.push(Point::new(cfg.clone(), o));
+                    }
+                }
+                attempts += 1;
+            }
+
+            archive = ParetoArchive::new();
+            all_points = Vec::new();
+            // Running ideal/nadir over every evaluated point — same values as
+            // `objective_bounds(&all_points)` without the per-generation
+            // rescan.
+            bounds = None;
+            for p in &population {
+                archive.insert(p.clone());
+                extend_bounds(&mut bounds, p);
+                all_points.push(p.clone());
+            }
+            trace = Vec::new();
+
+            if population.len() < 2 {
+                // Tournament selection needs at least two members — out of
+                // budget or a (near-)infeasible space.
+                let stop = if session.budget_exhausted() {
+                    StopReason::BudgetExhausted
+                } else {
+                    StopReason::SpaceExhausted
+                };
+                return TuningReport {
+                    front: archive.to_front(),
+                    all: all_points,
+                    evaluations: session.evaluations(),
+                    iterations: session.iteration(),
+                    stop,
+                    trace,
+                };
+            }
+            start_gen = 0;
+            if session.checkpointing() {
+                let state =
+                    self.snapshot(&rng, &population, &archive, &all_points, &trace, &bounds, 0);
+                session.checkpoint(state);
+            }
         }
 
         let mut stop = StopReason::Completed;
-        for _ in 0..params.generations {
+        for gen in start_gen..params.generations {
             session.begin_iteration();
             // Ranks + crowding for tournament selection.
             let fronts = fast_nondominated_sort(&population);
@@ -192,6 +254,19 @@ impl Tuner for Nsga2Tuner {
             if session.budget_exhausted() {
                 stop = StopReason::BudgetExhausted;
                 break;
+            }
+            // Safe boundary: generation `gen` is complete.
+            if session.checkpointing() {
+                let state = self.snapshot(
+                    &rng,
+                    &population,
+                    &archive,
+                    &all_points,
+                    &trace,
+                    &bounds,
+                    gen + 1,
+                );
+                session.checkpoint(state);
             }
         }
 

@@ -5,6 +5,7 @@
 //! as RS-GDE3; it is "very far off the quality achieved by the other
 //! techniques" (Fig. 9) — a comparison the harness reproduces.
 
+use crate::checkpoint::{rng_from_state, TunerState};
 #[cfg(any(test, feature = "deprecated-shims"))]
 use crate::evaluate::{BatchEval, Evaluator};
 use crate::metrics::objective_bounds;
@@ -67,9 +68,18 @@ impl Tuner for RandomTuner {
             (None, Some(b)) => b,
             (None, None) => Self::DEFAULT_SAMPLES,
         };
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut archive = ParetoArchive::new();
-        let mut all = Vec::new();
+        let mut rng: StdRng;
+        let mut archive: ParetoArchive;
+        let mut all: Vec<Point>;
+        if let Some(state) = session.resume_state() {
+            rng = rng_from_state(&state.rng).unwrap_or_else(|| StdRng::seed_from_u64(self.seed));
+            archive = ParetoArchive::from_points(state.archive.iter().cloned());
+            all = state.all;
+        } else {
+            rng = StdRng::seed_from_u64(self.seed);
+            archive = ParetoArchive::new();
+            all = Vec::new();
+        }
         let mut stop = StopReason::Completed;
 
         const CHUNK: usize = 64;
@@ -97,6 +107,18 @@ impl Tuner for RandomTuner {
             if session.evaluations() >= session.space().size() {
                 stop = StopReason::SpaceExhausted;
                 break;
+            }
+            // Safe boundary: the next chunk depends only on the RNG and
+            // archive captured here.
+            if session.checkpointing() {
+                let state = TunerState {
+                    strategy: self.name().to_string(),
+                    rng: rng.state().to_vec(),
+                    archive: archive.to_front().points().to_vec(),
+                    all: all.clone(),
+                    ..TunerState::default()
+                };
+                session.checkpoint(state);
             }
         }
         if stop == StopReason::Completed

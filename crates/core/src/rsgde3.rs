@@ -7,6 +7,7 @@
 //! improved for a configurable number of consecutive iterations (the paper
 //! uses three).
 
+use crate::checkpoint::{rng_from_state, TunerState};
 #[cfg(any(test, feature = "deprecated-shims"))]
 use crate::evaluate::{BatchEval, Evaluator};
 use crate::gde3::{Gde3, Gde3Params};
@@ -17,6 +18,7 @@ use crate::space::{Config, ParamSpace};
 use crate::tuner::{StopReason, Tuner, TuningReport, TuningSession};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// RS-GDE3 knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,6 +115,32 @@ impl RsGde3Tuner {
     pub fn new(params: RsGde3Params) -> Self {
         RsGde3Tuner { params }
     }
+
+    /// Assemble the strategy-private checkpoint state at a safe boundary.
+    #[allow(clippy::too_many_arguments)]
+    fn snapshot(
+        &self,
+        rng: &StdRng,
+        population: &[Point],
+        archive: &ParetoArchive,
+        all: &[Point],
+        trace: &[FrontSignature],
+        stall: u32,
+        bbox: &[(i64, i64)],
+    ) -> TunerState {
+        TunerState {
+            strategy: self.name().to_string(),
+            rng: rng.state().to_vec(),
+            cursor: 0,
+            stall,
+            population: population.to_vec(),
+            archive: archive.to_front().points().to_vec(),
+            all: all.to_vec(),
+            trace: trace.to_vec(),
+            bbox: bbox.to_vec(),
+            scale: Vec::new(),
+        }
+    }
 }
 
 impl Tuner for RsGde3Tuner {
@@ -126,53 +154,86 @@ impl Tuner for RsGde3Tuner {
 
     fn tune(&self, session: &mut TuningSession<'_>) -> TuningReport {
         let gde3 = Gde3::new(session.space().clone(), self.params.gde3);
-        let mut rng = StdRng::seed_from_u64(self.params.seed);
-        let mut all: Vec<Point> = Vec::new();
+        let mut rng: StdRng;
+        let mut all: Vec<Point>;
+        let mut bbox: Vec<(i64, i64)>;
+        let mut population: Vec<Point>;
+        let mut archive: ParetoArchive;
+        let mut trace: Vec<FrontSignature>;
+        let mut last: FrontSignature;
+        let mut stall: u32;
 
-        let mut bbox = session.space().full_box();
-        // Warm start: archived seed configurations occupy the leading
-        // population slots (hinted ones are served from the primed cache,
-        // transferred ones are re-evaluated and pay budget), then random
-        // sampling fills the remainder.
-        let mut population = crate::tuner::evaluate_seeds(session, self.params.gde3.pop_size);
-        all.extend(population.iter().cloned());
-        {
-            let mut eval = |cfgs: &[Config]| {
-                let objs = session.evaluate(cfgs);
-                crate::tuner::record_feasible(&mut all, cfgs, &objs);
-                objs
-            };
-            gde3.fill_population_with(&mut population, &mut eval, &bbox, &mut rng);
-        }
-        if population.len() < 4 {
-            // Not enough feasible members for DE variation — out of budget
-            // or a (near-)infeasible space.
-            let stop = if session.budget_exhausted() {
-                StopReason::BudgetExhausted
+        if let Some(state) = session.resume_state() {
+            // Resume: restore the exact mid-run state — initialization and
+            // seeding already happened in the checkpointed run.
+            rng = rng_from_state(&state.rng)
+                .unwrap_or_else(|| StdRng::seed_from_u64(self.params.seed));
+            all = state.all;
+            bbox = if state.bbox.is_empty() {
+                session.space().full_box()
             } else {
-                StopReason::SpaceExhausted
+                state.bbox
             };
-            let front = ParetoFront::from_points(population);
-            return TuningReport {
-                front,
-                all,
-                evaluations: session.evaluations(),
-                iterations: session.iteration(),
-                stop,
-                trace: Vec::new(),
-            };
-        }
+            population = state.population;
+            archive = ParetoArchive::from_points(state.archive.iter().cloned());
+            trace = state.trace;
+            stall = state.stall;
+            last = trace
+                .last()
+                .cloned()
+                .unwrap_or_else(|| FrontSignature::of(&population));
+        } else {
+            rng = StdRng::seed_from_u64(self.params.seed);
+            all = Vec::new();
+            bbox = session.space().full_box();
+            // Warm start: archived seed configurations occupy the leading
+            // population slots (hinted ones are served from the primed cache,
+            // transferred ones are re-evaluated and pay budget), then random
+            // sampling fills the remainder.
+            population = crate::tuner::evaluate_seeds(session, self.params.gde3.pop_size);
+            all.extend(population.iter().cloned());
+            {
+                let mut eval = |cfgs: &[Config]| {
+                    let objs = session.evaluate(cfgs);
+                    crate::tuner::record_feasible(&mut all, cfgs, &objs);
+                    objs
+                };
+                gde3.fill_population_with(&mut population, &mut eval, &bbox, &mut rng);
+            }
+            if population.len() < 4 {
+                // Not enough feasible members for DE variation — out of budget
+                // or a (near-)infeasible space.
+                let stop = if session.budget_exhausted() {
+                    StopReason::BudgetExhausted
+                } else {
+                    StopReason::SpaceExhausted
+                };
+                let front = ParetoFront::from_points(population);
+                return TuningReport {
+                    front,
+                    all,
+                    evaluations: session.evaluations(),
+                    iterations: session.iteration(),
+                    stop,
+                    trace: Vec::new(),
+                };
+            }
 
-        let mut archive = ParetoArchive::new();
-        for p in &population {
-            archive.insert(p.clone());
-        }
+            archive = ParetoArchive::new();
+            for p in &population {
+                archive.insert(p.clone());
+            }
 
-        let mut trace = Vec::new();
-        let mut last = FrontSignature::of(&population);
-        session.front_updated(&last);
-        trace.push(last.clone());
-        let mut stall = 0u32;
+            trace = Vec::new();
+            last = FrontSignature::of(&population);
+            session.front_updated(&last);
+            trace.push(last.clone());
+            stall = 0;
+            if session.checkpointing() {
+                let state = self.snapshot(&rng, &population, &archive, &all, &trace, stall, &bbox);
+                session.checkpoint(state);
+            }
+        }
         let mut stop = StopReason::MaxIterations;
 
         while stall < self.params.patience && session.iteration() < self.params.max_generations {
@@ -213,6 +274,12 @@ impl Tuner for RsGde3Tuner {
                 stop = StopReason::BudgetExhausted;
                 break;
             }
+            // Safe boundary: the next iteration depends only on the state
+            // captured here, so a resumed run continues bit-identically.
+            if session.checkpointing() {
+                let state = self.snapshot(&rng, &population, &archive, &all, &trace, stall, &bbox);
+                session.checkpoint(state);
+            }
         }
         if stop != StopReason::BudgetExhausted && stall >= self.params.patience {
             stop = StopReason::Converged;
@@ -234,7 +301,7 @@ impl Tuner for RsGde3Tuner {
 /// its per-objective ideal point and its self-normalized hypervolume have
 /// all stagnated. (Hypervolume alone is blind to degenerate single-point
 /// fronts during the early exploration phase.)
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FrontSignature {
     /// Number of non-dominated points.
     pub size: usize,

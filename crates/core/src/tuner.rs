@@ -30,11 +30,16 @@
 //! assert!(!report.front.is_empty());
 //! ```
 
+use crate::checkpoint::{
+    CheckpointError, CheckpointSink, SessionCheckpoint, TunerState, CHECKPOINT_FORMAT_VERSION,
+};
 use crate::evaluate::{BatchEval, CachingEvaluator, Evaluator, ObjVec};
+use crate::fault::FaultStats;
 use crate::pareto::{ParetoFront, Point};
 use crate::rsgde3::{FrontSignature, TuningResult};
 use crate::space::{Config, ParamSpace};
 use std::collections::HashSet;
+use std::time::{Duration, Instant};
 
 /// Why a tuning run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +56,9 @@ pub enum StopReason {
     /// The strategy ran its fixed schedule to completion (grid sweeps,
     /// fixed-generation evolutionary runs, weighted sweeps).
     Completed,
+    /// The session's wall-clock budget ran out (see
+    /// [`TuningSession::with_time_budget`]).
+    TimeBudgetExhausted,
 }
 
 impl StopReason {
@@ -62,6 +70,7 @@ impl StopReason {
             StopReason::MaxIterations => "max-iterations",
             StopReason::SpaceExhausted => "space-exhausted",
             StopReason::Completed => "completed",
+            StopReason::TimeBudgetExhausted => "time-budget-exhausted",
         }
     }
 }
@@ -93,6 +102,18 @@ pub enum TuningEvent {
     SpaceReduced {
         /// The new per-dimension bounding box.
         bbox: Vec<(i64, i64)>,
+    },
+    /// A checkpoint was written (only emitted when checkpointing is
+    /// enabled via [`TuningSession::with_checkpointing`]).
+    Checkpointed {
+        /// The checkpoint's event cursor (checkpoint opportunities seen).
+        seq: u64,
+    },
+    /// Summary of the fault handling performed during the run (only
+    /// emitted when a fault-tolerant evaluator layer is present).
+    FaultSummary {
+        /// The fault counters at the end of the run.
+        stats: FaultStats,
     },
     /// The run ended.
     Stopped {
@@ -244,7 +265,14 @@ pub struct TuningSession<'a> {
     num_objectives: usize,
     batch: BatchEval,
     budget: Option<u64>,
+    time_budget: Option<Duration>,
+    started: Option<Instant>,
+    time_exhausted: bool,
     sink: Option<&'a mut dyn EventSink>,
+    ckpt_sink: Option<&'a mut dyn CheckpointSink>,
+    ckpt_every: u32,
+    ckpt_seq: u64,
+    resume: Option<TunerState>,
     seeds: Vec<Config>,
     iteration: u32,
     budget_exhausted: bool,
@@ -260,7 +288,14 @@ impl<'a> TuningSession<'a> {
             evaluator: CachingEvaluator::new(evaluator),
             batch: BatchEval::default(),
             budget: None,
+            time_budget: None,
+            started: None,
+            time_exhausted: false,
             sink: None,
+            ckpt_sink: None,
+            ckpt_every: 1,
+            ckpt_seq: 0,
+            resume: None,
             seeds: Vec::new(),
             iteration: 0,
             budget_exhausted: false,
@@ -282,10 +317,58 @@ impl<'a> TuningSession<'a> {
         self
     }
 
+    /// Cap the run's wall-clock time. The clock starts when
+    /// [`run`](Self::run) (or the first [`evaluate`](Self::evaluate))
+    /// is called; once it expires, further batches are refused wholesale
+    /// — the cut lands on a batch boundary, so the report for a given
+    /// cutoff iteration is as deterministic as the budget-limited one,
+    /// and the run stops with [`StopReason::TimeBudgetExhausted`].
+    pub fn with_time_budget(mut self, limit: Duration) -> Self {
+        self.time_budget = Some(limit);
+        self
+    }
+
     /// Attach an event sink receiving progress events.
     pub fn with_sink(mut self, sink: &'a mut dyn EventSink) -> Self {
         self.sink = Some(sink);
         self
+    }
+
+    /// Enable crash-safe checkpointing: every `every`-th checkpoint
+    /// opportunity (tuners offer one after initialization and at the end
+    /// of each iteration) assembles a [`SessionCheckpoint`] and hands it
+    /// to `sink`.
+    pub fn with_checkpointing(mut self, sink: &'a mut dyn CheckpointSink, every: u32) -> Self {
+        self.ckpt_sink = Some(sink);
+        self.ckpt_every = every.max(1);
+        self
+    }
+
+    /// Resume from a checkpoint: restores the evaluation cache, spent
+    /// budget, iteration counter and checkpoint cursor, and holds the
+    /// strategy-private state for the tuner to pick up via
+    /// [`resume_state`](Self::resume_state). The checkpoint's budget is
+    /// authoritative (it overrides any [`with_budget`](Self::with_budget)),
+    /// so a resumed fixed-seed run reproduces the uninterrupted run
+    /// byte-identically. Combining resume with
+    /// [`with_warm_start`](Self::with_warm_start) is unsupported: the
+    /// checkpoint already contains the primed cache.
+    pub fn with_resume(mut self, ckpt: SessionCheckpoint) -> Result<Self, CheckpointError> {
+        ckpt.validate(self.space.dims(), self.num_objectives)?;
+        if ckpt.tuner.strategy != ckpt.strategy {
+            return Err(CheckpointError::new(format!(
+                "inconsistent checkpoint: session strategy '{}' vs tuner state '{}'",
+                ckpt.strategy, ckpt.tuner.strategy
+            )));
+        }
+        self.evaluator
+            .restore(&ckpt.cache, ckpt.evaluations, ckpt.primed);
+        self.budget = ckpt.budget;
+        self.iteration = ckpt.iteration;
+        self.budget_exhausted = ckpt.budget_exhausted;
+        self.ckpt_seq = ckpt.seq;
+        self.resume = Some(ckpt.tuner);
+        Ok(self)
     }
 
     /// Warm-start the session: prime the evaluation cache with the
@@ -365,6 +448,68 @@ impl<'a> TuningSession<'a> {
         self.iteration
     }
 
+    /// The wall-clock budget, if any.
+    pub fn time_budget(&self) -> Option<Duration> {
+        self.time_budget
+    }
+
+    /// True once the wall-clock budget refused a batch.
+    pub fn time_exhausted(&self) -> bool {
+        self.time_exhausted
+    }
+
+    /// Whether a checkpoint sink is attached. Tuners use this to skip
+    /// assembling [`TunerState`] (which clones populations) when nobody
+    /// is listening.
+    pub fn checkpointing(&self) -> bool {
+        self.ckpt_sink.is_some()
+    }
+
+    /// Take the strategy-private resume state installed by
+    /// [`with_resume`](Self::with_resume), if any. The owning tuner calls
+    /// this once at the start of `tune` and skips its initialization phase
+    /// when state is returned.
+    pub fn resume_state(&mut self) -> Option<TunerState> {
+        self.resume.take()
+    }
+
+    /// Offer a checkpoint opportunity with the tuner's current private
+    /// state. A no-op without a sink; otherwise every
+    /// `every`-th opportunity (see
+    /// [`with_checkpointing`](Self::with_checkpointing)) assembles the
+    /// full [`SessionCheckpoint`] — session counters plus a sorted
+    /// evaluation-cache snapshot plus `state` — hands it to the sink and
+    /// emits [`TuningEvent::Checkpointed`]. Must be called at a batch
+    /// boundary (no evaluation in flight).
+    pub fn checkpoint(&mut self, state: TunerState) {
+        if self.ckpt_sink.is_none() {
+            return;
+        }
+        self.ckpt_seq += 1;
+        if !self.ckpt_seq.is_multiple_of(self.ckpt_every as u64) {
+            return;
+        }
+        let ckpt = SessionCheckpoint {
+            format_version: CHECKPOINT_FORMAT_VERSION,
+            strategy: state.strategy.clone(),
+            dims: self.space.dims(),
+            num_objectives: self.num_objectives,
+            evaluations: self.evaluations(),
+            primed: self.evaluator.primed(),
+            budget: self.budget,
+            iteration: self.iteration,
+            budget_exhausted: self.budget_exhausted,
+            seq: self.ckpt_seq,
+            cache: self.evaluator.snapshot(),
+            tuner: state,
+        };
+        if let Some(sink) = self.ckpt_sink.as_mut() {
+            sink.save(&ckpt);
+        }
+        let seq = self.ckpt_seq;
+        self.emit(TuningEvent::Checkpointed { seq });
+    }
+
     /// Emit an event to the sink (no-op without one).
     pub fn emit(&mut self, event: TuningEvent) {
         if let Some(sink) = self.sink.as_mut() {
@@ -406,6 +551,22 @@ impl<'a> TuningSession<'a> {
     /// not depend on batch parallelism — runs are deterministic for a
     /// fixed seed regardless of thread count.
     pub fn evaluate(&mut self, configs: &[Config]) -> Vec<Option<ObjVec>> {
+        // Wall-clock budget: once the deadline passes, whole batches are
+        // refused — the cut lands on a batch boundary, never inside one.
+        let started = *self.started.get_or_insert_with(Instant::now);
+        if self
+            .time_budget
+            .is_some_and(|limit| started.elapsed() >= limit)
+        {
+            self.time_exhausted = true;
+            self.budget_exhausted = true;
+            self.emit(TuningEvent::BatchEvaluated {
+                requested: configs.len(),
+                evaluated: 0,
+                evaluations: self.evaluator.evaluations(),
+            });
+            return vec![None; configs.len()];
+        }
         let admitted = match self.budget {
             None => configs.len(),
             Some(budget) => {
@@ -440,8 +601,46 @@ impl<'a> TuningSession<'a> {
 
     /// Run `tuner` to completion and emit the final
     /// [`TuningEvent::Stopped`] event.
+    ///
+    /// Post-processing on top of the tuner's raw report:
+    /// * a stop caused by the wall-clock budget (rather than the
+    ///   evaluation budget) is relabeled
+    ///   [`StopReason::TimeBudgetExhausted`];
+    /// * when a fault-tolerant evaluator layer is present, quarantined
+    ///   configurations are stripped from the final front (their penalty
+    ///   objectives are bookkeeping, not measurements) and a
+    ///   [`TuningEvent::FaultSummary`] is emitted.
     pub fn run(&mut self, tuner: &dyn Tuner) -> TuningReport {
-        let report = tuner.tune(self);
+        if let Some(state) = self.resume.as_ref() {
+            assert_eq!(
+                state.strategy,
+                tuner.name(),
+                "checkpoint was written by strategy '{}' but '{}' is running",
+                state.strategy,
+                tuner.name()
+            );
+        }
+        self.started.get_or_insert_with(Instant::now);
+        let mut report = tuner.tune(self);
+        if self.time_exhausted
+            && report.stop == StopReason::BudgetExhausted
+            && self.budget.is_none_or(|b| self.evaluations() < b)
+        {
+            report.stop = StopReason::TimeBudgetExhausted;
+        }
+        if let Some(stats) = self.evaluator.fault_stats() {
+            if stats.quarantined > 0 {
+                let keep: Vec<Point> = report
+                    .front
+                    .points()
+                    .iter()
+                    .filter(|p| !self.evaluator.is_quarantined(&p.config))
+                    .cloned()
+                    .collect();
+                report.front = ParetoFront::from_points(keep);
+            }
+            self.emit(TuningEvent::FaultSummary { stats });
+        }
         self.emit(TuningEvent::Stopped {
             reason: report.stop,
             evaluations: report.evaluations,

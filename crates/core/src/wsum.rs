@@ -9,6 +9,7 @@
 //! unreachable for *any* weights, and evaluations are not shared between
 //! the sweeps — makes it a meaningful baseline for the ablation study.
 
+use crate::checkpoint::{rng_from_state, TunerState};
 #[cfg(any(test, feature = "deprecated-shims"))]
 use crate::evaluate::{BatchEval, Evaluator};
 use crate::pareto::{ParetoArchive, ParetoFront, Point};
@@ -71,6 +72,31 @@ impl WeightedSumTuner {
     pub fn new(params: WeightedSweepParams) -> Self {
         WeightedSumTuner { params }
     }
+
+    /// Assemble the strategy-private checkpoint state after `done`
+    /// completed weight sweeps.
+    #[allow(clippy::too_many_arguments)]
+    fn snapshot(
+        &self,
+        rng: &StdRng,
+        winners: &[Point],
+        all: &[Point],
+        trace: &[FrontSignature],
+        lo: &[f64],
+        hi: &[f64],
+        done: usize,
+    ) -> TunerState {
+        TunerState {
+            strategy: self.name().to_string(),
+            rng: rng.state().to_vec(),
+            cursor: done as u64,
+            population: winners.to_vec(),
+            all: all.to_vec(),
+            trace: trace.to_vec(),
+            scale: lo.iter().copied().zip(hi.iter().copied()).collect(),
+            ..TunerState::default()
+        }
+    }
 }
 
 impl Tuner for WeightedSumTuner {
@@ -82,38 +108,68 @@ impl Tuner for WeightedSumTuner {
         let params = self.params;
         let m = session.num_objectives();
         let space = session.space().clone();
-        let mut rng = StdRng::seed_from_u64(params.seed);
-        let mut all: Vec<Point> = Vec::new();
-        let mut trace = Vec::new();
+        let mut rng: StdRng;
+        let mut all: Vec<Point>;
+        let mut trace: Vec<FrontSignature>;
+        let mut winners: Vec<Point>;
+        let lo: Vec<f64>;
+        let hi: Vec<f64>;
+        let start_weight: usize;
 
-        // Normalization bounds from an initial random sample (a scalarizing
-        // tuner needs *some* scale; this mirrors common practice).
-        let probe: Vec<Config> = (0..30).map(|_| space.sample(&mut rng)).collect();
-        let probe_results = session.evaluate(&probe);
-        crate::tuner::record_feasible(&mut all, &probe, &probe_results);
-        let probe_objs: Vec<Vec<f64>> = probe_results.into_iter().flatten().collect();
-        if probe_objs.is_empty() {
-            // No feasible probe — out of budget or an infeasible space.
-            let stop = if session.budget_exhausted() {
-                StopReason::BudgetExhausted
-            } else {
-                StopReason::SpaceExhausted
-            };
-            return TuningReport {
-                front: ParetoFront::new(),
-                all,
-                evaluations: session.evaluations(),
-                iterations: session.iteration(),
-                stop,
-                trace,
-            };
-        }
-        let mut lo = vec![f64::INFINITY; m];
-        let mut hi = vec![f64::NEG_INFINITY; m];
-        for o in &probe_objs {
-            for c in 0..m {
-                lo[c] = lo[c].min(o[c]);
-                hi[c] = hi[c].max(o[c]);
+        if let Some(state) = session.resume_state() {
+            // Resume: the probe already ran before the checkpoint; its
+            // normalization bounds travel in `scale`.
+            rng = rng_from_state(&state.rng).unwrap_or_else(|| StdRng::seed_from_u64(params.seed));
+            all = state.all;
+            trace = state.trace;
+            winners = state.population;
+            let (l, h): (Vec<f64>, Vec<f64>) = state.scale.iter().copied().unzip();
+            lo = l;
+            hi = h;
+            start_weight = state.cursor as usize;
+        } else {
+            rng = StdRng::seed_from_u64(params.seed);
+            all = Vec::new();
+            trace = Vec::new();
+            winners = Vec::new();
+            start_weight = 0;
+
+            // Normalization bounds from an initial random sample (a
+            // scalarizing tuner needs *some* scale; this mirrors common
+            // practice).
+            let probe: Vec<Config> = (0..30).map(|_| space.sample(&mut rng)).collect();
+            let probe_results = session.evaluate(&probe);
+            crate::tuner::record_feasible(&mut all, &probe, &probe_results);
+            let probe_objs: Vec<Vec<f64>> = probe_results.into_iter().flatten().collect();
+            if probe_objs.is_empty() {
+                // No feasible probe — out of budget or an infeasible space.
+                let stop = if session.budget_exhausted() {
+                    StopReason::BudgetExhausted
+                } else {
+                    StopReason::SpaceExhausted
+                };
+                return TuningReport {
+                    front: ParetoFront::new(),
+                    all,
+                    evaluations: session.evaluations(),
+                    iterations: session.iteration(),
+                    stop,
+                    trace,
+                };
+            }
+            let mut plo = vec![f64::INFINITY; m];
+            let mut phi = vec![f64::NEG_INFINITY; m];
+            for o in &probe_objs {
+                for c in 0..m {
+                    plo[c] = plo[c].min(o[c]);
+                    phi[c] = phi[c].max(o[c]);
+                }
+            }
+            lo = plo;
+            hi = phi;
+            if session.checkpointing() {
+                let state = self.snapshot(&rng, &winners, &all, &trace, &lo, &hi, 0);
+                session.checkpoint(state);
             }
         }
         let scalar = |objs: &[f64], w: &[f64]| -> f64 {
@@ -126,9 +182,8 @@ impl Tuner for WeightedSumTuner {
                 .sum()
         };
 
-        let mut winners: Vec<Point> = Vec::new();
         let mut stop = StopReason::Completed;
-        for wi in 0..params.num_weights {
+        for wi in start_weight..params.num_weights {
             session.begin_iteration();
             // Evenly spread weights; for m > 2 the remaining mass is split
             // uniformly over the other objectives.
@@ -215,6 +270,12 @@ impl Tuner for WeightedSumTuner {
             if session.budget_exhausted() {
                 stop = StopReason::BudgetExhausted;
                 break;
+            }
+            // Safe boundary: weight `wi` is complete and the next sweep
+            // depends only on the state captured here.
+            if session.checkpointing() {
+                let state = self.snapshot(&rng, &winners, &all, &trace, &lo, &hi, wi + 1);
+                session.checkpoint(state);
             }
         }
 

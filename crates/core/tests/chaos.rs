@@ -1,0 +1,322 @@
+//! Chaos and crash-safety tests: fault injection under every strategy,
+//! and checkpoint/resume equivalence with uninterrupted runs.
+
+use moat_core::fault::FaultTolerantEvaluator;
+use moat_core::pareto::dominates;
+use moat_core::{
+    BatchEval, Domain, FaultInjector, FaultPolicy, FaultSchedule, GridTuner, MemorySink,
+    Nsga2Params, Nsga2Tuner, ParamSpace, RandomTuner, RsGde3Params, RsGde3Tuner, SessionCheckpoint,
+    StopReason, Tuner, TuningEvent, TuningReport, TuningSession, WeightedSumTuner,
+    WeightedSweepParams,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+type Config = Vec<i64>;
+type ObjVec = Vec<f64>;
+
+fn space() -> ParamSpace {
+    ParamSpace::new(
+        vec!["x".into(), "t".into()],
+        vec![
+            Domain::Range { lo: 0, hi: 60 },
+            Domain::Choice(vec![1, 2, 4, 8]),
+        ],
+    )
+}
+
+/// A deterministic 2-objective problem with a feasibility hole.
+fn evaluator() -> (usize, impl Fn(&Config) -> Option<ObjVec> + Sync) {
+    (2usize, |cfg: &Config| {
+        if cfg[0] % 13 == 5 {
+            return None;
+        }
+        let x = cfg[0] as f64;
+        let t = cfg[1] as f64;
+        Some(vec![(x - 30.0).abs() / t + 1.0, t * (1.0 + x / 100.0)])
+    })
+}
+
+/// The five strategies under test, with small-but-nontrivial parameters.
+fn tuners() -> Vec<(Box<dyn Tuner>, Option<u64>)> {
+    vec![
+        (
+            Box::new(RsGde3Tuner::new(RsGde3Params {
+                seed: 7,
+                max_generations: 8,
+                ..Default::default()
+            })) as Box<dyn Tuner>,
+            None,
+        ),
+        (
+            Box::new(RsGde3Tuner::new(RsGde3Params {
+                seed: 7,
+                max_generations: 8,
+                use_roughset: false,
+                ..Default::default()
+            })),
+            None,
+        ),
+        (
+            Box::new(Nsga2Tuner::new(Nsga2Params {
+                seed: 7,
+                generations: 6,
+                pop_size: 16,
+                ..Default::default()
+            })),
+            None,
+        ),
+        (Box::new(RandomTuner::new(7)), Some(150)),
+        (Box::new(GridTuner::new(150)), None),
+        (
+            Box::new(WeightedSumTuner::new(WeightedSweepParams {
+                seed: 7,
+                num_weights: 4,
+                pop_size: 10,
+                generations: 4,
+                ..Default::default()
+            })),
+            None,
+        ),
+    ]
+}
+
+fn run_with_checkpoints(
+    tuner: &dyn Tuner,
+    budget: Option<u64>,
+) -> (TuningReport, Vec<SessionCheckpoint>) {
+    let ev = evaluator();
+    let mut sink = MemorySink::default();
+    let mut session = TuningSession::new(space(), &ev).with_batch(BatchEval::sequential());
+    if let Some(b) = budget {
+        session = session.with_budget(b);
+    }
+    let mut session = session.with_checkpointing(&mut sink, 1);
+    let report = session.run(tuner);
+    drop(session);
+    (report, sink.saved)
+}
+
+fn resume_from(tuner: &dyn Tuner, ckpt: SessionCheckpoint) -> TuningReport {
+    let ev = evaluator();
+    let mut session = TuningSession::new(space(), &ev)
+        .with_batch(BatchEval::sequential())
+        .with_resume(ckpt)
+        .expect("valid checkpoint");
+    session.run(tuner)
+}
+
+fn assert_reports_equal(a: &TuningReport, b: &TuningReport, what: &str) {
+    assert_eq!(a.front.points(), b.front.points(), "{what}: front differs");
+    assert_eq!(a.all, b.all, "{what}: all-points differ");
+    assert_eq!(a.evaluations, b.evaluations, "{what}: E differs");
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations differ");
+    assert_eq!(a.stop, b.stop, "{what}: stop reason differs");
+    assert_eq!(a.trace, b.trace, "{what}: trace differs");
+}
+
+/// Resuming from ANY checkpoint of an uninterrupted run reproduces that
+/// run's report exactly, for every strategy.
+#[test]
+fn resume_matches_uninterrupted_for_every_strategy() {
+    for (tuner, budget) in tuners() {
+        let (reference, checkpoints) = run_with_checkpoints(tuner.as_ref(), budget);
+        assert!(
+            !checkpoints.is_empty(),
+            "{}: no checkpoints were written",
+            tuner.name()
+        );
+        // First, middle, and last checkpoint — the budget comes from the
+        // checkpoint itself, not the resuming session.
+        let picks = [0, checkpoints.len() / 2, checkpoints.len() - 1];
+        for &k in &picks {
+            let resumed = resume_from(tuner.as_ref(), checkpoints[k].clone());
+            assert_reports_equal(
+                &reference,
+                &resumed,
+                &format!("{} from checkpoint {k}", tuner.name()),
+            );
+        }
+    }
+}
+
+/// A checkpoint survives the JSON round-trip losslessly: resuming from the
+/// re-parsed bytes is identical to resuming from the in-memory value.
+#[test]
+fn resume_survives_serialization() {
+    let tuner = RsGde3Tuner::new(RsGde3Params {
+        seed: 3,
+        max_generations: 6,
+        ..Default::default()
+    });
+    let (reference, checkpoints) = run_with_checkpoints(&tuner, None);
+    let ckpt = checkpoints[checkpoints.len() / 2].clone();
+    let json = serde_json::to_string(&ckpt).unwrap();
+    let reparsed: SessionCheckpoint = serde_json::from_str(&json).unwrap();
+    assert_eq!(reparsed, ckpt, "lossy checkpoint serialization");
+    let resumed = resume_from(&tuner, reparsed);
+    assert_reports_equal(&reference, &resumed, "serialized resume");
+}
+
+/// A zero wall-clock budget stops before any evaluation with the
+/// dedicated stop reason.
+#[test]
+fn zero_time_budget_stops_immediately() {
+    let ev = evaluator();
+    let mut session = TuningSession::new(space(), &ev)
+        .with_batch(BatchEval::sequential())
+        .with_time_budget(Duration::ZERO);
+    let report = session.run(&RandomTuner::new(1));
+    assert_eq!(report.stop, StopReason::TimeBudgetExhausted);
+    assert_eq!(report.evaluations, 0);
+    assert!(report.front.is_empty());
+}
+
+/// A generous wall-clock budget changes nothing about a fixed-seed run.
+#[test]
+fn generous_time_budget_is_inert() {
+    let ev = evaluator();
+    let tuner = RsGde3Tuner::new(RsGde3Params {
+        seed: 5,
+        max_generations: 5,
+        ..Default::default()
+    });
+    let mut plain = TuningSession::new(space(), &ev).with_batch(BatchEval::sequential());
+    let a = plain.run(&tuner);
+    let mut timed = TuningSession::new(space(), &ev)
+        .with_batch(BatchEval::sequential())
+        .with_time_budget(Duration::from_secs(3600));
+    let b = timed.run(&tuner);
+    assert_reports_equal(&a, &b, "time-budgeted run");
+}
+
+/// Persistent failures get quarantined, and the final front never
+/// contains a quarantined configuration or a penalty objective.
+#[test]
+fn quarantined_configs_never_reach_the_front() {
+    let ev = evaluator();
+    let schedule = FaultSchedule {
+        seed: 11,
+        persistent_rate: 0.3,
+        transient_rate: 0.2,
+        ..Default::default()
+    };
+    let injector = FaultInjector::new(&ev, schedule);
+    let ft = FaultTolerantEvaluator::new(&injector, FaultPolicy::default());
+    let mut session = TuningSession::new(space(), &ft)
+        .with_batch(BatchEval::sequential())
+        .with_budget(120);
+    let report = session.run(&RandomTuner::new(2));
+    let stats = ft.stats();
+    assert!(stats.quarantined > 0, "schedule produced no quarantines");
+    assert!(stats.retries > 0, "schedule produced no retries");
+    let quarantined = ft.quarantined_configs();
+    for p in report.front.points() {
+        assert!(
+            !quarantined.contains(&p.config),
+            "quarantined config in front: {:?}",
+            p.config
+        );
+        assert!(
+            p.objectives.iter().all(|&o| o < ft.policy().penalty),
+            "penalty objective leaked into the front: {:?}",
+            p.objectives
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under ANY seeded fault schedule: the front stays pairwise
+    /// non-dominated, no quarantined configuration survives into it, the
+    /// budget is respected, and the whole run is deterministic.
+    #[test]
+    fn chaos_run_invariants(
+        seed in 0u64..1000,
+        persistent in 0.0f64..0.3,
+        transient in 0.0f64..0.4,
+        noise in 0.0f64..0.2,
+    ) {
+        let schedule = FaultSchedule {
+            seed,
+            persistent_rate: persistent,
+            transient_rate: transient,
+            noise,
+            ..Default::default()
+        };
+        let run = || {
+            let ev = evaluator();
+            let injector = FaultInjector::new(&ev, schedule.clone());
+            let policy = FaultPolicy { repeats: 3, ..Default::default() };
+            let ft = FaultTolerantEvaluator::new(&injector, policy);
+            let mut session = TuningSession::new(space(), &ft)
+                .with_batch(BatchEval::sequential())
+                .with_budget(100);
+            let report = session.run(&RsGde3Tuner::new(RsGde3Params {
+                seed: 1,
+                max_generations: 6,
+                ..Default::default()
+            }));
+            let quarantined = ft.quarantined_configs();
+            (report, quarantined)
+        };
+        let (report, quarantined) = run();
+
+        prop_assert!(report.evaluations <= 100, "budget exceeded: {}", report.evaluations);
+        for a in report.front.points() {
+            prop_assert!(!quarantined.contains(&a.config), "quarantined config in front");
+            for b in report.front.points() {
+                prop_assert!(
+                    !dominates(&a.objectives, &b.objectives),
+                    "front is not pairwise non-dominated"
+                );
+            }
+        }
+
+        // Chaos is seeded: the identical run reproduces byte-identically.
+        let (again, _) = run();
+        prop_assert_eq!(report.front.points(), again.front.points());
+        prop_assert_eq!(report.evaluations, again.evaluations);
+    }
+
+    /// The event stream's running evaluation count is monotone and never
+    /// exceeds the budget, whatever faults are injected.
+    #[test]
+    fn chaos_event_accounting_is_monotone(
+        seed in 0u64..1000,
+        persistent in 0.0f64..0.4,
+        budget in 20u64..120,
+    ) {
+        let ev = evaluator();
+        let schedule = FaultSchedule {
+            seed,
+            persistent_rate: persistent,
+            ..Default::default()
+        };
+        let injector = FaultInjector::new(&ev, schedule);
+        let ft = FaultTolerantEvaluator::new(&injector, FaultPolicy::default());
+        let mut counts: Vec<u64> = Vec::new();
+        let mut saw_fault_summary = false;
+        {
+            let mut sink = |event: &TuningEvent| match event {
+                TuningEvent::BatchEvaluated { evaluations, .. } => counts.push(*evaluations),
+                TuningEvent::FaultSummary { .. } => saw_fault_summary = true,
+                _ => {}
+            };
+            let mut session = TuningSession::new(space(), &ft)
+                .with_batch(BatchEval::sequential())
+                .with_budget(budget)
+                .with_sink(&mut sink);
+            session.run(&RandomTuner::new(3));
+        }
+        prop_assert!(saw_fault_summary, "fault-tolerant run must emit a FaultSummary");
+        prop_assert!(!counts.is_empty());
+        for w in counts.windows(2) {
+            prop_assert!(w[0] <= w[1], "E went backwards: {counts:?}");
+        }
+        for &c in &counts {
+            prop_assert!(c <= budget, "E exceeded budget: {c} > {budget}");
+        }
+    }
+}

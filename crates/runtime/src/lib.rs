@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod health;
 pub mod monitor;
 pub mod pool;
 pub mod registry;
@@ -19,7 +20,8 @@ pub mod schedule;
 pub mod select;
 
 pub use adaptive::AdaptiveSelector;
-pub use monitor::{measure, RegionStats};
+pub use health::{DegradingSelector, HealthPolicy, VersionHealth};
+pub use monitor::{measure, DemotionReason, RegionStats, RuntimeEvent};
 pub use pool::{static_chunk, Pool};
 pub use registry::VersionRegistry;
 pub use schedule::{schedule, schedule_fixed_version, Placement, Schedule, Task};

@@ -1,7 +1,57 @@
-//! Runtime monitoring: timing and per-region execution statistics.
+//! Runtime monitoring: timing, per-region execution statistics, and
+//! degradation events.
 
 use parking_lot::Mutex;
 use std::time::{Duration, Instant};
+
+/// Why the degradation ladder demoted a code version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemotionReason {
+    /// The version failed too many invocations in a row.
+    ConsecutiveFailures,
+    /// Observed latency exceeded the tuned prediction by more than the
+    /// allowed ratio.
+    LatencyBreach,
+}
+
+impl std::fmt::Display for DemotionReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DemotionReason::ConsecutiveFailures => write!(f, "consecutive failures"),
+            DemotionReason::LatencyBreach => write!(f, "latency breach"),
+        }
+    }
+}
+
+/// Health events emitted by the degradation ladder
+/// ([`DegradingSelector`](crate::health::DegradingSelector)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeEvent {
+    /// A version was removed from the selectable set.
+    VersionDemoted {
+        /// Region the version belongs to.
+        region: String,
+        /// Index of the demoted version in the region's table.
+        version: usize,
+        /// What tripped the demotion.
+        reason: DemotionReason,
+    },
+    /// Every version is demoted; the safe serial fallback now serves all
+    /// invocations.
+    FallbackEngaged {
+        /// Region that fell back.
+        region: String,
+        /// Index of the fallback version (fewest threads).
+        version: usize,
+    },
+    /// A previously demoted version was manually restored.
+    VersionRestored {
+        /// Region the version belongs to.
+        region: String,
+        /// Index of the restored version.
+        version: usize,
+    },
+}
 
 /// Time a closure, returning its result and the elapsed wall time.
 pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration) {

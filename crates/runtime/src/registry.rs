@@ -10,6 +10,7 @@
 //! `VersionTable::runtime_meta` — this crate only sees the runtime
 //! metadata, keeping the dependency arrow pointing compiler → runtime.
 
+use crate::health::{DegradingSelector, HealthPolicy};
 use crate::select::{SelectionContext, SelectionPolicy, VersionMeta};
 use std::collections::BTreeMap;
 
@@ -81,6 +82,18 @@ impl VersionRegistry {
         let idx = self.policy_for(region).select(table, ctx)?;
         Some((idx, &table[idx]))
     }
+
+    /// A fault-aware [`DegradingSelector`] for `region`, seeded with its
+    /// table and governing policy. `None` when the region is unknown.
+    pub fn degrading(&self, region: &str, health: HealthPolicy) -> Option<DegradingSelector> {
+        let table = self.tables.get(region)?;
+        Some(DegradingSelector::new(
+            region,
+            table.clone(),
+            self.policy_for(region).clone(),
+            health,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -151,5 +164,22 @@ mod tests {
         let mut reg = VersionRegistry::default();
         reg.register("mm", Vec::new());
         assert!(reg.select("mm", &SelectionContext::default()).is_none());
+    }
+
+    #[test]
+    fn degrading_selector_inherits_region_policy() {
+        let mut reg = VersionRegistry::default();
+        reg.register("mm", table());
+        reg.set_policy("mm", SelectionPolicy::LowestResources);
+        assert!(reg.degrading("unknown", HealthPolicy::default()).is_none());
+
+        let sel = reg.degrading("mm", HealthPolicy::default()).unwrap();
+        assert_eq!(sel.region(), "mm");
+        assert_eq!(sel.select(&SelectionContext::default()), Some(0));
+        // Demote the pick: the selector steps down to the next version.
+        for _ in 0..3 {
+            sel.record_failure(0);
+        }
+        assert_eq!(sel.select(&SelectionContext::default()), Some(1));
     }
 }

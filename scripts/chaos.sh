@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Kill-and-resume determinism gate.
+#
+# Runs the same fixed-seed tuning job three ways:
+#   1. uninterrupted (the reference),
+#   2. with checkpointing, aborted (SIGABRT via --crash-after) mid-run,
+#   3. resumed from the checkpoint the crashed run left behind,
+# and asserts the resumed run's stdout and emitted version table are
+# byte-identical to the reference. Ends with a fault-injection smoke run:
+# a chaotic evaluator must still produce a clean exit and fault stats.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+root="$(pwd)"
+
+cargo build --release -q --bin moat-tune
+bin="$root/target/release/moat-tune"
+
+work="$root/target/chaos"
+rm -rf "$work"
+mkdir -p "$work/ref" "$work/crash" "$work/resume"
+
+# Emitted paths appear verbatim in stdout, so every run uses the same
+# relative file name from its own directory.
+args=(--kernel mm --size 96 --machine westmere --strategy rs-gde3
+    --seed 42 --generations 8 --budget 400 --quiet --emit-json table.json)
+
+echo "== reference run (uninterrupted) =="
+(cd "$work/ref" && "$bin" "${args[@]}" >stdout.txt)
+
+echo "== crash run (abort after the 3rd checkpoint) =="
+rc=0
+(cd "$work/crash" && "$bin" "${args[@]}" \
+    --checkpoint ckpt.json --crash-after 3 >stdout.txt 2>stderr.txt) || rc=$?
+if [[ $rc -eq 0 ]]; then
+    echo "chaos.sh: crash run finished without crashing; --crash-after too high?" >&2
+    exit 1
+fi
+if [[ ! -f "$work/crash/ckpt.json" ]]; then
+    echo "chaos.sh: crashed run left no checkpoint behind" >&2
+    exit 1
+fi
+
+echo "== resumed run =="
+(cd "$work/resume" && "$bin" "${args[@]}" --resume ../crash/ckpt.json >stdout.txt)
+
+echo "== byte-compare resumed output against the reference =="
+cmp "$work/ref/stdout.txt" "$work/resume/stdout.txt"
+cmp "$work/ref/table.json" "$work/resume/table.json"
+
+echo "== fault-injection smoke run =="
+(cd "$work" && "$bin" --kernel mm --size 96 --seed 7 --generations 6 --budget 300 \
+    --quiet --inject-faults seed=3,transient=0.2,persistent=0.05 \
+    --fault-policy retries=3,repeats=1 >faults.txt)
+grep -q "fault stats:" "$work/faults.txt"
+
+echo "chaos.sh: all checks passed."

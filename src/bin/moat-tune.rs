@@ -19,22 +19,36 @@
 //!   --emit-param-c <FILE>                             write parameterized C (tiling only)
 //!   --emit-json <FILE>                                write the version table as JSON
 //!   --quiet                                           only print the summary line
+//!   --time-budget <SECS>                              wall-clock budget (fractional seconds ok)
+//!   --checkpoint <FILE>                               periodically write a crash-safe checkpoint
+//!   --checkpoint-every <N>                            checkpoint every Nth opportunity (default 1)
+//!   --resume <FILE>                                   resume a checkpointed run (adopts the
+//!                                                     stored strategy and budget)
+//!   --fault-policy <K=V,..>                           retries=N,timeout-ms=N,backoff-ms=N,
+//!                                                     repeats=N,noise=F,penalty=F,jitter-seed=N
+//!   --inject-faults <K=V,..>                          seed=N,persistent=F,transient=F,hang=F,
+//!                                                     hang-ms=N,noise=F (chaos testing)
+//!   --crash-after <N>                                 abort after the Nth checkpoint (testing)
 //! ```
 
+use moat::core::evaluate::Evaluator;
+use moat::core::fault::FallibleEvaluator;
 use moat::core::metrics::objective_bounds;
 use moat::core::{
-    hypervolume, normalize_front, BatchEval, GridTuner, Nsga2Params, Nsga2Tuner, RandomTuner,
-    RsGde3Params, RsGde3Tuner, StrategyKind, Tuner, TuningSession, WeightedSumTuner,
-    WeightedSweepParams,
+    hypervolume, normalize_front, BatchEval, CheckpointSink, FaultInjector, FaultPolicy,
+    FaultSchedule, FaultTolerantEvaluator, GridTuner, Nsga2Params, Nsga2Tuner, RandomTuner,
+    RsGde3Params, RsGde3Tuner, SessionCheckpoint, StrategyKind, Tuner, TuningSession,
+    WeightedSumTuner, WeightedSweepParams,
 };
 use moat::ir::{analyze, AnalyzerConfig, Step};
 use moat::multiversion::{emit_multiversioned_c, emit_parameterized_c, VersionTable};
 use moat::{
-    ir_space, Archive, ArchiveKey, ArchiveRecord, Kernel, MachineDesc, MultiObjectiveEvaluator,
-    Objective, WarmStartSource,
+    ir_space, Archive, ArchiveKey, ArchiveRecord, CheckpointStore, Kernel, MachineDesc,
+    MultiObjectiveEvaluator, Objective, WarmStartSource,
 };
 use moat_machine::{CostModel, NoiseModel};
 use std::process::exit;
+use std::time::Duration;
 
 #[derive(Debug)]
 struct Opts {
@@ -53,6 +67,98 @@ struct Opts {
     emit_param_c: Option<String>,
     emit_json: Option<String>,
     quiet: bool,
+    time_budget: Option<f64>,
+    checkpoint: Option<String>,
+    checkpoint_every: u32,
+    resume: Option<String>,
+    fault_policy: Option<FaultPolicy>,
+    inject: Option<FaultSchedule>,
+    crash_after: Option<u64>,
+}
+
+/// Parse a `key=value,key=value` spec, reporting unknown keys through
+/// `apply`'s return value.
+fn parse_spec(flag: &str, spec: &str, mut apply: impl FnMut(&str, &str) -> bool) {
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let Some((k, v)) = part.split_once('=') else {
+            eprintln!("{flag}: expected key=value, got '{part}'");
+            exit(2)
+        };
+        if !apply(k, v) {
+            eprintln!("{flag}: unknown key '{k}'");
+            exit(2)
+        }
+    }
+}
+
+fn parse_fault_policy(spec: &str) -> FaultPolicy {
+    let mut p = FaultPolicy::default();
+    let bad = |k: &str, v: &str| -> ! {
+        eprintln!("--fault-policy: bad value for {k}: '{v}'");
+        exit(2)
+    };
+    parse_spec("--fault-policy", spec, |k, v| {
+        match k {
+            "retries" => p.max_retries = v.parse().unwrap_or_else(|_| bad(k, v)),
+            "timeout-ms" => {
+                p.timeout = Some(Duration::from_millis(
+                    v.parse().unwrap_or_else(|_| bad(k, v)),
+                ))
+            }
+            "backoff-ms" => {
+                p.backoff = Duration::from_millis(v.parse().unwrap_or_else(|_| bad(k, v)))
+            }
+            "jitter-seed" => p.jitter_seed = v.parse().unwrap_or_else(|_| bad(k, v)),
+            "repeats" => p.repeats = v.parse().unwrap_or_else(|_| bad(k, v)),
+            "noise" => p.noise_threshold = v.parse().unwrap_or_else(|_| bad(k, v)),
+            "penalty" => p.penalty = v.parse().unwrap_or_else(|_| bad(k, v)),
+            _ => return false,
+        }
+        true
+    });
+    p
+}
+
+fn parse_fault_schedule(spec: &str) -> FaultSchedule {
+    let mut s = FaultSchedule::default();
+    let bad = |k: &str, v: &str| -> ! {
+        eprintln!("--inject-faults: bad value for {k}: '{v}'");
+        exit(2)
+    };
+    parse_spec("--inject-faults", spec, |k, v| {
+        match k {
+            "seed" => s.seed = v.parse().unwrap_or_else(|_| bad(k, v)),
+            "persistent" => s.persistent_rate = v.parse().unwrap_or_else(|_| bad(k, v)),
+            "transient" => s.transient_rate = v.parse().unwrap_or_else(|_| bad(k, v)),
+            "max-transient" => s.max_transient_failures = v.parse().unwrap_or_else(|_| bad(k, v)),
+            "hang" => s.hang_rate = v.parse().unwrap_or_else(|_| bad(k, v)),
+            "hang-ms" => s.hang = Duration::from_millis(v.parse().unwrap_or_else(|_| bad(k, v))),
+            "noise" => s.noise = v.parse().unwrap_or_else(|_| bad(k, v)),
+            _ => return false,
+        }
+        true
+    });
+    s
+}
+
+/// Checkpoint sink that forwards to the durable store and optionally
+/// aborts the process after the Nth save — the crash half of the
+/// kill-and-resume test in `scripts/chaos.sh`.
+struct CrashingSink {
+    store: CheckpointStore,
+    crash_after: Option<u64>,
+    saved: u64,
+}
+
+impl CheckpointSink for CrashingSink {
+    fn save(&mut self, checkpoint: &SessionCheckpoint) {
+        self.store.save(checkpoint);
+        self.saved += 1;
+        if self.crash_after.is_some_and(|n| self.saved >= n) {
+            eprintln!("crash-after: aborting after checkpoint {}", self.saved);
+            std::process::abort();
+        }
+    }
 }
 
 fn usage() -> ! {
@@ -61,7 +167,7 @@ fn usage() -> ! {
         include_str!("moat-tune.rs")
             .lines()
             .skip(3)
-            .take(18)
+            .take(28)
             .map(|l| {
                 let l = l.strip_prefix("//!").unwrap_or(l);
                 l.strip_prefix(' ').unwrap_or(l)
@@ -89,6 +195,13 @@ fn parse_args() -> Opts {
         emit_param_c: None,
         emit_json: None,
         quiet: false,
+        time_budget: None,
+        checkpoint: None,
+        checkpoint_every: 1,
+        resume: None,
+        fault_policy: None,
+        inject: None,
+        crash_after: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -151,6 +264,25 @@ fn parse_args() -> Opts {
             "--emit-param-c" => opts.emit_param_c = Some(value("--emit-param-c")),
             "--emit-json" => opts.emit_json = Some(value("--emit-json")),
             "--quiet" => opts.quiet = true,
+            "--time-budget" => {
+                opts.time_budget = Some(value("--time-budget").parse().unwrap_or_else(|_| usage()))
+            }
+            "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--resume" => opts.resume = Some(value("--resume")),
+            "--fault-policy" => {
+                opts.fault_policy = Some(parse_fault_policy(&value("--fault-policy")))
+            }
+            "--inject-faults" => {
+                opts.inject = Some(parse_fault_schedule(&value("--inject-faults")))
+            }
+            "--crash-after" => {
+                opts.crash_after = Some(value("--crash-after").parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -162,7 +294,26 @@ fn parse_args() -> Opts {
 }
 
 fn main() {
-    let opts = parse_args();
+    let mut opts = parse_args();
+    if opts.resume.is_some() && opts.warm_start {
+        eprintln!("--resume cannot be combined with --warm-start");
+        exit(2);
+    }
+    // A checkpoint pins the strategy (and remaining budget) of the run it
+    // came from; adopt it before the tuner is built.
+    let resume_path = opts.resume.clone();
+    let resume_ckpt: Option<SessionCheckpoint> = resume_path.as_deref().map(|path| {
+        let ckpt = CheckpointStore::load(path).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1)
+        });
+        opts.strategy = StrategyKind::parse(&ckpt.strategy).unwrap_or_else(|| {
+            eprintln!("{path}: checkpoint strategy '{}' is unknown", ckpt.strategy);
+            exit(1)
+        });
+        ckpt
+    });
+    let opts = opts;
     let size = opts.size.unwrap_or(opts.kernel.info().paper_size);
 
     let acfg = AnalyzerConfig::for_threads((1..=opts.machine.total_cores() as i64).collect());
@@ -222,9 +373,30 @@ fn main() {
         })),
     };
     let space = ir_space(&region.skeletons[0]);
-    let mut session = TuningSession::new(space.clone(), &ev).with_batch(BatchEval::default());
+    // Optional fault pipeline: the chaos injector sits under the
+    // retry/outlier-rejection layer; the session's cache sits on top, so
+    // each distinct configuration runs the pipeline exactly once.
+    let injector = opts
+        .inject
+        .clone()
+        .map(|schedule| FaultInjector::new(&ev, schedule));
+    let fault_tolerant = (opts.fault_policy.is_some() || injector.is_some()).then(|| {
+        let inner: &dyn FallibleEvaluator = match injector.as_ref() {
+            Some(i) => i,
+            None => &ev,
+        };
+        FaultTolerantEvaluator::new(inner, opts.fault_policy.clone().unwrap_or_default())
+    });
+    let evaluator: &dyn Evaluator = match fault_tolerant.as_ref() {
+        Some(ft) => ft,
+        None => &ev,
+    };
+    let mut session = TuningSession::new(space.clone(), evaluator).with_batch(BatchEval::default());
     if let Some(budget) = opts.budget {
         session = session.with_budget(budget);
+    }
+    if let Some(secs) = opts.time_budget {
+        session = session.with_time_budget(Duration::from_secs_f64(secs));
     }
 
     // Tuning archive: seed from past runs, record this one.
@@ -263,7 +435,31 @@ fn main() {
         }
     }
 
+    let mut sink = opts.checkpoint.as_ref().map(|path| CrashingSink {
+        store: CheckpointStore::create(path).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1)
+        }),
+        crash_after: opts.crash_after,
+        saved: 0,
+    });
+    if let Some(sink) = sink.as_mut() {
+        session = session.with_checkpointing(sink, opts.checkpoint_every);
+    }
+    if let Some(ckpt) = resume_ckpt {
+        session = session.with_resume(ckpt).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1)
+        });
+    }
+
     let result = session.run(tuner.as_ref());
+
+    if let Some(sink) = sink.as_ref() {
+        if let Some(e) = sink.store.last_error() {
+            eprintln!("warning: {e}");
+        }
+    }
 
     if let Some(archive) = &archive {
         let record = ArchiveRecord::from_report(
@@ -311,6 +507,13 @@ fn main() {
         hv,
         warm_note
     );
+    if let Some(ft) = fault_tolerant.as_ref() {
+        let s = ft.stats();
+        println!(
+            "fault stats: attempts={} retries={} timeouts={} failures={} extra={} quarantined={}",
+            s.attempts, s.retries, s.timeouts, s.failures, s.extra_measurements, s.quarantined
+        );
+    }
     let _ = size;
     if !opts.quiet {
         let names = objectives

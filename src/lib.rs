@@ -72,13 +72,18 @@ pub use moat_multiversion as multiversion;
 pub use moat_runtime as runtime;
 
 // Convenience re-exports used by examples and benches.
-pub use moat_archive::{Archive, ArchiveKey, ArchiveRecord, WarmStartSource};
+pub use moat_archive::{Archive, ArchiveKey, ArchiveRecord, CheckpointStore, WarmStartSource};
 pub use moat_core::{
-    BatchEval, EventLog, EventSink, ParetoFront, RsGde3, RsGde3Params, RsGde3Tuner, StopReason,
-    StrategyKind, Tuner, TuningEvent, TuningReport, TuningResult, TuningSession, WarmStart,
+    BatchEval, CheckpointSink, EventLog, EventSink, FaultInjector, FaultPolicy, FaultSchedule,
+    FaultStats, FaultTolerantEvaluator, ParetoFront, RsGde3, RsGde3Params, RsGde3Tuner,
+    SessionCheckpoint, StopReason, StrategyKind, Tuner, TuningEvent, TuningReport, TuningResult,
+    TuningSession, WarmStart,
 };
 pub use moat_ir::Region;
 pub use moat_kernels::Kernel;
 pub use moat_machine::{CostModel, MachineDesc, MachineFeatures, NoiseModel};
 pub use moat_multiversion::VersionTable;
-pub use moat_runtime::{Pool, SelectionContext, SelectionPolicy, VersionRegistry};
+pub use moat_runtime::{
+    DegradingSelector, HealthPolicy, Pool, RuntimeEvent, SelectionContext, SelectionPolicy,
+    VersionRegistry,
+};

@@ -176,6 +176,21 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// Expose the raw xoshiro256++ state so callers can checkpoint the
+        /// generator and later resume the exact stream with [`StdRng::from_state`].
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a state previously captured with
+        /// [`StdRng::state`]. The resumed stream is bit-identical to the
+        /// original from that point on.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(state: u64) -> Self {
             let mut sm = state;
