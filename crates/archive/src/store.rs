@@ -103,9 +103,23 @@ impl Archive {
         let path = self.path_for(key);
         let text = match fs::read_to_string(&path) {
             Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if moat_obs::enabled() {
+                    moat_obs::emit(moat_obs::Event::ArchiveRead {
+                        key: key.id(),
+                        hit: false,
+                    });
+                }
+                return Ok(None);
+            }
             Err(e) => return Err(io_err(&path, e)),
         };
+        if moat_obs::enabled() {
+            moat_obs::emit(moat_obs::Event::ArchiveRead {
+                key: key.id(),
+                hit: true,
+            });
+        }
         let rec = ArchiveRecord::from_json(&text)
             .map_err(|e| ArchiveError::Format(format!("{}: {e}", path.display())))?;
         if rec.key != *key {
@@ -139,6 +153,13 @@ impl Archive {
             }
         };
         self.write_atomic(&merged)?;
+        if moat_obs::enabled() {
+            moat_obs::emit(moat_obs::Event::ArchiveWrite {
+                key: record.key.id(),
+                added: stats.inserted as u64,
+                dropped: stats.rejected as u64,
+            });
+        }
         Ok(stats)
     }
 

@@ -57,6 +57,19 @@ struct TuningWallReport {
 }
 
 #[derive(Serialize)]
+struct TracingOverheadReport {
+    /// Wall-clock of the tuning run with no subscriber installed (the
+    /// instrumentation reduces to one relaxed atomic load per site).
+    baseline_s: f64,
+    /// Wall-clock of the identical run with a logical-mode subscriber.
+    traced_s: f64,
+    /// `(traced - baseline) / baseline`, percent. Target: < 2.
+    overhead_pct: f64,
+    /// Trace records the run produced.
+    records: usize,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     smoke: bool,
     kernel: &'static str,
@@ -64,6 +77,7 @@ struct BenchReport {
     cachesim: CachesimReport,
     analytic_eval: AnalyticReport,
     tuning: TuningWallReport,
+    tracing: TracingOverheadReport,
 }
 
 /// Westmere-like hierarchy (Table I): 32 KiB L1 + 256 KiB L2 private,
@@ -160,6 +174,44 @@ fn main() {
     let report = session.run(&RsGde3Tuner::new(params));
     let tuning_s = tune_t.elapsed().as_secs_f64();
 
+    // --- 4. tracing overhead: the identical run with a subscriber on ---
+    // Without a subscriber every emit site is a single relaxed atomic
+    // load; with a logical-mode subscriber the run must produce the same
+    // result and stay within a few percent. Best-of over several reps on
+    // both legs, or single-run jitter swamps the signal.
+    let tr_reps = if smoke { 3 } else { 9 };
+    let run_tuning = || {
+        let mut session =
+            TuningSession::new(setup.space.clone(), &ev).with_batch(BatchEval::default());
+        session.run(&RsGde3Tuner::new(params))
+    };
+    let mut baseline_best = f64::INFINITY;
+    for _ in 0..tr_reps {
+        let t = Instant::now();
+        black_box(run_tuning());
+        baseline_best = baseline_best.min(t.elapsed().as_secs_f64());
+    }
+    let guard = moat::obs::install(moat::TimestampMode::Logical);
+    let mut traced_best = f64::INFINITY;
+    let mut traced_report = None;
+    for _ in 0..tr_reps {
+        let t = Instant::now();
+        traced_report = Some(run_tuning());
+        traced_best = traced_best.min(t.elapsed().as_secs_f64());
+    }
+    let records = guard.drain().len() / tr_reps;
+    drop(guard);
+    let traced_report = traced_report.expect("tr_reps > 0");
+    assert_eq!(
+        traced_report.evaluations, report.evaluations,
+        "tracing changed the evaluation count"
+    );
+    assert_eq!(
+        traced_report.front.points(),
+        report.front.points(),
+        "tracing changed the tuning outcome"
+    );
+
     let out = BenchReport {
         smoke,
         kernel: "mm",
@@ -185,6 +237,12 @@ fn main() {
             wall_s: tuning_s,
             evaluations: report.evaluations,
             front_size: report.front.len(),
+        },
+        tracing: TracingOverheadReport {
+            baseline_s: baseline_best,
+            traced_s: traced_best,
+            overhead_pct: (traced_best - baseline_best) / baseline_best * 100.0,
+            records,
         },
     };
     let pretty = serde_json::to_string_pretty(&out).expect("serialize");

@@ -337,6 +337,10 @@ impl MultiCoreHierarchy {
         let n = streams.len();
         let mut results: Vec<(u64, Vec<(u64, SharedOp)>)> = Vec::new();
         results.resize_with(n, Default::default);
+        // Wall-mode-only phase timers: the private-level streaming phase
+        // and the shared-level (LLC) merge replay are the two halves of
+        // the evaluation hot path worth attributing separately.
+        let stream_span = moat_obs::span_start();
         if n == 1 {
             // No interleaving to reproduce: skip the worker threads.
             for (stream, (issued, ops)) in streams.into_iter().zip(results.iter_mut()) {
@@ -353,6 +357,14 @@ impl MultiCoreHierarchy {
                 }
             });
         }
+
+        moat_obs::emit_span(
+            stream_span,
+            moat_obs::Event::Phase {
+                name: "cachesim.stream".into(),
+            },
+        );
+        let merge_span = moat_obs::span_start();
 
         // Deterministic shared-level replay: merge per-core event logs by
         // (stream position, core id) — stable, so the multiple events of
@@ -379,6 +391,12 @@ impl MultiCoreHierarchy {
                 }
             }
         }
+        moat_obs::emit_span(
+            merge_span,
+            moat_obs::Event::Phase {
+                name: "cachesim.llc_merge".into(),
+            },
+        );
         results.iter().map(|(issued, _)| issued).sum()
     }
 

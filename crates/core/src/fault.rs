@@ -27,6 +27,7 @@
 
 use crate::evaluate::{Evaluator, ObjVec};
 use crate::space::Config;
+use moat_obs as obs;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -292,6 +293,17 @@ impl<'a> FaultTolerantEvaluator<'a> {
         for retry in 0..=self.policy.max_retries {
             if retry > 0 {
                 self.retries.fetch_add(1, Ordering::Relaxed);
+                // Keyed observability event: workers race, but the caching
+                // evaluator runs each distinct config through this pipeline
+                // exactly once, so the *set* of retries is deterministic —
+                // the config string is the stable sort key that fixes their
+                // order at drain.
+                if obs::enabled() {
+                    obs::emit_keyed(obs::Event::EvalRetry {
+                        config: format!("{cfg:?}"),
+                        attempt: u64::from(retry),
+                    });
+                }
                 let delay = self.backoff_delay(cfg, retry);
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
@@ -358,6 +370,11 @@ impl Evaluator for FaultTolerantEvaluator<'_> {
             Ok(r) => r,
             Err(_) => {
                 self.quarantined.lock().insert(cfg.clone());
+                if obs::enabled() {
+                    obs::emit_keyed(obs::Event::EvalQuarantined {
+                        config: format!("{cfg:?}"),
+                    });
+                }
                 Some(vec![self.policy.penalty; self.inner.num_objectives()])
             }
         }

@@ -38,6 +38,7 @@ use crate::fault::FaultStats;
 use crate::pareto::{ParetoFront, Point};
 use crate::rsgde3::{FrontSignature, TuningResult};
 use crate::space::{Config, ParamSpace};
+use moat_obs as obs;
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -92,6 +93,10 @@ pub enum TuningEvent {
         evaluated: usize,
         /// Total distinct evaluations `E` after this batch.
         evaluations: u64,
+        /// Wall time spent evaluating the batch. Measured only while an
+        /// observability subscriber ([`moat_obs::install`]) is active;
+        /// `None` otherwise, so untraced runs never read the clock here.
+        elapsed: Option<Duration>,
     },
     /// The non-dominated front changed (or was re-measured).
     FrontUpdated {
@@ -276,6 +281,7 @@ pub struct TuningSession<'a> {
     seeds: Vec<Config>,
     iteration: u32,
     budget_exhausted: bool,
+    label: String,
 }
 
 impl<'a> TuningSession<'a> {
@@ -299,7 +305,16 @@ impl<'a> TuningSession<'a> {
             seeds: Vec::new(),
             iteration: 0,
             budget_exhausted: false,
+            label: String::new(),
         }
+    }
+
+    /// Label the session's subject (kernel or region name) for the
+    /// observability stream's `session_start` record. Purely descriptive;
+    /// defaults to empty.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
     }
 
     /// Set the batch evaluator (e.g. [`BatchEval::sequential`] for
@@ -510,11 +525,70 @@ impl<'a> TuningSession<'a> {
         self.emit(TuningEvent::Checkpointed { seq });
     }
 
-    /// Emit an event to the sink (no-op without one).
+    /// Emit an event to the sink (no-op without one) and bridge it into
+    /// the observability stream (no-op without an installed subscriber).
     pub fn emit(&mut self, event: TuningEvent) {
+        self.bridge(&event);
         if let Some(sink) = self.sink.as_mut() {
             sink.event(&event);
         }
+    }
+
+    /// Translate a [`TuningEvent`] into its flat [`moat_obs::Event`]
+    /// counterpart. The session is the single funnel for tuning events,
+    /// so this one mapping covers every strategy. Front updates are
+    /// enriched with the current iteration and distinct-evaluation count
+    /// `E`, which is what lets `moat-report` reconstruct the exact
+    /// convergence trace [`TuningReport::trace`] records.
+    fn bridge(&self, event: &TuningEvent) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::emit(match event {
+            TuningEvent::IterationStart { iteration } => obs::Event::IterationStart {
+                iteration: u64::from(*iteration),
+            },
+            TuningEvent::BatchEvaluated {
+                requested,
+                evaluated,
+                evaluations,
+                elapsed,
+            } => obs::Event::BatchEvaluated {
+                requested: *requested as u64,
+                evaluated: *evaluated as u64,
+                evaluations: *evaluations,
+                // Wall durations would make logical-mode traces differ
+                // run-to-run, so they only reach the trace in wall mode.
+                elapsed_us: elapsed
+                    .filter(|_| obs::wall_enabled())
+                    .map(|d| d.as_micros() as u64),
+            },
+            TuningEvent::FrontUpdated { signature } => obs::Event::FrontUpdated {
+                iteration: u64::from(self.iteration),
+                evaluations: self.evaluator.evaluations(),
+                size: signature.size as u64,
+                hypervolume: signature.hv,
+            },
+            TuningEvent::SpaceReduced { bbox } => obs::Event::SpaceReduced {
+                dims: bbox.len() as u64,
+            },
+            TuningEvent::Checkpointed { seq } => obs::Event::Checkpointed { seq: *seq },
+            TuningEvent::FaultSummary { stats } => obs::Event::FaultSummary {
+                attempts: stats.attempts,
+                retries: stats.retries,
+                timeouts: stats.timeouts,
+                failures: stats.failures,
+                extra_measurements: stats.extra_measurements,
+                quarantined: stats.quarantined,
+            },
+            TuningEvent::Stopped {
+                reason,
+                evaluations,
+            } => obs::Event::Stopped {
+                reason: reason.name().to_string(),
+                evaluations: *evaluations,
+            },
+        });
     }
 
     /// Start the next strategy iteration: bumps the counter and emits
@@ -564,6 +638,7 @@ impl<'a> TuningSession<'a> {
                 requested: configs.len(),
                 evaluated: 0,
                 evaluations: self.evaluator.evaluations(),
+                elapsed: None,
             });
             return vec![None; configs.len()];
         }
@@ -589,12 +664,19 @@ impl<'a> TuningSession<'a> {
         if admitted < configs.len() {
             self.budget_exhausted = true;
         }
+        // Batch wall time is observability payload only: the clock is
+        // read solely while a subscriber is installed, so untraced runs
+        // stay on the exact instruction path they had before tracing
+        // existed.
+        let t0 = obs::enabled().then(Instant::now);
         let mut results = self.batch.run(&self.evaluator, &configs[..admitted]);
+        let elapsed = t0.map(|t| t.elapsed());
         results.resize(configs.len(), None);
         self.emit(TuningEvent::BatchEvaluated {
             requested: configs.len(),
             evaluated: admitted,
             evaluations: self.evaluator.evaluations(),
+            elapsed,
         });
         results
     }
@@ -621,6 +703,12 @@ impl<'a> TuningSession<'a> {
             );
         }
         self.started.get_or_insert_with(Instant::now);
+        if obs::enabled() {
+            obs::emit(obs::Event::SessionStart {
+                subject: self.label.clone(),
+                strategy: tuner.name().to_string(),
+            });
+        }
         let mut report = tuner.tune(self);
         if self.time_exhausted
             && report.stop == StopReason::BudgetExhausted
@@ -808,7 +896,8 @@ mod tests {
             TuningEvent::BatchEvaluated {
                 requested: 1,
                 evaluated: 1,
-                evaluations: 1
+                evaluations: 1,
+                elapsed: None
             }
         ));
         assert!(matches!(

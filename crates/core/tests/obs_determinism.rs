@@ -1,0 +1,99 @@
+//! The observability stream must not depend on evaluation parallelism.
+//!
+//! In logical-timestamp mode, control events carry the logical clock,
+//! keyed worker events (fault retries, quarantines) carry an epoch plus a
+//! stable sort key, and timing spans are dropped entirely — so the drained
+//! record stream for a fixed seed is the same whether `BatchEval` fans a
+//! batch over 1, 2, or 8 threads.
+
+use moat_core::fault::FaultTolerantEvaluator;
+use moat_core::{
+    BatchEval, Domain, FaultInjector, FaultPolicy, FaultSchedule, ParamSpace, RandomTuner,
+    TuningSession,
+};
+use moat_obs as obs;
+
+type Config = Vec<i64>;
+type ObjVec = Vec<f64>;
+
+fn space() -> ParamSpace {
+    ParamSpace::new(
+        vec!["x".into(), "t".into()],
+        vec![
+            Domain::Range { lo: 0, hi: 60 },
+            Domain::Choice(vec![1, 2, 4, 8]),
+        ],
+    )
+}
+
+fn evaluator() -> (usize, impl Fn(&Config) -> Option<ObjVec> + Sync) {
+    (2usize, |cfg: &Config| {
+        if cfg[0] % 13 == 5 {
+            return None;
+        }
+        let x = cfg[0] as f64;
+        let t = cfg[1] as f64;
+        Some(vec![(x - 30.0).abs() / t + 1.0, t * (1.0 + x / 100.0)])
+    })
+}
+
+/// Run the same seeded, fault-injected tuning session with the given
+/// worker count and return the drained trace.
+fn trace_with_parallelism(threads: usize) -> Vec<obs::Record> {
+    let guard = obs::install(obs::TimestampMode::Logical);
+    let ev = evaluator();
+    let schedule = FaultSchedule {
+        seed: 11,
+        persistent_rate: 0.3,
+        transient_rate: 0.2,
+        ..Default::default()
+    };
+    let injector = FaultInjector::new(&ev, schedule);
+    let ft = FaultTolerantEvaluator::new(&injector, FaultPolicy::default());
+    let mut session = TuningSession::new(space(), &ft)
+        .with_batch(BatchEval::parallel(threads))
+        .with_label("obs-determinism")
+        .with_budget(120);
+    let _ = session.run(&RandomTuner::new(2));
+    guard.drain()
+}
+
+#[test]
+fn obs_stream_is_identical_across_parallelism() {
+    let base = trace_with_parallelism(1);
+    assert!(!base.is_empty(), "session produced no records");
+    // The interesting case: keyed events emitted concurrently from worker
+    // threads. Without them this test would only cover the control plane.
+    assert!(
+        base.iter()
+            .any(|r| matches!(r.event, obs::Event::EvalRetry { .. })),
+        "fault schedule produced no retry events"
+    );
+    assert!(
+        base.iter()
+            .any(|r| matches!(r.event, obs::Event::EvalQuarantined { .. })),
+        "fault schedule produced no quarantine events"
+    );
+    // Logical mode drops timing spans, the other leg of the guarantee.
+    assert!(
+        !base
+            .iter()
+            .any(|r| matches!(r.event, obs::Event::WorkerSpan { .. })),
+        "timing span leaked into a logical trace"
+    );
+    for threads in [2usize, 8] {
+        let stream = trace_with_parallelism(threads);
+        assert_eq!(stream, base, "trace differs at {threads} worker threads");
+    }
+}
+
+#[test]
+fn logical_trace_serialization_is_byte_stable() {
+    let a = obs::export::to_jsonl(&trace_with_parallelism(4));
+    let b = obs::export::to_jsonl(&trace_with_parallelism(4));
+    assert_eq!(a, b);
+    assert_eq!(
+        obs::export::validate_jsonl(&a).expect("trace validates"),
+        a.lines().count()
+    );
+}

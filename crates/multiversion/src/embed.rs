@@ -15,6 +15,8 @@ pub type VersionImpl<'a, D> = Box<dyn Fn(&mut D) + Sync + 'a>;
 /// A multi-versioned region over a mutable context `D` (the kernel's
 /// data).
 pub struct NativeRegion<'a, D> {
+    /// Region name (from the version table; observability label).
+    pub region: String,
     /// Version metadata (one entry per implementation).
     pub meta: Vec<VersionMeta>,
     /// Specialized implementations, index-aligned with `meta`.
@@ -32,6 +34,7 @@ impl<'a, D> NativeRegion<'a, D> {
             "one implementation per table version required"
         );
         NativeRegion {
+            region: table.region.clone(),
             meta: table.runtime_meta(),
             impls,
             stats: RegionStats::new(),
@@ -48,6 +51,12 @@ impl<'a, D> NativeRegion<'a, D> {
         data: &mut D,
     ) -> Option<usize> {
         let idx = policy.select(&self.meta, ctx)?;
+        if moat_obs::enabled() {
+            moat_obs::emit(moat_obs::Event::VersionSelected {
+                region: self.region.clone(),
+                version: idx as u64,
+            });
+        }
         let ((), elapsed) = measure(|| (self.impls[idx])(data));
         self.stats.record(idx, elapsed);
         Some(idx)

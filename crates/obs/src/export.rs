@@ -1,0 +1,233 @@
+//! Trace exporters: JSONL (the native on-disk format) and Chrome
+//! `trace_event` JSON (loadable in Perfetto / `chrome://tracing`).
+//!
+//! JSONL is the source of truth: one [`Record`] per line, in drain order.
+//! Because records serialize through the same derived schema they were
+//! collected with, `parse_jsonl(to_jsonl(r)) == r` exactly, and a logical-
+//! mode trace is byte-stable for a fixed seed. The Chrome export is a lossy
+//! *view* derived from the same records — durationful records become `"X"`
+//! complete events, instants become `"i"` — intended for eyeballing
+//! timelines, not round-tripping.
+
+use crate::record::Record;
+use serde::{Serialize, Value};
+
+/// Render records as JSON Lines, in the order given (one record per line,
+/// trailing newline).
+pub fn to_jsonl(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&serde_json::to_string(r).expect("record serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// A JSONL parse failure: the 1-based line number and what went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a JSONL trace. Blank lines are ignored; any malformed line is an
+/// error (traces are machine-written — damage should be loud).
+pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, ParseError> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let r: Record = serde_json::from_str(line).map_err(|e| ParseError {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        records.push(r);
+    }
+    Ok(records)
+}
+
+/// Validate a JSONL trace beyond mere parseability: control-event `seq`s
+/// must be strictly increasing and every other record's epoch must not
+/// run ahead of the clock. Returns the record count.
+pub fn validate_jsonl(text: &str) -> Result<usize, ParseError> {
+    let records = parse_jsonl(text)?;
+    let mut clock = 0u64;
+    for (i, r) in records.iter().enumerate() {
+        match r.event.class() {
+            crate::record::Class::Control => {
+                if r.seq <= clock {
+                    return Err(ParseError {
+                        line: i + 1,
+                        message: format!(
+                            "control event {} has seq {} after clock {}",
+                            r.event.kind(),
+                            r.seq,
+                            clock
+                        ),
+                    });
+                }
+                clock = r.seq;
+            }
+            _ => {
+                if r.seq > clock {
+                    return Err(ParseError {
+                        line: i + 1,
+                        message: format!(
+                            "{} record stamps epoch {} ahead of clock {}",
+                            r.event.kind(),
+                            r.seq,
+                            clock
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(records.len())
+}
+
+/// Flatten an event's payload into Chrome `args` (the fields of the
+/// externally-tagged variant, or an empty map for unit-like payloads).
+fn event_args(r: &Record) -> Value {
+    match r.event.to_value() {
+        Value::Map(mut fields) => match fields.pop() {
+            Some((_variant, inner @ Value::Map(_))) => inner,
+            _ => Value::Map(Vec::new()),
+        },
+        _ => Value::Map(Vec::new()),
+    }
+}
+
+/// Render records as a Chrome `trace_event` JSON document. Wall-mode
+/// records use their real µs timestamps; logical records fall back to the
+/// sequence number as the time axis so a logical trace still lays out in
+/// event order.
+pub fn to_chrome(records: &[Record]) -> String {
+    let events: Vec<Value> = records
+        .iter()
+        .map(|r| {
+            let ts = if r.ts_us > 0 { r.ts_us } else { r.seq };
+            let mut fields = vec![
+                ("name".to_string(), Value::Str(r.event.kind().to_string())),
+                ("cat".to_string(), Value::Str("moat".to_string())),
+                ("pid".to_string(), Value::UInt(1)),
+                ("tid".to_string(), Value::UInt(r.tid)),
+                ("ts".to_string(), Value::UInt(ts)),
+            ];
+            if r.dur_us > 0 {
+                fields.push(("ph".to_string(), Value::Str("X".to_string())));
+                fields.push(("dur".to_string(), Value::UInt(r.dur_us)));
+            } else {
+                fields.push(("ph".to_string(), Value::Str("i".to_string())));
+                fields.push(("s".to_string(), Value::Str("t".to_string())));
+            }
+            fields.push(("args".to_string(), event_args(r)));
+            Value::Map(fields)
+        })
+        .collect();
+    let doc = Value::Map(vec![
+        ("traceEvents".to_string(), Value::Seq(events)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string(&doc).expect("chrome document serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Event;
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record {
+                seq: 1,
+                ts_us: 0,
+                dur_us: 0,
+                tid: 0,
+                event: Event::SessionStart {
+                    subject: "mm".into(),
+                    strategy: "rsgde3".into(),
+                },
+            },
+            Record {
+                seq: 2,
+                ts_us: 0,
+                dur_us: 0,
+                tid: 0,
+                event: Event::FrontUpdated {
+                    iteration: 1,
+                    evaluations: 24,
+                    size: 3,
+                    hypervolume: 0.5,
+                },
+            },
+            Record {
+                seq: 2,
+                ts_us: 10,
+                dur_us: 42,
+                tid: 1,
+                event: Event::Phase {
+                    name: "cachesim.compile".into(),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_exact() {
+        let recs = sample();
+        let text = to_jsonl(&recs);
+        assert_eq!(text.lines().count(), 3);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, recs);
+        // Byte-stable: re-serializing the parse reproduces the text.
+        assert_eq!(to_jsonl(&back), text);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = parse_jsonl("{\"seq\":1}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, 1, "first line lacks required fields");
+    }
+
+    #[test]
+    fn validate_rejects_clock_regression() {
+        let mut recs = sample();
+        recs[1].seq = 1; // duplicate control seq
+        let err = validate_jsonl(&to_jsonl(&recs)).unwrap_err();
+        assert!(err.message.contains("after clock"), "{err}");
+        assert_eq!(validate_jsonl(&to_jsonl(&sample())).unwrap(), 3);
+    }
+
+    #[test]
+    fn chrome_export_has_trace_events() {
+        let text = to_chrome(&sample());
+        let v = serde_json::from_str::<serde::Value>(&text).unwrap();
+        let doc = v.as_map().unwrap();
+        let Some((_, Value::Seq(events))) = doc.iter().find(|(k, _)| k == "traceEvents") else {
+            panic!("missing traceEvents: {text}");
+        };
+        assert_eq!(events.len(), 3);
+        // The span renders as a complete event with a duration.
+        let span = events[2].as_map().unwrap();
+        let ph = span.iter().find(|(k, _)| k == "ph").unwrap();
+        assert_eq!(ph.1, Value::Str("X".to_string()));
+        let dur = span.iter().find(|(k, _)| k == "dur").unwrap();
+        assert!(
+            matches!(dur.1, Value::UInt(42) | Value::Int(42)),
+            "dur: {:?}",
+            dur.1
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! moat-obs — unified structured tracing, metrics and profiling for the
+//! moat tuning + runtime stack.
+//!
+//! Every layer of the stack (tuning session, fault-tolerant evaluator,
+//! batch workers, cache simulator, archive, runtime selector) reduces its
+//! activity to flat [`Event`]s emitted into one process-global stream:
+//!
+//! * **Zero-cost when off.** With no subscriber installed every emit path
+//!   is a single relaxed atomic load — no `#[cfg]`s, no allocation, no
+//!   clock read — so production runs are byte-identical to an
+//!   uninstrumented build.
+//! * **Deterministic when on.** In the default
+//!   [`TimestampMode::Logical`], control-plane events advance a logical
+//!   clock, worker-emitted events stamp the clock as an epoch and sort by
+//!   a stable key, and timing-class records are dropped — so the drained
+//!   stream (and the JSONL trace and metrics snapshot derived from it) is
+//!   byte-identical for a fixed seed regardless of thread count.
+//! * **Profiling when asked.** [`TimestampMode::Wall`] keeps real µs
+//!   timestamps, per-thread lanes, per-worker spans and the cachesim
+//!   phase timers — the view `moat-report` and the Chrome export turn
+//!   into timelines.
+//!
+//! ```
+//! use moat_obs as obs;
+//!
+//! let guard = obs::install(obs::TimestampMode::Logical);
+//! obs::emit(obs::Event::IterationStart { iteration: 1 });
+//! let records = guard.drain();
+//! let jsonl = obs::export::to_jsonl(&records);
+//! assert_eq!(obs::export::parse_jsonl(&jsonl).unwrap(), records);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod record;
+pub mod subscriber;
+
+pub use record::{Class, Event, Record};
+pub use subscriber::{
+    emit, emit_keyed, emit_span, enabled, install, span_start, wall_enabled, ObsGuard,
+    TimestampMode,
+};

@@ -1,0 +1,265 @@
+//! Prometheus-style text metrics snapshot derived from a record stream.
+//!
+//! Metrics are *computed at export time* from the drained records rather
+//! than maintained as live counters: the record stream is already the
+//! single source of truth, and deriving the snapshot from it makes the
+//! output a pure function of the trace — byte-stable for a fixed seed in
+//! logical mode (family and label ordering is sorted, histogram bucket
+//! boundaries are fixed).
+
+use crate::record::{Event, Record};
+use std::collections::BTreeMap;
+
+/// Fixed histogram bucket upper bounds (µs) for all duration histograms.
+/// Chosen once, never derived from the data, so snapshots are comparable
+/// across runs and byte-stable.
+pub const DURATION_BUCKETS_US: [u64; 8] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    60_000_000,
+    600_000_000,
+];
+
+fn fmt_f64(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.0}")
+    } else {
+        format!("{x}")
+    }
+}
+
+#[derive(Default)]
+struct Histogram {
+    counts: [u64; DURATION_BUCKETS_US.len()],
+    total: u64,
+    sum_us: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, us: u64) {
+        for (i, &bound) in DURATION_BUCKETS_US.iter().enumerate() {
+            if us <= bound {
+                self.counts[i] += 1;
+            }
+        }
+        self.total += 1;
+        self.sum_us += us;
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        for (i, &bound) in DURATION_BUCKETS_US.iter().enumerate() {
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{bound}\"}} {}\n",
+                self.counts[i]
+            ));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", self.total));
+        out.push_str(&format!("{name}_sum {}\n", self.sum_us));
+        out.push_str(&format!("{name}_count {}\n", self.total));
+    }
+}
+
+/// Render the metrics snapshot for a drained record stream.
+pub fn render(records: &[Record]) -> String {
+    let mut kind_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut phase_us: BTreeMap<String, (u64, u64)> = BTreeMap::new(); // (calls, µs)
+    let mut version_counts: BTreeMap<(String, u64), u64> = BTreeMap::new();
+    let mut batch_hist = Histogram::default();
+    let mut evaluations = 0u64;
+    let mut front_size = 0u64;
+    let mut hypervolume = 0.0f64;
+    let mut iterations = 0u64;
+    let mut retries = 0u64;
+    let mut quarantined = 0u64;
+
+    for r in records {
+        *kind_counts.entry(r.event.kind()).or_default() += 1;
+        match &r.event {
+            Event::IterationStart { iteration } => iterations = iterations.max(*iteration),
+            Event::BatchEvaluated {
+                evaluations: e,
+                elapsed_us,
+                ..
+            } => {
+                evaluations = evaluations.max(*e);
+                if let Some(us) = elapsed_us {
+                    batch_hist.observe(*us);
+                }
+            }
+            Event::FrontUpdated {
+                evaluations: e,
+                size,
+                hypervolume: hv,
+                ..
+            } => {
+                evaluations = evaluations.max(*e);
+                front_size = *size;
+                hypervolume = *hv;
+            }
+            Event::Stopped { evaluations: e, .. } => evaluations = evaluations.max(*e),
+            Event::EvalRetry { .. } => retries += 1,
+            Event::EvalQuarantined { .. } => quarantined += 1,
+            Event::FaultSummary {
+                retries: r,
+                quarantined: q,
+                ..
+            } => {
+                retries = retries.max(*r);
+                quarantined = quarantined.max(*q);
+            }
+            Event::VersionSelected { region, version } => {
+                *version_counts
+                    .entry((region.clone(), *version))
+                    .or_default() += 1;
+            }
+            Event::Phase { name } => {
+                let slot = phase_us.entry(name.clone()).or_default();
+                slot.0 += 1;
+                slot.1 += r.dur_us;
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+
+    out.push_str("# HELP moat_records_total Trace records by event kind.\n");
+    out.push_str("# TYPE moat_records_total counter\n");
+    for (kind, n) in &kind_counts {
+        out.push_str(&format!("moat_records_total{{kind=\"{kind}\"}} {n}\n"));
+    }
+
+    out.push_str("# HELP moat_evaluations_total Distinct configurations evaluated (E).\n");
+    out.push_str("# TYPE moat_evaluations_total counter\n");
+    out.push_str(&format!("moat_evaluations_total {evaluations}\n"));
+
+    out.push_str("# HELP moat_iterations_total Strategy iterations executed.\n");
+    out.push_str("# TYPE moat_iterations_total counter\n");
+    out.push_str(&format!("moat_iterations_total {iterations}\n"));
+
+    out.push_str("# HELP moat_front_size Final Pareto front size (|S|).\n");
+    out.push_str("# TYPE moat_front_size gauge\n");
+    out.push_str(&format!("moat_front_size {front_size}\n"));
+
+    out.push_str("# HELP moat_hypervolume Final front hypervolume (V(S)).\n");
+    out.push_str("# TYPE moat_hypervolume gauge\n");
+    out.push_str(&format!("moat_hypervolume {}\n", fmt_f64(hypervolume)));
+
+    out.push_str("# HELP moat_fault_retries_total Measurement retries.\n");
+    out.push_str("# TYPE moat_fault_retries_total counter\n");
+    out.push_str(&format!("moat_fault_retries_total {retries}\n"));
+
+    out.push_str("# HELP moat_fault_quarantined_total Configurations quarantined.\n");
+    out.push_str("# TYPE moat_fault_quarantined_total counter\n");
+    out.push_str(&format!("moat_fault_quarantined_total {quarantined}\n"));
+
+    out.push_str("# HELP moat_version_selected_total Runtime version picks per region.\n");
+    out.push_str("# TYPE moat_version_selected_total counter\n");
+    for ((region, version), n) in &version_counts {
+        out.push_str(&format!(
+            "moat_version_selected_total{{region=\"{region}\",version=\"{version}\"}} {n}\n"
+        ));
+    }
+
+    out.push_str("# HELP moat_phase_us_total Wall µs per instrumented phase.\n");
+    out.push_str("# TYPE moat_phase_us_total counter\n");
+    for (name, (calls, us)) in &phase_us {
+        out.push_str(&format!("moat_phase_us_total{{phase=\"{name}\"}} {us}\n"));
+        out.push_str(&format!(
+            "moat_phase_calls_total{{phase=\"{name}\"}} {calls}\n"
+        ));
+    }
+
+    out.push_str("# HELP moat_batch_elapsed_us Batch evaluation wall time (µs).\n");
+    out.push_str("# TYPE moat_batch_elapsed_us histogram\n");
+    batch_hist.render("moat_batch_elapsed_us", &mut out);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<Record> {
+        vec![
+            Record {
+                seq: 1,
+                ts_us: 0,
+                dur_us: 0,
+                tid: 0,
+                event: Event::IterationStart { iteration: 1 },
+            },
+            Record {
+                seq: 2,
+                ts_us: 0,
+                dur_us: 0,
+                tid: 0,
+                event: Event::BatchEvaluated {
+                    requested: 24,
+                    evaluated: 24,
+                    evaluations: 24,
+                    elapsed_us: Some(1500),
+                },
+            },
+            Record {
+                seq: 3,
+                ts_us: 0,
+                dur_us: 0,
+                tid: 0,
+                event: Event::FrontUpdated {
+                    iteration: 1,
+                    evaluations: 24,
+                    size: 4,
+                    hypervolume: 0.75,
+                },
+            },
+            Record {
+                seq: 3,
+                ts_us: 0,
+                dur_us: 0,
+                tid: 0,
+                event: Event::VersionSelected {
+                    region: "mm".into(),
+                    version: 2,
+                },
+            },
+            Record {
+                seq: 3,
+                ts_us: 5,
+                dur_us: 120,
+                tid: 1,
+                event: Event::Phase {
+                    name: "cachesim.compile".into(),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn snapshot_reflects_stream() {
+        let text = render(&records());
+        assert!(text.contains("moat_evaluations_total 24\n"), "{text}");
+        assert!(text.contains("moat_front_size 4\n"));
+        assert!(text.contains("moat_hypervolume 0.75\n"));
+        assert!(
+            text.contains("moat_version_selected_total{region=\"mm\",version=\"2\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("moat_phase_us_total{phase=\"cachesim.compile\"} 120\n"));
+        assert!(text.contains("moat_batch_elapsed_us_bucket{le=\"10000\"} 1\n"));
+        assert!(text.contains("moat_batch_elapsed_us_bucket{le=\"100\"} 0\n"));
+        assert!(text.contains("moat_batch_elapsed_us_sum 1500\n"));
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let recs = records();
+        assert_eq!(render(&recs), render(&recs));
+        assert!(render(&[]).contains("moat_evaluations_total 0\n"));
+    }
+}

@@ -1,0 +1,321 @@
+//! The trace record model: what happened, when, and on which lane.
+//!
+//! Every instrumented layer of the stack reduces its activity to a flat
+//! [`Event`] — plain strings and numbers, no cross-crate types — wrapped in
+//! a [`Record`] that carries the timing envelope. Records are what the
+//! collector stores, what the JSONL trace file contains (one JSON object
+//! per line), and what every exporter and `moat-report` consume.
+//!
+//! Events fall into three determinism classes ([`Class`]):
+//!
+//! * **Control** events are emitted from the single control thread of a
+//!   tuning run (session, archive, runtime selector). Each one advances
+//!   the logical clock, so their order *is* the clock.
+//! * **Keyed** events are emitted from worker threads but are themselves
+//!   deterministic for a fixed seed (fault retries, quarantines — the
+//!   caching evaluator guarantees each distinct configuration runs the
+//!   fault pipeline exactly once). They stamp the current logical clock as
+//!   an *epoch* without advancing it and carry a stable sort key, so the
+//!   drained stream is identical regardless of worker count.
+//! * **Timing** records (per-worker spans, cachesim phase timers) exist
+//!   only in wall-timestamp mode; logical traces drop them entirely.
+
+use serde::{Deserialize, Serialize};
+
+/// Determinism class of an [`Event`] (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Class {
+    /// Control-plane: advances the logical clock.
+    Control,
+    /// Worker-emitted but deterministic: epoch + stable sort key.
+    Keyed,
+    /// Wall-clock profiling only: dropped in logical mode.
+    Timing,
+}
+
+/// One thing that happened somewhere in the stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    // ── tuning control plane ────────────────────────────────────────────
+    /// A tuning run began.
+    SessionStart {
+        /// What is being tuned (kernel or region name; may be empty).
+        subject: String,
+        /// Strategy name (`rsgde3`, `gde3`, `random`, …).
+        strategy: String,
+    },
+    /// A strategy iteration (generation, sweep chunk, …) began.
+    IterationStart {
+        /// 1-based iteration number.
+        iteration: u64,
+    },
+    /// A batch of configurations was evaluated.
+    BatchEvaluated {
+        /// Configurations the strategy requested.
+        requested: u64,
+        /// Configurations actually evaluated (rest cut by the budget).
+        evaluated: u64,
+        /// Total distinct evaluations `E` after this batch.
+        evaluations: u64,
+        /// Batch wall time in µs (absent in logical mode).
+        elapsed_us: Option<u64>,
+    },
+    /// The non-dominated front changed (or was re-measured).
+    FrontUpdated {
+        /// Iteration the update belongs to.
+        iteration: u64,
+        /// Distinct evaluations `E` at this point.
+        evaluations: u64,
+        /// Front size `|S|`.
+        size: u64,
+        /// Hypervolume `V(S)`.
+        hypervolume: f64,
+    },
+    /// The search space was reduced (RS-GDE3 Rough-Set step).
+    SpaceReduced {
+        /// Dimensions of the new bounding box.
+        dims: u64,
+    },
+    /// A checkpoint was written.
+    Checkpointed {
+        /// Checkpoint sequence number.
+        seq: u64,
+    },
+    /// End-of-run fault handling summary.
+    FaultSummary {
+        /// Total measurement attempts.
+        attempts: u64,
+        /// Attempts that were retries.
+        retries: u64,
+        /// Attempts abandoned on timeout.
+        timeouts: u64,
+        /// Attempts that failed outright.
+        failures: u64,
+        /// Extra repeat-and-median measurements.
+        extra_measurements: u64,
+        /// Configurations quarantined.
+        quarantined: u64,
+    },
+    /// The tuning run ended.
+    Stopped {
+        /// Stop reason, rendered as text.
+        reason: String,
+        /// Final distinct-evaluation count `E`.
+        evaluations: u64,
+    },
+
+    // ── fault layer (worker threads, keyed) ─────────────────────────────
+    /// A failed attempt is being retried.
+    EvalRetry {
+        /// The configuration, rendered as text (stable sort key).
+        config: String,
+        /// 1-based retry number.
+        attempt: u64,
+    },
+    /// A configuration exhausted its retries and was quarantined.
+    EvalQuarantined {
+        /// The configuration, rendered as text (stable sort key).
+        config: String,
+    },
+
+    // ── archive I/O ─────────────────────────────────────────────────────
+    /// An archive record was looked up.
+    ArchiveRead {
+        /// The archive key id.
+        key: String,
+        /// Whether a record existed.
+        hit: bool,
+    },
+    /// An archive record was inserted/merged.
+    ArchiveWrite {
+        /// The archive key id.
+        key: String,
+        /// Points added by the merge.
+        added: u64,
+        /// Points dropped as dominated.
+        dropped: u64,
+    },
+
+    // ── runtime selector ────────────────────────────────────────────────
+    /// The runtime selector picked a version for an invocation.
+    VersionSelected {
+        /// Region name.
+        region: String,
+        /// Selected version index.
+        version: u64,
+    },
+    /// A version was demoted by the health policy.
+    VersionDemoted {
+        /// Region name.
+        region: String,
+        /// Demoted version index.
+        version: u64,
+        /// Why, rendered as text.
+        reason: String,
+    },
+    /// A demoted version was restored.
+    VersionRestored {
+        /// Region name.
+        region: String,
+        /// Restored version index.
+        version: u64,
+    },
+    /// Every version is demoted; the fallback serves.
+    FallbackEngaged {
+        /// Region name.
+        region: String,
+    },
+
+    // ── wall-mode timing spans ──────────────────────────────────────────
+    /// A named phase of work (cachesim compile / stream / LLC merge, …).
+    Phase {
+        /// Phase name, dot-separated (`cachesim.compile`, …).
+        name: String,
+    },
+    /// One `BatchEval` worker's span over its chunk.
+    WorkerSpan {
+        /// Worker index within the batch.
+        worker: u64,
+        /// Configurations in the worker's chunk.
+        configs: u64,
+    },
+}
+
+impl Event {
+    /// Determinism class (see module docs).
+    pub fn class(&self) -> Class {
+        match self {
+            Event::EvalRetry { .. } | Event::EvalQuarantined { .. } => Class::Keyed,
+            Event::Phase { .. } | Event::WorkerSpan { .. } => Class::Timing,
+            _ => Class::Control,
+        }
+    }
+
+    /// Stable short name (JSONL `kind` labels, Chrome event names,
+    /// Prometheus label values).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SessionStart { .. } => "session_start",
+            Event::IterationStart { .. } => "iteration_start",
+            Event::BatchEvaluated { .. } => "batch_evaluated",
+            Event::FrontUpdated { .. } => "front_updated",
+            Event::SpaceReduced { .. } => "space_reduced",
+            Event::Checkpointed { .. } => "checkpointed",
+            Event::FaultSummary { .. } => "fault_summary",
+            Event::Stopped { .. } => "stopped",
+            Event::EvalRetry { .. } => "eval_retry",
+            Event::EvalQuarantined { .. } => "eval_quarantined",
+            Event::ArchiveRead { .. } => "archive_read",
+            Event::ArchiveWrite { .. } => "archive_write",
+            Event::VersionSelected { .. } => "version_selected",
+            Event::VersionDemoted { .. } => "version_demoted",
+            Event::VersionRestored { .. } => "version_restored",
+            Event::FallbackEngaged { .. } => "fallback_engaged",
+            Event::Phase { .. } => "phase",
+            Event::WorkerSpan { .. } => "worker_span",
+        }
+    }
+
+    /// Within-epoch sort key for keyed events: `(kind rank, payload key)`.
+    /// Retries sort before the quarantine they culminate in; within a
+    /// kind, the rendered configuration (then attempt) orders records.
+    pub fn sort_key(&self) -> (u8, String, u64) {
+        match self {
+            Event::EvalRetry { config, attempt } => (0, config.clone(), *attempt),
+            Event::EvalQuarantined { config } => (1, config.clone(), 0),
+            _ => (0, String::new(), 0),
+        }
+    }
+}
+
+/// One collected trace record: an [`Event`] plus its timing envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Logical sequence number. Control events hold unique, strictly
+    /// increasing values; keyed/timing events hold the epoch (the latest
+    /// control sequence) they occurred under.
+    pub seq: u64,
+    /// Wall-clock µs since subscriber install (0 in logical mode).
+    pub ts_us: u64,
+    /// Span duration in µs (0 for instant events).
+    pub dur_us: u64,
+    /// Thread lane (0 in logical mode; small dense ids in wall mode).
+    pub tid: u64,
+    /// What happened.
+    pub event: Event,
+}
+
+impl Record {
+    /// Total drain order: `(seq, class, sort_key, ts, tid)`. Control
+    /// events have unique `seq`s so their mutual order is the clock;
+    /// keyed events interleave deterministically at their epoch; timing
+    /// records (wall mode only) come last within an epoch, by timestamp.
+    pub fn order_key(&self) -> (u64, Class, (u8, String, u64), u64, u64) {
+        (
+            self.seq,
+            self.event.class(),
+            self.event.sort_key(),
+            self.ts_us,
+            self.tid,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_assigned() {
+        assert_eq!(
+            Event::IterationStart { iteration: 1 }.class(),
+            Class::Control
+        );
+        assert_eq!(
+            Event::EvalRetry {
+                config: "[1]".into(),
+                attempt: 1
+            }
+            .class(),
+            Class::Keyed
+        );
+        assert_eq!(
+            Event::Phase {
+                name: "cachesim.compile".into()
+            }
+            .class(),
+            Class::Timing
+        );
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let r = Record {
+            seq: 7,
+            ts_us: 123,
+            dur_us: 4,
+            tid: 2,
+            event: Event::FrontUpdated {
+                iteration: 3,
+                evaluations: 96,
+                size: 5,
+                hypervolume: 0.25,
+            },
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        let back: Record = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn keyed_events_sort_retries_before_quarantine() {
+        let q = Event::EvalQuarantined {
+            config: "[2, 3]".into(),
+        };
+        let r = Event::EvalRetry {
+            config: "[2, 3]".into(),
+            attempt: 2,
+        };
+        assert!(r.sort_key() < q.sort_key());
+    }
+}

@@ -1,0 +1,332 @@
+//! The global subscriber: install/drain lifecycle, the logical clock, and
+//! the lock-sharded collector.
+//!
+//! There is exactly one (process-global) subscriber slot. When nothing is
+//! installed, every emit path is a single relaxed atomic load and an
+//! immediate return — no allocation, no lock, no `Instant::now()` — so
+//! instrumented code pays nothing in production runs. [`install`] flips
+//! the flag, returns an RAII [`ObsGuard`], and holds a global exclusivity
+//! lock so concurrent tests that install tracing serialize automatically.
+//!
+//! Records land in a small fixed set of mutex shards indexed by a dense
+//! per-thread id, so worker threads almost never contend. [`ObsGuard::drain`]
+//! gathers all shards and sorts by [`Record::order_key`], which is what
+//! makes logical-mode streams independent of worker count.
+
+use crate::record::{Class, Event, Record};
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// How records are timestamped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimestampMode {
+    /// Deterministic logical clock: no wall times, no thread lanes, and
+    /// timing-class records are dropped. Streams are byte-identical for a
+    /// fixed seed regardless of parallelism. The default.
+    #[default]
+    Logical,
+    /// Wall-clock profiling: real µs timestamps and durations, per-thread
+    /// lanes, timing spans included. Not byte-stable.
+    Wall,
+}
+
+impl TimestampMode {
+    /// Parse `logical` / `wall`.
+    pub fn parse(s: &str) -> Option<TimestampMode> {
+        match s {
+            "logical" => Some(TimestampMode::Logical),
+            "wall" => Some(TimestampMode::Wall),
+            _ => None,
+        }
+    }
+}
+
+const SHARDS: usize = 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static WALL: AtomicBool = AtomicBool::new(false);
+/// The logical clock: the number of control events emitted so far.
+static CLOCK: AtomicU64 = AtomicU64::new(0);
+/// Serializes installs (and therefore whole traced test bodies).
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+static BUCKETS: [Mutex<Vec<Record>>; SHARDS] = [const { Mutex::new(Vec::new()) }; SHARDS];
+/// Wall-clock origin of the current install.
+static START: Mutex<Option<Instant>> = Mutex::new(None);
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// True when a subscriber is installed. A single relaxed load — callers
+/// use this to skip argument construction entirely when tracing is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// True when a subscriber is installed in wall-timestamp mode (the only
+/// mode in which timing-class records are kept).
+#[inline]
+pub fn wall_enabled() -> bool {
+    enabled() && WALL.load(Ordering::Relaxed)
+}
+
+fn wall_us(since: Instant) -> (u64, u64) {
+    let start = START.lock();
+    match *start {
+        Some(origin) => (
+            since.saturating_duration_since(origin).as_micros() as u64,
+            origin.elapsed().as_micros() as u64,
+        ),
+        None => (0, 0),
+    }
+}
+
+fn push(record: Record) {
+    let shard = (record.tid as usize) % SHARDS;
+    BUCKETS[shard].lock().push(record);
+}
+
+/// Emit a control-plane event: advances the logical clock. Call only from
+/// the run's control thread (sessions, archive ops, runtime selection) —
+/// worker threads use [`emit_keyed`] or [`emit_span`].
+pub fn emit(event: Event) {
+    if !enabled() {
+        return;
+    }
+    debug_assert_eq!(event.class(), Class::Control);
+    let seq = CLOCK.fetch_add(1, Ordering::Relaxed) + 1;
+    let (ts_us, tid) = if WALL.load(Ordering::Relaxed) {
+        (wall_us(Instant::now()).1, tid())
+    } else {
+        (0, 0)
+    };
+    push(Record {
+        seq,
+        ts_us,
+        dur_us: 0,
+        tid,
+        event,
+    });
+}
+
+/// Emit a keyed event from a worker thread: stamps the current logical
+/// clock as an epoch *without* advancing it. The event's
+/// [`sort_key`](Event::sort_key) orders it within the epoch at drain, so
+/// the stream does not depend on worker count or interleaving.
+pub fn emit_keyed(event: Event) {
+    if !enabled() {
+        return;
+    }
+    debug_assert_eq!(event.class(), Class::Keyed);
+    let seq = CLOCK.load(Ordering::Relaxed);
+    let (ts_us, tid) = if WALL.load(Ordering::Relaxed) {
+        (wall_us(Instant::now()).1, tid())
+    } else {
+        (0, 0)
+    };
+    push(Record {
+        seq,
+        ts_us,
+        dur_us: 0,
+        tid,
+        event,
+    });
+}
+
+/// Start a timing span: returns the start instant only when wall mode is
+/// active, so callers pay one relaxed load (and nothing else) otherwise.
+#[inline]
+pub fn span_start() -> Option<Instant> {
+    wall_enabled().then(Instant::now)
+}
+
+/// Finish a timing span started with [`span_start`]. A no-op when `start`
+/// is `None` (tracing off or logical mode — timing records are dropped
+/// there without touching the clock).
+pub fn emit_span(start: Option<Instant>, event: Event) {
+    let Some(start) = start else { return };
+    if !wall_enabled() {
+        return;
+    }
+    debug_assert_eq!(event.class(), Class::Timing);
+    let seq = CLOCK.load(Ordering::Relaxed);
+    let (ts_us, now_us) = wall_us(start);
+    push(Record {
+        seq,
+        ts_us,
+        dur_us: now_us.saturating_sub(ts_us),
+        tid: tid(),
+        event,
+    });
+}
+
+/// RAII handle for an installed subscriber. Dropping it disables tracing
+/// and clears the collector; while held, no other thread can install.
+pub struct ObsGuard {
+    _exclusive: MutexGuard<'static, ()>,
+}
+
+impl ObsGuard {
+    /// The mode this subscriber was installed with.
+    pub fn mode(&self) -> TimestampMode {
+        if WALL.load(Ordering::Relaxed) {
+            TimestampMode::Wall
+        } else {
+            TimestampMode::Logical
+        }
+    }
+
+    /// Collect everything recorded so far, in canonical order, clearing
+    /// the collector. Callable repeatedly; each call returns only records
+    /// emitted since the previous drain.
+    pub fn drain(&self) -> Vec<Record> {
+        let mut all = Vec::new();
+        for shard in &BUCKETS {
+            all.append(&mut shard.lock());
+        }
+        all.sort_by_key(|r| r.order_key());
+        all
+    }
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        WALL.store(false, Ordering::SeqCst);
+        for shard in &BUCKETS {
+            shard.lock().clear();
+        }
+        *START.lock() = None;
+    }
+}
+
+/// Install the global subscriber and return its RAII guard. Blocks while
+/// another guard is alive (tests that trace serialize on this). The
+/// logical clock restarts at zero for every install.
+pub fn install(mode: TimestampMode) -> ObsGuard {
+    let exclusive = EXCLUSIVE.lock();
+    for shard in &BUCKETS {
+        shard.lock().clear();
+    }
+    CLOCK.store(0, Ordering::SeqCst);
+    *START.lock() = Some(Instant::now());
+    WALL.store(mode == TimestampMode::Wall, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+    ObsGuard {
+        _exclusive: exclusive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_when_not_installed() {
+        assert!(!enabled());
+        emit(Event::IterationStart { iteration: 1 });
+        assert!(span_start().is_none());
+        let guard = install(TimestampMode::Logical);
+        assert!(guard.drain().is_empty(), "pre-install emits are dropped");
+    }
+
+    #[test]
+    fn control_events_are_clock_ordered() {
+        let guard = install(TimestampMode::Logical);
+        emit(Event::IterationStart { iteration: 1 });
+        emit(Event::BatchEvaluated {
+            requested: 8,
+            evaluated: 8,
+            evaluations: 8,
+            elapsed_us: None,
+        });
+        emit(Event::IterationStart { iteration: 2 });
+        let recs = guard.drain();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(recs.iter().all(|r| r.ts_us == 0 && r.tid == 0));
+    }
+
+    #[test]
+    fn keyed_events_sort_within_epoch_regardless_of_emit_order() {
+        let guard = install(TimestampMode::Logical);
+        emit(Event::IterationStart { iteration: 1 });
+        // Emitted "out of order", as racing workers would.
+        emit_keyed(Event::EvalQuarantined {
+            config: "[9]".into(),
+        });
+        emit_keyed(Event::EvalRetry {
+            config: "[9]".into(),
+            attempt: 1,
+        });
+        emit_keyed(Event::EvalRetry {
+            config: "[3]".into(),
+            attempt: 1,
+        });
+        let recs = guard.drain();
+        let kinds: Vec<_> = recs
+            .iter()
+            .map(|r| (r.event.kind(), r.event.sort_key().1))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("iteration_start", String::new()),
+                ("eval_retry", "[3]".to_string()),
+                ("eval_retry", "[9]".to_string()),
+                ("eval_quarantined", "[9]".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn timing_records_dropped_in_logical_mode() {
+        let guard = install(TimestampMode::Logical);
+        let t = span_start();
+        assert!(t.is_none());
+        emit_span(t, Event::Phase { name: "x".into() });
+        assert!(guard.drain().is_empty());
+    }
+
+    #[test]
+    fn wall_mode_keeps_spans_with_durations() {
+        let guard = install(TimestampMode::Wall);
+        emit(Event::IterationStart { iteration: 1 });
+        let t = span_start();
+        assert!(t.is_some());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        emit_span(
+            t,
+            Event::Phase {
+                name: "cachesim.stream".into(),
+            },
+        );
+        let recs = guard.drain();
+        assert_eq!(recs.len(), 2);
+        let span = &recs[1];
+        assert_eq!(span.event.kind(), "phase");
+        assert!(span.dur_us >= 1000, "span duration recorded: {span:?}");
+    }
+
+    #[test]
+    fn drop_disables_and_clears() {
+        {
+            let _guard = install(TimestampMode::Logical);
+            emit(Event::IterationStart { iteration: 1 });
+            assert!(enabled());
+        }
+        assert!(!enabled());
+        let guard = install(TimestampMode::Logical);
+        assert!(guard.drain().is_empty());
+    }
+}

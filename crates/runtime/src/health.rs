@@ -146,15 +146,34 @@ impl DegradingSelector {
             let fallback = self.fallback_index()?;
             if !state.fallback_announced {
                 state.fallback_announced = true;
-                state.events.push(RuntimeEvent::FallbackEngaged {
+                let ev = RuntimeEvent::FallbackEngaged {
                     region: self.region.clone(),
                     version: fallback,
-                });
+                };
+                if moat_obs::enabled() {
+                    moat_obs::emit(ev.to_obs());
+                }
+                state.events.push(ev);
             }
+            self.observe_selection(fallback);
             return Some(fallback);
         }
         let sub: Vec<VersionMeta> = healthy.iter().map(|&i| self.table[i].clone()).collect();
-        self.base.select(&sub, ctx).map(|si| healthy[si])
+        let picked = self.base.select(&sub, ctx).map(|si| healthy[si]);
+        if let Some(idx) = picked {
+            self.observe_selection(idx);
+        }
+        picked
+    }
+
+    /// Record a per-invocation version pick in the observability stream.
+    fn observe_selection(&self, idx: usize) {
+        if moat_obs::enabled() {
+            moat_obs::emit(moat_obs::Event::VersionSelected {
+                region: self.region.clone(),
+                version: idx as u64,
+            });
+        }
     }
 
     /// Record a successful invocation of version `idx` taking `elapsed`.
@@ -181,11 +200,15 @@ impl DegradingSelector {
             && h.latency_ratio > self.policy.latency_ratio_limit
         {
             h.demoted = true;
-            state.events.push(RuntimeEvent::VersionDemoted {
+            let ev = RuntimeEvent::VersionDemoted {
                 region: self.region.clone(),
                 version: idx,
                 reason: DemotionReason::LatencyBreach,
-            });
+            };
+            if moat_obs::enabled() {
+                moat_obs::emit(ev.to_obs());
+            }
+            state.events.push(ev);
         }
     }
 
@@ -198,11 +221,15 @@ impl DegradingSelector {
         h.consecutive_failures += 1;
         if !h.demoted && h.consecutive_failures >= self.policy.max_consecutive_failures {
             h.demoted = true;
-            state.events.push(RuntimeEvent::VersionDemoted {
+            let ev = RuntimeEvent::VersionDemoted {
                 region: self.region.clone(),
                 version: idx,
                 reason: DemotionReason::ConsecutiveFailures,
-            });
+            };
+            if moat_obs::enabled() {
+                moat_obs::emit(ev.to_obs());
+            }
+            state.events.push(ev);
         }
     }
 
@@ -213,10 +240,14 @@ impl DegradingSelector {
         if state.health[idx].demoted {
             state.health[idx] = VersionHealth::default();
             state.fallback_announced = false;
-            state.events.push(RuntimeEvent::VersionRestored {
+            let ev = RuntimeEvent::VersionRestored {
                 region: self.region.clone(),
                 version: idx,
-            });
+            };
+            if moat_obs::enabled() {
+                moat_obs::emit(ev.to_obs());
+            }
+            state.events.push(ev);
         }
     }
 

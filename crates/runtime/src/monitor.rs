@@ -53,6 +53,31 @@ pub enum RuntimeEvent {
     },
 }
 
+impl RuntimeEvent {
+    /// The flat observability counterpart of this event, so runtime health
+    /// transitions land in the same stream as tuning events.
+    pub fn to_obs(&self) -> moat_obs::Event {
+        match self {
+            RuntimeEvent::VersionDemoted {
+                region,
+                version,
+                reason,
+            } => moat_obs::Event::VersionDemoted {
+                region: region.clone(),
+                version: *version as u64,
+                reason: reason.to_string(),
+            },
+            RuntimeEvent::FallbackEngaged { region, .. } => moat_obs::Event::FallbackEngaged {
+                region: region.clone(),
+            },
+            RuntimeEvent::VersionRestored { region, version } => moat_obs::Event::VersionRestored {
+                region: region.clone(),
+                version: *version as u64,
+            },
+        }
+    }
+}
+
 /// Time a closure, returning its result and the elapsed wall time.
 pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
@@ -106,6 +131,10 @@ impl RegionStats {
     }
 
     /// Index of the most frequently invoked version, if any.
+    ///
+    /// Ties are broken deterministically: the **lowest** index among the
+    /// tied versions wins. (`Iterator::max_by_key` alone would keep the
+    /// *last* maximum, making reports depend on table order-of-growth.)
     pub fn hottest_version(&self) -> Option<usize> {
         let inner = self.inner.lock();
         inner
@@ -113,6 +142,9 @@ impl RegionStats {
             .iter()
             .enumerate()
             .filter(|(_, (n, _))| *n > 0)
+            // Reverse index order so max_by_key's keep-last rule keeps the
+            // lowest index among equal counts.
+            .rev()
             .max_by_key(|(_, (n, _))| *n)
             .map(|(i, _)| i)
     }
@@ -141,6 +173,20 @@ mod tests {
         assert_eq!(t, Duration::from_millis(12));
         assert_eq!(stats.hottest_version(), Some(2));
         assert_eq!(stats.version(9), (0, Duration::ZERO));
+    }
+
+    #[test]
+    fn hottest_version_tie_breaks_to_lowest_index() {
+        // Regression: max_by_key keeps the *last* maximum, so a plain
+        // max over (index, count) pairs reported the highest tied index.
+        let stats = RegionStats::new();
+        stats.record(3, Duration::from_millis(1));
+        stats.record(1, Duration::from_millis(1));
+        stats.record(5, Duration::from_millis(1));
+        assert_eq!(stats.hottest_version(), Some(1));
+        // A strictly hotter later version still wins outright.
+        stats.record(5, Duration::from_millis(1));
+        assert_eq!(stats.hottest_version(), Some(5));
     }
 
     #[test]

@@ -80,6 +80,12 @@ impl VersionRegistry {
     pub fn select(&self, region: &str, ctx: &SelectionContext) -> Option<(usize, &VersionMeta)> {
         let table = self.tables.get(region)?;
         let idx = self.policy_for(region).select(table, ctx)?;
+        if moat_obs::enabled() {
+            moat_obs::emit(moat_obs::Event::VersionSelected {
+                region: region.to_string(),
+                version: idx as u64,
+            });
+        }
         Some((idx, &table[idx]))
     }
 

@@ -16,4 +16,14 @@ cargo test -q --workspace
 echo "== cargo test (moat-core, deprecated-shims feature) =="
 cargo test -q -p moat-core --features deprecated-shims
 
+echo "== trace smoke (moat-tune --trace -> moat-report --validate) =="
+smoke="target/trace-smoke"
+mkdir -p "$smoke"
+cargo run -q --bin moat-tune -- --budget 64 --quiet \
+    --trace "$smoke/trace.jsonl" --metrics "$smoke/metrics.prom"
+cargo run -q --bin moat-report -- "$smoke/trace.jsonl" --validate
+cargo run -q --bin moat-report -- "$smoke/trace.jsonl" > "$smoke/report.txt"
+cargo run -q --bin moat-report -- "$smoke/trace.jsonl" \
+    --emit chrome --out "$smoke/trace.chrome.json"
+
 echo "All checks passed."

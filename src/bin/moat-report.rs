@@ -1,0 +1,115 @@
+//! `moat-report` — analyse a `moat-tune --trace` JSONL file.
+//!
+//! ```text
+//! moat-report <TRACE.jsonl> [OPTIONS]
+//!
+//!   --validate             check the trace invariants (monotone control
+//!                          clock, epochs behind it) and report the count
+//!   --emit <chrome>        convert instead of reporting (Chrome
+//!                          trace_event JSON, loadable in Perfetto)
+//!   --out <FILE>           write --emit output to FILE (default: stdout)
+//! ```
+//!
+//! With no options, prints the convergence table (iteration, E, |S|,
+//! V(S) per session), phase-time breakdown, fault summary, archive
+//! traffic, and version-selection histogram.
+
+use moat::obs::export::{parse_jsonl, to_chrome, validate_jsonl};
+use moat::report::Analysis;
+use std::process::exit;
+
+fn usage() -> ! {
+    // The doc comment above is the single source of truth for the help
+    // text; print its code block.
+    let doc: String = include_str!("moat-report.rs")
+        .lines()
+        .skip(3)
+        .take(9)
+        .map(|l| l.trim_start_matches("//! ").trim_start_matches("//!"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    eprintln!("{doc}");
+    exit(2)
+}
+
+fn main() {
+    let mut trace: Option<String> = None;
+    let mut validate = false;
+    let mut emit: Option<String> = None;
+    let mut out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--validate" => validate = true,
+            "--emit" => emit = Some(value("--emit")),
+            "--out" => out = Some(value("--out")),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option: {other}");
+                usage()
+            }
+            other => {
+                if trace.replace(other.to_string()).is_some() {
+                    eprintln!("expected exactly one trace file");
+                    usage()
+                }
+            }
+        }
+    }
+    let Some(path) = trace else {
+        eprintln!("missing trace file");
+        usage()
+    };
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+
+    if validate {
+        match validate_jsonl(&text) {
+            Ok(n) => println!("{path}: valid, {n} records"),
+            Err(e) => {
+                eprintln!("{path}: invalid trace: {e}");
+                exit(1)
+            }
+        }
+    }
+
+    let records = parse_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(1)
+    });
+
+    match emit.as_deref() {
+        Some("chrome") => {
+            let doc = to_chrome(&records);
+            match &out {
+                Some(dest) => {
+                    std::fs::write(dest, doc).unwrap_or_else(|e| {
+                        eprintln!("cannot write {dest}: {e}");
+                        exit(1)
+                    });
+                    println!("wrote {dest}");
+                }
+                None => println!("{doc}"),
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown --emit format: {other} (chrome)");
+            exit(2)
+        }
+        None => {
+            if !validate {
+                print!("{}", Analysis::from_records(&records).render());
+            }
+        }
+    }
+}

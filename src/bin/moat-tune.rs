@@ -29,6 +29,10 @@
 //!   --inject-faults <K=V,..>                          seed=N,persistent=F,transient=F,hang=F,
 //!                                                     hang-ms=N,noise=F (chaos testing)
 //!   --crash-after <N>                                 abort after the Nth checkpoint (testing)
+//!   --trace <FILE>                                    write a JSONL observability trace
+//!   --metrics <FILE>                                  write a Prometheus-style metrics snapshot
+//!   --timestamps <logical|wall>                       trace timestamp mode (default logical:
+//!                                                     deterministic; wall: profiling spans)
 //! ```
 
 use moat::core::evaluate::Evaluator;
@@ -74,6 +78,9 @@ struct Opts {
     fault_policy: Option<FaultPolicy>,
     inject: Option<FaultSchedule>,
     crash_after: Option<u64>,
+    trace: Option<String>,
+    metrics: Option<String>,
+    timestamps: moat::TimestampMode,
 }
 
 /// Parse a `key=value,key=value` spec, reporting unknown keys through
@@ -167,7 +174,7 @@ fn usage() -> ! {
         include_str!("moat-tune.rs")
             .lines()
             .skip(3)
-            .take(28)
+            .take(32)
             .map(|l| {
                 let l = l.strip_prefix("//!").unwrap_or(l);
                 l.strip_prefix(' ').unwrap_or(l)
@@ -202,6 +209,9 @@ fn parse_args() -> Opts {
         fault_policy: None,
         inject: None,
         crash_after: None,
+        trace: None,
+        metrics: None,
+        timestamps: moat::TimestampMode::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -283,6 +293,15 @@ fn parse_args() -> Opts {
             "--crash-after" => {
                 opts.crash_after = Some(value("--crash-after").parse().unwrap_or_else(|_| usage()))
             }
+            "--trace" => opts.trace = Some(value("--trace")),
+            "--metrics" => opts.metrics = Some(value("--metrics")),
+            "--timestamps" => {
+                let v = value("--timestamps");
+                opts.timestamps = moat::TimestampMode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown timestamp mode: {v} (logical|wall)");
+                    exit(2)
+                });
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -314,6 +333,11 @@ fn main() {
         ckpt
     });
     let opts = opts;
+    // Observability: installed only when a trace or metrics file was
+    // requested, so plain runs keep the pre-instrumentation code path
+    // (and byte-identical output) exactly.
+    let obs_guard = (opts.trace.is_some() || opts.metrics.is_some())
+        .then(|| moat::obs::install(opts.timestamps));
     let size = opts.size.unwrap_or(opts.kernel.info().paper_size);
 
     let acfg = AnalyzerConfig::for_threads((1..=opts.machine.total_cores() as i64).collect());
@@ -391,7 +415,9 @@ fn main() {
         Some(ft) => ft,
         None => &ev,
     };
-    let mut session = TuningSession::new(space.clone(), evaluator).with_batch(BatchEval::default());
+    let mut session = TuningSession::new(space.clone(), evaluator)
+        .with_batch(BatchEval::default())
+        .with_label(region.name.clone());
     if let Some(budget) = opts.budget {
         session = session.with_budget(budget);
     }
@@ -557,6 +583,24 @@ fn main() {
                 println!("wrote {path}");
             }
             Err(e) => eprintln!("parameterized emission unavailable: {e}"),
+        }
+    }
+
+    if let Some(guard) = obs_guard {
+        let records = guard.drain();
+        if let Some(path) = &opts.trace {
+            std::fs::write(path, moat::obs::export::to_jsonl(&records)).unwrap_or_else(|e| {
+                eprintln!("cannot write trace {path}: {e}");
+                exit(1)
+            });
+            println!("wrote {path}");
+        }
+        if let Some(path) = &opts.metrics {
+            std::fs::write(path, moat::obs::metrics::render(&records)).unwrap_or_else(|e| {
+                eprintln!("cannot write metrics {path}: {e}");
+                exit(1)
+            });
+            println!("wrote {path}");
         }
     }
 }

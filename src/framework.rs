@@ -70,6 +70,16 @@ pub struct Framework {
     /// population and is re-evaluated here. No-op without
     /// [`archive`](Self::archive).
     pub warm_start: bool,
+    /// Write a JSONL observability trace of the run here. Installing the
+    /// trace subscriber is the *only* thing that changes any code path:
+    /// with `trace` and [`metrics`](Self::metrics) unset, tuning output is
+    /// byte-identical to an uninstrumented build.
+    pub trace: Option<PathBuf>,
+    /// Write a Prometheus-style text metrics snapshot of the run here.
+    pub metrics: Option<PathBuf>,
+    /// Timestamp mode for [`trace`](Self::trace)/[`metrics`](Self::metrics):
+    /// deterministic logical clock (default) or wall-clock profiling.
+    pub timestamps: moat_obs::TimestampMode,
 }
 
 impl Framework {
@@ -87,6 +97,9 @@ impl Framework {
             tune_unroll: false,
             archive: None,
             warm_start: false,
+            trace: None,
+            metrics: None,
+            timestamps: moat_obs::TimestampMode::default(),
         }
     }
 
@@ -129,6 +142,26 @@ impl Framework {
     /// Run the full pipeline on `region`: analyze (1), optimize (2–4),
     /// generate the multi-versioned backend artifacts (5).
     pub fn tune(&self, region: Region) -> Result<TunedRegion, String> {
+        // Observability: install the trace subscriber only when asked for,
+        // so untraced runs keep the exact pre-instrumentation code path.
+        let guard = (self.trace.is_some() || self.metrics.is_some())
+            .then(|| moat_obs::install(self.timestamps));
+        let tuned = self.tune_inner(region);
+        if let Some(guard) = guard {
+            let records = guard.drain();
+            if let Some(path) = &self.trace {
+                std::fs::write(path, moat_obs::export::to_jsonl(&records))
+                    .map_err(|e| format!("writing trace {}: {e}", path.display()))?;
+            }
+            if let Some(path) = &self.metrics {
+                std::fs::write(path, moat_obs::metrics::render(&records))
+                    .map_err(|e| format!("writing metrics {}: {e}", path.display()))?;
+            }
+        }
+        tuned
+    }
+
+    fn tune_inner(&self, region: Region) -> Result<TunedRegion, String> {
         // (1) Analyzer: derive skeletons if not already present.
         let mut region = if region.skeletons.is_empty() {
             analyze(region, &self.analyzer_config())?
@@ -158,7 +191,9 @@ impl Framework {
             model: &model,
         };
         let space = ir_space(skeleton);
-        let mut session = TuningSession::new(space.clone(), &evaluator).with_batch(self.batch);
+        let mut session = TuningSession::new(space.clone(), &evaluator)
+            .with_batch(self.batch)
+            .with_label(region.name.clone());
         if let Some(budget) = self.budget {
             session = session.with_budget(budget);
         }

@@ -52,6 +52,7 @@
 
 pub mod framework;
 pub mod program;
+pub mod report;
 pub mod sim;
 
 pub use framework::{Framework, TunedRegion};
@@ -69,6 +70,7 @@ pub use moat_ir as ir;
 pub use moat_kernels as kernels;
 pub use moat_machine as machine;
 pub use moat_multiversion as multiversion;
+pub use moat_obs as obs;
 pub use moat_runtime as runtime;
 
 // Convenience re-exports used by examples and benches.
@@ -83,6 +85,7 @@ pub use moat_ir::Region;
 pub use moat_kernels::Kernel;
 pub use moat_machine::{CostModel, MachineDesc, MachineFeatures, NoiseModel};
 pub use moat_multiversion::VersionTable;
+pub use moat_obs::TimestampMode;
 pub use moat_runtime::{
     DegradingSelector, HealthPolicy, Pool, RuntimeEvent, SelectionContext, SelectionPolicy,
     VersionRegistry,

@@ -1,0 +1,467 @@
+//! Trace analysis behind the `moat-report` CLI.
+//!
+//! Consumes the JSONL traces written by `moat-tune --trace` (or by
+//! [`Framework`](crate::Framework) with `trace` set) and reduces them to
+//! the views a tuning engineer actually reads:
+//!
+//! * a **convergence table** per session — the exact `(iteration, E, |S|,
+//!   V(S))` sequence the optimizer went through, reconstructed from
+//!   `front_updated` records (it matches `TuningReport::trace` point for
+//!   point),
+//! * a **phase-time breakdown** summed over wall-mode spans
+//!   (`cachesim.compile`, `cachesim.stream`, batch worker spans, …),
+//! * a **fault summary** (retries, quarantines, end-of-run totals),
+//! * a **version-selection histogram** per runtime region, and
+//! * **archive traffic** (read hits/misses, merge adds/drops).
+//!
+//! Everything here is a pure function of the record list, so the rendered
+//! report is as deterministic as the trace itself.
+
+use moat_obs::{Event, Record};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One `(iteration, E, |S|, V(S))` point of a session's convergence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceRow {
+    /// Iteration the front update belongs to (0 = initial population).
+    pub iteration: u64,
+    /// Distinct evaluations `E` at this point.
+    pub evaluations: u64,
+    /// Front size `|S|`.
+    pub size: u64,
+    /// Hypervolume `V(S)`.
+    pub hypervolume: f64,
+}
+
+/// One tuning session reconstructed from the trace (a trace may hold
+/// several, e.g. a program-level run tuning multiple regions).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionSummary {
+    /// What was tuned (kernel/region name; may be empty).
+    pub subject: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// The convergence sequence, in trace order.
+    pub rows: Vec<ConvergenceRow>,
+    /// Batches evaluated.
+    pub batches: u64,
+    /// Space-reduction (RS-GDE3 Rough-Set) steps.
+    pub reductions: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Stop reason and final `E`, if the session ended in this trace.
+    pub stop: Option<(String, u64)>,
+}
+
+/// Aggregated wall-mode span time for one phase name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Number of spans.
+    pub calls: u64,
+    /// Total duration in µs.
+    pub total_us: u64,
+}
+
+/// Fault-handling activity seen in the trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// `eval_retry` records.
+    pub retry_events: u64,
+    /// `eval_quarantined` records.
+    pub quarantine_events: u64,
+    /// End-of-run totals from the last `fault_summary` record, as
+    /// `(attempts, retries, timeouts, failures, extra, quarantined)`.
+    pub summary: Option<(u64, u64, u64, u64, u64, u64)>,
+}
+
+/// Archive traffic seen in the trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArchiveReport {
+    /// Reads that found a record.
+    pub hits: u64,
+    /// Reads that found nothing.
+    pub misses: u64,
+    /// Merge inserts across all writes.
+    pub added: u64,
+    /// Dominated points dropped across all writes.
+    pub dropped: u64,
+}
+
+/// Runtime selector activity for one region.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionReport {
+    /// Selection count per version index.
+    pub selections: BTreeMap<u64, u64>,
+    /// Health-policy demotions.
+    pub demotions: u64,
+    /// Health-policy restores.
+    pub restores: u64,
+    /// Times the fallback path engaged.
+    pub fallbacks: u64,
+}
+
+/// The full analysis of one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Analysis {
+    /// Records analysed.
+    pub records: usize,
+    /// Sessions, in trace order.
+    pub sessions: Vec<SessionSummary>,
+    /// Wall-mode phase totals by name (batch workers under
+    /// `batch.worker`). Empty for logical traces.
+    pub phases: BTreeMap<String, PhaseStat>,
+    /// Fault-handling activity.
+    pub faults: FaultReport,
+    /// Archive traffic.
+    pub archive: ArchiveReport,
+    /// Runtime selector activity by region.
+    pub regions: BTreeMap<String, RegionReport>,
+}
+
+impl Analysis {
+    /// Reduce a record list to the report model.
+    pub fn from_records(records: &[Record]) -> Self {
+        let mut a = Analysis {
+            records: records.len(),
+            ..Analysis::default()
+        };
+        for r in records {
+            match &r.event {
+                Event::SessionStart { subject, strategy } => {
+                    a.sessions.push(SessionSummary {
+                        subject: subject.clone(),
+                        strategy: strategy.clone(),
+                        ..SessionSummary::default()
+                    });
+                }
+                Event::IterationStart { .. } => {}
+                Event::BatchEvaluated { .. } => a.session().batches += 1,
+                Event::FrontUpdated {
+                    iteration,
+                    evaluations,
+                    size,
+                    hypervolume,
+                } => a.session().rows.push(ConvergenceRow {
+                    iteration: *iteration,
+                    evaluations: *evaluations,
+                    size: *size,
+                    hypervolume: *hypervolume,
+                }),
+                Event::SpaceReduced { .. } => a.session().reductions += 1,
+                Event::Checkpointed { .. } => a.session().checkpoints += 1,
+                Event::FaultSummary {
+                    attempts,
+                    retries,
+                    timeouts,
+                    failures,
+                    extra_measurements,
+                    quarantined,
+                } => {
+                    a.faults.summary = Some((
+                        *attempts,
+                        *retries,
+                        *timeouts,
+                        *failures,
+                        *extra_measurements,
+                        *quarantined,
+                    ))
+                }
+                Event::Stopped {
+                    reason,
+                    evaluations,
+                } => a.session().stop = Some((reason.clone(), *evaluations)),
+                Event::EvalRetry { .. } => a.faults.retry_events += 1,
+                Event::EvalQuarantined { .. } => a.faults.quarantine_events += 1,
+                Event::ArchiveRead { hit, .. } => {
+                    if *hit {
+                        a.archive.hits += 1
+                    } else {
+                        a.archive.misses += 1
+                    }
+                }
+                Event::ArchiveWrite { added, dropped, .. } => {
+                    a.archive.added += added;
+                    a.archive.dropped += dropped;
+                }
+                Event::VersionSelected { region, version } => {
+                    *a.region(region).selections.entry(*version).or_insert(0) += 1
+                }
+                Event::VersionDemoted { region, .. } => a.region(region).demotions += 1,
+                Event::VersionRestored { region, .. } => a.region(region).restores += 1,
+                Event::FallbackEngaged { region } => a.region(region).fallbacks += 1,
+                Event::Phase { name } => a.phase(name, r.dur_us),
+                Event::WorkerSpan { .. } => a.phase("batch.worker", r.dur_us),
+            }
+        }
+        a
+    }
+
+    /// The session currently being filled (records before any
+    /// `session_start` — e.g. archive warm-start reads happen framework-
+    /// side — fall into an implicit anonymous session).
+    fn session(&mut self) -> &mut SessionSummary {
+        if self.sessions.is_empty() {
+            self.sessions.push(SessionSummary::default());
+        }
+        self.sessions.last_mut().expect("just ensured non-empty")
+    }
+
+    fn region(&mut self, name: &str) -> &mut RegionReport {
+        self.regions.entry(name.to_string()).or_default()
+    }
+
+    fn phase(&mut self, name: &str, dur_us: u64) {
+        let s = self.phases.entry(name.to_string()).or_default();
+        s.calls += 1;
+        s.total_us += dur_us;
+    }
+
+    /// Render the human-readable report. Sections with nothing to say are
+    /// omitted, so a plain logical tuning trace reads as just its
+    /// convergence tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace: {} records", self.records);
+        for s in &self.sessions {
+            let _ = writeln!(out);
+            let name = if s.subject.is_empty() {
+                "(unnamed)"
+            } else {
+                &s.subject
+            };
+            let _ = writeln!(out, "session: {name} via {}", s.strategy);
+            let _ = writeln!(
+                out,
+                "  {:>9}  {:>8}  {:>5}  {:>12}",
+                "iteration", "E", "|S|", "V(S)"
+            );
+            for row in &s.rows {
+                let _ = writeln!(
+                    out,
+                    "  {:>9}  {:>8}  {:>5}  {:>12.6}",
+                    row.iteration, row.evaluations, row.size, row.hypervolume
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  batches={} reductions={} checkpoints={}",
+                s.batches, s.reductions, s.checkpoints
+            );
+            if let Some((reason, evals)) = &s.stop {
+                let _ = writeln!(out, "  stopped: {reason} after E={evals}");
+            }
+        }
+        if !self.phases.is_empty() {
+            let _ = writeln!(out, "\nphase times:");
+            for (name, st) in &self.phases {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} {:>6} calls  {:>12} us",
+                    name, st.calls, st.total_us
+                );
+            }
+        }
+        let f = &self.faults;
+        if f.retry_events > 0 || f.quarantine_events > 0 || f.summary.is_some() {
+            let _ = writeln!(out, "\nfaults:");
+            let _ = writeln!(
+                out,
+                "  retry events={} quarantine events={}",
+                f.retry_events, f.quarantine_events
+            );
+            if let Some((attempts, retries, timeouts, failures, extra, quarantined)) = f.summary {
+                let _ = writeln!(
+                    out,
+                    "  totals: attempts={attempts} retries={retries} timeouts={timeouts} \
+                     failures={failures} extra={extra} quarantined={quarantined}"
+                );
+            }
+        }
+        let ar = &self.archive;
+        if ar.hits + ar.misses + ar.added + ar.dropped > 0 {
+            let _ = writeln!(out, "\narchive:");
+            let _ = writeln!(
+                out,
+                "  reads: {} hit / {} miss; merges: +{} / -{} dominated",
+                ar.hits, ar.misses, ar.added, ar.dropped
+            );
+        }
+        if !self.regions.is_empty() {
+            let _ = writeln!(out, "\nversion selections:");
+            for (region, rep) in &self.regions {
+                let total: u64 = rep.selections.values().sum();
+                let _ = writeln!(out, "  region {region}: {total} invocations");
+                for (version, count) in &rep.selections {
+                    let bar_len = if total == 0 {
+                        0
+                    } else {
+                        (count * 40).div_ceil(total) as usize
+                    };
+                    let _ = writeln!(out, "    v{version:<3} {count:>8}  {}", "#".repeat(bar_len));
+                }
+                if rep.demotions + rep.restores + rep.fallbacks > 0 {
+                    let _ = writeln!(
+                        out,
+                        "    health: demotions={} restores={} fallbacks={}",
+                        rep.demotions, rep.restores, rep.fallbacks
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, event: Event) -> Record {
+        Record {
+            seq,
+            ts_us: 0,
+            dur_us: 0,
+            tid: 0,
+            event,
+        }
+    }
+
+    #[test]
+    fn convergence_rows_follow_front_updates() {
+        let records = vec![
+            rec(
+                1,
+                Event::SessionStart {
+                    subject: "mm".into(),
+                    strategy: "rs-gde3".into(),
+                },
+            ),
+            rec(
+                2,
+                Event::FrontUpdated {
+                    iteration: 0,
+                    evaluations: 30,
+                    size: 2,
+                    hypervolume: 0.0,
+                },
+            ),
+            rec(
+                3,
+                Event::FrontUpdated {
+                    iteration: 1,
+                    evaluations: 60,
+                    size: 3,
+                    hypervolume: 0.25,
+                },
+            ),
+            rec(
+                4,
+                Event::Stopped {
+                    reason: "budget".into(),
+                    evaluations: 60,
+                },
+            ),
+        ];
+        let a = Analysis::from_records(&records);
+        assert_eq!(a.sessions.len(), 1);
+        let s = &a.sessions[0];
+        assert_eq!(s.subject, "mm");
+        assert_eq!(
+            s.rows,
+            vec![
+                ConvergenceRow {
+                    iteration: 0,
+                    evaluations: 30,
+                    size: 2,
+                    hypervolume: 0.0
+                },
+                ConvergenceRow {
+                    iteration: 1,
+                    evaluations: 60,
+                    size: 3,
+                    hypervolume: 0.25
+                },
+            ]
+        );
+        assert_eq!(s.stop, Some(("budget".into(), 60)));
+        let text = a.render();
+        assert!(text.contains("session: mm via rs-gde3"), "{text}");
+        assert!(text.contains("stopped: budget after E=60"), "{text}");
+    }
+
+    #[test]
+    fn histogram_and_phase_sections_appear_when_populated() {
+        let mut records = vec![
+            rec(
+                1,
+                Event::VersionSelected {
+                    region: "mm".into(),
+                    version: 0,
+                },
+            ),
+            rec(
+                2,
+                Event::VersionSelected {
+                    region: "mm".into(),
+                    version: 0,
+                },
+            ),
+            rec(
+                3,
+                Event::VersionSelected {
+                    region: "mm".into(),
+                    version: 2,
+                },
+            ),
+        ];
+        records.push(Record {
+            seq: 3,
+            ts_us: 5,
+            dur_us: 120,
+            tid: 1,
+            event: Event::Phase {
+                name: "cachesim.compile".into(),
+            },
+        });
+        let a = Analysis::from_records(&records);
+        assert_eq!(a.regions["mm"].selections[&0], 2);
+        assert_eq!(a.regions["mm"].selections[&2], 1);
+        assert_eq!(
+            a.phases["cachesim.compile"],
+            PhaseStat {
+                calls: 1,
+                total_us: 120
+            }
+        );
+        let text = a.render();
+        assert!(text.contains("region mm: 3 invocations"), "{text}");
+        assert!(text.contains("cachesim.compile"), "{text}");
+    }
+
+    #[test]
+    fn events_before_session_start_join_an_anonymous_session() {
+        let records = vec![
+            rec(
+                1,
+                Event::BatchEvaluated {
+                    requested: 4,
+                    evaluated: 4,
+                    evaluations: 4,
+                    elapsed_us: None,
+                },
+            ),
+            rec(
+                2,
+                Event::SessionStart {
+                    subject: "mm".into(),
+                    strategy: "grid".into(),
+                },
+            ),
+        ];
+        let a = Analysis::from_records(&records);
+        assert_eq!(a.sessions.len(), 2);
+        assert_eq!(a.sessions[0].batches, 1);
+        assert_eq!(a.sessions[1].subject, "mm");
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end observability acceptance: a `Framework` run with `trace`
+//! set writes a JSONL file whose `moat-report` analysis reproduces the
+//! optimizer's own progress trace (`TuningReport::trace`) exactly —
+//! every `(|S|, V(S))` point, the final evaluation count `E`, and the
+//! stop reason. Also checks the metrics snapshot and the Chrome export.
+
+use moat::obs::export::{parse_jsonl, to_chrome, validate_jsonl};
+use moat::report::Analysis;
+use moat::{Framework, Kernel, MachineDesc};
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("moat-obs-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+#[test]
+fn report_matches_tuning_report_exactly() {
+    let trace_path = scratch("trace.jsonl");
+    let metrics_path = scratch("metrics.prom");
+
+    let mut fw = Framework::new(MachineDesc::westmere());
+    fw.tuner_params.max_generations = 6;
+    fw.trace = Some(trace_path.clone());
+    fw.metrics = Some(metrics_path.clone());
+    let tuned = fw.tune(Kernel::Mm.region(64)).expect("tuning succeeds");
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let n = validate_jsonl(&text).expect("trace validates");
+    let records = parse_jsonl(&text).expect("trace parses");
+    assert_eq!(n, records.len());
+
+    let analysis = Analysis::from_records(&records);
+    let session = analysis
+        .sessions
+        .iter()
+        .find(|s| !s.rows.is_empty())
+        .expect("trace contains a tuning session");
+    assert_eq!(session.strategy, "rs-gde3");
+
+    // The convergence table IS the optimizer's progress trace.
+    let report = &tuned.result;
+    assert_eq!(
+        session.rows.len(),
+        report.trace.len(),
+        "front-update count differs from TuningReport::trace"
+    );
+    for (row, sig) in session.rows.iter().zip(&report.trace) {
+        assert_eq!(row.size, sig.size as u64, "front size differs");
+        assert_eq!(row.hypervolume, sig.hv, "hypervolume differs");
+    }
+    // E is monotone across the table and ends at the report's total.
+    assert!(session
+        .rows
+        .windows(2)
+        .all(|w| w[0].evaluations <= w[1].evaluations));
+    let (reason, evals) = session.stop.as_ref().expect("session stopped");
+    assert_eq!(*evals, report.evaluations);
+    assert_eq!(reason, report.stop.name());
+
+    // The metrics snapshot agrees on the headline counters.
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics written");
+    assert!(
+        metrics.contains(&format!("moat_evaluations_total {}", report.evaluations)),
+        "metrics missing evaluation total:\n{metrics}"
+    );
+    assert!(metrics.contains("moat_front_size"), "{metrics}");
+
+    // The Chrome view of the same records is well-formed JSON with one
+    // entry per record.
+    let chrome = to_chrome(&records);
+    assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+    assert_eq!(chrome.matches("\"cat\":\"moat\"").count(), records.len());
+}
+
+#[test]
+fn untraced_runs_write_nothing_and_match_traced_results() {
+    let trace_path = scratch("paired.jsonl");
+
+    let mut plain = Framework::new(MachineDesc::westmere());
+    plain.tuner_params.max_generations = 4;
+    let a = plain.tune(Kernel::Mm.region(64)).expect("plain run");
+
+    let mut traced = Framework::new(MachineDesc::westmere());
+    traced.tuner_params.max_generations = 4;
+    traced.trace = Some(trace_path.clone());
+    let b = traced.tune(Kernel::Mm.region(64)).expect("traced run");
+
+    // Tracing must not perturb the tuning outcome.
+    assert_eq!(a.result.front.points(), b.result.front.points());
+    assert_eq!(a.result.evaluations, b.result.evaluations);
+    assert_eq!(a.result.trace, b.result.trace);
+    assert_eq!(a.source_c, b.source_c);
+    assert!(trace_path.exists());
+}
