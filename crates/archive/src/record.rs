@@ -3,15 +3,24 @@
 use crate::key::ArchiveKey;
 use crate::store::ArchiveError;
 use moat_core::metrics::{hypervolume, normalize_front, objective_bounds};
-use moat_core::{ParamSpace, ParetoFront, Point, TuningReport, WarmStart};
+use moat_core::{BackendId, ParamSpace, ParetoFront, Point, TuningReport, WarmStart};
 use moat_ir::Skeleton;
 use moat_machine::{MachineDesc, MachineFeatures};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// On-disk format version. Bump on any change to the record layout that an
 /// older reader would misinterpret; readers reject records from the future
 /// and accept records from the past (see EXPERIMENTS.md for the policy).
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// * v1 — original layout, no provenance anywhere.
+/// * v2 — front points may carry a per-point [`Provenance`] tag (backend
+///   id + machine fingerprint). v1 records load unchanged (every point
+///   reads back with no provenance) and are upgraded to v2 in memory, so
+///   the next save rewrites them as v2.
+///
+/// [`Provenance`]: moat_core::Provenance
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Counts returned by a front merge.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -103,11 +112,44 @@ impl ArchiveRecord {
         stats
     }
 
+    /// Distinct backend identities present in the front, sorted; points
+    /// without provenance (every v1 point) contribute a `None` entry.
+    pub fn backend_set(&self) -> BTreeSet<Option<BackendId>> {
+        self.front
+            .iter()
+            .map(|p| p.provenance.as_ref().map(|pr| pr.backend.clone()))
+            .collect()
+    }
+
     /// Merge another record for the same key into this one: fronts are
     /// merged with dominance dedup, evaluation counts and run counts are
     /// summed. Fails on key/format/name mismatches (merging fronts with
-    /// different parameter or objective meanings would corrupt the entry).
+    /// different parameter or objective meanings would corrupt the entry)
+    /// and refuses to silently collapse records whose fronts come from
+    /// different backends — use [`merge_across_backends`] to combine those
+    /// deliberately.
+    ///
+    /// [`merge_across_backends`]: Self::merge_across_backends
     pub fn merge(&mut self, other: &ArchiveRecord) -> Result<MergeStats, ArchiveError> {
+        self.merge_with(other, false)
+    }
+
+    /// Like [`merge`](Self::merge), but deliberately combines fronts from
+    /// different backends. The merged front is dominance-deduplicated
+    /// across backends and each surviving point keeps the provenance it was
+    /// measured with.
+    pub fn merge_across_backends(
+        &mut self,
+        other: &ArchiveRecord,
+    ) -> Result<MergeStats, ArchiveError> {
+        self.merge_with(other, true)
+    }
+
+    fn merge_with(
+        &mut self,
+        other: &ArchiveRecord,
+        across_backends: bool,
+    ) -> Result<MergeStats, ArchiveError> {
         if other.format_version > FORMAT_VERSION {
             return Err(ArchiveError::Format(format!(
                 "record format v{} is newer than supported v{FORMAT_VERSION}",
@@ -128,6 +170,26 @@ impl ArchiveRecord {
                 self.param_names,
                 other.objective_names,
                 self.objective_names
+            )));
+        }
+        // Empty fronts carry no backends and are compatible with anything.
+        if !across_backends
+            && !self.front.is_empty()
+            && !other.front.is_empty()
+            && self.backend_set() != other.backend_set()
+        {
+            let render = |s: &BTreeSet<Option<BackendId>>| {
+                s.iter()
+                    .map(|b| b.as_ref().map_or("-".to_string(), |id| id.to_string()))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            return Err(ArchiveError::Format(format!(
+                "backend mismatch for key {}: [{}] vs [{}] (pass --merge-across-backends \
+                 to combine fronts from different backends)",
+                self.key,
+                render(&other.backend_set()),
+                render(&self.backend_set())
             )));
         }
         self.evaluations += other.evaluations;
@@ -181,9 +243,11 @@ impl ArchiveRecord {
         serde_json::to_string_pretty(self).expect("record serialization cannot fail")
     }
 
-    /// Parse a record, rejecting formats newer than this reader.
+    /// Parse a record, rejecting formats newer than this reader. Past
+    /// formats are upgraded in memory (v1 points simply carry no
+    /// provenance), so a loaded record re-saves as the current version.
     pub fn from_json(s: &str) -> Result<ArchiveRecord, ArchiveError> {
-        let rec: ArchiveRecord =
+        let mut rec: ArchiveRecord =
             serde_json::from_str(s).map_err(|e| ArchiveError::Format(e.to_string()))?;
         if rec.format_version > FORMAT_VERSION {
             return Err(ArchiveError::Format(format!(
@@ -191,6 +255,7 @@ impl ArchiveRecord {
                 rec.format_version
             )));
         }
+        rec.format_version = FORMAT_VERSION;
         Ok(rec)
     }
 }
@@ -198,6 +263,7 @@ impl ArchiveRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use moat_core::{BackendKind, Provenance};
 
     fn record(points: Vec<Point>) -> ArchiveRecord {
         let mut rec = ArchiveRecord {
@@ -264,6 +330,47 @@ mod tests {
         let back = ArchiveRecord::from_json(&json).unwrap();
         assert_eq!(back, rec);
         assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn v1_record_upgrades_to_current_format() {
+        // A v1 document: same layout, `format_version: 1`, no provenance
+        // anywhere (the field did not exist).
+        let mut rec = record(vec![
+            Point::new(vec![16, 10], vec![0.1, 3.5]),
+            Point::new(vec![32, 5], vec![0.25, 2.0]),
+        ]);
+        rec.format_version = 1;
+        let v1_json = serde_json::to_string_pretty(&rec).unwrap();
+        assert!(v1_json.contains("\"format_version\": 1"));
+        assert!(!v1_json.contains("provenance"));
+
+        // Loading upgrades in memory: current version, points untagged.
+        let loaded = ArchiveRecord::from_json(&v1_json).unwrap();
+        assert_eq!(loaded.format_version, FORMAT_VERSION);
+        assert!(loaded.front.iter().all(|p| p.provenance.is_none()));
+        assert_eq!(loaded.front, rec.front);
+
+        // Re-saving writes the current format; the upgraded document then
+        // round-trips byte-identically.
+        let v2_json = loaded.to_json();
+        assert!(v2_json.contains(&format!("\"format_version\": {FORMAT_VERSION}")));
+        assert_eq!(
+            ArchiveRecord::from_json(&v2_json).unwrap().to_json(),
+            v2_json
+        );
+
+        // And a v1 record merges into a tagged v2 record only with the
+        // explicit cross-backend variant (untagged ≠ tagged backends).
+        let mut tagged = record(vec![Point::with_provenance(
+            vec![8, 20],
+            vec![0.05, 4.0],
+            Provenance::new(BackendId::new(BackendKind::Analytic, "model"), 3),
+        )]);
+        assert!(tagged.merge(&loaded).is_err());
+        tagged.merge_across_backends(&loaded).unwrap();
+        assert!(tagged.front.iter().any(|p| p.provenance.is_none()));
+        assert!(tagged.front.iter().any(|p| p.provenance.is_some()));
     }
 
     #[test]

@@ -133,13 +133,38 @@ impl Archive {
     }
 
     /// Insert a record, merging (dominance-aware dedup, counters summed)
-    /// with any existing record for the same key. Returns the merge stats
-    /// (a first insert counts every front point as inserted). The write is
-    /// atomic: temp file + rename.
+    /// with any existing record for the same key. Refuses to merge a record
+    /// whose front comes from different backends than the stored one (see
+    /// [`ArchiveRecord::merge`]); use
+    /// [`insert_across_backends`](Self::insert_across_backends) for that.
+    /// Returns the merge stats (a first insert counts every front point as
+    /// inserted). The write is atomic: temp file + rename.
     pub fn insert(&self, record: &ArchiveRecord) -> Result<MergeStats, ArchiveError> {
+        self.insert_with(record, false)
+    }
+
+    /// Like [`insert`](Self::insert), but deliberately merges fronts from
+    /// different backends (dominance-aware, provenance preserved per
+    /// point).
+    pub fn insert_across_backends(
+        &self,
+        record: &ArchiveRecord,
+    ) -> Result<MergeStats, ArchiveError> {
+        self.insert_with(record, true)
+    }
+
+    fn insert_with(
+        &self,
+        record: &ArchiveRecord,
+        across_backends: bool,
+    ) -> Result<MergeStats, ArchiveError> {
         let (merged, stats) = match self.get(&record.key)? {
             Some(mut existing) => {
-                let stats = existing.merge(record)?;
+                let stats = if across_backends {
+                    existing.merge_across_backends(record)?
+                } else {
+                    existing.merge(record)?
+                };
                 (existing, stats)
             }
             None => {

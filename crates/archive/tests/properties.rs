@@ -6,8 +6,8 @@
 use moat_archive::{ArchiveKey, ArchiveRecord, FORMAT_VERSION};
 use moat_core::metrics::{hypervolume, normalize_front};
 use moat_core::{
-    dominates, BatchEval, Config, Domain, Gde3Params, ParamSpace, Point, RsGde3Params, RsGde3Tuner,
-    TuningReport, TuningSession,
+    dominates, BackendId, BackendKind, BatchEval, Config, Domain, Gde3Params, ParamSpace, Point,
+    Provenance, RsGde3Params, RsGde3Tuner, TuningReport, TuningSession,
 };
 use moat_machine::MachineDesc;
 use proptest::prelude::*;
@@ -40,6 +40,25 @@ fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
         n,
     )
     .prop_map(|v| v.into_iter().map(|(c, o)| Point::new(c, o)).collect())
+}
+
+/// Like [`points`], but every point is tagged with the given backend's
+/// provenance (fingerprint matching the shared test key's machine field).
+fn tagged_points(
+    n: std::ops::Range<usize>,
+    variant: &'static str,
+) -> impl Strategy<Value = Vec<Point>> {
+    points(n).prop_map(move |pts| {
+        pts.into_iter()
+            .map(|p| {
+                Point::with_provenance(
+                    p.config,
+                    p.objectives,
+                    Provenance::new(BackendId::new(BackendKind::Analytic, variant), 33),
+                )
+            })
+            .collect()
+    })
 }
 
 /// Hypervolume under the fixed bounds all generated objectives live in.
@@ -113,6 +132,46 @@ proptest! {
         let hv = hv_fixed(&merged.front);
         prop_assert!(hv >= hv_fixed(&rec_a.front) - 1e-9);
         prop_assert!(hv >= hv_fixed(&rec_b.front) - 1e-9);
+    }
+
+    /// Cross-backend merges: the default merge refuses to conflate fronts
+    /// recorded by different backends; the explicit variant combines them
+    /// dominance-aware, every surviving point keeping the provenance it was
+    /// measured with (no point silently reattributed to another backend).
+    #[test]
+    fn cross_backend_merge_is_dominance_aware(
+        a in tagged_points(1..10, "b0"),
+        b in tagged_points(1..10, "b1"),
+    ) {
+        let rec_a = record(a.clone());
+        let rec_b = record(b.clone());
+        // `record` may drop dominated generator points; refusal applies
+        // whenever both canonical fronts are non-empty (always, n >= 1).
+        let mut refused = rec_a.clone();
+        prop_assert!(refused.merge(&rec_b).is_err(), "cross-backend merge must refuse by default");
+
+        let mut merged = rec_a.clone();
+        merged.merge_across_backends(&rec_b).unwrap();
+        for p in &merged.front {
+            for q in &merged.front {
+                prop_assert!(!dominates(&p.objectives, &q.objectives));
+            }
+            // Provenance preserved: each survivor is one of the inputs,
+            // byte-for-byte (config, objectives, and backend tag).
+            let from_input = rec_a.front.iter().chain(&rec_b.front).any(|q| q == p);
+            prop_assert!(from_input, "merged point lost or reattributed: {p:?}");
+        }
+        // The merged front covers both inputs and never loses quality.
+        let hv = hv_fixed(&merged.front);
+        prop_assert!(hv >= hv_fixed(&rec_a.front) - 1e-9);
+        prop_assert!(hv >= hv_fixed(&rec_b.front) - 1e-9);
+        // Idempotent under repetition, like same-backend merges.
+        let again = {
+            let mut m = merged.clone();
+            m.merge_across_backends(&rec_b).unwrap();
+            m.front
+        };
+        prop_assert_eq!(again, merged.front);
     }
 }
 

@@ -49,6 +49,14 @@ struct AnalyticReport {
 }
 
 #[derive(Serialize)]
+struct BackendEvalReport {
+    backend: &'static str,
+    evals: usize,
+    wall_s: f64,
+    evals_per_s: f64,
+}
+
+#[derive(Serialize)]
 struct TuningWallReport {
     strategy: &'static str,
     wall_s: f64,
@@ -76,6 +84,7 @@ struct BenchReport {
     machine: &'static str,
     cachesim: CachesimReport,
     analytic_eval: AnalyticReport,
+    backend_eval: Vec<BackendEvalReport>,
     tuning: TuningWallReport,
     tracing: TracingOverheadReport,
 }
@@ -94,6 +103,29 @@ fn hierarchy(cores: usize) -> MultiCoreHierarchy {
         cores,
         prefetch_depth: 2,
     })
+}
+
+/// Throughput of one roster backend's evaluator on a shared probe config
+/// (the per-backend cost of the `config × backend` product space).
+fn backend_throughput<E: Evaluator>(
+    backend: &'static str,
+    ev: &E,
+    cfg: &[i64],
+    evals: usize,
+) -> BackendEvalReport {
+    let cfg = cfg.to_vec();
+    assert!(ev.evaluate(&cfg).is_some(), "probe config must be feasible");
+    let t = Instant::now();
+    for _ in 0..evals {
+        black_box(ev.evaluate(black_box(&cfg)));
+    }
+    let wall_s = t.elapsed().as_secs_f64();
+    BackendEvalReport {
+        backend,
+        evals,
+        wall_s,
+        evals_per_s: evals as f64 / wall_s,
+    }
 }
 
 /// Minimum wall-clock over `reps` runs of `f` (first run included: the
@@ -164,6 +196,26 @@ fn main() {
     }
     let eval_s = eval_t.elapsed().as_secs_f64();
 
+    // --- 2b. per-backend evaluation throughput (the multi-backend axis) ---
+    // One region analyzed with alternative skeletons so the `alt1` backend
+    // exists; each roster backend's evaluator is timed on the same probe
+    // config it would see inside a BackendSet product space.
+    let mut alt_cfg =
+        moat_ir::AnalyzerConfig::for_threads((1..=setup.machine.total_cores() as i64).collect());
+    alt_cfg.alternatives = true;
+    // Paper-size region (matching `setup.region`), NOT the smoke-shrunk
+    // cachesim instance: the probe config must lie in the tile domains.
+    let alt_region = moat_ir::analyze(Kernel::Mm.region(Kernel::Mm.info().paper_size), &alt_cfg)
+        .expect("tileable");
+    let unroll_ev =
+        moat::FixedUnrollEvaluator::new(&alt_region, &alt_region.skeletons[0], &setup.model, 4);
+    let alt_ev = moat::AltSkeletonEvaluator::new(&alt_region, &setup.model, 1);
+    let backend_eval = vec![
+        backend_throughput("model", &ev, &cfg, evals),
+        backend_throughput("unroll4", &unroll_ev, &cfg, evals),
+        backend_throughput("alt1", &alt_ev, &cfg, evals),
+    ];
+
     // --- 3. end-to-end tuning wall-clock (RS-GDE3, mm/Westmere) ---
     let params = RsGde3Params {
         max_generations: tuning_generations.min(RsGde3Params::default().max_generations),
@@ -232,6 +284,7 @@ fn main() {
             wall_s: eval_s,
             evals_per_s: evals as f64 / eval_s,
         },
+        backend_eval,
         tuning: TuningWallReport {
             strategy: "rs-gde3",
             wall_s: tuning_s,

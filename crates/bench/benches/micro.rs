@@ -132,6 +132,7 @@ fn bench_scheduler(c: &mut Criterion) {
                     objectives: vec![(4.0 + i as f64) / t as f64 * 1.1, 4.0 + i as f64],
                     threads: t,
                     label: format!("{t}t"),
+                    backend: None,
                 })
                 .collect(),
         })

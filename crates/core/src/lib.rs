@@ -22,7 +22,9 @@
 //!   `E`, solution count `|S|` and hypervolume `V(S)`, plus IGD and
 //!   additive epsilon, and
 //! * [`evaluate`] — objective-function plumbing: counting, caching and
-//!   parallel batch evaluation (paper §III-A, label 3).
+//!   parallel batch evaluation (paper §III-A, label 3), and
+//! * [`backend`] — backend identity and provenance, plus the [`BackendSet`]
+//!   product-space evaluator that makes the backend itself a tunable axis.
 //!
 //! The optimizer is deliberately independent of what the parameters *mean*
 //! (paper §III-B: "de facto independent of the actual interpretation of the
@@ -31,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod checkpoint;
 pub mod evaluate;
 pub mod fault;
@@ -59,6 +62,7 @@ pub use random::random_search;
 #[allow(deprecated)]
 pub use wsum::weighted_sweep;
 
+pub use backend::{BackendId, BackendKind, BackendSet, Provenance, BACKEND_PARAM};
 pub use checkpoint::{
     rng_from_state, CheckpointError, CheckpointSink, MemorySink, SessionCheckpoint, TunerState,
     CHECKPOINT_FORMAT_VERSION,

@@ -4,22 +4,73 @@
 //! no worse in every objective and strictly better in at least one (the
 //! standard definition used by the paper's formalization in §III-B.1).
 
+use crate::backend::Provenance;
 use crate::space::Config;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
-/// An evaluated point: configuration plus objective vector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// An evaluated point: configuration plus objective vector, optionally
+/// tagged with the [`Provenance`] of the backend that measured it.
+///
+/// Provenance never participates in dominance — two points with identical
+/// objectives are duplicates regardless of backend — and `None` serializes
+/// to the exact pre-provenance JSON (the field is omitted entirely), so
+/// single-backend runs stay byte-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Point {
     /// The configuration.
     pub config: Config,
     /// Its objective values (all minimized).
     pub objectives: Vec<f64>,
+    /// Backend/machine the measurement came from, when known.
+    pub provenance: Option<Provenance>,
+}
+
+// Hand-written (rather than derived) so a `None` provenance is omitted
+// from the map instead of serialized as `null` — pre-provenance JSON
+// outputs must stay byte-identical.
+impl Serialize for Point {
+    fn to_value(&self) -> Value {
+        let mut m = vec![
+            ("config".to_string(), self.config.to_value()),
+            ("objectives".to_string(), self.objectives.to_value()),
+        ];
+        if let Some(p) = &self.provenance {
+            m.push(("provenance".to_string(), p.to_value()));
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for Point {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::custom("Point: expected map"))?;
+        Ok(Point {
+            config: serde::from_field(m, "config")?,
+            objectives: serde::from_field(m, "objectives")?,
+            provenance: serde::from_field(m, "provenance")?,
+        })
+    }
 }
 
 impl Point {
-    /// Create a point.
+    /// Create a point with no provenance.
     pub fn new(config: Config, objectives: Vec<f64>) -> Self {
-        Point { config, objectives }
+        Point {
+            config,
+            objectives,
+            provenance: None,
+        }
+    }
+
+    /// Create a point tagged with the backend that measured it.
+    pub fn with_provenance(config: Config, objectives: Vec<f64>, provenance: Provenance) -> Self {
+        Point {
+            config,
+            objectives,
+            provenance: Some(provenance),
+        }
     }
 }
 

@@ -8,12 +8,13 @@
 
 use moat_archive::ArchiveRecord;
 use moat_core::pareto::ParetoFront;
+use moat_core::Provenance;
 use moat_ir::Skeleton;
 use moat_runtime::VersionMeta;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// One specialized code version.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VersionEntry {
     /// The tuning-parameter assignment this version was specialized for.
     pub values: Vec<i64>,
@@ -24,6 +25,42 @@ pub struct VersionEntry {
     pub threads: usize,
     /// Human-readable label, e.g. `"tile_i=32 tile_j=288 tile_k=9 threads=10"`.
     pub label: String,
+    /// Backend/machine the version's measurements came from, when known.
+    /// Tables may mix entries from different backends; single-backend
+    /// tables keep `None` and serialize exactly as before.
+    pub provenance: Option<Provenance>,
+}
+
+// Hand-written so a `None` provenance is omitted rather than serialized as
+// `null` — pre-provenance version tables must stay byte-identical.
+impl Serialize for VersionEntry {
+    fn to_value(&self) -> Value {
+        let mut m = vec![
+            ("values".to_string(), self.values.to_value()),
+            ("objectives".to_string(), self.objectives.to_value()),
+            ("threads".to_string(), self.threads.to_value()),
+            ("label".to_string(), self.label.to_value()),
+        ];
+        if let Some(p) = &self.provenance {
+            m.push(("provenance".to_string(), p.to_value()));
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for VersionEntry {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::custom("VersionEntry: expected map"))?;
+        Ok(VersionEntry {
+            values: serde::from_field(m, "values")?,
+            objectives: serde::from_field(m, "objectives")?,
+            threads: serde::from_field(m, "threads")?,
+            label: serde::from_field(m, "label")?,
+            provenance: serde::from_field(m, "provenance")?,
+        })
+    }
 }
 
 /// The per-region table of specialized versions.
@@ -70,6 +107,7 @@ impl VersionTable {
                     objectives: p.objectives.clone(),
                     threads,
                     label,
+                    provenance: p.provenance.clone(),
                 }
             })
             .collect();
@@ -114,6 +152,7 @@ impl VersionTable {
                     objectives: p.objectives.clone(),
                     threads,
                     label,
+                    provenance: p.provenance.clone(),
                 }
             })
             .collect();
@@ -141,7 +180,10 @@ impl VersionTable {
     }
 
     /// Runtime metadata view (consumed by `moat-runtime` selection
-    /// policies).
+    /// policies). Provenance crosses the crate boundary as a rendered
+    /// backend id string: the runtime deliberately does not depend on
+    /// `moat-core`, so it carries an opaque label rather than the typed
+    /// [`Provenance`].
     pub fn runtime_meta(&self) -> Vec<VersionMeta> {
         self.versions
             .iter()
@@ -149,8 +191,22 @@ impl VersionTable {
                 objectives: v.objectives.clone(),
                 threads: v.threads,
                 label: v.label.clone(),
+                backend: v.provenance.as_ref().map(|p| p.backend.to_string()),
             })
             .collect()
+    }
+
+    /// Distinct rendered backend ids present in the table, sorted, with
+    /// `None` (legacy/single-backend) entries omitted.
+    pub fn backend_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .versions
+            .iter()
+            .filter_map(|v| v.provenance.as_ref().map(|p| p.backend.to_string()))
+            .collect();
+        names.sort();
+        names.dedup();
+        names
     }
 
     /// Prune the table to at most `k` versions: the per-objective champions
@@ -356,6 +412,48 @@ mod tests {
         );
         let back = VersionTable::from_json(&t.to_json()).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn mixed_backend_table_json_roundtrip() {
+        use moat_core::{BackendId, BackendKind, Provenance};
+
+        // A front mixing tagged (two distinct backends) and untagged
+        // points: the table must serialize every provenance faithfully and
+        // reparse to an identical value.
+        let mut front = ParetoFront::new();
+        front.insert(Point::with_provenance(
+            vec![32, 8, 4, 16],
+            vec![1.0, 16.0],
+            Provenance::new(BackendId::new(BackendKind::Analytic, "model"), 7),
+        ));
+        front.insert(Point::with_provenance(
+            vec![16, 8, 4, 8],
+            vec![2.0, 12.0],
+            Provenance::new(BackendId::new(BackendKind::Native, "ikj"), 7),
+        ));
+        front.insert(Point::new(vec![8, 8, 4, 4], vec![4.0, 10.0]));
+
+        let t = VersionTable::from_front(
+            "mm",
+            &skeleton(),
+            &front,
+            vec!["time".into(), "resources".into()],
+            Some(3),
+        );
+        assert_eq!(
+            t.backend_names(),
+            vec!["analytic:model".to_string(), "native:ikj".to_string()]
+        );
+        let json = t.to_json();
+        let back = VersionTable::from_json(&json).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.to_json(), json, "reserialization is byte-stable");
+        // Tagged and untagged entries coexist; runtime metadata carries
+        // the rendered backend id along (None for untagged versions).
+        let meta = back.runtime_meta();
+        assert_eq!(meta.iter().filter(|m| m.backend.is_some()).count(), 2);
+        assert_eq!(meta.iter().filter(|m| m.backend.is_none()).count(), 1);
     }
 
     #[test]

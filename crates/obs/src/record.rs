@@ -165,6 +165,17 @@ pub enum Event {
         /// Region name.
         region: String,
     },
+    /// The runtime selector picked a version whose measurements carry a
+    /// backend provenance tag (emitted alongside [`Event::VersionSelected`]
+    /// for mixed-backend tables only).
+    BackendSelected {
+        /// Region name.
+        region: String,
+        /// Selected version index.
+        version: u64,
+        /// Rendered backend id (e.g. `native:ikj-u4`).
+        backend: String,
+    },
 
     // ── wall-mode timing spans ──────────────────────────────────────────
     /// A named phase of work (cachesim compile / stream / LLC merge, …).
@@ -211,6 +222,7 @@ impl Event {
             Event::VersionDemoted { .. } => "version_demoted",
             Event::VersionRestored { .. } => "version_restored",
             Event::FallbackEngaged { .. } => "fallback_engaged",
+            Event::BackendSelected { .. } => "backend_selected",
             Event::Phase { .. } => "phase",
             Event::WorkerSpan { .. } => "worker_span",
         }

@@ -88,6 +88,7 @@ impl AdaptiveSelector {
                         .collect(),
                     threads: v.threads,
                     label: v.label.clone(),
+                    backend: v.backend.clone(),
                 }
             })
             .collect()
@@ -153,11 +154,13 @@ mod tests {
                 objectives: vec![1.0, 4.0],
                 threads: 4,
                 label: "fast".into(),
+                backend: None,
             },
             VersionMeta {
                 objectives: vec![2.0, 2.0],
                 threads: 1,
                 label: "frugal".into(),
+                backend: None,
             },
         ]
     }

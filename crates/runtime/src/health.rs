@@ -273,16 +273,19 @@ mod tests {
                 objectives: vec![0.100, 0.100],
                 threads: 1,
                 label: "serial".into(),
+                backend: None,
             },
             VersionMeta {
                 objectives: vec![0.020, 0.160],
                 threads: 8,
                 label: "t8".into(),
+                backend: None,
             },
             VersionMeta {
                 objectives: vec![0.010, 0.320],
                 threads: 32,
                 label: "t32".into(),
+                backend: None,
             },
         ]
     }

@@ -85,6 +85,15 @@ impl VersionRegistry {
                 region: region.to_string(),
                 version: idx as u64,
             });
+            // Mixed-backend tables additionally record *which backend's*
+            // version won; single-backend tables stay trace-identical.
+            if let Some(backend) = &table[idx].backend {
+                moat_obs::emit(moat_obs::Event::BackendSelected {
+                    region: region.to_string(),
+                    version: idx as u64,
+                    backend: backend.clone(),
+                });
+            }
         }
         Some((idx, &table[idx]))
     }
@@ -112,16 +121,19 @@ mod tests {
                 objectives: vec![100.0, 100.0],
                 threads: 1,
                 label: "t1".into(),
+                backend: None,
             },
             VersionMeta {
                 objectives: vec![10.0, 110.0],
                 threads: 10,
                 label: "t10".into(),
+                backend: None,
             },
             VersionMeta {
                 objectives: vec![4.0, 160.0],
                 threads: 40,
                 label: "t40".into(),
+                backend: None,
             },
         ]
     }

@@ -271,6 +271,7 @@ mod tests {
                     objectives: vec![serial_time / (t as f64 * e), serial_time / e],
                     threads: t,
                     label: format!("{t}t"),
+                    backend: None,
                 })
                 .collect(),
         }
@@ -357,6 +358,7 @@ mod tests {
                 objectives: vec![1.0, 8.0],
                 threads: 8,
                 label: "8t".into(),
+                backend: None,
             }],
         };
         schedule(&[t], 4);

@@ -8,11 +8,11 @@
 //! (`argmin_v Σ_c w_c · f_c(v)`); this module provides that policy plus a
 //! set of practically useful alternatives.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Metadata of one code version, as embedded in the version table by the
 /// multi-versioning backend (Fig. 6 of the paper).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VersionMeta {
     /// Objective values of this version (all minimized; for the paper's
     /// instantiation: `[execution time, resource usage]`).
@@ -21,6 +21,41 @@ pub struct VersionMeta {
     pub threads: usize,
     /// Human-readable description (e.g. the tile sizes).
     pub label: String,
+    /// Rendered backend id the version's measurements came from (e.g.
+    /// `"native:ikj-u4"`), when the table mixes backends. The runtime
+    /// keeps this as an opaque string — the dependency arrow points
+    /// compiler → runtime, so the typed provenance stays in `moat-core`.
+    pub backend: Option<String>,
+}
+
+// Hand-written so a `None` backend is omitted rather than serialized as
+// `null` — pre-provenance tables must stay byte-identical.
+impl Serialize for VersionMeta {
+    fn to_value(&self) -> Value {
+        let mut m = vec![
+            ("objectives".to_string(), self.objectives.to_value()),
+            ("threads".to_string(), self.threads.to_value()),
+            ("label".to_string(), self.label.to_value()),
+        ];
+        if let Some(b) = &self.backend {
+            m.push(("backend".to_string(), b.to_value()));
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for VersionMeta {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::custom("VersionMeta: expected map"))?;
+        Ok(VersionMeta {
+            objectives: serde::from_field(m, "objectives")?,
+            threads: serde::from_field(m, "threads")?,
+            label: serde::from_field(m, "label")?,
+            backend: serde::from_field(m, "backend")?,
+        })
+    }
 }
 
 /// Dynamic context a policy may take into account.
@@ -157,26 +192,31 @@ mod tests {
                 objectives: vec![100.0, 100.0],
                 threads: 1,
                 label: "t1".into(),
+                backend: None,
             },
             VersionMeta {
                 objectives: vec![21.0, 105.0],
                 threads: 5,
                 label: "t5".into(),
+                backend: None,
             },
             VersionMeta {
                 objectives: vec![11.0, 110.0],
                 threads: 10,
                 label: "t10".into(),
+                backend: None,
             },
             VersionMeta {
                 objectives: vec![6.0, 120.0],
                 threads: 20,
                 label: "t20".into(),
+                backend: None,
             },
             VersionMeta {
                 objectives: vec![4.0, 160.0],
                 threads: 40,
                 label: "t40".into(),
+                backend: None,
             },
         ]
     }

@@ -25,6 +25,7 @@ fn task_strategy(cores: usize) -> impl Strategy<Value = Task> {
                             objectives: vec![serial / (t as f64 * eff), serial / eff],
                             threads: t,
                             label: format!("{t}t"),
+                            backend: None,
                         }
                     })
                     .collect(),
@@ -142,6 +143,7 @@ proptest! {
                 objectives: vec![t, r],
                 threads: i + 1,
                 label: format!("v{i}"),
+                backend: None,
             })
             .collect();
         let ctx = SelectionContext { available_threads: Some(cap) };

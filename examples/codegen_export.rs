@@ -1,13 +1,49 @@
 //! Source-to-source export: tune a region and write the backend artifacts
-//! to disk — the multi-versioned C (OpenMP) translation unit and the
-//! version table as JSON (the paper's Fig. 6 artifacts).
+//! to disk — the multi-versioned C (OpenMP) translation unit, the version
+//! table as JSON (the paper's Fig. 6 artifacts), and a *variant
+//! descriptor* per exported source describing each version's concrete
+//! code shape (loop order, unroll factor, thread count, backend
+//! provenance).
 //!
 //! ```sh
 //! cargo run --release --example codegen_export [output-dir]
 //! ```
 
-use moat::{Framework, Kernel, MachineDesc};
+use moat::{Framework, Kernel, MachineDesc, TunedRegion};
 use std::path::PathBuf;
+
+/// Render the per-version variant descriptors as a JSON array: one entry
+/// per emitted version, index-aligned with the version table and the
+/// generated C. The loop order is the transformed nest's loops outermost
+/// first — structurally different backends (e.g. the alternative skeleton)
+/// show a different order and depth.
+fn variant_descriptors(tuned: &TunedRegion) -> String {
+    let mut out = String::from("[\n");
+    for (i, (entry, variant)) in tuned.table.versions.iter().zip(&tuned.variants).enumerate() {
+        let loop_order: Vec<String> = variant
+            .nest
+            .loops
+            .iter()
+            .map(|l| format!("\"{}\"", l.name))
+            .collect();
+        let backend = match &entry.provenance {
+            Some(p) => format!("\"{}\"", p.backend),
+            None => "null".into(),
+        };
+        let values: Vec<String> = entry.values.iter().map(|v| v.to_string()).collect();
+        out.push_str(&format!(
+            "  {{\"version\": {i}, \"backend\": {backend}, \"loop_order\": [{}], \"depth\": {}, \"unroll\": {}, \"threads\": {}, \"values\": [{}]}}{}\n",
+            loop_order.join(", "),
+            variant.nest.depth(),
+            variant.unroll,
+            variant.threads,
+            values.join(", "),
+            if i + 1 < tuned.table.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
 
 fn main() {
     let out_dir: PathBuf = std::env::args()
@@ -16,26 +52,42 @@ fn main() {
         .into();
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
 
-    let mut fw = Framework::new(MachineDesc::westmere());
-    fw.tuner_params.max_generations = 20;
+    // mm is tuned over a two-backend roster (plain model + alternative
+    // skeleton): its exported sources mix structurally different code
+    // shapes, and the descriptors record which backend shaped each one.
+    let mut mixed = Framework::new(MachineDesc::westmere());
+    mixed.tuner_params.max_generations = 20;
+    mixed.backends = vec!["model".into(), "alt1".into()];
+    mixed.noise = None; // exact surfaces keep both backends on the front
+                        // jacobi-2d keeps the classic single-backend path.
+    let mut plain = Framework::new(MachineDesc::westmere());
+    plain.tuner_params.max_generations = 20;
 
-    for kernel in [Kernel::Mm, Kernel::Jacobi2d] {
-        let region = kernel.region(512);
+    // mm at N=160, where the two backends' surfaces genuinely cross and
+    // the converged front keeps versions from both (at large N the fully
+    // tiled skeleton simply wins and the front would be single-backend);
+    // jacobi-2d at the usual N=512.
+    for (fw, kernel, size) in [(&mixed, Kernel::Mm, 160), (&plain, Kernel::Jacobi2d, 512)] {
+        let region = kernel.region(size);
         let name = region.name.clone();
         let tuned = fw.tune(region).expect("tuning failed");
 
         let stem = name.replace('-', "_");
         let c_path = out_dir.join(format!("{stem}_multiversion.c"));
         let json_path = out_dir.join(format!("{stem}_versions.json"));
+        let desc_path = out_dir.join(format!("{stem}_variants.json"));
         std::fs::write(&c_path, &tuned.source_c).expect("write C file");
         std::fs::write(&json_path, tuned.table.to_json()).expect("write JSON table");
+        std::fs::write(&desc_path, variant_descriptors(&tuned)).expect("write descriptors");
 
         println!(
-            "{name}: {} versions -> {} ({} lines) + {}",
+            "{name}: {} versions (backends {:?}) -> {} ({} lines) + {} + {}",
             tuned.table.len(),
+            tuned.table.backend_names(),
             c_path.display(),
             tuned.source_c.lines().count(),
-            json_path.display()
+            json_path.display(),
+            desc_path.display()
         );
 
         // If a C compiler is available, verify the generated translation

@@ -26,4 +26,29 @@ cargo run -q --bin moat-report -- "$smoke/trace.jsonl" > "$smoke/report.txt"
 cargo run -q --bin moat-report -- "$smoke/trace.jsonl" \
     --emit chrome --out "$smoke/trace.chrome.json"
 
+echo "== backend-matrix smoke (config x backend tuning, loss matrix, merge guard) =="
+bsmoke="target/backend-smoke"
+rm -rf "$bsmoke"
+mkdir -p "$bsmoke"
+# Two-backend tune: the version table must carry both provenances.
+cargo run -q --bin moat-tune -- --kernel mm --size 160 --generations 12 --quiet \
+    --backends model,alt1 --emit-json "$bsmoke/table.json" \
+    --archive "$bsmoke/mixed"
+grep -q '"analytic:alt1"' "$bsmoke/table.json"
+grep -q '"analytic:model"' "$bsmoke/table.json"
+# The cross-backend loss matrix renders from the emitted table.
+cargo run -q --bin moat-report -- "$bsmoke/table.json" --emit loss-matrix \
+    | grep -q "analytic:model"
+# Merge guard: combining a single-backend archive into the mixed one must
+# refuse without --merge-across-backends and succeed with it.
+cargo run -q --bin moat-tune -- --kernel mm --size 160 --generations 12 --quiet \
+    --archive "$bsmoke/plain"
+if cargo run -q --bin moat-archive -- merge \
+    --archive "$bsmoke/mixed" --from "$bsmoke/plain" 2>/dev/null; then
+    echo "ERROR: cross-backend merge succeeded without --merge-across-backends" >&2
+    exit 1
+fi
+cargo run -q --bin moat-archive -- merge \
+    --archive "$bsmoke/mixed" --from "$bsmoke/plain" --merge-across-backends > /dev/null
+
 echo "All checks passed."

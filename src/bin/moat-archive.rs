@@ -8,6 +8,9 @@
 //!                                     --json: raw record, --table: the version
 //!                                     table loaded from the archive)
 //!   merge --from <DIR>                merge another archive into this one
+//!         [--merge-across-backends]   (required to combine fronts recorded by
+//!                                     different backend rosters; the default
+//!                                     refuses rather than conflate them)
 //!   prune --max-front <K>             shrink every front to at most K points
 //!   export-json [--out <FILE>]        dump the archive as one JSON array
 //!   import --file <FILE>              merge an exported dump (or one record)
@@ -26,7 +29,7 @@ fn usage() -> ! {
         include_str!("moat-archive.rs")
             .lines()
             .skip(3)
-            .take(11)
+            .take(14)
             .map(|l| {
                 let l = l.strip_prefix("//!").unwrap_or(l);
                 l.strip_prefix(' ').unwrap_or(l)
@@ -53,6 +56,7 @@ struct Opts {
     file: Option<String>,
     json: bool,
     table: bool,
+    merge_across_backends: bool,
 }
 
 fn parse_args() -> Opts {
@@ -80,6 +84,7 @@ fn parse_args() -> Opts {
             "--file" => opts.file = Some(value("--file")),
             "--json" => opts.json = true,
             "--table" => opts.table = true,
+            "--merge-across-backends" => opts.merge_across_backends = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -121,8 +126,21 @@ fn main() {
                 return;
             }
             for rec in records {
+                // Backend roster note only for provenance-tagged records:
+                // pre-provenance archives list exactly as before.
+                let backends: Vec<String> = rec
+                    .backend_set()
+                    .into_iter()
+                    .flatten()
+                    .map(|id| id.to_string())
+                    .collect();
+                let backends = if backends.is_empty() {
+                    String::new()
+                } else {
+                    format!(" backends={}", backends.join(","))
+                };
                 println!(
-                    "{}  region={} skeleton={} machine={} |front|={} E={} runs={} self-hv={:.3}",
+                    "{}  region={} skeleton={} machine={} |front|={} E={} runs={} self-hv={:.3}{backends}",
                     rec.key,
                     rec.region,
                     rec.skeleton,
@@ -155,8 +173,15 @@ fn main() {
                 println!("runs:       {}", rec.runs);
                 println!("evals:      {}", rec.evaluations);
                 println!("self-hv:    {:.3}", rec.self_hypervolume());
+                let tagged = rec.front.iter().any(|p| p.provenance.is_some());
                 let names = rec.objective_names.join("  ");
-                println!("\n{:<48}  {}", rec.param_names.join(" "), names);
+                // The provenance column appears only for records whose
+                // front is backend-tagged: v1 records print as before.
+                if tagged {
+                    println!("\n{:<48}  {names:<24}  backend", rec.param_names.join(" "));
+                } else {
+                    println!("\n{:<48}  {names}", rec.param_names.join(" "));
+                }
                 for p in &rec.front {
                     let cfg = p
                         .config
@@ -170,7 +195,15 @@ fn main() {
                         .map(|o| format!("{o:<10.4}"))
                         .collect::<Vec<_>>()
                         .join("  ");
-                    println!("{cfg:<48}  {objs}");
+                    if tagged {
+                        let backend = p
+                            .provenance
+                            .as_ref()
+                            .map_or("-".to_string(), |pr| pr.to_string());
+                        println!("{cfg:<48}  {objs:<24}  {backend}");
+                    } else {
+                        println!("{cfg:<48}  {objs}");
+                    }
                 }
             }
         }
@@ -186,7 +219,12 @@ fn main() {
             let records = source.list().unwrap_or_else(|e| fail(e));
             let count = records.len();
             for rec in records {
-                let stats = archive.insert(&rec).unwrap_or_else(|e| fail(e));
+                let stats = if opts.merge_across_backends {
+                    archive.insert_across_backends(&rec)
+                } else {
+                    archive.insert(&rec)
+                }
+                .unwrap_or_else(|e| fail(e));
                 inserted += stats.inserted;
                 rejected += stats.rejected;
             }

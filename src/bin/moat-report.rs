@@ -7,6 +7,9 @@
 //!                          clock, epochs behind it) and report the count
 //!   --emit <chrome>        convert instead of reporting (Chrome
 //!                          trace_event JSON, loadable in Perfetto)
+//!   --emit loss-matrix     treat the input as a version-table JSON
+//!                          (moat-tune --emit-json) and print the
+//!                          cross-backend loss matrix instead
 //!   --out <FILE>           write --emit output to FILE (default: stdout)
 //! ```
 //!
@@ -14,8 +17,9 @@
 //! V(S) per session), phase-time breakdown, fault summary, archive
 //! traffic, and version-selection histogram.
 
+use moat::multiversion::VersionTable;
 use moat::obs::export::{parse_jsonl, to_chrome, validate_jsonl};
-use moat::report::Analysis;
+use moat::report::{Analysis, LossMatrix};
 use std::process::exit;
 
 fn usage() -> ! {
@@ -24,7 +28,7 @@ fn usage() -> ! {
     let doc: String = include_str!("moat-report.rs")
         .lines()
         .skip(3)
-        .take(9)
+        .take(12)
         .map(|l| l.trim_start_matches("//! ").trim_start_matches("//!"))
         .collect::<Vec<_>>()
         .join("\n");
@@ -73,6 +77,27 @@ fn main() {
         exit(1)
     });
 
+    // Loss matrix consumes a version table, not a trace — handle it
+    // before the JSONL parse.
+    if emit.as_deref() == Some("loss-matrix") {
+        let table = VersionTable::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: not a version table: {e}");
+            exit(1)
+        });
+        let doc = LossMatrix::from_table(&table).render();
+        match &out {
+            Some(dest) => {
+                std::fs::write(dest, doc).unwrap_or_else(|e| {
+                    eprintln!("cannot write {dest}: {e}");
+                    exit(1)
+                });
+                println!("wrote {dest}");
+            }
+            None => print!("{doc}"),
+        }
+        return;
+    }
+
     if validate {
         match validate_jsonl(&text) {
             Ok(n) => println!("{path}: valid, {n} records"),
@@ -103,7 +128,7 @@ fn main() {
             }
         }
         Some(other) => {
-            eprintln!("unknown --emit format: {other} (chrome)");
+            eprintln!("unknown --emit format: {other} (chrome|loss-matrix)");
             exit(2)
         }
         None => {

@@ -15,6 +15,8 @@
 //!   --seed <S>                                        optimizer seed (default 42)
 //!   --generations <G>                                 max GDE3 generations (default 200)
 //!   --energy                                          add the energy objective (3 objectives)
+//!   --backends <LIST>                                 analytic backend roster, comma-separated
+//!                                                     (model|unroll<N>|alt<K>): tune config × backend
 //!   --emit-c <FILE>                                   write multi-versioned C
 //!   --emit-param-c <FILE>                             write parameterized C (tiling only)
 //!   --emit-json <FILE>                                write the version table as JSON
@@ -67,6 +69,7 @@ struct Opts {
     seed: u64,
     generations: u32,
     energy: bool,
+    backends: Vec<String>,
     emit_c: Option<String>,
     emit_param_c: Option<String>,
     emit_json: Option<String>,
@@ -174,7 +177,7 @@ fn usage() -> ! {
         include_str!("moat-tune.rs")
             .lines()
             .skip(3)
-            .take(32)
+            .take(34)
             .map(|l| {
                 let l = l.strip_prefix("//!").unwrap_or(l);
                 l.strip_prefix(' ').unwrap_or(l)
@@ -198,6 +201,7 @@ fn parse_args() -> Opts {
         seed: 42,
         generations: 200,
         energy: false,
+        backends: Vec::new(),
         emit_c: None,
         emit_param_c: None,
         emit_json: None,
@@ -270,6 +274,13 @@ fn parse_args() -> Opts {
                 opts.generations = value("--generations").parse().unwrap_or_else(|_| usage())
             }
             "--energy" => opts.energy = true,
+            "--backends" => {
+                opts.backends = value("--backends")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
             "--emit-c" => opts.emit_c = Some(value("--emit-c")),
             "--emit-param-c" => opts.emit_param_c = Some(value("--emit-param-c")),
             "--emit-json" => opts.emit_json = Some(value("--emit-json")),
@@ -318,6 +329,14 @@ fn main() {
         eprintln!("--resume cannot be combined with --warm-start");
         exit(2);
     }
+    if !opts.backends.is_empty() && opts.energy {
+        eprintln!("--backends cannot be combined with --energy (variant backends are 2-objective)");
+        exit(2);
+    }
+    if !opts.backends.is_empty() && opts.warm_start {
+        eprintln!("--backends cannot be combined with --warm-start");
+        exit(2);
+    }
     // A checkpoint pins the strategy (and remaining budget) of the run it
     // came from; adopt it before the tuner is built.
     let resume_path = opts.resume.clone();
@@ -340,7 +359,22 @@ fn main() {
         .then(|| moat::obs::install(opts.timestamps));
     let size = opts.size.unwrap_or(opts.kernel.info().paper_size);
 
-    let acfg = AnalyzerConfig::for_threads((1..=opts.machine.total_cores() as i64).collect());
+    // Parse the backend roster before analysis: alt<K> specs need the
+    // analyzer to derive alternative skeletons.
+    let backend_specs: Vec<moat::BackendSpec> = opts
+        .backends
+        .iter()
+        .map(|s| {
+            moat::parse_backend_spec(s).unwrap_or_else(|e| {
+                eprintln!("--backends: {e}");
+                exit(2)
+            })
+        })
+        .collect();
+    let mut acfg = AnalyzerConfig::for_threads((1..=opts.machine.total_cores() as i64).collect());
+    acfg.alternatives = backend_specs
+        .iter()
+        .any(|s| matches!(s, moat::BackendSpec::AltSkeleton(_)));
     let raw_region = match &opts.file {
         Some(path) => {
             let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -397,25 +431,94 @@ fn main() {
         })),
     };
     let space = ir_space(&region.skeletons[0]);
+
+    // Multi-backend roster: the optimizer explores config × backend; the
+    // provenance of every front point records which backend measured it.
+    for s in &backend_specs {
+        if let moat::BackendSpec::AltSkeleton(k) = s {
+            if *k >= region.skeletons.len() {
+                eprintln!(
+                    "--backends: alt{k}: region {} has only {} skeleton(s)",
+                    region.name,
+                    region.skeletons.len()
+                );
+                exit(2)
+            }
+        }
+    }
+    let unrolls: Vec<moat::FixedUnrollEvaluator> = backend_specs
+        .iter()
+        .filter_map(|s| match s {
+            moat::BackendSpec::Unroll(n) => Some(moat::FixedUnrollEvaluator::new(
+                &region,
+                &region.skeletons[0],
+                &model,
+                *n,
+            )),
+            _ => None,
+        })
+        .collect();
+    let alts: Vec<moat::AltSkeletonEvaluator> = backend_specs
+        .iter()
+        .filter_map(|s| match s {
+            moat::BackendSpec::AltSkeleton(k) => {
+                Some(moat::AltSkeletonEvaluator::new(&region, &model, *k))
+            }
+            _ => None,
+        })
+        .collect();
+    let backend_set = (!opts.backends.is_empty()).then(|| {
+        let fingerprint = ArchiveKey::of(&region.skeletons[0], &space, &opts.machine).machine;
+        let mut set = moat::BackendSet::new();
+        let (mut next_unroll, mut next_alt) = (0, 0);
+        for (name, spec) in opts.backends.iter().zip(&backend_specs) {
+            let prov = moat::Provenance::new(
+                moat::BackendId::new(moat::BackendKind::Analytic, name.clone()),
+                fingerprint,
+            );
+            match spec {
+                moat::BackendSpec::Model => set.register(prov, &ev),
+                moat::BackendSpec::Unroll(_) => {
+                    set.register(prov, &unrolls[next_unroll]);
+                    next_unroll += 1;
+                }
+                moat::BackendSpec::AltSkeleton(_) => {
+                    set.register(prov, &alts[next_alt]);
+                    next_alt += 1;
+                }
+            }
+        }
+        set
+    });
+    let tuning_space = match backend_set.as_ref() {
+        Some(set) => set.space(&space),
+        None => space.clone(),
+    };
+
     // Optional fault pipeline: the chaos injector sits under the
     // retry/outlier-rejection layer; the session's cache sits on top, so
     // each distinct configuration runs the pipeline exactly once.
-    let injector = opts
-        .inject
-        .clone()
-        .map(|schedule| FaultInjector::new(&ev, schedule));
-    let fault_tolerant = (opts.fault_policy.is_some() || injector.is_some()).then(|| {
-        let inner: &dyn FallibleEvaluator = match injector.as_ref() {
-            Some(i) => i,
+    let injector = opts.inject.clone().map(|schedule| {
+        let inner: &dyn Evaluator = match backend_set.as_ref() {
+            Some(set) => set,
             None => &ev,
+        };
+        FaultInjector::new(inner, schedule)
+    });
+    let fault_tolerant = (opts.fault_policy.is_some() || injector.is_some()).then(|| {
+        let inner: &dyn FallibleEvaluator = match (injector.as_ref(), backend_set.as_ref()) {
+            (Some(i), _) => i,
+            (None, Some(set)) => set,
+            (None, None) => &ev,
         };
         FaultTolerantEvaluator::new(inner, opts.fault_policy.clone().unwrap_or_default())
     });
-    let evaluator: &dyn Evaluator = match fault_tolerant.as_ref() {
-        Some(ft) => ft,
-        None => &ev,
+    let evaluator: &dyn Evaluator = match (fault_tolerant.as_ref(), backend_set.as_ref()) {
+        (Some(ft), _) => ft,
+        (None, Some(set)) => set,
+        (None, None) => &ev,
     };
-    let mut session = TuningSession::new(space.clone(), evaluator)
+    let mut session = TuningSession::new(tuning_space, evaluator)
         .with_batch(BatchEval::default())
         .with_label(region.name.clone());
     if let Some(budget) = opts.budget {
@@ -479,7 +582,12 @@ fn main() {
         });
     }
 
-    let result = session.run(tuner.as_ref());
+    let mut result = session.run(tuner.as_ref());
+    // Multi-backend runs: strip the backend coordinate, tag provenance.
+    if let Some(set) = backend_set.as_ref() {
+        result.front = set.annotate_front(&result.front);
+    }
+    let result = result;
 
     if let Some(sink) = sink.as_ref() {
         if let Some(e) = sink.store.last_error() {
@@ -555,7 +663,17 @@ fn main() {
                 .map(|o| format!("{o:<10.4}"))
                 .collect::<Vec<_>>()
                 .join("  ");
-            println!("{:<48}  {}", v.label, objs);
+            // Pre-provenance output is untouched: the backend column only
+            // appears on provenance-tagged (multi-backend) versions.
+            let label = match &v.provenance {
+                Some(p) => format!("{} [{}]", v.label, p.backend),
+                None => v.label.clone(),
+            };
+            println!("{label:<48}  {objs}");
+        }
+        if backend_set.is_some() {
+            println!();
+            print!("{}", moat::report::LossMatrix::from_table(&table).render());
         }
     }
 
@@ -564,13 +682,34 @@ fn main() {
         println!("wrote {path}");
     }
     if let Some(path) = &opts.emit_c {
+        // Instantiate each version with the skeleton its backend used, so
+        // the emitted code matches the recorded provenance.
         let variants: Vec<_> = table
             .versions
             .iter()
             .map(|v| {
-                region.skeletons[0]
-                    .instantiate(&region.nest, &v.values)
-                    .unwrap()
+                let spec = v
+                    .provenance
+                    .as_ref()
+                    .and_then(|p| moat::parse_backend_spec(&p.backend.variant).ok());
+                match spec {
+                    Some(moat::BackendSpec::AltSkeleton(k)) => {
+                        let sk = &region.skeletons[k];
+                        let n = sk.params.len().min(v.values.len());
+                        sk.instantiate(&region.nest, &sk.nearest_values(&v.values[..n]))
+                            .unwrap()
+                    }
+                    Some(moat::BackendSpec::Unroll(f)) => {
+                        let mut variant = region.skeletons[0]
+                            .instantiate(&region.nest, &v.values)
+                            .unwrap();
+                        variant.unroll = f.max(1) as u32;
+                        variant
+                    }
+                    _ => region.skeletons[0]
+                        .instantiate(&region.nest, &v.values)
+                        .unwrap(),
+                }
             })
             .collect();
         std::fs::write(path, emit_multiversioned_c(&region, &table, &variants)).expect("write C");

@@ -1,10 +1,13 @@
 //! The end-to-end auto-tuning pipeline (paper Fig. 3, labels 1–5).
 
-use crate::sim::{ir_space, SimEvaluator, OBJECTIVE_NAMES};
+use crate::sim::{
+    ir_space, AltSkeletonEvaluator, FixedUnrollEvaluator, SimEvaluator, OBJECTIVE_NAMES,
+};
 use moat_archive::{Archive, ArchiveKey, ArchiveRecord, WarmStartSource};
 use moat_core::{
-    BatchEval, GridTuner, Nsga2Params, Nsga2Tuner, RandomTuner, RsGde3Params, RsGde3Tuner,
-    StrategyKind, Tuner, TuningReport, TuningSession, WeightedSumTuner, WeightedSweepParams,
+    BackendId, BackendKind, BackendSet, BatchEval, Evaluator, GridTuner, Nsga2Params, Nsga2Tuner,
+    Provenance, RandomTuner, RsGde3Params, RsGde3Tuner, StrategyKind, Tuner, TuningReport,
+    TuningSession, WeightedSumTuner, WeightedSweepParams,
 };
 use moat_ir::{analyze, AnalyzerConfig, Region, Step, Variant};
 use moat_machine::{CostModel, MachineDesc, NoiseModel};
@@ -30,6 +33,55 @@ pub struct TunedRegion {
     /// Where the optimizer's warm start came from, when a tuning archive
     /// was consulted (`None`: cold start or no archive configured).
     pub warm_start: Option<WarmStartSource>,
+}
+
+/// One parsed entry of a backend roster — the analytic variants that
+/// [`Framework::backends`] and `moat-tune --backends` can register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// `"model"`: the plain analytic cost model on the base skeleton.
+    Model,
+    /// `"unroll<N>"`: the model with an innermost unroll of `N` baked in.
+    Unroll(i64),
+    /// `"alt<K>"`: the model over alternative transformation skeleton `K`
+    /// (derived by the analyzer with `alternatives: true`); a structurally
+    /// different code shape whose cost surface crosses the base
+    /// skeleton's, so rosters like `model,alt1` yield honestly mixed
+    /// fronts.
+    AltSkeleton(usize),
+}
+
+/// Parse one backend spec (`model`, `unroll<N>`, or `alt<K>`). The single
+/// grammar behind [`Framework::backends`] and `moat-tune --backends`.
+pub fn parse_backend_spec(spec: &str) -> Result<BackendSpec, String> {
+    if spec == "model" {
+        return Ok(BackendSpec::Model);
+    }
+    if let Some(n) = spec.strip_prefix("unroll") {
+        let factor: i64 = n
+            .parse()
+            .map_err(|_| format!("bad backend spec '{spec}': unroll<N> needs an integer"))?;
+        if factor < 1 {
+            return Err(format!(
+                "bad backend spec '{spec}': unroll factor must be >= 1"
+            ));
+        }
+        return Ok(BackendSpec::Unroll(factor));
+    }
+    if let Some(k) = spec.strip_prefix("alt") {
+        let index: usize = k
+            .parse()
+            .map_err(|_| format!("bad backend spec '{spec}': alt<K> needs a skeleton index"))?;
+        if index < 1 {
+            return Err(format!(
+                "bad backend spec '{spec}': alt<K> starts at 1 (0 is the base skeleton)"
+            ));
+        }
+        return Ok(BackendSpec::AltSkeleton(index));
+    }
+    Err(format!(
+        "unknown backend spec '{spec}' (expected model, unroll<N>, or alt<K>)"
+    ))
 }
 
 /// The auto-tuning framework bound to one target machine.
@@ -60,6 +112,14 @@ pub struct Framework {
     /// then emits structurally unrolled versions — the transformation the
     /// paper cites as impossible to express with runtime parameters).
     pub tune_unroll: bool,
+    /// Backend roster for multi-backend tuning: analytic variant specs
+    /// (`"model"` = the plain cost model, `"unroll<N>"` = the model with a
+    /// hard-wired innermost unroll of N). With two or more entries the
+    /// optimizer explores the product space `config × backend` and the
+    /// resulting front/table/archive record carry per-point
+    /// [`Provenance`]. Empty (the default) keeps the classic
+    /// single-backend path — byte-identical output, no provenance.
+    pub backends: Vec<String>,
     /// Directory of a persistent tuning archive. When set, every tuning
     /// run is recorded there, and (with [`warm_start`](Self::warm_start))
     /// later runs of the same problem are seeded from it.
@@ -95,6 +155,7 @@ impl Framework {
             batch: BatchEval::default(),
             max_versions: None,
             tune_unroll: false,
+            backends: Vec::new(),
             archive: None,
             warm_start: false,
             trace: None,
@@ -162,12 +223,36 @@ impl Framework {
     }
 
     fn tune_inner(&self, region: Region) -> Result<TunedRegion, String> {
+        // Parse the backend roster up front: `alt<K>` specs require the
+        // analyzer to derive alternative skeletons.
+        let specs = self
+            .backends
+            .iter()
+            .map(|s| parse_backend_spec(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let wants_alternatives = specs
+            .iter()
+            .any(|s| matches!(s, BackendSpec::AltSkeleton(_)));
+
         // (1) Analyzer: derive skeletons if not already present.
         let mut region = if region.skeletons.is_empty() {
-            analyze(region, &self.analyzer_config())?
+            let mut acfg = self.analyzer_config();
+            acfg.alternatives = acfg.alternatives || wants_alternatives;
+            analyze(region, &acfg)?
         } else {
             region
         };
+        for s in &specs {
+            if let BackendSpec::AltSkeleton(k) = s {
+                if *k >= region.skeletons.len() {
+                    return Err(format!(
+                        "backend 'alt{k}': region {} has only {} skeleton(s)",
+                        region.name,
+                        region.skeletons.len()
+                    ));
+                }
+            }
+        }
         if self.tune_unroll {
             for sk in &mut region.skeletons {
                 let factor_param = sk.params.len();
@@ -185,13 +270,68 @@ impl Framework {
         // through a TuningSession (strategy-agnostic budget enforcement and
         // evaluation accounting).
         let model = self.cost_model();
-        let evaluator = SimEvaluator {
+        let base_eval = SimEvaluator {
             region: &region,
             skeleton,
             model: &model,
         };
         let space = ir_space(skeleton);
-        let mut session = TuningSession::new(space.clone(), &evaluator)
+        let key = ArchiveKey::of(skeleton, &space, &self.machine);
+
+        // Multi-backend roster: the optimizer sees the product space
+        // `config × backend`; the classic empty-roster path is untouched.
+        if self.warm_start && !self.backends.is_empty() {
+            return Err("warm-start is not supported with a multi-backend roster".into());
+        }
+        let unrolls: Vec<FixedUnrollEvaluator> = specs
+            .iter()
+            .filter_map(|s| match s {
+                BackendSpec::Unroll(n) => {
+                    Some(FixedUnrollEvaluator::new(&region, skeleton, &model, *n))
+                }
+                _ => None,
+            })
+            .collect();
+        let alts: Vec<AltSkeletonEvaluator> = specs
+            .iter()
+            .filter_map(|s| match s {
+                BackendSpec::AltSkeleton(k) => Some(AltSkeletonEvaluator::new(&region, &model, *k)),
+                _ => None,
+            })
+            .collect();
+        let backend_set = if self.backends.is_empty() {
+            None
+        } else {
+            let mut set = BackendSet::new();
+            let (mut next_unroll, mut next_alt) = (0, 0);
+            for (name, spec) in self.backends.iter().zip(&specs) {
+                let prov = Provenance::new(
+                    BackendId::new(BackendKind::Analytic, name.clone()),
+                    key.machine,
+                );
+                match spec {
+                    BackendSpec::Model => set.register(prov, &base_eval),
+                    BackendSpec::Unroll(_) => {
+                        set.register(prov, &unrolls[next_unroll]);
+                        next_unroll += 1;
+                    }
+                    BackendSpec::AltSkeleton(_) => {
+                        set.register(prov, &alts[next_alt]);
+                        next_alt += 1;
+                    }
+                }
+            }
+            Some(set)
+        };
+        let tuning_space = match &backend_set {
+            Some(set) => set.space(&space),
+            None => space.clone(),
+        };
+        let evaluator: &dyn Evaluator = match &backend_set {
+            Some(set) => set,
+            None => &base_eval,
+        };
+        let mut session = TuningSession::new(tuning_space, evaluator)
             .with_batch(self.batch)
             .with_label(region.name.clone());
         if let Some(budget) = self.budget {
@@ -204,7 +344,6 @@ impl Framework {
             Some(root) => Some(Archive::open(root).map_err(|e| e.to_string())?),
             None => None,
         };
-        let key = ArchiveKey::of(skeleton, &space, &self.machine);
         let mut warm_source = None;
         if self.warm_start {
             if let Some(archive) = &archive {
@@ -219,9 +358,19 @@ impl Framework {
             }
         }
 
-        let result = session.run(self.make_tuner().as_ref());
+        let mut result = session.run(self.make_tuner().as_ref());
 
-        // Record the (merged) outcome for future runs.
+        // Multi-backend runs: project the product-space front back onto the
+        // logical space, tagging every point with its backend's provenance.
+        // Front membership/order are objective-driven and thus preserved.
+        if let Some(set) = &backend_set {
+            result.front = set.annotate_front(&result.front);
+        }
+        let result = result;
+
+        // Record the (merged) outcome for future runs. Multi-backend fronts
+        // carry provenance; the archive refuses to merge them into records
+        // with a different backend roster unless asked explicitly.
         if let Some(archive) = &archive {
             let record = ArchiveRecord::from_report(
                 region.name.clone(),
@@ -249,13 +398,37 @@ impl Framework {
         if let Some(k) = self.max_versions {
             table.prune_to(k);
         }
+        // Instantiate each version with the skeleton its backend actually
+        // used, so the emitted code matches the recorded provenance: alt-
+        // tagged versions get the alternative skeleton (values projected),
+        // unroll-tagged versions the baked-in factor.
         let variants: Vec<Variant> = table
             .versions
             .iter()
             .map(|v| {
-                skeleton
-                    .instantiate(&region.nest, &v.values)
-                    .map_err(|e| e.to_string())
+                let spec = v
+                    .provenance
+                    .as_ref()
+                    .and_then(|p| parse_backend_spec(&p.backend.variant).ok());
+                match spec {
+                    Some(BackendSpec::AltSkeleton(k)) => {
+                        let sk = &region.skeletons[k];
+                        let n = sk.params.len().min(v.values.len());
+                        let values = sk.nearest_values(&v.values[..n]);
+                        sk.instantiate(&region.nest, &values)
+                            .map_err(|e| e.to_string())
+                    }
+                    Some(BackendSpec::Unroll(f)) => skeleton
+                        .instantiate(&region.nest, &v.values)
+                        .map(|mut variant| {
+                            variant.unroll = f.max(1) as u32;
+                            variant
+                        })
+                        .map_err(|e| e.to_string()),
+                    _ => skeleton
+                        .instantiate(&region.nest, &v.values)
+                        .map_err(|e| e.to_string()),
+                }
             })
             .collect::<Result<_, _>>()?;
         let source_c = emit_multiversioned_c(&region, &table, &variants);
@@ -400,6 +573,90 @@ mod tests {
         let b = fw.tune(Kernel::Jacobi2d.region(128)).unwrap();
         assert_eq!(a.table, b.table);
         assert_eq!(a.source_c, b.source_c);
+    }
+
+    #[test]
+    fn multi_backend_roster_yields_mixed_provenance() {
+        let mut fw = quick_framework();
+        fw.noise = None;
+        fw.backends = vec!["model".into(), "unroll4".into()];
+        let tuned = fw.tune(Kernel::Mm.region(192)).unwrap();
+        assert!(!tuned.table.is_empty());
+        // Every version carries provenance, configs are base-space (no
+        // trailing backend coordinate), and the unrolled backend — faster
+        // under the model's ILP term — must appear on the front.
+        let names = tuned.table.backend_names();
+        assert!(
+            names.contains(&"analytic:unroll4".to_string()),
+            "unrolled backend missing from the front: {names:?}"
+        );
+        for v in &tuned.table.versions {
+            assert_eq!(v.values.len(), tuned.table.param_names.len());
+            let p = v.provenance.as_ref().expect("every version tagged");
+            assert!(["model", "unroll4"].contains(&p.backend.variant.as_str()));
+            assert_ne!(p.machine_fingerprint, 0, "machine fingerprint recorded");
+        }
+        // Variants instantiate from the logical configs.
+        assert_eq!(tuned.variants.len(), tuned.table.len());
+    }
+
+    #[test]
+    fn alt_skeleton_roster_mixes_provenance_honestly() {
+        // `model` and `alt1` are structurally different code shapes whose
+        // cost surfaces cross (loop overhead vs inner-level blocking), so
+        // the tuned front should retain points from both backends.
+        let mut fw = quick_framework();
+        fw.noise = None;
+        fw.tuner_params.max_generations = 12;
+        fw.backends = vec!["model".into(), "alt1".into()];
+        let tuned = fw.tune(Kernel::Mm.region(192)).unwrap();
+        let names = tuned.table.backend_names();
+        assert_eq!(
+            names,
+            vec!["analytic:alt1".to_string(), "analytic:model".to_string()],
+            "expected an honestly mixed front, got {names:?}"
+        );
+        // Alt-tagged versions were instantiated with the alternative
+        // skeleton: a shallower nest than the base skeleton's.
+        let base_depth = tuned.variants[0].nest.depth();
+        let _ = base_depth;
+        for (v, variant) in tuned.table.versions.iter().zip(&tuned.variants) {
+            let p = v.provenance.as_ref().expect("tagged");
+            if p.backend.variant == "alt1" {
+                assert!(
+                    variant.nest.depth() < 6,
+                    "alt1 version should use the shallower skeleton"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_backend_output_is_unchanged_by_the_roster_machinery() {
+        let mut plain = quick_framework();
+        plain.noise = None;
+        let mut empty_roster = quick_framework();
+        empty_roster.noise = None;
+        empty_roster.backends = Vec::new();
+        let a = plain.tune(Kernel::Mm.region(128)).unwrap();
+        let b = empty_roster.tune(Kernel::Mm.region(128)).unwrap();
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.source_c, b.source_c);
+        assert!(a.table.versions.iter().all(|v| v.provenance.is_none()));
+        assert!(a.table.backend_names().is_empty());
+    }
+
+    #[test]
+    fn bad_backend_spec_is_rejected() {
+        let mut fw = quick_framework();
+        fw.backends = vec!["model".into(), "llvm".into()];
+        let err = fw.tune(Kernel::Mm.region(64)).unwrap_err();
+        assert!(err.contains("unknown backend spec"), "{err}");
+
+        let mut fw = quick_framework();
+        fw.backends = vec!["unroll0".into()];
+        let err = fw.tune(Kernel::Mm.region(64)).unwrap_err();
+        assert!(err.contains("unroll factor"), "{err}");
     }
 
     #[test]

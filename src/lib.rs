@@ -55,11 +55,11 @@ pub mod program;
 pub mod report;
 pub mod sim;
 
-pub use framework::{Framework, TunedRegion};
+pub use framework::{parse_backend_spec, BackendSpec, Framework, TunedRegion};
 pub use program::{ProgramTuner, ProgramTuningResult, RegionOutcome};
 pub use sim::{
-    ir_space, MultiObjectiveEvaluator, Objective, SimEvaluator, SkeletonChoiceEvaluator,
-    OBJECTIVE_NAMES,
+    ir_space, AltSkeletonEvaluator, FixedUnrollEvaluator, MultiObjectiveEvaluator, Objective,
+    SimEvaluator, SkeletonChoiceEvaluator, OBJECTIVE_NAMES,
 };
 
 // Re-export the sub-crates under stable names.
@@ -76,10 +76,10 @@ pub use moat_runtime as runtime;
 // Convenience re-exports used by examples and benches.
 pub use moat_archive::{Archive, ArchiveKey, ArchiveRecord, CheckpointStore, WarmStartSource};
 pub use moat_core::{
-    BatchEval, CheckpointSink, EventLog, EventSink, FaultInjector, FaultPolicy, FaultSchedule,
-    FaultStats, FaultTolerantEvaluator, ParetoFront, RsGde3, RsGde3Params, RsGde3Tuner,
-    SessionCheckpoint, StopReason, StrategyKind, Tuner, TuningEvent, TuningReport, TuningResult,
-    TuningSession, WarmStart,
+    BackendId, BackendKind, BackendSet, BatchEval, CheckpointSink, EventLog, EventSink,
+    FaultInjector, FaultPolicy, FaultSchedule, FaultStats, FaultTolerantEvaluator, ParetoFront,
+    Provenance, RsGde3, RsGde3Params, RsGde3Tuner, SessionCheckpoint, StopReason, StrategyKind,
+    Tuner, TuningEvent, TuningReport, TuningResult, TuningSession, WarmStart, BACKEND_PARAM,
 };
 pub use moat_ir::Region;
 pub use moat_kernels::Kernel;

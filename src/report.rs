@@ -17,6 +17,7 @@
 //! Everything here is a pure function of the record list, so the rendered
 //! report is as deterministic as the trace itself.
 
+use moat_multiversion::VersionTable;
 use moat_obs::{Event, Record};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -93,6 +94,9 @@ pub struct ArchiveReport {
 pub struct RegionReport {
     /// Selection count per version index.
     pub selections: BTreeMap<u64, u64>,
+    /// Selection count per rendered backend id (mixed-backend tables only;
+    /// empty when every version came from the same backend).
+    pub backend_selections: BTreeMap<String, u64>,
     /// Health-policy demotions.
     pub demotions: u64,
     /// Health-policy restores.
@@ -186,6 +190,14 @@ impl Analysis {
                 }
                 Event::VersionSelected { region, version } => {
                     *a.region(region).selections.entry(*version).or_insert(0) += 1
+                }
+                Event::BackendSelected {
+                    region, backend, ..
+                } => {
+                    *a.region(region)
+                        .backend_selections
+                        .entry(backend.clone())
+                        .or_insert(0) += 1
                 }
                 Event::VersionDemoted { region, .. } => a.region(region).demotions += 1,
                 Event::VersionRestored { region, .. } => a.region(region).restores += 1,
@@ -300,6 +312,9 @@ impl Analysis {
                     };
                     let _ = writeln!(out, "    v{version:<3} {count:>8}  {}", "#".repeat(bar_len));
                 }
+                for (backend, count) in &rep.backend_selections {
+                    let _ = writeln!(out, "    backend {backend:<20} {count:>8}");
+                }
                 if rep.demotions + rep.restores + rep.fallbacks > 0 {
                     let _ = writeln!(
                         out,
@@ -308,6 +323,121 @@ impl Analysis {
                     );
                 }
             }
+        }
+        out
+    }
+}
+
+/// One backend's row of a [`LossMatrix`]: its per-objective champions and
+/// how far they fall short of the combined (all-backend) front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossRow {
+    /// Rendered backend id (`"(untagged)"` for provenance-less versions).
+    pub backend: String,
+    /// Versions the backend contributed to the table.
+    pub versions: usize,
+    /// Best value this backend achieves per objective.
+    pub best: Vec<f64>,
+    /// Percent loss of `best` against the combined best per objective
+    /// (0 = this backend holds the champion).
+    pub loss_pct: Vec<f64>,
+}
+
+/// Cross-backend loss matrix over one mixed-provenance [`VersionTable`] —
+/// the paper's Table 6 asks "how much do you lose running code tuned for
+/// machine X on machine Y"; this asks the analogous question across
+/// *backends*: how much of each objective is lost by restricting the
+/// version table to a single backend's entries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LossMatrix {
+    /// Region the table belongs to.
+    pub region: String,
+    /// Objective names, in table order.
+    pub objective_names: Vec<String>,
+    /// One row per backend, sorted by rendered id.
+    pub rows: Vec<LossRow>,
+}
+
+impl LossMatrix {
+    /// Compute the matrix from a version table. Versions without
+    /// provenance are grouped under `"(untagged)"`, so pre-provenance
+    /// tables produce a single all-zero-loss row.
+    pub fn from_table(table: &VersionTable) -> Self {
+        let m = table.objective_names.len();
+        let mut groups: BTreeMap<String, Vec<&Vec<f64>>> = BTreeMap::new();
+        for v in &table.versions {
+            let name = v
+                .provenance
+                .as_ref()
+                .map(|p| p.backend.to_string())
+                .unwrap_or_else(|| "(untagged)".to_string());
+            groups.entry(name).or_default().push(&v.objectives);
+        }
+        let best_of = |objs: &[&Vec<f64>]| -> Vec<f64> {
+            (0..m)
+                .map(|c| objs.iter().map(|o| o[c]).fold(f64::INFINITY, f64::min))
+                .collect()
+        };
+        let combined = best_of(
+            &table
+                .versions
+                .iter()
+                .map(|v| &v.objectives)
+                .collect::<Vec<_>>(),
+        );
+        let rows = groups
+            .into_iter()
+            .map(|(backend, objs)| {
+                let best = best_of(&objs);
+                let loss_pct = (0..m)
+                    .map(|c| {
+                        if combined[c] != 0.0 {
+                            (best[c] - combined[c]) / combined[c] * 100.0
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                LossRow {
+                    backend,
+                    versions: objs.len(),
+                    best,
+                    loss_pct,
+                }
+            })
+            .collect();
+        LossMatrix {
+            region: table.region.clone(),
+            objective_names: table.objective_names.clone(),
+            rows,
+        }
+    }
+
+    /// Render the matrix as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total: usize = self.rows.iter().map(|r| r.versions).sum();
+        let _ = writeln!(
+            out,
+            "cross-backend loss matrix: region {} ({} backends, {} versions)",
+            self.region,
+            self.rows.len(),
+            total
+        );
+        let mut header = format!("{:<24} {:>4}", "backend", "n");
+        for name in &self.objective_names {
+            header.push_str(&format!("  {:>14} {:>8}", format!("best {name}"), "loss"));
+        }
+        let _ = writeln!(out, "{header}");
+        for row in &self.rows {
+            let mut line = format!("{:<24} {:>4}", row.backend, row.versions);
+            for c in 0..self.objective_names.len() {
+                line.push_str(&format!(
+                    "  {:>14.6} {:>7.1}%",
+                    row.best[c], row.loss_pct[c]
+                ));
+            }
+            let _ = writeln!(out, "{line}");
         }
         out
     }
@@ -437,6 +567,93 @@ mod tests {
         let text = a.render();
         assert!(text.contains("region mm: 3 invocations"), "{text}");
         assert!(text.contains("cachesim.compile"), "{text}");
+    }
+
+    #[test]
+    fn backend_selections_are_counted_and_rendered() {
+        let records = vec![
+            rec(
+                1,
+                Event::VersionSelected {
+                    region: "mm".into(),
+                    version: 0,
+                },
+            ),
+            rec(
+                2,
+                Event::BackendSelected {
+                    region: "mm".into(),
+                    version: 0,
+                    backend: "analytic:unroll4".into(),
+                },
+            ),
+        ];
+        let a = Analysis::from_records(&records);
+        assert_eq!(a.regions["mm"].backend_selections["analytic:unroll4"], 1);
+        let text = a.render();
+        assert!(text.contains("backend analytic:unroll4"), "{text}");
+    }
+
+    #[test]
+    fn loss_matrix_finds_per_backend_champions() {
+        use moat_core::pareto::Point;
+        use moat_core::{ParetoFront, Provenance};
+        use moat_ir::{ParamDecl, ParamDomain, Skeleton};
+
+        let sk = Skeleton::new(
+            "s",
+            vec![ParamDecl::new("threads", ParamDomain::Choice(vec![1, 2]))],
+            vec![],
+        );
+        let front = ParetoFront::from_points(vec![
+            Point::with_provenance(vec![1], vec![2.0, 1.0], Provenance::analytic("model")),
+            Point::with_provenance(vec![2], vec![1.0, 4.0], Provenance::analytic("unroll4")),
+        ]);
+        let table = VersionTable::from_front(
+            "mm",
+            &sk,
+            &front,
+            vec!["time_s".into(), "cpu_seconds".into()],
+            Some(0),
+        );
+        let matrix = LossMatrix::from_table(&table);
+        assert_eq!(matrix.rows.len(), 2);
+        let model = &matrix.rows[0];
+        assert_eq!(model.backend, "analytic:model");
+        // model's best time is 2.0 vs combined 1.0 → 100% loss; its
+        // resource champion is the combined champion → 0% loss.
+        assert_eq!(model.loss_pct, vec![100.0, 0.0]);
+        let unrolled = &matrix.rows[1];
+        assert_eq!(unrolled.loss_pct, vec![0.0, 300.0]);
+        let text = matrix.render();
+        assert!(
+            text.contains("region mm (2 backends, 2 versions)"),
+            "{text}"
+        );
+        assert!(text.contains("analytic:unroll4"), "{text}");
+    }
+
+    #[test]
+    fn loss_matrix_untagged_table_is_single_zero_row() {
+        use moat_core::pareto::Point;
+        use moat_core::ParetoFront;
+        use moat_ir::{ParamDecl, ParamDomain, Skeleton};
+
+        let sk = Skeleton::new(
+            "s",
+            vec![ParamDecl::new("threads", ParamDomain::Choice(vec![1]))],
+            vec![],
+        );
+        let front = ParetoFront::from_points(vec![
+            Point::new(vec![1], vec![2.0, 1.0]),
+            Point::new(vec![1], vec![1.0, 4.0]),
+        ]);
+        let table =
+            VersionTable::from_front("mm", &sk, &front, vec!["t".into(), "r".into()], Some(0));
+        let matrix = LossMatrix::from_table(&table);
+        assert_eq!(matrix.rows.len(), 1);
+        assert_eq!(matrix.rows[0].backend, "(untagged)");
+        assert_eq!(matrix.rows[0].loss_pct, vec![0.0, 0.0]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! "executes" it on the analytic cost model.
 
 use moat_core::{Config, Domain, Evaluator, ObjVec, ParamSpace};
-use moat_ir::{ParamDomain, Region, Skeleton};
+use moat_ir::{ParamDecl, ParamDomain, Region, Skeleton, Step};
 use moat_machine::CostModel;
 
 /// The two objectives of the paper's instantiation, both minimized.
@@ -80,6 +80,123 @@ impl Evaluator for SimEvaluator<'_> {
 
     fn evaluate(&self, cfg: &Config) -> Option<ObjVec> {
         let variant = self.skeleton.instantiate(&self.region.nest, cfg).ok()?;
+        let m = self.model.measure(&self.region.arrays, &variant);
+        Some(vec![m.time_s, m.resources])
+    }
+}
+
+/// An analytic backend *variant*: the same skeleton evaluated with a fixed
+/// innermost-unroll factor baked in. It shares the base skeleton's search
+/// space exactly — the factor is appended internally, never exposed as a
+/// tunable — which makes it registrable in a
+/// [`BackendSet`](moat_core::BackendSet) alongside the plain
+/// [`SimEvaluator`]: same logical configuration, distinct code shape,
+/// distinct objective surface. Under the cost model the ILP term makes
+/// unrolling a uniform win, so this variant *dominates* the plain model —
+/// useful for loss-matrix demonstrations ("what does restricting to the
+/// un-unrolled backend cost?"); for honestly *mixed* fronts pair backends
+/// whose surfaces cross, e.g. [`AltSkeletonEvaluator`].
+pub struct FixedUnrollEvaluator<'a> {
+    region: &'a Region,
+    /// Owned clone of the base skeleton with the unroll step appended.
+    skeleton: Skeleton,
+    model: &'a CostModel,
+    factor: i64,
+}
+
+impl<'a> FixedUnrollEvaluator<'a> {
+    /// Wrap `skeleton` (of `region`) with a hard-wired unroll `factor`.
+    pub fn new(region: &'a Region, skeleton: &Skeleton, model: &'a CostModel, factor: i64) -> Self {
+        assert!(factor >= 1, "unroll factor must be >= 1");
+        let mut sk = skeleton.clone();
+        let factor_param = sk.params.len();
+        sk.params
+            .push(ParamDecl::new("unroll", ParamDomain::Choice(vec![factor])));
+        sk.steps.push(Step::Unroll { factor_param });
+        FixedUnrollEvaluator {
+            region,
+            skeleton: sk,
+            model,
+            factor,
+        }
+    }
+
+    /// The hard-wired unroll factor.
+    pub fn factor(&self) -> i64 {
+        self.factor
+    }
+}
+
+impl Evaluator for FixedUnrollEvaluator<'_> {
+    fn num_objectives(&self) -> usize {
+        2
+    }
+
+    fn evaluate(&self, cfg: &Config) -> Option<ObjVec> {
+        let mut values = cfg.clone();
+        values.push(self.factor);
+        let variant = self.skeleton.instantiate(&self.region.nest, &values).ok()?;
+        let m = self.model.measure(&self.region.arrays, &variant);
+        Some(vec![m.time_s, m.resources])
+    }
+}
+
+/// An analytic backend over an *alternative* transformation skeleton
+/// (`region.skeletons[index]`, derived by the analyzer with
+/// `alternatives: true`): a structurally different code shape — e.g.
+/// tiling one band level less, leaving the innermost loop untiled — with
+/// its own parameter list. To share the base skeleton's search space (a
+/// [`BackendSet`](moat_core::BackendSet) requirement) it projects each
+/// base configuration onto the alternative's domains exactly like
+/// [`SkeletonChoiceEvaluator::decode`]: surplus trailing dimensions are
+/// ignored, the used slots snap to the nearest admissible value. The two
+/// surfaces genuinely cross — the shallower nest pays less loop overhead
+/// but loses inner-level cache blocking — so fronts tuned over
+/// `{model, alt1}` can honestly mix provenance.
+pub struct AltSkeletonEvaluator<'a> {
+    region: &'a Region,
+    model: &'a CostModel,
+    index: usize,
+}
+
+impl<'a> AltSkeletonEvaluator<'a> {
+    /// Backend over `region.skeletons[index]`, fed base-skeleton configs.
+    pub fn new(region: &'a Region, model: &'a CostModel, index: usize) -> Self {
+        assert!(
+            index < region.skeletons.len(),
+            "region {} has {} skeleton(s), no alternative #{index}",
+            region.name,
+            region.skeletons.len()
+        );
+        AltSkeletonEvaluator {
+            region,
+            model,
+            index,
+        }
+    }
+
+    /// The alternative-skeleton index within `region.skeletons`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Project a base-skeleton configuration onto this skeleton's domains.
+    pub fn project(&self, cfg: &Config) -> Vec<i64> {
+        let sk = &self.region.skeletons[self.index];
+        let n = sk.params.len().min(cfg.len());
+        sk.nearest_values(&cfg[..n])
+    }
+}
+
+impl Evaluator for AltSkeletonEvaluator<'_> {
+    fn num_objectives(&self) -> usize {
+        2
+    }
+
+    fn evaluate(&self, cfg: &Config) -> Option<ObjVec> {
+        let sk = &self.region.skeletons[self.index];
+        let values = self.project(cfg);
+        let variant = sk.instantiate(&self.region.nest, &values).ok()?;
         let m = self.model.measure(&self.region.arrays, &variant);
         Some(vec![m.time_s, m.resources])
     }
@@ -208,6 +325,57 @@ mod tests {
         assert!(objs[0] > 0.0);
         // resources = threads × time.
         assert!((objs[1] - 10.0 * objs[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_unroll_backend_shares_space_but_not_surface() {
+        let cfg = AnalyzerConfig::for_threads(vec![1, 5, 10]);
+        let region = analyze(Kernel::Mm.region(192), &cfg).unwrap();
+        let model = CostModel::new(MachineDesc::westmere());
+        let base = SimEvaluator {
+            region: &region,
+            skeleton: &region.skeletons[0],
+            model: &model,
+        };
+        let unrolled = FixedUnrollEvaluator::new(&region, &region.skeletons[0], &model, 4);
+        // Same logical configuration evaluates on both backends...
+        let cfg_v = vec![32, 32, 8, 10];
+        let plain = base.evaluate(&cfg_v).unwrap();
+        let fast = unrolled.evaluate(&cfg_v).unwrap();
+        // ...but the surfaces differ: the ILP term rewards unrolling.
+        assert!(
+            fast[0] < plain[0],
+            "unrolled backend should be faster: {} vs {}",
+            fast[0],
+            plain[0]
+        );
+    }
+
+    #[test]
+    fn alt_skeleton_backend_projects_base_configs() {
+        let cfg = AnalyzerConfig {
+            alternatives: true,
+            ..AnalyzerConfig::for_threads(vec![1, 2, 4])
+        };
+        let region = analyze(Kernel::Mm.region(128), &cfg).unwrap();
+        assert_eq!(region.skeletons.len(), 2);
+        let model = CostModel::new(MachineDesc::westmere());
+        let alt = AltSkeletonEvaluator::new(&region, &model, 1);
+        // A base-skeleton (4-dim) config evaluates on the 3-param
+        // alternative: surplus slot dropped, used slots snapped.
+        let base_cfg = vec![16, 16, 3, 4];
+        let projected = alt.project(&base_cfg);
+        assert_eq!(projected.len(), 3);
+        assert!(alt.evaluate(&base_cfg).is_some());
+        // The surfaces differ: same logical config, different code shape.
+        let base = SimEvaluator {
+            region: &region,
+            skeleton: &region.skeletons[0],
+            model: &model,
+        };
+        let a = base.evaluate(&base_cfg).unwrap();
+        let b = alt.evaluate(&base_cfg).unwrap();
+        assert_ne!(a[0], b[0], "alternative skeleton must have its own cost");
     }
 
     #[test]
