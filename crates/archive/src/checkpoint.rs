@@ -186,6 +186,14 @@ impl CheckpointSink for CheckpointStore {
     fn save(&mut self, checkpoint: &SessionCheckpoint) {
         if let Err(e) = self.write(checkpoint) {
             eprintln!("moat-archive: checkpoint save failed: {e}");
+            // Surface the degradation the moment it happens, not on the
+            // next save: operators scraping the trace (or the serve
+            // daemon's parked-checkpoints gauge) learn immediately that
+            // the on-disk resume point has gone stale.
+            moat_obs::emit_keyed(moat_obs::Event::CheckpointParked {
+                path: self.path.display().to_string(),
+                error: e.to_string(),
+            });
             self.last_error = Some(e);
         }
     }
@@ -278,6 +286,32 @@ mod tests {
         journal.push_str("{\"seq\":2,\"byt");
         fs::write(store.wal_path(), journal).unwrap();
         assert_eq!(CheckpointStore::load(&path).unwrap(), checkpoint(1, 10));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parked_save_emits_keyed_event_immediately() {
+        let dir = tmpdir("parked");
+        let path = dir.join("run.ckpt");
+        let mut store = CheckpointStore::create(&path).unwrap();
+        // Make the journal unwritable even for root: a directory cannot
+        // be opened for append, so the very first save fails and parks.
+        fs::create_dir_all(store.wal_path()).unwrap();
+        let guard = moat_obs::install(moat_obs::TimestampMode::Logical);
+        store.save(&checkpoint(1, 10));
+        // The event must be drainable *now* — before any further save —
+        // so monitors see the degradation the moment it happens.
+        let records = guard.drain();
+        drop(guard);
+        assert!(store.last_error().is_some(), "error parked");
+        assert!(
+            records.iter().any(|r| matches!(
+                &r.event,
+                moat_obs::Event::CheckpointParked { path: p, error }
+                    if p.ends_with("run.ckpt") && !error.is_empty()
+            )),
+            "checkpoint_parked event emitted at parking time: {records:?}"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

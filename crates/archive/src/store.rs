@@ -188,6 +188,85 @@ impl Archive {
         Ok(stats)
     }
 
+    /// Merge a whole batch of records with one read and one atomic write
+    /// per *destination key*, instead of the per-record read-modify-write
+    /// of repeated [`insert`](Self::insert) calls. This is the path
+    /// `moat-archive merge` and the serve compactor take: a compaction
+    /// sweep hands over hundreds of incoming records that collapse onto a
+    /// handful of keys, and re-reading the stored record for every one of
+    /// them is pure waste.
+    ///
+    /// Records are merged **in input order** (ties between equal-objective
+    /// points are first-wins, so order matters for point provenance), and
+    /// nothing is written until the whole batch has merged cleanly — a
+    /// format/key mismatch anywhere aborts the batch with no partial
+    /// writes. Returns per-record stats in input order.
+    pub fn merge_batch(
+        &self,
+        records: &[ArchiveRecord],
+        across_backends: bool,
+    ) -> Result<Vec<MergeStats>, ArchiveError> {
+        let mut stats = Vec::with_capacity(records.len());
+        // Working copies keyed by id, in first-seen order so the final
+        // writes land deterministically; per-key stat sums feed one
+        // ArchiveWrite event per destination file.
+        let mut order: Vec<String> = Vec::new();
+        let mut working: std::collections::BTreeMap<String, (ArchiveRecord, MergeStats)> =
+            std::collections::BTreeMap::new();
+        for rec in records {
+            let id = rec.key.id();
+            let s = match working.get_mut(&id) {
+                Some((existing, sums)) => {
+                    let s = if across_backends {
+                        existing.merge_across_backends(rec)?
+                    } else {
+                        existing.merge(rec)?
+                    };
+                    sums.inserted += s.inserted;
+                    sums.rejected += s.rejected;
+                    s
+                }
+                None => {
+                    let (merged, s) = match self.get(&rec.key)? {
+                        Some(mut existing) => {
+                            let s = if across_backends {
+                                existing.merge_across_backends(rec)?
+                            } else {
+                                existing.merge(rec)?
+                            };
+                            (existing, s)
+                        }
+                        None => {
+                            let mut first = rec.clone();
+                            first.canonicalize();
+                            let s = MergeStats {
+                                inserted: first.front.len(),
+                                rejected: rec.front.len() - first.front.len(),
+                            };
+                            (first, s)
+                        }
+                    };
+                    order.push(id.clone());
+                    working.insert(id, (merged, s));
+                    s
+                }
+            };
+            stats.push(s);
+        }
+        for id in &order {
+            let (rec, sums) = &working[id];
+            self.write_atomic(rec)?;
+            if moat_obs::enabled() {
+                moat_obs::emit(moat_obs::Event::ArchiveWrite {
+                    key: id.clone(),
+                    added: sums.inserted as u64,
+                    dropped: sums.rejected as u64,
+                });
+            }
+        }
+        Ok(stats)
+    }
+
     fn write_atomic(&self, record: &ArchiveRecord) -> Result<(), ArchiveError> {
         let path = self.path_for(&record.key);
         let tmp = self.root.join(format!(".{}.tmp", record.key.id()));

@@ -175,6 +175,64 @@ proptest! {
     }
 }
 
+/// Records spread over a few distinct keys, for batched-merge properties.
+fn keyed_records(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<ArchiveRecord>> {
+    prop::collection::vec((0u64..3, points(0..8)), n).prop_map(|v| {
+        v.into_iter()
+            .map(|(k, pts)| {
+                let mut rec = record(pts);
+                rec.key = ArchiveKey::new(11 + k, 22, 33);
+                rec
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The batched single-lock merge path is equivalent to per-record
+    /// inserts (same final fronts, same per-record stats) and idempotent:
+    /// replaying the whole batch inserts nothing new and leaves every
+    /// stored front untouched.
+    #[test]
+    fn merge_batch_matches_inserts_and_is_idempotent(recs in keyed_records(0..10)) {
+        use moat_archive::Archive;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let base = std::env::temp_dir().join(format!(
+            "moat-merge-batch-prop-{}-{case}",
+            std::process::id()
+        ));
+        let dir_a = base.join("a");
+        let dir_b = base.join("b");
+        let a = Archive::open(&dir_a).unwrap();
+        let b = Archive::open(&dir_b).unwrap();
+
+        let batched = a.merge_batch(&recs, false).unwrap();
+        let serial: Vec<_> = recs.iter().map(|r| b.insert(r).unwrap()).collect();
+        prop_assert_eq!(&batched, &serial, "per-record stats match the insert path");
+        prop_assert_eq!(
+            a.export_json().unwrap(),
+            b.export_json().unwrap(),
+            "batched merge produces byte-identical archives"
+        );
+
+        // Idempotence: replaying the batch rejects every point and leaves
+        // the stored fronts untouched.
+        let fronts_before: Vec<_> =
+            a.list().unwrap().into_iter().map(|r| r.front).collect();
+        let replay = a.merge_batch(&recs, false).unwrap();
+        for s in &replay {
+            prop_assert_eq!(s.inserted, 0, "replayed batch must insert nothing");
+        }
+        let fronts_after: Vec<_> =
+            a.list().unwrap().into_iter().map(|r| r.front).collect();
+        prop_assert_eq!(fronts_before, fronts_after);
+
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}
+
 /// Warm-started fixed-seed runs must be bit-deterministic regardless of the
 /// evaluation parallelism (results are order-preserving), the warm front
 /// must be at least as good as the archived one, and primed hints must be

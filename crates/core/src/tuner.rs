@@ -40,6 +40,8 @@ use crate::rsgde3::{FrontSignature, TuningResult};
 use crate::space::{Config, ParamSpace};
 use moat_obs as obs;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why a tuning run ended.
@@ -60,6 +62,11 @@ pub enum StopReason {
     /// The session's wall-clock budget ran out (see
     /// [`TuningSession::with_time_budget`]).
     TimeBudgetExhausted,
+    /// The run was cancelled cooperatively (see
+    /// [`TuningSession::with_cancel`]): a shutdown flag flipped while the
+    /// strategy was running, so it wound down at the next batch boundary.
+    /// The last checkpoint written before the cut is the resume point.
+    Cancelled,
 }
 
 impl StopReason {
@@ -72,6 +79,7 @@ impl StopReason {
             StopReason::SpaceExhausted => "space-exhausted",
             StopReason::Completed => "completed",
             StopReason::TimeBudgetExhausted => "time-budget-exhausted",
+            StopReason::Cancelled => "cancelled",
         }
     }
 }
@@ -273,6 +281,8 @@ pub struct TuningSession<'a> {
     time_budget: Option<Duration>,
     started: Option<Instant>,
     time_exhausted: bool,
+    cancel: Option<Arc<AtomicBool>>,
+    cancelled: bool,
     sink: Option<&'a mut dyn EventSink>,
     ckpt_sink: Option<&'a mut dyn CheckpointSink>,
     ckpt_every: u32,
@@ -297,6 +307,8 @@ impl<'a> TuningSession<'a> {
             time_budget: None,
             started: None,
             time_exhausted: false,
+            cancel: None,
+            cancelled: false,
             sink: None,
             ckpt_sink: None,
             ckpt_every: 1,
@@ -340,6 +352,20 @@ impl<'a> TuningSession<'a> {
     /// and the run stops with [`StopReason::TimeBudgetExhausted`].
     pub fn with_time_budget(mut self, limit: Duration) -> Self {
         self.time_budget = Some(limit);
+        self
+    }
+
+    /// Attach a cooperative cancellation flag. Once `flag` turns true the
+    /// session refuses further batches wholesale — the cut lands on a
+    /// batch boundary, exactly like the wall-clock budget — so the
+    /// strategy winds down, the run stops with [`StopReason::Cancelled`],
+    /// and (with checkpointing enabled) the last checkpoint written before
+    /// the cut is a valid resume point: resuming it reproduces the
+    /// uninterrupted run byte-identically, the same guarantee crash
+    /// recovery has. This is how `moat-serve` parks in-flight sessions on
+    /// SIGTERM.
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
         self
     }
 
@@ -471,6 +497,12 @@ impl<'a> TuningSession<'a> {
     /// True once the wall-clock budget refused a batch.
     pub fn time_exhausted(&self) -> bool {
         self.time_exhausted
+    }
+
+    /// True once the cancellation flag refused a batch (see
+    /// [`with_cancel`](Self::with_cancel)).
+    pub fn cancelled(&self) -> bool {
+        self.cancelled
     }
 
     /// Whether a checkpoint sink is attached. Tuners use this to skip
@@ -625,6 +657,25 @@ impl<'a> TuningSession<'a> {
     /// not depend on batch parallelism — runs are deterministic for a
     /// fixed seed regardless of thread count.
     pub fn evaluate(&mut self, configs: &[Config]) -> Vec<Option<ObjVec>> {
+        // Cooperative cancellation: like the wall-clock budget, whole
+        // batches are refused once the flag flips, so the cut never lands
+        // inside a batch and the last checkpoint stays a valid resume
+        // point.
+        if self
+            .cancel
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+        {
+            self.cancelled = true;
+            self.budget_exhausted = true;
+            self.emit(TuningEvent::BatchEvaluated {
+                requested: configs.len(),
+                evaluated: 0,
+                evaluations: self.evaluator.evaluations(),
+                elapsed: None,
+            });
+            return vec![None; configs.len()];
+        }
         // Wall-clock budget: once the deadline passes, whole batches are
         // refused — the cut lands on a batch boundary, never inside one.
         let started = *self.started.get_or_insert_with(Instant::now);
@@ -710,7 +761,9 @@ impl<'a> TuningSession<'a> {
             });
         }
         let mut report = tuner.tune(self);
-        if self.time_exhausted
+        if self.cancelled && report.stop == StopReason::BudgetExhausted {
+            report.stop = StopReason::Cancelled;
+        } else if self.time_exhausted
             && report.stop == StopReason::BudgetExhausted
             && self.budget.is_none_or(|b| self.evaluations() < b)
         {
@@ -964,6 +1017,84 @@ mod tests {
         assert!(transfer.hints.is_empty());
         assert!(WarmStart::default().is_empty());
         assert!(!exact.is_empty());
+    }
+
+    #[test]
+    fn cancel_preset_stops_before_any_evaluation() {
+        let (space, ev) = problem();
+        let flag = Arc::new(AtomicBool::new(true));
+        let mut session = TuningSession::new(space, &ev)
+            .with_batch(BatchEval::sequential())
+            .with_budget(100)
+            .with_cancel(Arc::clone(&flag));
+        let report = session.run(&crate::random::RandomTuner::new(7));
+        assert_eq!(report.stop, StopReason::Cancelled);
+        assert_eq!(report.evaluations, 0);
+        assert!(session.cancelled());
+    }
+
+    #[test]
+    fn cancel_mid_run_then_resume_matches_uninterrupted() {
+        use crate::checkpoint::MemorySink;
+        use std::sync::atomic::AtomicUsize;
+
+        let space = ParamSpace::new(
+            vec!["x".into()],
+            vec![crate::space::Domain::Range { lo: 0, hi: 1000 }],
+        );
+        let tuner = crate::random::RandomTuner::new(11);
+        let budget = 150u64;
+
+        // Reference: uninterrupted run.
+        let ev = (2usize, |cfg: &Config| {
+            let x = cfg[0] as f64;
+            Some(vec![x * x, (x - 100.0) * (x - 100.0)])
+        });
+        let mut reference = TuningSession::new(space.clone(), &ev)
+            .with_batch(BatchEval::sequential())
+            .with_budget(budget);
+        let expected = reference.run(&tuner);
+        assert_eq!(expected.stop, StopReason::BudgetExhausted);
+
+        // Cancelled run: the flag flips from inside the evaluator after 70
+        // fresh evaluations, so the session winds down at the next batch
+        // boundary with a checkpoint already on disk (well, in memory).
+        let flag = Arc::new(AtomicBool::new(false));
+        let trip = Arc::clone(&flag);
+        let count = AtomicUsize::new(0);
+        let cancelling_ev = (2usize, move |cfg: &Config| {
+            if count.fetch_add(1, Ordering::Relaxed) + 1 >= 70 {
+                trip.store(true, Ordering::Relaxed);
+            }
+            let x = cfg[0] as f64;
+            Some(vec![x * x, (x - 100.0) * (x - 100.0)])
+        });
+        let mut sink = MemorySink::default();
+        let report = {
+            let mut session = TuningSession::new(space.clone(), &cancelling_ev)
+                .with_batch(BatchEval::sequential())
+                .with_budget(budget)
+                .with_cancel(Arc::clone(&flag))
+                .with_checkpointing(&mut sink, 1);
+            session.run(&tuner)
+        };
+        assert_eq!(report.stop, StopReason::Cancelled);
+        assert!(report.evaluations >= 70 && report.evaluations < budget);
+
+        // Resume from the last checkpoint with no cancel flag: the tail
+        // replays and the final report is identical to the uninterrupted
+        // run.
+        let ckpt = sink.saved.last().expect("checkpoint written").clone();
+        let mut resumed = TuningSession::new(space, &ev)
+            .with_batch(BatchEval::sequential())
+            .with_resume(ckpt)
+            .expect("valid checkpoint");
+        let actual = resumed.run(&tuner);
+        assert_eq!(actual.stop, expected.stop);
+        assert_eq!(actual.evaluations, expected.evaluations);
+        assert_eq!(actual.front.points(), expected.front.points());
+        assert_eq!(actual.all, expected.all);
+        assert_eq!(actual.trace, expected.trace);
     }
 
     #[test]

@@ -118,6 +118,19 @@ pub enum Event {
         config: String,
     },
 
+    // ── checkpoint persistence (keyed) ──────────────────────────────────
+    /// A checkpoint save failed and the error was parked: the run keeps
+    /// going, but the on-disk resume point is stale until a later save
+    /// succeeds. Emitted the moment parking happens so operators (and the
+    /// serve daemon's gauge) see the degradation immediately instead of on
+    /// the next save attempt.
+    CheckpointParked {
+        /// Destination checkpoint path (stable sort key).
+        path: String,
+        /// The parked I/O error, rendered as text.
+        error: String,
+    },
+
     // ── archive I/O ─────────────────────────────────────────────────────
     /// An archive record was looked up.
     ArchiveRead {
@@ -196,7 +209,9 @@ impl Event {
     /// Determinism class (see module docs).
     pub fn class(&self) -> Class {
         match self {
-            Event::EvalRetry { .. } | Event::EvalQuarantined { .. } => Class::Keyed,
+            Event::EvalRetry { .. }
+            | Event::EvalQuarantined { .. }
+            | Event::CheckpointParked { .. } => Class::Keyed,
             Event::Phase { .. } | Event::WorkerSpan { .. } => Class::Timing,
             _ => Class::Control,
         }
@@ -216,6 +231,7 @@ impl Event {
             Event::Stopped { .. } => "stopped",
             Event::EvalRetry { .. } => "eval_retry",
             Event::EvalQuarantined { .. } => "eval_quarantined",
+            Event::CheckpointParked { .. } => "checkpoint_parked",
             Event::ArchiveRead { .. } => "archive_read",
             Event::ArchiveWrite { .. } => "archive_write",
             Event::VersionSelected { .. } => "version_selected",
@@ -235,6 +251,7 @@ impl Event {
         match self {
             Event::EvalRetry { config, attempt } => (0, config.clone(), *attempt),
             Event::EvalQuarantined { config } => (1, config.clone(), 0),
+            Event::CheckpointParked { path, .. } => (2, path.clone(), 0),
             _ => (0, String::new(), 0),
         }
     }

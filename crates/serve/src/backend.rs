@@ -1,0 +1,339 @@
+//! The seam between the daemon and the actual tuning machinery.
+//!
+//! `moat-serve` schedules, dedupes and persists; it does not know how to
+//! resolve a kernel name into a skeleton, run a cache simulation or emit
+//! C. A [`JobBackend`] supplies exactly that: [`prepare`] resolves a
+//! [`JobSpec`] into the content-addressed identity of the problem, and
+//! [`run`] executes one tuning session under the daemon-provided
+//! [`JobContext`] (cancel flag, shared pool, checkpoint path, warm-start
+//! hints). The top-level `moat` crate implements this trait over its
+//! framework; the [`SyntheticBackend`] here drives the protocol,
+//! scheduling and determinism tests without any of that machinery.
+//!
+//! [`prepare`]: JobBackend::prepare
+//! [`run`]: JobBackend::run
+
+use crate::pool::{FairPool, PooledEvaluator};
+use crate::spec::JobSpec;
+use moat_archive::{ArchiveKey, ArchiveRecord, CheckpointStore, FORMAT_VERSION};
+use moat_core::{
+    BatchEval, Config, EventLog, RandomTuner, SessionCheckpoint, StopReason, TuningEvent,
+    TuningSession, WarmStart,
+};
+use moat_machine::{MachineDesc, MachineFeatures};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// The problem identity a backend resolves a spec into, before running.
+#[derive(Debug, Clone)]
+pub struct JobInfo {
+    /// Content address of the tuning problem — the dedupe/warm-start key.
+    pub key: ArchiveKey,
+    /// The target machine's features (drives nearest-machine transfer).
+    pub machine: MachineFeatures,
+    /// Tunable parameter names, for job listings.
+    pub param_names: Vec<String>,
+    /// Objective names, for job listings.
+    pub objective_names: Vec<String>,
+}
+
+/// Everything the daemon injects into one job run.
+#[derive(Debug, Clone)]
+pub struct JobContext {
+    /// Cooperative shutdown flag: when set, the session winds down at the
+    /// next batch boundary and the outcome reports `cancelled`.
+    pub cancel: Arc<AtomicBool>,
+    /// The shared evaluation pool; every evaluation must hold one slot
+    /// (wrap the evaluator in [`PooledEvaluator`]).
+    pub pool: Arc<FairPool>,
+    /// The job fingerprint — the pool's fairness identity.
+    pub job_fp: u64,
+    /// `BatchEval::parallel` width for the session.
+    pub slots: usize,
+    /// Checkpoint file for crash/shutdown resilience (`None` disables
+    /// checkpointing).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Checkpoint cadence (every N-th opportunity).
+    pub checkpoint_every: u32,
+    /// Resume state from a previous incarnation of this job.
+    pub resume: Option<SessionCheckpoint>,
+    /// Archive-derived warm start (hints and/or seeds). Exact archive
+    /// hits never reach the backend — the daemon replays them from the
+    /// archive at `E = 0` — so this carries transfer seeds in practice.
+    pub warm: Option<WarmStart>,
+    /// Daemon metrics to count pool evaluations into.
+    pub metrics: Option<Arc<crate::metrics::ServeMetrics>>,
+}
+
+/// What one finished (or parked) job run produced.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The mergeable archive record of this run's front.
+    pub record: ArchiveRecord,
+    /// Distinct evaluations spent.
+    pub evaluations: u64,
+    /// Strategy iterations executed.
+    pub iterations: u32,
+    /// Why the session stopped.
+    pub stop: StopReason,
+    /// True when the run was cut by the cancel flag — the job parks and
+    /// resumes from its last checkpoint instead of completing.
+    pub cancelled: bool,
+    /// The session's event stream, for per-job trace retrieval.
+    pub events: Vec<TuningEvent>,
+}
+
+/// A pluggable tuning executor.
+pub trait JobBackend: Send + Sync + 'static {
+    /// Resolve a spec into the problem's content address, or explain why
+    /// it cannot be served (unknown kernel/machine/strategy, …). Must be
+    /// cheap: it runs on the request path.
+    fn prepare(&self, spec: &JobSpec) -> Result<JobInfo, String>;
+
+    /// Execute one tuning session for `spec` under `ctx`.
+    fn run(&self, spec: &JobSpec, ctx: JobContext) -> Result<JobOutcome, String>;
+}
+
+/// A [`CheckpointSink`](moat_core::CheckpointSink) over a
+/// [`CheckpointStore`] that bumps the daemon's `serve_parked_checkpoints`
+/// gauge the moment a save fails and parks — the serve-side twin of the
+/// `checkpoint_parked` obs event the store itself emits. Backends should
+/// checkpoint through this rather than the bare store so operators see
+/// the degradation on the next `/metrics` scrape.
+pub struct GaugedStore {
+    store: CheckpointStore,
+    metrics: Option<Arc<crate::metrics::ServeMetrics>>,
+    parked: bool,
+}
+
+impl GaugedStore {
+    /// Wrap `store`; `metrics` may be absent (tests, CLI use).
+    pub fn new(store: CheckpointStore, metrics: Option<Arc<crate::metrics::ServeMetrics>>) -> Self {
+        GaugedStore {
+            store,
+            metrics,
+            parked: false,
+        }
+    }
+
+    /// Whether any save has parked so far.
+    pub fn parked(&self) -> bool {
+        self.parked
+    }
+}
+
+impl moat_core::CheckpointSink for GaugedStore {
+    fn save(&mut self, checkpoint: &SessionCheckpoint) {
+        moat_core::CheckpointSink::save(&mut self.store, checkpoint);
+        if !self.parked && self.store.last_error().is_some() {
+            self.parked = true;
+            if let Some(m) = &self.metrics {
+                m.parked_checkpoints
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// FNV-1a over a string, for synthetic fingerprints.
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A self-contained backend over a deterministic synthetic 2-objective
+/// problem — the protocol/scheduling/determinism test double. The
+/// problem's landscape depends on the kernel name, so distinct specs
+/// produce distinct fronts; the strategy is always random search (seeded
+/// by the spec), which exercises budgets, batching, checkpointing and
+/// cancellation exactly like the real thing at a fraction of the cost.
+#[derive(Debug, Clone, Default)]
+pub struct SyntheticBackend {
+    /// Artificial per-evaluation delay in microseconds — gives the load
+    /// generator something to measure and the fairness tests contention.
+    pub eval_delay_us: u64,
+}
+
+impl SyntheticBackend {
+    /// Default evaluation budget when the spec does not set one.
+    pub const DEFAULT_BUDGET: u64 = 96;
+
+    fn space(&self) -> moat_core::ParamSpace {
+        moat_core::ParamSpace::new(
+            vec!["x".into(), "y".into()],
+            vec![
+                moat_core::Domain::Range { lo: 0, hi: 200 },
+                moat_core::Domain::Range { lo: 0, hi: 200 },
+            ],
+        )
+    }
+
+    fn machine(&self, spec: &JobSpec) -> MachineFeatures {
+        let mut features = MachineDesc::westmere().features();
+        features.name = spec.machine.clone();
+        features
+    }
+}
+
+impl JobBackend for SyntheticBackend {
+    fn prepare(&self, spec: &JobSpec) -> Result<JobInfo, String> {
+        if spec.kernel.starts_with("bad") {
+            return Err(format!("unknown kernel {:?}", spec.kernel));
+        }
+        let space = self.space();
+        let machine = self.machine(spec);
+        Ok(JobInfo {
+            key: ArchiveKey::new(fnv(&spec.kernel), space.signature(), machine.fingerprint()),
+            machine,
+            param_names: space.names.clone(),
+            objective_names: vec!["f0".into(), "f1".into()],
+        })
+    }
+
+    fn run(&self, spec: &JobSpec, ctx: JobContext) -> Result<JobOutcome, String> {
+        let info = self.prepare(spec)?;
+        let space = self.space();
+        let bias = (fnv(&spec.kernel) % 97) as f64;
+        let delay = self.eval_delay_us;
+        let ev = (2usize, move |cfg: &Config| {
+            if delay > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(delay));
+            }
+            let (x, y) = (cfg[0] as f64, cfg[1] as f64);
+            Some(vec![(x - bias).powi(2) + y, (y - bias).powi(2) + x])
+        });
+        let pooled = {
+            let p = PooledEvaluator::new(&ev, Arc::clone(&ctx.pool), ctx.job_fp);
+            match &ctx.metrics {
+                Some(m) => p.with_metrics(Arc::clone(m)),
+                None => p,
+            }
+        };
+
+        let mut store = match &ctx.checkpoint_path {
+            Some(path) => Some(GaugedStore::new(
+                CheckpointStore::create(path).map_err(|e| e.to_string())?,
+                ctx.metrics.clone(),
+            )),
+            None => None,
+        };
+        let mut log = EventLog::new();
+        let batch = if ctx.slots > 1 {
+            BatchEval::parallel(ctx.slots)
+        } else {
+            BatchEval::sequential()
+        };
+        let budget = spec.budget.unwrap_or(Self::DEFAULT_BUDGET);
+
+        let (report, cancelled) = {
+            let mut session = TuningSession::new(space.clone(), &pooled)
+                .with_label(&spec.kernel)
+                .with_batch(batch)
+                .with_budget(budget)
+                .with_cancel(Arc::clone(&ctx.cancel))
+                .with_sink(&mut log);
+            if let Some(warm) = ctx.warm.clone() {
+                session = session.with_warm_start(warm);
+            }
+            if let Some(resume) = ctx.resume.clone() {
+                session = session.with_resume(resume).map_err(|e| e.to_string())?;
+            }
+            if let Some(store) = store.as_mut() {
+                session = session.with_checkpointing(store, ctx.checkpoint_every.max(1));
+            }
+            let report = session.run(&RandomTuner::new(spec.seed));
+            let cancelled = session.cancelled();
+            (report, cancelled)
+        };
+
+        let mut record = ArchiveRecord {
+            format_version: FORMAT_VERSION,
+            key: info.key,
+            region: spec.kernel.clone(),
+            skeleton: spec.kernel.clone(),
+            machine: info.machine,
+            param_names: info.param_names,
+            objective_names: info.objective_names,
+            evaluations: report.evaluations,
+            runs: 1,
+            front: report.front.points().to_vec(),
+        };
+        record.canonicalize();
+        Ok(JobOutcome {
+            record,
+            evaluations: report.evaluations,
+            iterations: report.iterations,
+            stop: report.stop,
+            cancelled,
+            events: log.events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kernel: &str) -> JobSpec {
+        JobSpec {
+            tenant: "t".into(),
+            kernel: kernel.into(),
+            size: None,
+            machine: "westmere".into(),
+            strategy: "random".into(),
+            backends: vec![],
+            budget: Some(40),
+            seed: 3,
+            warm_start: false,
+        }
+    }
+
+    fn ctx(pool: Arc<FairPool>) -> JobContext {
+        JobContext {
+            cancel: Arc::new(AtomicBool::new(false)),
+            pool,
+            job_fp: 1,
+            slots: 2,
+            checkpoint_path: None,
+            checkpoint_every: 1,
+            resume: None,
+            warm: None,
+            metrics: None,
+        }
+    }
+
+    #[test]
+    fn synthetic_runs_are_deterministic_and_kernel_sensitive() {
+        let backend = SyntheticBackend::default();
+        let pool = FairPool::new(4);
+        let a = backend.run(&spec("mm"), ctx(Arc::clone(&pool))).unwrap();
+        let b = backend.run(&spec("mm"), ctx(Arc::clone(&pool))).unwrap();
+        assert_eq!(a.record, b.record, "fixed seed ⇒ identical record");
+        assert_eq!(a.evaluations, 40);
+        assert!(!a.cancelled);
+        let c = backend.run(&spec("dsyrk"), ctx(pool)).unwrap();
+        assert_ne!(a.record.key, c.record.key, "kernel changes the key");
+    }
+
+    #[test]
+    fn cancel_parks_with_resume_state() {
+        let backend = SyntheticBackend::default();
+        let pool = FairPool::new(2);
+        let dir =
+            std::env::temp_dir().join(format!("moat-serve-backend-cancel-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = ctx(Arc::clone(&pool));
+        c.cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+        c.checkpoint_path = Some(dir.join("job.ckpt"));
+        let out = backend.run(&spec("mm"), c).unwrap();
+        assert!(out.cancelled);
+        assert_eq!(out.stop, StopReason::Cancelled);
+        assert_eq!(out.evaluations, 0, "pre-set flag cuts before any batch");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,749 @@
+//! The daemon proper: accept loop, job table, dedupe, session threads,
+//! background compaction and graceful shutdown.
+//!
+//! One [`serve`] call owns a state directory:
+//!
+//! ```text
+//! <state>/jobs.json          job table (atomic rewrite on every change)
+//! <state>/results/<id>.json  final ArchiveRecord per completed job
+//! <state>/traces/<id>.jsonl  per-job obs trace (moat-report readable)
+//! <state>/ckpt/<fp>.ckpt     session checkpoints, named by fingerprint
+//! <state>/archive/           the sharded archive
+//! ```
+//!
+//! **Dedupe.** `POST /jobs` fingerprints the spec ([`JobSpec::fingerprint`])
+//! and consults a fingerprint → primary-job map. A hit registers the new
+//! submission as a *subscriber*: it gets its own job id and tenant
+//! attribution, but `serves_as` points at the primary and every read
+//! (status, result, trace) resolves through it. Failed primaries leave
+//! the map so the next identical submission retries fresh.
+//!
+//! **Shutdown.** One atomic `stop` flag is shared by the accept loop, the
+//! compactor and — as the session cancel flag — every running
+//! `TuningSession`. Setting it (SIGTERM in the binary, `POST /shutdown`
+//! in tests) stops accepting, winds sessions down at their next batch
+//! boundary (they have been checkpointing all along, so they park
+//! losslessly) and [`ServeHandle::join`] reaps everything. On the next
+//! start, parked and interrupted jobs are re-spawned with
+//! `with_resume(...)` from their fingerprint-named checkpoint, which the
+//! core guarantees continues bit-identically to an uninterrupted run.
+
+use crate::backend::JobBackend;
+use crate::metrics::ServeMetrics;
+use crate::pool::FairPool;
+use crate::shard::ShardedArchive;
+use crate::spec::{JobSpec, SubmitResponse};
+use crate::wire::{self, Request, Response, WireError};
+use moat_archive::CheckpointStore;
+use moat_core::SessionCheckpoint;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration. `new` fills every knob with the defaults the
+/// tests and the smoke script use.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`ServeHandle::addr`]).
+    pub listen: String,
+    /// The state directory (created if absent).
+    pub state_dir: PathBuf,
+    /// Global evaluation slots shared by all sessions.
+    pub pool_slots: usize,
+    /// `BatchEval::parallel` width of each session. Sessions over-request
+    /// on purpose: the pool, not the session, is the concurrency budget.
+    pub session_width: usize,
+    /// Archive shard count (sticky once the state directory exists).
+    pub shards: usize,
+    /// Checkpoint cadence passed to every session.
+    pub checkpoint_every: u32,
+    /// Background compaction period.
+    pub compact_interval: Duration,
+}
+
+impl ServeConfig {
+    /// Defaults rooted at `state_dir`.
+    pub fn new(state_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            listen: "127.0.0.1:0".into(),
+            state_dir: state_dir.into(),
+            pool_slots: 4,
+            session_width: 2,
+            shards: 4,
+            checkpoint_every: 1,
+            compact_interval: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Job lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Accepted, session not yet running.
+    Queued,
+    /// Session in flight.
+    Running,
+    /// Cancelled by shutdown with a checkpoint on disk; resumes on the
+    /// next daemon start.
+    Parked,
+    /// Finished; result and trace are on disk.
+    Done,
+    /// The backend refused or errored; the fingerprint is released.
+    Failed,
+}
+
+/// One row of the job table — persisted verbatim in `jobs.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobState {
+    /// Daemon-assigned id (`j0001`, …).
+    pub id: String,
+    /// Submitting tenant (attribution only; never affects scheduling
+    /// identity).
+    pub tenant: String,
+    /// The spec as submitted.
+    pub spec: JobSpec,
+    /// `spec.fingerprint_hex()` — the dedupe/checkpoint key.
+    pub fingerprint: String,
+    /// Lifecycle state. For subscribers this stays `Queued`; reads
+    /// resolve through `serves_as`.
+    pub status: JobStatus,
+    /// When this submission was deduped: the id of the primary job whose
+    /// session (and result, and trace) serves it.
+    pub serves_as: Option<String>,
+    /// The backend-resolved `ArchiveKey` id.
+    pub key: Option<String>,
+    /// Evaluations spent (final, or at parking).
+    pub evaluations: u64,
+    /// Strategy iterations executed.
+    pub iterations: u32,
+    /// Stop reason name once finished/parked.
+    pub stop: Option<String>,
+    /// Backend error for `Failed` jobs.
+    pub error: Option<String>,
+    /// True when this incarnation resumed from a checkpoint.
+    pub resumed: bool,
+    /// True when the job was served from the archive at `E = 0`.
+    pub replayed: bool,
+    /// Warm-start provenance (`exact` or `transfer(machine, distance)`).
+    pub warm: Option<String>,
+}
+
+struct Jobs {
+    states: BTreeMap<String, JobState>,
+    /// fingerprint → primary job id (non-failed jobs only).
+    dedupe: HashMap<u64, String>,
+    next: u64,
+}
+
+struct Daemon {
+    config: ServeConfig,
+    backend: Arc<dyn JobBackend>,
+    pool: Arc<FairPool>,
+    metrics: Arc<ServeMetrics>,
+    archive: ShardedArchive,
+    stop: Arc<AtomicBool>,
+    jobs: Mutex<Jobs>,
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Daemon {
+    fn jobs_path(&self) -> PathBuf {
+        self.config.state_dir.join("jobs.json")
+    }
+
+    fn result_path(&self, id: &str) -> PathBuf {
+        self.config
+            .state_dir
+            .join("results")
+            .join(format!("{id}.json"))
+    }
+
+    fn trace_path(&self, id: &str) -> PathBuf {
+        self.config
+            .state_dir
+            .join("traces")
+            .join(format!("{id}.jsonl"))
+    }
+
+    fn ckpt_path(&self, fingerprint: &str) -> PathBuf {
+        self.config
+            .state_dir
+            .join("ckpt")
+            .join(format!("{fingerprint}.ckpt"))
+    }
+
+    /// Atomically rewrite `jobs.json` from the table. Callers hold the
+    /// jobs lock.
+    fn persist(&self, jobs: &Jobs) {
+        let rows: Vec<&JobState> = jobs.states.values().collect();
+        let json = serde_json::to_string_pretty(&rows).expect("job table serializes");
+        let tmp = self.jobs_path().with_extension("json.tmp");
+        if std::fs::write(&tmp, json).is_ok() {
+            let _ = std::fs::rename(&tmp, self.jobs_path());
+        }
+    }
+
+    /// A job's externally visible state: subscribers inherit the
+    /// lifecycle fields of their primary.
+    fn resolved(&self, jobs: &Jobs, id: &str) -> Option<JobState> {
+        let own = jobs.states.get(id)?.clone();
+        let Some(primary_id) = &own.serves_as else {
+            return Some(own);
+        };
+        let Some(primary) = jobs.states.get(primary_id) else {
+            return Some(own);
+        };
+        let mut view = own;
+        view.status = primary.status;
+        view.evaluations = primary.evaluations;
+        view.iterations = primary.iterations;
+        view.stop = primary.stop.clone();
+        view.error = primary.error.clone();
+        view.resumed = primary.resumed;
+        view.replayed = primary.replayed;
+        view.warm = primary.warm.clone();
+        Some(view)
+    }
+
+    /// The id whose on-disk artifacts (result, trace) serve `id`.
+    fn artifact_id(&self, jobs: &Jobs, id: &str) -> Option<String> {
+        let state = jobs.states.get(id)?;
+        Some(state.serves_as.clone().unwrap_or_else(|| state.id.clone()))
+    }
+
+    fn run_job(self: &Arc<Self>, id: &str, resume: Option<SessionCheckpoint>) {
+        let (spec, fingerprint) = {
+            let mut jobs = self.jobs.lock();
+            let Some(state) = jobs.states.get_mut(id) else {
+                return;
+            };
+            state.status = JobStatus::Running;
+            let out = (state.spec.clone(), state.fingerprint.clone());
+            self.persist(&jobs);
+            out
+        };
+        let fp = spec.fingerprint();
+        let resumed = resume.is_some();
+
+        // Warm-start / replay decision, made against the archive at run
+        // time so a restart re-derives it from current contents. An exact
+        // hit never reaches the backend: the archived front IS the result,
+        // served at E = 0. A near-machine hit seeds a normal run.
+        let mut warm = None;
+        let mut warm_desc = None;
+        if spec.warm_start && !resumed {
+            if let Ok(info) = self.backend.prepare(&spec) {
+                match self.archive.warm_start_for(&info.key, &info.machine) {
+                    Ok(Some((_, moat_archive::WarmStartSource::Exact))) => {
+                        if let Ok(Some(record)) = self.archive.get(&info.key) {
+                            self.complete_replay(id, &spec, &fingerprint, &record);
+                            return;
+                        }
+                    }
+                    Ok(Some((
+                        ws,
+                        moat_archive::WarmStartSource::Transfer { machine, distance },
+                    ))) => {
+                        warm_desc = Some(format!("transfer({machine}, {distance:.3})"));
+                        warm = Some(ws);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let ctx = crate::backend::JobContext {
+            cancel: Arc::clone(&self.stop),
+            pool: Arc::clone(&self.pool),
+            job_fp: fp,
+            slots: self.config.session_width,
+            checkpoint_path: Some(self.ckpt_path(&fingerprint)),
+            checkpoint_every: self.config.checkpoint_every,
+            resume,
+            warm,
+            metrics: Some(Arc::clone(&self.metrics)),
+        };
+
+        match self.backend.run(&spec, ctx) {
+            Ok(outcome) => {
+                let records = crate::trace::job_records(
+                    &spec.kernel,
+                    &spec.strategy,
+                    &outcome.events,
+                    Some((outcome.stop, outcome.evaluations)),
+                );
+                let _ = std::fs::write(self.trace_path(id), moat_obs::export::to_jsonl(&records));
+                if outcome.cancelled {
+                    let mut jobs = self.jobs.lock();
+                    if let Some(state) = jobs.states.get_mut(id) {
+                        state.status = JobStatus::Parked;
+                        state.evaluations = outcome.evaluations;
+                        state.iterations = outcome.iterations;
+                        state.stop = Some(outcome.stop.name().to_string());
+                        state.resumed = resumed;
+                        self.persist(&jobs);
+                    }
+                    return;
+                }
+                if let Err(e) = self.archive.deposit(&outcome.record, &fingerprint) {
+                    self.fail(id, fp, format!("archive deposit failed: {e}"));
+                    return;
+                }
+                let pretty =
+                    serde_json::to_string_pretty(&outcome.record).expect("record serializes");
+                let _ = std::fs::write(self.result_path(id), pretty);
+                let ckpt = self.ckpt_path(&fingerprint);
+                let _ = std::fs::remove_file(&ckpt);
+                let _ = std::fs::remove_file(ckpt.with_extension("ckpt.wal"));
+                let mut jobs = self.jobs.lock();
+                if let Some(state) = jobs.states.get_mut(id) {
+                    state.status = JobStatus::Done;
+                    state.evaluations = outcome.evaluations;
+                    state.iterations = outcome.iterations;
+                    state.stop = Some(outcome.stop.name().to_string());
+                    state.resumed = resumed;
+                    state.warm = warm_desc;
+                    self.persist(&jobs);
+                }
+                self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => self.fail(id, fp, e),
+        }
+    }
+
+    /// Serve an exact archive hit at `E = 0`: the archived front is the
+    /// result; no session runs and no budget is spent.
+    fn complete_replay(
+        &self,
+        id: &str,
+        spec: &JobSpec,
+        fingerprint: &str,
+        record: &moat_archive::ArchiveRecord,
+    ) {
+        let records = crate::trace::job_records(
+            &spec.kernel,
+            &spec.strategy,
+            &[],
+            Some((moat_core::StopReason::Completed, 0)),
+        );
+        let _ = std::fs::write(self.trace_path(id), moat_obs::export::to_jsonl(&records));
+        let pretty = serde_json::to_string_pretty(record).expect("record serializes");
+        let _ = std::fs::write(self.result_path(id), pretty);
+        let ckpt = self.ckpt_path(fingerprint);
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(ckpt.with_extension("ckpt.wal"));
+        let mut jobs = self.jobs.lock();
+        if let Some(state) = jobs.states.get_mut(id) {
+            state.status = JobStatus::Done;
+            state.evaluations = 0;
+            state.iterations = 0;
+            state.stop = Some(moat_core::StopReason::Completed.name().to_string());
+            state.replayed = true;
+            state.warm = Some("exact".into());
+            self.persist(&jobs);
+        }
+        self.metrics.jobs_replayed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn fail(&self, id: &str, fp: u64, error: String) {
+        let mut jobs = self.jobs.lock();
+        if let Some(state) = jobs.states.get_mut(id) {
+            state.status = JobStatus::Failed;
+            state.error = Some(error);
+        }
+        if jobs.dedupe.get(&fp).map(String::as_str) == Some(id) {
+            jobs.dedupe.remove(&fp);
+        }
+        self.persist(&jobs);
+        self.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn submit(self: &Arc<Self>, req: &Request) -> Response {
+        if self.stop.load(Ordering::Relaxed) {
+            return Response::error(503, "shutting down");
+        }
+        let parsed = std::str::from_utf8(&req.body)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<JobSpec>(s).map_err(|e| e.to_string()));
+        let spec = match parsed {
+            Ok(s) => s,
+            Err(e) => return Response::error(400, &format!("bad job spec: {e}")),
+        };
+        if let Err(e) = spec.validate() {
+            return Response::error(400, &e);
+        }
+        let info = match self.backend.prepare(&spec) {
+            Ok(i) => i,
+            Err(e) => return Response::error(400, &e),
+        };
+        let fp = spec.fingerprint();
+        let fingerprint = spec.fingerprint_hex();
+        self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+
+        let (id, primary) = {
+            let mut jobs = self.jobs.lock();
+            let id = format!("j{:04}", jobs.next);
+            jobs.next += 1;
+            let primary = jobs.dedupe.get(&fp).cloned();
+            let state = JobState {
+                id: id.clone(),
+                tenant: spec.tenant.clone(),
+                spec: spec.clone(),
+                fingerprint: fingerprint.clone(),
+                status: JobStatus::Queued,
+                serves_as: primary.clone(),
+                key: Some(info.key.id()),
+                evaluations: 0,
+                iterations: 0,
+                stop: None,
+                error: None,
+                resumed: false,
+                replayed: false,
+                warm: None,
+            };
+            jobs.states.insert(id.clone(), state);
+            if primary.is_none() {
+                jobs.dedupe.insert(fp, id.clone());
+            } else {
+                self.metrics.jobs_deduped.fetch_add(1, Ordering::Relaxed);
+            }
+            self.persist(&jobs);
+            (id, primary)
+        };
+
+        let serves_as = match primary {
+            Some(primary) => primary,
+            None => {
+                spawn_job(self, id.clone(), None);
+                id.clone()
+            }
+        };
+        let resp = SubmitResponse {
+            deduped: serves_as != id,
+            job: id,
+            fingerprint,
+            serves_as,
+        };
+        Response::json(
+            202,
+            serde_json::to_string(&resp)
+                .expect("serializes")
+                .into_bytes(),
+        )
+    }
+
+    fn route(self: &Arc<Self>, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/jobs") => self.submit(req),
+            ("GET", "/jobs") => {
+                let jobs = self.jobs.lock();
+                let ids: Vec<String> = jobs.states.keys().cloned().collect();
+                let rows: Vec<JobState> = ids
+                    .iter()
+                    .filter_map(|id| self.resolved(&jobs, id))
+                    .collect();
+                Response::json(
+                    200,
+                    serde_json::to_string(&rows)
+                        .expect("job list serializes")
+                        .into_bytes(),
+                )
+            }
+            ("GET", "/archive") => match self.archive.export_json() {
+                Ok(json) => Response::json(200, json.into_bytes()),
+                Err(e) => Response::error(500, &e.to_string()),
+            },
+            ("GET", "/metrics") => {
+                let mut records = Vec::new();
+                let ids: Vec<String> = {
+                    let jobs = self.jobs.lock();
+                    jobs.states.keys().cloned().collect()
+                };
+                for id in ids {
+                    if let Ok(text) = std::fs::read_to_string(self.trace_path(&id)) {
+                        if let Ok(mut rs) = moat_obs::export::parse_jsonl(&text) {
+                            records.append(&mut rs);
+                        }
+                    }
+                }
+                Response::text(200, self.metrics.render(&records).into_bytes())
+            }
+            ("GET", "/healthz") => Response::text(200, "ok\n"),
+            ("POST", "/shutdown") => {
+                self.stop.store(true, Ordering::Relaxed);
+                Response::json(200, br#"{"status":"shutting-down"}"#.to_vec())
+            }
+            ("GET", path) if path.starts_with("/jobs/") => {
+                let rest = &path["/jobs/".len()..];
+                if let Some(id) = rest.strip_suffix("/trace") {
+                    let artifact = {
+                        let jobs = self.jobs.lock();
+                        self.artifact_id(&jobs, id)
+                    };
+                    let Some(artifact) = artifact else {
+                        return Response::error(404, "no such job");
+                    };
+                    match std::fs::read(self.trace_path(&artifact)) {
+                        Ok(bytes) => Response {
+                            status: 200,
+                            content_type: "application/x-ndjson".into(),
+                            body: bytes,
+                        },
+                        Err(_) => Response::error(404, "no trace yet"),
+                    }
+                } else if let Some(id) = rest.strip_suffix("/result") {
+                    let artifact = {
+                        let jobs = self.jobs.lock();
+                        self.artifact_id(&jobs, id)
+                    };
+                    let Some(artifact) = artifact else {
+                        return Response::error(404, "no such job");
+                    };
+                    match std::fs::read(self.result_path(&artifact)) {
+                        Ok(bytes) => Response::json(200, bytes),
+                        Err(_) => Response::error(404, "no result yet"),
+                    }
+                } else {
+                    let jobs = self.jobs.lock();
+                    match self.resolved(&jobs, rest) {
+                        Some(state) => Response::json(
+                            200,
+                            serde_json::to_string(&state)
+                                .expect("job serializes")
+                                .into_bytes(),
+                        ),
+                        None => Response::error(404, "no such job"),
+                    }
+                }
+            }
+            ("POST" | "PUT" | "DELETE", "/metrics" | "/healthz" | "/archive") => {
+                Response::error(405, "read-only endpoint")
+            }
+            (_, "/jobs") => Response::error(405, "use GET or POST"),
+            _ => Response::error(404, "no such route"),
+        }
+    }
+
+    fn handle_conn(self: &Arc<Self>, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        self.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+        let resp = match wire::read_request(&mut stream) {
+            Ok(req) => self.route(&req),
+            Err(WireError::Malformed(m)) => Response::error(400, &m),
+            Err(WireError::TooLarge(m)) if m.contains("body") => Response::error(413, &m),
+            Err(WireError::TooLarge(m)) => Response::error(431, &m),
+            Err(WireError::Io(_)) => return,
+        };
+        if resp.status >= 400 {
+            self.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let _ = wire::write_response(&mut stream, &resp);
+    }
+}
+
+fn spawn_job(daemon: &Arc<Daemon>, id: String, resume: Option<SessionCheckpoint>) {
+    let d = Arc::clone(daemon);
+    let handle = std::thread::spawn(move || d.run_job(&id, resume));
+    daemon.sessions.lock().push(handle);
+}
+
+/// A running daemon. Dropping the handle does **not** stop it — call
+/// [`stop`](ServeHandle::stop) (or `POST /shutdown`, or send the binary a
+/// SIGTERM) and then [`join`](ServeHandle::join).
+pub struct ServeHandle {
+    daemon: Arc<Daemon>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown flag — hand it to a signal handler.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.daemon.stop)
+    }
+
+    /// Request graceful shutdown (idempotent, non-blocking).
+    pub fn stop(&self) {
+        self.daemon.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// The daemon's metrics registry.
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.daemon.metrics)
+    }
+
+    /// Block until shutdown is requested, then tear down: join the accept
+    /// loop, cancel-and-join every session (they park via their
+    /// checkpoints), run one final compaction, persist, and return.
+    pub fn join(mut self) -> std::io::Result<()> {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // The accept loop only exits with `stop` set, but make it
+        // explicit for the error path.
+        self.daemon.stop.store(true, Ordering::Relaxed);
+        loop {
+            let drained: Vec<JoinHandle<()>> = std::mem::take(&mut *self.daemon.sessions.lock());
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
+        }
+        if let Some(h) = self.compactor.take() {
+            let _ = h.join();
+        }
+        match self.daemon.archive.compact() {
+            Ok(n) => {
+                self.daemon
+                    .metrics
+                    .compactions
+                    .fetch_add(1, Ordering::Relaxed);
+                self.daemon
+                    .metrics
+                    .compacted_records
+                    .fetch_add(n as u64, Ordering::Relaxed);
+            }
+            Err(e) => eprintln!("moat-serve: final compaction failed: {e}"),
+        }
+        let jobs = self.daemon.jobs.lock();
+        self.daemon.persist(&jobs);
+        Ok(())
+    }
+}
+
+/// Start the daemon: recover state from `config.state_dir`, re-spawn
+/// interrupted jobs with their checkpoints, bind the listener and return.
+pub fn serve(config: ServeConfig, backend: Arc<dyn JobBackend>) -> std::io::Result<ServeHandle> {
+    for sub in ["results", "traces", "ckpt"] {
+        std::fs::create_dir_all(config.state_dir.join(sub))?;
+    }
+    let archive = ShardedArchive::open(config.state_dir.join("archive"), config.shards)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let pool = FairPool::new(config.pool_slots);
+    let metrics = Arc::new(ServeMetrics::default());
+    let listener = TcpListener::bind(&config.listen)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let daemon = Arc::new(Daemon {
+        config,
+        backend,
+        pool,
+        metrics,
+        archive,
+        stop: Arc::new(AtomicBool::new(false)),
+        jobs: Mutex::new(Jobs {
+            states: BTreeMap::new(),
+            dedupe: HashMap::new(),
+            next: 1,
+        }),
+        sessions: Mutex::new(Vec::new()),
+    });
+
+    // Recover the job table and re-spawn everything interrupted.
+    let mut respawn: Vec<(String, Option<SessionCheckpoint>)> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(daemon.jobs_path()) {
+        let rows: Vec<JobState> = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::other(format!("corrupt jobs.json: {e}")))?;
+        let mut jobs = daemon.jobs.lock();
+        for row in rows {
+            let numeric: u64 = row.id.trim_start_matches('j').parse().unwrap_or(0);
+            jobs.next = jobs.next.max(numeric + 1);
+            if row.serves_as.is_none() && row.status != JobStatus::Failed {
+                jobs.dedupe.insert(row.spec.fingerprint(), row.id.clone());
+            }
+            let interrupted = row.serves_as.is_none()
+                && matches!(
+                    row.status,
+                    JobStatus::Queued | JobStatus::Running | JobStatus::Parked
+                );
+            if interrupted {
+                let resume = CheckpointStore::load(daemon.ckpt_path(&row.fingerprint)).ok();
+                if resume.is_some() {
+                    daemon.metrics.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+                }
+                respawn.push((row.id.clone(), resume));
+            }
+            jobs.states.insert(row.id.clone(), row);
+        }
+        daemon.persist(&jobs);
+    }
+    for (id, resume) in respawn {
+        if resume.is_some() {
+            if let Some(state) = daemon.jobs.lock().states.get_mut(&id) {
+                state.resumed = true;
+            }
+        }
+        spawn_job(&daemon, id, resume);
+    }
+
+    let accept = {
+        let d = Arc::clone(&daemon);
+        std::thread::spawn(move || loop {
+            if d.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    d.handle_conn(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        })
+    };
+    let compactor = {
+        let d = Arc::clone(&daemon);
+        std::thread::spawn(move || {
+            let tick = Duration::from_millis(10);
+            let mut slept = Duration::ZERO;
+            loop {
+                if d.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(tick);
+                slept += tick;
+                if slept < d.config.compact_interval {
+                    continue;
+                }
+                slept = Duration::ZERO;
+                match d.archive.compact() {
+                    Ok(n) => {
+                        d.metrics.compactions.fetch_add(1, Ordering::Relaxed);
+                        d.metrics
+                            .compacted_records
+                            .fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    Err(e) => eprintln!("moat-serve: compaction failed: {e}"),
+                }
+            }
+        })
+    };
+
+    Ok(ServeHandle {
+        daemon,
+        addr,
+        accept: Some(accept),
+        compactor: Some(compactor),
+    })
+}

@@ -1,0 +1,142 @@
+//! Daemon-level counters and the `/metrics` snapshot.
+//!
+//! Two layers compose the scrape text:
+//!
+//! * **serve-native counters** (`serve_*` families) — live atomics bumped
+//!   by the daemon itself: submissions, dedupe hits, warm replays,
+//!   completions, pool evaluations, compaction sweeps, parked
+//!   checkpoints;
+//! * **the PR 5 tuning metrics** (`moat_*` families) — rendered by
+//!   [`moat_obs::metrics::render`] over the obs records synthesized from
+//!   every finished job's trace, so the same families a single `moat-tune`
+//!   run exports stay scrapeable in service mode.
+
+use moat_obs::Record;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live daemon counters. All relaxed atomics: scrapes are snapshots, not
+/// barriers.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Jobs accepted by `POST /jobs` (including deduped ones).
+    pub jobs_submitted: AtomicU64,
+    /// Submissions coalesced onto an existing job.
+    pub jobs_deduped: AtomicU64,
+    /// Jobs served from the archive as a zero-evaluation warm replay.
+    pub jobs_replayed: AtomicU64,
+    /// Jobs finished successfully (including replays).
+    pub jobs_completed: AtomicU64,
+    /// Jobs that errored.
+    pub jobs_failed: AtomicU64,
+    /// Sessions resumed from a checkpoint after a restart.
+    pub jobs_resumed: AtomicU64,
+    /// Evaluations admitted through the shared pool.
+    pub pool_evaluations: AtomicU64,
+    /// Background compaction sweeps.
+    pub compactions: AtomicU64,
+    /// Incoming records folded into shards by compaction.
+    pub compacted_records: AtomicU64,
+    /// Checkpoint saves that failed and were parked (the serve-side gauge
+    /// for `checkpoint_parked` events).
+    pub parked_checkpoints: AtomicU64,
+    /// HTTP exchanges served.
+    pub http_requests: AtomicU64,
+    /// HTTP exchanges answered with a 4xx/5xx.
+    pub http_errors: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Render the full `/metrics` text: serve-native families first, then
+    /// the `moat_*` families derived from `job_records`.
+    pub fn render(&self, job_records: &[Record]) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        counter(
+            "serve_jobs_submitted_total",
+            "Jobs accepted by POST /jobs.",
+            self.jobs_submitted.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_jobs_deduped_total",
+            "Submissions coalesced onto an existing job.",
+            self.jobs_deduped.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_jobs_replayed_total",
+            "Jobs served from the archive at E=0.",
+            self.jobs_replayed.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_jobs_completed_total",
+            "Jobs finished successfully.",
+            self.jobs_completed.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_jobs_failed_total",
+            "Jobs that errored.",
+            self.jobs_failed.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_jobs_resumed_total",
+            "Sessions resumed from checkpoints after restart.",
+            self.jobs_resumed.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_pool_evaluations_total",
+            "Evaluations admitted through the shared pool.",
+            self.pool_evaluations.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_compactions_total",
+            "Background shard compaction sweeps.",
+            self.compactions.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_compacted_records_total",
+            "Incoming records folded into shards.",
+            self.compacted_records.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_http_requests_total",
+            "HTTP exchanges served.",
+            self.http_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_http_errors_total",
+            "HTTP exchanges answered 4xx/5xx.",
+            self.http_errors.load(Ordering::Relaxed),
+        );
+        let parked = self.parked_checkpoints.load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "# HELP serve_parked_checkpoints Checkpoint saves that failed and were parked.\n\
+             # TYPE serve_parked_checkpoints gauge\n\
+             serve_parked_checkpoints {parked}\n"
+        ));
+        out.push_str(&moat_obs::metrics::render(job_records));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_contains_both_layers() {
+        let m = ServeMetrics::default();
+        m.jobs_submitted.store(5, Ordering::Relaxed);
+        m.jobs_deduped.store(2, Ordering::Relaxed);
+        let text = m.render(&[]);
+        assert!(text.contains("serve_jobs_submitted_total 5\n"), "{text}");
+        assert!(text.contains("serve_jobs_deduped_total 2\n"));
+        assert!(text.contains("serve_parked_checkpoints 0\n"));
+        assert!(
+            text.contains("moat_evaluations_total 0\n"),
+            "obs layer present"
+        );
+    }
+}

@@ -1,0 +1,470 @@
+//! The service archive: sharded by key fingerprint, fed through
+//! contention-free deposits, folded by background compaction.
+//!
+//! Layout under the archive root:
+//!
+//! ```text
+//! shards.json              — shard count (fixed at first open)
+//! shard-00/                — a plain `moat_archive::Archive` directory
+//! shard-00/incoming/       — deposited-but-not-yet-compacted records
+//! shard-01/ …
+//! ```
+//!
+//! A finishing job never read-modify-writes a shard record: it *deposits*
+//! its result as `incoming/<key-id>.<job-fp>.json` (atomic tmp + rename,
+//! unique name), so concurrent jobs landing on the same key cannot
+//! contend or lose updates. The background compactor folds each shard's
+//! incoming files — in sorted filename order, which makes the fold
+//! deterministic for a given deposited set — into the shard archive using
+//! the batched single-lock merge path ([`Archive::merge_batch`]), then
+//! removes exactly the files it folded.
+//!
+//! Reads ([`get`](ShardedArchive::get),
+//! [`warm_start_for`](ShardedArchive::warm_start_for)) merge the shard
+//! record with any pending incoming records in memory, so results are
+//! visible immediately after deposit, before any compaction ran.
+
+use moat_archive::{Archive, ArchiveError, ArchiveKey, ArchiveRecord};
+use moat_core::WarmStart;
+use moat_machine::MachineFeatures;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Persisted shard-map metadata (`shards.json`).
+#[derive(Debug, Serialize, Deserialize)]
+struct ShardMeta {
+    format_version: u32,
+    shards: usize,
+}
+
+/// FNV-1a over a key id — the routing fingerprint. Uniform enough to
+/// spread keys, stable across runs and processes.
+fn route_fp(key: &ArchiveKey) -> u64 {
+    let id = key.id();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in id.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A fingerprint-range-sharded archive with deposit/compact write paths.
+pub struct ShardedArchive {
+    root: PathBuf,
+    shards: Vec<Archive>,
+    /// Serializes compaction against merged reads (a record being folded
+    /// but not yet unlinked would otherwise transiently double its
+    /// counters in the read view).
+    fold: Mutex<()>,
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> ArchiveError {
+    ArchiveError::Io(format!("{}: {e}", path.display()))
+}
+
+impl ShardedArchive {
+    /// Open (creating if needed) a sharded archive with `shards` shards.
+    /// The count is fixed at first open and persisted in `shards.json`;
+    /// later opens use the persisted count and ignore the argument —
+    /// resharding an existing archive is not supported.
+    pub fn open(root: impl Into<PathBuf>, shards: usize) -> Result<ShardedArchive, ArchiveError> {
+        let root: PathBuf = root.into();
+        fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
+        let meta_path = root.join("shards.json");
+        let count = match fs::read_to_string(&meta_path) {
+            Ok(text) => {
+                let meta: ShardMeta = serde_json::from_str(&text)
+                    .map_err(|e| ArchiveError::Format(format!("{}: {e}", meta_path.display())))?;
+                meta.shards
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let count = shards.clamp(1, 256);
+                let meta = ShardMeta {
+                    format_version: 1,
+                    shards: count,
+                };
+                let tmp = root.join(".shards.json.tmp");
+                let body = serde_json::to_string_pretty(&meta)
+                    .map_err(|e| ArchiveError::Format(e.to_string()))?;
+                let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+                f.write_all(body.as_bytes())
+                    .and_then(|()| f.sync_all())
+                    .map_err(|e| io_err(&tmp, e))?;
+                fs::rename(&tmp, &meta_path).map_err(|e| io_err(&meta_path, e))?;
+                count
+            }
+            Err(e) => return Err(io_err(&meta_path, e)),
+        };
+        let mut opened = Vec::with_capacity(count);
+        for i in 0..count {
+            let dir = root.join(format!("shard-{i:02}"));
+            let shard = Archive::open(&dir)?;
+            fs::create_dir_all(dir.join("incoming")).map_err(|e| io_err(&dir, e))?;
+            opened.push(shard);
+        }
+        Ok(ShardedArchive {
+            root,
+            shards: opened,
+            fold: Mutex::new(()),
+        })
+    }
+
+    /// Archive root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a key routes to: the top bits of its routing
+    /// fingerprint, i.e. an equal split of the fingerprint range.
+    pub fn shard_for(&self, key: &ArchiveKey) -> usize {
+        ((route_fp(key) as u128 * self.shards.len() as u128) >> 64) as usize
+    }
+
+    fn incoming_dir(&self, shard: usize) -> PathBuf {
+        self.shards[shard].root().join("incoming")
+    }
+
+    /// Deposit a finished job's record without touching the shard's main
+    /// files: an atomic write of `incoming/<key-id>.<tag>.json`. `tag`
+    /// must be unique per logical result (the daemon passes the job
+    /// fingerprint) — identical tags overwrite, which is exactly right
+    /// for at-most-once dedupe of replayed submissions.
+    pub fn deposit(&self, record: &ArchiveRecord, tag: &str) -> Result<(), ArchiveError> {
+        let shard = self.shard_for(&record.key);
+        let dir = self.incoming_dir(shard);
+        let name = format!("{}.{tag}.json", record.key.id());
+        let tmp = dir.join(format!(".{name}.tmp"));
+        let path = dir.join(name);
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            f.write_all(record.to_json().as_bytes())
+                .and_then(|()| f.write_all(b"\n"))
+                .and_then(|()| f.sync_all())
+                .map_err(|e| io_err(&tmp, e))?;
+        }
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))
+    }
+
+    /// Sorted incoming files of one shard, optionally restricted to a
+    /// key.
+    fn incoming_files(
+        &self,
+        shard: usize,
+        key: Option<&ArchiveKey>,
+    ) -> Result<Vec<PathBuf>, ArchiveError> {
+        let dir = self.incoming_dir(shard);
+        let mut files = Vec::new();
+        let entries = fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&dir, e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with('.') || !name.ends_with(".json") {
+                continue;
+            }
+            if let Some(key) = key {
+                if !name.starts_with(&format!("{}.", key.id())) {
+                    continue;
+                }
+            }
+            files.push(entry.path());
+        }
+        // Filename order: key id, then tag — the deterministic fold order.
+        files.sort();
+        Ok(files)
+    }
+
+    fn load_records(files: &[PathBuf]) -> Result<Vec<ArchiveRecord>, ArchiveError> {
+        files
+            .iter()
+            .map(|p| {
+                let text = fs::read_to_string(p).map_err(|e| io_err(p, e))?;
+                ArchiveRecord::from_json(&text)
+                    .map_err(|e| ArchiveError::Format(format!("{}: {e}", p.display())))
+            })
+            .collect()
+    }
+
+    /// Fold every shard's incoming records into its main archive (batched
+    /// single-lock merge, sorted filename order) and unlink the folded
+    /// files. Returns the number of records folded.
+    pub fn compact(&self) -> Result<usize, ArchiveError> {
+        let _fold = self.fold.lock();
+        let mut folded = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let files = self.incoming_files(i, None)?;
+            if files.is_empty() {
+                continue;
+            }
+            let records = Self::load_records(&files)?;
+            // Cross-backend merges are deliberate here: different jobs
+            // may legitimately tune the same key under different backend
+            // rosters, and the service archive keeps per-point provenance.
+            shard.merge_batch(&records, true)?;
+            for f in &files {
+                fs::remove_file(f).map_err(|e| io_err(f, e))?;
+            }
+            folded += records.len();
+        }
+        Ok(folded)
+    }
+
+    /// The merged view of one key: the compacted shard record plus any
+    /// still-incoming deposits, combined in memory.
+    pub fn get(&self, key: &ArchiveKey) -> Result<Option<ArchiveRecord>, ArchiveError> {
+        let _fold = self.fold.lock();
+        let shard = self.shard_for(key);
+        let mut merged = self.shards[shard].get(key)?;
+        let pending = Self::load_records(&self.incoming_files(shard, Some(key))?)?;
+        for rec in pending {
+            match merged.as_mut() {
+                Some(m) => {
+                    m.merge_across_backends(&rec)?;
+                }
+                None => {
+                    let mut first = rec.clone();
+                    first.canonicalize();
+                    merged = Some(first);
+                }
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Every key present in any shard (compacted or incoming), sorted.
+    pub fn keys(&self) -> Result<Vec<ArchiveKey>, ArchiveError> {
+        let mut keys = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            keys.extend(shard.keys()?);
+            for f in self.incoming_files(i, None)? {
+                let Some(stem) = f.file_name().and_then(|n| n.to_str()) else {
+                    continue;
+                };
+                // `<key-id>.<tag>.json` — the key id is the first
+                // dot-field triple (it contains no dots itself).
+                if let Some(key) = stem.split('.').next().and_then(ArchiveKey::parse_id) {
+                    if !keys.contains(&key) {
+                        keys.push(key);
+                    }
+                }
+            }
+        }
+        keys.sort_by_key(|k| k.id());
+        keys.dedup();
+        Ok(keys)
+    }
+
+    /// Best warm start for `key` on `target`, over the merged view:
+    /// exact-key hit → trusted hints; otherwise the feature-nearest
+    /// machine's front transfers as seeds. Mirrors
+    /// `Archive::warm_start_for`.
+    pub fn warm_start_for(
+        &self,
+        key: &ArchiveKey,
+        target: &MachineFeatures,
+    ) -> Result<Option<(WarmStart, moat_archive::WarmStartSource)>, ArchiveError> {
+        if let Some(rec) = self.get(key)? {
+            if !rec.front.is_empty() {
+                return Ok(Some((
+                    rec.warm_start(),
+                    moat_archive::WarmStartSource::Exact,
+                )));
+            }
+        }
+        let mut best: Option<(ArchiveRecord, f64)> = None;
+        for candidate in self.keys()? {
+            if !candidate.same_problem(key) || candidate == *key {
+                continue;
+            }
+            let Some(rec) = self.get(&candidate)? else {
+                continue;
+            };
+            let d = rec.machine.distance(target);
+            if best.as_ref().is_none_or(|(_, bd)| d < *bd) {
+                best = Some((rec, d));
+            }
+        }
+        match best {
+            Some((rec, distance)) if !rec.front.is_empty() => Ok(Some((
+                rec.transfer_warm_start(),
+                moat_archive::WarmStartSource::Transfer {
+                    machine: rec.machine.name.clone(),
+                    distance,
+                },
+            ))),
+            _ => Ok(None),
+        }
+    }
+
+    /// The whole archive (merged view) as one pretty JSON array in key
+    /// order — the byte-comparable determinism surface used by the smoke
+    /// and 1-vs-N-clients tests.
+    pub fn export_json(&self) -> Result<String, ArchiveError> {
+        let mut records = Vec::new();
+        for key in self.keys()? {
+            if let Some(rec) = self.get(&key)? {
+                records.push(rec);
+            }
+        }
+        serde_json::to_string_pretty(&records).map_err(|e| ArchiveError::Format(e.to_string()))
+    }
+}
+
+impl std::fmt::Debug for ShardedArchive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedArchive")
+            .field("root", &self.root)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_archive::FORMAT_VERSION;
+    use moat_core::Point;
+    use moat_machine::MachineDesc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("moat-shard-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(key: ArchiveKey, points: Vec<Point>) -> ArchiveRecord {
+        let mut rec = ArchiveRecord {
+            format_version: FORMAT_VERSION,
+            key,
+            region: "mm".into(),
+            skeleton: "tile3".into(),
+            machine: MachineDesc::westmere().features(),
+            param_names: vec!["ti".into(), "threads".into()],
+            objective_names: vec!["time".into(), "resources".into()],
+            evaluations: points.len() as u64,
+            runs: 1,
+            front: Vec::new(),
+        };
+        rec.merge_points(&points);
+        rec
+    }
+
+    #[test]
+    fn shard_count_is_sticky_and_routing_total() {
+        let dir = tmpdir("route");
+        let a = ShardedArchive::open(&dir, 4).unwrap();
+        assert_eq!(a.shard_count(), 4);
+        // Reopen with a different requested count: the persisted map wins.
+        let b = ShardedArchive::open(&dir, 16).unwrap();
+        assert_eq!(b.shard_count(), 4);
+        for i in 0..64 {
+            let key = ArchiveKey::new(i, i * 7, i * 13);
+            let s = a.shard_for(&key);
+            assert!(s < 4);
+            assert_eq!(s, b.shard_for(&key), "routing stable across opens");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deposit_is_visible_before_and_after_compaction() {
+        let dir = tmpdir("deposit");
+        let a = ShardedArchive::open(&dir, 2).unwrap();
+        let key = ArchiveKey::new(1, 2, 3);
+        let rec = record(key, vec![Point::new(vec![1, 1], vec![1.0, 9.0])]);
+        a.deposit(&rec, "aaaa").unwrap();
+
+        // Merged read sees the pending deposit.
+        let seen = a.get(&key).unwrap().unwrap();
+        assert_eq!(seen.front, rec.front);
+
+        // A second deposit on the same key from another "job".
+        let rec2 = record(key, vec![Point::new(vec![2, 1], vec![0.5, 8.0])]);
+        a.deposit(&rec2, "bbbb").unwrap();
+
+        assert_eq!(a.compact().unwrap(), 2);
+        assert_eq!(a.compact().unwrap(), 0, "incoming drained");
+        let folded = a.get(&key).unwrap().unwrap();
+        assert_eq!(folded.runs, 2);
+        assert_eq!(folded.front.len(), 1, "dominated point folded away");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_is_deterministic_for_a_deposit_set() {
+        let run = |dir: &Path, order: &[usize]| -> String {
+            let a = ShardedArchive::open(dir, 3).unwrap();
+            let recs: Vec<ArchiveRecord> = (0..4u64)
+                .map(|i| {
+                    record(
+                        ArchiveKey::new(i, 2, 3),
+                        vec![Point::new(
+                            vec![i as i64, 1],
+                            vec![i as f64, 4.0 - i as f64],
+                        )],
+                    )
+                })
+                .collect();
+            for &i in order {
+                a.deposit(&recs[i], &format!("{:04x}", i)).unwrap();
+            }
+            a.compact().unwrap();
+            a.export_json().unwrap()
+        };
+        let d1 = tmpdir("det1");
+        let d2 = tmpdir("det2");
+        // Same deposit set, different arrival order → identical bytes
+        // (the fold sorts by filename, names depend only on key + tag).
+        let x = run(&d1, &[0, 1, 2, 3]);
+        let y = run(&d2, &[3, 1, 0, 2]);
+        assert_eq!(x, y);
+        let _ = fs::remove_dir_all(&d1);
+        let _ = fs::remove_dir_all(&d2);
+    }
+
+    #[test]
+    fn warm_start_prefers_exact_over_transfer() {
+        let dir = tmpdir("warm");
+        let a = ShardedArchive::open(&dir, 2).unwrap();
+        let here = MachineDesc::westmere();
+        let target = here.features();
+        let key = ArchiveKey::new(10, 20, target.fingerprint());
+        assert!(a.warm_start_for(&key, &target).unwrap().is_none());
+
+        // Same problem, different machine: transfer.
+        let mut far = MachineDesc::westmere();
+        far.name = "far".into();
+        far.sockets *= 2;
+        let far_key = key.on_machine(far.features().fingerprint());
+        let mut rec = record(far_key, vec![Point::new(vec![2, 2], vec![3.0, 4.0])]);
+        rec.machine = far.features();
+        a.deposit(&rec, "cafe").unwrap();
+        let (warm, source) = a.warm_start_for(&key, &target).unwrap().unwrap();
+        assert!(warm.hints.is_empty());
+        assert!(matches!(
+            source,
+            moat_archive::WarmStartSource::Transfer { .. }
+        ));
+
+        // Exact hit (still only in incoming) wins with hints.
+        a.deposit(
+            &record(key, vec![Point::new(vec![3, 3], vec![0.5, 0.5])]),
+            "beef",
+        )
+        .unwrap();
+        let (warm, source) = a.warm_start_for(&key, &target).unwrap().unwrap();
+        assert_eq!(source, moat_archive::WarmStartSource::Exact);
+        assert_eq!(warm.hints.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-job trace synthesis: `TuningEvent` streams → `moat-obs` records.
+//!
+//! The process-global obs subscriber is exclusive by design (it
+//! serializes traced test bodies), which makes it the wrong tool for a
+//! daemon running many sessions concurrently. Instead every job's session
+//! records its [`moat_core::TuningEvent`]s into a private `EventLog`, and
+//! this module lowers that stream into the same [`moat_obs::Record`] form
+//! a single-run trace would contain — logical clock, `tid = 0`, one
+//! `session_start`/`stopped` envelope. The records are written to
+//! `traces/<job>.jsonl` (readable by `moat-report`, including the new
+//! `--from-serve` mode) and feed the `moat_*` families of `/metrics`.
+
+use moat_core::{StopReason, TuningEvent};
+use moat_obs::{Event, Record};
+
+/// Lower one job's event stream to obs records.
+///
+/// `subject` and `strategy` fill the `session_start` envelope. A
+/// `stopped` record is appended from `fallback_stop` if the stream itself
+/// never produced one (sessions cancelled by shutdown park without a
+/// `Stopped` event).
+pub fn job_records(
+    subject: &str,
+    strategy: &str,
+    events: &[TuningEvent],
+    fallback_stop: Option<(StopReason, u64)>,
+) -> Vec<Record> {
+    let mut out = Vec::with_capacity(events.len() + 2);
+    let mut seq = 0u64;
+    let mut push = |seq: &mut u64, event: Event| {
+        *seq += 1;
+        out.push(Record {
+            seq: *seq,
+            ts_us: 0,
+            dur_us: 0,
+            tid: 0,
+            event,
+        });
+    };
+    push(
+        &mut seq,
+        Event::SessionStart {
+            subject: subject.to_string(),
+            strategy: strategy.to_string(),
+        },
+    );
+    let mut iteration = 0u64;
+    let mut evaluations = 0u64;
+    let mut stopped = false;
+    for ev in events {
+        match ev {
+            TuningEvent::IterationStart { iteration: i } => {
+                iteration = *i as u64;
+                push(&mut seq, Event::IterationStart { iteration });
+            }
+            TuningEvent::BatchEvaluated {
+                requested,
+                evaluated,
+                evaluations: e,
+                elapsed,
+            } => {
+                evaluations = *e;
+                push(
+                    &mut seq,
+                    Event::BatchEvaluated {
+                        requested: *requested as u64,
+                        evaluated: *evaluated as u64,
+                        evaluations: *e,
+                        elapsed_us: elapsed.map(|d| d.as_micros() as u64),
+                    },
+                );
+            }
+            TuningEvent::FrontUpdated { signature } => push(
+                &mut seq,
+                Event::FrontUpdated {
+                    iteration,
+                    evaluations,
+                    size: signature.size as u64,
+                    hypervolume: signature.hv,
+                },
+            ),
+            TuningEvent::SpaceReduced { bbox } => push(
+                &mut seq,
+                Event::SpaceReduced {
+                    dims: bbox.len() as u64,
+                },
+            ),
+            TuningEvent::Checkpointed { seq: ckpt } => {
+                push(&mut seq, Event::Checkpointed { seq: *ckpt })
+            }
+            TuningEvent::FaultSummary { stats } => push(
+                &mut seq,
+                Event::FaultSummary {
+                    attempts: stats.attempts,
+                    retries: stats.retries,
+                    timeouts: stats.timeouts,
+                    failures: stats.failures,
+                    extra_measurements: stats.extra_measurements,
+                    quarantined: stats.quarantined,
+                },
+            ),
+            TuningEvent::Stopped {
+                reason,
+                evaluations: e,
+            } => {
+                stopped = true;
+                push(
+                    &mut seq,
+                    Event::Stopped {
+                        reason: reason.name().to_string(),
+                        evaluations: *e,
+                    },
+                );
+            }
+        }
+    }
+    if !stopped {
+        if let Some((reason, e)) = fallback_stop {
+            push(
+                &mut seq,
+                Event::Stopped {
+                    reason: reason.name().to_string(),
+                    evaluations: e,
+                },
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_core::rsgde3::FrontSignature;
+    use std::time::Duration;
+
+    #[test]
+    fn stream_lowers_with_monotonic_seq() {
+        let events = vec![
+            TuningEvent::IterationStart { iteration: 1 },
+            TuningEvent::BatchEvaluated {
+                requested: 8,
+                evaluated: 8,
+                evaluations: 8,
+                elapsed: Some(Duration::from_micros(1500)),
+            },
+            TuningEvent::FrontUpdated {
+                signature: FrontSignature {
+                    size: 3,
+                    ideal: vec![0.0, 0.0],
+                    hv: 0.5,
+                },
+            },
+            TuningEvent::Stopped {
+                reason: StopReason::Completed,
+                evaluations: 8,
+            },
+        ];
+        let records = job_records("mm", "rs-gde3", &events, None);
+        assert_eq!(records.len(), 5, "session_start + 4 events");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64 + 1, "strictly increasing seq");
+        }
+        assert!(matches!(
+            &records[0].event,
+            Event::SessionStart { subject, strategy }
+                if subject == "mm" && strategy == "rs-gde3"
+        ));
+        assert!(matches!(
+            &records[3].event,
+            Event::FrontUpdated {
+                iteration: 1,
+                evaluations: 8,
+                size: 3,
+                ..
+            }
+        ));
+        assert!(matches!(&records[4].event, Event::Stopped { .. }));
+        // The stream is valid JSONL for the exporters.
+        let jsonl = moat_obs::export::to_jsonl(&records);
+        let back = moat_obs::export::parse_jsonl(&jsonl).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn fallback_stop_closes_parked_sessions() {
+        let events = vec![TuningEvent::IterationStart { iteration: 1 }];
+        let records = job_records("mm", "random", &events, Some((StopReason::Cancelled, 42)));
+        assert!(matches!(
+            &records.last().unwrap().event,
+            Event::Stopped { reason, evaluations: 42 } if reason == "cancelled"
+        ));
+    }
+}

@@ -1,0 +1,439 @@
+//! The wire protocol: a deliberately small HTTP/1.1 subset with JSON
+//! bodies.
+//!
+//! HTTP was chosen over a length-prefixed binary framing because the
+//! `/metrics` endpoint must be scrapeable by stock Prometheus/curl, and
+//! once one endpoint speaks HTTP the rest may as well — `serde_json` is
+//! already a workspace dependency and a human can drive the whole daemon
+//! with `curl`. The subset:
+//!
+//! * request line `METHOD SP PATH SP HTTP/1.1`, CRLF line endings;
+//! * headers until an empty line; only `Content-Length` is interpreted;
+//! * bodies are exactly `Content-Length` bytes (no chunked encoding);
+//! * every connection serves one exchange and closes (`Connection:
+//!   close`) — jobs are minutes-long, connection reuse buys nothing.
+//!
+//! Hard limits keep a misbehaving client from ballooning memory: heads
+//! over [`MAX_HEAD_BYTES`] and bodies over [`MAX_BODY_BYTES`] are
+//! rejected (431/413 at the daemon layer). Parsing is incremental and
+//! buffer-level — [`parse_request`] / [`parse_response`] never touch a
+//! socket — so the exact byte-in/byte-out behaviour is property-testable.
+
+use std::io::{Read, Write};
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum bytes of body (`Content-Length`).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercased as received.
+    pub method: String,
+    /// Request path, verbatim (`/jobs`, `/metrics`, …).
+    pub path: String,
+    /// Headers in received order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (exactly `Content-Length` of them).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A bodyless request.
+    pub fn new(method: &str, path: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A request carrying a JSON body.
+    pub fn json(method: &str, path: &str, body: impl Into<Vec<u8>>) -> Request {
+        let mut r = Request::new(method, path);
+        r.body = body.into();
+        r.headers
+            .push(("content-type".into(), "application/json".into()));
+        r
+    }
+
+    /// First value of a (lowercase) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response under construction or parsed off the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: String,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json".into(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response (errors, `/metrics`).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error envelope `{"error": msg}`.
+    pub fn error(status: u16, msg: &str) -> Response {
+        #[derive(serde::Serialize)]
+        struct Body {
+            error: String,
+        }
+        let body = serde_json::to_string(&Body {
+            error: msg.to_string(),
+        })
+        .expect("error body serializes");
+        Response::json(status, body.into_bytes())
+    }
+}
+
+/// What went wrong reading a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Syntactically broken head or body framing.
+    Malformed(String),
+    /// Head or declared body size exceeds the hard limits.
+    TooLarge(String),
+    /// The peer closed (or an I/O error cut the stream) mid-frame.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::TooLarge(m) => write!(f, "frame too large: {m}"),
+            WireError::Io(m) => write!(f, "wire I/O: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Serialize a request (always with an explicit `Content-Length` and
+/// `Connection: close`).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(req.body.len() + 256);
+    out.extend_from_slice(format!("{} {} HTTP/1.1\r\n", req.method, req.path).as_bytes());
+    for (name, value) in &req.headers {
+        if name == "content-length" || name == "connection" {
+            continue; // always rewritten below
+        }
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("content-length: {}\r\n", req.body.len()).as_bytes());
+    out.extend_from_slice(b"connection: close\r\n\r\n");
+    out.extend_from_slice(&req.body);
+    out
+}
+
+/// Serialize a response.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(resp.body.len() + 256);
+    out.extend_from_slice(
+        format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status)).as_bytes(),
+    );
+    out.extend_from_slice(format!("content-type: {}\r\n", resp.content_type).as_bytes());
+    out.extend_from_slice(format!("content-length: {}\r\n", resp.body.len()).as_bytes());
+    out.extend_from_slice(b"connection: close\r\n\r\n");
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+/// Find the end of the head (`\r\n\r\n`), enforcing [`MAX_HEAD_BYTES`].
+/// `Ok(None)` means the buffer is still incomplete.
+fn head_end(buf: &[u8]) -> Result<Option<usize>, WireError> {
+    match buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        Some(i) if i + 4 > MAX_HEAD_BYTES => Err(WireError::TooLarge(format!(
+            "head is {} bytes (limit {MAX_HEAD_BYTES})",
+            i + 4
+        ))),
+        Some(i) => Ok(Some(i + 4)),
+        None if buf.len() > MAX_HEAD_BYTES => Err(WireError::TooLarge(format!(
+            "no end of head within {MAX_HEAD_BYTES} bytes"
+        ))),
+        None => Ok(None),
+    }
+}
+
+/// Parse the header block (everything after the first line, before the
+/// blank line). Names are lowercased; values are trimmed.
+fn parse_headers(block: &str) -> Result<Vec<(String, String)>, WireError> {
+    let mut headers = Vec::new();
+    for line in block.split("\r\n").filter(|l| !l.is_empty()) {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(WireError::Malformed(format!("header line {line:?}")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(WireError::Malformed(format!("header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+/// Declared body length, enforcing [`MAX_BODY_BYTES`]. Absent means 0.
+fn content_length(headers: &[(String, String)]) -> Result<usize, WireError> {
+    let Some((_, v)) = headers.iter().find(|(n, _)| n == "content-length") else {
+        return Ok(0);
+    };
+    let n: usize = v
+        .parse()
+        .map_err(|_| WireError::Malformed(format!("content-length {v:?}")))?;
+    if n > MAX_BODY_BYTES {
+        return Err(WireError::TooLarge(format!(
+            "declared body of {n} bytes (limit {MAX_BODY_BYTES})"
+        )));
+    }
+    Ok(n)
+}
+
+/// Try to parse one complete request from the front of `buf`.
+///
+/// Returns `Ok(None)` while the frame is incomplete, `Ok(Some((request,
+/// consumed_bytes)))` once whole, and an error for anything malformed or
+/// over the limits. Pure buffer-in/value-out — the proptest surface.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, WireError> {
+    let Some(head_len) = head_end(buf)? else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_len - 4])
+        .map_err(|_| WireError::Malformed("head is not UTF-8".into()))?;
+    let (request_line, rest) = head.split_once("\r\n").unwrap_or((head, ""));
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(WireError::Malformed(format!(
+                "request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(WireError::Malformed(format!("version {version:?}")));
+    }
+    if !path.starts_with('/') {
+        return Err(WireError::Malformed(format!("path {path:?}")));
+    }
+    let headers = parse_headers(rest)?;
+    let body_len = content_length(&headers)?;
+    if buf.len() < head_len + body_len {
+        return Ok(None);
+    }
+    let req = Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        headers,
+        body: buf[head_len..head_len + body_len].to_vec(),
+    };
+    Ok(Some((req, head_len + body_len)))
+}
+
+/// Try to parse one complete response from the front of `buf` (client
+/// side: load generator, smoke tests). Same incomplete/complete/error
+/// contract as [`parse_request`].
+pub fn parse_response(buf: &[u8]) -> Result<Option<(Response, usize)>, WireError> {
+    let Some(head_len) = head_end(buf)? else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_len - 4])
+        .map_err(|_| WireError::Malformed("head is not UTF-8".into()))?;
+    let (status_line, rest) = head.split_once("\r\n").unwrap_or((head, ""));
+    let mut parts = status_line.splitn(3, ' ');
+    let (version, code) = match (parts.next(), parts.next()) {
+        (Some(v), Some(c)) => (v, c),
+        _ => return Err(WireError::Malformed(format!("status line {status_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(WireError::Malformed(format!("version {version:?}")));
+    }
+    let status: u16 = code
+        .parse()
+        .map_err(|_| WireError::Malformed(format!("status code {code:?}")))?;
+    let headers = parse_headers(rest)?;
+    let body_len = content_length(&headers)?;
+    if buf.len() < head_len + body_len {
+        return Ok(None);
+    }
+    let content_type = headers
+        .iter()
+        .find(|(n, _)| n == "content-type")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_default();
+    let resp = Response {
+        status,
+        content_type,
+        body: buf[head_len..head_len + body_len].to_vec(),
+    };
+    Ok(Some((resp, head_len + body_len)))
+}
+
+/// Read one request off a stream, growing the buffer until
+/// [`parse_request`] completes or errors.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, WireError> {
+    read_frame(stream, parse_request)
+}
+
+/// Read one response off a stream (client side).
+pub fn read_response(stream: &mut impl Read) -> Result<Response, WireError> {
+    read_frame(stream, parse_response)
+}
+
+/// An incremental frame parser: `None` means "need more bytes".
+type FrameParser<T> = fn(&[u8]) -> Result<Option<(T, usize)>, WireError>;
+
+fn read_frame<T>(stream: &mut impl Read, parse: FrameParser<T>) -> Result<T, WireError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some((frame, _)) = parse(&buf)? {
+            return Ok(frame);
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(if buf.is_empty() {
+                WireError::Io("connection closed before any bytes".into())
+            } else {
+                WireError::Malformed("connection closed mid-frame".into())
+            });
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Write a response and flush.
+pub fn write_response(stream: &mut impl Write, resp: &Response) -> Result<(), WireError> {
+    stream
+        .write_all(&encode_response(resp))
+        .and_then(|()| stream.flush())
+        .map_err(|e| WireError::Io(e.to_string()))
+}
+
+/// Write a request and flush (client side).
+pub fn write_request(stream: &mut impl Write, req: &Request) -> Result<(), WireError> {
+    stream
+        .write_all(&encode_request(req))
+        .and_then(|()| stream.flush())
+        .map_err(|e| WireError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_with_body() {
+        let req = Request::json("post", "/jobs", br#"{"kernel":"mm"}"#.to_vec());
+        let bytes = encode_request(&req);
+        let (back, consumed) = parse_request(&bytes).unwrap().unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back.method, "POST");
+        assert_eq!(back.path, "/jobs");
+        assert_eq!(back.body, req.body);
+        assert_eq!(back.header("content-type"), Some("application/json"));
+        assert_eq!(back.header("connection"), Some("close"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::json(202, br#"{"job":"j0001"}"#.to_vec());
+        let bytes = encode_response(&resp);
+        let (back, consumed) = parse_response(&bytes).unwrap().unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn incomplete_frames_return_none() {
+        let bytes = encode_request(&Request::json("POST", "/jobs", vec![b'x'; 100]));
+        for cut in [0, 1, 10, bytes.len() - 1] {
+            assert_eq!(parse_request(&bytes[..cut]).unwrap(), None, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET  HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/9.9\r\n\r\n",
+            b"GET nopath HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"GET /x HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse_request(bad), Err(WireError::Malformed(_))),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_rejected() {
+        let huge_head = format!(
+            "GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            parse_request(huge_head.as_bytes()),
+            Err(WireError::TooLarge(_))
+        ));
+        // No head terminator in sight and already past the limit.
+        let runaway = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(
+            parse_request(&runaway),
+            Err(WireError::TooLarge(_))
+        ));
+        let huge_body = format!(
+            "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_request(huge_body.as_bytes()),
+            Err(WireError::TooLarge(_))
+        ));
+    }
+}

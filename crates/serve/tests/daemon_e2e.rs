@@ -1,0 +1,365 @@
+//! End-to-end daemon tests over real sockets with the synthetic backend:
+//! dedupe, archive replay at E = 0, malformed/oversized rejection,
+//! 1-vs-8-clients archive determinism, and shutdown → restart resume
+//! byte-identity.
+
+use moat_serve::daemon::{serve, JobState, JobStatus, ServeConfig, ServeHandle};
+use moat_serve::spec::SubmitResponse;
+use moat_serve::wire::{self, Request, Response};
+use moat_serve::SyntheticBackend;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("moat-serve-e2e-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn send(addr: SocketAddr, req: &Request) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    wire::write_request(&mut stream, req).expect("send request");
+    wire::read_response(&mut stream).expect("read response")
+}
+
+fn submit(addr: SocketAddr, spec_json: &str) -> SubmitResponse {
+    let resp = send(
+        addr,
+        &Request::json("POST", "/jobs", spec_json.as_bytes().to_vec()),
+    );
+    assert_eq!(resp.status, 202, "{}", String::from_utf8_lossy(&resp.body));
+    serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+}
+
+fn get_job(addr: SocketAddr, id: &str) -> JobState {
+    let resp = send(addr, &Request::new("GET", &format!("/jobs/{id}")));
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+}
+
+/// Poll until the job settles (Done or Failed) and return its final state.
+fn wait_done(addr: SocketAddr, id: &str) -> JobState {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let state = get_job(addr, id);
+        if matches!(state.status, JobStatus::Done | JobStatus::Failed) {
+            return state;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck: {state:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Poll until every job in the table resolves to Done.
+fn wait_all_done(addr: SocketAddr, expected: usize) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let resp = send(addr, &Request::new("GET", "/jobs"));
+        assert_eq!(resp.status, 200);
+        let rows: Vec<JobState> =
+            serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        if rows.len() == expected && rows.iter().all(|r| r.status == JobStatus::Done) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "jobs stuck: {rows:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn shutdown(addr: SocketAddr, handle: ServeHandle) {
+    let resp = send(addr, &Request::new("POST", "/shutdown"));
+    assert_eq!(resp.status, 200);
+    handle.join().expect("clean shutdown");
+}
+
+fn spec(kernel: &str, seed: u64, tenant: &str, warm: bool, budget: u64) -> String {
+    format!(
+        r#"{{"tenant": "{tenant}", "kernel": "{kernel}", "machine": "westmere",
+            "strategy": "random", "seed": {seed}, "budget": {budget},
+            "warm_start": {warm}}}"#
+    )
+}
+
+#[test]
+fn dedupe_replay_and_routes() {
+    let handle = serve(
+        ServeConfig::new(temp_dir("routes")),
+        Arc::new(SyntheticBackend::default()),
+    )
+    .expect("daemon starts");
+    let addr = handle.addr();
+
+    // Health and error routes.
+    assert_eq!(send(addr, &Request::new("GET", "/healthz")).status, 200);
+    assert_eq!(send(addr, &Request::new("GET", "/nope")).status, 404);
+    assert_eq!(send(addr, &Request::new("PUT", "/jobs")).status, 405);
+    assert_eq!(
+        send(addr, &Request::json("POST", "/jobs", b"{]".to_vec())).status,
+        400,
+        "syntactically broken spec"
+    );
+    assert_eq!(
+        send(
+            addr,
+            &Request::json(
+                "POST",
+                "/jobs",
+                spec("badkern", 1, "a", false, 8).into_bytes()
+            ),
+        )
+        .status,
+        400,
+        "backend rejects unknown kernels at submit time"
+    );
+
+    // First submission runs; an identical one (other tenant) dedupes.
+    let first = submit(addr, &spec("mm", 5, "alice", true, 48));
+    assert!(!first.deduped);
+    assert_eq!(first.serves_as, first.job);
+    let second = submit(addr, &spec("mm", 5, "bob", true, 48));
+    assert!(second.deduped, "identical spec must coalesce");
+    assert_eq!(second.serves_as, first.job);
+    assert_eq!(second.fingerprint, first.fingerprint);
+
+    let done = wait_done(addr, &first.job);
+    assert_eq!(done.status, JobStatus::Done);
+    assert!(done.evaluations > 0);
+
+    // The subscriber resolves to the primary's lifecycle and artifacts.
+    let sub = wait_done(addr, &second.job);
+    assert_eq!(sub.status, JobStatus::Done);
+    assert_eq!(sub.tenant, "bob", "attribution stays with the subscriber");
+    let result_primary = send(
+        addr,
+        &Request::new("GET", &format!("/jobs/{}/result", first.job)),
+    );
+    let result_sub = send(
+        addr,
+        &Request::new("GET", &format!("/jobs/{}/result", second.job)),
+    );
+    assert_eq!(result_primary.status, 200);
+    assert_eq!(result_primary.body, result_sub.body, "same artifact bytes");
+
+    // Same problem, different seed (= different fingerprint), warm start:
+    // exact archive hit replays at E = 0.
+    let third = submit(addr, &spec("mm", 6, "carol", true, 48));
+    assert!(!third.deduped, "different seed is a different job");
+    let replayed = wait_done(addr, &third.job);
+    assert_eq!(replayed.status, JobStatus::Done);
+    assert!(replayed.replayed, "exact hit must replay: {replayed:?}");
+    assert_eq!(replayed.evaluations, 0, "replay spends no budget");
+    assert_eq!(replayed.warm.as_deref(), Some("exact"));
+
+    // The trace endpoint serves parseable JSONL with an envelope.
+    let trace = send(
+        addr,
+        &Request::new("GET", &format!("/jobs/{}/trace", first.job)),
+    );
+    assert_eq!(trace.status, 200);
+    let records = moat_obs::export::parse_jsonl(std::str::from_utf8(&trace.body).unwrap()).unwrap();
+    assert!(matches!(
+        records.first().map(|r| &r.event),
+        Some(moat_obs::Event::SessionStart { .. })
+    ));
+    assert!(records
+        .iter()
+        .any(|r| matches!(&r.event, moat_obs::Event::Stopped { .. })));
+
+    // /metrics: serve-native families with the expected counts, plus the
+    // obs-derived moat_* families.
+    let metrics = send(addr, &Request::new("GET", "/metrics"));
+    let text = String::from_utf8(metrics.body).unwrap();
+    assert!(text.contains("serve_jobs_submitted_total 3"), "{text}");
+    assert!(text.contains("serve_jobs_deduped_total 1"), "{text}");
+    assert!(text.contains("serve_jobs_replayed_total 1"), "{text}");
+    // Two sessions actually ran to completion (primary + replay); the
+    // deduped submission subscribed instead of running.
+    assert!(text.contains("serve_jobs_completed_total 2"), "{text}");
+    assert!(text.contains("moat_evaluations_total"), "{text}");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn malformed_and_oversized_frames_rejected() {
+    let handle = serve(
+        ServeConfig::new(temp_dir("reject")),
+        Arc::new(SyntheticBackend::default()),
+    )
+    .expect("daemon starts");
+    let addr = handle.addr();
+
+    // Garbage request line.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+    assert_eq!(wire::read_response(&mut s).unwrap().status, 400);
+
+    // Head over the 16 KiB limit → 431.
+    let mut s = TcpStream::connect(addr).unwrap();
+    let huge_header = format!(
+        "GET /healthz HTTP/1.1\r\nx-filler: {}\r\n\r\n",
+        "a".repeat(wire::MAX_HEAD_BYTES)
+    );
+    s.write_all(huge_header.as_bytes()).unwrap();
+    assert_eq!(wire::read_response(&mut s).unwrap().status, 431);
+
+    // Declared body over the 1 MiB limit → 413 (rejected from the head
+    // alone, before any body bytes are sent).
+    let mut s = TcpStream::connect(addr).unwrap();
+    let oversized = format!(
+        "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        wire::MAX_BODY_BYTES + 1
+    );
+    s.write_all(oversized.as_bytes()).unwrap();
+    assert_eq!(wire::read_response(&mut s).unwrap().status, 413);
+
+    // The daemon survives all of the above.
+    assert_eq!(send(addr, &Request::new("GET", "/healthz")).status, 200);
+    let metrics = send(addr, &Request::new("GET", "/metrics"));
+    let text = String::from_utf8(metrics.body).unwrap();
+    assert!(text.contains("serve_http_errors_total 3"), "{text}");
+
+    shutdown(addr, handle);
+}
+
+/// The determinism contract: one client submitting N distinct jobs
+/// serially and eight clients racing the same jobs (with duplicates)
+/// produce byte-identical archives.
+#[test]
+fn one_vs_eight_clients_identical_archive() {
+    let specs: Vec<String> = ["mm", "dsyrk", "jacobi2"]
+        .iter()
+        .flat_map(|k| (1..=2).map(move |seed| spec(k, seed, "solo", false, 48)))
+        .collect();
+
+    // Reference: one client, serial submission.
+    let handle = serve(
+        ServeConfig::new(temp_dir("serial")),
+        Arc::new(SyntheticBackend::default()),
+    )
+    .unwrap();
+    let addr = handle.addr();
+    for s in &specs {
+        submit(addr, s);
+    }
+    wait_all_done(addr, specs.len());
+    let reference = send(addr, &Request::new("GET", "/archive"));
+    assert_eq!(reference.status, 200);
+    shutdown(addr, handle);
+
+    // Contended: eight clients, each submitting the whole set.
+    let handle = serve(
+        ServeConfig::new(temp_dir("contended")),
+        Arc::new(SyntheticBackend { eval_delay_us: 50 }),
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let deduped: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|client| {
+                let specs = &specs;
+                scope.spawn(move || {
+                    let mut hits = 0;
+                    for s in specs {
+                        // Distinct tenants must not defeat dedupe.
+                        let s = s.replace("solo", &format!("client-{client}"));
+                        if submit(addr, &s).deduped {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(
+        deduped,
+        8 * specs.len() - specs.len(),
+        "every duplicate submission must coalesce"
+    );
+    wait_all_done(addr, 8 * specs.len());
+    let contended = send(addr, &Request::new("GET", "/archive"));
+    assert_eq!(contended.status, 200);
+    assert_eq!(
+        String::from_utf8(reference.body).unwrap(),
+        String::from_utf8(contended.body).unwrap(),
+        "archives must be byte-identical regardless of client count"
+    );
+    shutdown(addr, handle);
+}
+
+/// SIGTERM-equivalent shutdown parks the in-flight session via its
+/// checkpoint; a restarted daemon resumes it and finishes with a result
+/// byte-identical to an uninterrupted run.
+#[test]
+fn shutdown_parks_and_restart_resumes_byte_identically() {
+    let slow = || {
+        Arc::new(SyntheticBackend {
+            eval_delay_us: 1000,
+        })
+    };
+    let job = spec("mm", 9, "ops", false, 1024);
+
+    // Uninterrupted reference run.
+    let handle = serve(ServeConfig::new(temp_dir("reference")), slow()).unwrap();
+    let addr = handle.addr();
+    let submitted = submit(addr, &job);
+    wait_done(addr, &submitted.job);
+    let reference = send(
+        addr,
+        &Request::new("GET", &format!("/jobs/{}/result", submitted.job)),
+    );
+    assert_eq!(reference.status, 200);
+    shutdown(addr, handle);
+
+    // Interrupted run: shut down as soon as the first checkpoint lands.
+    let state_dir = temp_dir("interrupted");
+    let handle = serve(ServeConfig::new(&state_dir), slow()).unwrap();
+    let addr = handle.addr();
+    let submitted = submit(addr, &job);
+    let ckpt = state_dir
+        .join("ckpt")
+        .join(format!("{}.ckpt", submitted.fingerprint));
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !ckpt.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    shutdown(addr, handle);
+    let parked = std::fs::read_to_string(state_dir.join("jobs.json")).unwrap();
+    let rows: Vec<JobState> = serde_json::from_str(&parked).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].status, JobStatus::Parked, "mid-run job parks");
+    assert!(ckpt.exists(), "parked job keeps its checkpoint");
+
+    // Restart: the parked job resumes automatically and completes.
+    let handle = serve(ServeConfig::new(&state_dir), slow()).unwrap();
+    let addr = handle.addr();
+    let resumed = wait_done(addr, &rows[0].id);
+    assert_eq!(resumed.status, JobStatus::Done);
+    assert!(resumed.resumed, "must resume from the checkpoint");
+    assert_eq!(
+        handle.metrics().jobs_resumed.load(Ordering::Relaxed),
+        1,
+        "resume is counted"
+    );
+    let result = send(
+        addr,
+        &Request::new("GET", &format!("/jobs/{}/result", rows[0].id)),
+    );
+    assert_eq!(result.status, 200);
+    assert_eq!(
+        String::from_utf8(reference.body).unwrap(),
+        String::from_utf8(result.body).unwrap(),
+        "resumed result must be byte-identical to the uninterrupted run"
+    );
+    assert!(!ckpt.exists(), "completion retires the checkpoint");
+    shutdown(addr, handle);
+}

@@ -1,0 +1,89 @@
+//! Property tests of the wire protocol: encode/parse round-trips, prefix
+//! incompleteness, and no-panic on arbitrary bytes.
+
+use moat_serve::wire::{
+    encode_request, encode_response, parse_request, parse_response, Request, Response,
+};
+use proptest::prelude::*;
+
+const METHODS: [&str; 4] = ["GET", "POST", "PUT", "DELETE"];
+const STATUSES: [u16; 9] = [200, 202, 400, 404, 405, 409, 413, 431, 503];
+
+/// Lowercase alphanumeric string of the given length range.
+fn token(len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..36, len).prop_map(|v| {
+        v.into_iter()
+            .map(|i| b"abcdefghijklmnopqrstuvwxyz0123456789"[i] as char)
+            .collect()
+    })
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    (
+        0usize..METHODS.len(),
+        token(0..24),
+        prop::collection::vec(0u8..=255u8, 0..2048),
+        token(1..8),
+        token(0..16),
+    )
+        .prop_map(|(m, path, body, hname, hval)| {
+            let mut req = Request::new(METHODS[m], &format!("/{path}"));
+            req.headers.push((format!("x-{hname}"), hval));
+            req.body = body;
+            req
+        })
+}
+
+proptest! {
+    #[test]
+    fn requests_roundtrip(req in request()) {
+        let bytes = encode_request(&req);
+        let (parsed, used) = parse_request(&bytes)
+            .expect("encoded request parses")
+            .expect("encoded request is complete");
+        prop_assert_eq!(used, bytes.len(), "whole frame consumed");
+        prop_assert_eq!(&parsed.method, &req.method);
+        prop_assert_eq!(&parsed.path, &req.path);
+        prop_assert_eq!(&parsed.body, &req.body);
+        let (name, value) = &req.headers[0];
+        prop_assert_eq!(parsed.header(name), Some(value.as_str()));
+    }
+
+    #[test]
+    fn request_prefixes_are_incomplete_never_errors(req in request(), frac in 0.0f64..1.0) {
+        let bytes = encode_request(&req);
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(
+            matches!(parse_request(&bytes[..cut]), Ok(None)),
+            "a strict prefix must parse as incomplete, not as an error"
+        );
+    }
+
+    #[test]
+    fn responses_roundtrip(
+        s in 0usize..STATUSES.len(),
+        body in prop::collection::vec(0u8..=255u8, 0..2048),
+        json in 0usize..2,
+    ) {
+        let resp = if json == 0 {
+            Response::json(STATUSES[s], body.clone())
+        } else {
+            Response::text(STATUSES[s], body.clone())
+        };
+        let bytes = encode_response(&resp);
+        let (parsed, used) = parse_response(&bytes)
+            .expect("encoded response parses")
+            .expect("encoded response is complete");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(parsed.status, STATUSES[s]);
+        prop_assert_eq!(&parsed.content_type, &resp.content_type);
+        prop_assert_eq!(&parsed.body, &body);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255u8, 0..4096)) {
+        // Any result is acceptable; the parser just must not panic.
+        let _ = parse_request(&bytes);
+        let _ = parse_response(&bytes);
+    }
+}

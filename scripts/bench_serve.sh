@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Service-throughput baseline runner (`moat-serve` + `moat-loadgen`).
+#
+# Full mode (default) spawns a private synthetic-backend daemon, drives it
+# with 8 clients × 8 submissions over 6 distinct specs (so the surplus
+# exercises the dedupe path), and rewrites `BENCH_serve.json` at the repo
+# root — commit the result so jobs/s, submit p50/p99 and the dedupe hit
+# rate are tracked across PRs.
+#
+# `--smoke` shrinks the run to 2 clients × 2 jobs for CI and writes the
+# JSON under `target/` instead; smoke numbers are load-check noise and
+# must never be committed as a baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+root="$(pwd)"
+args=()
+out="$root/BENCH_serve.json"
+if [[ "${1:-}" == "--smoke" ]]; then
+    args+=(--smoke)
+    out="$root/target/BENCH_serve.smoke.json"
+    mkdir -p target
+elif [[ -n "${1:-}" ]]; then
+    echo "usage: $0 [--smoke]" >&2
+    exit 2
+fi
+
+cargo build -q --release --bin moat-serve --bin moat-loadgen
+target/release/moat-loadgen "${args[@]}" --out "$out"

@@ -51,4 +51,75 @@ fi
 cargo run -q --bin moat-archive -- merge \
     --archive "$bsmoke/mixed" --from "$bsmoke/plain" --merge-across-backends > /dev/null
 
+echo "== serve smoke (dedupe -> metrics -> SIGTERM -> resume byte-identity) =="
+ssmoke="target/serve-smoke"
+rm -rf "$ssmoke"
+mkdir -p "$ssmoke"
+cargo build -q --bin moat-serve --bin moat-loadgen --bin moat-report
+serve_bin=target/debug/moat-serve
+lg=target/debug/moat-loadgen
+spec_big='{"tenant":"ci","kernel":"mm","size":64,"machine":"westmere","strategy":"random","budget":4096,"seed":11}'
+spec_dup='{"tenant":"ci2","kernel":"mm","size":64,"machine":"westmere","strategy":"random","budget":4096,"seed":11}'
+spec_small='{"tenant":"ci","kernel":"dsyrk","size":64,"machine":"westmere","strategy":"random","budget":32,"seed":1}'
+
+wait_port() { # port_file -> addr on stdout
+    for _ in $(seq 200); do
+        [[ -s "$1" ]] && { cat "$1"; return 0; }
+        sleep 0.05
+    done
+    echo "daemon never wrote $1" >&2
+    return 1
+}
+wait_done() { # addr job
+    for _ in $(seq 600); do
+        "$lg" --addr "$1" --get "/jobs/$2" | grep -q '"status":"Done"' && return 0
+        sleep 0.1
+    done
+    echo "job $2 never finished" >&2
+    return 1
+}
+
+# Reference: the same job run to completion without interruption.
+"$serve_bin" --listen 127.0.0.1:0 --state "$ssmoke/ref" \
+    --port-file "$ssmoke/ref.port" 2> "$ssmoke/ref.log" &
+ref_pid=$!
+ref_addr=$(wait_port "$ssmoke/ref.port")
+"$lg" --addr "$ref_addr" --post /jobs "$spec_big" > /dev/null
+wait_done "$ref_addr" j0001
+"$lg" --addr "$ref_addr" --get /jobs/j0001/result > "$ssmoke/ref-result.json"
+"$lg" --addr "$ref_addr" --post /shutdown > /dev/null
+wait "$ref_pid"
+
+# Live run: two identical submissions coalesce, a distinct one does not.
+"$serve_bin" --listen 127.0.0.1:0 --state "$ssmoke/run" \
+    --port-file "$ssmoke/run.port" 2> "$ssmoke/run.log" &
+run_pid=$!
+run_addr=$(wait_port "$ssmoke/run.port")
+"$lg" --addr "$run_addr" --post /jobs "$spec_big" | grep -q '"deduped":false'
+"$lg" --addr "$run_addr" --post /jobs "$spec_dup" | grep -q '"deduped":true'
+"$lg" --addr "$run_addr" --post /jobs "$spec_small" | grep -q '"deduped":false'
+"$lg" --addr "$run_addr" --get /metrics | grep -q '^serve_jobs_submitted_total 3$'
+"$lg" --addr "$run_addr" --get /metrics | grep -q '^serve_jobs_deduped_total 1$'
+# SIGTERM once the long job has a checkpoint on disk to resume from.
+for _ in $(seq 600); do
+    ls "$ssmoke/run/ckpt/"*.ckpt > /dev/null 2>&1 && break
+    sleep 0.02
+done
+kill -TERM "$run_pid"
+wait "$run_pid"
+# Restart on the same state dir: the parked session resumes and the final
+# result is byte-identical to the uninterrupted reference.
+"$serve_bin" --listen 127.0.0.1:0 --state "$ssmoke/run" \
+    --port-file "$ssmoke/run2.port" 2> "$ssmoke/run2.log" &
+run2_pid=$!
+run2_addr=$(wait_port "$ssmoke/run2.port")
+wait_done "$run2_addr" j0001
+wait_done "$run2_addr" j0003
+"$lg" --addr "$run2_addr" --get /jobs/j0001/result > "$ssmoke/run-result.json"
+cmp "$ssmoke/ref-result.json" "$ssmoke/run-result.json"
+cargo run -q --bin moat-report -- --from-serve "$ssmoke/run" > "$ssmoke/serve-report.txt"
+grep -q "Tenant ci2" "$ssmoke/serve-report.txt"
+"$lg" --addr "$run2_addr" --post /shutdown > /dev/null
+wait "$run2_pid"
+
 echo "All checks passed."

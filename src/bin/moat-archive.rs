@@ -214,20 +214,15 @@ fn main() {
                 exit(2)
             };
             let source = Archive::open(from).unwrap_or_else(|e| fail(e));
-            let mut inserted = 0;
-            let mut rejected = 0;
             let records = source.list().unwrap_or_else(|e| fail(e));
             let count = records.len();
-            for rec in records {
-                let stats = if opts.merge_across_backends {
-                    archive.insert_across_backends(&rec)
-                } else {
-                    archive.insert(&rec)
-                }
+            // One read + one atomic write per destination key, instead of
+            // a read-modify-write cycle per record.
+            let stats = archive
+                .merge_batch(&records, opts.merge_across_backends)
                 .unwrap_or_else(|e| fail(e));
-                inserted += stats.inserted;
-                rejected += stats.rejected;
-            }
+            let inserted: usize = stats.iter().map(|s| s.inserted).sum();
+            let rejected: usize = stats.iter().map(|s| s.rejected).sum();
             println!(
                 "merged {count} records from {from}: {inserted} points inserted, {rejected} dominated/duplicate"
             );

@@ -1,0 +1,364 @@
+//! `moat-loadgen` — load generator and minimal HTTP client for `moat-serve`.
+//!
+//! ```text
+//! moat-loadgen [OPTIONS]
+//!
+//!   --addr <HOST:PORT>     daemon to drive (default: spawn a private one)
+//!   --clients <N>          concurrent submitting clients (default 8)
+//!   --jobs <N>             submissions per client (default 8)
+//!   --distinct <N>         distinct job specs in the mix (default 6)
+//!   --delay-us <N>         per-evaluation delay of the spawned synthetic
+//!                          daemon (default 200; ignored with --addr)
+//!   --smoke                tiny run (2 clients × 2 jobs, 2 distinct)
+//!   --out <FILE>           write the benchmark JSON here
+//!                          (default BENCH_serve.json)
+//!   --get <PATH>           one-shot GET against --addr: print the body,
+//!                          exit 0 on 2xx (curl stand-in for scripts)
+//!   --post <PATH> [BODY]   one-shot POST, same contract
+//! ```
+//!
+//! The benchmark mixes `--distinct` unique specs across `--clients ×
+//! --jobs` submissions, so the surplus exercises the daemon's dedupe
+//! path. It reports submit latency (p50/p99), end-to-end throughput and
+//! the dedupe hit rate.
+
+use moat::serve::wire::{read_response, write_request, Request, Response};
+use moat::serve::SubmitResponse;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "{}",
+        include_str!("moat-loadgen.rs")
+            .lines()
+            .skip(2)
+            .take(17)
+            .map(|l| {
+                let l = l.strip_prefix("//!").unwrap_or(l);
+                l.strip_prefix(' ').unwrap_or(l)
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("moat-loadgen: {msg}");
+    exit(1)
+}
+
+/// One request/response exchange (the daemon closes after each).
+fn http(addr: &str, req: &Request) -> Result<Response, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(30))))
+        .map_err(|e| e.to_string())?;
+    write_request(&mut stream, req).map_err(|e| format!("send: {e}"))?;
+    read_response(&mut stream).map_err(|e| format!("recv: {e}"))
+}
+
+/// Scrape one counter value off the `/metrics` text.
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// The deterministic spec mix: `distinct` unique jobs, cycled.
+fn spec_body(i: usize, distinct: usize, tenant: &str) -> String {
+    const KERNELS: [&str; 3] = ["mm", "dsyrk", "jacobi2d"];
+    let d = i % distinct.max(1);
+    format!(
+        "{{\"tenant\":\"{tenant}\",\"kernel\":\"{}\",\"machine\":\"westmere\",\
+         \"strategy\":\"random\",\"seed\":{},\"budget\":64}}",
+        KERNELS[d % KERNELS.len()],
+        d / KERNELS.len() + 1
+    )
+}
+
+#[derive(serde::Serialize)]
+struct LatencyMs {
+    p50: f64,
+    p99: f64,
+    max: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Bench {
+    benchmark: String,
+    backend: String,
+    clients: usize,
+    jobs_per_client: usize,
+    distinct_specs: usize,
+    submissions: u64,
+    deduped: u64,
+    dedupe_hit_rate: f64,
+    jobs_completed: u64,
+    wall_s: f64,
+    jobs_per_sec: f64,
+    submits_per_sec: f64,
+    submit_latency_ms: LatencyMs,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[(((sorted.len() - 1) as f64) * q).round() as usize]
+}
+
+/// Spawn a private synthetic daemon; returns (addr, child, state dir).
+fn spawn_daemon(delay_us: u64) -> (String, std::process::Child, std::path::PathBuf) {
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(format!("current_exe: {e}")));
+    let serve_bin = exe
+        .parent()
+        .map(|d| d.join("moat-serve"))
+        .filter(|p| p.exists())
+        .unwrap_or_else(|| fail("moat-serve binary not found next to moat-loadgen"));
+    let state = std::env::temp_dir().join(format!("moat-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state);
+    std::fs::create_dir_all(&state).unwrap_or_else(|e| fail(format!("state dir: {e}")));
+    let port_file = state.join("port");
+    let child = std::process::Command::new(serve_bin)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--state",
+            &state.to_string_lossy(),
+            "--synthetic",
+            &delay_us.to_string(),
+            "--port-file",
+            &port_file.to_string_lossy(),
+        ])
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| fail(format!("spawning moat-serve: {e}")));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(addr) = std::fs::read_to_string(&port_file) {
+            break addr.trim().to_string();
+        }
+        if Instant::now() > deadline {
+            fail("spawned daemon never wrote its port file");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    (addr, child, state)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut clients = 8usize;
+    let mut jobs = 8usize;
+    let mut distinct = 6usize;
+    let mut delay_us = 200u64;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut oneshot: Option<(String, String, Option<String>)> = None;
+
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> String {
+        argv.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| fail(format!("{flag} needs a value")))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => {
+                addr = Some(value(&argv, i, "--addr"));
+                i += 1;
+            }
+            "--clients" => {
+                clients = value(&argv, i, "--clients")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--clients needs an integer"));
+                i += 1;
+            }
+            "--jobs" => {
+                jobs = value(&argv, i, "--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--jobs needs an integer"));
+                i += 1;
+            }
+            "--distinct" => {
+                distinct = value(&argv, i, "--distinct")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--distinct needs an integer"));
+                i += 1;
+            }
+            "--delay-us" => {
+                delay_us = value(&argv, i, "--delay-us")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--delay-us needs an integer"));
+                i += 1;
+            }
+            "--smoke" => {
+                clients = 2;
+                jobs = 2;
+                distinct = 2;
+                delay_us = 100;
+            }
+            "--out" => {
+                out = value(&argv, i, "--out");
+                i += 1;
+            }
+            "--get" => {
+                oneshot = Some(("GET".into(), value(&argv, i, "--get"), None));
+                i += 1;
+            }
+            "--post" => {
+                let path = value(&argv, i, "--post");
+                i += 1;
+                let body = argv.get(i + 1).filter(|a| !a.starts_with("--")).cloned();
+                if body.is_some() {
+                    i += 1;
+                }
+                oneshot = Some(("POST".into(), path, body));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    // One-shot client mode: the curl stand-in for shell scripts.
+    if let Some((method, path, body)) = oneshot {
+        let addr = addr.unwrap_or_else(|| fail("--get/--post need --addr"));
+        let req = match body {
+            Some(b) => Request::json(&method, &path, b.into_bytes()),
+            None => Request::new(&method, &path),
+        };
+        let resp = http(&addr, &req).unwrap_or_else(|e| fail(e));
+        std::io::stdout().write_all(&resp.body).ok();
+        if !resp.body.ends_with(b"\n") {
+            println!();
+        }
+        exit(if (200..300).contains(&resp.status) {
+            0
+        } else {
+            1
+        });
+    }
+
+    // Benchmark mode.
+    let (addr, daemon, state) = match addr {
+        Some(a) => (a, None, None),
+        None => {
+            let (a, child, state) = spawn_daemon(delay_us);
+            (a, Some(child), Some(state))
+        }
+    };
+    let backend_desc = match &daemon {
+        Some(_) => format!("synthetic({delay_us}us)"),
+        None => "external".to_string(),
+    };
+
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut deduped = 0u64;
+    let total = (clients * jobs) as u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let tenant = format!("client-{c}");
+                    let mut lats = Vec::with_capacity(jobs);
+                    let mut hits = 0u64;
+                    for j in 0..jobs {
+                        let body = spec_body(c * jobs + j, distinct, &tenant);
+                        let t0 = Instant::now();
+                        let resp = http(&addr, &Request::json("POST", "/jobs", body.into_bytes()))
+                            .unwrap_or_else(|e| fail(e));
+                        lats.push(t0.elapsed().as_secs_f64() * 1e3);
+                        if resp.status != 202 {
+                            fail(format!(
+                                "submit rejected: {} {}",
+                                resp.status,
+                                String::from_utf8_lossy(&resp.body)
+                            ));
+                        }
+                        let parsed: SubmitResponse = std::str::from_utf8(&resp.body)
+                            .ok()
+                            .and_then(|s| serde_json::from_str(s).ok())
+                            .unwrap_or_else(|| fail("unparseable submit response"));
+                        if parsed.deduped {
+                            hits += 1;
+                        }
+                    }
+                    (lats, hits)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lats, hits) = h.join().unwrap_or_else(|_| fail("client panicked"));
+            latencies.extend(lats);
+            deduped += hits;
+        }
+    });
+
+    // Wait until every distinct job has finished, then read the counters.
+    let expect_done = total - deduped;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let final_metrics = loop {
+        let resp = http(&addr, &Request::new("GET", "/metrics")).unwrap_or_else(|e| fail(e));
+        let text = String::from_utf8_lossy(&resp.body).to_string();
+        let done =
+            metric(&text, "serve_jobs_completed_total") + metric(&text, "serve_jobs_failed_total");
+        if done >= expect_done {
+            break text;
+        }
+        if Instant::now() > deadline {
+            fail(format!("timed out: {done}/{expect_done} jobs finished"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let wall_s = start.elapsed().as_secs_f64();
+    let completed = metric(&final_metrics, "serve_jobs_completed_total");
+
+    if let Some(mut child) = daemon {
+        let _ = http(&addr, &Request::new("POST", "/shutdown"));
+        let _ = child.wait();
+        if let Some(state) = state {
+            let _ = std::fs::remove_dir_all(state);
+        }
+    }
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let bench = Bench {
+        benchmark: "moat-serve loadgen".into(),
+        backend: backend_desc,
+        clients,
+        jobs_per_client: jobs,
+        distinct_specs: distinct,
+        submissions: total,
+        deduped,
+        dedupe_hit_rate: deduped as f64 / total.max(1) as f64,
+        jobs_completed: completed,
+        wall_s,
+        jobs_per_sec: completed as f64 / wall_s,
+        submits_per_sec: total as f64 / wall_s,
+        submit_latency_ms: LatencyMs {
+            p50: percentile(&latencies, 0.50),
+            p99: percentile(&latencies, 0.99),
+            max: percentile(&latencies, 1.0),
+        },
+    };
+    let json = serde_json::to_string_pretty(&bench)
+        .unwrap_or_else(|e| fail(format!("encoding benchmark: {e}")));
+    std::fs::write(&out, format!("{json}\n"))
+        .unwrap_or_else(|e| fail(format!("writing {out}: {e}")));
+    println!("{json}");
+    eprintln!("moat-loadgen: wrote {out}");
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! moat-report <TRACE.jsonl> [OPTIONS]
+//! moat-report --from-serve <STATE_DIR>
 //!
 //!   --validate             check the trace invariants (monotone control
 //!                          clock, epochs behind it) and report the count
@@ -10,6 +11,9 @@
 //!   --emit loss-matrix     treat the input as a version-table JSON
 //!                          (moat-tune --emit-json) and print the
 //!                          cross-backend loss matrix instead
+//!   --from-serve <DIR>     report on a moat-serve state directory:
+//!                          service totals, then a per-tenant breakdown
+//!                          of jobs and their session analyses
 //!   --out <FILE>           write --emit output to FILE (default: stdout)
 //! ```
 //!
@@ -20,6 +24,8 @@
 use moat::multiversion::VersionTable;
 use moat::obs::export::{parse_jsonl, to_chrome, validate_jsonl};
 use moat::report::{Analysis, LossMatrix};
+use moat::serve::{JobState, JobStatus};
+use std::collections::BTreeMap;
 use std::process::exit;
 
 fn usage() -> ! {
@@ -28,7 +34,7 @@ fn usage() -> ! {
     let doc: String = include_str!("moat-report.rs")
         .lines()
         .skip(3)
-        .take(12)
+        .take(16)
         .map(|l| l.trim_start_matches("//! ").trim_start_matches("//!"))
         .collect::<Vec<_>>()
         .join("\n");
@@ -36,11 +42,106 @@ fn usage() -> ! {
     exit(2)
 }
 
+/// Render the per-tenant service report for a `moat-serve` state dir.
+fn report_serve(dir: &str) -> Result<String, String> {
+    let root = std::path::Path::new(dir);
+    let text = std::fs::read_to_string(root.join("jobs.json"))
+        .map_err(|e| format!("{dir}/jobs.json: {e} (is this a moat-serve state dir?)"))?;
+    let jobs: Vec<JobState> =
+        serde_json::from_str(&text).map_err(|e| format!("{dir}/jobs.json: {e}"))?;
+    let by_id: BTreeMap<&str, &JobState> = jobs.iter().map(|j| (j.id.as_str(), j)).collect();
+    // A subscriber's lifecycle lives on its primary; resolve for display.
+    let resolved = |j: &JobState| -> JobState {
+        match j.serves_as.as_deref().and_then(|p| by_id.get(p)) {
+            Some(p) if p.id != j.id => {
+                let mut r = (*p).clone();
+                r.id = j.id.clone();
+                r.tenant = j.tenant.clone();
+                r.serves_as = j.serves_as.clone();
+                r
+            }
+            _ => j.clone(),
+        }
+    };
+
+    let mut out = String::new();
+    let count = |status: JobStatus| jobs.iter().filter(|j| resolved(j).status == status).count();
+    let deduped = jobs
+        .iter()
+        .filter(|j| j.serves_as.as_deref().is_some_and(|p| p != j.id))
+        .count();
+    let replayed = jobs.iter().filter(|j| resolved(j).replayed).count();
+    out.push_str("Service summary\n");
+    out.push_str(&format!(
+        "  jobs {}  done {}  running {}  queued {}  parked {}  failed {}\n",
+        jobs.len(),
+        count(JobStatus::Done),
+        count(JobStatus::Running),
+        count(JobStatus::Queued),
+        count(JobStatus::Parked),
+        count(JobStatus::Failed),
+    ));
+    out.push_str(&format!(
+        "  deduped {deduped}  replayed {replayed}  evaluations {}\n",
+        jobs.iter()
+            .filter(|j| j.serves_as.is_none())
+            .map(|j| j.evaluations)
+            .sum::<u64>(),
+    ));
+
+    let mut tenants: BTreeMap<&str, Vec<&JobState>> = BTreeMap::new();
+    for j in &jobs {
+        tenants.entry(j.tenant.as_str()).or_default().push(j);
+    }
+    for (tenant, rows) in tenants {
+        out.push_str(&format!("\nTenant {tenant}\n"));
+        let mut records = Vec::new();
+        for j in rows {
+            let r = resolved(j);
+            let mut line = format!(
+                "  {}  {:<10} {:<8} {:>8}  E={:<6} {}",
+                r.id,
+                r.spec.kernel,
+                r.spec.strategy,
+                format!("{:?}", r.status).to_lowercase(),
+                r.evaluations,
+                r.stop.as_deref().unwrap_or("-"),
+            );
+            if let Some(p) = j.serves_as.as_deref().filter(|p| *p != j.id) {
+                line.push_str(&format!("  (deduped -> {p})"));
+            }
+            if let Some(w) = &r.warm {
+                line.push_str(&format!("  warm={w}"));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+            // The trace lives under the primary's id.
+            let artifact = j.serves_as.as_deref().unwrap_or(&j.id);
+            if let Ok(trace) =
+                std::fs::read_to_string(root.join("traces").join(format!("{artifact}.jsonl")))
+            {
+                if let Ok(mut recs) = parse_jsonl(&trace) {
+                    records.append(&mut recs);
+                }
+            }
+        }
+        if !records.is_empty() {
+            for line in Analysis::from_records(&records).render().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    Ok(out)
+}
+
 fn main() {
     let mut trace: Option<String> = None;
     let mut validate = false;
     let mut emit: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut from_serve: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,6 +155,7 @@ fn main() {
             "--validate" => validate = true,
             "--emit" => emit = Some(value("--emit")),
             "--out" => out = Some(value("--out")),
+            "--from-serve" => from_serve = Some(value("--from-serve")),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option: {other}");
@@ -67,6 +169,17 @@ fn main() {
             }
         }
     }
+    if let Some(dir) = from_serve {
+        match report_serve(&dir) {
+            Ok(doc) => print!("{doc}"),
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1)
+            }
+        }
+        return;
+    }
+
     let Some(path) = trace else {
         eprintln!("missing trace file");
         usage()

@@ -1,0 +1,163 @@
+//! `moat-serve` — the multi-tenant tuning-as-a-service daemon.
+//!
+//! ```text
+//! moat-serve [OPTIONS]
+//!
+//!   --listen <ADDR>           bind address (default 127.0.0.1:7774;
+//!                             port 0 picks a free port)
+//!   --state <DIR>             state directory: jobs, results, traces,
+//!                             checkpoints, sharded archive (default
+//!                             ./moat-serve-state)
+//!   --slots <N>               shared evaluation-pool slots (default 4)
+//!   --session-width <N>       per-session parallel batch width (default 2)
+//!   --shards <N>              archive shard count (default 4)
+//!   --checkpoint-every <N>    checkpoint cadence in save opportunities
+//!                             (default 1)
+//!   --port-file <FILE>        write "<ip>:<port>" here once bound (for
+//!                             scripts that pass port 0)
+//!   --synthetic [DELAY_US]    serve the synthetic test backend instead of
+//!                             the real tuner (protocol benchmarking)
+//! ```
+//!
+//! The daemon answers `POST /jobs`, `GET /jobs[/<id>[/result|/trace]]`,
+//! `GET /archive`, `GET /metrics`, `GET /healthz` and `POST /shutdown`.
+//! `SIGTERM`/`SIGINT` (and `POST /shutdown`) checkpoint every in-flight
+//! session and exit; restarting on the same `--state` directory resumes
+//! them.
+
+use moat::serve::{serve, ServeConfig, SyntheticBackend};
+use moat::TuneBackend;
+use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "{}",
+        include_str!("moat-serve.rs")
+            .lines()
+            .skip(2)
+            .take(19)
+            .map(|l| {
+                let l = l.strip_prefix("//!").unwrap_or(l);
+                l.strip_prefix(' ').unwrap_or(l)
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("moat-serve: {msg}");
+    exit(1)
+}
+
+/// Process-wide signal latch: the handler may only touch async-signal-safe
+/// state, so it sets this flag and the main loop does the real shutdown.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn main() {
+    let mut config = ServeConfig::new("moat-serve-state");
+    config.listen = "127.0.0.1:7774".into();
+    let mut port_file: Option<String> = None;
+    let mut synthetic: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1).peekable();
+    let value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| fail(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => config.listen = value(&mut args, "--listen"),
+            "--state" => config.state_dir = value(&mut args, "--state").into(),
+            "--slots" => {
+                config.pool_slots = value(&mut args, "--slots")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--slots needs an integer"))
+            }
+            "--session-width" => {
+                config.session_width = value(&mut args, "--session-width")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--session-width needs an integer"))
+            }
+            "--shards" => {
+                config.shards = value(&mut args, "--shards")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--shards needs an integer"))
+            }
+            "--checkpoint-every" => {
+                config.checkpoint_every = value(&mut args, "--checkpoint-every")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--checkpoint-every needs an integer"))
+            }
+            "--port-file" => port_file = Some(value(&mut args, "--port-file")),
+            "--synthetic" => {
+                // Optional positional delay: `--synthetic 200`.
+                let delay = match args.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let v = args.next().unwrap();
+                        v.parse()
+                            .unwrap_or_else(|_| fail("--synthetic delay must be an integer (µs)"))
+                    }
+                    _ => 0,
+                };
+                synthetic = Some(delay);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+
+    install_signal_handlers();
+
+    let backend: Arc<dyn moat::serve::JobBackend> = match synthetic {
+        Some(eval_delay_us) => Arc::new(SyntheticBackend { eval_delay_us }),
+        None => Arc::new(TuneBackend::default()),
+    };
+    let handle = serve(config, backend).unwrap_or_else(|e| fail(format!("startup: {e}")));
+    let addr = handle.addr();
+    eprintln!("moat-serve: listening on {addr}");
+    if let Some(path) = &port_file {
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, addr.to_string())
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .unwrap_or_else(|e| fail(format!("writing port file {path}: {e}")));
+    }
+
+    // Park until a signal or POST /shutdown flips the shared stop flag,
+    // then drain: join checkpoints every live session and persists state.
+    let stop = handle.stop_flag();
+    while !SIGNALED.load(Ordering::SeqCst) && !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("moat-serve: shutting down (checkpointing in-flight sessions)");
+    handle.stop();
+    if let Err(e) = handle.join() {
+        fail(format!("shutdown: {e}"));
+    }
+}

@@ -53,10 +53,12 @@
 pub mod framework;
 pub mod program;
 pub mod report;
+pub mod serve_backend;
 pub mod sim;
 
 pub use framework::{parse_backend_spec, BackendSpec, Framework, TunedRegion};
 pub use program::{ProgramTuner, ProgramTuningResult, RegionOutcome};
+pub use serve_backend::TuneBackend;
 pub use sim::{
     ir_space, AltSkeletonEvaluator, FixedUnrollEvaluator, MultiObjectiveEvaluator, Objective,
     SimEvaluator, SkeletonChoiceEvaluator, OBJECTIVE_NAMES,
@@ -72,6 +74,7 @@ pub use moat_machine as machine;
 pub use moat_multiversion as multiversion;
 pub use moat_obs as obs;
 pub use moat_runtime as runtime;
+pub use moat_serve as serve;
 
 // Convenience re-exports used by examples and benches.
 pub use moat_archive::{Archive, ArchiveKey, ArchiveRecord, CheckpointStore, WarmStartSource};

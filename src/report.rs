@@ -71,6 +71,9 @@ pub struct FaultReport {
     pub retry_events: u64,
     /// `eval_quarantined` records.
     pub quarantine_events: u64,
+    /// `checkpoint_parked` records (checkpoint saves that failed and left
+    /// the on-disk resume point stale).
+    pub parked_checkpoints: u64,
     /// End-of-run totals from the last `fault_summary` record, as
     /// `(attempts, retries, timeouts, failures, extra, quarantined)`.
     pub summary: Option<(u64, u64, u64, u64, u64, u64)>,
@@ -177,6 +180,7 @@ impl Analysis {
                 } => a.session().stop = Some((reason.clone(), *evaluations)),
                 Event::EvalRetry { .. } => a.faults.retry_events += 1,
                 Event::EvalQuarantined { .. } => a.faults.quarantine_events += 1,
+                Event::CheckpointParked { .. } => a.faults.parked_checkpoints += 1,
                 Event::ArchiveRead { hit, .. } => {
                     if *hit {
                         a.archive.hits += 1
@@ -275,13 +279,20 @@ impl Analysis {
             }
         }
         let f = &self.faults;
-        if f.retry_events > 0 || f.quarantine_events > 0 || f.summary.is_some() {
+        if f.retry_events > 0
+            || f.quarantine_events > 0
+            || f.parked_checkpoints > 0
+            || f.summary.is_some()
+        {
             let _ = writeln!(out, "\nfaults:");
             let _ = writeln!(
                 out,
                 "  retry events={} quarantine events={}",
                 f.retry_events, f.quarantine_events
             );
+            if f.parked_checkpoints > 0 {
+                let _ = writeln!(out, "  parked checkpoints={}", f.parked_checkpoints);
+            }
             if let Some((attempts, retries, timeouts, failures, extra, quarantined)) = f.summary {
                 let _ = writeln!(
                     out,

@@ -1,0 +1,200 @@
+//! End-to-end service tests over the *real* tuning backend: the daemon
+//! protocol drives `TuneBackend` (analyzer → cost model → session →
+//! archive record) instead of the synthetic test double.
+
+use moat::serve::wire::{read_response, write_request, Request, Response};
+use moat::serve::{serve, ServeConfig, SubmitResponse};
+use moat::TuneBackend;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "moat-serve-real-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn send(addr: SocketAddr, req: &Request) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_request(&mut stream, req).expect("send");
+    read_response(&mut stream).expect("recv")
+}
+
+fn submit(addr: SocketAddr, body: &str) -> SubmitResponse {
+    let resp = send(
+        addr,
+        &Request::json("POST", "/jobs", body.as_bytes().to_vec()),
+    );
+    assert_eq!(
+        resp.status,
+        202,
+        "submit: {}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).expect("submit response")
+}
+
+fn job_field(addr: SocketAddr, id: &str, field: &str) -> String {
+    let resp = send(addr, &Request::new("GET", &format!("/jobs/{id}")));
+    assert_eq!(resp.status, 200);
+    let body = String::from_utf8_lossy(&resp.body).to_string();
+    // Cheap field scrape, enough for flat values in the JobState JSON.
+    let pat = format!("\"{field}\":");
+    let rest = &body[body
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{field} in {body}"))
+        + pat.len()..];
+    rest.trim_start()
+        .trim_start_matches('"')
+        .split(['"', ',', '}'])
+        .next()
+        .unwrap()
+        .to_string()
+}
+
+fn wait_done(addr: SocketAddr, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        match job_field(addr, id, "status").as_str() {
+            "Done" => return,
+            "Failed" => panic!("job {id} failed: {}", job_field(addr, id, "error")),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn result_bytes(addr: SocketAddr, id: &str) -> Vec<u8> {
+    let resp = send(addr, &Request::new("GET", &format!("/jobs/{id}/result")));
+    assert_eq!(resp.status, 200);
+    resp.body
+}
+
+fn shutdown(addr: SocketAddr, handle: moat::serve::ServeHandle) {
+    let resp = send(addr, &Request::new("POST", "/shutdown"));
+    assert_eq!(resp.status, 200);
+    handle.join().expect("clean shutdown");
+}
+
+fn spec(tenant: &str, seed: u64, warm: bool, budget: u64) -> String {
+    format!(
+        "{{\"tenant\":\"{tenant}\",\"kernel\":\"mm\",\"size\":64,\
+         \"machine\":\"westmere\",\"strategy\":\"random\",\"budget\":{budget},\
+         \"seed\":{seed},\"warm_start\":{warm}}}"
+    )
+}
+
+/// Dedupe and archive-replay against the real tuner: an identical spec
+/// subscribes to the in-flight session; a warm-startable variant of an
+/// archived problem is served at `E = 0`.
+#[test]
+fn real_backend_dedupe_and_exact_replay() {
+    let state = temp_dir("replay");
+    let handle = serve(ServeConfig::new(&state), Arc::new(TuneBackend::default())).unwrap();
+    let addr = handle.addr();
+
+    let a = submit(addr, &spec("alice", 3, false, 64));
+    assert!(!a.deduped);
+    let b = submit(addr, &spec("bob", 3, false, 64));
+    assert!(b.deduped, "identical spec coalesces");
+    assert_eq!(b.serves_as, a.job);
+    wait_done(addr, &a.job);
+    wait_done(addr, &b.job);
+    assert_eq!(
+        result_bytes(addr, &a.job),
+        result_bytes(addr, &b.job),
+        "subscriber reads the primary's artifact"
+    );
+    let evals: u64 = job_field(addr, &a.job, "evaluations").parse().unwrap();
+    assert_eq!(evals, 64, "budget honoured by the real session");
+
+    // Same problem, different seed, warm_start: the archive has an exact
+    // (skeleton × space × machine) hit, so the daemon replays at E = 0.
+    let c = submit(addr, &spec("carol", 9, true, 64));
+    assert!(!c.deduped, "different seed is a different job");
+    wait_done(addr, &c.job);
+    assert_eq!(job_field(addr, &c.job, "replayed"), "true");
+    assert_eq!(job_field(addr, &c.job, "warm"), "exact");
+    let replay_evals: u64 = job_field(addr, &c.job, "evaluations").parse().unwrap();
+    assert_eq!(replay_evals, 0, "replay spends no budget");
+    assert_eq!(
+        result_bytes(addr, &a.job),
+        result_bytes(addr, &c.job),
+        "replay serves the archived record"
+    );
+
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// Shutdown parks the real session at its last checkpoint; a restart on
+/// the same state dir resumes it and the final record is byte-identical
+/// to an uninterrupted run.
+#[test]
+fn real_backend_restart_resumes_byte_identically() {
+    let budget = 4096;
+
+    // Reference: uninterrupted run.
+    let ref_state = temp_dir("ref");
+    let reference = {
+        let handle = serve(
+            ServeConfig::new(&ref_state),
+            Arc::new(TuneBackend::default()),
+        )
+        .unwrap();
+        let addr = handle.addr();
+        let r = submit(addr, &spec("ref", 11, false, budget));
+        wait_done(addr, &r.job);
+        let bytes = result_bytes(addr, &r.job);
+        shutdown(addr, handle);
+        bytes
+    };
+
+    // Interrupted run: stop as soon as the first checkpoint lands.
+    let state = temp_dir("resume");
+    let fingerprint;
+    {
+        let handle = serve(ServeConfig::new(&state), Arc::new(TuneBackend::default())).unwrap();
+        let addr = handle.addr();
+        let r = submit(addr, &spec("ref", 11, false, budget));
+        fingerprint = r.fingerprint.clone();
+        let ckpt = state.join("ckpt").join(format!("{fingerprint}.ckpt"));
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while !ckpt.exists() {
+            assert!(Instant::now() < deadline, "no checkpoint appeared");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        shutdown(addr, handle);
+    }
+
+    // Restart resumes the parked session and completes it.
+    let handle = serve(ServeConfig::new(&state), Arc::new(TuneBackend::default())).unwrap();
+    let addr = handle.addr();
+    wait_done(addr, "j0001");
+    let interrupted = result_bytes(addr, "j0001");
+    let status = job_field(addr, "j0001", "resumed");
+    let resumed_metric = handle
+        .metrics()
+        .jobs_resumed
+        .load(std::sync::atomic::Ordering::Relaxed);
+    shutdown(addr, handle);
+
+    // The daemon may have been stopped before the session even parked a
+    // checkpoint-worthy amount of progress; either way the resumed result
+    // must match the uninterrupted one bit for bit.
+    assert_eq!(status, "true", "restart resumed from the checkpoint");
+    assert_eq!(resumed_metric, 1);
+    assert_eq!(interrupted, reference, "resume is byte-identical");
+
+    let _ = std::fs::remove_dir_all(&ref_state);
+    let _ = std::fs::remove_dir_all(&state);
+}
