@@ -388,6 +388,39 @@ impl Archive {
         Ok(best)
     }
 
+    /// Every stored record for the same (skeleton, space) problem —
+    /// regardless of machine — paired with its feature distance to
+    /// `target`, sorted nearest-first (ties broken by key id). This is the
+    /// surrogate trainer's corpus query: sibling-machine fronts are still
+    /// informative about *which configurations* are promising even when
+    /// their absolute objectives don't transfer.
+    ///
+    /// Determinism: candidates are visited in sorted key order and the
+    /// final sort is stable on `(distance, key id)`, so the returned order
+    /// is a pure function of the archive contents.
+    pub fn records_for_machine_family(
+        &self,
+        key: &ArchiveKey,
+        target: &MachineFeatures,
+    ) -> Result<Vec<(ArchiveRecord, f64)>, ArchiveError> {
+        let mut out: Vec<(ArchiveRecord, f64)> = Vec::new();
+        for candidate in self.keys()? {
+            if !candidate.same_problem(key) {
+                continue;
+            }
+            let Some(rec) = self.get(&candidate)? else {
+                continue;
+            };
+            let d = rec.machine.distance(target);
+            out.push((rec, d));
+        }
+        out.sort_by(|a, b| {
+            a.1.total_cmp(&b.1)
+                .then_with(|| a.0.key.id().cmp(&b.0.key.id()))
+        });
+        Ok(out)
+    }
+
     /// Best available warm start for a tuning problem on `target`:
     /// an exact key hit yields trusted hints + seeds; otherwise the
     /// nearest machine's front transfers as seeds only. `None` when the
@@ -612,6 +645,65 @@ mod tests {
         assert_eq!(source, WarmStartSource::Exact);
         assert_eq!(warm.hints.len(), 1);
         assert_eq!(warm.seeds, vec![vec![3, 3]]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn machine_family_query_orders_deterministically_by_distance() {
+        let dir = tmpdir("family");
+        let archive = Archive::open(&dir).unwrap();
+        let here = MachineDesc::westmere();
+        let mut near = MachineDesc::westmere();
+        near.name = "near".into();
+        near.sockets *= 2;
+        let mut far = MachineDesc::westmere();
+        far.name = "far".into();
+        far.sockets *= 4;
+
+        let target = here.features();
+        let key = ArchiveKey::new(10, 20, target.fingerprint());
+
+        assert!(
+            archive
+                .records_for_machine_family(&key, &target)
+                .unwrap()
+                .is_empty(),
+            "empty archive yields no family"
+        );
+
+        // Insert far, near, exact — deliberately not in distance order —
+        // plus a different-problem record that must be excluded.
+        for (machine, cfg) in [(&far, 3i64), (&near, 2), (&here, 1)] {
+            archive
+                .insert(&record(
+                    key.on_machine(machine.features().fingerprint()),
+                    machine,
+                    vec![Point::new(vec![cfg, 1], vec![cfg as f64, 1.0])],
+                ))
+                .unwrap();
+        }
+        archive
+            .insert(&record(
+                ArchiveKey::new(99, 20, target.fingerprint()),
+                &here,
+                vec![Point::new(vec![9, 9], vec![9.0, 9.0])],
+            ))
+            .unwrap();
+
+        let fam = archive.records_for_machine_family(&key, &target).unwrap();
+        assert_eq!(fam.len(), 3, "other problems excluded");
+        let names: Vec<&str> = fam.iter().map(|(r, _)| r.machine.name.as_str()).collect();
+        assert_eq!(names, vec!["Westmere", "near", "far"], "nearest first");
+        assert_eq!(fam[0].1, 0.0, "exact machine at distance 0");
+        assert!(fam[1].1 < fam[2].1, "distances ascend");
+
+        // The order is a pure function of archive contents: a second
+        // query (fresh handle, fresh directory scan) reproduces it.
+        let again = Archive::open(&dir)
+            .unwrap()
+            .records_for_machine_family(&key, &target)
+            .unwrap();
+        assert_eq!(again, fam, "ordering is deterministic");
         let _ = fs::remove_dir_all(&dir);
     }
 

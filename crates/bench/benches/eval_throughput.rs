@@ -78,6 +78,19 @@ struct TracingOverheadReport {
 }
 
 #[derive(Serialize)]
+struct SurrogateOverheadReport {
+    /// Wall-clock of the tuning run with no screen installed.
+    baseline_s: f64,
+    /// Wall-clock of the identical run with a `screen_ratio = 1.0` screen:
+    /// batch feature extraction and online model training run on every
+    /// batch, but every candidate is forwarded, so the run's outcome is
+    /// byte-identical and the delta is pure screening overhead.
+    screened_s: f64,
+    /// `(screened - baseline) / baseline`, percent. Target: < 2.
+    overhead_pct: f64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     smoke: bool,
     kernel: &'static str,
@@ -87,6 +100,7 @@ struct BenchReport {
     backend_eval: Vec<BackendEvalReport>,
     tuning: TuningWallReport,
     tracing: TracingOverheadReport,
+    surrogate: SurrogateOverheadReport,
 }
 
 /// Westmere-like hierarchy (Table I): 32 KiB L1 + 256 KiB L2 private,
@@ -229,30 +243,57 @@ fn main() {
     // --- 4. tracing overhead: the identical run with a subscriber on ---
     // Without a subscriber every emit site is a single relaxed atomic
     // load; with a logical-mode subscriber the run must produce the same
-    // result and stay within a few percent. Best-of over several reps on
-    // both legs, or single-run jitter swamps the signal.
-    let tr_reps = if smoke { 3 } else { 9 };
+    // result and stay within a few percent. Interleaved reps with a
+    // paired-median estimate, or single-run jitter swamps the signal.
+    // Paired medians: machine noise (scheduler, frequency drift) hits both
+    // legs of a rep alike, so the median per-rep delta isolates the actual
+    // instrumentation cost where a best-of-N floor comparison would report
+    // whichever leg got the luckier quiet window.
+    let median = |xs: &[f64]| {
+        let mut v = xs.to_vec();
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let paired_delta_med = |first: &[f64], second: &[f64]| {
+        let deltas: Vec<f64> = second.iter().zip(first).map(|(s, b)| s - b).collect();
+        median(&deltas)
+    };
+
+    let tr_reps = if smoke { 3 } else { 25 };
     let run_tuning = || {
         let mut session =
             TuningSession::new(setup.space.clone(), &ev).with_batch(BatchEval::default());
         session.run(&RsGde3Tuner::new(params))
     };
-    let mut baseline_best = f64::INFINITY;
-    for _ in 0..tr_reps {
-        let t = Instant::now();
-        black_box(run_tuning());
-        baseline_best = baseline_best.min(t.elapsed().as_secs_f64());
-    }
-    let guard = moat::obs::install(moat::TimestampMode::Logical);
-    let mut traced_best = f64::INFINITY;
+    let mut tr_baselines = Vec::with_capacity(tr_reps);
+    let mut tr_traceds = Vec::with_capacity(tr_reps);
+    let mut records = 0;
     let mut traced_report = None;
-    for _ in 0..tr_reps {
-        let t = Instant::now();
-        traced_report = Some(run_tuning());
-        traced_best = traced_best.min(t.elapsed().as_secs_f64());
+    for rep in 0..tr_reps {
+        // Swap leg order every rep so neither leg systematically runs
+        // into the cache/branch state the other left behind.
+        let legs: [bool; 2] = if rep % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for traced in legs {
+            if traced {
+                let guard = moat::obs::install(moat::TimestampMode::Logical);
+                let t = Instant::now();
+                traced_report = Some(run_tuning());
+                tr_traceds.push(t.elapsed().as_secs_f64());
+                records = guard.drain().len();
+                drop(guard);
+            } else {
+                let t = Instant::now();
+                black_box(run_tuning());
+                tr_baselines.push(t.elapsed().as_secs_f64());
+            }
+        }
     }
-    let records = guard.drain().len() / tr_reps;
-    drop(guard);
+    let tr_baseline_med = median(&tr_baselines);
+    let tr_delta_med = paired_delta_med(&tr_baselines, &tr_traceds);
     let traced_report = traced_report.expect("tr_reps > 0");
     assert_eq!(
         traced_report.evaluations, report.evaluations,
@@ -262,6 +303,59 @@ fn main() {
         traced_report.front.points(),
         report.front.points(),
         "tracing changed the tuning outcome"
+    );
+
+    // --- 5. surrogate overhead: the identical run behind a full-open
+    // screen (`screen_ratio = 1.0`). Feature extraction and online model
+    // updates happen on every batch, but nothing is screened, so the
+    // outcome must be byte-identical and the wall-clock delta is the cost
+    // of the screening machinery itself.
+    let run_screened = || {
+        let features =
+            moat::IrFeatures::new(setup.skeleton(), &setup.space, &setup.machine.features());
+        let model = moat::core::Surrogate::new(moat::core::FeatureSource::dims(&features), 2);
+        let policy = moat::core::ScreeningPolicy {
+            screen_ratio: 1.0,
+            ..Default::default()
+        };
+        let screen = moat::core::SurrogateScreen::new(Box::new(features), model, policy);
+        let mut session = TuningSession::new(setup.space.clone(), &ev)
+            .with_batch(BatchEval::default())
+            .with_surrogate(screen);
+        session.run(&RsGde3Tuner::new(params))
+    };
+    // Interleave the two legs and take best-of on each: alternating
+    // absorbs slow drift (thermal, scheduler) that back-to-back loops
+    // would attribute entirely to one leg.
+    let sur_reps = if smoke { 3 } else { 75 };
+    let mut sur_baselines = Vec::with_capacity(sur_reps);
+    let mut sur_screeneds = Vec::with_capacity(sur_reps);
+    let mut screened_report = None;
+    for rep in 0..sur_reps {
+        // Swap leg order every rep so neither leg systematically runs
+        // into the cache/branch state the other left behind.
+        let legs: [bool; 2] = if rep % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for screened in legs {
+            let t = Instant::now();
+            if screened {
+                screened_report = Some(run_screened());
+                sur_screeneds.push(t.elapsed().as_secs_f64());
+            } else {
+                black_box(run_tuning());
+                sur_baselines.push(t.elapsed().as_secs_f64());
+            }
+        }
+    }
+    let sur_baseline_med = median(&sur_baselines);
+    let sur_delta_med = paired_delta_med(&sur_baselines, &sur_screeneds);
+    let screened_report = screened_report.expect("sur_reps > 0");
+    assert_eq!(
+        screened_report, report,
+        "a full-open screen changed the tuning outcome"
     );
 
     let out = BenchReport {
@@ -292,10 +386,15 @@ fn main() {
             front_size: report.front.len(),
         },
         tracing: TracingOverheadReport {
-            baseline_s: baseline_best,
-            traced_s: traced_best,
-            overhead_pct: (traced_best - baseline_best) / baseline_best * 100.0,
+            baseline_s: tr_baseline_med,
+            traced_s: tr_baseline_med + tr_delta_med,
+            overhead_pct: tr_delta_med / tr_baseline_med * 100.0,
             records,
+        },
+        surrogate: SurrogateOverheadReport {
+            baseline_s: sur_baseline_med,
+            screened_s: sur_baseline_med + sur_delta_med,
+            overhead_pct: sur_delta_med / sur_baseline_med * 100.0,
         },
     };
     let pretty = serde_json::to_string_pretty(&out).expect("serialize");

@@ -1,0 +1,330 @@
+//! Surrogate-screening study: RS-GDE3 with an online surrogate screen
+//! matches the plain run's front quality V(S) at meaningfully lower E.
+//!
+//! Protocol (fixed seeds, Westmere, paper-scale sizes):
+//!
+//! 1. per kernel (mm, dsyrk): plain RS-GDE3 vs surrogate-screened RS-GDE3
+//!    (same seeds), hypervolumes under shared normalization bounds taken
+//!    from the union of everything either run evaluated. Both legs run a
+//!    *fixed* generation count (patience stopping off, long past the plain
+//!    run's hypervolume plateau) so they perform identical search work and
+//!    E isolates the measurement cost — with patience stopping, the
+//!    screened run's slower plateau detection confounds the comparison,
+//! 2. compounding leg (mm): cold run → archive → warm-started run with and
+//!    without the screen (screen primed from the archived front), showing
+//!    warm start and surrogate stack.
+//!
+//! Emitted as JSON (`BENCH_surrogate.json` via `scripts/bench_surrogate.sh`)
+//! so the headline numbers — E reduction and V(S) delta — are tracked
+//! across PRs. `--smoke` shrinks the instances for CI; smoke JSON reports
+//! `"smoke": true` and must never be committed as a baseline.
+
+use moat::core::{
+    FeatureSource, Point, RsGde3Params, RsGde3Tuner, ScreeningPolicy, Surrogate, SurrogateScreen,
+    SurrogateStats, TuningReport, TuningSession,
+};
+use moat::{Archive, ArchiveKey, ArchiveRecord, IrFeatures, Kernel, MachineDesc};
+use moat_bench::{batch, hv_under, Setup};
+use moat_core::metrics::objective_bounds;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct MethodReport {
+    /// Mean distinct evaluations E over the seeds.
+    e: f64,
+    /// Mean front size |S|.
+    s: f64,
+    /// Mean hypervolume V(S) under the kernel's shared bounds.
+    hv: f64,
+}
+
+#[derive(Serialize)]
+struct ScreenReport {
+    /// Mean candidates the screen saw.
+    requested: f64,
+    /// Mean candidates forwarded to the real evaluator.
+    forwarded: f64,
+    /// Mean candidates screened out (these never touch the budget).
+    screened: f64,
+    /// Mean screened-out candidates resurrected by ε-exploration.
+    explored: f64,
+    /// Mean absolute prediction error, percent of the objective scale.
+    mae_pct: f64,
+    /// Mean per-batch Spearman rank correlation of predicted vs true.
+    rank_corr: f64,
+}
+
+#[derive(Serialize)]
+struct KernelReport {
+    kernel: &'static str,
+    machine: &'static str,
+    plain: MethodReport,
+    surrogate: MethodReport,
+    screen: ScreenReport,
+    /// `(plain.e - surrogate.e) / plain.e`, percent. Target: >= 30.
+    e_reduction_pct: f64,
+    /// `(surrogate.hv - plain.hv) / plain.hv`, percent. Target: > -1.
+    hv_delta_pct: f64,
+}
+
+#[derive(Serialize)]
+struct CompoundingReport {
+    cold_e: u64,
+    cold_hv: f64,
+    warm_e: u64,
+    warm_hv: f64,
+    warm_surrogate_e: u64,
+    warm_surrogate_hv: f64,
+    /// Archived points the screen was primed with before its first batch.
+    primed: usize,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    smoke: bool,
+    screen_ratio: f64,
+    seeds: u64,
+    kernels: Vec<KernelReport>,
+    compounding: CompoundingReport,
+}
+
+/// The screen used everywhere in this study: IR-aware engineered features
+/// over the kernel's skeleton, fresh model, fixed exploration seed.
+fn screen_for(setup: &Setup, ratio: f64, seed: u64) -> SurrogateScreen {
+    let features = IrFeatures::new(setup.skeleton(), &setup.space, &setup.machine.features());
+    let model = Surrogate::new(features.dims(), 2);
+    let policy = ScreeningPolicy {
+        screen_ratio: ratio,
+        seed,
+        ..Default::default()
+    };
+    SurrogateScreen::new(Box::new(features), model, policy)
+}
+
+/// Fixed-length RS-GDE3: exactly `generations` iterations, no patience
+/// stop, so the plain and screened legs perform identical search work.
+fn params(seed: u64, generations: u32) -> RsGde3Params {
+    RsGde3Params {
+        seed,
+        patience: u32::MAX,
+        max_generations: generations,
+        ..Default::default()
+    }
+}
+
+fn run(
+    setup: &Setup,
+    seed: u64,
+    generations: u32,
+    screen: Option<SurrogateScreen>,
+) -> (TuningReport, Option<SurrogateStats>) {
+    let ev = setup.evaluator();
+    let mut session = TuningSession::new(setup.space.clone(), &ev).with_batch(batch());
+    if let Some(s) = screen {
+        session = session.with_surrogate(s);
+    }
+    let report = session.run(&RsGde3Tuner::new(params(seed, generations)));
+    let stats = session.surrogate_stats().cloned();
+    (report, stats)
+}
+
+fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.into_iter().collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Plain-vs-screened comparison on one kernel over `seeds` seeds.
+fn kernel_study(
+    kernel: Kernel,
+    n: Option<i64>,
+    ratio: f64,
+    seeds: u64,
+    generations: u32,
+) -> KernelReport {
+    let setup = Setup::new(kernel, MachineDesc::westmere(), n);
+    let mut plain = Vec::new();
+    let mut screened = Vec::new();
+    let mut stats = Vec::new();
+    for seed in 0..seeds {
+        plain.push(run(&setup, seed, generations, None).0);
+        let (r, s) = run(
+            &setup,
+            seed,
+            generations,
+            Some(screen_for(&setup, ratio, seed)),
+        );
+        screened.push(r);
+        stats.push(s.expect("screen installed"));
+    }
+    // Shared normalization bounds over everything any run evaluated: both
+    // methods are scored on the same scale.
+    let union: Vec<Point> = plain
+        .iter()
+        .chain(&screened)
+        .flat_map(|r| r.all.iter().cloned())
+        .collect();
+    let (ideal, nadir) = objective_bounds(&union);
+    let method = |rs: &[TuningReport]| MethodReport {
+        e: mean(rs.iter().map(|r| r.evaluations as f64)),
+        s: mean(rs.iter().map(|r| r.front.len() as f64)),
+        hv: mean(
+            rs.iter()
+                .map(|r| hv_under(r.front.points(), &ideal, &nadir)),
+        ),
+    };
+    let (p, s) = (method(&plain), method(&screened));
+    KernelReport {
+        kernel: kernel.info().name,
+        machine: "Westmere",
+        e_reduction_pct: (p.e - s.e) / p.e * 100.0,
+        hv_delta_pct: (s.hv - p.hv) / p.hv * 100.0,
+        screen: ScreenReport {
+            requested: mean(stats.iter().map(|t| t.requested as f64)),
+            forwarded: mean(stats.iter().map(|t| t.forwarded as f64)),
+            screened: mean(stats.iter().map(|t| t.screened as f64)),
+            explored: mean(stats.iter().map(|t| t.explored as f64)),
+            mae_pct: mean(stats.iter().map(|t| t.mae_pct())),
+            rank_corr: mean(stats.iter().map(|t| t.mean_rank_corr())),
+        },
+        plain: p,
+        surrogate: s,
+    }
+}
+
+/// Warm start and surrogate compound: prime the screen from the archived
+/// front, warm-start the session from the same record, and compare against
+/// the warm-only run.
+fn compounding_study(n: Option<i64>, ratio: f64, generations: u32) -> CompoundingReport {
+    let setup = Setup::new(Kernel::Mm, MachineDesc::westmere(), n);
+    let dir = std::env::temp_dir().join(format!("moat-surrogate-bench-{}", std::process::id()));
+    let archive = Archive::open(&dir).expect("open archive");
+    let key = ArchiveKey::of(setup.skeleton(), &setup.space, &setup.machine);
+
+    let (cold, _) = run(&setup, 0, generations, None);
+    let record = ArchiveRecord::from_report(
+        setup.region.name.clone(),
+        setup.skeleton(),
+        &setup.space,
+        &setup.machine,
+        vec!["time".into(), "resources".into()],
+        &cold,
+    );
+    archive.insert(&record).expect("archive insert");
+    let stored = archive.get(&key).expect("archive read").expect("stored");
+
+    let warm_run = |screen: Option<SurrogateScreen>| {
+        let ev = setup.evaluator();
+        let mut session = TuningSession::new(setup.space.clone(), &ev)
+            .with_batch(batch())
+            .with_warm_start(stored.warm_start());
+        if let Some(s) = screen {
+            session = session.with_surrogate(s);
+        }
+        session.run(&RsGde3Tuner::new(params(1, generations)))
+    };
+    let warm = warm_run(None);
+    let mut screen = screen_for(&setup, ratio, 1);
+    let mut primed = 0;
+    for p in &stored.front {
+        if screen.prime(&p.config, &p.objectives) {
+            primed += 1;
+        }
+    }
+    let warm_sur = warm_run(Some(screen));
+
+    let union: Vec<Point> = cold
+        .all
+        .iter()
+        .chain(&warm.all)
+        .chain(&warm_sur.all)
+        .cloned()
+        .collect();
+    let (ideal, nadir) = objective_bounds(&union);
+    let hv = |r: &TuningReport| hv_under(r.front.points(), &ideal, &nadir);
+    let out = CompoundingReport {
+        cold_e: cold.evaluations,
+        cold_hv: hv(&cold),
+        warm_e: warm.evaluations,
+        warm_hv: hv(&warm),
+        warm_surrogate_e: warm_sur.evaluations,
+        warm_surrogate_hv: hv(&warm_sur),
+        primed,
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let ratio = 0.5;
+    let (n, seeds, generations) = if smoke {
+        (Some(128), 1, 8)
+    } else {
+        (None, 3, 24)
+    };
+
+    let kernels = vec![
+        kernel_study(Kernel::Mm, n, ratio, seeds, generations),
+        kernel_study(Kernel::Dsyrk, n, ratio, seeds, generations),
+    ];
+    let compounding = compounding_study(n, ratio, generations);
+
+    let out = BenchReport {
+        smoke,
+        screen_ratio: ratio,
+        seeds,
+        kernels,
+        compounding,
+    };
+    let pretty = serde_json::to_string_pretty(&out).expect("serialize");
+    if let Some(path) = json_path {
+        std::fs::write(&path, format!("{pretty}\n")).expect("write JSON");
+        eprintln!("wrote {path}");
+    }
+    println!("{pretty}");
+
+    // Headline claims. Smoke instances are tiny and noisy, so the hard
+    // quality gates only bind on the full run (the committed baseline).
+    for k in &out.kernels {
+        assert!(
+            k.surrogate.e < k.plain.e,
+            "{}: screening must save evaluations (E {} vs {})",
+            k.kernel,
+            k.surrogate.e,
+            k.plain.e
+        );
+        if !smoke {
+            assert!(
+                k.e_reduction_pct >= 30.0,
+                "{}: E reduction {:.1}% below the 30% target",
+                k.kernel,
+                k.e_reduction_pct
+            );
+            assert!(
+                k.hv_delta_pct >= -1.0,
+                "{}: V(S) regressed by more than 1% ({:.2}%)",
+                k.kernel,
+                k.hv_delta_pct
+            );
+        }
+    }
+    assert!(
+        out.compounding.warm_surrogate_e <= out.compounding.warm_e,
+        "surrogate on top of warm start must not cost extra evaluations"
+    );
+    if !smoke {
+        assert!(
+            out.compounding.warm_surrogate_hv >= out.compounding.cold_hv - 0.01,
+            "compounded run lost the cold run's quality: {:.4} vs {:.4}",
+            out.compounding.warm_surrogate_hv,
+            out.compounding.cold_hv
+        );
+    }
+}

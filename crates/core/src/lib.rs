@@ -46,6 +46,7 @@ pub mod random;
 pub mod roughset;
 pub mod rsgde3;
 pub mod space;
+pub mod surrogate;
 pub mod tuner;
 pub mod wsum;
 
@@ -86,6 +87,10 @@ pub use random::RandomTuner;
 pub use roughset::reduce_search_space;
 pub use rsgde3::{FrontSignature, RsGde3, RsGde3Params, RsGde3Tuner, TuningResult};
 pub use space::{Config, Domain, ParamSpace};
+pub use surrogate::{
+    spearman, BatchError, FeatureSource, ScreenPlan, ScreeningEvaluator, ScreeningPolicy,
+    SpaceFeatures, Surrogate, SurrogateScreen, SurrogateStats,
+};
 pub use tuner::{
     EventLog, EventSink, StopReason, StrategyKind, Tuner, TuningEvent, TuningReport, TuningSession,
     WarmStart,

@@ -92,7 +92,7 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 
 /// A Pareto archive: maintains the non-dominated subset of all inserted
 /// points.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ParetoFront {
     points: Vec<Point>,
 }

@@ -38,6 +38,7 @@ use crate::fault::FaultStats;
 use crate::pareto::{ParetoFront, Point};
 use crate::rsgde3::{FrontSignature, TuningResult};
 use crate::space::{Config, ParamSpace};
+use crate::surrogate::{SurrogateScreen, SurrogateStats};
 use moat_obs as obs;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -106,6 +107,33 @@ pub enum TuningEvent {
         /// `None` otherwise, so untraced runs never read the clock here.
         elapsed: Option<Duration>,
     },
+    /// A surrogate screen decided a batch's fate (only emitted when
+    /// screening is enabled via [`TuningSession::with_surrogate`]).
+    /// Screened-away configurations are never evaluated and **consume no
+    /// evaluation budget** — only forwarded configurations enter the
+    /// budget admission of the following [`BatchEvaluated`](Self::BatchEvaluated).
+    BatchScreened {
+        /// Number of configurations the strategy requested.
+        requested: usize,
+        /// Number forwarded to the real evaluator.
+        forwarded: usize,
+        /// Forwarded configurations owed to the ε-exploration coin.
+        explored: usize,
+        /// Number withheld (never evaluated, no budget consumed).
+        screened: usize,
+    },
+    /// Per-batch surrogate model error, measured by comparing the screen's
+    /// predicted scores against the real measurements that came back
+    /// (only emitted for screened batches with scored results).
+    SurrogateError {
+        /// Training samples in the model when the batch was scored.
+        samples: usize,
+        /// Mean absolute error of the normalized score, percent.
+        mae_pct: f64,
+        /// Spearman rank correlation between predicted and measured
+        /// scores (`None` when undefined for the batch).
+        rank_corr: Option<f64>,
+    },
     /// The non-dominated front changed (or was re-measured).
     FrontUpdated {
         /// Signature (size, ideal point, hypervolume) of the new front.
@@ -170,7 +198,7 @@ impl EventSink for EventLog {
 }
 
 /// Unified result of a tuning run, for all strategies.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TuningReport {
     /// Non-dominated subset of all evaluated configurations.
     pub front: ParetoFront,
@@ -292,6 +320,7 @@ pub struct TuningSession<'a> {
     iteration: u32,
     budget_exhausted: bool,
     label: String,
+    surrogate: Option<SurrogateScreen>,
 }
 
 impl<'a> TuningSession<'a> {
@@ -318,6 +347,7 @@ impl<'a> TuningSession<'a> {
             iteration: 0,
             budget_exhausted: false,
             label: String::new(),
+            surrogate: None,
         }
     }
 
@@ -438,6 +468,43 @@ impl<'a> TuningSession<'a> {
             }
         }
         self
+    }
+
+    /// Enable surrogate screening: every batch a strategy requests is
+    /// scored by `screen`'s online model, and only the policy's top
+    /// fraction (plus seeded-deterministic exploration picks) is forwarded
+    /// to the real evaluator. Screened-away configurations return `None`
+    /// and **consume no evaluation budget**; every real measurement is fed
+    /// back into the model in batch order.
+    ///
+    /// Call this *last* in the builder chain: it replays the evaluation
+    /// cache (resume snapshots, warm-start hints) into the model, so
+    /// anything primed earlier becomes training data. The model is
+    /// order-independent by construction, which makes this replay exact —
+    /// a resumed screened run sees the same model state the uninterrupted
+    /// run had.
+    ///
+    /// Without this call the session stays on its exact pre-surrogate code
+    /// path: disabled screening is byte-identical to no screening.
+    pub fn with_surrogate(mut self, mut screen: SurrogateScreen) -> Self {
+        for (cfg, result) in self.evaluator.snapshot() {
+            if let Some(objs) = result {
+                screen.prime(&cfg, &objs);
+            }
+        }
+        self.surrogate = Some(screen);
+        self
+    }
+
+    /// Running statistics of the surrogate screen (`None` when screening
+    /// is disabled).
+    pub fn surrogate_stats(&self) -> Option<&SurrogateStats> {
+        self.surrogate.as_ref().map(|s| s.stats())
+    }
+
+    /// The surrogate screen, if enabled.
+    pub fn surrogate(&self) -> Option<&SurrogateScreen> {
+        self.surrogate.as_ref()
     }
 
     /// Warm-start seed configurations, projected onto the space and
@@ -595,6 +662,26 @@ impl<'a> TuningSession<'a> {
                     .filter(|_| obs::wall_enabled())
                     .map(|d| d.as_micros() as u64),
             },
+            TuningEvent::BatchScreened {
+                requested,
+                forwarded,
+                explored,
+                screened,
+            } => obs::Event::BatchScreened {
+                requested: *requested as u64,
+                forwarded: *forwarded as u64,
+                explored: *explored as u64,
+                screened: *screened as u64,
+            },
+            TuningEvent::SurrogateError {
+                samples,
+                mae_pct,
+                rank_corr,
+            } => obs::Event::SurrogateError {
+                samples: *samples as u64,
+                mae_pct: *mae_pct,
+                rank_corr: *rank_corr,
+            },
             TuningEvent::FrontUpdated { signature } => obs::Event::FrontUpdated {
                 iteration: u64::from(self.iteration),
                 evaluations: self.evaluator.evaluations(),
@@ -693,6 +780,13 @@ impl<'a> TuningSession<'a> {
             });
             return vec![None; configs.len()];
         }
+        // Surrogate screening forks off here — the `None` branch below is
+        // the untouched pre-surrogate code path, which is what makes
+        // "surrogate disabled ⇒ byte-identical output" structural rather
+        // than promised.
+        if self.surrogate.is_some() {
+            return self.evaluate_screened(configs);
+        }
         let admitted = match self.budget {
             None => configs.len(),
             Some(budget) => {
@@ -729,6 +823,84 @@ impl<'a> TuningSession<'a> {
             evaluations: self.evaluator.evaluations(),
             elapsed,
         });
+        results
+    }
+
+    /// The screened variant of [`evaluate`](Self::evaluate): the surrogate
+    /// plans the batch on this (control) thread before anything is
+    /// dispatched, screened-out slots return `None` without consuming
+    /// budget, forwarded configurations go through the same in-order
+    /// budget admission as the unscreened path, and every real result is
+    /// fed back into the model in batch order. All decisions are functions
+    /// of `(model state, policy seed, batch)` — never of thread count or
+    /// completion order — so screened runs are deterministic for a fixed
+    /// seed across `BatchEval` parallelism.
+    fn evaluate_screened(&mut self, configs: &[Config]) -> Vec<Option<ObjVec>> {
+        let mut screen = self.surrogate.take().expect("screening enabled");
+        let plan = screen.plan(configs, |cfg| self.evaluator.is_cached(cfg));
+        // Budget admission mirrors the unscreened path (walk in order,
+        // fresh configs consume budget, cut before evaluation from cache
+        // state) — but screened-out slots are skipped entirely: a config
+        // the surrogate withheld never counts against the hard budget.
+        let mut admitted = configs.len();
+        if let Some(budget) = self.budget {
+            let mut remaining = budget.saturating_sub(self.evaluations());
+            let mut fresh: HashSet<&Config> = HashSet::new();
+            for (i, cfg) in configs.iter().enumerate() {
+                if !plan.keep[i] {
+                    continue;
+                }
+                if !self.evaluator.is_cached(cfg) && !fresh.contains(cfg) {
+                    if remaining == 0 {
+                        admitted = i;
+                        break;
+                    }
+                    remaining -= 1;
+                    fresh.insert(cfg);
+                }
+            }
+        }
+        if admitted < configs.len() {
+            self.budget_exhausted = true;
+        }
+        let forwarded: Vec<usize> = (0..admitted).filter(|&i| plan.keep[i]).collect();
+        self.emit(TuningEvent::BatchScreened {
+            requested: configs.len(),
+            forwarded: plan.keep.iter().filter(|k| **k).count(),
+            explored: plan.explored,
+            screened: plan.keep.iter().filter(|k| !**k).count(),
+        });
+        let t0 = obs::enabled().then(Instant::now);
+        // A fully-open plan (ratio 1.0, untrained model, …) forwards the
+        // batch as-is — no per-config clone on the overhead-critical path.
+        let results = if forwarded.len() == configs.len() {
+            self.batch.run(&self.evaluator, configs)
+        } else {
+            let gathered: Vec<Config> = forwarded.iter().map(|&i| configs[i].clone()).collect();
+            let evaluated = self.batch.run(&self.evaluator, &gathered);
+            let mut scattered: Vec<Option<ObjVec>> = vec![None; configs.len()];
+            for (&slot, r) in forwarded.iter().zip(evaluated) {
+                scattered[slot] = r;
+            }
+            scattered
+        };
+        let elapsed = t0.map(|t| t.elapsed());
+        let samples = screen.model().len();
+        let err = screen.absorb(&plan, &results);
+        self.surrogate = Some(screen);
+        self.emit(TuningEvent::BatchEvaluated {
+            requested: configs.len(),
+            evaluated: forwarded.len(),
+            evaluations: self.evaluator.evaluations(),
+            elapsed,
+        });
+        if let Some(err) = err {
+            self.emit(TuningEvent::SurrogateError {
+                samples,
+                mae_pct: err.mae_pct,
+                rank_corr: err.rank_corr,
+            });
+        }
         results
     }
 

@@ -60,6 +60,33 @@ pub enum Event {
         /// Batch wall time in µs (absent in logical mode).
         elapsed_us: Option<u64>,
     },
+    /// A surrogate screen decided a batch's fate. Screened-away
+    /// configurations were never evaluated and **consumed no evaluation
+    /// budget**; only the `forwarded` subset entered the budget admission
+    /// of the following [`Event::BatchEvaluated`]. Emitted from the
+    /// session control thread (Control class).
+    BatchScreened {
+        /// Configurations the strategy requested.
+        requested: u64,
+        /// Configurations forwarded to the real evaluator.
+        forwarded: u64,
+        /// Forwarded configurations owed to the ε-exploration coin.
+        explored: u64,
+        /// Configurations withheld (no evaluation, no budget).
+        screened: u64,
+    },
+    /// Per-batch surrogate model error: predicted scores vs the real
+    /// measurements that came back. Control class, like every
+    /// session-funnel event.
+    SurrogateError {
+        /// Training samples in the model when the batch was scored.
+        samples: u64,
+        /// Mean absolute normalized-score error, percent.
+        mae_pct: f64,
+        /// Spearman rank correlation (`None` when undefined for the
+        /// batch — `f64::NAN` would serialize as an unparseable `null`).
+        rank_corr: Option<f64>,
+    },
     /// The non-dominated front changed (or was re-measured).
     FrontUpdated {
         /// Iteration the update belongs to.
@@ -224,6 +251,8 @@ impl Event {
             Event::SessionStart { .. } => "session_start",
             Event::IterationStart { .. } => "iteration_start",
             Event::BatchEvaluated { .. } => "batch_evaluated",
+            Event::BatchScreened { .. } => "batch_screened",
+            Event::SurrogateError { .. } => "surrogate_error",
             Event::FrontUpdated { .. } => "front_updated",
             Event::SpaceReduced { .. } => "space_reduced",
             Event::Checkpointed { .. } => "checkpointed",

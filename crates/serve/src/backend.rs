@@ -38,6 +38,21 @@ pub struct JobInfo {
     pub objective_names: Vec<String>,
 }
 
+/// Daemon-level surrogate screening handed to a backend: the screening
+/// ratio from [`ServeConfig`](crate::ServeConfig) plus the priming set
+/// the daemon pulled out of the sharded archive at admission (every
+/// stored front for this problem, nearest machine first). Surrogate
+/// screening is a *daemon* policy, never part of the [`JobSpec`] — spec
+/// fingerprints (and thus dedupe and checkpoint identity) are unaffected.
+#[derive(Debug, Clone)]
+pub struct SurrogateJob {
+    /// Fraction of each batch forwarded to real evaluation.
+    pub screen_ratio: f64,
+    /// `(config, objectives)` pairs to prime the model with before the
+    /// session starts.
+    pub primer: Vec<(Config, Vec<f64>)>,
+}
+
 /// Everything the daemon injects into one job run.
 #[derive(Debug, Clone)]
 pub struct JobContext {
@@ -64,6 +79,9 @@ pub struct JobContext {
     pub warm: Option<WarmStart>,
     /// Daemon metrics to count pool evaluations into.
     pub metrics: Option<Arc<crate::metrics::ServeMetrics>>,
+    /// Daemon-level surrogate screening (`None`: run unscreened, the
+    /// byte-identical default).
+    pub surrogate: Option<SurrogateJob>,
 }
 
 /// What one finished (or parked) job run produced.
@@ -246,6 +264,18 @@ impl JobBackend for SyntheticBackend {
             if let Some(store) = store.as_mut() {
                 session = session.with_checkpointing(store, ctx.checkpoint_every.max(1));
             }
+            if let Some(s) = &ctx.surrogate {
+                let policy = moat_core::ScreeningPolicy {
+                    screen_ratio: s.screen_ratio,
+                    seed: spec.seed,
+                    ..Default::default()
+                };
+                let mut screen = moat_core::SurrogateScreen::for_space(&space, 2, policy);
+                for (cfg, objs) in &s.primer {
+                    screen.prime(cfg, objs);
+                }
+                session = session.with_surrogate(screen);
+            }
             let report = session.run(&RandomTuner::new(spec.seed));
             let cancelled = session.cancelled();
             (report, cancelled)
@@ -304,6 +334,7 @@ mod tests {
             resume: None,
             warm: None,
             metrics: None,
+            surrogate: None,
         }
     }
 
@@ -318,6 +349,36 @@ mod tests {
         assert!(!a.cancelled);
         let c = backend.run(&spec("dsyrk"), ctx(pool)).unwrap();
         assert_ne!(a.record.key, c.record.key, "kernel changes the key");
+    }
+
+    #[test]
+    fn surrogate_full_ratio_is_identical_and_screening_runs() {
+        let backend = SyntheticBackend::default();
+        let pool = FairPool::new(4);
+        let plain = backend.run(&spec("mm"), ctx(Arc::clone(&pool))).unwrap();
+        // ratio = 1.0 forwards everything: byte-identical record.
+        let mut full = ctx(Arc::clone(&pool));
+        full.surrogate = Some(SurrogateJob {
+            screen_ratio: 1.0,
+            primer: vec![],
+        });
+        let out = backend.run(&spec("mm"), full).unwrap();
+        assert_eq!(out.record, plain.record);
+        assert_eq!(out.evaluations, plain.evaluations);
+        // A primed screening run still completes with a usable front.
+        let mut screened = ctx(pool);
+        screened.surrogate = Some(SurrogateJob {
+            screen_ratio: 0.5,
+            primer: plain
+                .record
+                .front
+                .iter()
+                .map(|p| (p.config.clone(), p.objectives.clone()))
+                .collect(),
+        });
+        let out = backend.run(&spec("mm"), screened).unwrap();
+        assert!(!out.cancelled);
+        assert!(!out.record.front.is_empty());
     }
 
     #[test]

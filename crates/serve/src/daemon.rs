@@ -66,6 +66,14 @@ pub struct ServeConfig {
     pub checkpoint_every: u32,
     /// Background compaction period.
     pub compact_interval: Duration,
+    /// Daemon-level surrogate screening: every session runs behind an
+    /// online surrogate primed from the sharded archive at admission.
+    /// Never part of the [`JobSpec`], so fingerprints (dedupe, checkpoint
+    /// identity) are unchanged. Off by default — the byte-identical path.
+    pub surrogate: bool,
+    /// Fraction of each batch forwarded to real evaluation when
+    /// [`surrogate`](Self::surrogate) is on.
+    pub screen_ratio: f64,
 }
 
 impl ServeConfig {
@@ -79,6 +87,8 @@ impl ServeConfig {
             shards: 4,
             checkpoint_every: 1,
             compact_interval: Duration::from_millis(250),
+            surrogate: false,
+            screen_ratio: moat_core::ScreeningPolicy::default().screen_ratio,
         }
     }
 }
@@ -259,6 +269,35 @@ impl Daemon {
             }
         }
 
+        // Daemon-level surrogate: prime the model from every archived
+        // front of this problem (nearest machine first) so screening
+        // compounds with warm-start dedupe — the second tenant's job
+        // starts with a model trained on the first tenant's measurements.
+        let mut surrogate = None;
+        if self.config.surrogate {
+            if let Ok(info) = self.backend.prepare(&spec) {
+                let primer = self
+                    .archive
+                    .records_for_machine_family(&info.key, &info.machine)
+                    .map(|family| {
+                        family
+                            .iter()
+                            .flat_map(|(record, _distance)| {
+                                record
+                                    .front
+                                    .iter()
+                                    .map(|p| (p.config.clone(), p.objectives.clone()))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                surrogate = Some(crate::backend::SurrogateJob {
+                    screen_ratio: self.config.screen_ratio,
+                    primer,
+                });
+            }
+        }
+
         let ctx = crate::backend::JobContext {
             cancel: Arc::clone(&self.stop),
             pool: Arc::clone(&self.pool),
@@ -269,6 +308,7 @@ impl Daemon {
             resume,
             warm,
             metrics: Some(Arc::clone(&self.metrics)),
+            surrogate,
         };
 
         match self.backend.run(&spec, ctx) {

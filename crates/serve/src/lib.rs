@@ -28,7 +28,9 @@ pub mod spec;
 pub mod trace;
 pub mod wire;
 
-pub use backend::{GaugedStore, JobBackend, JobContext, JobInfo, JobOutcome, SyntheticBackend};
+pub use backend::{
+    GaugedStore, JobBackend, JobContext, JobInfo, JobOutcome, SurrogateJob, SyntheticBackend,
+};
 pub use daemon::{serve, JobState, JobStatus, ServeConfig, ServeHandle};
 pub use metrics::ServeMetrics;
 pub use pool::{FairPool, PooledEvaluator};

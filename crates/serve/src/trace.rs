@@ -70,6 +70,32 @@ pub fn job_records(
                     },
                 );
             }
+            TuningEvent::BatchScreened {
+                requested,
+                forwarded,
+                explored,
+                screened,
+            } => push(
+                &mut seq,
+                Event::BatchScreened {
+                    requested: *requested as u64,
+                    forwarded: *forwarded as u64,
+                    explored: *explored as u64,
+                    screened: *screened as u64,
+                },
+            ),
+            TuningEvent::SurrogateError {
+                samples,
+                mae_pct,
+                rank_corr,
+            } => push(
+                &mut seq,
+                Event::SurrogateError {
+                    samples: *samples as u64,
+                    mae_pct: *mae_pct,
+                    rank_corr: *rank_corr,
+                },
+            ),
             TuningEvent::FrontUpdated { signature } => push(
                 &mut seq,
                 Event::FrontUpdated {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Surrogate-screening study runner.
+#
+# Full mode (default) runs the `surrogate` bench at paper-scale instances
+# over several seeds and rewrites `BENCH_surrogate.json` at the repo root —
+# commit the result so the headline claims (E reduction >= 30% at V(S)
+# within 1% of plain RS-GDE3, warm start + surrogate compounding) are
+# tracked across PRs. The bench asserts those claims itself, so a full run
+# that completes is also a quality gate.
+#
+# `--smoke` shrinks the instances for CI and writes the JSON under
+# `target/` instead; smoke numbers are load-check noise and must never be
+# committed as a baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+root="$(pwd)"
+args=()
+out="$root/BENCH_surrogate.json"
+if [[ "${1:-}" == "--smoke" ]]; then
+    args+=(--smoke)
+    out="$root/target/BENCH_surrogate.smoke.json"
+    mkdir -p target
+elif [[ -n "${1:-}" ]]; then
+    echo "usage: $0 [--smoke]" >&2
+    exit 2
+fi
+
+cargo bench -q -p moat-bench --bench surrogate -- "${args[@]}" --json "$out"

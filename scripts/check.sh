@@ -51,6 +51,31 @@ fi
 cargo run -q --bin moat-archive -- merge \
     --archive "$bsmoke/mixed" --from "$bsmoke/plain" --merge-across-backends > /dev/null
 
+echo "== surrogate smoke (cold tune -> archive -> screened tune beats cold E at >= hv) =="
+susmoke="target/surrogate-smoke"
+rm -rf "$susmoke"
+mkdir -p "$susmoke"
+# Cold leg records the archive the surrogate will be primed from. Capture the
+# whole output and slice afterwards: piping into head would SIGPIPE the second
+# "surrogate stats:" line.
+cold=$(cargo run -q --bin moat-tune -- --kernel mm --size 160 --generations 12 \
+    --quiet --archive "$susmoke/arc")
+cold=${cold%%$'\n'*}
+# Screened leg: warm start + surrogate compound against the same archive.
+sur=$(cargo run -q --bin moat-tune -- --kernel mm --size 160 --generations 12 \
+    --quiet --archive "$susmoke/arc" --warm-start --surrogate --screen-ratio 0.5)
+sur=${sur%%$'\n'*}
+echo "cold: $cold"
+echo "surr: $sur"
+cold_e=$(sed -n 's/.* E=\([0-9]*\).*/\1/p' <<< "$cold")
+sur_e=$(sed -n 's/.* E=\([0-9]*\).*/\1/p' <<< "$sur")
+cold_hv=$(sed -n 's/.*self-hv=\([0-9.]*\).*/\1/p' <<< "$cold")
+sur_hv=$(sed -n 's/.*self-hv=\([0-9.]*\).*/\1/p' <<< "$sur")
+awk -v ce="$cold_e" -v se="$sur_e" -v ch="$cold_hv" -v sh="$sur_hv" 'BEGIN {
+    if (se >= ce) { print "ERROR: surrogate E (" se ") not below cold E (" ce ")"; exit 1 }
+    if (sh + 1e-9 < ch) { print "ERROR: surrogate hv (" sh ") below cold hv (" ch ")"; exit 1 }
+}'
+
 echo "== serve smoke (dedupe -> metrics -> SIGTERM -> resume byte-identity) =="
 ssmoke="target/serve-smoke"
 rm -rf "$ssmoke"

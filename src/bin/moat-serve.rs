@@ -13,6 +13,10 @@
 //!   --shards <N>              archive shard count (default 4)
 //!   --checkpoint-every <N>    checkpoint cadence in save opportunities
 //!                             (default 1)
+//!   --surrogate               screen every session with an online surrogate
+//!                             primed from the sharded archive at admission
+//!   --screen-ratio <F>        fraction of each batch actually evaluated
+//!                             under --surrogate (default 0.5)
 //!   --port-file <FILE>        write "<ip>:<port>" here once bound (for
 //!                             scripts that pass port 0)
 //!   --synthetic [DELAY_US]    serve the synthetic test backend instead of
@@ -38,7 +42,7 @@ fn usage() -> ! {
         include_str!("moat-serve.rs")
             .lines()
             .skip(2)
-            .take(19)
+            .take(23)
             .map(|l| {
                 let l = l.strip_prefix("//!").unwrap_or(l);
                 l.strip_prefix(' ').unwrap_or(l)
@@ -111,6 +115,15 @@ fn main() {
                 config.checkpoint_every = value(&mut args, "--checkpoint-every")
                     .parse()
                     .unwrap_or_else(|_| fail("--checkpoint-every needs an integer"))
+            }
+            "--surrogate" => config.surrogate = true,
+            "--screen-ratio" => {
+                config.screen_ratio = value(&mut args, "--screen-ratio")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--screen-ratio needs a number"));
+                if !(0.0..=1.0).contains(&config.screen_ratio) {
+                    fail("--screen-ratio must be in [0, 1]")
+                }
             }
             "--port-file" => port_file = Some(value(&mut args, "--port-file")),
             "--synthetic" => {

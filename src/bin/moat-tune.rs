@@ -12,6 +12,10 @@
 //!   --budget <E>                                      hard cap on distinct evaluations
 //!   --archive <DIR>                                   record the result in a tuning archive
 //!   --warm-start                                      seed the optimizer from the archive
+//!   --surrogate                                       screen batches with an online surrogate
+//!                                                     model (primed from --archive when set)
+//!   --screen-ratio <F>                                fraction of each batch actually evaluated
+//!                                                     under --surrogate (default 0.5)
 //!   --seed <S>                                        optimizer seed (default 42)
 //!   --generations <G>                                 max GDE3 generations (default 200)
 //!   --energy                                          add the energy objective (3 objectives)
@@ -66,6 +70,8 @@ struct Opts {
     budget: Option<u64>,
     archive: Option<String>,
     warm_start: bool,
+    surrogate: bool,
+    screen_ratio: f64,
     seed: u64,
     generations: u32,
     energy: bool,
@@ -177,7 +183,7 @@ fn usage() -> ! {
         include_str!("moat-tune.rs")
             .lines()
             .skip(3)
-            .take(34)
+            .take(38)
             .map(|l| {
                 let l = l.strip_prefix("//!").unwrap_or(l);
                 l.strip_prefix(' ').unwrap_or(l)
@@ -198,6 +204,8 @@ fn parse_args() -> Opts {
         budget: None,
         archive: None,
         warm_start: false,
+        surrogate: false,
+        screen_ratio: moat::ScreeningPolicy::default().screen_ratio,
         seed: 42,
         generations: 200,
         energy: false,
@@ -269,6 +277,14 @@ fn parse_args() -> Opts {
             "--budget" => opts.budget = Some(value("--budget").parse().unwrap_or_else(|_| usage())),
             "--archive" => opts.archive = Some(value("--archive")),
             "--warm-start" => opts.warm_start = true,
+            "--surrogate" => opts.surrogate = true,
+            "--screen-ratio" => {
+                opts.screen_ratio = value("--screen-ratio").parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&opts.screen_ratio) {
+                    eprintln!("--screen-ratio must be in [0, 1]");
+                    exit(2)
+                }
+            }
             "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--generations" => {
                 opts.generations = value("--generations").parse().unwrap_or_else(|_| usage())
@@ -327,6 +343,10 @@ fn main() {
     let mut opts = parse_args();
     if opts.resume.is_some() && opts.warm_start {
         eprintln!("--resume cannot be combined with --warm-start");
+        exit(2);
+    }
+    if opts.resume.is_some() && opts.surrogate {
+        eprintln!("--resume cannot be combined with --surrogate (the resumed run was unscreened)");
         exit(2);
     }
     if !opts.backends.is_empty() && opts.energy {
@@ -518,7 +538,7 @@ fn main() {
         (None, Some(set)) => set,
         (None, None) => &ev,
     };
-    let mut session = TuningSession::new(tuning_space, evaluator)
+    let mut session = TuningSession::new(tuning_space.clone(), evaluator)
         .with_batch(BatchEval::default())
         .with_label(region.name.clone());
     if let Some(budget) = opts.budget {
@@ -582,7 +602,50 @@ fn main() {
         });
     }
 
+    // Surrogate screening: installed last so it also absorbs anything the
+    // warm start put into the evaluator cache. The model is primed from
+    // every archived front of this problem, nearest machine first.
+    let mut surrogate_note = String::new();
+    if opts.surrogate {
+        let policy = moat::ScreeningPolicy {
+            screen_ratio: opts.screen_ratio,
+            seed: opts.seed,
+            ..Default::default()
+        };
+        let features = moat::IrFeatures::new(
+            &region.skeletons[0],
+            &tuning_space,
+            &opts.machine.features(),
+        );
+        let model = moat::Surrogate::new(moat::FeatureSource::dims(&features), objectives.len());
+        let mut screen = moat::SurrogateScreen::new(Box::new(features), model, policy);
+        let mut primed = 0usize;
+        if opts.backends.is_empty() {
+            if let Some(archive) = &archive {
+                let family = archive
+                    .records_for_machine_family(&key, &opts.machine.features())
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        exit(1)
+                    });
+                for (record, _distance) in &family {
+                    for p in &record.front {
+                        if screen.prime(&p.config, &p.objectives) {
+                            primed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        surrogate_note = format!(
+            " surrogate=on(ratio={}, primed={primed})",
+            opts.screen_ratio
+        );
+        session = session.with_surrogate(screen);
+    }
+
     let mut result = session.run(tuner.as_ref());
+    let surrogate_stats = session.surrogate_stats().cloned();
     // Multi-backend runs: strip the backend coordinate, tag provenance.
     if let Some(set) = backend_set.as_ref() {
         result.front = set.annotate_front(&result.front);
@@ -641,6 +704,20 @@ fn main() {
         hv,
         warm_note
     );
+    if !surrogate_note.is_empty() {
+        if let Some(stats) = surrogate_stats.as_ref() {
+            println!(
+                "surrogate stats:{} requested={} forwarded={} screened={} explored={} mae={:.1}% rank-corr={}",
+                surrogate_note,
+                stats.requested,
+                stats.forwarded,
+                stats.screened,
+                stats.explored,
+                stats.mae_pct(),
+                format_args!("{:.3}", stats.mean_rank_corr()),
+            );
+        }
+    }
     if let Some(ft) = fault_tolerant.as_ref() {
         let s = ft.stats();
         println!(

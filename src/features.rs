@@ -1,0 +1,203 @@
+//! Engineered surrogate features for skeleton configurations.
+//!
+//! The generic [`SpaceFeatures`] source knows only parameter boxes; it
+//! cannot tell that two tile-size dimensions jointly determine a working
+//! set, or that the threads dimension saturates at the machine size. This
+//! module derives those semantics from the transformation skeleton and the
+//! target machine: every [`Step::Tile`] contributes one working-set /
+//! cache-capacity log-ratio per cache level, [`Step::Parallelize`] a
+//! linear and a log occupancy of the machine's cores, and [`Step::Unroll`]
+//! a log-scale factor. The engineered block is *appended* to the generic
+//! per-dimension block, so the surrogate never loses the raw positional
+//! information — it just gains axes along which performance is actually
+//! smooth (paper §III-B: the model's cost terms are functions of exactly
+//! these ratios).
+
+use moat_core::{Config, FeatureSource, ParamSpace, SpaceFeatures};
+use moat_ir::{Skeleton, Step};
+use moat_machine::MachineFeatures;
+
+/// Assumed element width for working-set estimates (the paper's kernels
+/// are all double-precision).
+const ELEMENT_BYTES: f64 = 8.0;
+
+/// IR- and machine-aware feature source: [`SpaceFeatures`] over the tuning
+/// space plus engineered tile/thread/unroll features. Owns all derived
+/// data, so it satisfies the `Box<dyn FeatureSource>` (`'static`) bound of
+/// [`moat_core::SurrogateScreen`].
+#[derive(Debug, Clone)]
+pub struct IrFeatures {
+    base: SpaceFeatures,
+    base_dims: usize,
+    /// `size_params` of every `Tile` step, in skeleton order.
+    tiles: Vec<Vec<usize>>,
+    threads_param: Option<usize>,
+    unroll_param: Option<usize>,
+    /// `log2` of each cache capacity in bytes, innermost first.
+    cache_log2: Vec<f64>,
+    total_cores: f64,
+    /// `1 / log2(total_cores)` (or 1 for a single-core machine),
+    /// precomputed off the per-batch extraction hot path.
+    inv_cores_log2: f64,
+}
+
+impl IrFeatures {
+    /// Build the feature source for tuning `skeleton` over `space` on the
+    /// machine described by `machine`. `space` may carry extra trailing
+    /// dimensions beyond the skeleton's parameters (e.g. a backend
+    /// coordinate); those are covered by the generic block only.
+    pub fn new(skeleton: &Skeleton, space: &ParamSpace, machine: &MachineFeatures) -> Self {
+        let mut tiles = Vec::new();
+        let mut threads_param = None;
+        let mut unroll_param = None;
+        for step in &skeleton.steps {
+            match step {
+                Step::Tile { size_params, .. } => tiles.push(size_params.clone()),
+                Step::Parallelize { threads_param: p } => threads_param = Some(*p),
+                Step::Unroll { factor_param: p } => unroll_param = Some(*p),
+                _ => {}
+            }
+        }
+        let base = SpaceFeatures::new(space);
+        let base_dims = base.dims();
+        let total_cores = ((machine.sockets * machine.cores_per_socket).max(1)) as f64;
+        IrFeatures {
+            base,
+            base_dims,
+            tiles,
+            threads_param,
+            unroll_param,
+            cache_log2: machine
+                .cache_sizes
+                .iter()
+                .map(|&s| (s.max(1) as f64).log2())
+                .collect(),
+            total_cores,
+            inv_cores_log2: 1.0 / total_cores.log2().max(1.0),
+        }
+    }
+
+    fn extra_dims(&self) -> usize {
+        self.tiles.len() * self.cache_log2.len()
+            + if self.threads_param.is_some() { 2 } else { 0 }
+            + if self.unroll_param.is_some() { 1 } else { 0 }
+    }
+}
+
+impl FeatureSource for IrFeatures {
+    fn dims(&self) -> usize {
+        self.base_dims + self.extra_dims()
+    }
+
+    fn features_into(&self, cfg: &Config, out: &mut [f64]) {
+        self.base.features_into(cfg, &mut out[..self.base_dims]);
+        let mut k = self.base_dims;
+        for size_params in &self.tiles {
+            // Tile working set: product of the band's tile sizes, in
+            // elements. One log-ratio per cache level, squashed to a
+            // roughly [-1, 1] range so no single feature dominates the
+            // unscaled ridge regression.
+            let mut ws = ELEMENT_BYTES;
+            for &p in size_params {
+                ws *= cfg.get(p).copied().unwrap_or(1).max(1) as f64;
+            }
+            // log2(ws / cache) = log2(ws) - log2(cache): one log per band,
+            // not one per band x level.
+            let ws_log2 = ws.log2();
+            for &cache_log2 in &self.cache_log2 {
+                out[k] = ((ws_log2 - cache_log2) / 16.0).clamp(-1.0, 1.0);
+                k += 1;
+            }
+        }
+        if let Some(p) = self.threads_param {
+            let t = cfg.get(p).copied().unwrap_or(1).max(1) as f64;
+            out[k] = (t / self.total_cores).min(2.0);
+            out[k + 1] = t.log2() * self.inv_cores_log2;
+            k += 2;
+        }
+        if let Some(p) = self.unroll_param {
+            let u = cfg.get(p).copied().unwrap_or(1).max(1) as f64;
+            out[k] = u.log2() / 4.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_core::Surrogate;
+    use moat_ir::{analyze, AnalyzerConfig};
+    use moat_kernels::Kernel;
+    use moat_machine::MachineDesc;
+
+    fn mm_setup() -> (moat_ir::Region, ParamSpace, MachineFeatures) {
+        let cfg = AnalyzerConfig::for_threads((1..=8).collect());
+        let region = analyze(Kernel::Mm.region(128), &cfg).unwrap();
+        let space = crate::sim::ir_space(&region.skeletons[0]);
+        let machine = MachineDesc::westmere().features();
+        (region, space, machine)
+    }
+
+    #[test]
+    fn engineered_block_appends_to_generic_block() {
+        let (region, space, machine) = mm_setup();
+        let skeleton = &region.skeletons[0];
+        let feats = IrFeatures::new(skeleton, &space, &machine);
+        let generic = SpaceFeatures::new(&space);
+        // mm: one 3-wide tile band + parallelize; Westmere has 3 cache
+        // levels -> 3 tile features + 2 thread features.
+        assert_eq!(feats.dims(), generic.dims() + 3 + 2);
+        let cfg = vec![16, 16, 8, 4];
+        let v = feats.features(&cfg);
+        assert_eq!(v[..generic.dims()], generic.features(&cfg)[..]);
+        // All features finite and roughly normalized.
+        for &x in &v {
+            assert!(x.is_finite() && x.abs() <= 2.0, "feature out of range: {x}");
+        }
+    }
+
+    #[test]
+    fn tile_features_track_working_set_against_caches() {
+        let (region, space, machine) = mm_setup();
+        let skeleton = &region.skeletons[0];
+        let feats = IrFeatures::new(skeleton, &space, &machine);
+        let d = SpaceFeatures::new(&space).dims();
+        let small = feats.features(&vec![4, 4, 4, 4]);
+        let large = feats.features(&vec![64, 64, 64, 4]);
+        // Bigger tiles -> bigger working set -> larger cache-pressure
+        // features at every level.
+        for level in 0..3 {
+            assert!(
+                large[d + level] > small[d + level],
+                "cache level {level}: {} vs {}",
+                large[d + level],
+                small[d + level]
+            );
+        }
+        // Thread features: occupancy is monotone in the thread count.
+        let solo = feats.features(&vec![16, 16, 8, 1]);
+        let team = feats.features(&vec![16, 16, 8, 8]);
+        assert!(team[d + 3] > solo[d + 3]);
+        assert!(team[d + 4] > solo[d + 4]);
+    }
+
+    #[test]
+    fn features_feed_the_surrogate() {
+        let (region, space, machine) = mm_setup();
+        let skeleton = &region.skeletons[0];
+        let feats = IrFeatures::new(skeleton, &space, &machine);
+        let mut model = Surrogate::new(feats.dims(), 2);
+        // Train on a deterministic sweep (enough to clear min_train).
+        for i in 1..=(model.min_train() as i64 + 4) {
+            let cfg = vec![i, 2 * i, (2 * i).min(64), 1 + (i % 8)];
+            let t = 1.0 / i as f64;
+            assert!(model.observe(&feats.features(&cfg), &[t, t * i as f64]));
+        }
+        assert!(model.ready());
+        let y = model
+            .predict(&feats.features(&vec![24, 24, 12, 4]))
+            .unwrap();
+        assert_eq!(y.len(), 2);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,13 +1,15 @@
 //! The end-to-end auto-tuning pipeline (paper Fig. 3, labels 1–5).
 
+use crate::features::IrFeatures;
 use crate::sim::{
     ir_space, AltSkeletonEvaluator, FixedUnrollEvaluator, SimEvaluator, OBJECTIVE_NAMES,
 };
 use moat_archive::{Archive, ArchiveKey, ArchiveRecord, WarmStartSource};
 use moat_core::{
-    BackendId, BackendKind, BackendSet, BatchEval, Evaluator, GridTuner, Nsga2Params, Nsga2Tuner,
-    Provenance, RandomTuner, RsGde3Params, RsGde3Tuner, StrategyKind, Tuner, TuningReport,
-    TuningSession, WeightedSumTuner, WeightedSweepParams,
+    BackendId, BackendKind, BackendSet, BatchEval, Evaluator, FeatureSource, GridTuner,
+    Nsga2Params, Nsga2Tuner, Provenance, RandomTuner, RsGde3Params, RsGde3Tuner, ScreeningPolicy,
+    StrategyKind, Surrogate, SurrogateScreen, Tuner, TuningReport, TuningSession, WeightedSumTuner,
+    WeightedSweepParams,
 };
 use moat_ir::{analyze, AnalyzerConfig, Region, Step, Variant};
 use moat_machine::{CostModel, MachineDesc, NoiseModel};
@@ -130,6 +132,17 @@ pub struct Framework {
     /// population and is re-evaluated here. No-op without
     /// [`archive`](Self::archive).
     pub warm_start: bool,
+    /// Enable surrogate-assisted screening: an online regression model
+    /// (trained from every real evaluation, and primed from the archive
+    /// when one is configured) scores each optimizer batch and only the
+    /// most promising fraction is actually evaluated. Screened-out
+    /// configurations consume *no* evaluation budget. With the surrogate
+    /// disabled the tuning output is byte-identical to a build without the
+    /// screening machinery.
+    pub surrogate: bool,
+    /// Fraction of each batch forwarded to real evaluation when
+    /// [`surrogate`](Self::surrogate) is on (1.0 = screen nothing).
+    pub screen_ratio: f64,
     /// Write a JSONL observability trace of the run here. Installing the
     /// trace subscriber is the *only* thing that changes any code path:
     /// with `trace` and [`metrics`](Self::metrics) unset, tuning output is
@@ -158,6 +171,8 @@ impl Framework {
             backends: Vec::new(),
             archive: None,
             warm_start: false,
+            surrogate: false,
+            screen_ratio: ScreeningPolicy::default().screen_ratio,
             trace: None,
             metrics: None,
             timestamps: moat_obs::TimestampMode::default(),
@@ -331,7 +346,7 @@ impl Framework {
             Some(set) => set,
             None => &base_eval,
         };
-        let mut session = TuningSession::new(tuning_space, evaluator)
+        let mut session = TuningSession::new(tuning_space.clone(), evaluator)
             .with_batch(self.batch)
             .with_label(region.name.clone());
         if let Some(budget) = self.budget {
@@ -356,6 +371,44 @@ impl Framework {
                     warm_source = Some(source);
                 }
             }
+        }
+
+        // Surrogate screening: engineered IR/machine features, the model
+        // primed from every archived front for this problem (nearest
+        // machine first), installed last so it also replays any points the
+        // warm start put into the evaluator cache.
+        if self.surrogate {
+            if !(0.0..=1.0).contains(&self.screen_ratio) {
+                return Err(format!(
+                    "screen ratio must be in [0, 1], got {}",
+                    self.screen_ratio
+                ));
+            }
+            let policy = ScreeningPolicy {
+                screen_ratio: self.screen_ratio,
+                seed: self.tuner_params.seed,
+                ..ScreeningPolicy::default()
+            };
+            let features = IrFeatures::new(skeleton, &tuning_space, &self.machine.features());
+            let model = Surrogate::new(features.dims(), base_eval.num_objectives());
+            let mut screen = SurrogateScreen::new(Box::new(features), model, policy);
+            // Prime from the archive: every recorded front for this
+            // problem is free training data (multi-backend records store
+            // product-space provenance, not plain configs — skip those by
+            // restricting priming to the classic single-backend path).
+            if self.backends.is_empty() {
+                if let Some(archive) = &archive {
+                    let family = archive
+                        .records_for_machine_family(&key, &self.machine.features())
+                        .map_err(|e| e.to_string())?;
+                    for (record, _distance) in &family {
+                        for point in &record.front {
+                            screen.prime(&point.config, &point.objectives);
+                        }
+                    }
+                }
+            }
+            session = session.with_surrogate(screen);
         }
 
         let mut result = session.run(self.make_tuner().as_ref());
@@ -705,6 +758,74 @@ mod tests {
             ref other => panic!("expected transfer warm start, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn surrogate_screening_saves_evaluations() {
+        let mut plain = quick_framework();
+        plain.noise = None;
+        plain.tuner_params.max_generations = 12;
+        let mut screened = plain.clone();
+        screened.surrogate = true;
+        screened.screen_ratio = 0.5;
+        let a = plain.tune(Kernel::Mm.region(128)).unwrap();
+        let b = screened.tune(Kernel::Mm.region(128)).unwrap();
+        assert!(!b.result.front.is_empty());
+        assert!(
+            b.result.evaluations < a.result.evaluations,
+            "screening must save evaluations: {} vs {}",
+            b.result.evaluations,
+            a.result.evaluations
+        );
+    }
+
+    #[test]
+    fn surrogate_at_full_ratio_is_identical_to_plain() {
+        // screen_ratio = 1.0 forwards every configuration: the screened
+        // pipeline must reproduce the unscreened run exactly.
+        let mut plain = quick_framework();
+        plain.noise = None;
+        let mut full = plain.clone();
+        full.surrogate = true;
+        full.screen_ratio = 1.0;
+        let a = plain.tune(Kernel::Jacobi2d.region(128)).unwrap();
+        let b = full.tune(Kernel::Jacobi2d.region(128)).unwrap();
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.source_c, b.source_c);
+    }
+
+    #[test]
+    fn surrogate_primes_from_the_archive() {
+        let dir =
+            std::env::temp_dir().join(format!("moat-framework-surrogate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fw = quick_framework();
+        fw.noise = None;
+        fw.archive = Some(dir.clone());
+        // Cold archived run, then a surrogate run primed from it: the
+        // model starts ready, so screening bites from the first batch.
+        let cold = fw.tune(Kernel::Mm.region(96)).unwrap();
+        fw.surrogate = true;
+        fw.screen_ratio = 0.4;
+        let primed = fw.tune(Kernel::Mm.region(96)).unwrap();
+        assert!(!primed.result.front.is_empty());
+        assert!(
+            primed.result.evaluations < cold.result.evaluations,
+            "primed surrogate must evaluate less: {} vs {}",
+            primed.result.evaluations,
+            cold.result.evaluations
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_screen_ratio_is_rejected() {
+        let mut fw = quick_framework();
+        fw.surrogate = true;
+        fw.screen_ratio = 1.5;
+        let err = fw.tune(Kernel::Mm.region(64)).unwrap_err();
+        assert!(err.contains("screen ratio"), "{err}");
     }
 
     #[test]

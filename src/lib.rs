@@ -50,12 +50,14 @@
 
 #![warn(missing_docs)]
 
+pub mod features;
 pub mod framework;
 pub mod program;
 pub mod report;
 pub mod serve_backend;
 pub mod sim;
 
+pub use features::IrFeatures;
 pub use framework::{parse_backend_spec, BackendSpec, Framework, TunedRegion};
 pub use program::{ProgramTuner, ProgramTuningResult, RegionOutcome};
 pub use serve_backend::TuneBackend;
@@ -80,9 +82,11 @@ pub use moat_serve as serve;
 pub use moat_archive::{Archive, ArchiveKey, ArchiveRecord, CheckpointStore, WarmStartSource};
 pub use moat_core::{
     BackendId, BackendKind, BackendSet, BatchEval, CheckpointSink, EventLog, EventSink,
-    FaultInjector, FaultPolicy, FaultSchedule, FaultStats, FaultTolerantEvaluator, ParetoFront,
-    Provenance, RsGde3, RsGde3Params, RsGde3Tuner, SessionCheckpoint, StopReason, StrategyKind,
-    Tuner, TuningEvent, TuningReport, TuningResult, TuningSession, WarmStart, BACKEND_PARAM,
+    FaultInjector, FaultPolicy, FaultSchedule, FaultStats, FaultTolerantEvaluator, FeatureSource,
+    ParetoFront, Provenance, RsGde3, RsGde3Params, RsGde3Tuner, ScreeningEvaluator,
+    ScreeningPolicy, SessionCheckpoint, SpaceFeatures, StopReason, StrategyKind, Surrogate,
+    SurrogateScreen, SurrogateStats, Tuner, TuningEvent, TuningReport, TuningResult, TuningSession,
+    WarmStart, BACKEND_PARAM,
 };
 pub use moat_ir::Region;
 pub use moat_kernels::Kernel;

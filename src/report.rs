@@ -35,6 +35,34 @@ pub struct ConvergenceRow {
     pub hypervolume: f64,
 }
 
+/// One iteration's screening activity: real evaluations spent vs
+/// configurations the surrogate screened away. Screened configurations are
+/// never evaluated and consume no evaluation budget — `spent` counts only
+/// the distinct-`E` increase of forwarded batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScreenRow {
+    /// Iteration the activity belongs to (0 = initial population).
+    pub iteration: u64,
+    /// Distinct evaluations `E` spent during the iteration.
+    pub spent: u64,
+    /// Configurations screened away (no evaluation, no budget).
+    pub screened: u64,
+    /// Forwarded configurations owed to the ε-exploration coin.
+    pub explored: u64,
+}
+
+/// One `surrogate_error` record: how well the model's predictions matched
+/// the real measurements of one batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurrogateErrorRow {
+    /// Training samples in the model when the batch was scored.
+    pub samples: u64,
+    /// Mean absolute normalized-score error, percent.
+    pub mae_pct: f64,
+    /// Spearman rank correlation (NaN when undefined for the batch).
+    pub rank_corr: f64,
+}
+
 /// One tuning session reconstructed from the trace (a trace may hold
 /// several, e.g. a program-level run tuning multiple regions).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -45,6 +73,10 @@ pub struct SessionSummary {
     pub strategy: String,
     /// The convergence sequence, in trace order.
     pub rows: Vec<ConvergenceRow>,
+    /// Per-iteration E-spent vs E-screened (empty without a surrogate).
+    pub screening: Vec<ScreenRow>,
+    /// Per-batch surrogate model error (empty without a surrogate).
+    pub surrogate_errors: Vec<SurrogateErrorRow>,
     /// Batches evaluated.
     pub batches: u64,
     /// Space-reduction (RS-GDE3 Rough-Set) steps.
@@ -133,17 +165,63 @@ impl Analysis {
             records: records.len(),
             ..Analysis::default()
         };
+        // Per-session running state for the screening table: the current
+        // iteration and the last seen total-E (the delta is an iteration's
+        // E-spent).
+        let mut iteration = 0u64;
+        let mut last_e = 0u64;
         for r in records {
             match &r.event {
                 Event::SessionStart { subject, strategy } => {
+                    iteration = 0;
+                    last_e = 0;
                     a.sessions.push(SessionSummary {
                         subject: subject.clone(),
                         strategy: strategy.clone(),
                         ..SessionSummary::default()
                     });
                 }
-                Event::IterationStart { .. } => {}
-                Event::BatchEvaluated { .. } => a.session().batches += 1,
+                Event::IterationStart { iteration: i } => iteration = *i,
+                Event::BatchEvaluated { evaluations, .. } => {
+                    let spent = evaluations.saturating_sub(last_e);
+                    last_e = *evaluations;
+                    let s = a.session();
+                    s.batches += 1;
+                    // Attribute the batch's E to the current iteration's
+                    // screening row — but only for screened sessions (the
+                    // row exists iff a batch_screened preceded it).
+                    if let Some(row) = s.screening.last_mut() {
+                        if row.iteration == iteration {
+                            row.spent += spent;
+                        }
+                    }
+                }
+                Event::BatchScreened {
+                    screened, explored, ..
+                } => {
+                    let s = a.session();
+                    match s.screening.last_mut() {
+                        Some(row) if row.iteration == iteration => {
+                            row.screened += screened;
+                            row.explored += explored;
+                        }
+                        _ => s.screening.push(ScreenRow {
+                            iteration,
+                            spent: 0,
+                            screened: *screened,
+                            explored: *explored,
+                        }),
+                    }
+                }
+                Event::SurrogateError {
+                    samples,
+                    mae_pct,
+                    rank_corr,
+                } => a.session().surrogate_errors.push(SurrogateErrorRow {
+                    samples: *samples,
+                    mae_pct: *mae_pct,
+                    rank_corr: rank_corr.unwrap_or(f64::NAN),
+                }),
                 Event::FrontUpdated {
                     iteration,
                     evaluations,
@@ -258,6 +336,67 @@ impl Analysis {
                     "  {:>9}  {:>8}  {:>5}  {:>12.6}",
                     row.iteration, row.evaluations, row.size, row.hypervolume
                 );
+            }
+            if !s.screening.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  screening (screened configs consume no evaluation budget):"
+                );
+                let _ = writeln!(
+                    out,
+                    "  {:>9}  {:>8}  {:>10}  {:>8}",
+                    "iteration", "E-spent", "E-screened", "explored"
+                );
+                for row in &s.screening {
+                    let _ = writeln!(
+                        out,
+                        "  {:>9}  {:>8}  {:>10}  {:>8}",
+                        row.iteration, row.spent, row.screened, row.explored
+                    );
+                }
+                let spent: u64 = s.screening.iter().map(|r| r.spent).sum();
+                let screened: u64 = s.screening.iter().map(|r| r.screened).sum();
+                let _ = writeln!(
+                    out,
+                    "  total: E-spent={spent} E-screened={screened} \
+                     (screened configs were never evaluated and did not \
+                     count against the budget)"
+                );
+            }
+            if !s.surrogate_errors.is_empty() {
+                let _ = writeln!(out, "  surrogate accuracy:");
+                let _ = writeln!(
+                    out,
+                    "  {:>5}  {:>8}  {:>8}  {:>9}",
+                    "batch", "samples", "mae%", "rank-corr"
+                );
+                for (i, e) in s.surrogate_errors.iter().enumerate() {
+                    let rc = if e.rank_corr.is_nan() {
+                        "      n/a".to_string()
+                    } else {
+                        format!("{:>9.3}", e.rank_corr)
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  {:>5}  {:>8}  {:>8.2}  {rc}",
+                        i + 1,
+                        e.samples,
+                        e.mae_pct
+                    );
+                }
+                let mean_rc: Vec<f64> = s
+                    .surrogate_errors
+                    .iter()
+                    .map(|e| e.rank_corr)
+                    .filter(|rc| !rc.is_nan())
+                    .collect();
+                if !mean_rc.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "  mean rank correlation: {:.3}",
+                        mean_rc.iter().sum::<f64>() / mean_rc.len() as f64
+                    );
+                }
             }
             let _ = writeln!(
                 out,
@@ -665,6 +804,119 @@ mod tests {
         assert_eq!(matrix.rows.len(), 1);
         assert_eq!(matrix.rows[0].backend, "(untagged)");
         assert_eq!(matrix.rows[0].loss_pct, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn screening_rows_track_spent_vs_screened_per_iteration() {
+        let records = vec![
+            rec(
+                1,
+                Event::SessionStart {
+                    subject: "mm".into(),
+                    strategy: "rs-gde3".into(),
+                },
+            ),
+            rec(2, Event::IterationStart { iteration: 1 }),
+            rec(
+                3,
+                Event::BatchScreened {
+                    requested: 30,
+                    forwarded: 18,
+                    explored: 3,
+                    screened: 12,
+                },
+            ),
+            rec(
+                4,
+                Event::BatchEvaluated {
+                    requested: 30,
+                    evaluated: 18,
+                    evaluations: 18,
+                    elapsed_us: None,
+                },
+            ),
+            rec(
+                5,
+                Event::SurrogateError {
+                    samples: 40,
+                    mae_pct: 7.5,
+                    rank_corr: Some(0.8),
+                },
+            ),
+            rec(6, Event::IterationStart { iteration: 2 }),
+            rec(
+                7,
+                Event::BatchScreened {
+                    requested: 30,
+                    forwarded: 15,
+                    explored: 0,
+                    screened: 15,
+                },
+            ),
+            rec(
+                8,
+                Event::BatchEvaluated {
+                    requested: 30,
+                    evaluated: 15,
+                    evaluations: 33,
+                    elapsed_us: None,
+                },
+            ),
+        ];
+        let a = Analysis::from_records(&records);
+        let s = &a.sessions[0];
+        assert_eq!(
+            s.screening,
+            vec![
+                ScreenRow {
+                    iteration: 1,
+                    spent: 18,
+                    screened: 12,
+                    explored: 3
+                },
+                ScreenRow {
+                    iteration: 2,
+                    spent: 15,
+                    screened: 15,
+                    explored: 0
+                },
+            ]
+        );
+        assert_eq!(s.surrogate_errors.len(), 1);
+        assert_eq!(s.surrogate_errors[0].samples, 40);
+        let text = a.render();
+        assert!(
+            text.contains("screened configs consume no evaluation budget"),
+            "{text}"
+        );
+        assert!(text.contains("E-spent=33 E-screened=27"), "{text}");
+        assert!(text.contains("surrogate accuracy"), "{text}");
+        assert!(text.contains("mean rank correlation: 0.800"), "{text}");
+    }
+
+    #[test]
+    fn unscreened_sessions_have_no_screening_rows() {
+        let records = vec![
+            rec(
+                1,
+                Event::SessionStart {
+                    subject: "mm".into(),
+                    strategy: "random".into(),
+                },
+            ),
+            rec(
+                2,
+                Event::BatchEvaluated {
+                    requested: 8,
+                    evaluated: 8,
+                    evaluations: 8,
+                    elapsed_us: None,
+                },
+            ),
+        ];
+        let a = Analysis::from_records(&records);
+        assert!(a.sessions[0].screening.is_empty());
+        assert!(!a.render().contains("screening"));
     }
 
     #[test]

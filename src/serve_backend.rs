@@ -12,15 +12,16 @@
 //! the archive record is the deliverable; clients regenerate code locally
 //! from the front.
 
+use crate::features::IrFeatures;
 use crate::framework::{parse_backend_spec, BackendSpec};
 use crate::sim::{
     ir_space, AltSkeletonEvaluator, FixedUnrollEvaluator, SimEvaluator, OBJECTIVE_NAMES,
 };
 use moat_archive::{ArchiveKey, ArchiveRecord, CheckpointStore};
 use moat_core::{
-    BackendId, BackendKind, BackendSet, BatchEval, Evaluator, EventLog, GridTuner, Nsga2Params,
-    Nsga2Tuner, RandomTuner, RsGde3Params, RsGde3Tuner, StrategyKind, Tuner, TuningSession,
-    WeightedSumTuner, WeightedSweepParams,
+    BackendId, BackendKind, BackendSet, BatchEval, Evaluator, EventLog, FeatureSource, GridTuner,
+    Nsga2Params, Nsga2Tuner, RandomTuner, RsGde3Params, RsGde3Tuner, ScreeningPolicy, StrategyKind,
+    Surrogate, SurrogateScreen, Tuner, TuningSession, WeightedSumTuner, WeightedSweepParams,
 };
 use moat_ir::{analyze, AnalyzerConfig, Region, Skeleton};
 use moat_kernels::Kernel;
@@ -273,7 +274,7 @@ impl JobBackend for TuneBackend {
         let budget = spec.budget.unwrap_or(DEFAULT_BUDGET);
 
         let (mut result, cancelled) = {
-            let mut session = TuningSession::new(tuning_space, &pooled)
+            let mut session = TuningSession::new(tuning_space.clone(), &pooled)
                 .with_label(r.region.name.clone())
                 .with_batch(batch)
                 .with_budget(budget)
@@ -287,6 +288,26 @@ impl JobBackend for TuneBackend {
             }
             if let Some(store) = store.as_mut() {
                 session = session.with_checkpointing(store, ctx.checkpoint_every.max(1));
+            }
+            // Daemon-level surrogate screening: engineered IR/machine
+            // features, primed with the admission-time archive pull
+            // (multi-backend records carry product-space provenance, so
+            // priming is restricted to the classic single-backend path).
+            if let Some(s) = &ctx.surrogate {
+                let policy = ScreeningPolicy {
+                    screen_ratio: s.screen_ratio,
+                    seed: spec.seed,
+                    ..Default::default()
+                };
+                let features = IrFeatures::new(skeleton, &tuning_space, &r.machine.features());
+                let model = Surrogate::new(features.dims(), base_eval.num_objectives());
+                let mut screen = SurrogateScreen::new(Box::new(features), model, policy);
+                if r.specs.is_empty() {
+                    for (cfg, objs) in &s.primer {
+                        screen.prime(cfg, objs);
+                    }
+                }
+                session = session.with_surrogate(screen);
             }
             let report = session.run(self.make_tuner(r.strategy, spec.seed).as_ref());
             let cancelled = session.cancelled();
@@ -347,6 +368,7 @@ mod tests {
             resume: None,
             warm: None,
             metrics: None,
+            surrogate: None,
         }
     }
 
