@@ -217,6 +217,31 @@ pub enum Event {
         backend: String,
     },
 
+    // ── service layer (serve daemon control plane) ──────────────────────
+    /// The serve daemon shed work at admission (queue full, tenant over
+    /// quota, open breaker, connection cap, slow client, shutdown).
+    ServeShed {
+        /// Shed reason label (`queue`, `tenant_inflight`, `breaker`, …).
+        reason: String,
+        /// Tenant the shed request belonged to (empty when unknown —
+        /// e.g. connection-level sheds happen before a spec is parsed).
+        tenant: String,
+    },
+    /// A job fingerprint's circuit breaker changed state.
+    ServeBreaker {
+        /// The job fingerprint (hex).
+        fingerprint: String,
+        /// New state (`open`, `half-open`, `closed`).
+        state: String,
+    },
+    /// A job backend panicked; the panic was contained to that job.
+    ServePanic {
+        /// The job id whose run panicked.
+        job: String,
+        /// The panic payload, rendered as text.
+        error: String,
+    },
+
     // ── wall-mode timing spans ──────────────────────────────────────────
     /// A named phase of work (cachesim compile / stream / LLC merge, …).
     Phase {
@@ -268,6 +293,9 @@ impl Event {
             Event::VersionRestored { .. } => "version_restored",
             Event::FallbackEngaged { .. } => "fallback_engaged",
             Event::BackendSelected { .. } => "backend_selected",
+            Event::ServeShed { .. } => "serve_shed",
+            Event::ServeBreaker { .. } => "serve_breaker",
+            Event::ServePanic { .. } => "serve_panic",
             Event::Phase { .. } => "phase",
             Event::WorkerSpan { .. } => "worker_span",
         }

@@ -1,0 +1,450 @@
+//! Admission control: the deterministic shed policy, per-tenant quotas
+//! and per-fingerprint circuit breakers.
+//!
+//! The daemon consults this layer *before* a submission becomes a job.
+//! Everything here is count-based or seeded so tests can assert exact
+//! shed decisions:
+//!
+//! * **Queue depth / connection caps** are plain thresholds — the first
+//!   submission over the line is shed, deterministically.
+//! * **Per-tenant max-in-flight** counts Queued/Running primary jobs per
+//!   tenant. A greedy tenant saturates its own cap and gets `429` while
+//!   other tenants' submissions are untouched.
+//! * **Per-tenant token buckets** are the only wall-clock component
+//!   (refill is time-based) and are off by default.
+//! * **Circuit breakers** quarantine a job *fingerprint* after
+//!   [`AdmissionPolicy::breaker_strikes`] failed runs. An open breaker
+//!   sheds submissions; the cooldown is measured in *shed submissions*,
+//!   not wall time, so the open → half-open schedule is deterministic.
+//!   The cooldown length carries seeded jitter (the PR 4 idiom) and
+//!   escalates with each re-trip. A half-open breaker admits one trial
+//!   run: success closes the circuit, failure re-opens it with a longer
+//!   cooldown.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Why a request was shed. Labels both the `serve_shed_total` metric and
+/// the `ServeShed` obs event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded job queue is full.
+    Queue,
+    /// The concurrent-connection cap is reached.
+    Connections,
+    /// The tenant is at its max-in-flight quota.
+    TenantInflight,
+    /// The tenant's token bucket is empty.
+    TenantRate,
+    /// The spec's fingerprint has an open circuit breaker.
+    Breaker,
+    /// The client dribbled or stalled past a read deadline (slowloris).
+    SlowClient,
+    /// The daemon is shutting down.
+    Shutdown,
+}
+
+impl ShedReason {
+    /// Stable metric/event label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::Queue => "queue",
+            ShedReason::Connections => "connections",
+            ShedReason::TenantInflight => "tenant_inflight",
+            ShedReason::TenantRate => "tenant_rate",
+            ShedReason::Breaker => "breaker",
+            ShedReason::SlowClient => "slow_client",
+            ShedReason::Shutdown => "shutdown",
+        }
+    }
+
+    /// HTTP status of the shed response. Tenant-scoped sheds are `429`
+    /// (the *caller* should back off), system-scoped sheds are `503`
+    /// (the *service* is saturated), slow clients get `408`.
+    pub fn status(&self) -> u16 {
+        match self {
+            ShedReason::TenantInflight | ShedReason::TenantRate => 429,
+            ShedReason::SlowClient => 408,
+            _ => 503,
+        }
+    }
+}
+
+/// The admission knobs, lifted out of `ServeConfig` so the state machine
+/// is testable without a daemon.
+#[derive(Debug, Clone)]
+pub struct AdmissionPolicy {
+    /// Bounded job-queue depth; a submission finding the queue full is
+    /// shed `503`.
+    pub queue_depth: usize,
+    /// Per-tenant cap on Queued/Running primary jobs (`0` disables).
+    pub tenant_max_inflight: usize,
+    /// Per-tenant token-bucket refill in submissions/second (`0.0`
+    /// disables rate limiting).
+    pub tenant_rate: f64,
+    /// Token-bucket burst capacity.
+    pub tenant_burst: f64,
+    /// Failed runs before a fingerprint's breaker opens (`0` disables).
+    pub breaker_strikes: u32,
+    /// Base cooldown, in shed submissions, before a half-open trial.
+    pub breaker_cooldown: u64,
+    /// Seed for the cooldown jitter.
+    pub seed: u64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> AdmissionPolicy {
+        AdmissionPolicy {
+            queue_depth: 256,
+            tenant_max_inflight: 0,
+            tenant_rate: 0.0,
+            tenant_burst: 8.0,
+            breaker_strikes: 3,
+            breaker_cooldown: 8,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// splitmix64 finalizer — decorrelates consecutive inputs (same idiom as
+/// the fault layer's jitter hash).
+pub(crate) fn splitmix(h: u64) -> u64 {
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Circuit-breaker state, per job fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy; counting strikes.
+    Closed,
+    /// Quarantined; shedding submissions until the cooldown drains.
+    Open,
+    /// Cooldown drained; the next submission runs as a trial.
+    HalfOpen,
+}
+
+/// What the breaker decided for one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Closed circuit: run normally.
+    Admit,
+    /// Half-open circuit: run as the probe that decides reclosure.
+    AdmitTrial,
+    /// Open circuit: shed.
+    Shed,
+}
+
+/// One fingerprint's circuit breaker.
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    state: BreakerState,
+    /// Consecutive failed runs while closed.
+    strikes: u32,
+    /// Times the breaker has opened (escalates the cooldown).
+    trips: u32,
+    /// Shed submissions left before the open circuit half-opens.
+    remaining: u64,
+}
+
+impl Default for Breaker {
+    fn default() -> Breaker {
+        Breaker {
+            state: BreakerState::Closed,
+            strikes: 0,
+            trips: 0,
+            remaining: 0,
+        }
+    }
+}
+
+impl Breaker {
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Cooldown (in shed submissions) for trip number `trips` of
+    /// fingerprint `fp`: base escalates ×2 per re-trip (capped at ×16),
+    /// plus seeded jitter in `[0, base)`.
+    fn cooldown(policy: &AdmissionPolicy, fp: u64, trips: u32) -> u64 {
+        let base = policy.breaker_cooldown.max(1);
+        let scaled = base << (trips.saturating_sub(1)).min(4);
+        let jitter = splitmix(policy.seed ^ fp ^ (trips as u64).wrapping_mul(0x9E37)) % base;
+        scaled + jitter
+    }
+
+    /// Decide one submission's fate and advance the cooldown.
+    pub fn admit(&mut self) -> BreakerDecision {
+        match self.state {
+            BreakerState::Closed => BreakerDecision::Admit,
+            BreakerState::HalfOpen => BreakerDecision::AdmitTrial,
+            BreakerState::Open => {
+                self.remaining = self.remaining.saturating_sub(1);
+                if self.remaining == 0 {
+                    self.state = BreakerState::HalfOpen;
+                }
+                BreakerDecision::Shed
+            }
+        }
+    }
+
+    /// Record a failed run. Returns `true` when this failure opened (or
+    /// re-opened) the circuit.
+    pub fn on_failure(&mut self, policy: &AdmissionPolicy, fp: u64) -> bool {
+        if policy.breaker_strikes == 0 {
+            return false;
+        }
+        match self.state {
+            BreakerState::Closed => {
+                self.strikes += 1;
+                if self.strikes >= policy.breaker_strikes {
+                    self.trips += 1;
+                    self.state = BreakerState::Open;
+                    self.remaining = Self::cooldown(policy, fp, self.trips);
+                    self.strikes = 0;
+                    return true;
+                }
+                false
+            }
+            // A failed half-open trial re-opens with an escalated cooldown.
+            BreakerState::HalfOpen | BreakerState::Open => {
+                self.trips += 1;
+                self.state = BreakerState::Open;
+                self.remaining = Self::cooldown(policy, fp, self.trips);
+                true
+            }
+        }
+    }
+
+    /// Record a successful run. Returns `true` when this closed a
+    /// previously open/half-open circuit.
+    pub fn on_success(&mut self) -> bool {
+        let was_tripped = self.state != BreakerState::Closed;
+        self.state = BreakerState::Closed;
+        self.strikes = 0;
+        self.remaining = 0;
+        was_tripped
+    }
+}
+
+/// A per-tenant token bucket. Refill is the only wall-clock-driven piece
+/// of admission; it is disabled unless `tenant_rate > 0`.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A full bucket as of `now`.
+    pub fn full(burst: f64, now: Instant) -> TokenBucket {
+        TokenBucket {
+            tokens: burst.max(1.0),
+            last: now,
+        }
+    }
+
+    /// Refill at `rate` tokens/second (capped at `burst`) and try to take
+    /// one token.
+    pub fn take(&mut self, now: Instant, rate: f64, burst: f64) -> bool {
+        let dt = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * rate).min(burst.max(1.0));
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The daemon's live admission state. Lives inside the job-table lock so
+/// every decision is serialized with the table it protects.
+#[derive(Debug, Default)]
+pub struct AdmissionState {
+    /// Queued/Running primary jobs per tenant.
+    inflight: HashMap<String, usize>,
+    /// Token buckets per tenant.
+    buckets: HashMap<String, TokenBucket>,
+    /// Circuit breakers per fingerprint.
+    breakers: HashMap<u64, Breaker>,
+}
+
+impl AdmissionState {
+    /// Take one rate token for `tenant` (true = admitted). No-op `true`
+    /// when rate limiting is disabled.
+    pub fn rate_take(&mut self, policy: &AdmissionPolicy, tenant: &str, now: Instant) -> bool {
+        if policy.tenant_rate <= 0.0 {
+            return true;
+        }
+        self.buckets
+            .entry(tenant.to_string())
+            .or_insert_with(|| TokenBucket::full(policy.tenant_burst, now))
+            .take(now, policy.tenant_rate, policy.tenant_burst)
+    }
+
+    /// Whether `tenant` is at its max-in-flight quota.
+    pub fn over_inflight(&self, policy: &AdmissionPolicy, tenant: &str) -> bool {
+        policy.tenant_max_inflight > 0
+            && self.inflight.get(tenant).copied().unwrap_or(0) >= policy.tenant_max_inflight
+    }
+
+    /// Count a newly admitted primary job against its tenant.
+    pub fn inflight_add(&mut self, tenant: &str) {
+        *self.inflight.entry(tenant.to_string()).or_insert(0) += 1;
+    }
+
+    /// Release a settled (Done/Failed/Parked) primary job's slot.
+    pub fn inflight_remove(&mut self, tenant: &str) {
+        if let Some(n) = self.inflight.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.inflight.remove(tenant);
+            }
+        }
+    }
+
+    /// The breaker decision for a submission of `fp`.
+    pub fn breaker_admit(&mut self, policy: &AdmissionPolicy, fp: u64) -> BreakerDecision {
+        if policy.breaker_strikes == 0 {
+            return BreakerDecision::Admit;
+        }
+        self.breakers.entry(fp).or_default().admit()
+    }
+
+    /// Record a failed run of `fp`; `true` when the circuit (re)opened.
+    pub fn breaker_failure(&mut self, policy: &AdmissionPolicy, fp: u64) -> bool {
+        if policy.breaker_strikes == 0 {
+            return false;
+        }
+        self.breakers.entry(fp).or_default().on_failure(policy, fp)
+    }
+
+    /// Record a successful run of `fp`; `true` when this closed a tripped
+    /// circuit.
+    pub fn breaker_success(&mut self, fp: u64) -> bool {
+        self.breakers
+            .get_mut(&fp)
+            .map(|b| b.on_success())
+            .unwrap_or(false)
+    }
+
+    /// Breakers currently not closed (the `serve_breaker_state` gauge).
+    pub fn breakers_tripped(&self) -> u64 {
+        self.breakers
+            .values()
+            .filter(|b| b.state() != BreakerState::Closed)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn policy() -> AdmissionPolicy {
+        AdmissionPolicy {
+            breaker_strikes: 2,
+            breaker_cooldown: 3,
+            ..AdmissionPolicy::default()
+        }
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let p = policy();
+        let mut b = Breaker::default();
+        assert_eq!(b.admit(), BreakerDecision::Admit);
+        assert!(!b.on_failure(&p, 7), "first strike stays closed");
+        assert!(b.on_failure(&p, 7), "second strike opens");
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown is deterministic: base 3 + jitter in [0, 3).
+        let mut sheds = 0;
+        loop {
+            match b.admit() {
+                BreakerDecision::Shed => sheds += 1,
+                BreakerDecision::AdmitTrial => break,
+                BreakerDecision::Admit => panic!("open breaker admitted"),
+            }
+            assert!(sheds <= 6, "cooldown out of range");
+        }
+        assert!((3..=6).contains(&sheds), "sheds {sheds}");
+        assert!(b.on_success(), "trial success closes");
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), BreakerDecision::Admit);
+    }
+
+    #[test]
+    fn failed_trial_reopens_with_longer_cooldown() {
+        let p = policy();
+        let drain = |b: &mut Breaker| {
+            let mut sheds = 0u64;
+            loop {
+                match b.admit() {
+                    BreakerDecision::Shed => sheds += 1,
+                    _ => return sheds,
+                }
+            }
+        };
+        let mut b = Breaker::default();
+        b.on_failure(&p, 9);
+        b.on_failure(&p, 9); // trip 1
+        let first = drain(&mut b) + 1; // +1: the trial admit itself
+        assert!(b.on_failure(&p, 9), "failed trial re-opens");
+        let second = drain(&mut b) + 1;
+        assert!(second > first, "cooldown escalates: {first} -> {second}");
+        // Determinism: an identical walk sheds identically.
+        let mut c = Breaker::default();
+        c.on_failure(&p, 9);
+        c.on_failure(&p, 9);
+        assert_eq!(drain(&mut c) + 1, first);
+    }
+
+    #[test]
+    fn token_bucket_starves_then_refills() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::full(2.0, t0);
+        assert!(b.take(t0, 10.0, 2.0));
+        assert!(b.take(t0, 10.0, 2.0));
+        assert!(!b.take(t0, 10.0, 2.0), "burst exhausted");
+        let later = t0 + Duration::from_millis(150);
+        assert!(b.take(later, 10.0, 2.0), "refilled 1.5 tokens");
+    }
+
+    #[test]
+    fn inflight_quota_counts_per_tenant() {
+        let p = AdmissionPolicy {
+            tenant_max_inflight: 2,
+            ..AdmissionPolicy::default()
+        };
+        let mut s = AdmissionState::default();
+        assert!(!s.over_inflight(&p, "a"));
+        s.inflight_add("a");
+        s.inflight_add("a");
+        assert!(s.over_inflight(&p, "a"));
+        assert!(!s.over_inflight(&p, "b"), "quota is per tenant");
+        s.inflight_remove("a");
+        assert!(!s.over_inflight(&p, "a"));
+    }
+
+    #[test]
+    fn disabled_knobs_always_admit() {
+        let p = AdmissionPolicy {
+            tenant_max_inflight: 0,
+            tenant_rate: 0.0,
+            breaker_strikes: 0,
+            ..AdmissionPolicy::default()
+        };
+        let mut s = AdmissionState::default();
+        assert!(s.rate_take(&p, "t", Instant::now()));
+        assert!(!s.over_inflight(&p, "t"));
+        assert_eq!(s.breaker_admit(&p, 1), BreakerDecision::Admit);
+        assert!(!s.breaker_failure(&p, 1));
+        assert_eq!(s.breakers_tripped(), 0);
+    }
+}

@@ -154,6 +154,26 @@ impl moat_core::CheckpointSink for GaugedStore {
     }
 }
 
+/// Open the job's checkpoint store, degrading to an uncheckpointed run
+/// when the store cannot even be created: a sick checkpoint disk costs
+/// restart-resumability, never an otherwise-healthy job. The failure is
+/// counted into `serve_persist_errors_total` and the parked gauge so the
+/// degradation shows on the next `/metrics` scrape.
+pub fn open_checkpoint_store(ctx: &JobContext) -> Option<GaugedStore> {
+    let path = ctx.checkpoint_path.as_ref()?;
+    match CheckpointStore::create(path) {
+        Ok(store) => Some(GaugedStore::new(store, ctx.metrics.clone())),
+        Err(_) => {
+            if let Some(m) = &ctx.metrics {
+                use std::sync::atomic::Ordering;
+                m.persist_errors.fetch_add(1, Ordering::Relaxed);
+                m.parked_checkpoints.fetch_add(1, Ordering::Relaxed);
+            }
+            None
+        }
+    }
+}
+
 /// FNV-1a over a string, for synthetic fingerprints.
 fn fnv(s: &str) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
@@ -233,13 +253,7 @@ impl JobBackend for SyntheticBackend {
             }
         };
 
-        let mut store = match &ctx.checkpoint_path {
-            Some(path) => Some(GaugedStore::new(
-                CheckpointStore::create(path).map_err(|e| e.to_string())?,
-                ctx.metrics.clone(),
-            )),
-            None => None,
-        };
+        let mut store = open_checkpoint_store(&ctx);
         let mut log = EventLog::new();
         let batch = if ctx.slots > 1 {
             BatchEval::parallel(ctx.slots)
@@ -379,6 +393,38 @@ mod tests {
         let out = backend.run(&spec("mm"), screened).unwrap();
         assert!(!out.cancelled);
         assert!(!out.record.front.is_empty());
+    }
+
+    #[test]
+    fn uncreatable_checkpoint_store_degrades_instead_of_failing() {
+        let backend = SyntheticBackend::default();
+        let pool = FairPool::new(2);
+        let dir =
+            std::env::temp_dir().join(format!("moat-serve-backend-degrade-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A *file* where the store needs a directory: create() must fail.
+        std::fs::write(dir.join("blocker"), b"not a dir").unwrap();
+        let metrics = Arc::new(crate::metrics::ServeMetrics::default());
+        let mut c = ctx(pool);
+        c.checkpoint_path = Some(dir.join("blocker").join("job.ckpt"));
+        c.metrics = Some(Arc::clone(&metrics));
+        let out = backend.run(&spec("mm"), c).expect("job survives");
+        assert!(!out.cancelled);
+        assert_eq!(out.evaluations, 40, "full run, just uncheckpointed");
+        assert_eq!(
+            metrics
+                .persist_errors
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            metrics
+                .parked_checkpoints
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Seeded service-layer fault injection.
+//!
+//! [`ChaosBackend`] wraps any [`JobBackend`] and assigns every job
+//! fingerprint a deterministic *fate* drawn from seeded per-mille
+//! weights: run clean, run slow, panic, error out, or run with its
+//! checkpoint directory sabotaged (every save fails and parks). Because
+//! the fate is a pure function of `(seed, fingerprint)`, a chaos run is
+//! exactly reproducible: the same seed chooses the same victims, so
+//! tests can compute the expected outcome of every job up front and the
+//! surviving jobs' results can be compared byte-for-byte against a quiet
+//! run.
+//!
+//! Connection-level chaos (mid-body disconnects, byte-trickle slow
+//! clients) is injected from the *client* side by `tests/serve_chaos.rs`
+//! — the daemon under test must survive arbitrary socket behaviour, so
+//! the harness drives raw [`std::net::TcpStream`]s at it rather than
+//! wrapping the listener.
+
+use crate::admission::splitmix;
+use crate::backend::{JobBackend, JobContext, JobInfo, JobOutcome};
+use crate::spec::JobSpec;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-mille fate weights plus the seed. Whatever the weights leave of
+/// 1000 is the clean path.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Drives every fate draw (and the slow-fate delay).
+    pub seed: u64,
+    /// ‰ of fingerprints whose run panics.
+    pub panic_per_mille: u32,
+    /// ‰ of fingerprints whose run returns an error.
+    pub error_per_mille: u32,
+    /// ‰ of fingerprints whose run is delayed a few milliseconds.
+    pub slow_per_mille: u32,
+    /// ‰ of fingerprints whose checkpoint WAL path is replaced by a
+    /// directory, so every checkpoint save fails and parks.
+    pub ckpt_deny_per_mille: u32,
+}
+
+impl ChaosConfig {
+    /// The default chaos mix for `seed`: 18% panics, 12% errors, 15%
+    /// slow, 12% checkpoint-denied, 43% clean.
+    pub fn new(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            panic_per_mille: 180,
+            error_per_mille: 120,
+            slow_per_mille: 150,
+            ckpt_deny_per_mille: 120,
+        }
+    }
+
+    /// The deterministic fate of fingerprint `fp` under this config.
+    pub fn fate(&self, fp: u64) -> Fate {
+        let draw = (splitmix(self.seed ^ fp) % 1000) as u32;
+        let mut edge = self.panic_per_mille;
+        if draw < edge {
+            return Fate::Panic;
+        }
+        edge += self.error_per_mille;
+        if draw < edge {
+            return Fate::Error;
+        }
+        edge += self.slow_per_mille;
+        if draw < edge {
+            return Fate::Slow;
+        }
+        edge += self.ckpt_deny_per_mille;
+        if draw < edge {
+            return Fate::CheckpointDeny;
+        }
+        Fate::Clean
+    }
+
+    /// Whether `fp`'s job still completes with a byte-identical result
+    /// (its fate injects no outcome-changing fault).
+    pub fn survives(&self, fp: u64) -> bool {
+        matches!(
+            self.fate(fp),
+            Fate::Clean | Fate::Slow | Fate::CheckpointDeny
+        )
+    }
+}
+
+/// What happens to a job under chaos.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Delegate untouched.
+    Clean,
+    /// Sleep a deterministic few milliseconds, then delegate.
+    Slow,
+    /// Panic mid-run (exercises the daemon's `catch_unwind` containment).
+    Panic,
+    /// Return a backend error.
+    Error,
+    /// Plant a directory at the checkpoint WAL path so every save fails
+    /// and parks, then delegate — the job survives on a stale resume
+    /// point.
+    CheckpointDeny,
+}
+
+/// A fault-injecting [`JobBackend`] wrapper.
+pub struct ChaosBackend {
+    inner: Arc<dyn JobBackend>,
+    config: ChaosConfig,
+}
+
+impl ChaosBackend {
+    /// Wrap `inner` under `config`.
+    pub fn new(inner: Arc<dyn JobBackend>, config: ChaosConfig) -> ChaosBackend {
+        ChaosBackend { inner, config }
+    }
+
+    /// The wrapped config (tests compute expected fates through this).
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+}
+
+impl JobBackend for ChaosBackend {
+    fn prepare(&self, spec: &JobSpec) -> Result<JobInfo, String> {
+        self.inner.prepare(spec)
+    }
+
+    fn run(&self, spec: &JobSpec, ctx: JobContext) -> Result<JobOutcome, String> {
+        let fp = spec.fingerprint();
+        match self.config.fate(fp) {
+            Fate::Clean => self.inner.run(spec, ctx),
+            Fate::Slow => {
+                let ms = 2 + splitmix(self.config.seed ^ fp ^ 0x510) % 8;
+                std::thread::sleep(Duration::from_millis(ms));
+                self.inner.run(spec, ctx)
+            }
+            Fate::Error => Err(format!("chaos: injected backend error (fp {fp:016x})")),
+            Fate::Panic => panic!("chaos: injected backend panic (fp {fp:016x})"),
+            Fate::CheckpointDeny => {
+                if let Some(path) = &ctx.checkpoint_path {
+                    // A directory where the WAL file should be: the
+                    // store's `create` succeeds (it only sweeps `.tmp`),
+                    // but every `save` fails to open the WAL and parks.
+                    let _ = std::fs::create_dir_all(path.with_extension("ckpt.wal"));
+                }
+                self.inner.run(spec, ctx)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SyntheticBackend;
+    use crate::pool::FairPool;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn fates_are_deterministic_and_cover_the_mix() {
+        let cfg = ChaosConfig::new(42);
+        let mut seen = std::collections::BTreeMap::new();
+        for fp in 0..2000u64 {
+            assert_eq!(cfg.fate(fp), cfg.fate(fp), "fate is pure");
+            *seen.entry(format!("{:?}", cfg.fate(fp))).or_insert(0u32) += 1;
+        }
+        for fate in ["Clean", "Slow", "Panic", "Error", "CheckpointDeny"] {
+            assert!(
+                seen.get(fate).copied().unwrap_or(0) > 50,
+                "{fate}: {seen:?}"
+            );
+        }
+        let other = ChaosConfig::new(43);
+        assert!(
+            (0..100u64).any(|fp| cfg.fate(fp) != other.fate(fp)),
+            "seed changes the schedule"
+        );
+    }
+
+    #[test]
+    fn injected_faults_fire() {
+        let cfg = ChaosConfig::new(7);
+        let panic_fp = (0..).find(|&fp| cfg.fate(fp) == Fate::Panic).unwrap();
+        let error_fp = (0..).find(|&fp| cfg.fate(fp) == Fate::Error).unwrap();
+        // Drive `run` directly with specs crafted to hit those fates is
+        // impractical (fp is a content hash), so exercise the dispatch
+        // through a config whose weights force each arm.
+        assert_eq!(cfg.fate(panic_fp), Fate::Panic);
+        assert_eq!(cfg.fate(error_fp), Fate::Error);
+        let all_error = ChaosConfig {
+            seed: 7,
+            panic_per_mille: 0,
+            error_per_mille: 1000,
+            slow_per_mille: 0,
+            ckpt_deny_per_mille: 0,
+        };
+        let chaos = ChaosBackend::new(Arc::new(SyntheticBackend::default()), all_error);
+        let spec: JobSpec = serde_json::from_str(
+            r#"{"tenant":"t","kernel":"mm","machine":"westmere","strategy":"random","seed":1}"#,
+        )
+        .unwrap();
+        let ctx = JobContext {
+            cancel: Arc::new(AtomicBool::new(false)),
+            pool: FairPool::new(2),
+            job_fp: spec.fingerprint(),
+            slots: 1,
+            checkpoint_path: None,
+            checkpoint_every: 1,
+            resume: None,
+            warm: None,
+            metrics: None,
+            surrogate: None,
+        };
+        let err = chaos.run(&spec, ctx).unwrap_err();
+        assert!(err.contains("chaos: injected backend error"), "{err}");
+    }
+}

@@ -1,5 +1,5 @@
-//! The daemon proper: accept loop, job table, dedupe, session threads,
-//! background compaction and graceful shutdown.
+//! The daemon proper: accept loop, admission control, bounded worker
+//! pool, job table, dedupe, background compaction and graceful shutdown.
 //!
 //! One [`serve`] call owns a state directory:
 //!
@@ -9,6 +9,8 @@
 //! <state>/traces/<id>.jsonl  per-job obs trace (moat-report readable)
 //! <state>/ckpt/<fp>.ckpt     session checkpoints, named by fingerprint
 //! <state>/archive/           the sharded archive
+//! <state>/serve.jsonl        service-level obs events (sheds, breaker
+//!                            transitions, contained panics)
 //! ```
 //!
 //! **Dedupe.** `POST /jobs` fingerprints the spec ([`JobSpec::fingerprint`])
@@ -18,16 +20,37 @@
 //! (status, result, trace) resolves through it. Failed primaries leave
 //! the map so the next identical submission retries fresh.
 //!
+//! **Admission.** Accepted submissions enter a bounded queue drained by a
+//! fixed pool of [`ServeConfig::workers`] session threads — nothing
+//! spawns per job. The shed ladder runs under the job-table lock, in
+//! order: shutdown → per-tenant token bucket → (for new primaries only)
+//! circuit breaker → per-tenant max-in-flight → queue depth. Sheds
+//! answer `429`/`503` with a `Retry-After` hint, bump
+//! `serve_shed_total{reason=...}` and emit a `ServeShed` obs event; a
+//! subscriber to an in-flight primary costs nothing and is never shed by
+//! breaker/in-flight/queue rules. Connections are capped at accept time,
+//! and each request's read is bounded by a per-read socket timeout plus a
+//! whole-frame deadline (slowloris defense, `408`).
+//!
+//! **Failure isolation.** Each job run is wrapped in `catch_unwind`: a
+//! panicking backend fails only its own job (counted, obs-logged).
+//! Failures strike the spec fingerprint's circuit breaker; after
+//! [`AdmissionPolicy::breaker_strikes`] the breaker opens and sheds
+//! resubmissions for a seeded, submission-counted cooldown, then
+//! half-opens for one trial run.
+//!
 //! **Shutdown.** One atomic `stop` flag is shared by the accept loop, the
-//! compactor and — as the session cancel flag — every running
-//! `TuningSession`. Setting it (SIGTERM in the binary, `POST /shutdown`
-//! in tests) stops accepting, winds sessions down at their next batch
-//! boundary (they have been checkpointing all along, so they park
-//! losslessly) and [`ServeHandle::join`] reaps everything. On the next
-//! start, parked and interrupted jobs are re-spawned with
+//! compactor, the workers and — as the session cancel flag — every
+//! running `TuningSession`. Setting it (SIGTERM in the binary, `POST
+//! /shutdown` in tests) stops accepting, winds sessions down at their
+//! next batch boundary (they have been checkpointing all along, so they
+//! park losslessly) and [`ServeHandle::join`] reaps everything. Jobs
+//! still waiting in the queue stay `Queued` in the persisted table. On
+//! the next start, parked and interrupted jobs are re-enqueued with
 //! `with_resume(...)` from their fingerprint-named checkpoint, which the
 //! core guarantees continues bit-identically to an uninterrupted run.
 
+use crate::admission::{AdmissionPolicy, AdmissionState, BreakerDecision, ShedReason};
 use crate::backend::JobBackend;
 use crate::metrics::ServeMetrics;
 use crate::pool::FairPool;
@@ -36,18 +59,22 @@ use crate::spec::{JobSpec, SubmitResponse};
 use crate::wire::{self, Request, Response, WireError};
 use moat_archive::CheckpointStore;
 use moat_core::SessionCheckpoint;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration. `new` fills every knob with the defaults the
-/// tests and the smoke script use.
+/// tests and the smoke script use; at those defaults the daemon's
+/// observable behaviour (responses, artifacts, counters the tests
+/// assert) is byte-identical to the pre-robustness daemon.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks a free port (read it back from
@@ -74,6 +101,43 @@ pub struct ServeConfig {
     /// Fraction of each batch forwarded to real evaluation when
     /// [`surrogate`](Self::surrogate) is on.
     pub screen_ratio: f64,
+    /// Session worker threads draining the job queue (default 8). This
+    /// replaces the old unbounded thread-per-job spawn.
+    pub workers: usize,
+    /// Bounded job-queue depth (default 256); a submission finding it
+    /// full is shed `503 Retry-After`.
+    pub queue_depth: usize,
+    /// Concurrently handled connections (default 64); excess connections
+    /// are answered `503 Retry-After` straight off the accept loop.
+    pub max_connections: usize,
+    /// Per-read socket timeout (default 10 s — the old hard-coded value).
+    /// An idle peer is cut (408) after this long with no bytes.
+    pub read_timeout: Duration,
+    /// Socket write timeout (default 10 s — the old hard-coded value).
+    pub write_timeout: Duration,
+    /// Whole-request read deadline (default 30 s): a client trickling
+    /// bytes — slowloris — is cut (408) when the frame takes this long
+    /// in total, even if no single read ever times out.
+    pub conn_deadline: Duration,
+    /// Per-tenant cap on Queued/Running primary jobs (default 0 = off);
+    /// over-cap submissions are shed `429`.
+    pub tenant_max_inflight: usize,
+    /// Per-tenant token-bucket refill, submissions/second (default 0 =
+    /// off).
+    pub tenant_rate: f64,
+    /// Token-bucket burst capacity (default 8).
+    pub tenant_burst: f64,
+    /// Failed runs before a fingerprint's circuit breaker opens (default
+    /// 3; 0 disables the breaker).
+    pub breaker_strikes: u32,
+    /// Breaker cooldown in *shed submissions* before a half-open trial
+    /// (default 8; seeded jitter and per-trip escalation on top).
+    pub breaker_cooldown: u64,
+    /// Seed for breaker cooldown jitter (and anything else the
+    /// robustness layer needs to randomize deterministically).
+    pub robustness_seed: u64,
+    /// `Retry-After` seconds advertised on shed responses (default 1).
+    pub retry_after_secs: u64,
 }
 
 impl ServeConfig {
@@ -89,6 +153,32 @@ impl ServeConfig {
             compact_interval: Duration::from_millis(250),
             surrogate: false,
             screen_ratio: moat_core::ScreeningPolicy::default().screen_ratio,
+            workers: 8,
+            queue_depth: 256,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            conn_deadline: Duration::from_secs(30),
+            tenant_max_inflight: 0,
+            tenant_rate: 0.0,
+            tenant_burst: 8.0,
+            breaker_strikes: 3,
+            breaker_cooldown: 8,
+            robustness_seed: 0x5EED,
+            retry_after_secs: 1,
+        }
+    }
+
+    /// The admission-policy slice of this config.
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        AdmissionPolicy {
+            queue_depth: self.queue_depth.max(1),
+            tenant_max_inflight: self.tenant_max_inflight,
+            tenant_rate: self.tenant_rate,
+            tenant_burst: self.tenant_burst,
+            breaker_strikes: self.breaker_strikes,
+            breaker_cooldown: self.breaker_cooldown,
+            seed: self.robustness_seed,
         }
     }
 }
@@ -105,7 +195,8 @@ pub enum JobStatus {
     Parked,
     /// Finished; result and trace are on disk.
     Done,
-    /// The backend refused or errored; the fingerprint is released.
+    /// The backend refused, errored or panicked; the fingerprint is
+    /// released (and struck on its circuit breaker).
     Failed,
 }
 
@@ -114,8 +205,8 @@ pub enum JobStatus {
 pub struct JobState {
     /// Daemon-assigned id (`j0001`, …).
     pub id: String,
-    /// Submitting tenant (attribution only; never affects scheduling
-    /// identity).
+    /// Submitting tenant (attribution and quota identity; never affects
+    /// scheduling identity).
     pub tenant: String,
     /// The spec as submitted.
     pub spec: JobSpec,
@@ -150,17 +241,33 @@ struct Jobs {
     /// fingerprint → primary job id (non-failed jobs only).
     dedupe: HashMap<u64, String>,
     next: u64,
+    /// Quotas and breakers, serialized with the table they guard.
+    admission: AdmissionState,
 }
+
+/// The service-level obs log (`<state>/serve.jsonl`): sheds, breaker
+/// transitions and contained panics, one `moat_obs::Record` per line.
+struct ObsLog {
+    seq: u64,
+    file: Option<std::fs::File>,
+}
+
+type QueueItem = (String, Option<SessionCheckpoint>);
 
 struct Daemon {
     config: ServeConfig,
+    policy: AdmissionPolicy,
     backend: Arc<dyn JobBackend>,
     pool: Arc<FairPool>,
     metrics: Arc<ServeMetrics>,
     archive: ShardedArchive,
     stop: Arc<AtomicBool>,
     jobs: Mutex<Jobs>,
-    sessions: Mutex<Vec<JoinHandle<()>>>,
+    queue: Mutex<VecDeque<QueueItem>>,
+    queue_cv: Condvar,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    conns_active: AtomicUsize,
+    obs: Mutex<ObsLog>,
 }
 
 impl Daemon {
@@ -189,14 +296,34 @@ impl Daemon {
             .join(format!("{fingerprint}.ckpt"))
     }
 
+    /// Append one service-level event to `serve.jsonl`.
+    fn obs_event(&self, event: moat_obs::Event) {
+        let mut log = self.obs.lock();
+        log.seq += 1;
+        let record = moat_obs::Record {
+            seq: log.seq,
+            ts_us: 0,
+            dur_us: 0,
+            tid: 0,
+            event,
+        };
+        if let Some(file) = log.file.as_mut() {
+            let _ = file.write_all(moat_obs::export::to_jsonl(&[record]).as_bytes());
+        }
+    }
+
     /// Atomically rewrite `jobs.json` from the table. Callers hold the
-    /// jobs lock.
+    /// jobs lock. A failed write is counted (`serve_persist_errors_total`)
+    /// — the in-memory table stays authoritative, but a crash before the
+    /// next successful write would lose the unwritten rows.
     fn persist(&self, jobs: &Jobs) {
         let rows: Vec<&JobState> = jobs.states.values().collect();
         let json = serde_json::to_string_pretty(&rows).expect("job table serializes");
         let tmp = self.jobs_path().with_extension("json.tmp");
-        if std::fs::write(&tmp, json).is_ok() {
-            let _ = std::fs::rename(&tmp, self.jobs_path());
+        let written =
+            std::fs::write(&tmp, json).and_then(|()| std::fs::rename(&tmp, self.jobs_path()));
+        if written.is_err() {
+            self.metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -226,6 +353,28 @@ impl Daemon {
     fn artifact_id(&self, jobs: &Jobs, id: &str) -> Option<String> {
         let state = jobs.states.get(id)?;
         Some(state.serves_as.clone().unwrap_or_else(|| state.id.clone()))
+    }
+
+    /// A primary job reached a settled state: release its tenant's
+    /// in-flight slot. Callers hold the jobs lock.
+    fn settle_inflight(&self, jobs: &mut Jobs, id: &str) {
+        if let Some(tenant) = jobs.states.get(id).map(|s| s.tenant.clone()) {
+            jobs.admission.inflight_remove(&tenant);
+        }
+    }
+
+    /// A run succeeded: reclose the fingerprint's breaker if it was
+    /// tripped. Callers hold the jobs lock.
+    fn breaker_success(&self, jobs: &mut Jobs, fp: u64, fingerprint: &str) {
+        if jobs.admission.breaker_success(fp) {
+            self.metrics
+                .breakers_tripped
+                .store(jobs.admission.breakers_tripped(), Ordering::Relaxed);
+            self.obs_event(moat_obs::Event::ServeBreaker {
+                fingerprint: fingerprint.to_string(),
+                state: "closed".into(),
+            });
+        }
     }
 
     fn run_job(self: &Arc<Self>, id: &str, resume: Option<SessionCheckpoint>) {
@@ -311,7 +460,24 @@ impl Daemon {
             surrogate,
         };
 
-        match self.backend.run(&spec, ctx) {
+        // Failure isolation: a panicking backend (or a panic propagated
+        // out of its BatchEval workers) fails only this job.
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| self.backend.run(&spec, ctx)))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".into());
+                self.metrics.backend_panics.fetch_add(1, Ordering::Relaxed);
+                self.obs_event(moat_obs::Event::ServePanic {
+                    job: id.to_string(),
+                    error: msg.clone(),
+                });
+                Err(format!("backend panicked: {msg}"))
+            });
+
+        match run {
             Ok(outcome) => {
                 let records = crate::trace::job_records(
                     &spec.kernel,
@@ -328,6 +494,7 @@ impl Daemon {
                         state.iterations = outcome.iterations;
                         state.stop = Some(outcome.stop.name().to_string());
                         state.resumed = resumed;
+                        self.settle_inflight(&mut jobs, id);
                         self.persist(&jobs);
                     }
                     return;
@@ -350,6 +517,8 @@ impl Daemon {
                     state.stop = Some(outcome.stop.name().to_string());
                     state.resumed = resumed;
                     state.warm = warm_desc;
+                    self.settle_inflight(&mut jobs, id);
+                    self.breaker_success(&mut jobs, fp, &fingerprint);
                     self.persist(&jobs);
                 }
                 self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
@@ -387,6 +556,8 @@ impl Daemon {
             state.stop = Some(moat_core::StopReason::Completed.name().to_string());
             state.replayed = true;
             state.warm = Some("exact".into());
+            self.settle_inflight(&mut jobs, id);
+            self.breaker_success(&mut jobs, spec.fingerprint(), fingerprint);
             self.persist(&jobs);
         }
         self.metrics.jobs_replayed.fetch_add(1, Ordering::Relaxed);
@@ -395,6 +566,11 @@ impl Daemon {
 
     fn fail(&self, id: &str, fp: u64, error: String) {
         let mut jobs = self.jobs.lock();
+        let fingerprint = jobs
+            .states
+            .get(id)
+            .map(|s| s.fingerprint.clone())
+            .unwrap_or_default();
         if let Some(state) = jobs.states.get_mut(id) {
             state.status = JobStatus::Failed;
             state.error = Some(error);
@@ -402,13 +578,35 @@ impl Daemon {
         if jobs.dedupe.get(&fp).map(String::as_str) == Some(id) {
             jobs.dedupe.remove(&fp);
         }
+        self.settle_inflight(&mut jobs, id);
+        if jobs.admission.breaker_failure(&self.policy, fp) {
+            self.metrics.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .breakers_tripped
+                .store(jobs.admission.breakers_tripped(), Ordering::Relaxed);
+            self.obs_event(moat_obs::Event::ServeBreaker {
+                fingerprint,
+                state: "open".into(),
+            });
+        }
         self.persist(&jobs);
         self.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Build (count, obs-log) one shed response.
+    fn shed(&self, reason: ShedReason, tenant: &str, detail: &str) -> Response {
+        self.metrics.shed(reason);
+        self.obs_event(moat_obs::Event::ServeShed {
+            reason: reason.label().into(),
+            tenant: tenant.to_string(),
+        });
+        Response::error(reason.status(), detail)
+            .with_retry_after(self.config.retry_after_secs.max(1))
+    }
+
     fn submit(self: &Arc<Self>, req: &Request) -> Response {
         if self.stop.load(Ordering::Relaxed) {
-            return Response::error(503, "shutting down");
+            return self.shed(ShedReason::Shutdown, "", "shutting down");
         }
         let parsed = std::str::from_utf8(&req.body)
             .map_err(|e| e.to_string())
@@ -426,13 +624,62 @@ impl Daemon {
         };
         let fp = spec.fingerprint();
         let fingerprint = spec.fingerprint_hex();
-        self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
 
         let (id, primary) = {
             let mut jobs = self.jobs.lock();
+            // The shed ladder. Token buckets meter every submission from
+            // a tenant; breaker/in-flight/queue rules only guard *new
+            // primary* jobs — a subscriber to an in-flight primary costs
+            // nothing.
+            if !jobs
+                .admission
+                .rate_take(&self.policy, &spec.tenant, Instant::now())
+            {
+                drop(jobs);
+                return self.shed(
+                    ShedReason::TenantRate,
+                    &spec.tenant,
+                    &format!("tenant {} over submission rate", spec.tenant),
+                );
+            }
+            let primary = jobs.dedupe.get(&fp).cloned();
+            if primary.is_none() {
+                match jobs.admission.breaker_admit(&self.policy, fp) {
+                    BreakerDecision::Shed => {
+                        drop(jobs);
+                        return self.shed(
+                            ShedReason::Breaker,
+                            &spec.tenant,
+                            &format!("circuit open for fingerprint {fingerprint}"),
+                        );
+                    }
+                    BreakerDecision::AdmitTrial => {
+                        self.metrics
+                            .breakers_tripped
+                            .store(jobs.admission.breakers_tripped(), Ordering::Relaxed);
+                        self.obs_event(moat_obs::Event::ServeBreaker {
+                            fingerprint: fingerprint.clone(),
+                            state: "half-open".into(),
+                        });
+                    }
+                    BreakerDecision::Admit => {}
+                }
+                if jobs.admission.over_inflight(&self.policy, &spec.tenant) {
+                    drop(jobs);
+                    return self.shed(
+                        ShedReason::TenantInflight,
+                        &spec.tenant,
+                        &format!("tenant {} at max in-flight jobs", spec.tenant),
+                    );
+                }
+                if self.queue.lock().len() >= self.policy.queue_depth {
+                    drop(jobs);
+                    return self.shed(ShedReason::Queue, &spec.tenant, "job queue full");
+                }
+            }
+            self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
             let id = format!("j{:04}", jobs.next);
             jobs.next += 1;
-            let primary = jobs.dedupe.get(&fp).cloned();
             let state = JobState {
                 id: id.clone(),
                 tenant: spec.tenant.clone(),
@@ -452,6 +699,7 @@ impl Daemon {
             jobs.states.insert(id.clone(), state);
             if primary.is_none() {
                 jobs.dedupe.insert(fp, id.clone());
+                jobs.admission.inflight_add(&spec.tenant);
             } else {
                 self.metrics.jobs_deduped.fetch_add(1, Ordering::Relaxed);
             }
@@ -462,7 +710,7 @@ impl Daemon {
         let serves_as = match primary {
             Some(primary) => primary,
             None => {
-                spawn_job(self, id.clone(), None);
+                self.enqueue(id.clone(), None);
                 id.clone()
             }
         };
@@ -478,6 +726,43 @@ impl Daemon {
                 .expect("serializes")
                 .into_bytes(),
         )
+    }
+
+    /// Push a job onto the bounded queue and wake a worker.
+    fn enqueue(&self, id: String, resume: Option<SessionCheckpoint>) {
+        let mut queue = self.queue.lock();
+        queue.push_back((id, resume));
+        self.metrics
+            .queue_depth
+            .store(queue.len() as u64, Ordering::Relaxed);
+        drop(queue);
+        self.queue_cv.notify_one();
+    }
+
+    /// Set the stop flag and wake every worker blocked on the queue.
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.queue_cv.notify_all();
+    }
+
+    /// The `/healthz` body: liveness plus saturation snapshot.
+    fn health_body(&self) -> Vec<u8> {
+        let queue_depth = self.metrics.queue_depth.load(Ordering::Relaxed);
+        format!(
+            "{{\"status\":\"ok\",\"queue_depth\":{},\"queue_cap\":{},\"workers\":{},\
+             \"pool_in_use\":{},\"pool_slots\":{},\"connections_active\":{},\
+             \"connection_cap\":{},\"breakers_tripped\":{},\"shed_total\":{}}}",
+            queue_depth,
+            self.policy.queue_depth,
+            self.config.workers.max(1),
+            self.pool.in_use(),
+            self.pool.slots(),
+            self.conns_active.load(Ordering::Relaxed),
+            self.config.max_connections.max(1),
+            self.metrics.breakers_tripped.load(Ordering::Relaxed),
+            self.metrics.sheds_total(),
+        )
+        .into_bytes()
     }
 
     fn route(self: &Arc<Self>, req: &Request) -> Response {
@@ -516,9 +801,28 @@ impl Daemon {
                 }
                 Response::text(200, self.metrics.render(&records).into_bytes())
             }
-            ("GET", "/healthz") => Response::text(200, "ok\n"),
+            ("GET", "/healthz") => Response::json(200, self.health_body()),
+            ("GET", "/readyz") => {
+                let stopping = self.stop.load(Ordering::Relaxed);
+                let queue_full = self.metrics.queue_depth.load(Ordering::Relaxed)
+                    >= self.policy.queue_depth as u64;
+                if stopping || queue_full {
+                    let why = if stopping {
+                        "shutting-down"
+                    } else {
+                        "queue-full"
+                    };
+                    Response::json(
+                        503,
+                        format!("{{\"ready\":false,\"reason\":\"{why}\"}}").into_bytes(),
+                    )
+                    .with_retry_after(self.config.retry_after_secs.max(1))
+                } else {
+                    Response::json(200, br#"{"ready":true}"#.to_vec())
+                }
+            }
             ("POST", "/shutdown") => {
-                self.stop.store(true, Ordering::Relaxed);
+                self.request_stop();
                 Response::json(200, br#"{"status":"shutting-down"}"#.to_vec())
             }
             ("GET", path) if path.starts_with("/jobs/") => {
@@ -535,6 +839,7 @@ impl Daemon {
                         Ok(bytes) => Response {
                             status: 200,
                             content_type: "application/x-ndjson".into(),
+                            headers: Vec::new(),
                             body: bytes,
                         },
                         Err(_) => Response::error(404, "no trace yet"),
@@ -564,7 +869,7 @@ impl Daemon {
                     }
                 }
             }
-            ("POST" | "PUT" | "DELETE", "/metrics" | "/healthz" | "/archive") => {
+            ("POST" | "PUT" | "DELETE", "/metrics" | "/healthz" | "/readyz" | "/archive") => {
                 Response::error(405, "read-only endpoint")
             }
             (_, "/jobs") => Response::error(405, "use GET or POST"),
@@ -573,27 +878,52 @@ impl Daemon {
     }
 
     fn handle_conn(self: &Arc<Self>, mut stream: TcpStream) {
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
         self.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
-        let resp = match wire::read_request(&mut stream) {
-            Ok(req) => self.route(&req),
-            Err(WireError::Malformed(m)) => Response::error(400, &m),
-            Err(WireError::TooLarge(m)) if m.contains("body") => Response::error(413, &m),
-            Err(WireError::TooLarge(m)) => Response::error(431, &m),
-            Err(WireError::Io(_)) => return,
-        };
+        let deadline = Instant::now() + self.config.conn_deadline;
+        let resp =
+            match wire::read_request_deadline(&mut stream, self.config.read_timeout, deadline) {
+                Ok(req) => self.route(&req),
+                Err(WireError::Malformed(m)) => Response::error(400, &m),
+                Err(WireError::TooLarge(m)) if m.contains("body") => Response::error(413, &m),
+                Err(WireError::TooLarge(m)) => Response::error(431, &m),
+                Err(WireError::TimedOut(m)) => self.shed(ShedReason::SlowClient, "", &m),
+                Err(WireError::Io(_)) => return,
+            };
         if resp.status >= 400 {
             self.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
         }
         let _ = wire::write_response(&mut stream, &resp);
     }
-}
 
-fn spawn_job(daemon: &Arc<Daemon>, id: String, resume: Option<SessionCheckpoint>) {
-    let d = Arc::clone(daemon);
-    let handle = std::thread::spawn(move || d.run_job(&id, resume));
-    daemon.sessions.lock().push(handle);
+    /// One worker thread: drain the queue until stop.
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let item = {
+                let mut queue = self.queue.lock();
+                loop {
+                    if self.stop.load(Ordering::Relaxed) {
+                        break None;
+                    }
+                    if let Some(item) = queue.pop_front() {
+                        self.metrics
+                            .queue_depth
+                            .store(queue.len() as u64, Ordering::Relaxed);
+                        break Some(item);
+                    }
+                    // Timed wait: robust against a notify racing the
+                    // stop-flag store.
+                    self.queue_cv
+                        .wait_for(&mut queue, Duration::from_millis(50));
+                }
+            };
+            match item {
+                Some((id, resume)) => self.run_job(&id, resume),
+                None => return,
+            }
+        }
+    }
 }
 
 /// A running daemon. Dropping the handle does **not** stop it — call
@@ -619,7 +949,7 @@ impl ServeHandle {
 
     /// Request graceful shutdown (idempotent, non-blocking).
     pub fn stop(&self) {
-        self.daemon.stop.store(true, Ordering::Relaxed);
+        self.daemon.request_stop();
     }
 
     /// The daemon's metrics registry.
@@ -628,23 +958,26 @@ impl ServeHandle {
     }
 
     /// Block until shutdown is requested, then tear down: join the accept
-    /// loop, cancel-and-join every session (they park via their
-    /// checkpoints), run one final compaction, persist, and return.
+    /// loop and the worker pool (running sessions park via their
+    /// checkpoints; queued jobs stay Queued in the table and re-enqueue
+    /// on the next start), run one final compaction, persist, and return.
     pub fn join(mut self) -> std::io::Result<()> {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
         // The accept loop only exits with `stop` set, but make it
         // explicit for the error path.
-        self.daemon.stop.store(true, Ordering::Relaxed);
-        loop {
-            let drained: Vec<JoinHandle<()>> = std::mem::take(&mut *self.daemon.sessions.lock());
-            if drained.is_empty() {
-                break;
-            }
-            for h in drained {
-                let _ = h.join();
-            }
+        self.daemon.request_stop();
+        let workers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.daemon.workers.lock());
+        for h in workers {
+            let _ = h.join();
+        }
+        // In-flight connection threads only touch metrics and the job
+        // table; give them a short grace window rather than blocking
+        // shutdown on a slow client.
+        let grace = Instant::now() + Duration::from_millis(500);
+        while self.daemon.conns_active.load(Ordering::Relaxed) > 0 && Instant::now() < grace {
+            std::thread::sleep(Duration::from_millis(5));
         }
         if let Some(h) = self.compactor.take() {
             let _ = h.join();
@@ -668,8 +1001,9 @@ impl ServeHandle {
     }
 }
 
-/// Start the daemon: recover state from `config.state_dir`, re-spawn
-/// interrupted jobs with their checkpoints, bind the listener and return.
+/// Start the daemon: recover state from `config.state_dir`, re-enqueue
+/// interrupted jobs with their checkpoints, bind the listener, start the
+/// worker pool and return.
 pub fn serve(config: ServeConfig, backend: Arc<dyn JobBackend>) -> std::io::Result<ServeHandle> {
     for sub in ["results", "traces", "ckpt"] {
         std::fs::create_dir_all(config.state_dir.join(sub))?;
@@ -682,8 +1016,21 @@ pub fn serve(config: ServeConfig, backend: Arc<dyn JobBackend>) -> std::io::Resu
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    // The service-level obs log survives restarts; continue its sequence
+    // from the lines already present.
+    let obs_path = config.state_dir.join("serve.jsonl");
+    let obs_seq = std::fs::read_to_string(&obs_path)
+        .map(|t| t.lines().count() as u64)
+        .unwrap_or(0);
+    let obs_file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&obs_path)
+        .ok();
+
+    let policy = config.admission_policy();
     let daemon = Arc::new(Daemon {
-        config,
+        policy,
         backend,
         pool,
         metrics,
@@ -693,12 +1040,21 @@ pub fn serve(config: ServeConfig, backend: Arc<dyn JobBackend>) -> std::io::Resu
             states: BTreeMap::new(),
             dedupe: HashMap::new(),
             next: 1,
+            admission: AdmissionState::default(),
         }),
-        sessions: Mutex::new(Vec::new()),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        workers: Mutex::new(Vec::new()),
+        conns_active: AtomicUsize::new(0),
+        obs: Mutex::new(ObsLog {
+            seq: obs_seq,
+            file: obs_file,
+        }),
+        config,
     });
 
-    // Recover the job table and re-spawn everything interrupted.
-    let mut respawn: Vec<(String, Option<SessionCheckpoint>)> = Vec::new();
+    // Recover the job table and re-enqueue everything interrupted.
+    let mut respawn: Vec<QueueItem> = Vec::new();
     if let Ok(text) = std::fs::read_to_string(daemon.jobs_path()) {
         let rows: Vec<JobState> = serde_json::from_str(&text)
             .map_err(|e| std::io::Error::other(format!("corrupt jobs.json: {e}")))?;
@@ -719,6 +1075,7 @@ pub fn serve(config: ServeConfig, backend: Arc<dyn JobBackend>) -> std::io::Resu
                 if resume.is_some() {
                     daemon.metrics.jobs_resumed.fetch_add(1, Ordering::Relaxed);
                 }
+                jobs.admission.inflight_add(&row.tenant);
                 respawn.push((row.id.clone(), resume));
             }
             jobs.states.insert(row.id.clone(), row);
@@ -731,8 +1088,20 @@ pub fn serve(config: ServeConfig, backend: Arc<dyn JobBackend>) -> std::io::Resu
                 state.resumed = true;
             }
         }
-        spawn_job(&daemon, id, resume);
+        daemon.enqueue(id, resume);
     }
+
+    // The bounded worker pool replaces the old thread-per-job spawn.
+    let workers: Vec<JoinHandle<()>> = (0..daemon.config.workers.max(1))
+        .map(|w| {
+            let d = Arc::clone(&daemon);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{w}"))
+                .spawn(move || d.worker_loop())
+                .expect("spawn worker")
+        })
+        .collect();
+    *daemon.workers.lock() = workers;
 
     let accept = {
         let d = Arc::clone(&daemon);
@@ -743,7 +1112,31 @@ pub fn serve(config: ServeConfig, backend: Arc<dyn JobBackend>) -> std::io::Resu
             match listener.accept() {
                 Ok((stream, _)) => {
                     let _ = stream.set_nonblocking(false);
-                    d.handle_conn(stream);
+                    // Connection cap: refuse excess connections right
+                    // here so slow clients can't pile up handler threads.
+                    if d.conns_active.load(Ordering::Relaxed) >= d.config.max_connections.max(1) {
+                        d.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                        d.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
+                        let resp = d.shed(ShedReason::Connections, "", "connection limit reached");
+                        let mut stream = stream;
+                        let _ = stream.set_write_timeout(Some(d.config.write_timeout));
+                        let _ = wire::write_response(&mut stream, &resp);
+                        continue;
+                    }
+                    d.conns_active.fetch_add(1, Ordering::Relaxed);
+                    d.metrics.connections_active.store(
+                        d.conns_active.load(Ordering::Relaxed) as u64,
+                        Ordering::Relaxed,
+                    );
+                    let dd = Arc::clone(&d);
+                    std::thread::spawn(move || {
+                        dd.handle_conn(stream);
+                        dd.conns_active.fetch_sub(1, Ordering::Relaxed);
+                        dd.metrics.connections_active.store(
+                            dd.conns_active.load(Ordering::Relaxed) as u64,
+                            Ordering::Relaxed,
+                        );
+                    });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(2));

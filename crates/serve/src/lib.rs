@@ -19,7 +19,9 @@
 //! and lets the protocol/scheduling layers be tested with synthetic
 //! backends.
 
+pub mod admission;
 pub mod backend;
+pub mod chaos;
 pub mod daemon;
 pub mod metrics;
 pub mod pool;
@@ -28,9 +30,12 @@ pub mod spec;
 pub mod trace;
 pub mod wire;
 
+pub use admission::{AdmissionPolicy, ShedReason};
 pub use backend::{
-    GaugedStore, JobBackend, JobContext, JobInfo, JobOutcome, SurrogateJob, SyntheticBackend,
+    open_checkpoint_store, GaugedStore, JobBackend, JobContext, JobInfo, JobOutcome, SurrogateJob,
+    SyntheticBackend,
 };
+pub use chaos::{ChaosBackend, ChaosConfig, Fate};
 pub use daemon::{serve, JobState, JobStatus, ServeConfig, ServeHandle};
 pub use metrics::ServeMetrics;
 pub use pool::{FairPool, PooledEvaluator};

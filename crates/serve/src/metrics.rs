@@ -11,6 +11,7 @@
 //!   every finished job's trace, so the same families a single `moat-tune`
 //!   run exports stay scrapeable in service mode.
 
+use crate::admission::ShedReason;
 use moat_obs::Record;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -43,9 +44,61 @@ pub struct ServeMetrics {
     pub http_requests: AtomicU64,
     /// HTTP exchanges answered with a 4xx/5xx.
     pub http_errors: AtomicU64,
+    /// Sheds by reason (indexed by [`ShedReason`] discriminant order:
+    /// queue, connections, tenant_inflight, tenant_rate, breaker,
+    /// slow_client, shutdown).
+    pub sheds: [AtomicU64; 7],
+    /// Jobs waiting in the bounded queue (gauge).
+    pub queue_depth: AtomicU64,
+    /// Circuit breakers currently open or half-open (gauge).
+    pub breakers_tripped: AtomicU64,
+    /// Times any breaker opened or re-opened.
+    pub breaker_trips: AtomicU64,
+    /// Backend panics contained by the job-level `catch_unwind`.
+    pub backend_panics: AtomicU64,
+    /// Failed writes of `jobs.json` (the table stays correct in memory;
+    /// a restart would lose the unwritten rows).
+    pub persist_errors: AtomicU64,
+    /// Connections currently being handled (gauge).
+    pub connections_active: AtomicU64,
 }
 
+/// Render order of the shed-reason label set — must cover every
+/// [`ShedReason`].
+const SHED_REASONS: [ShedReason; 7] = [
+    ShedReason::Queue,
+    ShedReason::Connections,
+    ShedReason::TenantInflight,
+    ShedReason::TenantRate,
+    ShedReason::Breaker,
+    ShedReason::SlowClient,
+    ShedReason::Shutdown,
+];
+
 impl ServeMetrics {
+    /// The counter slot for a shed reason.
+    fn shed_slot(reason: ShedReason) -> usize {
+        SHED_REASONS
+            .iter()
+            .position(|r| *r == reason)
+            .expect("reason in table")
+    }
+
+    /// Count one shed decision.
+    pub fn shed(&self, reason: ShedReason) {
+        self.sheds[Self::shed_slot(reason)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One reason's shed count.
+    pub fn sheds_for(&self, reason: ShedReason) -> u64 {
+        self.sheds[Self::shed_slot(reason)].load(Ordering::Relaxed)
+    }
+
+    /// Total sheds across all reasons.
+    pub fn sheds_total(&self) -> u64 {
+        self.sheds.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
     /// Render the full `/metrics` text: serve-native families first, then
     /// the `moat_*` families derived from `job_records`.
     pub fn render(&self, job_records: &[Record]) -> String {
@@ -110,12 +163,57 @@ impl ServeMetrics {
             "HTTP exchanges answered 4xx/5xx.",
             self.http_errors.load(Ordering::Relaxed),
         );
-        let parked = self.parked_checkpoints.load(Ordering::Relaxed);
-        out.push_str(&format!(
-            "# HELP serve_parked_checkpoints Checkpoint saves that failed and were parked.\n\
-             # TYPE serve_parked_checkpoints gauge\n\
-             serve_parked_checkpoints {parked}\n"
-        ));
+        counter(
+            "serve_breaker_trips_total",
+            "Circuit-breaker open/re-open transitions.",
+            self.breaker_trips.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_backend_panics_total",
+            "Backend panics contained to their job.",
+            self.backend_panics.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_persist_errors_total",
+            "Failed job-table (jobs.json) writes.",
+            self.persist_errors.load(Ordering::Relaxed),
+        );
+        out.push_str(
+            "# HELP serve_shed_total Requests shed at admission, by reason.\n\
+             # TYPE serve_shed_total counter\n",
+        );
+        for (i, reason) in SHED_REASONS.iter().enumerate() {
+            out.push_str(&format!(
+                "serve_shed_total{{reason=\"{}\"}} {}\n",
+                reason.label(),
+                self.sheds[i].load(Ordering::Relaxed)
+            ));
+        }
+        let mut gauge = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+            ));
+        };
+        gauge(
+            "serve_queue_depth",
+            "Jobs waiting in the bounded queue.",
+            self.queue_depth.load(Ordering::Relaxed),
+        );
+        gauge(
+            "serve_breaker_state",
+            "Circuit breakers currently open or half-open.",
+            self.breakers_tripped.load(Ordering::Relaxed),
+        );
+        gauge(
+            "serve_connections_active",
+            "Connections currently being handled.",
+            self.connections_active.load(Ordering::Relaxed),
+        );
+        gauge(
+            "serve_parked_checkpoints",
+            "Checkpoint saves that failed and were parked.",
+            self.parked_checkpoints.load(Ordering::Relaxed),
+        );
         out.push_str(&moat_obs::metrics::render(job_records));
         out
     }
@@ -138,5 +236,27 @@ mod tests {
             text.contains("moat_evaluations_total 0\n"),
             "obs layer present"
         );
+    }
+
+    #[test]
+    fn shed_counters_render_labeled_families() {
+        let m = ServeMetrics::default();
+        m.shed(ShedReason::Queue);
+        m.shed(ShedReason::Queue);
+        m.shed(ShedReason::TenantInflight);
+        m.queue_depth.store(3, Ordering::Relaxed);
+        m.breakers_tripped.store(1, Ordering::Relaxed);
+        let text = m.render(&[]);
+        assert!(
+            text.contains("serve_shed_total{reason=\"queue\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("serve_shed_total{reason=\"tenant_inflight\"} 1\n"));
+        assert!(text.contains("serve_shed_total{reason=\"breaker\"} 0\n"));
+        assert!(text.contains("serve_queue_depth 3\n"));
+        assert!(text.contains("serve_breaker_state 1\n"));
+        assert!(text.contains("serve_persist_errors_total 0\n"));
+        assert_eq!(m.sheds_total(), 3);
+        assert_eq!(m.sheds_for(ShedReason::Queue), 2);
     }
 }

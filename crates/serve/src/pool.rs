@@ -65,6 +65,11 @@ impl FairPool {
         self.slots
     }
 
+    /// Slots currently held (pool-saturation snapshot for `/healthz`).
+    pub fn in_use(&self) -> usize {
+        self.state.lock().in_use
+    }
+
     /// Block until `job` is granted a slot. The returned guard releases
     /// it on drop.
     pub fn acquire(self: &Arc<Self>, job: u64) -> SlotGuard {

@@ -75,6 +75,10 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` of the body.
     pub content_type: String,
+    /// Extra headers (names lowercased) beyond the always-rewritten
+    /// `content-type`/`content-length`/`connection` trio — `retry-after`
+    /// on shed responses, for instance.
+    pub headers: Vec<(String, String)>,
     /// Body bytes.
     pub body: Vec<u8>,
 }
@@ -85,6 +89,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json".into(),
+            headers: Vec::new(),
             body: body.into(),
         }
     }
@@ -94,8 +99,29 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8".into(),
+            headers: Vec::new(),
             body: body.into(),
         }
+    }
+
+    /// Attach an extra header (name lowercased).
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers
+            .push((name.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    /// Attach a `Retry-After: <secs>` hint (shed responses).
+    pub fn with_retry_after(self, secs: u64) -> Response {
+        self.with_header("retry-after", &secs.to_string())
+    }
+
+    /// First value of a (lowercase) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// A JSON error envelope `{"error": msg}`.
@@ -121,6 +147,9 @@ pub enum WireError {
     TooLarge(String),
     /// The peer closed (or an I/O error cut the stream) mid-frame.
     Io(String),
+    /// The peer dribbled (or stalled) past a read deadline — the
+    /// slowloris guard (408 at the daemon layer).
+    TimedOut(String),
 }
 
 impl std::fmt::Display for WireError {
@@ -129,6 +158,7 @@ impl std::fmt::Display for WireError {
             WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
             WireError::TooLarge(m) => write!(f, "frame too large: {m}"),
             WireError::Io(m) => write!(f, "wire I/O: {m}"),
+            WireError::TimedOut(m) => write!(f, "timed out: {m}"),
         }
     }
 }
@@ -142,8 +172,10 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
@@ -174,6 +206,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status)).as_bytes(),
     );
     out.extend_from_slice(format!("content-type: {}\r\n", resp.content_type).as_bytes());
+    for (name, value) in &resp.headers {
+        if name == "content-type" || name == "content-length" || name == "connection" {
+            continue; // always rewritten
+        }
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
     out.extend_from_slice(format!("content-length: {}\r\n", resp.body.len()).as_bytes());
     out.extend_from_slice(b"connection: close\r\n\r\n");
     out.extend_from_slice(&resp.body);
@@ -300,9 +338,14 @@ pub fn parse_response(buf: &[u8]) -> Result<Option<(Response, usize)>, WireError
         .find(|(n, _)| n == "content-type")
         .map(|(_, v)| v.clone())
         .unwrap_or_default();
+    let extra = headers
+        .into_iter()
+        .filter(|(n, _)| n != "content-type" && n != "content-length" && n != "connection")
+        .collect();
     let resp = Response {
         status,
         content_type,
+        headers: extra,
         body: buf[head_len..head_len + body_len].to_vec(),
     };
     Ok(Some((resp, head_len + body_len)))
@@ -312,6 +355,65 @@ pub fn parse_response(buf: &[u8]) -> Result<Option<(Response, usize)>, WireError
 /// [`parse_request`] completes or errors.
 pub fn read_request(stream: &mut impl Read) -> Result<Request, WireError> {
     read_frame(stream, parse_request)
+}
+
+/// Read one request off a TCP stream under two clocks: a per-read socket
+/// timeout (`read_timeout` — an *idle* peer is cut after this long with
+/// no bytes) and an overall `deadline` for the whole frame (a peer
+/// dribbling one byte per poll — slowloris — is cut when the total
+/// elapsed time passes it). Both surface as [`WireError::TimedOut`],
+/// which the daemon answers with `408 Request Timeout`.
+pub fn read_request_deadline(
+    stream: &mut std::net::TcpStream,
+    read_timeout: std::time::Duration,
+    deadline: std::time::Instant,
+) -> Result<Request, WireError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some((frame, _)) = parse_request(&buf)? {
+            return Ok(frame);
+        }
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return Err(WireError::TimedOut(format!(
+                "request incomplete after {} bytes at the connection deadline",
+                buf.len()
+            )));
+        }
+        let window = (deadline - now)
+            .min(read_timeout)
+            .max(std::time::Duration::from_millis(1));
+        let _ = stream.set_read_timeout(Some(window));
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if buf.is_empty() {
+                    WireError::Io("connection closed before any bytes".into())
+                } else {
+                    WireError::Malformed("connection closed mid-frame".into())
+                })
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Socket-level timeout: the peer sent nothing for a full
+                // read window. The deadline check above decides whether
+                // the connection still has time; an idle peer exhausts
+                // its window here.
+                if std::time::Instant::now() + std::time::Duration::from_millis(1) >= deadline
+                    || window >= read_timeout
+                {
+                    return Err(WireError::TimedOut(format!(
+                        "no bytes for {}ms",
+                        window.as_millis()
+                    )));
+                }
+            }
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
 }
 
 /// Read one response off a stream (client side).
@@ -374,6 +476,15 @@ mod tests {
         assert_eq!(back.body, req.body);
         assert_eq!(back.header("content-type"), Some("application/json"));
         assert_eq!(back.header("connection"), Some("close"));
+    }
+
+    #[test]
+    fn extra_headers_roundtrip() {
+        let resp = Response::json(503, br#"{"error":"queue full"}"#.to_vec()).with_retry_after(2);
+        let bytes = encode_response(&resp);
+        let (back, _) = parse_response(&bytes).unwrap().unwrap();
+        assert_eq!(back.header("retry-after"), Some("2"));
+        assert_eq!(back, resp);
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Property tests of the wire protocol: encode/parse round-trips, prefix
-//! incompleteness, and no-panic on arbitrary bytes.
+//! incompleteness, no-panic on arbitrary bytes, exact behaviour at the
+//! head/body size caps, and slow byte-at-a-time delivery.
 
 use moat_serve::wire::{
-    encode_request, encode_response, parse_request, parse_response, Request, Response,
+    encode_request, encode_response, parse_request, parse_response, read_request,
+    read_request_deadline, Request, Response, WireError, MAX_BODY_BYTES, MAX_HEAD_BYTES,
 };
 use proptest::prelude::*;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
 
 const METHODS: [&str; 4] = ["GET", "POST", "PUT", "DELETE"];
 const STATUSES: [u16; 9] = [200, 202, 400, 404, 405, 409, 413, 431, 503];
@@ -86,4 +90,150 @@ proptest! {
         let _ = parse_request(&bytes);
         let _ = parse_response(&bytes);
     }
+
+    /// A head that never terminates (no `\r\n\r\n`) reads as incomplete
+    /// while under the cap and as TooLarge — never a panic or a bogus
+    /// parse — once past it.
+    #[test]
+    fn unterminated_heads_are_incomplete_then_capped(extra in 0usize..4096) {
+        let mut bytes = b"GET /jobs HTTP/1.1\r\nx-pad: ".to_vec();
+        bytes.resize(bytes.len() + extra, b'a');
+        match parse_request(&bytes) {
+            Ok(None) => prop_assert!(bytes.len() <= MAX_HEAD_BYTES),
+            Err(WireError::TooLarge(_)) => prop_assert!(bytes.len() > MAX_HEAD_BYTES),
+            other => prop_assert!(false, "unexpected: {other:?}"),
+        }
+    }
+}
+
+/// A request whose encoded head is exactly `total` bytes, padded via one
+/// `x-pad` header.
+fn request_with_head_size(total: usize) -> Vec<u8> {
+    let skeleton = b"GET /jobs HTTP/1.1\r\nx-pad: \r\n\r\n".len();
+    let bytes = format!(
+        "GET /jobs HTTP/1.1\r\nx-pad: {}\r\n\r\n",
+        "a".repeat(total - skeleton)
+    )
+    .into_bytes();
+    assert_eq!(bytes.len(), total);
+    bytes
+}
+
+#[test]
+fn head_exactly_at_cap_parses_one_over_is_too_large() {
+    let at = request_with_head_size(MAX_HEAD_BYTES);
+    let (req, used) = parse_request(&at)
+        .expect("head at cap parses")
+        .expect("complete");
+    assert_eq!(used, MAX_HEAD_BYTES);
+    assert_eq!(req.path, "/jobs");
+
+    let over = request_with_head_size(MAX_HEAD_BYTES + 1);
+    match parse_request(&over) {
+        Err(WireError::TooLarge(m)) => assert!(m.contains("head"), "{m}"),
+        other => panic!("head one over cap must be TooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn body_exactly_at_cap_parses_one_over_is_too_large() {
+    let mut req = Request::json("POST", "/jobs", vec![b'x'; MAX_BODY_BYTES]);
+    let bytes = encode_request(&req);
+    let (parsed, used) = parse_request(&bytes)
+        .expect("body at cap parses")
+        .expect("complete");
+    assert_eq!(used, bytes.len());
+    assert_eq!(parsed.body.len(), MAX_BODY_BYTES);
+
+    // One over: the declared length alone must reject the frame — no
+    // body bytes need arrive for the verdict.
+    req.body.push(b'x');
+    let bytes = encode_request(&req);
+    let head_len = bytes.len() - req.body.len();
+    match parse_request(&bytes[..head_len]) {
+        Err(WireError::TooLarge(m)) => assert!(m.contains("body"), "{m}"),
+        other => panic!("declared body one over cap must be TooLarge, got {other:?}"),
+    }
+    assert!(matches!(parse_request(&bytes), Err(WireError::TooLarge(_))));
+}
+
+/// A reader that yields its buffer one byte per `read` call — the
+/// slowest well-behaved client possible.
+struct ByteAtATime {
+    bytes: Vec<u8>,
+    pos: usize,
+}
+
+impl std::io::Read for ByteAtATime {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.bytes.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        buf[0] = self.bytes[self.pos];
+        self.pos += 1;
+        Ok(1)
+    }
+}
+
+#[test]
+fn byte_at_a_time_delivery_parses_whole_frame() {
+    let req = Request::json("POST", "/jobs", br#"{"k":"v"}"#.to_vec());
+    let mut slow = ByteAtATime {
+        bytes: encode_request(&req),
+        pos: 0,
+    };
+    let parsed = read_request(&mut slow).expect("trickled frame parses");
+    assert_eq!(parsed.method, "POST");
+    assert_eq!(parsed.path, "/jobs");
+    assert_eq!(parsed.body, br#"{"k":"v"}"#);
+}
+
+#[test]
+fn deadline_read_survives_a_slow_but_finishing_client() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        for chunk in encode_request(&Request::new("GET", "/healthz")).chunks(4) {
+            stream.write_all(chunk).unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Hold the socket open so EOF is not what ends the read.
+        std::thread::sleep(Duration::from_millis(50));
+    });
+    let (mut stream, _) = listener.accept().unwrap();
+    let req = read_request_deadline(
+        &mut stream,
+        Duration::from_millis(200),
+        Instant::now() + Duration::from_secs(5),
+    )
+    .expect("slow-but-finishing client parses");
+    assert_eq!(req.path, "/healthz");
+    writer.join().unwrap();
+}
+
+#[test]
+fn deadline_read_cuts_a_stalled_client() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        // A head fragment, then silence: classic slowloris.
+        stream.write_all(b"GET /jobs HT").unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+    });
+    let (mut stream, _) = listener.accept().unwrap();
+    let t0 = Instant::now();
+    let err = read_request_deadline(
+        &mut stream,
+        Duration::from_millis(50),
+        Instant::now() + Duration::from_millis(120),
+    )
+    .expect_err("stalled client must not parse");
+    assert!(matches!(err, WireError::TimedOut(_)), "{err:?}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "cut promptly, not at the 30s default"
+    );
+    writer.join().unwrap();
 }

@@ -3,13 +3,17 @@
 #
 # Full mode (default) spawns a private synthetic-backend daemon, drives it
 # with 8 clients × 8 submissions over 6 distinct specs (so the surplus
-# exercises the dedupe path), and rewrites `BENCH_serve.json` at the repo
-# root — commit the result so jobs/s, submit p50/p99 and the dedupe hit
-# rate are tracked across PRs.
+# exercises the dedupe path), then runs the overload scenario — a
+# deliberately under-provisioned daemon offered 1×/2×/4× its capacity —
+# and rewrites `BENCH_serve.json` at the repo root with both the
+# throughput numbers and the degradation curve. Commit the result so
+# jobs/s, submit p50/p99, the dedupe hit rate and overload goodput are
+# tracked across PRs. The run fails if the daemon buckles under overload:
+# goodput at 4× offered load must stay within 20% of peak.
 #
 # `--smoke` shrinks the run to 2 clients × 2 jobs for CI and writes the
 # JSON under `target/` instead; smoke numbers are load-check noise and
-# must never be committed as a baseline.
+# must never be committed as a baseline (smoke skips the overload curve).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,3 +31,16 @@ fi
 
 cargo build -q --release --bin moat-serve --bin moat-loadgen
 target/release/moat-loadgen "${args[@]}" --out "$out"
+
+# Full runs carry the degradation curve; hold the line on graceful
+# overload behaviour (goodput at 4x within 20% of peak, bounded p99).
+if [[ "${1:-}" != "--smoke" ]]; then
+    grep -q '"goodput_held": true' "$out" || {
+        echo "bench_serve: overload goodput collapsed (see $out)" >&2
+        exit 1
+    }
+    grep -q '"p99_bounded": true' "$out" || {
+        echo "bench_serve: overload submit p99 unbounded (see $out)" >&2
+        exit 1
+    }
+fi

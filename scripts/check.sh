@@ -147,4 +147,52 @@ grep -q "Tenant ci2" "$ssmoke/serve-report.txt"
 "$lg" --addr "$run2_addr" --post /shutdown > /dev/null
 wait "$run2_pid"
 
+echo "== serve chaos smoke (seeded faults -> SIGTERM -> restart -> all terminal) =="
+csmoke="target/serve-chaos-smoke"
+rm -rf "$csmoke"
+mkdir -p "$csmoke"
+# A chaos-wrapped synthetic daemon: fates (panic/error/slow/checkpoint
+# sabotage) are drawn per job fingerprint from the --chaos seed, so the
+# restarted daemon below re-draws the same schedule.
+"$serve_bin" --listen 127.0.0.1:0 --state "$csmoke/state" --synthetic 2000 \
+    --chaos 11 --workers 4 --port-file "$csmoke/c.port" 2> "$csmoke/chaos.log" &
+c_pid=$!
+c_addr=$(wait_port "$csmoke/c.port")
+for k in mm dsyrk jacobi2d; do
+    for s in 1 2 3 4; do
+        "$lg" --addr "$c_addr" --post /jobs \
+            "{\"tenant\":\"chaos\",\"kernel\":\"$k\",\"machine\":\"westmere\",\"strategy\":\"random\",\"budget\":48,\"seed\":$s}" \
+            > /dev/null
+    done
+done
+sleep 0.1
+kill -TERM "$c_pid"
+wait "$c_pid"
+# Restart on the same state with the same chaos seed: no job may be lost
+# or stuck — every accepted job reaches Done or Failed.
+"$serve_bin" --listen 127.0.0.1:0 --state "$csmoke/state" --synthetic 2000 \
+    --chaos 11 --workers 4 --port-file "$csmoke/c2.port" 2>> "$csmoke/chaos.log" &
+c2_pid=$!
+c2_addr=$(wait_port "$csmoke/c2.port")
+term=0
+for _ in $(seq 600); do
+    jobs_json=$("$lg" --addr "$c2_addr" --get /jobs)
+    total=$(grep -c '"status"' <<< "$jobs_json" || true)
+    term=$(grep -o '"status":"\(Done\|Failed\)"' <<< "$jobs_json" | wc -l)
+    [[ "$total" == 12 && "$term" == 12 ]] && break
+    sleep 0.1
+done
+if [[ "$term" != 12 ]]; then
+    echo "chaos smoke: jobs lost or stuck after restart:" >&2
+    echo "$jobs_json" >&2
+    exit 1
+fi
+# Injected panics are contained (daemon alive, obs-logged) not fatal.
+grep -q '"ServePanic"' "$csmoke/state/serve.jsonl"
+"$lg" --addr "$c2_addr" --get /healthz > /dev/null
+cargo run -q --bin moat-report -- --from-serve "$csmoke/state" > "$csmoke/chaos-report.txt"
+grep -q "contained backend panics" "$csmoke/chaos-report.txt"
+"$lg" --addr "$c2_addr" --post /shutdown > /dev/null
+wait "$c2_pid"
+
 echo "All checks passed."

@@ -9,7 +9,16 @@
 //!   --distinct <N>         distinct job specs in the mix (default 6)
 //!   --delay-us <N>         per-evaluation delay of the spawned synthetic
 //!                          daemon (default 200; ignored with --addr)
+//!   --retries <N>          bounded retries per request on refused
+//!                          connections and 429/503 sheds, with
+//!                          exponential backoff + seeded jitter, honoring
+//!                          Retry-After (default 4; 0 disables)
+//!   --retry-seed <N>       seed for the backoff jitter (default 17)
 //!   --smoke                tiny run (2 clients × 2 jobs, 2 distinct)
+//!   --overload             degradation-curve mode: spawn a deliberately
+//!                          under-provisioned daemon and drive it at 1×,
+//!                          2× and 4× its measured capacity, recording
+//!                          goodput and shed counts per level
 //!   --out <FILE>           write the benchmark JSON here
 //!                          (default BENCH_serve.json)
 //!   --get <PATH>           one-shot GET against --addr: print the body,
@@ -19,8 +28,17 @@
 //!
 //! The benchmark mixes `--distinct` unique specs across `--clients ×
 //! --jobs` submissions, so the surplus exercises the daemon's dedupe
-//! path. It reports submit latency (p50/p99), end-to-end throughput and
-//! the dedupe hit rate.
+//! path. It reports submit latency (p50/p99), end-to-end throughput, the
+//! dedupe hit rate, and how many submissions needed retries or were shed.
+//!
+//! `--overload` instead submits unique specs (no dedupe relief) at fixed
+//! offered rates against a small worker pool and queue, with retries off
+//! so sheds are observed rather than absorbed. The healthy signature is a
+//! flat goodput curve: past saturation the daemon sheds the excess with
+//! fast 503s while completing admitted jobs at its capacity. A full
+//! benchmark run (private daemon, no `--smoke`) finishes by running the
+//! same scenario and embedding the curve in its JSON under `"overload"`,
+//! so the committed baseline tracks degradation alongside throughput.
 
 use moat::serve::wire::{read_response, write_request, Request, Response};
 use moat::serve::SubmitResponse;
@@ -35,7 +53,7 @@ fn usage() -> ! {
         include_str!("moat-loadgen.rs")
             .lines()
             .skip(2)
-            .take(17)
+            .take(25)
             .map(|l| {
                 let l = l.strip_prefix("//!").unwrap_or(l);
                 l.strip_prefix(' ').unwrap_or(l)
@@ -62,7 +80,81 @@ fn http(addr: &str, req: &Request) -> Result<Response, String> {
     read_response(&mut stream).map_err(|e| format!("recv: {e}"))
 }
 
-/// Scrape one counter value off the `/metrics` text.
+/// splitmix64 — the jitter source (seeded, no process entropy).
+fn splitmix(mut h: u64) -> u64 {
+    h = h.wrapping_add(0x9E3779B97F4A7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D049BB133111EB);
+    h ^ (h >> 31)
+}
+
+/// Client-side retry policy: how often and how long to back off.
+#[derive(Clone, Copy)]
+struct RetryPolicy {
+    /// Retries after the first attempt (0 = single shot).
+    max_retries: u32,
+    /// First backoff; doubles per retry.
+    base: Duration,
+    /// Jitter seed.
+    seed: u64,
+}
+
+/// What one (possibly retried) exchange observed.
+struct Exchange {
+    resp: Response,
+    /// Retries consumed (connection refused or 429/503).
+    retries: u64,
+    /// Shed responses (429/503) seen along the way, including a final one.
+    sheds: u64,
+}
+
+/// `http` with bounded retry: refused connections and 429/503 shed
+/// responses back off exponentially with seeded jitter — honoring the
+/// server's `Retry-After` when it asks for longer — and retry up to
+/// `policy.max_retries` times. Anything else (including 4xx rejections)
+/// returns immediately.
+fn http_retry(
+    addr: &str,
+    req: &Request,
+    policy: RetryPolicy,
+    nonce: u64,
+) -> Result<Exchange, String> {
+    let mut retries = 0u64;
+    let mut sheds = 0u64;
+    loop {
+        let attempt = http(addr, req);
+        let shed = match &attempt {
+            Ok(resp) => resp.status == 429 || resp.status == 503,
+            Err(e) => e.contains("connect "),
+        };
+        if shed {
+            if attempt.is_ok() {
+                sheds += 1;
+            }
+            if retries < policy.max_retries as u64 {
+                retries += 1;
+                let backoff = policy.base * (1u32 << (retries.min(6) as u32 - 1));
+                let jitter = Duration::from_millis(splitmix(policy.seed ^ nonce ^ retries) % 16);
+                let retry_after = attempt
+                    .as_ref()
+                    .ok()
+                    .and_then(|r| r.header("retry-after"))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(Duration::from_secs)
+                    .unwrap_or(Duration::ZERO);
+                std::thread::sleep((backoff + jitter).max(retry_after));
+                continue;
+            }
+        }
+        return attempt.map(|resp| Exchange {
+            resp,
+            retries,
+            sheds,
+        });
+    }
+}
+
+/// Scrape one unlabeled counter value off the `/metrics` text.
 fn metric(text: &str, name: &str) -> u64 {
     text.lines()
         .find_map(|l| {
@@ -70,6 +162,21 @@ fn metric(text: &str, name: &str) -> u64 {
                 .and_then(|rest| rest.trim().parse().ok())
         })
         .unwrap_or(0)
+}
+
+/// Sum a labeled counter family (`name{...} v`) off the `/metrics` text.
+fn metric_sum(text: &str, name: &str) -> u64 {
+    text.lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix(name)?;
+            let rest = if let Some(after) = rest.strip_prefix('{') {
+                after.split_once('}')?.1
+            } else {
+                rest
+            };
+            rest.trim().parse::<u64>().ok()
+        })
+        .sum()
 }
 
 /// The deterministic spec mix: `distinct` unique jobs, cycled.
@@ -92,6 +199,29 @@ struct LatencyMs {
 }
 
 #[derive(serde::Serialize)]
+struct OverloadLevel {
+    offered_x: f64,
+    offered_per_sec: f64,
+    submitted: u64,
+    accepted: u64,
+    shed: u64,
+    completed: u64,
+    goodput_per_sec: f64,
+    submit_p99_ms: f64,
+}
+
+#[derive(serde::Serialize)]
+struct OverloadReport {
+    levels: Vec<OverloadLevel>,
+    peak_goodput_per_sec: f64,
+    goodput_at_4x_vs_peak: f64,
+    /// Goodput at 4× offered load stayed within 20% of the peak.
+    goodput_held: bool,
+    /// Submit p99 at 4× stayed under 500 ms (sheds answer fast).
+    p99_bounded: bool,
+}
+
+#[derive(serde::Serialize)]
 struct Bench {
     benchmark: String,
     backend: String,
@@ -102,10 +232,13 @@ struct Bench {
     deduped: u64,
     dedupe_hit_rate: f64,
     jobs_completed: u64,
+    retries: u64,
+    shed_responses: u64,
     wall_s: f64,
     jobs_per_sec: f64,
     submits_per_sec: f64,
     submit_latency_ms: LatencyMs,
+    overload: Option<OverloadReport>,
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -116,7 +249,10 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Spawn a private synthetic daemon; returns (addr, child, state dir).
-fn spawn_daemon(delay_us: u64) -> (String, std::process::Child, std::path::PathBuf) {
+fn spawn_daemon(
+    delay_us: u64,
+    extra_args: &[&str],
+) -> (String, std::process::Child, std::path::PathBuf) {
     let exe = std::env::current_exe().unwrap_or_else(|e| fail(format!("current_exe: {e}")));
     let serve_bin = exe
         .parent()
@@ -127,17 +263,19 @@ fn spawn_daemon(delay_us: u64) -> (String, std::process::Child, std::path::PathB
     let _ = std::fs::remove_dir_all(&state);
     std::fs::create_dir_all(&state).unwrap_or_else(|e| fail(format!("state dir: {e}")));
     let port_file = state.join("port");
+    let mut args = vec![
+        "--listen".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--state".to_string(),
+        state.to_string_lossy().to_string(),
+        "--synthetic".to_string(),
+        delay_us.to_string(),
+        "--port-file".to_string(),
+        port_file.to_string_lossy().to_string(),
+    ];
+    args.extend(extra_args.iter().map(|s| s.to_string()));
     let child = std::process::Command::new(serve_bin)
-        .args([
-            "--listen",
-            "127.0.0.1:0",
-            "--state",
-            &state.to_string_lossy(),
-            "--synthetic",
-            &delay_us.to_string(),
-            "--port-file",
-            &port_file.to_string_lossy(),
-        ])
+        .args(&args)
         .stderr(std::process::Stdio::null())
         .spawn()
         .unwrap_or_else(|e| fail(format!("spawning moat-serve: {e}")));
@@ -154,6 +292,166 @@ fn spawn_daemon(delay_us: u64) -> (String, std::process::Child, std::path::PathB
     (addr, child, state)
 }
 
+/// Scrape `/metrics` once.
+fn scrape(addr: &str) -> String {
+    let resp = http(addr, &Request::new("GET", "/metrics")).unwrap_or_else(|e| fail(e));
+    String::from_utf8_lossy(&resp.body).to_string()
+}
+
+/// Drive one overload level: `n` unique submissions paced at `rate`/s
+/// with retries off, then drain and read back what happened.
+fn overload_level(addr: &str, level_x: f64, rate: f64, n: u64, spec_salt: u64) -> OverloadLevel {
+    let before = scrape(addr);
+    let done_before =
+        metric(&before, "serve_jobs_completed_total") + metric(&before, "serve_jobs_failed_total");
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let mut accepted = 0u64;
+    let mut shed = 0u64;
+    let mut lats: Vec<f64> = Vec::with_capacity(n as usize);
+    let start = Instant::now();
+    for i in 0..n {
+        // Unique spec per submission: no dedupe relief under overload.
+        let body = format!(
+            "{{\"tenant\":\"overload\",\"kernel\":\"mm\",\"machine\":\"westmere\",\
+             \"strategy\":\"random\",\"seed\":{},\"budget\":32}}",
+            spec_salt + i + 1
+        );
+        let t0 = Instant::now();
+        let resp = http(addr, &Request::json("POST", "/jobs", body.into_bytes()))
+            .unwrap_or_else(|e| fail(format!("overload submit: {e}")));
+        lats.push(t0.elapsed().as_secs_f64() * 1e3);
+        match resp.status {
+            202 => accepted += 1,
+            429 | 503 => shed += 1,
+            other => fail(format!(
+                "overload submit: unexpected {other} {}",
+                String::from_utf8_lossy(&resp.body)
+            )),
+        }
+        let next = start + interval * (i as u32 + 1);
+        if let Some(wait) = next.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+    }
+    // Drain: every accepted job reaches a terminal state.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let completed = loop {
+        let text = scrape(addr);
+        let done = metric(&text, "serve_jobs_completed_total")
+            + metric(&text, "serve_jobs_failed_total")
+            - done_before;
+        if done >= accepted {
+            break done;
+        }
+        if Instant::now() > deadline {
+            fail(format!("overload drain timed out: {done}/{accepted}"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let wall = start.elapsed().as_secs_f64();
+    lats.sort_by(|a, b| a.total_cmp(b));
+    OverloadLevel {
+        offered_x: level_x,
+        offered_per_sec: rate,
+        submitted: n,
+        accepted,
+        shed,
+        completed,
+        goodput_per_sec: completed as f64 / wall,
+        submit_p99_ms: percentile(&lats, 0.99),
+    }
+}
+
+/// The degradation curve: an under-provisioned daemon (2 workers, queue
+/// of 8, 2 pool slots, 2 ms evaluations ⇒ capacity ≈ 30 jobs/s) offered
+/// 1×, 2× and 4× its capacity for a fixed job count per level. Returns
+/// the report plus the server-side shed count.
+fn overload_curve() -> (OverloadReport, u64) {
+    let (addr, mut child, state) = spawn_daemon(
+        2000,
+        &[
+            "--workers",
+            "2",
+            "--queue-depth",
+            "8",
+            "--slots",
+            "2",
+            "--session-width",
+            "1",
+            "--retry-after-s",
+            "1",
+        ],
+    );
+    // Synthetic job cost: budget 32 × 2 ms with 2 workers over 2 slots
+    // ⇒ ≈ 31 jobs/s theoretical; offer just under it at 1×.
+    let capacity = 24.0;
+    let mut levels = Vec::new();
+    for (i, x) in [1.0f64, 2.0, 4.0].iter().enumerate() {
+        let rate = capacity * x;
+        let n = (rate * 3.0).round() as u64;
+        eprintln!("moat-loadgen: overload level {x}x ({rate:.0}/s, {n} submissions)");
+        levels.push(overload_level(&addr, *x, rate, n, (i as u64) << 32));
+    }
+    let text = scrape(&addr);
+    let server_sheds = metric_sum(&text, "serve_shed_total");
+    let _ = http(&addr, &Request::new("POST", "/shutdown"));
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(state);
+
+    let peak = levels
+        .iter()
+        .map(|l| l.goodput_per_sec)
+        .fold(0.0f64, f64::max);
+    let at4 = levels.last().map(|l| l.goodput_per_sec).unwrap_or(0.0);
+    let ratio = if peak > 0.0 { at4 / peak } else { 0.0 };
+    let p99_4x = levels.last().map(|l| l.submit_p99_ms).unwrap_or(0.0);
+    let report = OverloadReport {
+        peak_goodput_per_sec: peak,
+        goodput_at_4x_vs_peak: ratio,
+        goodput_held: ratio >= 0.8,
+        p99_bounded: p99_4x < 500.0,
+        levels,
+    };
+    (report, server_sheds)
+}
+
+/// `--overload` mode: the degradation curve as a standalone bench doc.
+fn run_overload(out: &str) {
+    let (report, server_sheds) = overload_curve();
+    let p99_4x = report.levels.last().map(|l| l.submit_p99_ms).unwrap_or(0.0);
+    let total_shed: u64 = report.levels.iter().map(|l| l.shed).sum();
+    let total_submitted: u64 = report.levels.iter().map(|l| l.submitted).sum();
+    let total_completed: u64 = report.levels.iter().map(|l| l.completed).sum();
+    let bench = Bench {
+        benchmark: "moat-serve overload".into(),
+        backend: "synthetic(2000us) workers=2 queue=8 slots=2".into(),
+        clients: 1,
+        jobs_per_client: total_submitted as usize,
+        distinct_specs: total_submitted as usize,
+        submissions: total_submitted,
+        deduped: 0,
+        dedupe_hit_rate: 0.0,
+        jobs_completed: total_completed,
+        retries: 0,
+        shed_responses: total_shed.max(server_sheds),
+        wall_s: 0.0,
+        jobs_per_sec: 0.0,
+        submits_per_sec: 0.0,
+        submit_latency_ms: LatencyMs {
+            p50: 0.0,
+            p99: p99_4x,
+            max: 0.0,
+        },
+        overload: Some(report),
+    };
+    let json = serde_json::to_string_pretty(&bench)
+        .unwrap_or_else(|e| fail(format!("encoding benchmark: {e}")));
+    std::fs::write(out, format!("{json}\n"))
+        .unwrap_or_else(|e| fail(format!("writing {out}: {e}")));
+    println!("{json}");
+    eprintln!("moat-loadgen: wrote {out}");
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut addr: Option<String> = None;
@@ -161,6 +459,10 @@ fn main() {
     let mut jobs = 8usize;
     let mut distinct = 6usize;
     let mut delay_us = 200u64;
+    let mut max_retries = 4u32;
+    let mut retry_seed = 17u64;
+    let mut smoke = false;
+    let mut overload = false;
     let mut out = "BENCH_serve.json".to_string();
     let mut oneshot: Option<(String, String, Option<String>)> = None;
 
@@ -200,12 +502,26 @@ fn main() {
                     .unwrap_or_else(|_| fail("--delay-us needs an integer"));
                 i += 1;
             }
+            "--retries" => {
+                max_retries = value(&argv, i, "--retries")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--retries needs an integer"));
+                i += 1;
+            }
+            "--retry-seed" => {
+                retry_seed = value(&argv, i, "--retry-seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--retry-seed needs an integer"));
+                i += 1;
+            }
             "--smoke" => {
+                smoke = true;
                 clients = 2;
                 jobs = 2;
                 distinct = 2;
                 delay_us = 100;
             }
+            "--overload" => overload = true,
             "--out" => {
                 out = value(&argv, i, "--out");
                 i += 1;
@@ -251,11 +567,19 @@ fn main() {
         });
     }
 
+    if overload {
+        if addr.is_some() {
+            fail("--overload spawns its own constrained daemon; drop --addr");
+        }
+        run_overload(&out);
+        return;
+    }
+
     // Benchmark mode.
     let (addr, daemon, state) = match addr {
         Some(a) => (a, None, None),
         None => {
-            let (a, child, state) = spawn_daemon(delay_us);
+            let (a, child, state) = spawn_daemon(delay_us, &[]);
             (a, Some(child), Some(state))
         }
     };
@@ -263,10 +587,17 @@ fn main() {
         Some(_) => format!("synthetic({delay_us}us)"),
         None => "external".to_string(),
     };
+    let policy = RetryPolicy {
+        max_retries,
+        base: Duration::from_millis(50),
+        seed: retry_seed,
+    };
 
     let start = Instant::now();
     let mut latencies: Vec<f64> = Vec::new();
     let mut deduped = 0u64;
+    let mut retries = 0u64;
+    let mut shed_responses = 0u64;
     let total = (clients * jobs) as u64;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
@@ -276,20 +607,30 @@ fn main() {
                     let tenant = format!("client-{c}");
                     let mut lats = Vec::with_capacity(jobs);
                     let mut hits = 0u64;
+                    let mut rts = 0u64;
+                    let mut shd = 0u64;
                     for j in 0..jobs {
                         let body = spec_body(c * jobs + j, distinct, &tenant);
                         let t0 = Instant::now();
-                        let resp = http(&addr, &Request::json("POST", "/jobs", body.into_bytes()))
-                            .unwrap_or_else(|e| fail(e));
+                        let nonce = (c * jobs + j) as u64;
+                        let ex = http_retry(
+                            &addr,
+                            &Request::json("POST", "/jobs", body.into_bytes()),
+                            policy,
+                            nonce,
+                        )
+                        .unwrap_or_else(|e| fail(e));
                         lats.push(t0.elapsed().as_secs_f64() * 1e3);
-                        if resp.status != 202 {
+                        rts += ex.retries;
+                        shd += ex.sheds;
+                        if ex.resp.status != 202 {
                             fail(format!(
                                 "submit rejected: {} {}",
-                                resp.status,
-                                String::from_utf8_lossy(&resp.body)
+                                ex.resp.status,
+                                String::from_utf8_lossy(&ex.resp.body)
                             ));
                         }
-                        let parsed: SubmitResponse = std::str::from_utf8(&resp.body)
+                        let parsed: SubmitResponse = std::str::from_utf8(&ex.resp.body)
                             .ok()
                             .and_then(|s| serde_json::from_str(s).ok())
                             .unwrap_or_else(|| fail("unparseable submit response"));
@@ -297,14 +638,16 @@ fn main() {
                             hits += 1;
                         }
                     }
-                    (lats, hits)
+                    (lats, hits, rts, shd)
                 })
             })
             .collect();
         for h in handles {
-            let (lats, hits) = h.join().unwrap_or_else(|_| fail("client panicked"));
+            let (lats, hits, rts, shd) = h.join().unwrap_or_else(|_| fail("client panicked"));
             latencies.extend(lats);
             deduped += hits;
+            retries += rts;
+            shed_responses += shd;
         }
     });
 
@@ -327,6 +670,7 @@ fn main() {
     let wall_s = start.elapsed().as_secs_f64();
     let completed = metric(&final_metrics, "serve_jobs_completed_total");
 
+    let spawned = daemon.is_some();
     if let Some(mut child) = daemon {
         let _ = http(&addr, &Request::new("POST", "/shutdown"));
         let _ = child.wait();
@@ -334,6 +678,16 @@ fn main() {
             let _ = std::fs::remove_dir_all(state);
         }
     }
+
+    // A full run against a private daemon also records the degradation
+    // curve; smoke runs and external daemons skip it (the curve needs
+    // its own deliberately under-provisioned instance).
+    let overload_report = if spawned && !smoke {
+        eprintln!("moat-loadgen: running the overload degradation curve");
+        Some(overload_curve().0)
+    } else {
+        None
+    };
 
     latencies.sort_by(|a, b| a.total_cmp(b));
     let bench = Bench {
@@ -346,6 +700,8 @@ fn main() {
         deduped,
         dedupe_hit_rate: deduped as f64 / total.max(1) as f64,
         jobs_completed: completed,
+        retries,
+        shed_responses,
         wall_s,
         jobs_per_sec: completed as f64 / wall_s,
         submits_per_sec: total as f64 / wall_s,
@@ -354,6 +710,7 @@ fn main() {
             p99: percentile(&latencies, 0.99),
             max: percentile(&latencies, 1.0),
         },
+        overload: overload_report,
     };
     let json = serde_json::to_string_pretty(&bench)
         .unwrap_or_else(|e| fail(format!("encoding benchmark: {e}")));

@@ -89,6 +89,35 @@ fn report_serve(dir: &str) -> Result<String, String> {
             .sum::<u64>(),
     ));
 
+    // Service-level control-plane events (sheds, breaker transitions,
+    // contained panics) live in serve.jsonl, outside any job's trace.
+    if let Ok(trace) = std::fs::read_to_string(root.join("serve.jsonl")) {
+        if let Ok(records) = parse_jsonl(&trace) {
+            let service = Analysis::from_records(&records).service;
+            if service.any() {
+                out.push_str("\nAdmission & isolation\n");
+                let total: u64 = service.sheds.values().sum();
+                if total > 0 {
+                    out.push_str(&format!("  sheds {total}:"));
+                    for (reason, n) in &service.sheds {
+                        out.push_str(&format!("  {reason}={n}"));
+                    }
+                    out.push('\n');
+                }
+                if !service.breaker_transitions.is_empty() {
+                    out.push_str("  breaker transitions:");
+                    for (state, n) in &service.breaker_transitions {
+                        out.push_str(&format!("  {state}={n}"));
+                    }
+                    out.push('\n');
+                }
+                if service.panics > 0 {
+                    out.push_str(&format!("  contained backend panics {}\n", service.panics));
+                }
+            }
+        }
+    }
+
     let mut tenants: BTreeMap<&str, Vec<&JobState>> = BTreeMap::new();
     for j in &jobs {
         tenants.entry(j.tenant.as_str()).or_default().push(j);

@@ -17,6 +17,31 @@
 //!                             primed from the sharded archive at admission
 //!   --screen-ratio <F>        fraction of each batch actually evaluated
 //!                             under --surrogate (default 0.5)
+//!   --workers <N>             session worker threads draining the job
+//!                             queue (default 8)
+//!   --queue-depth <N>         bounded job-queue depth; submissions beyond
+//!                             it are shed 503 (default 256)
+//!   --max-connections <N>     concurrent connection cap; excess clients
+//!                             get 503 + Retry-After (default 64)
+//!   --read-timeout-ms <MS>    per-read socket timeout (default 10000)
+//!   --write-timeout-ms <MS>   socket write timeout (default 10000)
+//!   --conn-deadline-ms <MS>   whole-request read deadline — slowloris
+//!                             cutoff, answered 408 (default 30000)
+//!   --tenant-max-inflight <N> per-tenant cap on in-flight primary jobs;
+//!                             0 disables (default 0)
+//!   --tenant-rate <F>         per-tenant submissions/second token-bucket
+//!                             refill; 0 disables (default 0)
+//!   --tenant-burst <F>        token-bucket burst capacity (default 8)
+//!   --breaker-strikes <N>     failed runs before a fingerprint's circuit
+//!                             breaker opens; 0 disables (default 3)
+//!   --breaker-cooldown <N>    breaker cooldown in shed submissions before
+//!                             a half-open trial (default 8)
+//!   --robustness-seed <N>     seed for breaker-cooldown jitter (default
+//!                             0x5EED)
+//!   --retry-after-s <N>       Retry-After seconds on shed responses
+//!                             (default 1)
+//!   --chaos <SEED>            wrap the backend in the seeded chaos fault
+//!                             injector (testing only)
 //!   --port-file <FILE>        write "<ip>:<port>" here once bound (for
 //!                             scripts that pass port 0)
 //!   --synthetic [DELAY_US]    serve the synthetic test backend instead of
@@ -24,12 +49,12 @@
 //! ```
 //!
 //! The daemon answers `POST /jobs`, `GET /jobs[/<id>[/result|/trace]]`,
-//! `GET /archive`, `GET /metrics`, `GET /healthz` and `POST /shutdown`.
-//! `SIGTERM`/`SIGINT` (and `POST /shutdown`) checkpoint every in-flight
-//! session and exit; restarting on the same `--state` directory resumes
-//! them.
+//! `GET /archive`, `GET /metrics`, `GET /healthz`, `GET /readyz` and
+//! `POST /shutdown`. `SIGTERM`/`SIGINT` (and `POST /shutdown`) checkpoint
+//! every in-flight session and exit; restarting on the same `--state`
+//! directory resumes them.
 
-use moat::serve::{serve, ServeConfig, SyntheticBackend};
+use moat::serve::{serve, ChaosBackend, ChaosConfig, ServeConfig, SyntheticBackend};
 use moat::TuneBackend;
 use std::process::exit;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -42,7 +67,7 @@ fn usage() -> ! {
         include_str!("moat-serve.rs")
             .lines()
             .skip(2)
-            .take(23)
+            .take(47)
             .map(|l| {
                 let l = l.strip_prefix("//!").unwrap_or(l);
                 l.strip_prefix(' ').unwrap_or(l)
@@ -86,35 +111,27 @@ fn main() {
     config.listen = "127.0.0.1:7774".into();
     let mut port_file: Option<String> = None;
     let mut synthetic: Option<u64> = None;
+    let mut chaos: Option<u64> = None;
 
     let mut args = std::env::args().skip(1).peekable();
     let value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>, flag: &str| {
         args.next()
             .unwrap_or_else(|| fail(format!("{flag} needs a value")))
     };
+    let int = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>, flag: &str| {
+        value(args, flag)
+            .parse::<u64>()
+            .unwrap_or_else(|_| fail(format!("{flag} needs an integer")))
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--listen" => config.listen = value(&mut args, "--listen"),
             "--state" => config.state_dir = value(&mut args, "--state").into(),
-            "--slots" => {
-                config.pool_slots = value(&mut args, "--slots")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--slots needs an integer"))
-            }
-            "--session-width" => {
-                config.session_width = value(&mut args, "--session-width")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--session-width needs an integer"))
-            }
-            "--shards" => {
-                config.shards = value(&mut args, "--shards")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--shards needs an integer"))
-            }
+            "--slots" => config.pool_slots = int(&mut args, "--slots") as usize,
+            "--session-width" => config.session_width = int(&mut args, "--session-width") as usize,
+            "--shards" => config.shards = int(&mut args, "--shards") as usize,
             "--checkpoint-every" => {
-                config.checkpoint_every = value(&mut args, "--checkpoint-every")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--checkpoint-every needs an integer"))
+                config.checkpoint_every = int(&mut args, "--checkpoint-every") as u32
             }
             "--surrogate" => config.surrogate = true,
             "--screen-ratio" => {
@@ -125,6 +142,40 @@ fn main() {
                     fail("--screen-ratio must be in [0, 1]")
                 }
             }
+            "--workers" => config.workers = int(&mut args, "--workers") as usize,
+            "--queue-depth" => config.queue_depth = int(&mut args, "--queue-depth") as usize,
+            "--max-connections" => {
+                config.max_connections = int(&mut args, "--max-connections") as usize
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout = Duration::from_millis(int(&mut args, "--read-timeout-ms"))
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout = Duration::from_millis(int(&mut args, "--write-timeout-ms"))
+            }
+            "--conn-deadline-ms" => {
+                config.conn_deadline = Duration::from_millis(int(&mut args, "--conn-deadline-ms"))
+            }
+            "--tenant-max-inflight" => {
+                config.tenant_max_inflight = int(&mut args, "--tenant-max-inflight") as usize
+            }
+            "--tenant-rate" => {
+                config.tenant_rate = value(&mut args, "--tenant-rate")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--tenant-rate needs a number"))
+            }
+            "--tenant-burst" => {
+                config.tenant_burst = value(&mut args, "--tenant-burst")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--tenant-burst needs a number"))
+            }
+            "--breaker-strikes" => {
+                config.breaker_strikes = int(&mut args, "--breaker-strikes") as u32
+            }
+            "--breaker-cooldown" => config.breaker_cooldown = int(&mut args, "--breaker-cooldown"),
+            "--robustness-seed" => config.robustness_seed = int(&mut args, "--robustness-seed"),
+            "--retry-after-s" => config.retry_after_secs = int(&mut args, "--retry-after-s"),
+            "--chaos" => chaos = Some(int(&mut args, "--chaos")),
             "--port-file" => port_file = Some(value(&mut args, "--port-file")),
             "--synthetic" => {
                 // Optional positional delay: `--synthetic 200`.
@@ -148,10 +199,14 @@ fn main() {
 
     install_signal_handlers();
 
-    let backend: Arc<dyn moat::serve::JobBackend> = match synthetic {
+    let mut backend: Arc<dyn moat::serve::JobBackend> = match synthetic {
         Some(eval_delay_us) => Arc::new(SyntheticBackend { eval_delay_us }),
         None => Arc::new(TuneBackend::default()),
     };
+    if let Some(seed) = chaos {
+        eprintln!("moat-serve: CHAOS MODE, seed {seed} (faults will be injected)");
+        backend = Arc::new(ChaosBackend::new(backend, ChaosConfig::new(seed)));
+    }
     let handle = serve(config, backend).unwrap_or_else(|e| fail(format!("startup: {e}")));
     let addr = handle.addr();
     eprintln!("moat-serve: listening on {addr}");

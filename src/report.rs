@@ -140,6 +140,26 @@ pub struct RegionReport {
     pub fallbacks: u64,
 }
 
+/// Service-layer (serve daemon) control-plane activity: admission sheds,
+/// circuit-breaker transitions, contained backend panics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceReport {
+    /// Shed count by reason label.
+    pub sheds: BTreeMap<String, u64>,
+    /// Breaker transition count by state name (`open`, `half-open`,
+    /// `closed`).
+    pub breaker_transitions: BTreeMap<String, u64>,
+    /// Backend panics contained by the daemon's per-job `catch_unwind`.
+    pub panics: u64,
+}
+
+impl ServiceReport {
+    /// True when the trace carried any service-level events.
+    pub fn any(&self) -> bool {
+        !self.sheds.is_empty() || !self.breaker_transitions.is_empty() || self.panics > 0
+    }
+}
+
 /// The full analysis of one trace.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Analysis {
@@ -156,6 +176,8 @@ pub struct Analysis {
     pub archive: ArchiveReport,
     /// Runtime selector activity by region.
     pub regions: BTreeMap<String, RegionReport>,
+    /// Service-layer control-plane activity (serve daemon traces only).
+    pub service: ServiceReport,
 }
 
 impl Analysis {
@@ -284,6 +306,16 @@ impl Analysis {
                 Event::VersionDemoted { region, .. } => a.region(region).demotions += 1,
                 Event::VersionRestored { region, .. } => a.region(region).restores += 1,
                 Event::FallbackEngaged { region } => a.region(region).fallbacks += 1,
+                Event::ServeShed { reason, .. } => {
+                    *a.service.sheds.entry(reason.clone()).or_insert(0) += 1
+                }
+                Event::ServeBreaker { state, .. } => {
+                    *a.service
+                        .breaker_transitions
+                        .entry(state.clone())
+                        .or_insert(0) += 1
+                }
+                Event::ServePanic { .. } => a.service.panics += 1,
                 Event::Phase { name } => a.phase(name, r.dur_us),
                 Event::WorkerSpan { .. } => a.phase("batch.worker", r.dur_us),
             }
@@ -472,6 +504,28 @@ impl Analysis {
                         rep.demotions, rep.restores, rep.fallbacks
                     );
                 }
+            }
+        }
+        if self.service.any() {
+            let _ = writeln!(out, "\nservice:");
+            if !self.service.sheds.is_empty() {
+                let total: u64 = self.service.sheds.values().sum();
+                let _ = writeln!(out, "  sheds: {total} total");
+                for (reason, count) in &self.service.sheds {
+                    let _ = writeln!(out, "    {reason:<16} {count:>8}");
+                }
+            }
+            if !self.service.breaker_transitions.is_empty() {
+                let transitions: Vec<String> = self
+                    .service
+                    .breaker_transitions
+                    .iter()
+                    .map(|(state, count)| format!("{state}={count}"))
+                    .collect();
+                let _ = writeln!(out, "  breaker transitions: {}", transitions.join(" "));
+            }
+            if self.service.panics > 0 {
+                let _ = writeln!(out, "  contained backend panics: {}", self.service.panics);
             }
         }
         out

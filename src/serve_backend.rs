@@ -17,7 +17,7 @@ use crate::framework::{parse_backend_spec, BackendSpec};
 use crate::sim::{
     ir_space, AltSkeletonEvaluator, FixedUnrollEvaluator, SimEvaluator, OBJECTIVE_NAMES,
 };
-use moat_archive::{ArchiveKey, ArchiveRecord, CheckpointStore};
+use moat_archive::{ArchiveKey, ArchiveRecord};
 use moat_core::{
     BackendId, BackendKind, BackendSet, BatchEval, Evaluator, EventLog, FeatureSource, GridTuner,
     Nsga2Params, Nsga2Tuner, RandomTuner, RsGde3Params, RsGde3Tuner, ScreeningPolicy, StrategyKind,
@@ -27,7 +27,7 @@ use moat_ir::{analyze, AnalyzerConfig, Region, Skeleton};
 use moat_kernels::Kernel;
 use moat_machine::{CostModel, MachineDesc, NoiseModel};
 use moat_serve::PooledEvaluator;
-use moat_serve::{GaugedStore, JobBackend, JobContext, JobInfo, JobOutcome, JobSpec};
+use moat_serve::{JobBackend, JobContext, JobInfo, JobOutcome, JobSpec};
 
 /// Default evaluation budget when a job spec does not set one. Service
 /// jobs must terminate even when the strategy would keep iterating, so
@@ -258,13 +258,10 @@ impl JobBackend for TuneBackend {
                 None => p,
             }
         };
-        let mut store = match &ctx.checkpoint_path {
-            Some(path) => Some(GaugedStore::new(
-                CheckpointStore::create(path).map_err(|e| e.to_string())?,
-                ctx.metrics.clone(),
-            )),
-            None => None,
-        };
+        // A failed store *creation* degrades to an uncheckpointed run
+        // (counted in `serve_persist_errors_total`) rather than failing
+        // the job — same policy as the serve crate's backends.
+        let mut store = moat_serve::open_checkpoint_store(&ctx);
         let mut log = EventLog::new();
         let batch = if ctx.slots > 1 {
             BatchEval::parallel(ctx.slots)

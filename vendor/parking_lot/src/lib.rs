@@ -72,6 +72,18 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Result of a timed condvar wait, mirroring
+/// `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable usable with [`MutexGuard`], mirroring
 /// `parking_lot::Condvar`.
 #[derive(Default)]
@@ -91,6 +103,22 @@ impl Condvar {
         let inner = guard.inner.take().expect("guard taken during wait");
         let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(inner);
+    }
+
+    /// Atomically release the lock and wait, up to `timeout`; the lock is
+    /// re-acquired before returning. Mirrors `parking_lot`'s `wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard taken during wait");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wake one waiting thread.
