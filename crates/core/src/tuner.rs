@@ -103,8 +103,10 @@ pub enum TuningEvent {
         /// Total distinct evaluations `E` after this batch.
         evaluations: u64,
         /// Wall time spent evaluating the batch. Measured only while an
-        /// observability subscriber ([`moat_obs::install`]) is active;
-        /// `None` otherwise, so untraced runs never read the clock here.
+        /// observability subscriber ([`moat_obs::install`]) is active or
+        /// the session opted in via
+        /// [`TuningSession::with_batch_timing`]; `None` otherwise, so
+        /// untraced runs never read the clock here.
         elapsed: Option<Duration>,
     },
     /// A surrogate screen decided a batch's fate (only emitted when
@@ -321,6 +323,7 @@ pub struct TuningSession<'a> {
     budget_exhausted: bool,
     label: String,
     surrogate: Option<SurrogateScreen>,
+    batch_timing: bool,
 }
 
 impl<'a> TuningSession<'a> {
@@ -348,6 +351,7 @@ impl<'a> TuningSession<'a> {
             budget_exhausted: false,
             label: String::new(),
             surrogate: None,
+            batch_timing: false,
         }
     }
 
@@ -402,6 +406,18 @@ impl<'a> TuningSession<'a> {
     /// Attach an event sink receiving progress events.
     pub fn with_sink(mut self, sink: &'a mut dyn EventSink) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Measure per-batch wall time even without a global obs subscriber,
+    /// so [`TuningEvent::BatchEvaluated`] carries `elapsed` for the
+    /// attached sink. Off by default: untimed runs never read the clock,
+    /// which keeps their event streams (and everything derived from
+    /// them, like `moat-serve` job traces) byte-identical. `moat-serve`
+    /// enables this for jobs carrying a trace context, where per-batch
+    /// eval spans need real durations.
+    pub fn with_batch_timing(mut self, on: bool) -> Self {
+        self.batch_timing = on;
         self
     }
 
@@ -813,7 +829,7 @@ impl<'a> TuningSession<'a> {
         // read solely while a subscriber is installed, so untraced runs
         // stay on the exact instruction path they had before tracing
         // existed.
-        let t0 = obs::enabled().then(Instant::now);
+        let t0 = (self.batch_timing || obs::enabled()).then(Instant::now);
         let mut results = self.batch.run(&self.evaluator, &configs[..admitted]);
         let elapsed = t0.map(|t| t.elapsed());
         results.resize(configs.len(), None);
@@ -870,7 +886,7 @@ impl<'a> TuningSession<'a> {
             explored: plan.explored,
             screened: plan.keep.iter().filter(|k| !**k).count(),
         });
-        let t0 = obs::enabled().then(Instant::now);
+        let t0 = (self.batch_timing || obs::enabled()).then(Instant::now);
         // A fully-open plan (ratio 1.0, untrained model, …) forwards the
         // batch as-is — no per-config clone on the overhead-critical path.
         let results = if forwarded.len() == configs.len() {

@@ -58,8 +58,12 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, ParseError> {
 }
 
 /// Validate a JSONL trace beyond mere parseability: control-event `seq`s
-/// must be strictly increasing and every other record's epoch must not
-/// run ahead of the clock. Returns the record count.
+/// must be strictly increasing, every other record's epoch must not run
+/// ahead of the clock, and each record must be well-formed *for its
+/// determinism class* — the match below is exhaustive, so an event kind
+/// whose class is unknown here is a compile error, never a silent skip.
+/// (Unknown event kinds already fail at parse: the derived schema rejects
+/// them per line, loudly.) Returns the record count.
 pub fn validate_jsonl(text: &str) -> Result<usize, ParseError> {
     let records = parse_jsonl(text)?;
     let mut clock = 0u64;
@@ -79,15 +83,42 @@ pub fn validate_jsonl(text: &str) -> Result<usize, ParseError> {
                 }
                 clock = r.seq;
             }
-            _ => {
+            crate::record::Class::Keyed => {
                 if r.seq > clock {
                     return Err(ParseError {
                         line: i + 1,
                         message: format!(
-                            "{} record stamps epoch {} ahead of clock {}",
+                            "keyed {} record stamps epoch {} ahead of clock {}",
                             r.event.kind(),
                             r.seq,
                             clock
+                        ),
+                    });
+                }
+            }
+            crate::record::Class::Timing => {
+                if r.seq > clock {
+                    return Err(ParseError {
+                        line: i + 1,
+                        message: format!(
+                            "timing {} record stamps epoch {} ahead of clock {}",
+                            r.event.kind(),
+                            r.seq,
+                            clock
+                        ),
+                    });
+                }
+                // Timing records exist only in wall mode, where the
+                // envelope always carries a thread lane (dense ids start
+                // at 1). A timing record with an all-zero envelope was
+                // synthesized outside the subscriber — reject it rather
+                // than let it masquerade as logical-mode data.
+                if r.tid == 0 && r.ts_us == 0 && r.dur_us == 0 {
+                    return Err(ParseError {
+                        line: i + 1,
+                        message: format!(
+                            "timing {} record has no wall envelope (ts/dur/tid all zero)",
+                            r.event.kind(),
                         ),
                     });
                 }
@@ -208,6 +239,26 @@ mod tests {
         let err = validate_jsonl(&to_jsonl(&recs)).unwrap_err();
         assert!(err.message.contains("after clock"), "{err}");
         assert_eq!(validate_jsonl(&to_jsonl(&sample())).unwrap(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_timing_records_without_wall_envelope() {
+        let mut recs = sample();
+        // Strip the span's wall envelope: a timing-class record that
+        // pretends to be logical-mode data must be rejected, not skipped.
+        recs[2].ts_us = 0;
+        recs[2].dur_us = 0;
+        recs[2].tid = 0;
+        let err = validate_jsonl(&to_jsonl(&recs)).unwrap_err();
+        assert!(err.message.contains("no wall envelope"), "{err}");
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_event_kinds() {
+        let line = r#"{"seq":1,"ts_us":0,"dur_us":0,"tid":0,"event":{"MysteryKind":{}}}"#;
+        let err = parse_jsonl(&format!("{line}\n")).unwrap_err();
+        assert_eq!(err.line, 1);
     }
 
     #[test]

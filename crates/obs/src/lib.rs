@@ -32,11 +32,15 @@
 
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod record;
 pub mod subscriber;
 
+pub use context::TraceContext;
+pub use flight::FlightRecorder;
 pub use record::{Class, Event, Record};
 pub use subscriber::{
     emit, emit_keyed, emit_span, enabled, install, span_start, wall_enabled, ObsGuard,

@@ -50,15 +50,22 @@ impl Histogram {
         self.sum_us += us;
     }
 
+    /// Render with Prometheus base-unit seconds: buckets are the fixed
+    /// µs bounds divided down, the sum likewise — the internal µs
+    /// arithmetic stays integral (byte-stable), only the text is scaled.
     fn render(&self, name: &str, out: &mut String) {
         for (i, &bound) in DURATION_BUCKETS_US.iter().enumerate() {
             out.push_str(&format!(
-                "{name}_bucket{{le=\"{bound}\"}} {}\n",
+                "{name}_bucket{{le=\"{}\"}} {}\n",
+                fmt_f64(bound as f64 / 1e6),
                 self.counts[i]
             ));
         }
         out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", self.total));
-        out.push_str(&format!("{name}_sum {}\n", self.sum_us));
+        out.push_str(&format!(
+            "{name}_sum {}\n",
+            fmt_f64(self.sum_us as f64 / 1e6)
+        ));
         out.push_str(&format!("{name}_count {}\n", self.total));
     }
 }
@@ -165,18 +172,21 @@ pub fn render(records: &[Record]) -> String {
         ));
     }
 
-    out.push_str("# HELP moat_phase_us_total Wall µs per instrumented phase.\n");
-    out.push_str("# TYPE moat_phase_us_total counter\n");
+    out.push_str("# HELP moat_phase_seconds_total Wall seconds per instrumented phase.\n");
+    out.push_str("# TYPE moat_phase_seconds_total counter\n");
     for (name, (calls, us)) in &phase_us {
-        out.push_str(&format!("moat_phase_us_total{{phase=\"{name}\"}} {us}\n"));
+        out.push_str(&format!(
+            "moat_phase_seconds_total{{phase=\"{name}\"}} {}\n",
+            fmt_f64(*us as f64 / 1e6)
+        ));
         out.push_str(&format!(
             "moat_phase_calls_total{{phase=\"{name}\"}} {calls}\n"
         ));
     }
 
-    out.push_str("# HELP moat_batch_elapsed_us Batch evaluation wall time (µs).\n");
-    out.push_str("# TYPE moat_batch_elapsed_us histogram\n");
-    batch_hist.render("moat_batch_elapsed_us", &mut out);
+    out.push_str("# HELP moat_batch_elapsed_seconds Batch evaluation wall time.\n");
+    out.push_str("# TYPE moat_batch_elapsed_seconds histogram\n");
+    batch_hist.render("moat_batch_elapsed_seconds", &mut out);
 
     out
 }
@@ -250,10 +260,12 @@ mod tests {
             text.contains("moat_version_selected_total{region=\"mm\",version=\"2\"} 1\n"),
             "{text}"
         );
-        assert!(text.contains("moat_phase_us_total{phase=\"cachesim.compile\"} 120\n"));
-        assert!(text.contains("moat_batch_elapsed_us_bucket{le=\"10000\"} 1\n"));
-        assert!(text.contains("moat_batch_elapsed_us_bucket{le=\"100\"} 0\n"));
-        assert!(text.contains("moat_batch_elapsed_us_sum 1500\n"));
+        assert!(text.contains("moat_phase_seconds_total{phase=\"cachesim.compile\"} 0.00012\n"));
+        assert!(text.contains("moat_batch_elapsed_seconds_bucket{le=\"0.01\"} 1\n"));
+        assert!(text.contains("moat_batch_elapsed_seconds_bucket{le=\"0.0001\"} 0\n"));
+        assert!(text.contains("moat_batch_elapsed_seconds_sum 0.0015\n"));
+        // The unit-suffix audit: every family name carries its unit.
+        assert!(!text.contains("_us_total"), "µs counters are gone: {text}");
     }
 
     #[test]

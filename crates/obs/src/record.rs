@@ -241,6 +241,31 @@ pub enum Event {
         /// The panic payload, rendered as text.
         error: String,
     },
+    /// One stage of a traced request's life through the serve daemon
+    /// (admission, queue wait, run, per-batch eval, persist, …). Span ids
+    /// are derived deterministically from the trace context
+    /// ([`TraceContext::child`](crate::context::TraceContext::child)), so
+    /// the tree these records describe is parallelism-invariant; the
+    /// timing envelope on the carrying [`Record`] is wall-clock and is
+    /// not part of any byte-stability contract.
+    JobStage {
+        /// Trace id (16-digit hex), shared by the whole tree.
+        trace: String,
+        /// This span's id (16-digit hex).
+        span: String,
+        /// Parent span id (16-digit hex; the client's root span for
+        /// daemon top-level stages).
+        parent: String,
+        /// Stage name (`admission`, `dedupe`, `queue`, `run`, `eval`,
+        /// `screen`, `checkpoint`, `persist`, `archive`, `replay`).
+        stage: String,
+        /// The job id the stage belongs to.
+        job: String,
+        /// Tenant that submitted the traced request.
+        tenant: String,
+        /// Free-form stage detail (`batch=3 evaluated=16`, …).
+        detail: String,
+    },
 
     // ── wall-mode timing spans ──────────────────────────────────────────
     /// A named phase of work (cachesim compile / stream / LLC merge, …).
@@ -258,14 +283,38 @@ pub enum Event {
 }
 
 impl Event {
-    /// Determinism class (see module docs).
+    /// Determinism class (see module docs). The match is exhaustive on
+    /// purpose: a new event variant must declare its class here (and is
+    /// thereby validated by `validate_jsonl`) or the crate does not
+    /// compile — there is no silent default that would let an unknown
+    /// class slip through the trace invariants.
     pub fn class(&self) -> Class {
         match self {
             Event::EvalRetry { .. }
             | Event::EvalQuarantined { .. }
             | Event::CheckpointParked { .. } => Class::Keyed,
             Event::Phase { .. } | Event::WorkerSpan { .. } => Class::Timing,
-            _ => Class::Control,
+            Event::SessionStart { .. }
+            | Event::IterationStart { .. }
+            | Event::BatchEvaluated { .. }
+            | Event::BatchScreened { .. }
+            | Event::SurrogateError { .. }
+            | Event::FrontUpdated { .. }
+            | Event::SpaceReduced { .. }
+            | Event::Checkpointed { .. }
+            | Event::FaultSummary { .. }
+            | Event::Stopped { .. }
+            | Event::ArchiveRead { .. }
+            | Event::ArchiveWrite { .. }
+            | Event::VersionSelected { .. }
+            | Event::VersionDemoted { .. }
+            | Event::VersionRestored { .. }
+            | Event::FallbackEngaged { .. }
+            | Event::BackendSelected { .. }
+            | Event::ServeShed { .. }
+            | Event::ServeBreaker { .. }
+            | Event::ServePanic { .. }
+            | Event::JobStage { .. } => Class::Control,
         }
     }
 
@@ -296,6 +345,7 @@ impl Event {
             Event::ServeShed { .. } => "serve_shed",
             Event::ServeBreaker { .. } => "serve_breaker",
             Event::ServePanic { .. } => "serve_panic",
+            Event::JobStage { .. } => "job_stage",
             Event::Phase { .. } => "phase",
             Event::WorkerSpan { .. } => "worker_span",
         }

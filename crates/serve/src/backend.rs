@@ -82,6 +82,11 @@ pub struct JobContext {
     /// Daemon-level surrogate screening (`None`: run unscreened, the
     /// byte-identical default).
     pub surrogate: Option<SurrogateJob>,
+    /// The request's trace context, when the submission carried an
+    /// `x-moat-trace` header. Backends use it to opt the session into
+    /// per-batch wall timing (so eval spans get real durations); untraced
+    /// jobs (`None`) never read the clock and stay byte-identical.
+    pub trace: Option<moat_obs::TraceContext>,
 }
 
 /// What one finished (or parked) job run produced.
@@ -268,6 +273,7 @@ impl JobBackend for SyntheticBackend {
                 .with_batch(batch)
                 .with_budget(budget)
                 .with_cancel(Arc::clone(&ctx.cancel))
+                .with_batch_timing(ctx.trace.is_some())
                 .with_sink(&mut log);
             if let Some(warm) = ctx.warm.clone() {
                 session = session.with_warm_start(warm);
@@ -349,6 +355,7 @@ mod tests {
             warm: None,
             metrics: None,
             surrogate: None,
+            trace: None,
         }
     }
 

@@ -209,6 +209,7 @@ mod tests {
             warm: None,
             metrics: None,
             surrogate: None,
+            trace: None,
         };
         let err = chaos.run(&spec, ctx).unwrap_err();
         assert!(err.contains("chaos: injected backend error"), "{err}");

@@ -59,6 +59,7 @@ use crate::spec::{JobSpec, SubmitResponse};
 use crate::wire::{self, Request, Response, WireError};
 use moat_archive::CheckpointStore;
 use moat_core::SessionCheckpoint;
+use moat_obs::{FlightRecorder, TraceContext};
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -138,6 +139,12 @@ pub struct ServeConfig {
     pub robustness_seed: u64,
     /// `Retry-After` seconds advertised on shed responses (default 1).
     pub retry_after_secs: u64,
+    /// The flight recorder (default on): a fixed-size in-memory ring of
+    /// recent service events and spans, dumped to `<state>/flight/` on
+    /// contained panics, breaker opens and persist errors, and readable
+    /// at `GET /debug/flight`. Costs one relaxed atomic load per event
+    /// when disabled.
+    pub flight: bool,
 }
 
 impl ServeConfig {
@@ -166,6 +173,7 @@ impl ServeConfig {
             breaker_cooldown: 8,
             robustness_seed: 0x5EED,
             retry_after_secs: 1,
+            flight: true,
         }
     }
 
@@ -252,6 +260,28 @@ struct ObsLog {
     file: Option<std::fs::File>,
 }
 
+/// The span log (`<state>/spans.jsonl`): one `JobStage` record per
+/// completed span of a traced job. The file is created lazily on the
+/// first traced request, so an untraced daemon's state directory is
+/// byte-identical to the pre-tracing layout; its sequence continues
+/// across restarts like `serve.jsonl`.
+struct SpanLog {
+    path: PathBuf,
+    seq: u64,
+    file: Option<std::fs::File>,
+}
+
+/// Per-job in-memory tracing state: the client's root span (for traced
+/// jobs) and the enqueue instant (kept for every queued job so the
+/// queue-wait histogram observes untraced traffic too). Never persisted
+/// — `jobs.json` keeps its untraced format, and a restarted daemon
+/// starts fresh wall timelines.
+#[derive(Default)]
+struct JobTrace {
+    ctx: Option<TraceContext>,
+    enqueued: Option<Instant>,
+}
+
 type QueueItem = (String, Option<SessionCheckpoint>);
 
 struct Daemon {
@@ -268,6 +298,9 @@ struct Daemon {
     workers: Mutex<Vec<JoinHandle<()>>>,
     conns_active: AtomicUsize,
     obs: Mutex<ObsLog>,
+    spans: Mutex<SpanLog>,
+    traces: Mutex<HashMap<String, JobTrace>>,
+    flight: FlightRecorder,
 }
 
 impl Daemon {
@@ -296,8 +329,11 @@ impl Daemon {
             .join(format!("{fingerprint}.ckpt"))
     }
 
-    /// Append one service-level event to `serve.jsonl`.
+    /// Append one service-level event to `serve.jsonl` (and the flight
+    /// recorder's ring, so incident dumps carry the sheds and breaker
+    /// transitions leading up to the failure).
     fn obs_event(&self, event: moat_obs::Event) {
+        self.flight.record(event.clone(), 0);
         let mut log = self.obs.lock();
         log.seq += 1;
         let record = moat_obs::Record {
@@ -312,6 +348,65 @@ impl Daemon {
         }
     }
 
+    /// Append one completed span of a traced job to `spans.jsonl` (and
+    /// the flight recorder). `ctx` is the span's own context — its id and
+    /// parent are already derived — and `dur_us` its wall duration. The
+    /// record's `seq` is the span log's own; `dur_us` rides the envelope
+    /// (wall time is explicitly outside the byte-stability contract for
+    /// `JobStage`, a Control-class event).
+    fn span_event(
+        &self,
+        ctx: &TraceContext,
+        stage: &str,
+        job: &str,
+        tenant: &str,
+        detail: String,
+        dur_us: u64,
+    ) {
+        let event = moat_obs::Event::JobStage {
+            trace: ctx.trace_hex(),
+            span: ctx.span_hex(),
+            parent: ctx.parent_hex(),
+            stage: stage.to_string(),
+            job: job.to_string(),
+            tenant: tenant.to_string(),
+            detail,
+        };
+        self.flight.record(event.clone(), dur_us);
+        let mut log = self.spans.lock();
+        if log.file.is_none() {
+            log.file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&log.path)
+                .ok();
+        }
+        log.seq += 1;
+        let record = moat_obs::Record {
+            seq: log.seq,
+            ts_us: 0,
+            dur_us,
+            tid: 0,
+            event,
+        };
+        if let Some(file) = log.file.as_mut() {
+            let _ = file.write_all(moat_obs::export::to_jsonl(&[record]).as_bytes());
+        }
+    }
+
+    /// Dump the flight recorder's ring to `<state>/flight/<name>.jsonl`.
+    /// Fixed names overwrite: the latest incident of each kind wins, so
+    /// a crash loop cannot fill the disk.
+    fn flight_dump(&self, name: &str) {
+        if !self.flight.enabled() {
+            return;
+        }
+        let dir = self.config.state_dir.join("flight");
+        let _ = std::fs::create_dir_all(&dir);
+        let text = moat_obs::export::to_jsonl(&self.flight.snapshot());
+        let _ = std::fs::write(dir.join(format!("{name}.jsonl")), text);
+    }
+
     /// Atomically rewrite `jobs.json` from the table. Callers hold the
     /// jobs lock. A failed write is counted (`serve_persist_errors_total`)
     /// — the in-memory table stays authoritative, but a crash before the
@@ -324,6 +419,7 @@ impl Daemon {
             std::fs::write(&tmp, json).and_then(|()| std::fs::rename(&tmp, self.jobs_path()));
         if written.is_err() {
             self.metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
+            self.flight_dump("persist-error");
         }
     }
 
@@ -390,6 +486,30 @@ impl Daemon {
         };
         let fp = spec.fingerprint();
         let resumed = resume.is_some();
+        let tenant = spec.tenant.clone();
+
+        // Consume this job's tracing state: the client root span (if the
+        // submission carried `x-moat-trace`) and the enqueue instant.
+        let jt = self.traces.lock().remove(id).unwrap_or_default();
+        let trace_hex = jt.ctx.map(|c| c.trace_hex());
+        if let Some(enqueued) = jt.enqueued {
+            let wait_us = enqueued.elapsed().as_micros() as u64;
+            self.metrics
+                .phase_queue
+                .observe(wait_us, trace_hex.as_deref());
+            if let Some(root) = &jt.ctx {
+                self.span_event(
+                    &root.child("queue", 0),
+                    "queue",
+                    id,
+                    &tenant,
+                    String::new(),
+                    wait_us,
+                );
+            }
+        }
+        let run_ctx = jt.ctx.map(|root| root.child("run", 0));
+        let run_started = Instant::now();
 
         // Warm-start / replay decision, made against the archive at run
         // time so a restart re-derives it from current contents. An exact
@@ -402,7 +522,7 @@ impl Daemon {
                 match self.archive.warm_start_for(&info.key, &info.machine) {
                     Ok(Some((_, moat_archive::WarmStartSource::Exact))) => {
                         if let Ok(Some(record)) = self.archive.get(&info.key) {
-                            self.complete_replay(id, &spec, &fingerprint, &record);
+                            self.complete_replay(id, &spec, &fingerprint, &record, jt.ctx.as_ref());
                             return;
                         }
                     }
@@ -458,6 +578,7 @@ impl Daemon {
             warm,
             metrics: Some(Arc::clone(&self.metrics)),
             surrogate,
+            trace: run_ctx,
         };
 
         // Failure isolation: a panicking backend (or a panic propagated
@@ -474,11 +595,78 @@ impl Daemon {
                     job: id.to_string(),
                     error: msg.clone(),
                 });
+                self.flight_dump(&format!("panic-{id}"));
                 Err(format!("backend panicked: {msg}"))
             });
+        let eval_us = run_started.elapsed().as_micros() as u64;
+        self.metrics
+            .phase_eval
+            .observe(eval_us, trace_hex.as_deref());
 
         match run {
             Ok(outcome) => {
+                // Synthesize the evaluation-phase children of the run
+                // span from the session's own event stream: batch wall
+                // times come from `BatchEvaluated.elapsed` (measured
+                // because `JobContext::trace` turned batch timing on).
+                // Child indices count per stage, so the derived span ids
+                // are invariant under worker count and pickup order.
+                if let Some(rc) = &run_ctx {
+                    let (mut ev, mut sc, mut ck) = (0u64, 0u64, 0u64);
+                    for event in &outcome.events {
+                        match event {
+                            moat_core::TuningEvent::BatchEvaluated {
+                                requested,
+                                evaluated,
+                                elapsed,
+                                ..
+                            } => {
+                                let dur = elapsed.map(|d| d.as_micros() as u64).unwrap_or(0);
+                                self.span_event(
+                                    &rc.child("eval", ev),
+                                    "eval",
+                                    id,
+                                    &tenant,
+                                    format!("requested={requested} evaluated={evaluated}"),
+                                    dur,
+                                );
+                                ev += 1;
+                            }
+                            moat_core::TuningEvent::BatchScreened {
+                                requested,
+                                forwarded,
+                                screened,
+                                ..
+                            } => {
+                                self.span_event(
+                                    &rc.child("screen", sc),
+                                    "screen",
+                                    id,
+                                    &tenant,
+                                    format!(
+                                        "requested={requested} forwarded={forwarded} \
+                                         screened={screened}"
+                                    ),
+                                    0,
+                                );
+                                sc += 1;
+                            }
+                            moat_core::TuningEvent::Checkpointed { seq } => {
+                                self.span_event(
+                                    &rc.child("checkpoint", ck),
+                                    "checkpoint",
+                                    id,
+                                    &tenant,
+                                    format!("seq={seq}"),
+                                    0,
+                                );
+                                ck += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                let persist_started = Instant::now();
                 let records = crate::trace::job_records(
                     &spec.kernel,
                     &spec.strategy,
@@ -487,6 +675,16 @@ impl Daemon {
                 );
                 let _ = std::fs::write(self.trace_path(id), moat_obs::export::to_jsonl(&records));
                 if outcome.cancelled {
+                    if let Some(rc) = &run_ctx {
+                        self.span_event(
+                            rc,
+                            "run",
+                            id,
+                            &tenant,
+                            format!("parked evaluations={}", outcome.evaluations),
+                            eval_us,
+                        );
+                    }
                     let mut jobs = self.jobs.lock();
                     if let Some(state) = jobs.states.get_mut(id) {
                         state.status = JobStatus::Parked;
@@ -499,9 +697,20 @@ impl Daemon {
                     }
                     return;
                 }
+                let archive_started = Instant::now();
                 if let Err(e) = self.archive.deposit(&outcome.record, &fingerprint) {
                     self.fail(id, fp, format!("archive deposit failed: {e}"));
                     return;
+                }
+                if let Some(rc) = &run_ctx {
+                    self.span_event(
+                        &rc.child("archive", 0),
+                        "archive",
+                        id,
+                        &tenant,
+                        String::new(),
+                        archive_started.elapsed().as_micros() as u64,
+                    );
                 }
                 let pretty =
                     serde_json::to_string_pretty(&outcome.record).expect("record serializes");
@@ -521,9 +730,41 @@ impl Daemon {
                     self.breaker_success(&mut jobs, fp, &fingerprint);
                     self.persist(&jobs);
                 }
+                drop(jobs);
+                let persist_us = persist_started.elapsed().as_micros() as u64;
+                self.metrics
+                    .phase_persist
+                    .observe(persist_us, trace_hex.as_deref());
+                if let Some(rc) = &run_ctx {
+                    self.span_event(
+                        &rc.child("persist", 0),
+                        "persist",
+                        id,
+                        &tenant,
+                        String::new(),
+                        persist_us,
+                    );
+                    self.span_event(
+                        rc,
+                        "run",
+                        id,
+                        &tenant,
+                        format!(
+                            "stop={} evaluations={}",
+                            outcome.stop.name(),
+                            outcome.evaluations
+                        ),
+                        eval_us,
+                    );
+                }
                 self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
             }
-            Err(e) => self.fail(id, fp, e),
+            Err(e) => {
+                if let Some(rc) = &run_ctx {
+                    self.span_event(rc, "run", id, &tenant, format!("failed: {e}"), eval_us);
+                }
+                self.fail(id, fp, e);
+            }
         }
     }
 
@@ -535,7 +776,9 @@ impl Daemon {
         spec: &JobSpec,
         fingerprint: &str,
         record: &moat_archive::ArchiveRecord,
+        tctx: Option<&TraceContext>,
     ) {
+        let replay_started = Instant::now();
         let records = crate::trace::job_records(
             &spec.kernel,
             &spec.strategy,
@@ -559,6 +802,16 @@ impl Daemon {
             self.settle_inflight(&mut jobs, id);
             self.breaker_success(&mut jobs, spec.fingerprint(), fingerprint);
             self.persist(&jobs);
+        }
+        if let Some(root) = tctx {
+            self.span_event(
+                &root.child("replay", 0),
+                "replay",
+                id,
+                &spec.tenant,
+                "archive hit served at E=0".into(),
+                replay_started.elapsed().as_micros() as u64,
+            );
         }
         self.metrics.jobs_replayed.fetch_add(1, Ordering::Relaxed);
         self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
@@ -585,9 +838,10 @@ impl Daemon {
                 .breakers_tripped
                 .store(jobs.admission.breakers_tripped(), Ordering::Relaxed);
             self.obs_event(moat_obs::Event::ServeBreaker {
-                fingerprint,
+                fingerprint: fingerprint.clone(),
                 state: "open".into(),
             });
+            self.flight_dump(&format!("breaker-{fingerprint}"));
         }
         self.persist(&jobs);
         self.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
@@ -605,6 +859,11 @@ impl Daemon {
     }
 
     fn submit(self: &Arc<Self>, req: &Request) -> Response {
+        // Tracing is opt-in per request: an `x-moat-trace` header carries
+        // the client's root span and turns on span recording for this
+        // job. Requests without it leave no tracing artifacts at all.
+        let submit_started = Instant::now();
+        let client_ctx = req.header("x-moat-trace").and_then(TraceContext::parse);
         if self.stop.load(Ordering::Relaxed) {
             return self.shed(ShedReason::Shutdown, "", "shutting down");
         }
@@ -707,6 +966,40 @@ impl Daemon {
             (id, primary)
         };
 
+        // Span bookkeeping for accepted submissions. The admission span
+        // covers parse/validate/shed-ladder time; a deduped submission
+        // additionally records its attach to the primary. Only primary
+        // jobs park a root context for the worker to pick up — a
+        // subscriber has no run of its own to trace.
+        if let Some(root) = &client_ctx {
+            self.span_event(
+                &root.child("admission", 0),
+                "admission",
+                &id,
+                &spec.tenant,
+                format!("fingerprint={fingerprint}"),
+                submit_started.elapsed().as_micros() as u64,
+            );
+            match &primary {
+                Some(primary_id) => self.span_event(
+                    &root.child("dedupe", 0),
+                    "dedupe",
+                    &id,
+                    &spec.tenant,
+                    format!("primary={primary_id}"),
+                    0,
+                ),
+                None => {
+                    self.traces.lock().entry(id.clone()).or_default().ctx = Some(*root);
+                }
+            }
+        }
+        let trace_hex = client_ctx.map(|c| c.trace_hex());
+        self.metrics.phase_submit.observe(
+            submit_started.elapsed().as_micros() as u64,
+            trace_hex.as_deref(),
+        );
+
         let serves_as = match primary {
             Some(primary) => primary,
             None => {
@@ -730,6 +1023,9 @@ impl Daemon {
 
     /// Push a job onto the bounded queue and wake a worker.
     fn enqueue(&self, id: String, resume: Option<SessionCheckpoint>) {
+        // Stamp the enqueue instant for every job (not just traced ones)
+        // so the queue-wait histogram covers all traffic.
+        self.traces.lock().entry(id.clone()).or_default().enqueued = Some(Instant::now());
         let mut queue = self.queue.lock();
         queue.push_back((id, resume));
         self.metrics
@@ -800,6 +1096,31 @@ impl Daemon {
                     }
                 }
                 Response::text(200, self.metrics.render(&records).into_bytes())
+            }
+            ("GET", "/debug/flight") => {
+                // The flight recorder's ring, dumped on demand: the last
+                // N service events and spans in emit order, as validating
+                // JSONL. Empty (but 200) when the recorder is disabled.
+                let text = moat_obs::export::to_jsonl(&self.flight.snapshot());
+                Response {
+                    status: 200,
+                    content_type: "application/x-ndjson".into(),
+                    headers: Vec::new(),
+                    body: text.into_bytes(),
+                }
+            }
+            ("GET", "/debug/spans") => {
+                // The full span log — unlike the flight ring this never
+                // evicts, so clients can assert their trace ids round-
+                // tripped. Empty when no traced request ever arrived.
+                let body =
+                    std::fs::read(self.config.state_dir.join("spans.jsonl")).unwrap_or_default();
+                Response {
+                    status: 200,
+                    content_type: "application/x-ndjson".into(),
+                    headers: Vec::new(),
+                    body,
+                }
             }
             ("GET", "/healthz") => Response::json(200, self.health_body()),
             ("GET", "/readyz") => {
@@ -1028,6 +1349,16 @@ pub fn serve(config: ServeConfig, backend: Arc<dyn JobBackend>) -> std::io::Resu
         .open(&obs_path)
         .ok();
 
+    // The span log also survives restarts; its file is only created when
+    // the first traced request arrives.
+    let spans_path = config.state_dir.join("spans.jsonl");
+    let spans_seq = std::fs::read_to_string(&spans_path)
+        .map(|t| t.lines().count() as u64)
+        .unwrap_or(0);
+
+    let flight = FlightRecorder::default();
+    flight.set_enabled(config.flight);
+
     let policy = config.admission_policy();
     let daemon = Arc::new(Daemon {
         policy,
@@ -1050,6 +1381,13 @@ pub fn serve(config: ServeConfig, backend: Arc<dyn JobBackend>) -> std::io::Resu
             seq: obs_seq,
             file: obs_file,
         }),
+        spans: Mutex::new(SpanLog {
+            path: spans_path,
+            seq: spans_seq,
+            file: None,
+        }),
+        traces: Mutex::new(HashMap::new()),
+        flight,
         config,
     });
 

@@ -13,7 +13,94 @@
 
 use crate::admission::ShedReason;
 use moat_obs::Record;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed bucket upper bounds (µs) for the per-phase latency histograms.
+/// Rendered in seconds; chosen once so scrapes are comparable across
+/// runs: 1ms … 60s.
+const PHASE_BUCKETS_US: [u64; 8] = [
+    1_000, 5_000, 25_000, 100_000, 500_000, 2_500_000, 10_000_000, 60_000_000,
+];
+
+fn secs(us: u64) -> String {
+    let s = us as f64 / 1e6;
+    if s == s.trunc() && s.abs() < 1e15 {
+        format!("{s:.0}")
+    } else {
+        format!("{s}")
+    }
+}
+
+/// One phase's latency histogram plus its most recent exemplar: the
+/// trace id (and observed value) of the last *traced* request that went
+/// through the phase, attached to the `+Inf` bucket OpenMetrics-style so
+/// a dashboard can jump from a latency spike to a concrete trace.
+#[derive(Default)]
+pub struct PhaseLatency {
+    buckets: [AtomicU64; PHASE_BUCKETS_US.len()],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    exemplar: Mutex<Option<(String, u64)>>,
+}
+
+impl std::fmt::Debug for PhaseLatency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseLatency")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum_us", &self.sum_us.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl PhaseLatency {
+    /// Record one observation. `trace` is the 16-hex trace id when the
+    /// request was traced; untraced traffic still lands in the histogram
+    /// (the families cover *all* jobs) but never touches the exemplar.
+    pub fn observe(&self, us: u64, trace: Option<&str>) {
+        let slot = PHASE_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(PHASE_BUCKETS_US.len() - 1);
+        // Over-bound observations count only in +Inf (the running count).
+        if us <= PHASE_BUCKETS_US[PHASE_BUCKETS_US.len() - 1] {
+            self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        if let Some(t) = trace {
+            *self.exemplar.lock() = Some((t.to_string(), us));
+        }
+    }
+
+    fn render(&self, phase: &str, out: &mut String) {
+        let mut cum = 0u64;
+        for (i, &bound) in PHASE_BUCKETS_US.iter().enumerate() {
+            cum += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "serve_phase_seconds_bucket{{phase=\"{phase}\",le=\"{}\"}} {cum}\n",
+                secs(bound)
+            ));
+        }
+        let total = self.count.load(Ordering::Relaxed);
+        let exemplar = self
+            .exemplar
+            .lock()
+            .as_ref()
+            .map(|(t, us)| format!(" # {{trace_id=\"{t}\"}} {}", secs(*us)))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "serve_phase_seconds_bucket{{phase=\"{phase}\",le=\"+Inf\"}} {total}{exemplar}\n"
+        ));
+        out.push_str(&format!(
+            "serve_phase_seconds_sum{{phase=\"{phase}\"}} {}\n",
+            secs(self.sum_us.load(Ordering::Relaxed))
+        ));
+        out.push_str(&format!(
+            "serve_phase_seconds_count{{phase=\"{phase}\"}} {total}\n"
+        ));
+    }
+}
 
 /// Live daemon counters. All relaxed atomics: scrapes are snapshots, not
 /// barriers.
@@ -61,6 +148,14 @@ pub struct ServeMetrics {
     pub persist_errors: AtomicU64,
     /// Connections currently being handled (gauge).
     pub connections_active: AtomicU64,
+    /// `POST /jobs` handling latency (parse, validate, admission).
+    pub phase_submit: PhaseLatency,
+    /// Enqueue-to-worker-pickup wait.
+    pub phase_queue: PhaseLatency,
+    /// Backend run time (the evaluation phase of a job).
+    pub phase_eval: PhaseLatency,
+    /// Result/trace/archive/state persistence after a run.
+    pub phase_persist: PhaseLatency,
 }
 
 /// Render order of the shed-reason label set — must cover every
@@ -214,6 +309,15 @@ impl ServeMetrics {
             "Checkpoint saves that failed and were parked.",
             self.parked_checkpoints.load(Ordering::Relaxed),
         );
+        out.push_str(
+            "# HELP serve_phase_seconds Request latency per service phase \
+             (exemplar: last traced request).\n\
+             # TYPE serve_phase_seconds histogram\n",
+        );
+        self.phase_submit.render("submit", &mut out);
+        self.phase_queue.render("queue", &mut out);
+        self.phase_eval.render("eval", &mut out);
+        self.phase_persist.render("persist", &mut out);
         out.push_str(&moat_obs::metrics::render(job_records));
         out
     }
@@ -258,5 +362,64 @@ mod tests {
         assert!(text.contains("serve_persist_errors_total 0\n"));
         assert_eq!(m.sheds_total(), 3);
         assert_eq!(m.sheds_for(ShedReason::Queue), 2);
+    }
+
+    #[test]
+    fn phase_histograms_render_seconds_with_exemplars() {
+        let m = ServeMetrics::default();
+        m.phase_submit.observe(800, None); // 0.8ms → le="0.001"
+        m.phase_submit.observe(30_000, Some("00000000000000ab")); // 30ms
+        m.phase_eval.observe(70_000_000, None); // 70s → only +Inf
+        let text = m.render(&[]);
+        assert!(
+            text.contains("serve_phase_seconds_bucket{phase=\"submit\",le=\"0.001\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("serve_phase_seconds_bucket{phase=\"submit\",le=\"0.1\"} 2\n"));
+        assert!(text.contains(
+            "serve_phase_seconds_bucket{phase=\"submit\",le=\"+Inf\"} 2 \
+             # {trace_id=\"00000000000000ab\"} 0.03\n"
+        ));
+        assert!(text.contains("serve_phase_seconds_sum{phase=\"submit\"} 0.0308\n"));
+        assert!(text.contains("serve_phase_seconds_count{phase=\"submit\"} 2\n"));
+        // Over-bound observations land only in +Inf, untraced: no exemplar.
+        assert!(text.contains("serve_phase_seconds_bucket{phase=\"eval\",le=\"60\"} 0\n"));
+        assert!(text.contains("serve_phase_seconds_bucket{phase=\"eval\",le=\"+Inf\"} 1\n"));
+        // Untouched phases render zeroed series (fixed label set).
+        assert!(text.contains("serve_phase_seconds_count{phase=\"queue\"} 0\n"));
+    }
+
+    /// Unit-suffix audit over every family both layers expose (`# TYPE`
+    /// lines of the full render): counters must end `_total`, histograms
+    /// must carry a unit suffix (`_seconds`/`_bytes`), and gauges must
+    /// not pretend to be counters. New families that drift fail here.
+    #[test]
+    fn metric_names_carry_unit_suffixes() {
+        let m = ServeMetrics::default();
+        let text = m.render(&[]);
+        let mut families = 0;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("# TYPE ") else {
+                continue;
+            };
+            let (name, kind) = rest.split_once(' ').expect("TYPE line has a kind");
+            families += 1;
+            match kind {
+                "counter" => assert!(
+                    name.ends_with("_total"),
+                    "counter {name} must end in _total"
+                ),
+                "histogram" => assert!(
+                    name.ends_with("_seconds") || name.ends_with("_bytes"),
+                    "histogram {name} must carry a unit suffix"
+                ),
+                "gauge" => assert!(
+                    !name.ends_with("_total"),
+                    "gauge {name} must not masquerade as a counter"
+                ),
+                other => panic!("unknown metric kind {other} for {name}"),
+            }
+        }
+        assert!(families > 20, "audit saw only {families} families");
     }
 }

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Benchmark-regression sentinel.
+#
+# Full mode (default) re-runs the three benchmark suites into
+# `target/bench-fresh/` and compares each fresh document against its
+# committed baseline (`BENCH_eval.json`, `BENCH_serve.json`,
+# `BENCH_surrogate.json`) with per-metric tolerances: deterministic
+# outputs must reproduce exactly, throughput may not regress past its
+# band, and the absolute quality gates (overload goodput held, serve
+# tracing overhead < 2%, flight recorder < 1%, surrogate E reduction)
+# must hold. Any violation prints a FAIL diff line and exits 1.
+#
+# `--smoke` skips the re-run and validates only the committed baselines'
+# absolute gates — cheap enough for every CI build, and still loud when a
+# regressed baseline is committed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q --release --bin moat-bench-check
+check=target/release/moat-bench-check
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    "$check" gates eval BENCH_eval.json
+    "$check" gates serve BENCH_serve.json
+    "$check" gates surrogate BENCH_surrogate.json
+    exit 0
+elif [[ -n "${1:-}" ]]; then
+    echo "usage: $0 [--smoke]" >&2
+    exit 2
+fi
+
+fresh=target/bench-fresh
+rm -rf "$fresh"
+mkdir -p "$fresh"
+root="$(pwd)"
+
+echo "== bench_check: regenerating fresh benchmark documents =="
+cargo bench -q -p moat-bench --bench eval_throughput -- --json "$root/$fresh/BENCH_eval.json"
+cargo bench -q -p moat-bench --bench surrogate -- --json "$root/$fresh/BENCH_surrogate.json"
+cargo build -q --release --bin moat-serve --bin moat-loadgen
+target/release/moat-loadgen --out "$fresh/BENCH_serve.json"
+
+echo "== bench_check: comparing against committed baselines =="
+status=0
+"$check" compare eval BENCH_eval.json "$fresh/BENCH_eval.json" || status=1
+"$check" compare serve BENCH_serve.json "$fresh/BENCH_serve.json" || status=1
+"$check" compare surrogate BENCH_surrogate.json "$fresh/BENCH_surrogate.json" || status=1
+if [[ "$status" != 0 ]]; then
+    echo "bench_check: regression detected (fresh documents in $fresh)" >&2
+fi
+exit "$status"

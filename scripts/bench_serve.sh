@@ -32,8 +32,10 @@ fi
 cargo build -q --release --bin moat-serve --bin moat-loadgen
 target/release/moat-loadgen "${args[@]}" --out "$out"
 
-# Full runs carry the degradation curve; hold the line on graceful
-# overload behaviour (goodput at 4x within 20% of peak, bounded p99).
+# Full runs carry the degradation curve and the tracing overhead study;
+# hold the line on graceful overload behaviour (goodput at 4x within 20%
+# of peak, bounded p99) and the ISSUE 10 observability budget (request
+# tracing < 2%, always-on flight recorder < 1%) via the shared gate set.
 if [[ "${1:-}" != "--smoke" ]]; then
     grep -q '"goodput_held": true' "$out" || {
         echo "bench_serve: overload goodput collapsed (see $out)" >&2
@@ -43,4 +45,6 @@ if [[ "${1:-}" != "--smoke" ]]; then
         echo "bench_serve: overload submit p99 unbounded (see $out)" >&2
         exit 1
     }
+    cargo build -q --release --bin moat-bench-check
+    target/release/moat-bench-check gates serve "$out"
 fi

@@ -187,12 +187,46 @@ if [[ "$term" != 12 ]]; then
     echo "$jobs_json" >&2
     exit 1
 fi
-# Injected panics are contained (daemon alive, obs-logged) not fatal.
+# Injected panics are contained (daemon alive, obs-logged) not fatal,
+# and each one dumped the flight ring for post-hoc analysis.
 grep -q '"ServePanic"' "$csmoke/state/serve.jsonl"
+ls "$csmoke/state/flight/"panic-*.jsonl > /dev/null
 "$lg" --addr "$c2_addr" --get /healthz > /dev/null
 cargo run -q --bin moat-report -- --from-serve "$csmoke/state" > "$csmoke/chaos-report.txt"
 grep -q "contained backend panics" "$csmoke/chaos-report.txt"
 "$lg" --addr "$c2_addr" --post /shutdown > /dev/null
 wait "$c2_pid"
+
+echo "== serve trace smoke (loadgen --trace -> /debug/flight -> --from-trace -> validate) =="
+tsmoke="target/serve-trace-smoke"
+rm -rf "$tsmoke"
+mkdir -p "$tsmoke"
+"$serve_bin" --listen 127.0.0.1:0 --state "$tsmoke/state" --synthetic 200 \
+    --port-file "$tsmoke/t.port" 2> "$tsmoke/daemon.log" &
+t_pid=$!
+t_addr=$(wait_port "$tsmoke/t.port")
+# Traced load: per-request submit latency keyed by trace id, plus the
+# exit assertion that every trace id round-tripped into the span log.
+"$lg" --addr "$t_addr" --clients 2 --jobs 3 --distinct 4 --trace \
+    --out "$tsmoke/bench.json" 2> "$tsmoke/loadgen.log" > /dev/null
+grep -q "trace round-trip OK" "$tsmoke/loadgen.log"
+# Keep the flight-ring snapshot and the span log as CI artifacts.
+"$lg" --addr "$t_addr" --get /debug/flight > "$tsmoke/flight.jsonl"
+"$lg" --addr "$t_addr" --get /debug/spans > "$tsmoke/spans.jsonl"
+[[ -s "$tsmoke/flight.jsonl" ]]
+"$lg" --addr "$t_addr" --post /shutdown > /dev/null
+wait "$t_pid"
+# Causal span trees with critical-path breakdowns, and the SLO section.
+cargo run -q --bin moat-report -- --from-serve "$tsmoke/state" --from-trace all \
+    > "$tsmoke/trace-report.txt"
+grep -q "critical path:" "$tsmoke/trace-report.txt"
+cargo run -q --bin moat-report -- --from-serve "$tsmoke/state" --slo-p99-ms 250 \
+    > "$tsmoke/slo-report.txt"
+grep -q "SLO (end-to-end p99 target" "$tsmoke/slo-report.txt"
+# The span log is a well-formed obs trace in its own right.
+cargo run -q --bin moat-report -- "$tsmoke/state/spans.jsonl" --validate
+
+echo "== bench gates (committed baselines) =="
+scripts/bench_check.sh --smoke
 
 echo "All checks passed."

@@ -14,6 +14,11 @@
 //!                          exponential backoff + seeded jitter, honoring
 //!                          Retry-After (default 4; 0 disables)
 //!   --retry-seed <N>       seed for the backoff jitter (default 17)
+//!   --trace                attach a client trace context (x-moat-trace)
+//!                          to every submission, print per-request submit
+//!                          latency keyed by trace id, and assert on exit
+//!                          that every accepted job's trace id round-
+//!                          tripped into the daemon's span log
 //!   --smoke                tiny run (2 clients × 2 jobs, 2 distinct)
 //!   --overload             degradation-curve mode: spawn a deliberately
 //!                          under-provisioned daemon and drive it at 1×,
@@ -53,7 +58,7 @@ fn usage() -> ! {
         include_str!("moat-loadgen.rs")
             .lines()
             .skip(2)
-            .take(25)
+            .take(30)
             .map(|l| {
                 let l = l.strip_prefix("//!").unwrap_or(l);
                 l.strip_prefix(' ').unwrap_or(l)
@@ -222,6 +227,28 @@ struct OverloadReport {
 }
 
 #[derive(serde::Serialize)]
+struct TracingReport {
+    /// How the overheads were measured.
+    method: String,
+    rounds: u64,
+    jobs_per_round: u64,
+    /// Median wall seconds of the untraced batches.
+    baseline_s: f64,
+    /// Median wall seconds of the traced batches (same daemon).
+    traced_s: f64,
+    /// Per-job tracing cost, percent ((traced - baseline) / baseline).
+    overhead_pct: f64,
+    /// Median wall seconds of traced batches with the flight recorder on.
+    flight_on_s: f64,
+    /// Same with `--flight-off` (paired daemon).
+    flight_off_s: f64,
+    /// Marginal flight-recorder cost on the event path, percent.
+    flight_overhead_pct: f64,
+    /// Span-log lines the traced batches produced.
+    spans_recorded: u64,
+}
+
+#[derive(serde::Serialize)]
 struct Bench {
     benchmark: String,
     backend: String,
@@ -239,6 +266,7 @@ struct Bench {
     submits_per_sec: f64,
     submit_latency_ms: LatencyMs,
     overload: Option<OverloadReport>,
+    tracing: Option<TracingReport>,
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -252,6 +280,7 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 fn spawn_daemon(
     delay_us: u64,
     extra_args: &[&str],
+    tag: &str,
 ) -> (String, std::process::Child, std::path::PathBuf) {
     let exe = std::env::current_exe().unwrap_or_else(|e| fail(format!("current_exe: {e}")));
     let serve_bin = exe
@@ -259,7 +288,7 @@ fn spawn_daemon(
         .map(|d| d.join("moat-serve"))
         .filter(|p| p.exists())
         .unwrap_or_else(|| fail("moat-serve binary not found next to moat-loadgen"));
-    let state = std::env::temp_dir().join(format!("moat-loadgen-{}", std::process::id()));
+    let state = std::env::temp_dir().join(format!("moat-loadgen-{}{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&state);
     std::fs::create_dir_all(&state).unwrap_or_else(|e| fail(format!("state dir: {e}")));
     let port_file = state.join("port");
@@ -381,6 +410,7 @@ fn overload_curve() -> (OverloadReport, u64) {
             "--retry-after-s",
             "1",
         ],
+        "",
     );
     // Synthetic job cost: budget 32 × 2 ms with 2 workers over 2 slots
     // ⇒ ≈ 31 jobs/s theoretical; offer just under it at 1×.
@@ -415,6 +445,151 @@ fn overload_curve() -> (OverloadReport, u64) {
     (report, server_sheds)
 }
 
+/// A deterministic client trace context for submission `nonce`:
+/// `(trace_hex, header_value)`.
+fn client_trace(nonce: u64) -> (String, String) {
+    let trace = splitmix(0xC11E_0000 ^ nonce);
+    let span = splitmix(trace ^ 1);
+    (format!("{trace:016x}"), format!("{trace:016x}-{span:016x}"))
+}
+
+/// Drive `n` unique jobs to completion against `addr` (optionally traced)
+/// and return the wall seconds from first submit to last completion.
+fn timed_batch(addr: &str, n: u64, salt: u64, traced: bool) -> f64 {
+    let before = scrape(addr);
+    let done_before =
+        metric(&before, "serve_jobs_completed_total") + metric(&before, "serve_jobs_failed_total");
+    let start = Instant::now();
+    for i in 0..n {
+        let body = format!(
+            "{{\"tenant\":\"overhead\",\"kernel\":\"mm\",\"machine\":\"westmere\",\
+             \"strategy\":\"random\",\"seed\":{},\"budget\":96}}",
+            salt + i + 1
+        );
+        let mut req = Request::json("POST", "/jobs", body.into_bytes());
+        if traced {
+            let (_, header) = client_trace(salt ^ i);
+            req.headers.push(("x-moat-trace".into(), header));
+        }
+        let resp = http(addr, &req).unwrap_or_else(|e| fail(format!("overhead submit: {e}")));
+        if resp.status != 202 {
+            fail(format!("overhead submit: unexpected {}", resp.status));
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let text = scrape(addr);
+        let done = metric(&text, "serve_jobs_completed_total")
+            + metric(&text, "serve_jobs_failed_total")
+            - done_before;
+        if done >= n {
+            break;
+        }
+        if Instant::now() > deadline {
+            fail(format!("overhead drain timed out: {done}/{n}"));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Best-of-N estimator for a deterministic per-batch cost: scheduling
+/// and drain-detection noise is strictly additive, so the minimum round
+/// converges on the true wall where a median still carries the noise.
+fn fastest(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+/// Measure tracing and flight-recorder overhead.
+///
+/// Tracing cost is measured A/B against a *single* daemon by alternating
+/// untraced and traced batches of unique specs, so host noise hits both
+/// arms equally; the best-of-rounds walls are compared (see
+/// [`fastest`]). The flight recorder's marginal cost rides the event
+/// path even for untraced traffic, so it cannot be A/B'd within one
+/// process: two *concurrent* daemons — default vs `--flight-off` — take
+/// turns running the same traced batch shape, again so noise hits both
+/// arms. Both A/Bs swap which arm goes first every round (a fixed order
+/// would hand one arm any systematic first-mover bias), and every daemon
+/// absorbs one untimed warmup batch before measurement.
+fn tracing_overhead() -> TracingReport {
+    const ROUNDS: u64 = 15;
+    const JOBS: u64 = 24;
+    const DELAY_US: u64 = 500;
+
+    let (addr, mut child, state) = spawn_daemon(DELAY_US, &[], "");
+    timed_batch(&addr, JOBS, 0, false);
+    let mut baseline = Vec::new();
+    let mut traced = Vec::new();
+    for r in 0..ROUNDS {
+        let mut arms = [(false, (2 * r + 1) << 24), (true, (2 * r + 2) << 24)];
+        if r % 2 == 1 {
+            arms.reverse();
+        }
+        for (is_traced, salt) in arms {
+            let wall = timed_batch(&addr, JOBS, salt, is_traced);
+            if is_traced {
+                traced.push(wall);
+            } else {
+                baseline.push(wall);
+            }
+        }
+    }
+    let spans_recorded = http(&addr, &Request::new("GET", "/debug/spans"))
+        .map(|r| String::from_utf8_lossy(&r.body).lines().count() as u64)
+        .unwrap_or(0);
+    let _ = http(&addr, &Request::new("POST", "/shutdown"));
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(state);
+
+    let (addr_on, mut child_on, state_on) = spawn_daemon(DELAY_US, &[], "-flight-on");
+    let (addr_off, mut child_off, state_off) =
+        spawn_daemon(DELAY_US, &["--flight-off"], "-flight-off");
+    timed_batch(&addr_on, JOBS, 98 << 24, true);
+    timed_batch(&addr_off, JOBS, 99 << 24, true);
+    let (mut on, mut off) = (Vec::new(), Vec::new());
+    for r in 0..ROUNDS {
+        let mut arms = [(true, (100 + r) << 24), (false, (150 + r) << 24)];
+        if r % 2 == 1 {
+            arms.reverse();
+        }
+        for (is_on, salt) in arms {
+            let (addr, walls) = if is_on {
+                (&addr_on, &mut on)
+            } else {
+                (&addr_off, &mut off)
+            };
+            walls.push(timed_batch(addr, JOBS, salt, true));
+        }
+    }
+    let flight = [fastest(on), fastest(off)];
+    for (addr, child, state) in [
+        (addr_on, &mut child_on, state_on),
+        (addr_off, &mut child_off, state_off),
+    ] {
+        let _ = http(&addr, &Request::new("POST", "/shutdown"));
+        let _ = child.wait();
+        let _ = std::fs::remove_dir_all(state);
+    }
+
+    let baseline_s = fastest(baseline);
+    let traced_s = fastest(traced);
+    TracingReport {
+        method: "best-of-rounds A/B, order swapped per round: one daemon (tracing), \
+                 interleaved paired daemons (flight); warmup batch per daemon"
+            .into(),
+        rounds: ROUNDS,
+        jobs_per_round: JOBS,
+        baseline_s,
+        traced_s,
+        overhead_pct: (traced_s - baseline_s) / baseline_s * 100.0,
+        flight_on_s: flight[0],
+        flight_off_s: flight[1],
+        flight_overhead_pct: (flight[0] - flight[1]) / flight[1] * 100.0,
+        spans_recorded,
+    }
+}
+
 /// `--overload` mode: the degradation curve as a standalone bench doc.
 fn run_overload(out: &str) {
     let (report, server_sheds) = overload_curve();
@@ -443,6 +618,7 @@ fn run_overload(out: &str) {
             max: 0.0,
         },
         overload: Some(report),
+        tracing: None,
     };
     let json = serde_json::to_string_pretty(&bench)
         .unwrap_or_else(|e| fail(format!("encoding benchmark: {e}")));
@@ -463,6 +639,7 @@ fn main() {
     let mut retry_seed = 17u64;
     let mut smoke = false;
     let mut overload = false;
+    let mut trace_mode = false;
     let mut out = "BENCH_serve.json".to_string();
     let mut oneshot: Option<(String, String, Option<String>)> = None;
 
@@ -522,6 +699,7 @@ fn main() {
                 delay_us = 100;
             }
             "--overload" => overload = true,
+            "--trace" => trace_mode = true,
             "--out" => {
                 out = value(&argv, i, "--out");
                 i += 1;
@@ -579,7 +757,7 @@ fn main() {
     let (addr, daemon, state) = match addr {
         Some(a) => (a, None, None),
         None => {
-            let (a, child, state) = spawn_daemon(delay_us, &[]);
+            let (a, child, state) = spawn_daemon(delay_us, &[], "");
             (a, Some(child), Some(state))
         }
     };
@@ -598,6 +776,7 @@ fn main() {
     let mut deduped = 0u64;
     let mut retries = 0u64;
     let mut shed_responses = 0u64;
+    let mut trace_ids: Vec<String> = Vec::new();
     let total = (clients * jobs) as u64;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
@@ -609,18 +788,22 @@ fn main() {
                     let mut hits = 0u64;
                     let mut rts = 0u64;
                     let mut shd = 0u64;
+                    let mut traces = Vec::new();
                     for j in 0..jobs {
                         let body = spec_body(c * jobs + j, distinct, &tenant);
                         let t0 = Instant::now();
                         let nonce = (c * jobs + j) as u64;
-                        let ex = http_retry(
-                            &addr,
-                            &Request::json("POST", "/jobs", body.into_bytes()),
-                            policy,
-                            nonce,
-                        )
-                        .unwrap_or_else(|e| fail(e));
-                        lats.push(t0.elapsed().as_secs_f64() * 1e3);
+                        let mut req = Request::json("POST", "/jobs", body.into_bytes());
+                        let trace_hex = if trace_mode {
+                            let (hex, header) = client_trace(nonce);
+                            req.headers.push(("x-moat-trace".into(), header));
+                            Some(hex)
+                        } else {
+                            None
+                        };
+                        let ex = http_retry(&addr, &req, policy, nonce).unwrap_or_else(|e| fail(e));
+                        let lat_ms = t0.elapsed().as_secs_f64() * 1e3;
+                        lats.push(lat_ms);
                         rts += ex.retries;
                         shd += ex.sheds;
                         if ex.resp.status != 202 {
@@ -637,17 +820,27 @@ fn main() {
                         if parsed.deduped {
                             hits += 1;
                         }
+                        if let Some(hex) = trace_hex {
+                            eprintln!(
+                                "moat-loadgen: trace {hex} job {} submit {lat_ms:.3} ms{}",
+                                parsed.job,
+                                if parsed.deduped { " (deduped)" } else { "" }
+                            );
+                            traces.push(hex);
+                        }
                     }
-                    (lats, hits, rts, shd)
+                    (lats, hits, rts, shd, traces)
                 })
             })
             .collect();
         for h in handles {
-            let (lats, hits, rts, shd) = h.join().unwrap_or_else(|_| fail("client panicked"));
+            let (lats, hits, rts, shd, traces) =
+                h.join().unwrap_or_else(|_| fail("client panicked"));
             latencies.extend(lats);
             deduped += hits;
             retries += rts;
             shed_responses += shd;
+            trace_ids.extend(traces);
         }
     });
 
@@ -670,6 +863,33 @@ fn main() {
     let wall_s = start.elapsed().as_secs_f64();
     let completed = metric(&final_metrics, "serve_jobs_completed_total");
 
+    // `--trace` exit assertion: every accepted submission's trace id must
+    // have round-tripped into the daemon's span log. The span log (not
+    // the flight ring, which evicts) is the durable record; admission
+    // spans are written synchronously at submit, so after the drain the
+    // log is necessarily complete.
+    if trace_mode {
+        let resp = http(&addr, &Request::new("GET", "/debug/spans")).unwrap_or_else(|e| fail(e));
+        let spans = String::from_utf8_lossy(&resp.body).to_string();
+        let missing: Vec<&String> = trace_ids
+            .iter()
+            .filter(|t| !spans.contains(&format!("\"trace\":\"{t}\"")))
+            .collect();
+        if !missing.is_empty() {
+            fail(format!(
+                "trace round-trip FAILED: {}/{} trace ids absent from the daemon span log \
+                 (first missing: {})",
+                missing.len(),
+                trace_ids.len(),
+                missing[0]
+            ));
+        }
+        eprintln!(
+            "moat-loadgen: trace round-trip OK — all {} trace ids present in the daemon span log",
+            trace_ids.len()
+        );
+    }
+
     let spawned = daemon.is_some();
     if let Some(mut child) = daemon {
         let _ = http(&addr, &Request::new("POST", "/shutdown"));
@@ -685,6 +905,15 @@ fn main() {
     let overload_report = if spawned && !smoke {
         eprintln!("moat-loadgen: running the overload degradation curve");
         Some(overload_curve().0)
+    } else {
+        None
+    };
+
+    // Likewise the tracing/flight overhead measurement: only meaningful
+    // with private daemons it can pair and restart.
+    let tracing_report = if spawned && !smoke {
+        eprintln!("moat-loadgen: measuring tracing + flight-recorder overhead");
+        Some(tracing_overhead())
     } else {
         None
     };
@@ -711,6 +940,7 @@ fn main() {
             max: percentile(&latencies, 1.0),
         },
         overload: overload_report,
+        tracing: tracing_report,
     };
     let json = serde_json::to_string_pretty(&bench)
         .unwrap_or_else(|e| fail(format!("encoding benchmark: {e}")));

@@ -14,6 +14,13 @@
 //!   --from-serve <DIR>     report on a moat-serve state directory:
 //!                          service totals, then a per-tenant breakdown
 //!                          of jobs and their session analyses
+//!   --from-trace <Q>       with --from-serve: print the causal span tree
+//!                          and critical-path breakdown of the traced job
+//!                          (or 16-digit trace id) Q from spans.jsonl;
+//!                          pass "all" for every traced job
+//!   --slo-p99-ms <MS>      with --from-serve: append an SLO section
+//!                          (p50/p99 per traced phase, per-tenant burn
+//!                          rate against a 1% error budget)
 //!   --out <FILE>           write --emit output to FILE (default: stdout)
 //! ```
 //!
@@ -23,7 +30,7 @@
 
 use moat::multiversion::VersionTable;
 use moat::obs::export::{parse_jsonl, to_chrome, validate_jsonl};
-use moat::report::{Analysis, LossMatrix};
+use moat::report::{Analysis, LossMatrix, SloReport, SpanForest};
 use moat::serve::{JobState, JobStatus};
 use std::collections::BTreeMap;
 use std::process::exit;
@@ -34,7 +41,7 @@ fn usage() -> ! {
     let doc: String = include_str!("moat-report.rs")
         .lines()
         .skip(3)
-        .take(16)
+        .take(23)
         .map(|l| l.trim_start_matches("//! ").trim_start_matches("//!"))
         .collect::<Vec<_>>()
         .join("\n");
@@ -42,8 +49,35 @@ fn usage() -> ! {
     exit(2)
 }
 
+/// Load the span log of a `moat-serve` state dir as a [`SpanForest`].
+fn load_spans(dir: &str) -> Result<SpanForest, String> {
+    let path = std::path::Path::new(dir).join("spans.jsonl");
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "{}: {e} (no traced jobs yet? submit with x-moat-trace / moat-loadgen --trace)",
+            path.display()
+        )
+    })?;
+    let records = parse_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(SpanForest::from_records(&records))
+}
+
+/// Render the causal span tree(s) for `--from-trace`.
+fn report_trace(dir: &str, query: &str) -> Result<String, String> {
+    let forest = load_spans(dir)?;
+    let selected = if query == "all" {
+        forest
+    } else {
+        forest.filtered(query)
+    };
+    if selected.spans.is_empty() {
+        return Err(format!("no spans match {query:?} in {dir}/spans.jsonl"));
+    }
+    Ok(selected.render())
+}
+
 /// Render the per-tenant service report for a `moat-serve` state dir.
-fn report_serve(dir: &str) -> Result<String, String> {
+fn report_serve(dir: &str, slo_p99_ms: Option<f64>) -> Result<String, String> {
     let root = std::path::Path::new(dir);
     let text = std::fs::read_to_string(root.join("jobs.json"))
         .map_err(|e| format!("{dir}/jobs.json: {e} (is this a moat-serve state dir?)"))?;
@@ -162,6 +196,14 @@ fn report_serve(dir: &str) -> Result<String, String> {
             }
         }
     }
+
+    // The SLO section aggregates the span log of traced jobs; asking for
+    // it on a state dir with no traced traffic is an error, not silence.
+    if let Some(slo_ms) = slo_p99_ms {
+        let forest = load_spans(dir)?;
+        out.push('\n');
+        out.push_str(&SloReport::from_spans(&forest, slo_ms).render());
+    }
     Ok(out)
 }
 
@@ -171,6 +213,8 @@ fn main() {
     let mut emit: Option<String> = None;
     let mut out: Option<String> = None;
     let mut from_serve: Option<String> = None;
+    let mut from_trace: Option<String> = None;
+    let mut slo_p99_ms: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -185,6 +229,14 @@ fn main() {
             "--emit" => emit = Some(value("--emit")),
             "--out" => out = Some(value("--out")),
             "--from-serve" => from_serve = Some(value("--from-serve")),
+            "--from-trace" => from_trace = Some(value("--from-trace")),
+            "--slo-p99-ms" => {
+                let v = value("--slo-p99-ms");
+                slo_p99_ms = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--slo-p99-ms: not a number: {v}");
+                    exit(2)
+                }));
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option: {other}");
@@ -199,7 +251,11 @@ fn main() {
         }
     }
     if let Some(dir) = from_serve {
-        match report_serve(&dir) {
+        let rendered = match &from_trace {
+            Some(query) => report_trace(&dir, query),
+            None => report_serve(&dir, slo_p99_ms),
+        };
+        match rendered {
             Ok(doc) => print!("{doc}"),
             Err(e) => {
                 eprintln!("{e}");
@@ -207,6 +263,10 @@ fn main() {
             }
         }
         return;
+    }
+    if from_trace.is_some() || slo_p99_ms.is_some() {
+        eprintln!("--from-trace/--slo-p99-ms need --from-serve <DIR>");
+        usage()
     }
 
     let Some(path) = trace else {

@@ -316,6 +316,9 @@ impl Analysis {
                         .or_insert(0) += 1
                 }
                 Event::ServePanic { .. } => a.service.panics += 1,
+                // Causal job spans are analysed by [`SpanForest`], not the
+                // flat report — a mixed record list just skips them here.
+                Event::JobStage { .. } => {}
                 Event::Phase { name } => a.phase(name, r.dur_us),
                 Event::WorkerSpan { .. } => a.phase("batch.worker", r.dur_us),
             }
@@ -527,6 +530,358 @@ impl Analysis {
             if self.service.panics > 0 {
                 let _ = writeln!(out, "  contained backend panics: {}", self.service.panics);
             }
+        }
+        out
+    }
+}
+
+/// One causal span of a traced serve job, lifted out of a `job_stage`
+/// record. Span ids are deterministic (derived from the trace context),
+/// durations are wall-clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpan {
+    /// Trace id (16-digit hex) shared by the whole request tree.
+    pub trace: String,
+    /// This span's id.
+    pub span: String,
+    /// Parent span id (the client's root span for top-level stages).
+    pub parent: String,
+    /// Stage name (`admission`, `queue`, `run`, `eval`, `persist`, …).
+    pub stage: String,
+    /// Job the span belongs to.
+    pub job: String,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Free-form stage detail.
+    pub detail: String,
+    /// Wall duration in µs (0 for instantaneous marks).
+    pub dur_us: u64,
+    /// Emission order within the span log.
+    seq: u64,
+}
+
+/// The causal span trees of traced serve jobs, reconstructed from a
+/// `spans.jsonl` record list. Each traced job renders as an indented
+/// span tree rooted at the client's span, followed by a critical-path
+/// breakdown (submit vs queue vs eval vs persist).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanForest {
+    /// Every job span, in emission order.
+    pub spans: Vec<JobSpan>,
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.3} ms", us as f64 / 1000.0)
+}
+
+impl SpanForest {
+    /// Collect the `job_stage` records of a trace (other kinds are
+    /// ignored, so serve.jsonl/flight dumps can be fed in unfiltered).
+    pub fn from_records(records: &[Record]) -> SpanForest {
+        let spans = records
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::JobStage {
+                    trace,
+                    span,
+                    parent,
+                    stage,
+                    job,
+                    tenant,
+                    detail,
+                } => Some(JobSpan {
+                    trace: trace.clone(),
+                    span: span.clone(),
+                    parent: parent.clone(),
+                    stage: stage.clone(),
+                    job: job.clone(),
+                    tenant: tenant.clone(),
+                    detail: detail.clone(),
+                    dur_us: r.dur_us,
+                    seq: r.seq,
+                }),
+                _ => None,
+            })
+            .collect();
+        SpanForest { spans }
+    }
+
+    /// Restrict to one job: `query` matches a job id (`j0001`) or a trace
+    /// id (16-digit hex).
+    pub fn filtered(&self, query: &str) -> SpanForest {
+        SpanForest {
+            spans: self
+                .spans
+                .iter()
+                .filter(|s| s.job == query || s.trace == query)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Distinct job ids, in first-emission order.
+    pub fn jobs(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.spans {
+            if !out.contains(&s.job) {
+                out.push(s.job.clone());
+            }
+        }
+        out
+    }
+
+    /// Render one job's span tree plus its critical-path breakdown.
+    pub fn render_job(&self, job: &str) -> String {
+        let spans: Vec<&JobSpan> = self.spans.iter().filter(|s| s.job == job).collect();
+        let mut out = String::new();
+        let Some(first) = spans.first() else {
+            let _ = writeln!(out, "job {job}: no spans recorded");
+            return out;
+        };
+        let _ = writeln!(
+            out,
+            "job {job} (tenant {}, trace {})",
+            first.tenant, first.trace
+        );
+        // Top-level stages parent on the client's root span, which has no
+        // record of its own — render it as the synthetic tree root.
+        let ids: std::collections::BTreeSet<&str> = spans.iter().map(|s| s.span.as_str()).collect();
+        let roots: Vec<&JobSpan> = spans
+            .iter()
+            .filter(|s| !ids.contains(s.parent.as_str()))
+            .copied()
+            .collect();
+        if let Some(root) = roots.first() {
+            let _ = writeln!(out, "  client {}", root.parent);
+        }
+        fn walk(out: &mut String, spans: &[&JobSpan], parent: &JobSpan, depth: usize) {
+            let mut children: Vec<&&JobSpan> =
+                spans.iter().filter(|s| s.parent == parent.span).collect();
+            children.sort_by_key(|s| s.seq);
+            for child in children {
+                let pad = "  ".repeat(depth);
+                let detail = if child.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!("  {}", child.detail)
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}{:<10} {:>12}  span {}{}",
+                    child.stage,
+                    fmt_ms(child.dur_us),
+                    child.span,
+                    detail
+                );
+                walk(out, spans, child, depth + 1);
+            }
+        }
+        let mut ordered_roots = roots.clone();
+        ordered_roots.sort_by_key(|s| s.seq);
+        for root in &ordered_roots {
+            let pad = "    ";
+            let detail = if root.detail.is_empty() {
+                String::new()
+            } else {
+                format!("  {}", root.detail)
+            };
+            let _ = writeln!(
+                out,
+                "{pad}{:<10} {:>12}  span {}{}",
+                root.stage,
+                fmt_ms(root.dur_us),
+                root.span,
+                detail
+            );
+            walk(&mut out, &spans, root, 3);
+        }
+        // Critical path: the top-level stages are sequential per job, so
+        // the end-to-end wall time decomposes exactly into submit
+        // (admission), queue wait, evaluation (the run's eval children),
+        // persistence (persist/archive/checkpoint children) and whatever
+        // run time remains (strategy logic, screening, contention).
+        let total: u64 = ordered_roots.iter().map(|s| s.dur_us).sum();
+        let stage_sum = |stages: &[&str]| -> u64 {
+            spans
+                .iter()
+                .filter(|s| stages.contains(&s.stage.as_str()))
+                .map(|s| s.dur_us)
+                .sum()
+        };
+        let submit = stage_sum(&["admission", "dedupe"]);
+        let queue = stage_sum(&["queue"]);
+        let eval = stage_sum(&["eval"]);
+        let persist = stage_sum(&["persist", "archive", "checkpoint"]);
+        let replay = stage_sum(&["replay"]);
+        let accounted = submit + queue + eval + persist + replay;
+        let other = total.saturating_sub(accounted);
+        let pct = |us: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                us as f64 / total as f64 * 100.0
+            }
+        };
+        let mut parts = vec![
+            format!("submit {} ({:.1}%)", fmt_ms(submit), pct(submit)),
+            format!("queue {} ({:.1}%)", fmt_ms(queue), pct(queue)),
+            format!("eval {} ({:.1}%)", fmt_ms(eval), pct(eval)),
+            format!("persist {} ({:.1}%)", fmt_ms(persist), pct(persist)),
+        ];
+        if replay > 0 {
+            parts.push(format!("replay {} ({:.1}%)", fmt_ms(replay), pct(replay)));
+        }
+        parts.push(format!("other {} ({:.1}%)", fmt_ms(other), pct(other)));
+        let _ = writeln!(
+            out,
+            "  critical path: total {} = {}",
+            fmt_ms(total),
+            parts.join(" + ")
+        );
+        out
+    }
+
+    /// Render every job's tree, in first-emission order.
+    pub fn render(&self) -> String {
+        let jobs = self.jobs();
+        if jobs.is_empty() {
+            return "no job spans in trace\n".to_string();
+        }
+        let mut out = String::new();
+        for (i, job) in jobs.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&self.render_job(job));
+        }
+        out
+    }
+}
+
+/// Nearest-rank percentile of a sorted µs sample, in milliseconds.
+fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64 / 1000.0
+}
+
+/// One tenant's SLO accounting in an [`SloReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantSlo {
+    /// Traced jobs observed.
+    pub jobs: u64,
+    /// End-to-end (queue + run/replay) p50, ms.
+    pub p50_ms: f64,
+    /// End-to-end p99, ms.
+    pub p99_ms: f64,
+    /// Jobs whose end-to-end latency exceeded the SLO.
+    pub over_slo: u64,
+}
+
+/// Phase-latency percentiles and per-tenant SLO burn, computed from the
+/// span log of traced jobs. The burn rate compares the fraction of jobs
+/// over the p99 target against the 1% budget a p99 objective implies: a
+/// burn of 1.0 spends the error budget exactly, above 1.0 violates it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloReport {
+    /// The p99 target, ms.
+    pub slo_ms: f64,
+    /// Phase → (p50 ms, p99 ms, samples).
+    pub phases: BTreeMap<String, (f64, f64, u64)>,
+    /// Tenant → SLO accounting.
+    pub tenants: BTreeMap<String, TenantSlo>,
+}
+
+impl SloReport {
+    /// Aggregate a span list against a p99 target.
+    pub fn from_spans(forest: &SpanForest, slo_ms: f64) -> SloReport {
+        let mut report = SloReport {
+            slo_ms,
+            ..SloReport::default()
+        };
+        let mut by_phase: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+        // Per (job) end-to-end: queue wait + run (or replay) time.
+        let mut e2e: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+        for s in &forest.spans {
+            match s.stage.as_str() {
+                "queue" | "eval" | "persist" | "run" => {
+                    by_phase.entry(s.stage.as_str()).or_default().push(s.dur_us);
+                }
+                _ => {}
+            }
+            if matches!(s.stage.as_str(), "queue" | "run" | "replay") {
+                *e2e.entry((s.tenant.as_str(), s.job.as_str())).or_insert(0) += s.dur_us;
+            }
+        }
+        for (phase, mut durs) in by_phase {
+            durs.sort_unstable();
+            report.phases.insert(
+                phase.to_string(),
+                (
+                    percentile_ms(&durs, 0.50),
+                    percentile_ms(&durs, 0.99),
+                    durs.len() as u64,
+                ),
+            );
+        }
+        let mut by_tenant: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+        for ((tenant, _job), us) in &e2e {
+            by_tenant.entry(tenant).or_default().push(*us);
+        }
+        for (tenant, mut durs) in by_tenant {
+            durs.sort_unstable();
+            let over = durs
+                .iter()
+                .filter(|&&us| us as f64 / 1000.0 > slo_ms)
+                .count() as u64;
+            report.tenants.insert(
+                tenant.to_string(),
+                TenantSlo {
+                    jobs: durs.len() as u64,
+                    p50_ms: percentile_ms(&durs, 0.50),
+                    p99_ms: percentile_ms(&durs, 0.99),
+                    over_slo: over,
+                },
+            );
+        }
+        report
+    }
+
+    /// Render the SLO section.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "SLO (end-to-end p99 target {:.1} ms, error budget 1%):",
+            self.slo_ms
+        );
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>12} {:>12} {:>8}",
+            "phase", "p50", "p99", "samples"
+        );
+        for (phase, (p50, p99, n)) in &self.phases {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>9.3} ms {:>9.3} ms {:>8}",
+                phase, p50, p99, n
+            );
+        }
+        for (tenant, t) in &self.tenants {
+            let frac_over = if t.jobs == 0 {
+                0.0
+            } else {
+                t.over_slo as f64 / t.jobs as f64
+            };
+            let burn = frac_over / 0.01;
+            let _ = writeln!(
+                out,
+                "  tenant {tenant}: {} jobs  e2e p50 {:.3} ms  p99 {:.3} ms  \
+                 over-SLO {} (burn {burn:.1}x)",
+                t.jobs, t.p50_ms, t.p99_ms, t.over_slo
+            );
         }
         out
     }
@@ -997,5 +1352,111 @@ mod tests {
         assert_eq!(a.sessions.len(), 2);
         assert_eq!(a.sessions[0].batches, 1);
         assert_eq!(a.sessions[1].subject, "mm");
+    }
+
+    fn stage(seq: u64, dur_us: u64, stage: &str, span: &str, parent: &str, job: &str) -> Record {
+        Record {
+            seq,
+            ts_us: 0,
+            dur_us,
+            tid: 0,
+            event: Event::JobStage {
+                trace: "00000000000000aa".into(),
+                span: span.into(),
+                parent: parent.into(),
+                stage: stage.into(),
+                job: job.into(),
+                tenant: "acme".into(),
+                detail: String::new(),
+            },
+        }
+    }
+
+    /// One traced job: admission + queue + run{eval, persist} — the tree
+    /// renders under the synthetic client root and the critical path
+    /// decomposes the top-level total.
+    #[test]
+    fn span_forest_renders_tree_and_critical_path() {
+        let records = vec![
+            stage(1, 100, "admission", "s1", "root", "j0001"),
+            stage(2, 400, "queue", "s2", "root", "j0001"),
+            stage(3, 700, "eval", "s4", "s3", "j0001"),
+            stage(4, 200, "persist", "s5", "s3", "j0001"),
+            stage(5, 1000, "run", "s3", "root", "j0001"),
+        ];
+        let forest = SpanForest::from_records(&records);
+        assert_eq!(forest.jobs(), vec!["j0001"]);
+        assert_eq!(forest.filtered("00000000000000aa").spans.len(), 5);
+        assert_eq!(forest.filtered("j0001").spans.len(), 5);
+        assert!(forest.filtered("nope").spans.is_empty());
+
+        let text = forest.render_job("j0001");
+        assert!(text.contains("job j0001 (tenant acme, trace 00000000000000aa)"));
+        assert!(text.contains("client root"), "{text}");
+        // eval/persist are children of run; the tree nests them deeper.
+        let run_line = text.lines().find(|l| l.contains("run ")).unwrap();
+        let eval_line = text.lines().find(|l| l.contains("eval ")).unwrap();
+        assert!(
+            eval_line.find("eval") > run_line.find("run"),
+            "children indent past their parent: {text}"
+        );
+        // Total = admission + queue + run (top-level only).
+        assert!(text.contains("critical path: total 1.500 ms"), "{text}");
+        assert!(text.contains("queue 0.400 ms (26.7%)"), "{text}");
+        // other = run - (eval + persist) = 100 µs.
+        assert!(text.contains("other 0.100 ms"), "{text}");
+    }
+
+    /// Mixed-event input (the flight-dump case) only picks up job stages,
+    /// and an empty forest renders a clear message.
+    #[test]
+    fn span_forest_ignores_non_stage_events() {
+        let records = vec![
+            rec(
+                1,
+                Event::ServeShed {
+                    reason: "queue_full".into(),
+                    tenant: "acme".into(),
+                },
+            ),
+            stage(2, 10, "admission", "s1", "root", "j0002"),
+        ];
+        assert_eq!(SpanForest::from_records(&records).spans.len(), 1);
+        assert_eq!(SpanForest::default().render(), "no job spans in trace\n");
+    }
+
+    /// Percentiles are nearest-rank over per-phase samples; the burn rate
+    /// is the over-SLO fraction against the 1% budget.
+    #[test]
+    fn slo_report_percentiles_and_burn() {
+        let mut records = Vec::new();
+        // 10 jobs: queue 1 ms each, run i ms (1..=10).
+        for i in 1..=10u64 {
+            let job = format!("j{i:04}");
+            records.push(stage(2 * i, 1_000, "queue", &format!("q{i}"), "root", &job));
+            records.push(stage(
+                2 * i + 1,
+                i * 1_000,
+                "run",
+                &format!("r{i}"),
+                "root",
+                &job,
+            ));
+        }
+        let forest = SpanForest::from_records(&records);
+        // SLO 8 ms: e2e = 1 + i ms, so i ∈ {8, 9, 10} are over → 3/10.
+        let slo = SloReport::from_spans(&forest, 8.0);
+        let (p50, p99, n) = slo.phases["run"];
+        assert_eq!(n, 10);
+        assert_eq!(p50, 5.0);
+        assert_eq!(p99, 10.0);
+        let acme = &slo.tenants["acme"];
+        assert_eq!(acme.jobs, 10);
+        assert_eq!(acme.over_slo, 3);
+        assert_eq!(acme.p99_ms, 11.0);
+        let text = slo.render();
+        assert!(text.contains("p99 target 8.0 ms"), "{text}");
+        // burn = (3/10) / 0.01 = 30×.
+        assert!(text.contains("over-SLO 3 (burn 30.0x)"), "{text}");
     }
 }

@@ -276,6 +276,7 @@ impl JobBackend for TuneBackend {
                 .with_batch(batch)
                 .with_budget(budget)
                 .with_cancel(std::sync::Arc::clone(&ctx.cancel))
+                .with_batch_timing(ctx.trace.is_some())
                 .with_sink(&mut log);
             if let Some(warm) = ctx.warm.clone() {
                 session = session.with_warm_start(warm);
@@ -366,6 +367,7 @@ mod tests {
             warm: None,
             metrics: None,
             surrogate: None,
+            trace: None,
         }
     }
 
